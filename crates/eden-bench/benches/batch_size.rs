@@ -1,0 +1,37 @@
+//! Benchmark for E7: records per Transfer invocation.
+
+use std::time::Duration as BenchDuration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use eden_bench::runner::run_identity;
+use eden_bench::workloads;
+use eden_kernel::Kernel;
+use eden_transput::Discipline;
+
+fn batch_size(c: &mut Criterion) {
+    let kernel = Kernel::new();
+    let mut group = c.benchmark_group("batch_size");
+    group.sample_size(10);
+    group.warm_up_time(BenchDuration::from_millis(400));
+    group.measurement_time(BenchDuration::from_secs(2));
+    let records = 2000u64;
+    group.throughput(Throughput::Elements(records));
+    for batch in [1usize, 8, 64, 256] {
+        group.bench_function(BenchmarkId::from_parameter(batch), |b| {
+            b.iter(|| {
+                let run = run_identity(
+                    &kernel,
+                    Discipline::ReadOnly { read_ahead: 0 },
+                    workloads::sized_lines(records as usize, 32),
+                    2,
+                    batch,
+                );
+                assert_eq!(run.records_out, records);
+            })
+        });
+    }
+    group.finish();
+    kernel.shutdown();
+}
+
+criterion_group!(benches, batch_size);
+criterion_main!(benches);

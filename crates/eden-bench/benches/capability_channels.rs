@@ -1,0 +1,50 @@
+//! Benchmark for E6: the runtime cost of capability channel identifiers
+//! versus integers (§5's security/overhead trade).
+
+use std::time::Duration as BenchDuration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eden_bench::runner::run_pipeline;
+use eden_bench::workloads;
+use eden_core::Value;
+use eden_filters::SpellCheck;
+use eden_kernel::Kernel;
+use eden_transput::protocol::REPORT_NAME;
+use eden_transput::transform::Transform;
+use eden_transput::{ChannelPolicy, Discipline};
+
+fn spell_stage() -> Vec<Box<dyn Transform>> {
+    vec![Box::new(SpellCheck::new(workloads::dictionary())) as Box<dyn Transform>]
+}
+
+fn capability_channels(c: &mut Criterion) {
+    let kernel = Kernel::new();
+    let mut group = c.benchmark_group("capability_channels");
+    group.sample_size(10);
+    group.warm_up_time(BenchDuration::from_millis(400));
+    group.measurement_time(BenchDuration::from_secs(2));
+    for (label, policy) in [
+        ("integer", ChannelPolicy::Integer),
+        ("capability", ChannelPolicy::Capability),
+    ] {
+        group.bench_function(BenchmarkId::from_parameter(label), |b| {
+            b.iter(|| {
+                let run = run_pipeline(
+                    &kernel,
+                    Discipline::ReadOnly { read_ahead: 0 },
+                    workloads::prose(200, 5, 11),
+                    spell_stage(),
+                    16,
+                    policy,
+                    &[(0, REPORT_NAME)],
+                );
+                assert_eq!(run.records_out, 200);
+                let _ = Value::Unit;
+            })
+        });
+    }
+    group.finish();
+    kernel.shutdown();
+}
+
+criterion_group!(benches, capability_channels);
+criterion_main!(benches);

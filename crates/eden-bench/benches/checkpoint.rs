@@ -1,0 +1,60 @@
+//! Benchmark for E9: checkpoint cost and crash-reactivate latency.
+
+use std::time::Duration as BenchDuration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eden_bench::workloads;
+use eden_core::op::ops;
+use eden_core::Value;
+use eden_fs::{register_fs_types, FileEject};
+use eden_kernel::Kernel;
+
+fn spawn_file(kernel: &Kernel, records: usize) -> eden_core::Uid {
+    let lines: Vec<String> = workloads::sized_lines(records, 32)
+        .into_iter()
+        .map(|v| v.as_str().expect("line").to_owned())
+        .collect();
+    kernel
+        .spawn(Box::new(FileEject::from_lines(lines)))
+        .expect("spawn file")
+}
+
+fn checkpoint(c: &mut Criterion) {
+    let kernel = Kernel::new();
+    register_fs_types(&kernel);
+    let mut group = c.benchmark_group("checkpoint");
+    group.sample_size(10);
+    group.warm_up_time(BenchDuration::from_millis(400));
+    group.measurement_time(BenchDuration::from_secs(2));
+    for records in [100usize, 10_000] {
+        let file = spawn_file(&kernel, records);
+        group.bench_function(BenchmarkId::new("checkpoint", records), |b| {
+            b.iter(|| {
+                kernel
+                    .invoke_sync(file, ops::CHECKPOINT, Value::Unit)
+                    .expect("checkpoint")
+            })
+        });
+    }
+    // Crash + reactivate-on-invocation: spawn, checkpoint once, then
+    // measure the fault/recovery round trip.
+    for records in [100usize, 10_000] {
+        let file = spawn_file(&kernel, records);
+        kernel
+            .invoke_sync(file, ops::CHECKPOINT, Value::Unit)
+            .expect("checkpoint");
+        group.bench_function(BenchmarkId::new("crash_reactivate", records), |b| {
+            b.iter(|| {
+                kernel.crash(file).expect("crash");
+                let len = kernel
+                    .invoke_sync(file, "Length", Value::Unit)
+                    .expect("reactivate");
+                assert_eq!(len, Value::Int(records as i64));
+            })
+        });
+    }
+    group.finish();
+    kernel.shutdown();
+}
+
+criterion_group!(benches, checkpoint);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Benchmark for E10: directory operations and PATH-style concatenation.
+
+use std::time::Duration as BenchDuration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eden_core::Value;
+use eden_fs::{add_entry, lookup, DirConcatenatorEject, DirectoryEject};
+use eden_kernel::Kernel;
+
+fn directory(c: &mut Criterion) {
+    let kernel = Kernel::new();
+    let mut group = c.benchmark_group("directory");
+    group.sample_size(10);
+    group.warm_up_time(BenchDuration::from_millis(400));
+    group.measurement_time(BenchDuration::from_secs(2));
+
+    // Lookup in a populated directory.
+    for size in [10usize, 1000] {
+        let dir = kernel
+            .spawn(Box::new(DirectoryEject::new()))
+            .expect("spawn dir");
+        for i in 0..size {
+            add_entry(&kernel, dir, &format!("entry-{i:05}"), eden_core::Uid::fresh())
+                .expect("add");
+        }
+        group.bench_function(BenchmarkId::new("lookup", size), |b| {
+            b.iter(|| lookup(&kernel, dir, &format!("entry-{:05}", size / 2)).expect("hit"))
+        });
+    }
+
+    // Worst-case concatenator lookup (hit in the last directory).
+    for m in [2usize, 8] {
+        let dirs: Vec<eden_core::Uid> = (0..m)
+            .map(|_| kernel.spawn(Box::new(DirectoryEject::new())).expect("dir"))
+            .collect();
+        add_entry(&kernel, dirs[m - 1], "needle", eden_core::Uid::fresh()).expect("add");
+        let path = kernel
+            .spawn(Box::new(DirConcatenatorEject::new(dirs)))
+            .expect("concat");
+        group.bench_function(BenchmarkId::new("concatenator_lookup", m), |b| {
+            b.iter(|| lookup(&kernel, path, "needle").expect("hit"))
+        });
+    }
+
+    // AddEntry + DeleteEntry round trip.
+    let dir = kernel
+        .spawn(Box::new(DirectoryEject::new()))
+        .expect("spawn dir");
+    group.bench_function("add_delete", |b| {
+        b.iter(|| {
+            add_entry(&kernel, dir, "temp", eden_core::Uid::fresh()).expect("add");
+            kernel
+                .invoke_sync(
+                    dir,
+                    eden_core::op::ops::DELETE_ENTRY,
+                    Value::record([("name", Value::str("temp"))]),
+                )
+                .expect("delete");
+        })
+    });
+    group.finish();
+    kernel.shutdown();
+}
+
+criterion_group!(benches, directory);
+criterion_main!(benches);

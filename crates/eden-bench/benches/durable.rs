@@ -1,0 +1,94 @@
+//! Ablation: what does durability cost?
+//!
+//! A durable filter auto-checkpoints after every Transfer; this bench
+//! compares it against the plain (volatile) lazy filter on the same
+//! stream, and measures the checkpoint-every-operation tax directly.
+
+use std::time::Duration as BenchDuration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eden_core::op::ops;
+use eden_core::Value;
+use eden_filters::{DurableFilterEject, FilterSpec};
+use eden_kernel::Kernel;
+use eden_transput::protocol::{Batch, TransferRequest};
+use eden_transput::read_only::{InputPort, PullFilterEject};
+use eden_transput::source::{SourceEject, VecSource};
+
+const RECORDS: i64 = 500;
+
+fn drain(kernel: &Kernel, filter: eden_core::Uid, batch: usize) -> usize {
+    let mut total = 0;
+    loop {
+        let b = Batch::from_value(
+            kernel
+                .invoke_sync(filter, ops::TRANSFER, TransferRequest::primary(batch).to_value())
+                .expect("transfer"),
+        )
+        .expect("batch");
+        total += b.items.len();
+        if b.end {
+            break;
+        }
+    }
+    total
+}
+
+fn source(kernel: &Kernel) -> eden_core::Uid {
+    kernel
+        .spawn(Box::new(SourceEject::new(Box::new(VecSource::new(
+            (0..RECORDS).map(|i| Value::Str(format!("line {i}"))).collect(),
+        )))))
+        .expect("source")
+}
+
+fn durable_vs_volatile(c: &mut Criterion) {
+    let kernel = Kernel::new();
+    DurableFilterEject::register(&kernel);
+    let mut group = c.benchmark_group("durable_filter");
+    group.sample_size(10);
+    group.warm_up_time(BenchDuration::from_millis(400));
+    group.measurement_time(BenchDuration::from_secs(2));
+    for batch in [8usize, 64] {
+        group.bench_function(BenchmarkId::new("volatile", batch), |b| {
+            b.iter(|| {
+                let src = source(&kernel);
+                let filter = kernel
+                    .spawn(Box::new(PullFilterEject::new(
+                        Box::new(eden_filters::LineNumber::new()),
+                        InputPort::primary(src),
+                    )))
+                    .expect("filter");
+                let total = drain(&kernel, filter, batch);
+                assert_eq!(total, RECORDS as usize);
+                for uid in [src, filter] {
+                    let _ = kernel.invoke(uid, ops::DEACTIVATE, Value::Unit);
+                }
+            })
+        });
+        group.bench_function(BenchmarkId::new("durable_ckpt_every_op", batch), |b| {
+            b.iter(|| {
+                let src = source(&kernel);
+                let filter = kernel
+                    .spawn(Box::new(
+                        DurableFilterEject::new(FilterSpec::new("line-number"), src, batch)
+                            .expect("durable filter"),
+                    ))
+                    .expect("spawn");
+                let total = drain(&kernel, filter, batch);
+                assert_eq!(total, RECORDS as usize);
+                // Durable filters checkpointed, so deactivation leaves a
+                // passive representation; remove it to keep the store flat.
+                for uid in [src, filter] {
+                    let _ = kernel.invoke(uid, ops::DEACTIVATE, Value::Unit);
+                }
+                kernel.stable_store().remove(filter);
+            })
+        });
+    }
+    group.finish();
+    kernel.shutdown();
+}
+
+criterion_group!(benches, durable_vs_volatile);
+criterion_main!(benches);

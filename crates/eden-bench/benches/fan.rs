@@ -1,0 +1,108 @@
+//! Benchmarks for E4: fan-in merges (read-only) and fan-out broadcasts
+//! (write-only, and read-only via Tee channels).
+
+use std::time::Duration;
+
+use std::time::Duration as BenchDuration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eden_core::Value;
+use eden_kernel::Kernel;
+use eden_transput::collector::Collector;
+use eden_transput::protocol::OUTPUT_NAME;
+use eden_transput::read_only::{FanInMode, InputPort, PullFilterConfig, PullFilterEject};
+use eden_transput::sink::{AcceptorSinkEject, SinkEject};
+use eden_transput::source::{SourceEject, VecSource};
+use eden_transput::transform::Identity;
+use eden_transput::write_only::{OutputPort, OutputWiring, PushFilterEject, PushSourceEject};
+
+const WAIT: Duration = Duration::from_secs(60);
+const PER_SOURCE: i64 = 200;
+
+fn fan_in(kernel: &Kernel, m: usize) {
+    let inputs: Vec<InputPort> = (0..m as i64)
+        .map(|i| {
+            let src = kernel
+                .spawn(Box::new(SourceEject::new(Box::new(VecSource::new(
+                    (i * 1000..i * 1000 + PER_SOURCE).map(Value::Int).collect(),
+                )))))
+                .expect("source");
+            InputPort::primary(src)
+        })
+        .collect();
+    let filter = kernel
+        .spawn(Box::new(PullFilterEject::with_config(
+            Box::new(Identity),
+            inputs,
+            PullFilterConfig {
+                fan_in: FanInMode::RoundRobin,
+                batch: 16,
+                ..Default::default()
+            },
+        )))
+        .expect("filter");
+    let c = Collector::null();
+    let sink = kernel
+        .spawn(Box::new(SinkEject::new(filter, 16, c.clone())))
+        .expect("sink");
+    c.wait_done(WAIT).expect("merge");
+    assert_eq!(c.records_seen(), (m as i64 * PER_SOURCE) as u64);
+    for uid in [filter, sink] {
+        let _ = kernel.invoke(uid, eden_core::op::ops::DEACTIVATE, Value::Unit);
+    }
+}
+
+fn fan_out(kernel: &Kernel, m: usize) {
+    let collectors: Vec<Collector> = (0..m).map(|_| Collector::null()).collect();
+    let mut wiring = OutputWiring::default();
+    let mut ejects = Vec::new();
+    for c in &collectors {
+        let sink = kernel
+            .spawn(Box::new(AcceptorSinkEject::new(c.clone())))
+            .expect("acceptor");
+        wiring.add(OUTPUT_NAME, OutputPort::primary(sink));
+        ejects.push(sink);
+    }
+    let filter = kernel
+        .spawn(Box::new(PushFilterEject::new(Box::new(Identity), wiring)))
+        .expect("filter");
+    let source = kernel
+        .spawn(Box::new(PushSourceEject::new(
+            Box::new(VecSource::new((0..PER_SOURCE).map(Value::Int).collect())),
+            OutputWiring::primary_to(OutputPort::primary(filter)),
+            16,
+        )))
+        .expect("source");
+    kernel
+        .invoke_sync(source, "Start", Value::Unit)
+        .expect("start");
+    for c in &collectors {
+        c.wait_done(WAIT).expect("copy");
+        assert_eq!(c.records_seen(), PER_SOURCE as u64);
+    }
+    ejects.push(filter);
+    ejects.push(source);
+    for uid in ejects {
+        let _ = kernel.invoke(uid, eden_core::op::ops::DEACTIVATE, Value::Unit);
+    }
+}
+
+fn fan(c: &mut Criterion) {
+    let kernel = Kernel::new();
+    let mut group = c.benchmark_group("fan");
+    group.sample_size(10);
+    group.warm_up_time(BenchDuration::from_millis(400));
+    group.measurement_time(BenchDuration::from_secs(2));
+    for m in [2usize, 8] {
+        group.bench_function(BenchmarkId::new("read_only_fan_in", m), |b| {
+            b.iter(|| fan_in(&kernel, m))
+        });
+        group.bench_function(BenchmarkId::new("write_only_fan_out", m), |b| {
+            b.iter(|| fan_out(&kernel, m))
+        });
+    }
+    group.finish();
+    kernel.shutdown();
+}
+
+criterion_group!(benches, fan);
+criterion_main!(benches);

@@ -1,0 +1,102 @@
+//! Kernel microbenchmarks: the cost of invocation itself (the quantity
+//! the paper's whole efficiency argument is denominated in), deferred
+//! replies, internal messages, and Eject lifecycle.
+
+use std::time::Duration as BenchDuration;
+use criterion::{criterion_group, criterion_main, Criterion};
+use eden_core::{EdenError, Value};
+use eden_kernel::{EjectBehavior, EjectContext, Invocation, Kernel, ReplyHandle};
+
+struct Echo;
+
+impl EjectBehavior for Echo {
+    fn type_name(&self) -> &'static str {
+        "Echo"
+    }
+    fn handle(&mut self, ctx: &EjectContext, inv: Invocation, reply: ReplyHandle) {
+        match inv.op.as_str() {
+            "Echo" => reply.reply(Ok(inv.arg)),
+            _ => reply.reply(Err(EdenError::NoSuchOperation {
+                target: ctx.uid(),
+                op: inv.op,
+            })),
+        }
+    }
+}
+
+/// Parks then answers on the next poke: a deferred-reply round trip.
+#[derive(Default)]
+struct Parker {
+    parked: Option<ReplyHandle>,
+}
+
+impl EjectBehavior for Parker {
+    fn type_name(&self) -> &'static str {
+        "Parker"
+    }
+    fn handle(&mut self, _ctx: &EjectContext, inv: Invocation, reply: ReplyHandle) {
+        match inv.op.as_str() {
+            "Park" => {
+                reply.mark_deferred();
+                self.parked = Some(reply);
+            }
+            _ => {
+                if let Some(parked) = self.parked.take() {
+                    parked.reply(Ok(Value::Unit));
+                }
+                reply.reply(Ok(Value::Unit));
+            }
+        }
+    }
+}
+
+fn kernel_microbench(c: &mut Criterion) {
+    let kernel = Kernel::new();
+    let echo = kernel.spawn(Box::new(Echo)).expect("spawn");
+    let mut group = c.benchmark_group("kernel");
+    group.sample_size(20);
+    group.warm_up_time(BenchDuration::from_millis(400));
+    group.measurement_time(BenchDuration::from_secs(2));
+
+    group.bench_function("invoke_sync_roundtrip", |b| {
+        b.iter(|| {
+            kernel
+                .invoke_sync(echo, "Echo", Value::Int(42))
+                .expect("echo")
+        })
+    });
+
+    group.bench_function("invoke_async_pipelined_x32", |b| {
+        b.iter(|| {
+            let pendings: Vec<_> = (0..32)
+                .map(|i| kernel.invoke(echo, "Echo", Value::Int(i)))
+                .collect();
+            for p in pendings {
+                p.wait().expect("echo");
+            }
+        })
+    });
+
+    let parker = kernel.spawn(Box::new(Parker::default())).expect("spawn");
+    group.bench_function("deferred_reply_roundtrip", |b| {
+        b.iter(|| {
+            let pending = kernel.invoke(parker, "Park", Value::Unit);
+            kernel.invoke_sync(parker, "Poke", Value::Unit).expect("poke");
+            pending.wait().expect("parked reply");
+        })
+    });
+
+    group.bench_function("spawn_and_deactivate", |b| {
+        b.iter(|| {
+            let uid = kernel.spawn(Box::new(Echo)).expect("spawn");
+            kernel
+                .invoke_sync(uid, eden_core::op::ops::DEACTIVATE, Value::Unit)
+                .expect("deactivate");
+        })
+    });
+    group.finish();
+    kernel.shutdown();
+}
+
+criterion_group!(benches, kernel_microbench);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Benchmarks for E1/E2: per-datum invocation cost and pipeline
+//! throughput across the three disciplines (Figures 1 and 2).
+
+use std::time::Duration as BenchDuration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eden_bench::runner::run_identity;
+use eden_bench::workloads;
+use eden_kernel::Kernel;
+use eden_transput::Discipline;
+
+fn disciplines() -> [(&'static str, Discipline); 3] {
+    [
+        ("read-only", Discipline::ReadOnly { read_ahead: 0 }),
+        ("write-only", Discipline::WriteOnly { push_ahead: 0 }),
+        (
+            "conventional",
+            Discipline::Conventional { buffer_capacity: 32 },
+        ),
+    ]
+}
+
+/// E1 as wall clock: move 100 records through 4 filters, one record per
+/// invocation. Read-only/write-only should run ~2x the conventional rate.
+fn invocations_per_datum(c: &mut Criterion) {
+    let kernel = Kernel::new();
+    let mut group = c.benchmark_group("invocations_per_datum");
+    group.sample_size(10);
+    group.warm_up_time(BenchDuration::from_millis(400));
+    group.measurement_time(BenchDuration::from_secs(2));
+    for (label, discipline) in disciplines() {
+        group.bench_function(BenchmarkId::from_parameter(label), |b| {
+            b.iter(|| {
+                let run = run_identity(&kernel, discipline, workloads::ints(100), 4, 1);
+                assert_eq!(run.records_out, 100);
+                run.metrics.invocations
+            })
+        });
+    }
+    group.finish();
+    kernel.shutdown();
+}
+
+/// E2 as wall clock: 1000 records, batch 32, depth 1 vs 8.
+fn pipeline_throughput(c: &mut Criterion) {
+    let kernel = Kernel::new();
+    let mut group = c.benchmark_group("pipeline_throughput");
+    group.sample_size(10);
+    group.warm_up_time(BenchDuration::from_millis(400));
+    group.measurement_time(BenchDuration::from_secs(2));
+    for depth in [1usize, 8] {
+        for (label, discipline) in disciplines() {
+            group.bench_function(BenchmarkId::new(label, depth), |b| {
+                b.iter(|| {
+                    let run =
+                        run_identity(&kernel, discipline, workloads::ints(1000), depth, 32);
+                    assert_eq!(run.records_out, 1000);
+                })
+            });
+        }
+    }
+    group.finish();
+    kernel.shutdown();
+}
+
+criterion_group!(benches, invocations_per_datum, pipeline_throughput);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Benchmark for E3: throughput versus read-ahead credit (§4's "buffer-up
+//! some output ... all the Ejects in a pipeline can run concurrently").
+
+use std::time::Duration as BenchDuration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eden_bench::runner::run_identity;
+use eden_bench::workloads;
+use eden_kernel::Kernel;
+use eden_transput::Discipline;
+
+fn readahead(c: &mut Criterion) {
+    let kernel = Kernel::new();
+    let mut group = c.benchmark_group("readahead");
+    group.sample_size(10);
+    group.warm_up_time(BenchDuration::from_millis(400));
+    group.measurement_time(BenchDuration::from_secs(2));
+    for k in [0usize, 16, 128] {
+        group.bench_function(BenchmarkId::from_parameter(k), |b| {
+            b.iter(|| {
+                let run = run_identity(
+                    &kernel,
+                    Discipline::ReadOnly { read_ahead: k },
+                    workloads::ints(1000),
+                    4,
+                    16,
+                );
+                assert_eq!(run.records_out, 1000);
+            })
+        });
+    }
+    // The write-only dual: push-ahead.
+    for k in [0usize, 16, 128] {
+        group.bench_function(BenchmarkId::new("push_ahead", k), |b| {
+            b.iter(|| {
+                let run = run_identity(
+                    &kernel,
+                    Discipline::WriteOnly { push_ahead: k },
+                    workloads::ints(1000),
+                    4,
+                    16,
+                );
+                assert_eq!(run.records_out, 1000);
+            })
+        });
+    }
+    group.finish();
+    kernel.shutdown();
+}
+
+criterion_group!(benches, readahead);
+criterion_main!(benches);

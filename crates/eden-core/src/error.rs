@@ -1,0 +1,105 @@
+//! Error types shared across the workspace.
+
+use std::fmt;
+
+use crate::op::OpName;
+use crate::uid::Uid;
+
+/// The workspace-wide result alias.
+pub type Result<T> = std::result::Result<T, EdenError>;
+
+/// Everything that can go wrong in the simulated Eden.
+///
+/// Invocation replies carry `Result<Value>`, so these errors propagate across
+/// Eject boundaries exactly as Eden error status codes did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EdenError {
+    /// The target UID names no Eject known to the kernel (active or passive).
+    NoSuchEject(Uid),
+    /// The Eject exists but does not respond to this operation.
+    ///
+    /// The paper (§2): the set of invocations an Eject responds to is its
+    /// behaviour; invoking outside that set is a protocol error.
+    NoSuchOperation {
+        /// The Eject that rejected the invocation.
+        target: Uid,
+        /// The operation that was not understood.
+        op: OpName,
+    },
+    /// The Eject crashed (or was crashed by fault injection) while the
+    /// invocation was outstanding, and has no passive representation from
+    /// which the kernel could reactivate it.
+    EjectCrashed(Uid),
+    /// The kernel is shutting down; no further invocations are possible.
+    KernelShutdown,
+    /// An invocation parameter had the wrong shape for the operation.
+    BadParameter(String),
+    /// A stream operation named a channel the source does not provide,
+    /// or presented a channel capability that was never issued (§5).
+    NoSuchChannel(String),
+    /// A capability check failed: the presented UID does not authorise the
+    /// requested access (§5, capability channels).
+    NotAuthorized(String),
+    /// End of stream. Used as an error only where a datum was required;
+    /// ordinary stream replies carry end-of-stream in-band as a status.
+    EndOfStream,
+    /// A reply did not arrive within the configured deadline.
+    Timeout,
+    /// A checkpoint or passive representation could not be decoded.
+    CorruptCheckpoint(String),
+    /// A host filing-system operation failed (bootstrap UnixFs Ejects, §7).
+    HostFs(String),
+    /// The invoked Eject explicitly reported failure with a message.
+    Application(String),
+}
+
+impl fmt::Display for EdenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EdenError::NoSuchEject(uid) => write!(f, "no such Eject: {uid}"),
+            EdenError::NoSuchOperation { target, op } => {
+                write!(f, "Eject {target} does not respond to operation {op}")
+            }
+            EdenError::EjectCrashed(uid) => write!(f, "Eject {uid} crashed"),
+            EdenError::KernelShutdown => write!(f, "kernel is shutting down"),
+            EdenError::BadParameter(msg) => write!(f, "bad invocation parameter: {msg}"),
+            EdenError::NoSuchChannel(msg) => write!(f, "no such channel: {msg}"),
+            EdenError::NotAuthorized(msg) => write!(f, "not authorized: {msg}"),
+            EdenError::EndOfStream => write!(f, "end of stream"),
+            EdenError::Timeout => write!(f, "invocation timed out"),
+            EdenError::CorruptCheckpoint(msg) => write!(f, "corrupt checkpoint: {msg}"),
+            EdenError::HostFs(msg) => write!(f, "host filesystem error: {msg}"),
+            EdenError::Application(msg) => write!(f, "application error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for EdenError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_uid() {
+        let u = Uid::fresh();
+        let msg = EdenError::NoSuchEject(u).to_string();
+        assert!(msg.contains(&u.to_string()));
+    }
+
+    #[test]
+    fn display_mentions_operation() {
+        let u = Uid::fresh();
+        let e = EdenError::NoSuchOperation {
+            target: u,
+            op: OpName::from("Transfer"),
+        };
+        assert!(e.to_string().contains("Transfer"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(EdenError::Timeout, EdenError::Timeout);
+        assert_ne!(EdenError::Timeout, EdenError::EndOfStream);
+    }
+}

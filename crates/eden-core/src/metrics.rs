@@ -1,0 +1,313 @@
+//! Metering: the quantities behind the paper's efficiency argument.
+//!
+//! §4 of the paper argues the "read only" discipline halves the invocations
+//! needed to move a datum through a pipeline (n+1 instead of 2n+2) and
+//! eliminates the n+1 passive-buffer Ejects, at the cost of internal
+//! processes and communication inside each Eject: "Processes provided within
+//! the programming language are likely to be more efficient than the
+//! processes of the underlying machine... interprocess communication within
+//! an Eject is likely to be much more efficient than invocation."
+//!
+//! To reproduce that comparison we count every event of both kinds and feed
+//! the counts through an explicit [`CostModel`]. Experiments can then sweep
+//! the invocation : internal-IPC cost ratio (experiment E8) instead of being
+//! hostage to one machine's timings.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Shared event counters. Cheap to clone (an `Arc` bump); updated with
+/// relaxed atomics — the counts are statistics, not synchronisation.
+#[derive(Clone, Default, Debug)]
+pub struct Metrics {
+    inner: Arc<Counters>,
+}
+
+#[derive(Default, Debug)]
+struct Counters {
+    invocations: AtomicU64,
+    remote_invocations: AtomicU64,
+    replies: AtomicU64,
+    deferred_replies: AtomicU64,
+    internal_messages: AtomicU64,
+    bytes_invoked: AtomicU64,
+    bytes_replied: AtomicU64,
+    ejects_created: AtomicU64,
+    activations: AtomicU64,
+    deactivations: AtomicU64,
+    checkpoints: AtomicU64,
+    crashes: AtomicU64,
+}
+
+impl Metrics {
+    /// Create a fresh, zeroed set of counters.
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    /// Record an invocation being sent, with its parameter payload size.
+    pub fn record_invocation(&self, payload_bytes: usize) {
+        self.inner.invocations.fetch_add(1, Ordering::Relaxed);
+        self.inner
+            .bytes_invoked
+            .fetch_add(payload_bytes as u64, Ordering::Relaxed);
+    }
+
+    /// Record that the most recent invocation crossed simulated nodes.
+    pub fn record_remote_invocation(&self) {
+        self.inner.remote_invocations.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a reply being delivered, with its payload size.
+    pub fn record_reply(&self, payload_bytes: usize) {
+        self.inner.replies.fetch_add(1, Ordering::Relaxed);
+        self.inner
+            .bytes_replied
+            .fetch_add(payload_bytes as u64, Ordering::Relaxed);
+    }
+
+    /// Record a reply being parked for later (passive output in action).
+    pub fn record_deferred_reply(&self) {
+        self.inner.deferred_replies.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one intra-Eject message (language-level process communication).
+    pub fn record_internal_message(&self) {
+        self.inner.internal_messages.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record the creation of an Eject.
+    pub fn record_eject_created(&self) {
+        self.inner.ejects_created.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record an activation (including reactivation from a checkpoint).
+    pub fn record_activation(&self) {
+        self.inner.activations.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record an explicit deactivation.
+    pub fn record_deactivation(&self) {
+        self.inner.deactivations.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a checkpoint being written.
+    pub fn record_checkpoint(&self) {
+        self.inner.checkpoints.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a simulated crash.
+    pub fn record_crash(&self) {
+        self.inner.crashes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Capture the current counter values.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let c = &self.inner;
+        MetricsSnapshot {
+            invocations: c.invocations.load(Ordering::Relaxed),
+            remote_invocations: c.remote_invocations.load(Ordering::Relaxed),
+            replies: c.replies.load(Ordering::Relaxed),
+            deferred_replies: c.deferred_replies.load(Ordering::Relaxed),
+            internal_messages: c.internal_messages.load(Ordering::Relaxed),
+            bytes_invoked: c.bytes_invoked.load(Ordering::Relaxed),
+            bytes_replied: c.bytes_replied.load(Ordering::Relaxed),
+            ejects_created: c.ejects_created.load(Ordering::Relaxed),
+            activations: c.activations.load(Ordering::Relaxed),
+            deactivations: c.deactivations.load(Ordering::Relaxed),
+            checkpoints: c.checkpoints.load(Ordering::Relaxed),
+            crashes: c.crashes.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of the counters. Subtract two snapshots to meter a
+/// region of execution.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)] // Field names are self-describing counter names.
+pub struct MetricsSnapshot {
+    pub invocations: u64,
+    pub remote_invocations: u64,
+    pub replies: u64,
+    pub deferred_replies: u64,
+    pub internal_messages: u64,
+    pub bytes_invoked: u64,
+    pub bytes_replied: u64,
+    pub ejects_created: u64,
+    pub activations: u64,
+    pub deactivations: u64,
+    pub checkpoints: u64,
+    pub crashes: u64,
+}
+
+impl MetricsSnapshot {
+    /// Events that occurred between `earlier` and `self`.
+    pub fn since(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
+        MetricsSnapshot {
+            invocations: self.invocations - earlier.invocations,
+            remote_invocations: self.remote_invocations - earlier.remote_invocations,
+            replies: self.replies - earlier.replies,
+            deferred_replies: self.deferred_replies - earlier.deferred_replies,
+            internal_messages: self.internal_messages - earlier.internal_messages,
+            bytes_invoked: self.bytes_invoked - earlier.bytes_invoked,
+            bytes_replied: self.bytes_replied - earlier.bytes_replied,
+            ejects_created: self.ejects_created - earlier.ejects_created,
+            activations: self.activations - earlier.activations,
+            deactivations: self.deactivations - earlier.deactivations,
+            checkpoints: self.checkpoints - earlier.checkpoints,
+            crashes: self.crashes - earlier.crashes,
+        }
+    }
+
+    /// Total bytes moved in either direction.
+    pub fn bytes_total(&self) -> u64 {
+        self.bytes_invoked + self.bytes_replied
+    }
+}
+
+/// Converts event counts into modeled time.
+///
+/// All costs are in abstract nanoseconds. The absolute scale is arbitrary;
+/// what the experiments care about is the *ratio* of invocation cost to
+/// internal-IPC cost, which the paper argues must favour fewer invocations
+/// ("the cost of an invocation must inevitably be higher than that of a
+/// system call... because invocation is location-independent").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostModel {
+    /// Cost of one invocation+reply round trip (marshalling, location
+    /// lookup, cross-address-space transfer).
+    pub invocation_ns: f64,
+    /// Cost of one intra-Eject, language-level process message.
+    pub internal_msg_ns: f64,
+    /// Cost per payload byte moved across an Eject boundary.
+    pub per_byte_ns: f64,
+    /// Cost of activating an Eject (process creation, checkpoint read).
+    pub activation_ns: f64,
+    /// Additional cost when an invocation crosses simulated machines
+    /// (the paper's VAXen on a 10 Mbit Ethernet).
+    pub remote_extra_ns: f64,
+}
+
+impl CostModel {
+    /// A model with the flavour of the 1983 Eden prototype: invocations are
+    /// remote-procedure-call class (~1 ms class events), two orders of
+    /// magnitude more expensive than a language-level process message.
+    pub fn eden_1983() -> Self {
+        CostModel {
+            invocation_ns: 1_000_000.0,
+            internal_msg_ns: 10_000.0,
+            per_byte_ns: 800.0,
+            activation_ns: 50_000_000.0,
+            remote_extra_ns: 2_000_000.0,
+        }
+    }
+
+    /// A model where invocations and internal messages cost the same —
+    /// the regime in which the read-only discipline's advantage vanishes.
+    pub fn uniform() -> Self {
+        CostModel {
+            invocation_ns: 10_000.0,
+            internal_msg_ns: 10_000.0,
+            per_byte_ns: 0.0,
+            activation_ns: 0.0,
+            remote_extra_ns: 0.0,
+        }
+    }
+
+    /// A model with the given invocation : internal-message cost ratio,
+    /// holding the internal message cost fixed. Used by experiment E8.
+    pub fn with_ratio(ratio: f64) -> Self {
+        CostModel {
+            invocation_ns: 10_000.0 * ratio,
+            internal_msg_ns: 10_000.0,
+            per_byte_ns: 0.0,
+            activation_ns: 0.0,
+            remote_extra_ns: 0.0,
+        }
+    }
+
+    /// Total modeled nanoseconds for the events in `snap`.
+    pub fn modeled_ns(&self, snap: &MetricsSnapshot) -> f64 {
+        snap.invocations as f64 * self.invocation_ns
+            + snap.remote_invocations as f64 * self.remote_extra_ns
+            + snap.internal_messages as f64 * self.internal_msg_ns
+            + snap.bytes_total() as f64 * self.per_byte_ns
+            + snap.activations as f64 * self.activation_ns
+    }
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel::eden_1983()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let m = Metrics::new();
+        m.record_invocation(10);
+        m.record_invocation(5);
+        m.record_reply(3);
+        m.record_internal_message();
+        m.record_deferred_reply();
+        let s = m.snapshot();
+        assert_eq!(s.invocations, 2);
+        assert_eq!(s.bytes_invoked, 15);
+        assert_eq!(s.replies, 1);
+        assert_eq!(s.bytes_replied, 3);
+        assert_eq!(s.internal_messages, 1);
+        assert_eq!(s.deferred_replies, 1);
+        assert_eq!(s.bytes_total(), 18);
+    }
+
+    #[test]
+    fn clones_share_counters() {
+        let m = Metrics::new();
+        let m2 = m.clone();
+        m2.record_invocation(1);
+        assert_eq!(m.snapshot().invocations, 1);
+    }
+
+    #[test]
+    fn snapshot_diff() {
+        let m = Metrics::new();
+        m.record_invocation(10);
+        let before = m.snapshot();
+        m.record_invocation(10);
+        m.record_checkpoint();
+        let delta = m.snapshot().since(&before);
+        assert_eq!(delta.invocations, 1);
+        assert_eq!(delta.checkpoints, 1);
+        assert_eq!(delta.bytes_invoked, 10);
+    }
+
+    #[test]
+    fn cost_model_weighs_invocations() {
+        let snap = MetricsSnapshot {
+            invocations: 10,
+            internal_messages: 100,
+            ..Default::default()
+        };
+        let eden = CostModel::eden_1983();
+        let uniform = CostModel::uniform();
+        // Under the Eden model, 10 invocations dominate 100 internal
+        // messages; under the uniform model they do not.
+        assert!(eden.modeled_ns(&snap) > 10.0 * eden.internal_msg_ns * 100.0 / 2.0);
+        assert!(uniform.modeled_ns(&snap) < eden.modeled_ns(&snap));
+    }
+
+    #[test]
+    fn ratio_model_scales_linearly() {
+        let snap = MetricsSnapshot {
+            invocations: 1,
+            ..Default::default()
+        };
+        let low = CostModel::with_ratio(1.0).modeled_ns(&snap);
+        let high = CostModel::with_ratio(100.0).modeled_ns(&snap);
+        assert!((high / low - 100.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,337 @@
+//! The dynamically-typed datum carried by invocations.
+//!
+//! §6 of the paper: "Nothing I have said about Eden transput constrains Eden
+//! streams to be streams of bytes. Streams of arbitrary records fit into the
+//! protocol just as well, provided only that they are homogeneous." The Eden
+//! Programming Language lacked type parameterisation; in Rust we model the
+//! untyped invocation payload with this enum and let higher layers impose
+//! homogeneity where the protocol requires it.
+
+use bytes::Bytes;
+
+use crate::error::{EdenError, Result};
+use crate::uid::Uid;
+
+/// A self-describing datum: invocation parameter, reply, or stream record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Value {
+    /// The absence of a datum (a bare acknowledgement).
+    Unit,
+    /// A boolean.
+    Bool(bool),
+    /// A signed integer.
+    Int(i64),
+    /// A text string. Stream protocols that carry lines use this variant.
+    Str(String),
+    /// An opaque byte string. Byte-stream transput uses this variant.
+    Bytes(Bytes),
+    /// A UID — how capabilities travel inside invocations.
+    Uid(Uid),
+    /// A heterogeneous sequence.
+    List(Vec<Value>),
+    /// A record of named fields, in insertion order.
+    Record(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Build a record from field pairs.
+    pub fn record<I>(fields: I) -> Value
+    where
+        I: IntoIterator<Item = (&'static str, Value)>,
+    {
+        Value::Record(
+            fields
+                .into_iter()
+                .map(|(k, v)| (k.to_owned(), v))
+                .collect(),
+        )
+    }
+
+    /// Build a string value.
+    pub fn str(s: impl Into<String>) -> Value {
+        Value::Str(s.into())
+    }
+
+    /// Build a bytes value from anything `Bytes` can be built from.
+    pub fn bytes(b: impl Into<Bytes>) -> Value {
+        Value::Bytes(b.into())
+    }
+
+    /// Look up a record field by name.
+    pub fn field(&self, name: &str) -> Result<&Value> {
+        match self {
+            Value::Record(fields) => fields
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| v)
+                .ok_or_else(|| EdenError::BadParameter(format!("missing field `{name}`"))),
+            other => Err(EdenError::BadParameter(format!(
+                "expected record with field `{name}`, got {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// Look up an optional record field by name.
+    pub fn field_opt(&self, name: &str) -> Option<&Value> {
+        match self {
+            Value::Record(fields) => fields.iter().find(|(k, _)| k == name).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Interpret as an integer.
+    pub fn as_int(&self) -> Result<i64> {
+        match self {
+            Value::Int(i) => Ok(*i),
+            other => Err(other.type_error("int")),
+        }
+    }
+
+    /// Interpret as a boolean.
+    pub fn as_bool(&self) -> Result<bool> {
+        match self {
+            Value::Bool(b) => Ok(*b),
+            other => Err(other.type_error("bool")),
+        }
+    }
+
+    /// Interpret as a string slice.
+    pub fn as_str(&self) -> Result<&str> {
+        match self {
+            Value::Str(s) => Ok(s),
+            other => Err(other.type_error("str")),
+        }
+    }
+
+    /// Interpret as a byte string.
+    pub fn as_bytes(&self) -> Result<&Bytes> {
+        match self {
+            Value::Bytes(b) => Ok(b),
+            other => Err(other.type_error("bytes")),
+        }
+    }
+
+    /// Interpret as a UID.
+    pub fn as_uid(&self) -> Result<Uid> {
+        match self {
+            Value::Uid(u) => Ok(*u),
+            other => Err(other.type_error("uid")),
+        }
+    }
+
+    /// Interpret as a list.
+    pub fn as_list(&self) -> Result<&[Value]> {
+        match self {
+            Value::List(items) => Ok(items),
+            other => Err(other.type_error("list")),
+        }
+    }
+
+    /// Consume as a list.
+    pub fn into_list(self) -> Result<Vec<Value>> {
+        match self {
+            Value::List(items) => Ok(items),
+            other => Err(other.type_error("list")),
+        }
+    }
+
+    /// Consume as a string.
+    pub fn into_str(self) -> Result<String> {
+        match self {
+            Value::Str(s) => Ok(s),
+            other => Err(other.type_error("str")),
+        }
+    }
+
+    /// The name of this value's variant, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Unit => "unit",
+            Value::Bool(_) => "bool",
+            Value::Int(_) => "int",
+            Value::Str(_) => "str",
+            Value::Bytes(_) => "bytes",
+            Value::Uid(_) => "uid",
+            Value::List(_) => "list",
+            Value::Record(_) => "record",
+        }
+    }
+
+    /// An estimate of the payload size in bytes, used by the metrics layer
+    /// to account for data volume moved by invocations.
+    pub fn size_hint(&self) -> usize {
+        match self {
+            Value::Unit => 1,
+            Value::Bool(_) => 1,
+            Value::Int(_) => 8,
+            Value::Str(s) => s.len(),
+            Value::Bytes(b) => b.len(),
+            Value::Uid(_) => 16,
+            Value::List(items) => items.iter().map(Value::size_hint).sum::<usize>() + 4,
+            Value::Record(fields) => fields
+                .iter()
+                .map(|(k, v)| k.len() + v.size_hint())
+                .sum::<usize>()
+                .saturating_add(4),
+        }
+    }
+
+    fn type_error(&self, wanted: &str) -> EdenError {
+        EdenError::BadParameter(format!("expected {wanted}, got {}", self.kind()))
+    }
+}
+
+impl std::fmt::Display for Value {
+    /// Human-oriented rendering: top-level strings print bare (stream
+    /// lines look like lines); nested strings are quoted; records render
+    /// as `{k: v, ...}` and lists as `[a, b]`.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Value::Str(s) => f.write_str(s),
+            other => fmt_nested(other, f),
+        }
+    }
+}
+
+fn fmt_nested(v: &Value, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+    match v {
+        Value::Unit => f.write_str("()"),
+        Value::Bool(b) => write!(f, "{b}"),
+        Value::Int(i) => write!(f, "{i}"),
+        Value::Str(s) => write!(f, "{s:?}"),
+        Value::Bytes(b) => write!(f, "<{} bytes>", b.len()),
+        Value::Uid(u) => write!(f, "{u}"),
+        Value::List(items) => {
+            f.write_str("[")?;
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(", ")?;
+                }
+                fmt_nested(item, f)?;
+            }
+            f.write_str("]")
+        }
+        Value::Record(fields) => {
+            f.write_str("{")?;
+            for (i, (k, val)) in fields.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(", ")?;
+                }
+                write!(f, "{k}: ")?;
+                fmt_nested(val, f)?;
+            }
+            f.write_str("}")
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Str(s.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Str(s)
+    }
+}
+
+impl From<Uid> for Value {
+    fn from(u: Uid) -> Self {
+        Value::Uid(u)
+    }
+}
+
+impl From<Vec<Value>> for Value {
+    fn from(v: Vec<Value>) -> Self {
+        Value::List(v)
+    }
+}
+
+impl From<()> for Value {
+    fn from(_: ()) -> Self {
+        Value::Unit
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_field_lookup() {
+        let v = Value::record([("status", Value::from("more")), ("count", Value::from(3))]);
+        assert_eq!(v.field("status").unwrap().as_str().unwrap(), "more");
+        assert_eq!(v.field("count").unwrap().as_int().unwrap(), 3);
+        assert!(v.field("missing").is_err());
+        assert!(v.field_opt("missing").is_none());
+    }
+
+    #[test]
+    fn field_on_non_record_is_error() {
+        let err = Value::Int(1).field("x").unwrap_err();
+        assert!(matches!(err, EdenError::BadParameter(_)));
+    }
+
+    #[test]
+    fn accessors_enforce_types() {
+        assert_eq!(Value::from(7).as_int().unwrap(), 7);
+        assert!(Value::from(7).as_str().is_err());
+        assert!(Value::from("x").as_int().is_err());
+        assert!(Value::from(true).as_bool().unwrap());
+        let u = Uid::fresh();
+        assert_eq!(Value::from(u).as_uid().unwrap(), u);
+    }
+
+    #[test]
+    fn list_accessors() {
+        let v = Value::List(vec![Value::from(1), Value::from(2)]);
+        assert_eq!(v.as_list().unwrap().len(), 2);
+        assert_eq!(v.into_list().unwrap().len(), 2);
+        assert!(Value::Unit.into_list().is_err());
+    }
+
+    #[test]
+    fn size_hint_reflects_payload() {
+        assert_eq!(Value::str("hello").size_hint(), 5);
+        assert_eq!(Value::bytes(vec![0u8; 100]).size_hint(), 100);
+        let list = Value::List(vec![Value::str("ab"), Value::str("cd")]);
+        assert_eq!(list.size_hint(), 2 + 2 + 4);
+    }
+
+    #[test]
+    fn kind_names() {
+        assert_eq!(Value::Unit.kind(), "unit");
+        assert_eq!(Value::record([]).kind(), "record");
+    }
+
+    #[test]
+    fn display_renders_human_readably() {
+        assert_eq!(Value::str("a line").to_string(), "a line");
+        assert_eq!(Value::Int(7).to_string(), "7");
+        assert_eq!(Value::Unit.to_string(), "()");
+        assert_eq!(
+            Value::List(vec![Value::str("q"), Value::Int(2)]).to_string(),
+            "[\"q\", 2]"
+        );
+        assert_eq!(
+            Value::record([("n", Value::Int(1)), ("s", Value::str("x"))]).to_string(),
+            "{n: 1, s: \"x\"}"
+        );
+        assert_eq!(Value::bytes(vec![0u8; 3]).to_string(), "<3 bytes>");
+    }
+}

@@ -1,0 +1,51 @@
+//! Property tests for the wire codec: arbitrary values roundtrip, and
+//! arbitrary byte soup never panics the decoder.
+
+use bytes::Bytes;
+use eden_core::{wire, Uid, Value};
+use proptest::prelude::*;
+
+/// Strategy producing arbitrary `Value` trees of bounded depth and size.
+fn arb_value() -> impl Strategy<Value = Value> {
+    let leaf = prop_oneof![
+        Just(Value::Unit),
+        any::<bool>().prop_map(Value::Bool),
+        any::<i64>().prop_map(Value::Int),
+        ".{0,64}".prop_map(Value::Str),
+        proptest::collection::vec(any::<u8>(), 0..128)
+            .prop_map(|v| Value::Bytes(Bytes::from(v))),
+        Just(Value::Uid(Uid::fresh())),
+    ];
+    leaf.prop_recursive(4, 64, 8, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 0..8).prop_map(Value::List),
+            proptest::collection::vec(("[a-z]{1,8}", inner), 0..8)
+                .prop_map(Value::Record),
+        ]
+    })
+}
+
+proptest! {
+    #[test]
+    fn encode_decode_roundtrip(v in arb_value()) {
+        let encoded = wire::encode(&v);
+        let decoded = wire::decode(&encoded).expect("well-formed encoding must decode");
+        prop_assert_eq!(decoded, v);
+    }
+
+    #[test]
+    fn decoder_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        // Any outcome is fine; panicking is not.
+        let _ = wire::decode(&bytes);
+    }
+
+    #[test]
+    fn encoding_is_deterministic(v in arb_value()) {
+        prop_assert_eq!(wire::encode(&v), wire::encode(&v));
+    }
+
+    #[test]
+    fn size_hint_never_panics(v in arb_value()) {
+        let _ = v.size_hint();
+    }
+}

@@ -1,0 +1,95 @@
+//! The paginator from the paper's printing example (§4): "If a paginated
+//! listing were required, the printer server would be requested to read
+//! from the paginator, and the paginator to read from the file."
+
+use eden_core::Value;
+use eden_transput::{Emitter, Transform};
+
+/// Breaks a line stream into pages with headers and form feeds.
+pub struct Paginator {
+    title: String,
+    lines_per_page: usize,
+    page: u64,
+    line_on_page: usize,
+}
+
+/// The form-feed pseudo-line emitted between pages.
+pub const FORM_FEED: &str = "\u{c}";
+
+impl Paginator {
+    /// Pages of `lines_per_page` body lines, titled `title`.
+    pub fn new(title: impl Into<String>, lines_per_page: usize) -> Paginator {
+        Paginator {
+            title: title.into(),
+            lines_per_page: lines_per_page.max(1),
+            page: 0,
+            line_on_page: 0,
+        }
+    }
+
+    fn header(&mut self, out: &mut Emitter) {
+        self.page += 1;
+        out.emit(Value::Str(format!(
+            "--- {} --- page {} ---",
+            self.title, self.page
+        )));
+    }
+}
+
+impl Transform for Paginator {
+    fn push(&mut self, item: Value, out: &mut Emitter) {
+        if self.line_on_page == 0 {
+            if self.page > 0 {
+                out.emit(Value::str(FORM_FEED));
+            }
+            self.header(out);
+        }
+        out.emit(item);
+        self.line_on_page = (self.line_on_page + 1) % self.lines_per_page;
+    }
+    fn name(&self) -> &'static str {
+        "paginator"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eden_transput::transform::apply_offline;
+
+    #[test]
+    fn paginates_with_headers_and_feeds() {
+        let input: Vec<Value> = (1..=5).map(|i| Value::Str(format!("line {i}"))).collect();
+        let (out, _) = apply_offline(&mut Paginator::new("doc", 2), input);
+        let lines: Vec<&str> = out.iter().map(|v| v.as_str().unwrap()).collect();
+        assert_eq!(
+            lines,
+            vec![
+                "--- doc --- page 1 ---",
+                "line 1",
+                "line 2",
+                FORM_FEED,
+                "--- doc --- page 2 ---",
+                "line 3",
+                "line 4",
+                FORM_FEED,
+                "--- doc --- page 3 ---",
+                "line 5",
+            ]
+        );
+    }
+
+    #[test]
+    fn empty_input_emits_nothing() {
+        let (out, _) = apply_offline(&mut Paginator::new("doc", 10), vec![]);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn single_full_page_has_no_trailing_feed() {
+        let input: Vec<Value> = (0..3).map(Value::Int).collect();
+        let (out, _) = apply_offline(&mut Paginator::new("t", 3), input);
+        assert_eq!(out.len(), 4); // header + 3 lines
+        assert_eq!(out[0].as_str().unwrap(), "--- t --- page 1 ---");
+    }
+}

@@ -1,0 +1,369 @@
+//! Line-oriented text filters — the bread-and-butter utilities of §3.
+//!
+//! Every filter here is a pure [`Transform`] over `Value::Str` lines, so it
+//! can be mounted in any discipline. Non-string records pass through the
+//! text filters untouched (streams are homogeneous in practice, §6, but a
+//! filter must not panic on a stray record).
+
+use eden_core::Value;
+use eden_transput::{Emitter, Transform};
+
+use crate::pattern::Pattern;
+
+fn as_line(v: &Value) -> Option<&str> {
+    match v {
+        Value::Str(s) => Some(s),
+        _ => None,
+    }
+}
+
+/// §3's motivating example: "a program whose output is a copy of its input
+/// except that all lines beginning with 'C' have been omitted. Such a
+/// filter might be used to strip comment lines from a Fortran program."
+pub struct StripComments {
+    prefix: String,
+}
+
+impl StripComments {
+    /// Drop lines starting with `prefix`.
+    pub fn new(prefix: impl Into<String>) -> StripComments {
+        StripComments {
+            prefix: prefix.into(),
+        }
+    }
+
+    /// The Fortran configuration from the paper.
+    pub fn fortran() -> StripComments {
+        StripComments::new("C")
+    }
+}
+
+impl Transform for StripComments {
+    fn push(&mut self, item: Value, out: &mut Emitter) {
+        match as_line(&item) {
+            Some(line) if line.starts_with(&self.prefix) => {}
+            _ => out.emit(item),
+        }
+    }
+    fn name(&self) -> &'static str {
+        "strip-comments"
+    }
+}
+
+/// Keep (or delete) lines matching a glob pattern — the parameterised
+/// filter of §3.
+pub struct Grep {
+    pattern: Pattern,
+    keep_matches: bool,
+}
+
+impl Grep {
+    /// Keep only lines containing a match.
+    pub fn matching(pattern: &str) -> Grep {
+        Grep {
+            pattern: Pattern::compile(pattern),
+            keep_matches: true,
+        }
+    }
+
+    /// Delete lines containing a match (the paper's "deletes all lines
+    /// matching a pattern given as an argument").
+    pub fn deleting(pattern: &str) -> Grep {
+        Grep {
+            pattern: Pattern::compile(pattern),
+            keep_matches: false,
+        }
+    }
+}
+
+impl Transform for Grep {
+    fn push(&mut self, item: Value, out: &mut Emitter) {
+        let matched = as_line(&item)
+            .map(|l| self.pattern.contained_in(l))
+            .unwrap_or(false);
+        if matched == self.keep_matches {
+            out.emit(item);
+        }
+    }
+    fn name(&self) -> &'static str {
+        "grep"
+    }
+}
+
+/// Prefix each line with its (1-based) line number.
+pub struct LineNumber {
+    next: u64,
+}
+
+impl LineNumber {
+    /// Numbering starts at 1.
+    pub fn new() -> LineNumber {
+        LineNumber { next: 1 }
+    }
+}
+
+impl Default for LineNumber {
+    fn default() -> Self {
+        LineNumber::new()
+    }
+}
+
+impl Transform for LineNumber {
+    fn push(&mut self, item: Value, out: &mut Emitter) {
+        match as_line(&item) {
+            Some(line) => {
+                out.emit(Value::Str(format!("{:>6}  {line}", self.next)));
+                self.next += 1;
+            }
+            None => out.emit(item),
+        }
+    }
+    fn name(&self) -> &'static str {
+        "line-number"
+    }
+    fn state(&self) -> Option<Value> {
+        Some(Value::record([("next", Value::Int(self.next as i64))]))
+    }
+    fn restore(&mut self, state: &Value) -> eden_core::Result<()> {
+        self.next = state.field("next")?.as_int()?.max(1) as u64;
+        Ok(())
+    }
+}
+
+/// Case folding.
+pub struct CaseFold {
+    upper: bool,
+}
+
+impl CaseFold {
+    /// Uppercase every line.
+    pub fn upper() -> CaseFold {
+        CaseFold { upper: true }
+    }
+
+    /// Lowercase every line.
+    pub fn lower() -> CaseFold {
+        CaseFold { upper: false }
+    }
+}
+
+impl Transform for CaseFold {
+    fn push(&mut self, item: Value, out: &mut Emitter) {
+        match as_line(&item) {
+            Some(line) => out.emit(Value::Str(if self.upper {
+                line.to_uppercase()
+            } else {
+                line.to_lowercase()
+            })),
+            None => out.emit(item),
+        }
+    }
+    fn name(&self) -> &'static str {
+        "case-fold"
+    }
+}
+
+/// Replace tabs with spaces to the next `width`-column tab stop.
+pub struct ExpandTabs {
+    width: usize,
+}
+
+impl ExpandTabs {
+    /// Tab stops every `width` columns (at least 1).
+    pub fn new(width: usize) -> ExpandTabs {
+        ExpandTabs {
+            width: width.max(1),
+        }
+    }
+}
+
+impl Transform for ExpandTabs {
+    fn push(&mut self, item: Value, out: &mut Emitter) {
+        match as_line(&item) {
+            Some(line) => {
+                let mut expanded = String::with_capacity(line.len());
+                let mut col = 0usize;
+                for c in line.chars() {
+                    if c == '\t' {
+                        let pad = self.width - (col % self.width);
+                        expanded.extend(std::iter::repeat_n(' ', pad));
+                        col += pad;
+                    } else {
+                        expanded.push(c);
+                        col += 1;
+                    }
+                }
+                out.emit(Value::Str(expanded));
+            }
+            None => out.emit(item),
+        }
+    }
+    fn name(&self) -> &'static str {
+        "expand-tabs"
+    }
+}
+
+/// Pass only the first `n` records, like `head`.
+pub struct Head {
+    remaining: u64,
+}
+
+impl Head {
+    /// Keep the first `n` records.
+    pub fn new(n: u64) -> Head {
+        Head { remaining: n }
+    }
+}
+
+impl Transform for Head {
+    fn push(&mut self, item: Value, out: &mut Emitter) {
+        if self.remaining > 0 {
+            self.remaining -= 1;
+            out.emit(item);
+        }
+    }
+    fn name(&self) -> &'static str {
+        "head"
+    }
+    fn state(&self) -> Option<Value> {
+        Some(Value::record([(
+            "remaining",
+            Value::Int(self.remaining as i64),
+        )]))
+    }
+    fn restore(&mut self, state: &Value) -> eden_core::Result<()> {
+        self.remaining = state.field("remaining")?.as_int()?.max(0) as u64;
+        Ok(())
+    }
+}
+
+/// Pass only the last `n` records, like `tail` (buffers at most `n`).
+pub struct Tail {
+    n: usize,
+    window: std::collections::VecDeque<Value>,
+}
+
+impl Tail {
+    /// Keep the last `n` records.
+    pub fn new(n: usize) -> Tail {
+        Tail {
+            n,
+            window: std::collections::VecDeque::new(),
+        }
+    }
+}
+
+impl Transform for Tail {
+    fn push(&mut self, item: Value, _out: &mut Emitter) {
+        if self.n == 0 {
+            return;
+        }
+        if self.window.len() == self.n {
+            self.window.pop_front();
+        }
+        self.window.push_back(item);
+    }
+    fn flush(&mut self, out: &mut Emitter) {
+        for item in self.window.drain(..) {
+            out.emit(item);
+        }
+    }
+    fn name(&self) -> &'static str {
+        "tail"
+    }
+}
+
+/// Drop blank (empty or whitespace-only) lines.
+pub struct SqueezeBlank;
+
+impl Transform for SqueezeBlank {
+    fn push(&mut self, item: Value, out: &mut Emitter) {
+        match as_line(&item) {
+            Some(line) if line.trim().is_empty() => {}
+            _ => out.emit(item),
+        }
+    }
+    fn name(&self) -> &'static str {
+        "squeeze-blank"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eden_transput::transform::apply_offline;
+
+    fn lines(ls: &[&str]) -> Vec<Value> {
+        ls.iter().map(|l| Value::str(*l)).collect()
+    }
+
+    fn run(t: &mut dyn Transform, input: &[&str]) -> Vec<Value> {
+        apply_offline(t, lines(input)).0
+    }
+
+    #[test]
+    fn strip_comments_fortran() {
+        let out = run(
+            &mut StripComments::fortran(),
+            &["C this is a comment", "      X = 1", "C another", "      END"],
+        );
+        assert_eq!(out, lines(&["      X = 1", "      END"]));
+    }
+
+    #[test]
+    fn grep_keeps_and_deletes() {
+        let input = ["an error here", "all good", "error again"];
+        assert_eq!(
+            run(&mut Grep::matching("error"), &input),
+            lines(&["an error here", "error again"])
+        );
+        assert_eq!(run(&mut Grep::deleting("error"), &input), lines(&["all good"]));
+    }
+
+    #[test]
+    fn grep_with_glob() {
+        let out = run(&mut Grep::matching("e?ror"), &["eXror", "error", "eror"]);
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn line_numbering() {
+        let out = run(&mut LineNumber::new(), &["a", "b"]);
+        assert_eq!(out[0].as_str().unwrap(), "     1  a");
+        assert_eq!(out[1].as_str().unwrap(), "     2  b");
+    }
+
+    #[test]
+    fn case_folding() {
+        assert_eq!(run(&mut CaseFold::upper(), &["MiXeD"]), lines(&["MIXED"]));
+        assert_eq!(run(&mut CaseFold::lower(), &["MiXeD"]), lines(&["mixed"]));
+    }
+
+    #[test]
+    fn tabs_expand_to_stops() {
+        let out = run(&mut ExpandTabs::new(4), &["a\tb", "\tx"]);
+        assert_eq!(out, lines(&["a   b", "    x"]));
+    }
+
+    #[test]
+    fn head_and_tail() {
+        let input = ["1", "2", "3", "4", "5"];
+        assert_eq!(run(&mut Head::new(2), &input), lines(&["1", "2"]));
+        assert_eq!(run(&mut Tail::new(2), &input), lines(&["4", "5"]));
+        assert_eq!(run(&mut Tail::new(0), &input), lines(&[]));
+        assert_eq!(run(&mut Head::new(99), &input).len(), 5);
+    }
+
+    #[test]
+    fn squeeze_blank() {
+        let out = run(&mut SqueezeBlank, &["a", "", "  ", "b"]);
+        assert_eq!(out, lines(&["a", "b"]));
+    }
+
+    #[test]
+    fn non_string_records_pass_through() {
+        let mut g = Grep::deleting("x");
+        let (out, _) = apply_offline(&mut g, vec![Value::Int(7)]);
+        assert_eq!(out, vec![Value::Int(7)]);
+    }
+}

@@ -1,0 +1,135 @@
+//! Algebraic laws of the filter library, checked with proptest.
+
+use eden_core::Value;
+use eden_filters::{
+    CaseFold, Grep, Head, Pattern, RleDecode, RleEncode, SortLines, SqueezeBlank, StripComments,
+    Tail, Uniq,
+};
+use eden_transput::transform::{apply_offline, Transform};
+use proptest::prelude::*;
+
+fn lines_strategy() -> impl Strategy<Value = Vec<String>> {
+    proptest::collection::vec("[ -~]{0,30}", 0..40)
+}
+
+fn to_values(lines: &[String]) -> Vec<Value> {
+    lines.iter().map(|l| Value::str(l.clone())).collect()
+}
+
+fn primary(t: &mut dyn Transform, input: Vec<Value>) -> Vec<Value> {
+    apply_offline(t, input).0
+}
+
+proptest! {
+    #[test]
+    fn grep_is_idempotent(lines in lines_strategy(), pat in "[a-z]{1,4}") {
+        let once = primary(&mut Grep::matching(&pat), to_values(&lines));
+        let twice = primary(&mut Grep::matching(&pat), once.clone());
+        prop_assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn grep_keep_and_delete_partition(lines in lines_strategy(), pat in "[a-z]{1,4}") {
+        let kept = primary(&mut Grep::matching(&pat), to_values(&lines));
+        let deleted = primary(&mut Grep::deleting(&pat), to_values(&lines));
+        prop_assert_eq!(kept.len() + deleted.len(), lines.len());
+    }
+
+    #[test]
+    fn strip_comments_idempotent(lines in lines_strategy()) {
+        let once = primary(&mut StripComments::fortran(), to_values(&lines));
+        let twice = primary(&mut StripComments::fortran(), once.clone());
+        prop_assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn sort_output_is_sorted_permutation(lines in lines_strategy()) {
+        let out = primary(&mut SortLines::new(), to_values(&lines));
+        prop_assert_eq!(out.len(), lines.len());
+        let strs: Vec<&str> = out.iter().map(|v| v.as_str().unwrap()).collect();
+        prop_assert!(strs.windows(2).all(|w| w[0] <= w[1]));
+        let mut expected: Vec<String> = lines.clone();
+        expected.sort();
+        let got: Vec<String> = strs.iter().map(|s| s.to_string()).collect();
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn sort_is_idempotent(lines in lines_strategy()) {
+        let once = primary(&mut SortLines::new(), to_values(&lines));
+        let twice = primary(&mut SortLines::new(), once.clone());
+        prop_assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn uniq_never_adjacent_duplicates(lines in lines_strategy()) {
+        let out = primary(&mut Uniq::new(), to_values(&lines));
+        prop_assert!(out.windows(2).all(|w| w[0] != w[1]));
+    }
+
+    #[test]
+    fn rle_roundtrips(lines in proptest::collection::vec("[ab]{0,2}", 0..60)) {
+        // Small alphabet to force runs.
+        let input = to_values(&lines);
+        let encoded = primary(&mut RleEncode::new(), input.clone());
+        let decoded = primary(&mut RleDecode::new(), encoded.clone());
+        prop_assert_eq!(decoded, input.clone());
+        // Encoding never lengthens a stream (runs only shrink it).
+        prop_assert!(encoded.len() <= input.len().max(1));
+    }
+
+    #[test]
+    fn head_tail_bounds(lines in lines_strategy(), n in 0u64..10) {
+        let head = primary(&mut Head::new(n), to_values(&lines));
+        prop_assert!(head.len() <= n as usize);
+        prop_assert_eq!(head.len(), (n as usize).min(lines.len()));
+        let tail = primary(&mut Tail::new(n as usize), to_values(&lines));
+        prop_assert_eq!(tail.len(), (n as usize).min(lines.len()));
+    }
+
+    #[test]
+    fn head_is_prefix_tail_is_suffix(lines in lines_strategy(), n in 0u64..10) {
+        let input = to_values(&lines);
+        let head = primary(&mut Head::new(n), input.clone());
+        prop_assert_eq!(&input[..head.len()], head.as_slice());
+        let tail = primary(&mut Tail::new(n as usize), input.clone());
+        prop_assert_eq!(&input[input.len() - tail.len()..], tail.as_slice());
+    }
+
+    #[test]
+    fn case_fold_round_stability(lines in lines_strategy()) {
+        // upper then upper == upper (idempotence of each fold).
+        let up = primary(&mut CaseFold::upper(), to_values(&lines));
+        let up2 = primary(&mut CaseFold::upper(), up.clone());
+        prop_assert_eq!(up, up2);
+    }
+
+    #[test]
+    fn squeeze_blank_removes_all_blanks(lines in lines_strategy()) {
+        let out = primary(&mut SqueezeBlank, to_values(&lines));
+        prop_assert!(out.iter().all(|v| !v.as_str().unwrap().trim().is_empty()));
+    }
+
+    #[test]
+    fn pattern_literal_matches_itself(s in "[a-zA-Z0-9 ]{0,20}") {
+        prop_assert!(Pattern::compile(&s).matches(&s));
+    }
+
+    #[test]
+    fn pattern_star_prefix_suffix(s in "[a-z]{1,10}") {
+        let (head, tail) = s.split_at(s.len() / 2);
+        let prefix_pat = format!("{head}*");
+        let suffix_pat = format!("*{tail}");
+        let wrapped = format!("xx{s}yy");
+        prop_assert!(Pattern::compile(&prefix_pat).matches(&s));
+        prop_assert!(Pattern::compile(&suffix_pat).matches(&s));
+        prop_assert!(Pattern::compile(&s).contained_in(&wrapped));
+    }
+
+    #[test]
+    fn pattern_never_panics(pat in ".{0,20}", text in ".{0,40}") {
+        let p = Pattern::compile(&pat);
+        let _ = p.matches(&text);
+        let _ = p.contained_in(&text);
+    }
+}

@@ -1,0 +1,195 @@
+//! Model-based tests: the directory Eject against a `BTreeMap`, and the
+//! map-file Eject against a `Vec` — random operation sequences must agree
+//! with the obvious reference model at every step.
+
+use std::collections::BTreeMap;
+
+use eden_core::op::ops;
+use eden_core::{Uid, Value};
+use eden_fs::{mapfile, DirectoryEject, MapFileEject};
+use eden_kernel::Kernel;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum DirOp {
+    Add(u8),
+    Delete(u8),
+    Lookup(u8),
+    Count,
+}
+
+fn dir_ops() -> impl Strategy<Value = Vec<DirOp>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (0u8..12).prop_map(DirOp::Add),
+            (0u8..12).prop_map(DirOp::Delete),
+            (0u8..12).prop_map(DirOp::Lookup),
+            Just(DirOp::Count),
+        ],
+        1..50,
+    )
+}
+
+fn name_of(k: u8) -> String {
+    format!("name-{k}")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn directory_agrees_with_btreemap(ops in dir_ops()) {
+        let kernel = Kernel::new();
+        let dir = kernel.spawn(Box::new(DirectoryEject::new())).expect("spawn");
+        let mut model: BTreeMap<String, Uid> = BTreeMap::new();
+        for op in ops {
+            match op {
+                DirOp::Add(k) => {
+                    let name = name_of(k);
+                    let uid = Uid::fresh();
+                    let got = kernel.invoke_sync(
+                        dir,
+                        ops::ADD_ENTRY,
+                        Value::record([("name", Value::str(name.clone())), ("uid", Value::Uid(uid))]),
+                    );
+                    if let std::collections::btree_map::Entry::Vacant(slot) = model.entry(name)
+                    {
+                        prop_assert!(got.is_ok());
+                        slot.insert(uid);
+                    } else {
+                        prop_assert!(got.is_err(), "duplicate add must fail");
+                    }
+                }
+                DirOp::Delete(k) => {
+                    let name = name_of(k);
+                    let got = kernel.invoke_sync(
+                        dir,
+                        ops::DELETE_ENTRY,
+                        Value::record([("name", Value::str(name.clone()))]),
+                    );
+                    prop_assert_eq!(got.is_ok(), model.remove(&name).is_some());
+                }
+                DirOp::Lookup(k) => {
+                    let name = name_of(k);
+                    let got = kernel.invoke_sync(
+                        dir,
+                        ops::LOOKUP,
+                        Value::record([("name", Value::str(name.clone()))]),
+                    );
+                    match model.get(&name) {
+                        Some(uid) => prop_assert_eq!(got.expect("hit").as_uid().expect("uid"), *uid),
+                        None => prop_assert!(got.is_err()),
+                    }
+                }
+                DirOp::Count => {
+                    let got = kernel.invoke_sync(dir, "Count", Value::Unit).expect("count");
+                    prop_assert_eq!(got, Value::Int(model.len() as i64));
+                }
+            }
+        }
+        // Final listing matches the model's sorted names.
+        let count = kernel.invoke_sync(dir, ops::LIST, Value::Unit).expect("list");
+        prop_assert_eq!(count, Value::Int(model.len() as i64));
+        kernel.shutdown();
+    }
+}
+
+#[derive(Debug, Clone)]
+enum MapOp {
+    ReadAt { index: u8, count: u8 },
+    WriteAt { index: u8, len: u8 },
+    Size,
+}
+
+fn map_ops() -> impl Strategy<Value = Vec<MapOp>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (0u8..20, 0u8..6).prop_map(|(index, count)| MapOp::ReadAt { index, count }),
+            (0u8..20, 1u8..6).prop_map(|(index, len)| MapOp::WriteAt { index, len }),
+            Just(MapOp::Size),
+        ],
+        1..50,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn mapfile_agrees_with_vec(ops in map_ops()) {
+        let kernel = Kernel::new();
+        let file = kernel.spawn(Box::new(MapFileEject::new())).expect("spawn");
+        let mut model: Vec<Value> = Vec::new();
+        let mut next_mark: i64 = 0;
+        for op in ops {
+            match op {
+                MapOp::ReadAt { index, count } => {
+                    let got = kernel.invoke_sync(
+                        file,
+                        "ReadAt",
+                        mapfile::read_at_arg(index as i64, count as i64),
+                    );
+                    let start = index as usize;
+                    if start > model.len() {
+                        prop_assert!(got.is_err());
+                    } else {
+                        let end = (start + count as usize).min(model.len());
+                        let read = got.expect("read");
+                        prop_assert_eq!(read.as_list().expect("list"), &model[start..end]);
+                    }
+                }
+                MapOp::WriteAt { index, len } => {
+                    let items: Vec<Value> = (0..len as i64)
+                        .map(|i| Value::Int(next_mark + i))
+                        .collect();
+                    next_mark += len as i64;
+                    let got = kernel.invoke_sync(
+                        file,
+                        "WriteAt",
+                        mapfile::write_at_arg(index as i64, items.clone()),
+                    );
+                    let start = index as usize;
+                    if start > model.len() {
+                        prop_assert!(got.is_err());
+                    } else {
+                        prop_assert!(got.is_ok());
+                        let end = start + items.len();
+                        if end > model.len() {
+                            model.resize(end, Value::Unit);
+                        }
+                        model[start..end].clone_from_slice(&items);
+                    }
+                }
+                MapOp::Size => {
+                    let got = kernel.invoke_sync(file, "Size", Value::Unit).expect("size");
+                    prop_assert_eq!(got, Value::Int(model.len() as i64));
+                }
+            }
+        }
+        // And the stream view agrees with the final model state.
+        let reader = kernel
+            .invoke_sync(file, ops::OPEN, Value::Unit)
+            .expect("open")
+            .as_uid()
+            .expect("uid");
+        let mut streamed = Vec::new();
+        loop {
+            let batch = eden_transput::protocol::Batch::from_value(
+                kernel
+                    .invoke_sync(
+                        reader,
+                        ops::TRANSFER,
+                        eden_transput::protocol::TransferRequest::primary(7).to_value(),
+                    )
+                    .expect("transfer"),
+            )
+            .expect("batch");
+            streamed.extend(batch.items);
+            if batch.end {
+                break;
+            }
+        }
+        prop_assert_eq!(streamed, model);
+        kernel.shutdown();
+    }
+}

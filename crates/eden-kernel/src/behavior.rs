@@ -1,0 +1,63 @@
+//! The Eject behaviour trait: "a fixed piece of code that defines the set
+//! of invocations to which the Eject will respond" (§1).
+
+use eden_core::Value;
+
+use crate::context::EjectContext;
+use crate::invocation::{Invocation, ReplyHandle};
+
+/// The type-code of an Eject.
+///
+/// An implementation defines the abstract machine of §2: "the inputs are the
+/// invocations it receives, and the outputs are the replies to those
+/// invocations". The kernel runs each behaviour on a dedicated coordinator
+/// thread and dispatches one envelope at a time, so `&mut self` methods need
+/// no internal locking.
+///
+/// Three invocations are handled by the runtime itself and never reach
+/// [`handle`](EjectBehavior::handle): `Checkpoint` (serialises
+/// [`passive_representation`](EjectBehavior::passive_representation) to the
+/// stable store), `Deactivate` (stops the coordinator; the Eject survives as
+/// its passive representation if it ever checkpointed, and otherwise
+/// disappears — exactly the fate of the paper's bootstrap `UnixFile`
+/// Ejects), and `Describe` (replies with
+/// [`type_name`](EjectBehavior::type_name)).
+pub trait EjectBehavior: Send + 'static {
+    /// The Eden type name of this behaviour. Used by `Describe` and by the
+    /// type registry for reactivation.
+    fn type_name(&self) -> &'static str;
+
+    /// Called once when the Eject starts running — both on first spawn and
+    /// on reactivation from a passive representation. "When an Eject is
+    /// activated by the kernel it will normally attempt to put its internal
+    /// data structures into a consistent state" (§1).
+    fn activate(&mut self, ctx: &EjectContext) {
+        let _ = ctx;
+    }
+
+    /// Handle one invocation. Reply inline via `reply.reply(..)`, or park
+    /// the handle for a deferred reply (passive output).
+    fn handle(&mut self, ctx: &EjectContext, inv: Invocation, reply: ReplyHandle);
+
+    /// Handle an internal event posted by one of this Eject's worker
+    /// processes (or by the coordinator to itself). Internal events model
+    /// the paper's language-level interprocess communication within an
+    /// Eject.
+    fn internal(&mut self, ctx: &EjectContext, event: Value) {
+        let _ = (ctx, event);
+    }
+
+    /// The state to write to stable storage on `Checkpoint`. Returning
+    /// `None` means this Eject does not checkpoint (and therefore vanishes
+    /// on crash or deactivation).
+    fn passive_representation(&self) -> Option<Value> {
+        None
+    }
+
+    /// Called when the coordinator is about to stop (deactivation, crash
+    /// envelope, or kernel shutdown). Behaviours that own worker processes
+    /// should unblock them here; the coordinator joins workers afterwards.
+    fn deactivating(&mut self, ctx: &EjectContext) {
+        let _ = ctx;
+    }
+}

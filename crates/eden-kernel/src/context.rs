@@ -1,0 +1,247 @@
+//! The execution context handed to Eject behaviours and their worker
+//! processes.
+//!
+//! "Each Eject is provided with multiple processes, of which some may be
+//! waiting for incoming invocations, some may be waiting for replies to
+//! invocations, and some may be running" (§1). In this reproduction the
+//! coordinator process is supplied by the kernel (one thread per Eject) and
+//! behaviours may spawn additional worker processes through
+//! [`EjectContext::spawn_process`]. Workers communicate with the coordinator
+//! by posting internal events, which are metered separately from invocations
+//! — that distinction is the heart of the paper's cost argument.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crossbeam::channel::Sender;
+use eden_core::{wire, EdenError, Metrics, OpName, Result, Uid, Value};
+use parking_lot::Mutex;
+
+use crate::invocation::{PendingReply, DEFAULT_REPLY_TIMEOUT};
+use crate::kernel::{NodeId, WeakKernel};
+use crate::runtime::Envelope;
+
+/// Context available to an Eject's coordinator (the `&mut self` methods of
+/// its behaviour).
+pub struct EjectContext {
+    pub(crate) uid: Uid,
+    pub(crate) node: NodeId,
+    pub(crate) type_name: &'static str,
+    pub(crate) kernel: WeakKernel,
+    pub(crate) mailbox: Sender<Envelope>,
+    pub(crate) metrics: Metrics,
+    pub(crate) stop: Arc<AtomicBool>,
+    pub(crate) deactivate: AtomicBool,
+    pub(crate) workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl EjectContext {
+    /// This Eject's UID.
+    pub fn uid(&self) -> Uid {
+        self.uid
+    }
+
+    /// The simulated node this Eject is placed on.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// The global metrics counters.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// A kernel handle, if the kernel is still alive. Behaviours use this
+    /// to spawn sibling Ejects (e.g. a file minting a reader stream).
+    pub fn kernel(&self) -> Option<crate::kernel::Kernel> {
+        self.kernel.upgrade()
+    }
+
+    /// Send an invocation without suspending (returns a [`PendingReply`]).
+    pub fn invoke(&self, target: Uid, op: impl Into<OpName>, arg: Value) -> PendingReply {
+        match self.kernel.upgrade() {
+            Some(kernel) => kernel.invoke_from(self.node, target, op.into(), arg),
+            None => PendingReply::ready(Err(EdenError::KernelShutdown)),
+        }
+    }
+
+    /// Send an invocation and wait for the reply (with the default
+    /// deadline).
+    pub fn invoke_sync(&self, target: Uid, op: impl Into<OpName>, arg: Value) -> Result<Value> {
+        self.invoke(target, op, arg).wait()
+    }
+
+    /// Post an internal event back to this Eject's own coordinator. The
+    /// event arrives via [`EjectBehavior::internal`].
+    ///
+    /// [`EjectBehavior::internal`]: crate::behavior::EjectBehavior::internal
+    pub fn post_internal(&self, event: Value) -> Result<()> {
+        self.internal_sender().send(event)
+    }
+
+    /// A cloneable handle that worker processes use to post internal events
+    /// to this Eject's coordinator.
+    pub fn internal_sender(&self) -> InternalSender {
+        InternalSender {
+            tx: self.mailbox.clone(),
+            metrics: self.metrics.clone(),
+        }
+    }
+
+    /// Spawn a worker process belonging to this Eject.
+    ///
+    /// The worker runs until its closure returns; it should poll
+    /// [`ProcessContext::should_stop`] (or rely on its channels
+    /// disconnecting) so that deactivation does not hang. The coordinator
+    /// joins all workers when the Eject stops.
+    pub fn spawn_process<F>(&self, name: &str, body: F)
+    where
+        F: FnOnce(ProcessContext) + Send + 'static,
+    {
+        let pctx = ProcessContext {
+            eject: self.uid,
+            node: self.node,
+            kernel: self.kernel.clone(),
+            internal: self.internal_sender(),
+            stop: Arc::clone(&self.stop),
+        };
+        let handle = std::thread::Builder::new()
+            .name(format!("{}:{}", self.uid, name))
+            .spawn(move || body(pctx))
+            .expect("spawning a worker thread failed");
+        self.workers.lock().push(handle);
+    }
+
+    /// Write `representation` to stable storage as this Eject's passive
+    /// representation ("the checkpoint primitive is the only mechanism
+    /// provided by the Eden kernel whereby an Eject may access stable
+    /// storage", §1).
+    pub fn checkpoint(&self, representation: &Value) -> Result<()> {
+        let kernel = self.kernel.upgrade().ok_or(EdenError::KernelShutdown)?;
+        kernel.store_checkpoint(self.uid, self.type_name, wire::encode(representation));
+        self.metrics.record_checkpoint();
+        Ok(())
+    }
+
+    /// Request that this Eject deactivate once the current envelope has
+    /// been handled. If it has checkpointed it survives as its passive
+    /// representation; otherwise it disappears.
+    pub fn request_deactivate(&self) {
+        self.deactivate.store(true, Ordering::Release);
+    }
+
+    pub(crate) fn deactivate_requested(&self) -> bool {
+        self.deactivate.load(Ordering::Acquire)
+    }
+
+    pub(crate) fn begin_stop(&self) {
+        self.stop.store(true, Ordering::Release);
+    }
+
+    pub(crate) fn join_workers(&self) {
+        let handles: Vec<JoinHandle<()>> = std::mem::take(&mut *self.workers.lock());
+        for handle in handles {
+            // A worker that panicked already printed its message; the
+            // coordinator should still reap the rest.
+            let _ = handle.join();
+        }
+    }
+}
+
+/// A cloneable sender for intra-Eject (language-level) messages.
+#[derive(Clone)]
+pub struct InternalSender {
+    tx: Sender<Envelope>,
+    metrics: Metrics,
+}
+
+impl InternalSender {
+    /// Post an internal event to the owning Eject's coordinator.
+    pub fn send(&self, event: Value) -> Result<()> {
+        self.metrics.record_internal_message();
+        self.tx
+            .send(Envelope::Internal(event))
+            .map_err(|_| EdenError::KernelShutdown)
+    }
+}
+
+/// Context available to a worker process spawned with
+/// [`EjectContext::spawn_process`].
+pub struct ProcessContext {
+    eject: Uid,
+    node: NodeId,
+    kernel: WeakKernel,
+    internal: InternalSender,
+    stop: Arc<AtomicBool>,
+}
+
+impl ProcessContext {
+    /// The UID of the Eject this process belongs to.
+    pub fn eject(&self) -> Uid {
+        self.eject
+    }
+
+    /// Send an invocation on behalf of the owning Eject.
+    pub fn invoke(&self, target: Uid, op: impl Into<OpName>, arg: Value) -> PendingReply {
+        match self.kernel.upgrade() {
+            Some(kernel) => kernel.invoke_from(self.node, target, op.into(), arg),
+            None => PendingReply::ready(Err(EdenError::KernelShutdown)),
+        }
+    }
+
+    /// Send an invocation and wait for the reply.
+    pub fn invoke_sync(&self, target: Uid, op: impl Into<OpName>, arg: Value) -> Result<Value> {
+        self.invoke(target, op, arg).wait()
+    }
+
+    /// As [`invoke_sync`](Self::invoke_sync) but with an explicit deadline.
+    pub fn invoke_sync_timeout(
+        &self,
+        target: Uid,
+        op: impl Into<OpName>,
+        arg: Value,
+        deadline: Duration,
+    ) -> Result<Value> {
+        self.invoke(target, op, arg).wait_timeout(deadline)
+    }
+
+    /// Post an internal event to the owning Eject's coordinator.
+    pub fn post_internal(&self, event: Value) -> Result<()> {
+        self.internal.send(event)
+    }
+
+    /// Wait for a reply, but give up promptly if the Eject starts stopping.
+    ///
+    /// Long-running workers must use this (or poll
+    /// [`should_stop`](Self::should_stop) themselves) so that deactivation
+    /// and shutdown do not stall behind a reply that will never come.
+    pub fn wait_or_stop(&self, mut pending: PendingReply) -> Result<Value> {
+        let poll = Duration::from_millis(25);
+        let mut waited = Duration::ZERO;
+        loop {
+            if let Some(result) = pending.poll_timeout(poll) {
+                return result;
+            }
+            if self.should_stop() {
+                return Err(EdenError::KernelShutdown);
+            }
+            waited += poll;
+            if waited >= DEFAULT_REPLY_TIMEOUT {
+                return Err(EdenError::Timeout);
+            }
+        }
+    }
+
+    /// True once the Eject is stopping; long-running workers must exit.
+    pub fn should_stop(&self) -> bool {
+        self.stop.load(Ordering::Acquire)
+    }
+
+    /// The default reply deadline, exposed for workers that implement their
+    /// own wait loops.
+    pub fn default_timeout(&self) -> Duration {
+        DEFAULT_REPLY_TIMEOUT
+    }
+}

@@ -1,0 +1,257 @@
+//! Invocations and replies.
+//!
+//! "An invocation is a request to perform some named operation, and may be
+//! thought of as a kind of remote procedure call" (§1). Two properties of
+//! Eden invocation shape this module:
+//!
+//! 1. **Sending does not suspend the sender** — so [`PendingReply`] is a
+//!    handle the sender may hold while doing other work (or wait on
+//!    immediately, recovering synchronous RPC).
+//! 2. **Replies are first-class on the receiving side** — an Eject may park
+//!    a [`ReplyHandle`] and reply long after the handling code returned.
+//!    This "deferred reply" is precisely the paper's *passive output*: a
+//!    source sits on outstanding `Read` invocations ("a partial vacuum, in
+//!    the form of outstanding read invocations") and answers them when data
+//!    becomes available.
+//!
+//! The invoker's identity is deliberately absent from [`Invocation`]: §5 of
+//! the paper argues that "the effect of a particular invocation ought to
+//! depend only on its parameters, and not on the identity of the invoker",
+//! since consulting the sender would prohibit dynamic redirection.
+
+use std::time::Duration;
+
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
+use eden_core::{EdenError, Metrics, OpName, Result, Uid, Value};
+
+/// The default deadline used by synchronous waits. Generous enough that it
+/// only fires on genuine deadlock or teardown, not on slow machines.
+pub const DEFAULT_REPLY_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// A request to perform a named operation with a parameter value.
+#[derive(Debug, Clone)]
+pub struct Invocation {
+    /// The operation name.
+    pub op: OpName,
+    /// The operation parameter (often a record).
+    pub arg: Value,
+}
+
+impl Invocation {
+    /// Build an invocation.
+    pub fn new(op: impl Into<OpName>, arg: Value) -> Self {
+        Invocation {
+            op: op.into(),
+            arg,
+        }
+    }
+}
+
+/// The replying half of an invocation. Consumed by [`ReplyHandle::reply`].
+///
+/// If the handle is dropped without replying — the Eject crashed, was shut
+/// down, or simply forgot — the waiting party receives
+/// [`EdenError::EjectCrashed`] rather than hanging.
+#[derive(Debug)]
+pub struct ReplyHandle {
+    tx: Option<Sender<Result<Value>>>,
+    responder: Uid,
+    metrics: Metrics,
+}
+
+impl ReplyHandle {
+    /// Deliver the reply, consuming the handle.
+    pub fn reply(mut self, result: Result<Value>) {
+        if let Some(tx) = self.tx.take() {
+            let bytes = match &result {
+                Ok(v) => v.size_hint(),
+                Err(_) => 0,
+            };
+            self.metrics.record_reply(bytes);
+            // The waiter may have given up (timeout); that is not an error
+            // on the replying side.
+            let _ = tx.send(result);
+        }
+    }
+
+    /// Note that this reply is being parked for later (metrics only).
+    ///
+    /// Call this when storing the handle instead of replying inline; it lets
+    /// the experiments count how much passive output is in flight.
+    pub fn mark_deferred(&self) {
+        self.metrics.record_deferred_reply();
+    }
+
+    /// The UID of the Eject this handle belongs to (the responder).
+    pub fn responder(&self) -> Uid {
+        self.responder
+    }
+}
+
+impl Drop for ReplyHandle {
+    fn drop(&mut self) {
+        if let Some(tx) = self.tx.take() {
+            let _ = tx.send(Err(EdenError::EjectCrashed(self.responder)));
+        }
+    }
+}
+
+/// The waiting half of an invocation.
+///
+/// Holding a `PendingReply` costs nothing; the sender is free to perform
+/// other work ("the sending of an invocation does not suspend the execution
+/// of the sending Eject", §1).
+#[derive(Debug)]
+pub enum PendingReply {
+    /// The reply will arrive on this channel.
+    Waiting(Receiver<Result<Value>>),
+    /// The outcome was known at send time (e.g. no such Eject).
+    Ready(Option<Result<Value>>),
+}
+
+impl PendingReply {
+    /// A reply that is already resolved.
+    pub fn ready(result: Result<Value>) -> Self {
+        PendingReply::Ready(Some(result))
+    }
+
+    /// Block until the reply arrives, with the default deadline.
+    pub fn wait(self) -> Result<Value> {
+        self.wait_timeout(DEFAULT_REPLY_TIMEOUT)
+    }
+
+    /// Block until the reply arrives or `deadline` elapses.
+    pub fn wait_timeout(self, deadline: Duration) -> Result<Value> {
+        match self {
+            PendingReply::Ready(mut r) => r.take().unwrap_or(Err(EdenError::Timeout)),
+            PendingReply::Waiting(rx) => match rx.recv_timeout(deadline) {
+                Ok(result) => result,
+                Err(RecvTimeoutError::Timeout) => Err(EdenError::Timeout),
+                // Sender dropped without replying and without the Drop
+                // impl running (only possible on panic mid-reply).
+                Err(RecvTimeoutError::Disconnected) => Err(EdenError::KernelShutdown),
+            },
+        }
+    }
+
+    /// Wait up to `deadline` without consuming the handle. Returns `None`
+    /// if the reply has not arrived yet; after `Some` is returned once,
+    /// further polls yield `Timeout`.
+    ///
+    /// This is the building block for stop-aware waits: poll with a short
+    /// deadline and check a stop flag between polls.
+    pub fn poll_timeout(&mut self, deadline: Duration) -> Option<Result<Value>> {
+        match self {
+            PendingReply::Ready(r) => Some(r.take().unwrap_or(Err(EdenError::Timeout))),
+            PendingReply::Waiting(rx) => match rx.recv_timeout(deadline) {
+                Ok(result) => Some(result),
+                Err(RecvTimeoutError::Timeout) => None,
+                Err(RecvTimeoutError::Disconnected) => Some(Err(EdenError::KernelShutdown)),
+            },
+        }
+    }
+
+    /// Check for the reply without blocking. Returns `self` back if the
+    /// reply has not arrived yet.
+    pub fn try_wait(self) -> std::result::Result<Result<Value>, PendingReply> {
+        match self {
+            PendingReply::Ready(mut r) => Ok(r.take().unwrap_or(Err(EdenError::Timeout))),
+            PendingReply::Waiting(rx) => match rx.try_recv() {
+                Ok(result) => Ok(result),
+                Err(crossbeam::channel::TryRecvError::Empty) => {
+                    Err(PendingReply::Waiting(rx))
+                }
+                Err(crossbeam::channel::TryRecvError::Disconnected) => {
+                    Ok(Err(EdenError::KernelShutdown))
+                }
+            },
+        }
+    }
+}
+
+/// Create a connected reply pair for an invocation of `responder`.
+pub fn reply_pair(responder: Uid, metrics: Metrics) -> (ReplyHandle, PendingReply) {
+    let (tx, rx) = bounded(1);
+    (
+        ReplyHandle {
+            tx: Some(tx),
+            responder,
+            metrics,
+        },
+        PendingReply::Waiting(rx),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reply_roundtrip() {
+        let m = Metrics::new();
+        let (h, p) = reply_pair(Uid::fresh(), m.clone());
+        h.reply(Ok(Value::from(42)));
+        assert_eq!(p.wait().unwrap(), Value::Int(42));
+        assert_eq!(m.snapshot().replies, 1);
+    }
+
+    #[test]
+    fn dropped_handle_yields_crash_error() {
+        let u = Uid::fresh();
+        let (h, p) = reply_pair(u, Metrics::new());
+        drop(h);
+        assert_eq!(p.wait().unwrap_err(), EdenError::EjectCrashed(u));
+    }
+
+    #[test]
+    fn deferred_reply_from_another_thread() {
+        let m = Metrics::new();
+        let (h, p) = reply_pair(Uid::fresh(), m.clone());
+        h.mark_deferred();
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            h.reply(Ok(Value::str("late")));
+        });
+        assert_eq!(p.wait().unwrap().as_str().unwrap(), "late");
+        t.join().unwrap();
+        assert_eq!(m.snapshot().deferred_replies, 1);
+    }
+
+    #[test]
+    fn wait_timeout_fires() {
+        let (_h, p) = reply_pair(Uid::fresh(), Metrics::new());
+        assert_eq!(
+            p.wait_timeout(Duration::from_millis(10)).unwrap_err(),
+            EdenError::Timeout
+        );
+    }
+
+    #[test]
+    fn try_wait_returns_pending_then_value() {
+        let (h, p) = reply_pair(Uid::fresh(), Metrics::new());
+        let p = match p.try_wait() {
+            Err(pending) => pending,
+            Ok(_) => panic!("reply should not be ready yet"),
+        };
+        h.reply(Ok(Value::Unit));
+        match p.try_wait() {
+            Ok(result) => assert_eq!(result.unwrap(), Value::Unit),
+            Err(_) => panic!("reply should be ready"),
+        }
+    }
+
+    #[test]
+    fn ready_reply_resolves_immediately() {
+        let p = PendingReply::ready(Ok(Value::from(1)));
+        assert_eq!(p.wait().unwrap(), Value::Int(1));
+    }
+
+    #[test]
+    fn error_replies_carry_no_bytes() {
+        let m = Metrics::new();
+        let (h, p) = reply_pair(Uid::fresh(), m.clone());
+        h.reply(Err(EdenError::EndOfStream));
+        assert_eq!(p.wait().unwrap_err(), EdenError::EndOfStream);
+        assert_eq!(m.snapshot().bytes_replied, 0);
+    }
+}

@@ -1,0 +1,585 @@
+//! The Eden kernel: Eject registry, invocation routing, activation and
+//! crash/recovery.
+//!
+//! The real Eden kernel ran on several VAXen and routed invocations over a
+//! 10 Mbit Ethernet; this reproduction runs every Eject as a thread in one
+//! process and models distribution with [`NodeId`] placement, a remote
+//! invocation counter, and optional injected latency. The observable
+//! semantics the paper relies on are preserved:
+//!
+//! * invocation is location independent — callers name a [`Uid`], never a
+//!   machine;
+//! * "if a passive eject is sent an invocation, the Eden kernel will
+//!   activate it" (§1) — see [`Kernel::register_type`];
+//! * checkpointed state survives crashes; an Eject that never checkpointed
+//!   disappears when it deactivates or crashes (the fate of §7's `UnixFile`
+//!   Ejects).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Weak};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crossbeam::channel::{unbounded, Sender};
+use eden_core::{wire, EdenError, Metrics, OpName, Result, Uid, Value};
+use parking_lot::Mutex;
+
+use crate::behavior::EjectBehavior;
+use crate::context::EjectContext;
+use crate::invocation::{reply_pair, Invocation, PendingReply};
+use crate::runtime::{run_coordinator, Envelope};
+use crate::stable::StableStore;
+
+/// A simulated machine. Ejects placed on different nodes pay the remote
+/// invocation surcharge in the cost model (and optional injected latency).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct NodeId(pub u16);
+
+/// Construction-time options for a [`Kernel`].
+#[derive(Debug, Clone, Default)]
+pub struct KernelConfig {
+    /// Real latency added to every cross-node invocation (send side).
+    pub remote_latency: Option<Duration>,
+    /// Real latency added to every invocation, local or remote.
+    pub invocation_latency: Option<Duration>,
+    /// Keep a ring of the last N kernel events (invocations, activations,
+    /// stops) readable via [`Kernel::trace_events`]. 0 disables tracing.
+    pub trace_capacity: usize,
+}
+
+/// A reactivation constructor: turns a decoded passive representation back
+/// into a running behaviour.
+pub type TypeFactory =
+    Arc<dyn Fn(Option<Value>) -> Result<Box<dyn EjectBehavior>> + Send + Sync>;
+
+/// Whether a UID currently names a running coordinator or a passive
+/// representation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EjectState {
+    /// The Eject has a running coordinator thread.
+    Active,
+    /// The Eject exists only as its passive representation; the next
+    /// invocation will reactivate it.
+    Passive,
+}
+
+enum Entry {
+    Active {
+        tx: Sender<Envelope>,
+        join: Option<JoinHandle<()>>,
+        /// Increments on every (re)activation, so an exiting incarnation
+        /// cannot demote a successor that reused its UID.
+        incarnation: u64,
+        type_name: &'static str,
+    },
+    Passive {
+        type_name: String,
+    },
+}
+
+/// One row of [`Kernel::list_ejects`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EjectInfo {
+    /// The Eject's UID.
+    pub uid: Uid,
+    /// Running or passive.
+    pub state: EjectState,
+    /// Its Eden type name.
+    pub type_name: String,
+    /// Its simulated node.
+    pub node: NodeId,
+}
+
+pub(crate) struct KernelInner {
+    registry: Mutex<HashMap<Uid, Entry>>,
+    types: Mutex<HashMap<String, TypeFactory>>,
+    nodes: Mutex<HashMap<Uid, NodeId>>,
+    incarnations: Mutex<HashMap<Uid, u64>>,
+    stable: StableStore,
+    metrics: Metrics,
+    config: KernelConfig,
+    trace: Option<crate::trace::TraceLog>,
+    shutting_down: AtomicBool,
+}
+
+impl Drop for KernelInner {
+    fn drop(&mut self) {
+        // Reached only when every strong handle (user-visible or the
+        // short-lived upgrades inside Eject contexts) is gone. Normally
+        // `Kernel::drop` has already shut everything down; this is the
+        // backstop for the race where two handles drop concurrently and
+        // each thought the other would do it.
+        self.shutting_down.store(true, Ordering::Release);
+        let entries: Vec<(Sender<Envelope>, Option<JoinHandle<()>>)> = self
+            .registry
+            .get_mut()
+            .drain()
+            .filter_map(|(_, e)| match e {
+                Entry::Active { tx, join, .. } => Some((tx, join)),
+                Entry::Passive { .. } => None,
+            })
+            .collect();
+        shutdown_entries(entries);
+    }
+}
+
+/// Tell every coordinator to stop, release our senders, then join. The
+/// sender release must precede the joins: a coordinator may be blocked
+/// waiting for an envelope queued at another (already exited) coordinator
+/// to be dropped, which happens only once every sender for that mailbox is
+/// gone.
+fn shutdown_entries(entries: Vec<(Sender<Envelope>, Option<JoinHandle<()>>)>) {
+    let mut joins = Vec::with_capacity(entries.len());
+    for (tx, join) in entries {
+        let _ = tx.send(Envelope::Shutdown);
+        drop(tx);
+        joins.push(join);
+    }
+    let current = std::thread::current().id();
+    for join in joins.into_iter().flatten() {
+        // Never join the current thread: shutdown can be triggered from
+        // inside a coordinator when it drops the last kernel handle.
+        if join.thread().id() != current {
+            let _ = join.join();
+        }
+    }
+}
+
+/// A weak reference to the kernel, held by Eject contexts so the kernel can
+/// shut down when the last user-visible [`Kernel`] handle drops.
+#[derive(Clone)]
+pub struct WeakKernel(Weak<KernelInner>);
+
+impl WeakKernel {
+    /// Upgrade to a full handle if the kernel is still alive.
+    pub fn upgrade(&self) -> Option<Kernel> {
+        self.0.upgrade().map(|inner| Kernel { inner })
+    }
+}
+
+/// Handle to a simulated Eden kernel.
+///
+/// Clones share the kernel. When the last clone drops, the kernel shuts
+/// down: every coordinator receives a shutdown envelope and is joined.
+/// Prefer calling [`Kernel::shutdown`] explicitly in tests so teardown
+/// problems surface where they happen.
+pub struct Kernel {
+    inner: Arc<KernelInner>,
+}
+
+impl Clone for Kernel {
+    fn clone(&self) -> Self {
+        Kernel {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl Kernel {
+    /// A kernel with default configuration and a fresh stable store.
+    pub fn new() -> Self {
+        Kernel::with_config(KernelConfig::default())
+    }
+
+    /// A kernel with explicit configuration.
+    pub fn with_config(config: KernelConfig) -> Self {
+        Kernel::with_stable_store(config, StableStore::new())
+    }
+
+    /// A kernel attached to an existing stable store — how the tests
+    /// simulate whole-system restart: build a new kernel over the old
+    /// store and re-register the type constructors. Checkpointed Ejects
+    /// from the previous life are immediately invocable (they reactivate
+    /// on first invocation).
+    pub fn with_stable_store(config: KernelConfig, stable: StableStore) -> Self {
+        let registry: HashMap<Uid, Entry> = stable
+            .uids()
+            .into_iter()
+            .filter_map(|uid| {
+                stable
+                    .load(uid)
+                    .ok()
+                    .map(|rec| (uid, Entry::Passive { type_name: rec.type_name }))
+            })
+            .collect();
+        let trace = (config.trace_capacity > 0)
+            .then(|| crate::trace::TraceLog::new(config.trace_capacity));
+        Kernel {
+            inner: Arc::new(KernelInner {
+                registry: Mutex::new(registry),
+                types: Mutex::new(HashMap::new()),
+                nodes: Mutex::new(HashMap::new()),
+                incarnations: Mutex::new(HashMap::new()),
+                stable,
+                metrics: Metrics::new(),
+                config,
+                trace,
+                shutting_down: AtomicBool::new(false),
+            }),
+        }
+    }
+
+    /// A weak handle for storage inside Eject contexts.
+    pub fn downgrade(&self) -> WeakKernel {
+        WeakKernel(Arc::downgrade(&self.inner))
+    }
+
+    /// The kernel-wide metrics counters.
+    pub fn metrics(&self) -> &Metrics {
+        &self.inner.metrics
+    }
+
+    /// The traced kernel events, oldest first (empty unless
+    /// [`KernelConfig::trace_capacity`] was set).
+    pub fn trace_events(&self) -> Vec<crate::trace::TraceEvent> {
+        self.inner
+            .trace
+            .as_ref()
+            .map(|t| t.events())
+            .unwrap_or_default()
+    }
+
+    /// Invocation tallies per target Eject, busiest first (empty unless
+    /// tracing is enabled).
+    pub fn invocations_by_target(&self) -> Vec<(Uid, u64)> {
+        self.inner
+            .trace
+            .as_ref()
+            .map(|t| t.per_target())
+            .unwrap_or_default()
+    }
+
+    /// The stable store backing this kernel.
+    pub fn stable_store(&self) -> &StableStore {
+        &self.inner.stable
+    }
+
+    /// Register the reactivation constructor for an Eden type. Required
+    /// before any Eject of that type can be reactivated from its passive
+    /// representation.
+    pub fn register_type<F>(&self, type_name: &str, factory: F)
+    where
+        F: Fn(Option<Value>) -> Result<Box<dyn EjectBehavior>> + Send + Sync + 'static,
+    {
+        self.inner
+            .types
+            .lock()
+            .insert(type_name.to_owned(), Arc::new(factory));
+    }
+
+    /// Create and start an Eject on node 0. Returns its UID.
+    pub fn spawn(&self, behavior: Box<dyn EjectBehavior>) -> Result<Uid> {
+        self.spawn_on(NodeId::default(), behavior)
+    }
+
+    /// Create and start an Eject on a specific simulated node.
+    pub fn spawn_on(&self, node: NodeId, behavior: Box<dyn EjectBehavior>) -> Result<Uid> {
+        let uid = Uid::fresh();
+        self.inner.metrics.record_eject_created();
+        self.inner.nodes.lock().insert(uid, node);
+        let mut registry = self.inner.registry.lock();
+        self.start_coordinator(&mut registry, uid, node, behavior)?;
+        Ok(uid)
+    }
+
+    /// Send an invocation from outside the Eden system (a "user
+    /// terminal"). External callers originate on node 0.
+    pub fn invoke(&self, target: Uid, op: impl Into<OpName>, arg: Value) -> PendingReply {
+        self.invoke_from(NodeId::default(), target, op.into(), arg)
+    }
+
+    /// Send an invocation and wait for the reply.
+    pub fn invoke_sync(
+        &self,
+        target: Uid,
+        op: impl Into<OpName>,
+        arg: Value,
+    ) -> Result<Value> {
+        self.invoke(target, op, arg).wait()
+    }
+
+    /// Route an invocation originating on `from` to `target`, reactivating
+    /// a passive target if necessary.
+    pub(crate) fn invoke_from(
+        &self,
+        from: NodeId,
+        target: Uid,
+        op: OpName,
+        arg: Value,
+    ) -> PendingReply {
+        if self.inner.shutting_down.load(Ordering::Acquire) {
+            return PendingReply::ready(Err(EdenError::KernelShutdown));
+        }
+        let tx = {
+            let mut registry = self.inner.registry.lock();
+            loop {
+                match registry.get(&target) {
+                    None => {
+                        return PendingReply::ready(Err(EdenError::NoSuchEject(target)))
+                    }
+                    Some(Entry::Active { tx, .. }) => break tx.clone(),
+                    Some(Entry::Passive { .. }) => {
+                        // "If a passive eject is sent an invocation, the
+                        // Eden kernel will activate it" (§1).
+                        if let Err(e) = self.reactivate(&mut registry, target) {
+                            return PendingReply::ready(Err(e));
+                        }
+                    }
+                }
+            }
+        };
+        let metrics = &self.inner.metrics;
+        metrics.record_invocation(arg.size_hint());
+        let target_node = self.node_of(target);
+        if let Some(trace) = &self.inner.trace {
+            trace.record_invoke(target, &op, from, target_node);
+        }
+        if target_node != from {
+            metrics.record_remote_invocation();
+            if let Some(latency) = self.inner.config.remote_latency {
+                std::thread::sleep(latency);
+            }
+        }
+        if let Some(latency) = self.inner.config.invocation_latency {
+            std::thread::sleep(latency);
+        }
+        let (handle, pending) = reply_pair(target, metrics.clone());
+        // A send failure means the coordinator already exited; dropping
+        // `handle` resolves `pending` with EjectCrashed, which is the
+        // correct observation for the caller.
+        let _ = tx.send(Envelope::Invocation(Invocation { op, arg }, handle));
+        pending
+    }
+
+    /// The node an Eject is placed on (node 0 if never placed).
+    pub fn node_of(&self, uid: Uid) -> NodeId {
+        self.inner
+            .nodes
+            .lock()
+            .get(&uid)
+            .copied()
+            .unwrap_or_default()
+    }
+
+    /// The Eden type name of a *passive* Eject, read from its registry
+    /// entry. Active Ejects answer `Describe` instead.
+    pub fn passive_type_name(&self, uid: Uid) -> Option<String> {
+        let registry = self.inner.registry.lock();
+        match registry.get(&uid) {
+            Some(Entry::Passive { type_name }) => Some(type_name.clone()),
+            _ => None,
+        }
+    }
+
+    /// The current state of `uid`, if the kernel knows it.
+    pub fn eject_state(&self, uid: Uid) -> Option<EjectState> {
+        let registry = self.inner.registry.lock();
+        registry.get(&uid).map(|entry| match entry {
+            Entry::Active { .. } => EjectState::Active,
+            Entry::Passive { .. } => EjectState::Passive,
+        })
+    }
+
+    /// Number of Ejects the kernel currently knows (active + passive).
+    pub fn eject_count(&self) -> usize {
+        self.inner.registry.lock().len()
+    }
+
+    /// A snapshot of every known Eject, sorted by UID.
+    pub fn list_ejects(&self) -> Vec<EjectInfo> {
+        let registry = self.inner.registry.lock();
+        let mut rows: Vec<EjectInfo> = registry
+            .iter()
+            .map(|(uid, entry)| match entry {
+                Entry::Active { type_name, .. } => EjectInfo {
+                    uid: *uid,
+                    state: EjectState::Active,
+                    type_name: (*type_name).to_owned(),
+                    node: self.node_of(*uid),
+                },
+                Entry::Passive { type_name } => EjectInfo {
+                    uid: *uid,
+                    state: EjectState::Passive,
+                    type_name: type_name.clone(),
+                    node: self.node_of(*uid),
+                },
+            })
+            .collect();
+        rows.sort_by_key(|r| r.uid);
+        rows
+    }
+
+    /// Simulated fail-stop crash of one Eject. The coordinator stops at
+    /// its next dispatch point without replying to anything outstanding;
+    /// waiters observe [`EdenError::EjectCrashed`]. Blocks until the
+    /// coordinator has exited. Must not be called from the Eject's own
+    /// threads.
+    pub fn crash(&self, uid: Uid) -> Result<()> {
+        let (tx, join) = {
+            let mut registry = self.inner.registry.lock();
+            match registry.get_mut(&uid) {
+                Some(Entry::Active { tx, join, .. }) => (tx.clone(), join.take()),
+                Some(Entry::Passive { .. }) => return Ok(()),
+                None => return Err(EdenError::NoSuchEject(uid)),
+            }
+        };
+        self.inner.metrics.record_crash();
+        let _ = tx.send(Envelope::Crash);
+        drop(tx);
+        if let Some(join) = join {
+            let _ = join.join();
+        }
+        Ok(())
+    }
+
+    /// Store a checkpoint on behalf of an Eject (used by `EjectContext`).
+    pub(crate) fn store_checkpoint(&self, uid: Uid, type_name: &str, bytes: Vec<u8>) {
+        self.inner.stable.store(uid, type_name, bytes);
+    }
+
+    /// Called by a coordinator as its last act. Decides the Eject's fate:
+    /// passive if it ever checkpointed, gone otherwise.
+    pub(crate) fn on_eject_exit(&self, uid: Uid, incarnation: u64, crashed: bool) {
+        if let Some(trace) = &self.inner.trace {
+            trace.record_stop(uid, crashed);
+        }
+        if self.inner.shutting_down.load(Ordering::Acquire) {
+            return;
+        }
+        let mut registry = self.inner.registry.lock();
+        let is_current = matches!(
+            registry.get(&uid),
+            Some(Entry::Active { incarnation: cur, .. }) if *cur == incarnation
+        );
+        if !is_current {
+            return;
+        }
+        match self.inner.stable.load(uid) {
+            Ok(record) => {
+                registry.insert(
+                    uid,
+                    Entry::Passive {
+                        type_name: record.type_name,
+                    },
+                );
+            }
+            Err(_) => {
+                // Never checkpointed: "since it has never Checkpointed,
+                // [it] disappears" (§7).
+                registry.remove(&uid);
+                self.inner.nodes.lock().remove(&uid);
+            }
+        }
+    }
+
+    /// Reactivate a passive Eject: load its checkpoint, run its type's
+    /// constructor, and start a fresh coordinator under the same UID.
+    /// Called with the registry lock held.
+    fn reactivate(&self, registry: &mut HashMap<Uid, Entry>, uid: Uid) -> Result<()> {
+        let record = self.inner.stable.load(uid)?;
+        let factory = self
+            .inner
+            .types
+            .lock()
+            .get(&record.type_name)
+            .cloned()
+            .ok_or_else(|| {
+                EdenError::Application(format!(
+                    "no type constructor registered for `{}`",
+                    record.type_name
+                ))
+            })?;
+        let state = wire::decode(&record.bytes)?;
+        let behavior = factory(Some(state))?;
+        let node = self.node_of(uid);
+        self.start_coordinator(registry, uid, node, behavior)
+    }
+
+    fn start_coordinator(
+        &self,
+        registry: &mut HashMap<Uid, Entry>,
+        uid: Uid,
+        node: NodeId,
+        behavior: Box<dyn EjectBehavior>,
+    ) -> Result<()> {
+        if self.inner.shutting_down.load(Ordering::Acquire) {
+            return Err(EdenError::KernelShutdown);
+        }
+        let incarnation = {
+            let mut incs = self.inner.incarnations.lock();
+            let slot = incs.entry(uid).or_insert(0);
+            *slot += 1;
+            *slot
+        };
+        let (tx, rx) = unbounded();
+        let type_name = behavior.type_name();
+        let ctx = Arc::new(EjectContext {
+            uid,
+            node,
+            type_name,
+            kernel: self.downgrade(),
+            mailbox: tx.clone(),
+            metrics: self.inner.metrics.clone(),
+            stop: Arc::new(AtomicBool::new(false)),
+            deactivate: AtomicBool::new(false),
+            workers: Mutex::new(Vec::new()),
+        });
+        self.inner.metrics.record_activation();
+        if let Some(trace) = &self.inner.trace {
+            trace.record_activate(uid, type_name);
+        }
+        let weak = self.downgrade();
+        let join = std::thread::Builder::new()
+            .name(format!("eject-{}-{type_name}", uid.seq()))
+            .spawn(move || run_coordinator(behavior, ctx, rx, weak, incarnation))
+            .map_err(|e| EdenError::Application(format!("cannot spawn coordinator: {e}")))?;
+        registry.insert(
+            uid,
+            Entry::Active {
+                tx,
+                join: Some(join),
+                incarnation,
+                type_name,
+            },
+        );
+        Ok(())
+    }
+
+    /// Stop every Eject and join every coordinator. Idempotent. Passive
+    /// representations survive in the stable store.
+    pub fn shutdown(&self) {
+        if self.inner.shutting_down.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        let entries: Vec<(Sender<Envelope>, Option<JoinHandle<()>>)> = {
+            let mut registry = self.inner.registry.lock();
+            registry
+                .drain()
+                .filter_map(|(_, entry)| match entry {
+                    Entry::Active { tx, join, .. } => Some((tx, join)),
+                    Entry::Passive { .. } => None,
+                })
+                .collect()
+        };
+        shutdown_entries(entries);
+    }
+}
+
+impl Default for Kernel {
+    fn default() -> Self {
+        Kernel::new()
+    }
+}
+
+impl Drop for Kernel {
+    fn drop(&mut self) {
+        // Last user-visible handle: shut the kernel down. Coordinators
+        // hold only weak references, so they do not keep the kernel alive.
+        // (If a racing upgrade makes the count transiently higher, the
+        // KernelInner::drop backstop finishes the job.)
+        if Arc::strong_count(&self.inner) == 1 {
+            self.shutdown();
+        }
+    }
+}

@@ -1,0 +1,263 @@
+//! The stable store: where passive representations live.
+//!
+//! "The effect of Checkpointing is to create a *Passive Representation*, a
+//! data structure designed to be durable across system crashes" (§1). The
+//! store survives simulated crashes of individual Ejects and of the kernel
+//! object itself (it can be detached and re-attached to a new kernel, which
+//! is how the tests simulate whole-system restart).
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use eden_core::{wire, EdenError, Result, Uid, Value};
+use parking_lot::Mutex;
+
+/// One checkpointed passive representation.
+#[derive(Clone, Debug)]
+pub struct PassiveRecord {
+    /// The Eden type name, used to find the reactivation constructor.
+    pub type_name: String,
+    /// The wire-encoded state.
+    pub bytes: Vec<u8>,
+    /// How many times this Eject has checkpointed (diagnostics).
+    pub version: u64,
+}
+
+/// A durable map from UID to passive representation.
+///
+/// Cheap to clone; clones share the underlying storage, so a store created
+/// before a kernel can outlive it.
+#[derive(Clone, Default)]
+pub struct StableStore {
+    inner: Arc<Mutex<HashMap<Uid, PassiveRecord>>>,
+    /// When set, every record is written through to one file per Eject in
+    /// this directory, and read back by [`StableStore::persistent`].
+    persist_dir: Option<Arc<PathBuf>>,
+}
+
+/// Encode one record (with its UID) for the on-disk format.
+fn encode_record(uid: Uid, record: &PassiveRecord) -> Vec<u8> {
+    wire::encode(&Value::record([
+        ("uid", Value::Uid(uid)),
+        ("type", Value::str(record.type_name.clone())),
+        ("version", Value::Int(record.version as i64)),
+        ("bytes", Value::bytes(record.bytes.clone())),
+    ]))
+}
+
+fn decode_record(data: &[u8]) -> Result<(Uid, PassiveRecord)> {
+    let v = wire::decode(data)?;
+    Ok((
+        v.field("uid")?.as_uid()?,
+        PassiveRecord {
+            type_name: v.field("type")?.as_str()?.to_owned(),
+            bytes: v.field("bytes")?.as_bytes()?.to_vec(),
+            version: v.field("version")?.as_int()?.max(0) as u64,
+        },
+    ))
+}
+
+impl StableStore {
+    /// An empty, purely in-memory store.
+    pub fn new() -> Self {
+        StableStore::default()
+    }
+
+    /// A store persisted in `dir` (created if missing): existing records
+    /// are loaded now, and every later store/remove writes through. This
+    /// gives checkpoints genuine durability across *process* restarts, not
+    /// just kernel-object restarts.
+    pub fn persistent(dir: impl Into<PathBuf>) -> Result<StableStore> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)
+            .map_err(|e| EdenError::HostFs(format!("create {}: {e}", dir.display())))?;
+        let mut map = HashMap::new();
+        let entries = std::fs::read_dir(&dir)
+            .map_err(|e| EdenError::HostFs(format!("read {}: {e}", dir.display())))?;
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if path.extension().and_then(|e| e.to_str()) != Some("rep") {
+                continue;
+            }
+            let data = std::fs::read(&path)
+                .map_err(|e| EdenError::HostFs(format!("read {}: {e}", path.display())))?;
+            let (uid, record) = decode_record(&data)?;
+            map.insert(uid, record);
+        }
+        Ok(StableStore {
+            inner: Arc::new(Mutex::new(map)),
+            persist_dir: Some(Arc::new(dir)),
+        })
+    }
+
+    fn file_for(&self, uid: Uid) -> Option<PathBuf> {
+        self.persist_dir.as_ref().map(|d| d.join(format!("{uid}.rep")))
+    }
+
+    /// Write (or overwrite) the passive representation for `uid`.
+    pub fn store(&self, uid: Uid, type_name: &str, bytes: Vec<u8>) {
+        let record = {
+            let mut map = self.inner.lock();
+            let version = map.get(&uid).map_or(1, |r| r.version + 1);
+            let record = PassiveRecord {
+                type_name: type_name.to_owned(),
+                bytes,
+                version,
+            };
+            map.insert(uid, record.clone());
+            record
+        };
+        if let Some(path) = self.file_for(uid) {
+            // Durable write-through: write to a temp file, then rename.
+            let tmp = path.with_extension("tmp");
+            let encoded = encode_record(uid, &record);
+            // A failed disk write must not poison the in-memory store;
+            // durability degrades to in-memory only (surfaced at reload).
+            let _ = std::fs::write(&tmp, encoded).and_then(|()| std::fs::rename(&tmp, &path));
+        }
+    }
+
+    /// Read the passive representation for `uid`.
+    pub fn load(&self, uid: Uid) -> Result<PassiveRecord> {
+        self.inner
+            .lock()
+            .get(&uid)
+            .cloned()
+            .ok_or(EdenError::NoSuchEject(uid))
+    }
+
+    /// Whether `uid` has a passive representation.
+    pub fn contains(&self, uid: Uid) -> bool {
+        self.inner.lock().contains_key(&uid)
+    }
+
+    /// Remove the passive representation for `uid` (the Eject is being
+    /// destroyed, not merely deactivated).
+    pub fn remove(&self, uid: Uid) {
+        self.inner.lock().remove(&uid);
+        if let Some(path) = self.file_for(uid) {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+
+    /// Number of checkpointed Ejects.
+    pub fn len(&self) -> usize {
+        self.inner.lock().len()
+    }
+
+    /// True when no Eject has checkpointed.
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().is_empty()
+    }
+
+    /// All UIDs with a passive representation, in unspecified order.
+    pub fn uids(&self) -> Vec<Uid> {
+        self.inner.lock().keys().copied().collect()
+    }
+
+    /// Total bytes of checkpointed state (diagnostics).
+    pub fn total_bytes(&self) -> usize {
+        self.inner.lock().values().map(|r| r.bytes.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn store_load_roundtrip() {
+        let s = StableStore::new();
+        let uid = Uid::fresh();
+        s.store(uid, "File", vec![1, 2, 3]);
+        let rec = s.load(uid).unwrap();
+        assert_eq!(rec.type_name, "File");
+        assert_eq!(rec.bytes, vec![1, 2, 3]);
+        assert_eq!(rec.version, 1);
+    }
+
+    #[test]
+    fn versions_increment() {
+        let s = StableStore::new();
+        let uid = Uid::fresh();
+        s.store(uid, "File", vec![1]);
+        s.store(uid, "File", vec![2]);
+        assert_eq!(s.load(uid).unwrap().version, 2);
+        assert_eq!(s.load(uid).unwrap().bytes, vec![2]);
+    }
+
+    #[test]
+    fn missing_uid_is_error() {
+        let s = StableStore::new();
+        assert!(matches!(
+            s.load(Uid::fresh()),
+            Err(EdenError::NoSuchEject(_))
+        ));
+    }
+
+    #[test]
+    fn clones_share_storage() {
+        let s = StableStore::new();
+        let s2 = s.clone();
+        let uid = Uid::fresh();
+        s.store(uid, "Dir", vec![9]);
+        assert!(s2.contains(uid));
+        s2.remove(uid);
+        assert!(!s.contains(uid));
+    }
+
+    #[test]
+    fn persistent_store_survives_reopen() {
+        let dir = std::env::temp_dir().join(format!(
+            "eden-stable-{}-{}",
+            std::process::id(),
+            Uid::fresh().seq()
+        ));
+        let uid = Uid::fresh();
+        {
+            let s = StableStore::persistent(&dir).unwrap();
+            s.store(uid, "Counter", vec![1, 2, 3]);
+            s.store(uid, "Counter", vec![4, 5]);
+        }
+        {
+            let s = StableStore::persistent(&dir).unwrap();
+            let rec = s.load(uid).unwrap();
+            assert_eq!(rec.type_name, "Counter");
+            assert_eq!(rec.bytes, vec![4, 5]);
+            assert_eq!(rec.version, 2);
+            s.remove(uid);
+        }
+        let s = StableStore::persistent(&dir).unwrap();
+        assert!(!s.contains(uid));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn record_codec_roundtrip() {
+        let uid = Uid::fresh();
+        let rec = PassiveRecord {
+            type_name: "X".into(),
+            bytes: vec![9, 8, 7],
+            version: 3,
+        };
+        let (got_uid, got) = decode_record(&encode_record(uid, &rec)).unwrap();
+        assert_eq!(got_uid, uid);
+        assert_eq!(got.type_name, rec.type_name);
+        assert_eq!(got.bytes, rec.bytes);
+        assert_eq!(got.version, rec.version);
+    }
+
+    #[test]
+    fn accounting() {
+        let s = StableStore::new();
+        assert!(s.is_empty());
+        let a = Uid::fresh();
+        let b = Uid::fresh();
+        s.store(a, "X", vec![0; 10]);
+        s.store(b, "Y", vec![0; 5]);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.total_bytes(), 15);
+        assert_eq!(s.uids().len(), 2);
+    }
+}

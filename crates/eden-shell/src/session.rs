@@ -1,0 +1,406 @@
+//! An interactive shell session: a home directory, a host filing system,
+//! and built-in commands on top of the pipeline language.
+//!
+//! Built-ins:
+//!
+//! * `mkfile NAME [LINE...]` — create a file Eject and enter it in the
+//!   home directory
+//! * `ls` — stream the home directory's listing
+//! * `cat NAME` — stream a file's contents
+//! * `rm NAME` — remove the directory entry (the file Eject survives
+//!   until it deactivates; UIDs, not names, own Ejects)
+//! * `checkpoint NAME` / `crash NAME` — durability controls
+//! * `stats` — kernel metrics snapshot
+//! * `trace` — recent kernel events (if tracing is enabled)
+//! * `help`
+//!
+//! Anything else is parsed as a pipeline (see the crate docs).
+
+use eden_core::op::ops;
+use eden_core::{EdenError, Result, Uid, Value};
+use eden_fs::{add_entry, lookup, register_fs_types, DirectoryEject, FileEject, MemFs, UnixFsEject};
+use eden_kernel::Kernel;
+
+use crate::exec::ShellEnv;
+
+/// One interactive session over a kernel.
+pub struct Session {
+    kernel: Kernel,
+    home: Uid,
+    env: ShellEnv,
+}
+
+impl Session {
+    /// A fresh session: home directory + hermetic UnixFs, fs types
+    /// registered.
+    pub fn new(kernel: &Kernel) -> Result<Session> {
+        register_fs_types(kernel);
+        let home = kernel.spawn(Box::new(DirectoryEject::new()))?;
+        let unixfs = kernel.spawn(Box::new(UnixFsEject::new(MemFs::new())))?;
+        let env = ShellEnv::new(kernel)
+            .with_directory(home)
+            .with_unixfs(unixfs);
+        Ok(Session {
+            kernel: kernel.clone(),
+            home,
+            env,
+        })
+    }
+
+    /// The home directory Eject.
+    pub fn home(&self) -> Uid {
+        self.home
+    }
+
+    /// The pipeline environment (for direct pipeline execution).
+    pub fn env(&self) -> &ShellEnv {
+        &self.env
+    }
+
+    /// Execute one command line; returns the printable output lines.
+    pub fn execute(&self, line: &str) -> Result<Vec<String>> {
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            return Ok(Vec::new());
+        }
+        // Built-ins get the same quoting rules as pipelines:
+        // `mkfile notes 'alpha line'` is one two-word line, not two lines.
+        const BUILTINS: [&str; 12] = [
+            "mkfile", "ls", "cat", "rm", "checkpoint", "crash", "stats", "trace", "top",
+            "ejects", "mv", "help",
+        ];
+        let tokens = crate::token::tokenize(trimmed)?;
+        let is_builtin = matches!(
+            tokens.first(),
+            Some(crate::token::Token::Word(w)) if BUILTINS.contains(&w.as_str())
+        );
+        if !is_builtin {
+            return self.run_pipeline(trimmed);
+        }
+        let all_words: Vec<String> = tokens
+            .into_iter()
+            .map(|t| match t {
+                crate::token::Token::Word(w) => Ok(w),
+                other => Err(EdenError::BadParameter(format!(
+                    "built-in commands take plain (or quoted) words, got {other:?}"
+                ))),
+            })
+            .collect::<Result<Vec<_>>>()?;
+        let words: Vec<&str> = all_words.iter().map(String::as_str).collect();
+        match words[0] {
+            "mkfile" => self.mkfile(&words[1..]),
+            "ls" => self.ls(),
+            "cat" => self.cat(&words[1..]),
+            "rm" => self.rm(&words[1..]),
+            "checkpoint" => self.checkpoint(&words[1..]),
+            "crash" => self.crash(&words[1..]),
+            "stats" => self.stats(),
+            "trace" => self.trace(),
+            "top" => self.top(),
+            "ejects" => self.ejects(),
+            "mv" => self.mv(&words[1..]),
+            _ => Ok(HELP.lines().map(str::to_owned).collect()),
+        }
+    }
+
+    /// Execute a pipeline command and render its output and windows.
+    fn run_pipeline(&self, command: &str) -> Result<Vec<String>> {
+        let run = self.env.run(command)?;
+        let mut out = run.output_lines();
+        for (window, items) in &run.windows {
+            out.push(format!("[window {window}]"));
+            for item in items {
+                out.push(format!("  {}", render(item)));
+            }
+        }
+        Ok(out)
+    }
+
+    fn named_file(&self, args: &[&str], what: &str) -> Result<Uid> {
+        let name = args
+            .first()
+            .ok_or_else(|| EdenError::BadParameter(format!("{what}: need a name")))?;
+        lookup(&self.kernel, self.home, name)
+    }
+
+    fn mkfile(&self, args: &[&str]) -> Result<Vec<String>> {
+        let name = args
+            .first()
+            .ok_or_else(|| EdenError::BadParameter("mkfile: need a name".into()))?;
+        let file = self
+            .kernel
+            .spawn(Box::new(FileEject::from_lines(args[1..].iter().copied())))?;
+        add_entry(&self.kernel, self.home, name, file)?;
+        Ok(vec![format!("created {name} ({file})")])
+    }
+
+    fn ls(&self) -> Result<Vec<String>> {
+        let count = self
+            .kernel
+            .invoke_sync(self.home, ops::LIST, Value::Unit)?
+            .as_int()?;
+        let mut lines = Vec::with_capacity(count as usize);
+        loop {
+            let batch = eden_transput::protocol::Batch::from_value(self.kernel.invoke_sync(
+                self.home,
+                ops::TRANSFER,
+                eden_transput::protocol::TransferRequest::primary(32).to_value(),
+            )?)?;
+            for item in batch.items {
+                lines.push(render(&item));
+            }
+            if batch.end {
+                break;
+            }
+        }
+        Ok(lines)
+    }
+
+    fn cat(&self, args: &[&str]) -> Result<Vec<String>> {
+        let file = self.named_file(args, "cat")?;
+        let reader = self
+            .kernel
+            .invoke_sync(file, ops::OPEN, Value::Unit)?
+            .as_uid()?;
+        let mut lines = Vec::new();
+        loop {
+            let batch = eden_transput::protocol::Batch::from_value(self.kernel.invoke_sync(
+                reader,
+                ops::TRANSFER,
+                eden_transput::protocol::TransferRequest::primary(32).to_value(),
+            )?)?;
+            for item in batch.items {
+                lines.push(render(&item));
+            }
+            if batch.end {
+                break;
+            }
+        }
+        Ok(lines)
+    }
+
+    fn rm(&self, args: &[&str]) -> Result<Vec<String>> {
+        let name = args
+            .first()
+            .ok_or_else(|| EdenError::BadParameter("rm: need a name".into()))?;
+        self.kernel.invoke_sync(
+            self.home,
+            ops::DELETE_ENTRY,
+            Value::record([("name", Value::str(*name))]),
+        )?;
+        Ok(vec![format!("removed {name}")])
+    }
+
+    fn checkpoint(&self, args: &[&str]) -> Result<Vec<String>> {
+        let file = self.named_file(args, "checkpoint")?;
+        self.kernel.invoke_sync(file, ops::CHECKPOINT, Value::Unit)?;
+        Ok(vec![format!("checkpointed {}", args[0])])
+    }
+
+    fn crash(&self, args: &[&str]) -> Result<Vec<String>> {
+        let file = self.named_file(args, "crash")?;
+        self.kernel.crash(file)?;
+        Ok(vec![format!("crashed {} (fail-stop)", args[0])])
+    }
+
+    fn stats(&self) -> Result<Vec<String>> {
+        let s = self.kernel.metrics().snapshot();
+        Ok(vec![
+            format!(
+                "invocations: {} ({} remote), replies: {} ({} deferred)",
+                s.invocations, s.remote_invocations, s.replies, s.deferred_replies
+            ),
+            format!(
+                "internal msgs: {}, bytes moved: {}, ejects created: {}",
+                s.internal_messages,
+                s.bytes_total(),
+                s.ejects_created
+            ),
+            format!(
+                "activations: {}, deactivations: {}, checkpoints: {}, crashes: {}",
+                s.activations, s.deactivations, s.checkpoints, s.crashes
+            ),
+        ])
+    }
+
+    fn ejects(&self) -> Result<Vec<String>> {
+        Ok(self
+            .kernel
+            .list_ejects()
+            .into_iter()
+            .map(|info| {
+                format!(
+                    "{:<24} {:<8} node {}  {}",
+                    info.uid,
+                    match info.state {
+                        eden_kernel::EjectState::Active => "active",
+                        eden_kernel::EjectState::Passive => "passive",
+                    },
+                    info.node.0,
+                    info.type_name
+                )
+            })
+            .collect())
+    }
+
+    fn mv(&self, args: &[&str]) -> Result<Vec<String>> {
+        let (from, to) = match args {
+            [from, to] => (*from, *to),
+            _ => {
+                return Err(EdenError::BadParameter(
+                    "mv: need OLD-NAME NEW-NAME".into(),
+                ))
+            }
+        };
+        eden_fs::rename_entry(&self.kernel, self.home, from, to)?;
+        Ok(vec![format!("renamed {from} -> {to}")])
+    }
+
+    fn top(&self) -> Result<Vec<String>> {
+        let tallies = self.kernel.invocations_by_target();
+        if tallies.is_empty() {
+            return Ok(vec![
+                "no data (tracing disabled, or nothing invoked yet)".to_owned(),
+            ]);
+        }
+        Ok(tallies
+            .into_iter()
+            .take(10)
+            .map(|(uid, count)| format!("{count:>8}  {uid}"))
+            .collect())
+    }
+
+    fn trace(&self) -> Result<Vec<String>> {
+        let events = self.kernel.trace_events();
+        if events.is_empty() {
+            return Ok(vec![
+                "tracing disabled (start the kernel with trace_capacity > 0)".to_owned(),
+            ]);
+        }
+        Ok(events.iter().map(|e| e.to_string()).collect())
+    }
+}
+
+fn render(v: &Value) -> String {
+    v.to_string()
+}
+
+/// The help text.
+pub const HELP: &str = "\
+built-ins:
+  mkfile NAME [LINE...]   create a file Eject in the home directory
+  ls                      list the home directory (streamed)
+  cat NAME                stream a file's contents
+  rm NAME                 remove a directory entry
+  mv OLD NEW              rename a directory entry (atomic)
+  ejects                  list every Eject the kernel knows
+  checkpoint NAME         write the file's passive representation
+  crash NAME              fail-stop the file Eject (recovers on next use)
+  stats                   kernel metrics snapshot
+  trace                   recent kernel events (needs tracing enabled)
+  top                     busiest Ejects by invocation count (needs tracing)
+  help                    this text
+pipelines:
+  [@key=value ...] SOURCE [| FILTER args... [Chan>window]]... [> SINK]
+  sources: lines 'a' 'b' | seq N | file NAME | unix PATH
+           merge NAME... (cat-style fan-in) | zip NAME NAME (tuples)
+  e.g.: file notes | grep eden | upcase > file shouted
+        zip old new | compare";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn session() -> (Kernel, Session) {
+        let kernel = Kernel::new();
+        let session = Session::new(&kernel).unwrap();
+        (kernel, session)
+    }
+
+    #[test]
+    fn mkfile_ls_cat_rm_cycle() {
+        let (kernel, s) = session();
+        s.execute("mkfile notes hello world").unwrap();
+        let ls = s.execute("ls").unwrap();
+        assert_eq!(ls.len(), 1);
+        assert!(ls[0].starts_with("notes"));
+        assert_eq!(s.execute("cat notes").unwrap(), vec!["hello", "world"]);
+        s.execute("rm notes").unwrap();
+        assert!(s.execute("cat notes").is_err());
+        kernel.shutdown();
+    }
+
+    #[test]
+    fn builtins_honor_quoting() {
+        let (kernel, s) = session();
+        s.execute("mkfile notes 'alpha line' beta").unwrap();
+        assert_eq!(s.execute("cat notes").unwrap(), vec!["alpha line", "beta"]);
+        kernel.shutdown();
+    }
+
+    #[test]
+    fn pipelines_on_session_files() {
+        let (kernel, s) = session();
+        s.execute("mkfile data 'ignored-quoting' C-comment keep").unwrap();
+        let out = s.execute("file data | grep keep").unwrap();
+        assert_eq!(out, vec!["keep"]);
+        kernel.shutdown();
+    }
+
+    #[test]
+    fn checkpoint_and_crash_roundtrip() {
+        let (kernel, s) = session();
+        s.execute("mkfile precious gold").unwrap();
+        s.execute("checkpoint precious").unwrap();
+        s.execute("crash precious").unwrap();
+        // Reactivates on the next use, contents intact.
+        assert_eq!(s.execute("cat precious").unwrap(), vec!["gold"]);
+        kernel.shutdown();
+    }
+
+    #[test]
+    fn stats_and_help_and_comments() {
+        let (kernel, s) = session();
+        assert!(s.execute("# a comment").unwrap().is_empty());
+        assert!(s.execute("").unwrap().is_empty());
+        assert!(!s.execute("help").unwrap().is_empty());
+        let stats = s.execute("stats").unwrap();
+        assert!(stats[0].contains("invocations"));
+        kernel.shutdown();
+    }
+
+    #[test]
+    fn trace_command_reports_state() {
+        let kernel = Kernel::with_config(eden_kernel::KernelConfig {
+            trace_capacity: 64,
+            ..Default::default()
+        });
+        let s = Session::new(&kernel).unwrap();
+        s.execute("mkfile t a").unwrap();
+        let trace = s.execute("trace").unwrap();
+        assert!(trace.iter().any(|l| l.contains("invoke")));
+        let top = s.execute("top").unwrap();
+        assert!(top[0].trim().chars().next().unwrap().is_ascii_digit());
+        kernel.shutdown();
+    }
+
+    #[test]
+    fn dir_source_pipes_the_listing() {
+        let (kernel, s) = session();
+        s.execute("mkfile alpha x").unwrap();
+        s.execute("mkfile beta y").unwrap();
+        let out = s.execute("dir | grep alpha").unwrap();
+        assert_eq!(out.len(), 1);
+        assert!(out[0].starts_with("alpha"));
+        kernel.shutdown();
+    }
+
+    #[test]
+    fn errors_are_clean() {
+        let (kernel, s) = session();
+        assert!(s.execute("mkfile").is_err());
+        assert!(s.execute("rm ghost").is_err());
+        assert!(s.execute("bogus | pipeline").is_err());
+        kernel.shutdown();
+    }
+}

@@ -1,0 +1,442 @@
+//! The conventional discipline: filters with **active input and active
+//! output**, glued by **passive buffer** Ejects (§3, Figure 1).
+//!
+//! "Even though filter F_i performs active output, and filter F_{i+1}
+//! performs active input, they cannot be connected directly because these
+//! operations are not complementary. The passive buffer provides the active
+//! transput operations with the necessary correspondents."
+//!
+//! [`PassiveBufferEject`] is the Unix pipe: it performs passive input (it
+//! accepts `Write`s, parking the writer when full) and passive output (it
+//! answers `Transfer`s, parking the reader when empty). [`PumpFilterEject`]
+//! is the Unix filter: a worker process alternately `Transfer`s from
+//! upstream and `Write`s downstream — it both transforms *and pumps*.
+//!
+//! This is the baseline the paper's cost comparison is made against:
+//! n filters need n+1 buffers (2n+3 entities) and move each datum with
+//! 2n+2 invocations, versus n+2 entities and n+1 invocations read-only.
+
+use std::collections::VecDeque;
+
+use eden_core::op::ops;
+use eden_core::{EdenError, Uid, Value};
+use eden_kernel::{EjectBehavior, EjectContext, Invocation, ReplyHandle};
+
+use crate::protocol::{Batch, ChannelId, TransferRequest, WriteRequest};
+use crate::transform::{Emitter, Transform};
+use crate::write_only::{OutputPort, OutputWiring};
+
+/// A parked reader.
+struct ReadWaiter {
+    max: usize,
+    reply: ReplyHandle,
+}
+
+/// A parked writer, holding the records that did not yet fit.
+struct WriteWaiter {
+    request: WriteRequest,
+    reply: ReplyHandle,
+}
+
+/// The Unix pipe as an Eject: a bounded queue doing passive transput on
+/// both faces.
+pub struct PassiveBufferEject {
+    capacity: usize,
+    buffer: VecDeque<Value>,
+    ended: bool,
+    readers: VecDeque<ReadWaiter>,
+    writers: VecDeque<WriteWaiter>,
+}
+
+impl PassiveBufferEject {
+    /// A buffer holding at most `capacity` records (writers park beyond).
+    pub fn new(capacity: usize) -> PassiveBufferEject {
+        PassiveBufferEject {
+            capacity: capacity.max(1),
+            buffer: VecDeque::new(),
+            ended: false,
+            readers: VecDeque::new(),
+            writers: VecDeque::new(),
+        }
+    }
+
+    /// Move parked writes into the buffer while space allows, then answer
+    /// parked reads while data (or end) allows.
+    fn settle(&mut self) {
+        loop {
+            let mut progressed = false;
+            while self.buffer.len() < self.capacity {
+                match self.writers.pop_front() {
+                    Some(w) => {
+                        self.admit(w.request);
+                        w.reply.reply(Ok(Value::Unit));
+                        progressed = true;
+                    }
+                    None => break,
+                }
+            }
+            while let Some(front) = self.readers.front() {
+                if self.buffer.is_empty() && !self.at_end() {
+                    break;
+                }
+                let max = front.max;
+                let r = self.readers.pop_front().expect("front checked");
+                let n = max.min(self.buffer.len());
+                let items: Vec<Value> = self.buffer.drain(..n).collect();
+                let end = self.at_end();
+                r.reply.reply(Ok(Batch { items, end }.to_value()));
+                progressed = true;
+            }
+            if !progressed {
+                return;
+            }
+        }
+    }
+
+    fn admit(&mut self, request: WriteRequest) {
+        self.buffer.extend(request.items);
+        if request.end {
+            self.ended = true;
+        }
+    }
+
+    /// End is visible to readers only once the buffer and the parked
+    /// writes have fully drained.
+    fn at_end(&self) -> bool {
+        self.ended && self.buffer.is_empty() && self.writers.is_empty()
+    }
+
+    /// Records currently buffered (diagnostics).
+    pub fn occupancy(&self) -> usize {
+        self.buffer.len()
+    }
+}
+
+impl EjectBehavior for PassiveBufferEject {
+    fn type_name(&self) -> &'static str {
+        "PassiveBuffer"
+    }
+
+    fn handle(&mut self, ctx: &EjectContext, inv: Invocation, reply: ReplyHandle) {
+        match inv.op.as_str() {
+            ops::WRITE => match WriteRequest::from_value(inv.arg) {
+                Ok(request) => {
+                    if self.ended {
+                        reply.reply(Err(EdenError::Application(
+                            "write after end of stream".into(),
+                        )));
+                        return;
+                    }
+                    if self.buffer.len() >= self.capacity {
+                        // Passive input under backpressure: park the writer.
+                        reply.mark_deferred();
+                        self.writers.push_back(WriteWaiter { request, reply });
+                    } else {
+                        self.admit(request);
+                        reply.reply(Ok(Value::Unit));
+                    }
+                    self.settle();
+                }
+                Err(e) => reply.reply(Err(e)),
+            },
+            ops::TRANSFER => match TransferRequest::from_value(&inv.arg) {
+                Ok(req) => {
+                    if req.channel != ChannelId::output() {
+                        reply.reply(Err(EdenError::NoSuchChannel(
+                            "a pipe has a single unnamed stream".into(),
+                        )));
+                        return;
+                    }
+                    if self.buffer.is_empty() && !self.at_end() {
+                        // Passive output with no data: park the reader —
+                        // the "partial vacuum" of §4.
+                        reply.mark_deferred();
+                        self.readers.push_back(ReadWaiter {
+                            max: req.max,
+                            reply,
+                        });
+                    } else {
+                        let n = req.max.min(self.buffer.len());
+                        let items: Vec<Value> = self.buffer.drain(..n).collect();
+                        let end = self.at_end();
+                        reply.reply(Ok(Batch { items, end }.to_value()));
+                    }
+                    self.settle();
+                }
+                Err(e) => reply.reply(Err(e)),
+            },
+            "Occupancy" => reply.reply(Ok(Value::Int(self.occupancy() as i64))),
+            _ => reply.reply(Err(EdenError::NoSuchOperation {
+                target: ctx.uid(),
+                op: inv.op,
+            })),
+        }
+    }
+}
+
+/// Everything the pump worker needs, moved out of the behaviour at
+/// activation: transform, upstream, upstream channel, wiring, batch.
+type PumpParts = (Box<dyn Transform>, Uid, ChannelId, OutputWiring, usize);
+
+/// The Unix filter as an Eject: active on both faces, so it must sit
+/// between passive buffers. Transforms *and pumps*.
+pub struct PumpFilterEject {
+    /// Moved into the pump worker at activation.
+    parts: Option<PumpParts>,
+}
+
+impl PumpFilterEject {
+    /// Pump from `upstream`'s primary channel into `wiring`, transforming
+    /// en route, `batch` records per transfer.
+    pub fn new(
+        transform: Box<dyn Transform>,
+        upstream: Uid,
+        wiring: OutputWiring,
+        batch: usize,
+    ) -> PumpFilterEject {
+        PumpFilterEject {
+            parts: Some((
+                transform,
+                upstream,
+                ChannelId::output(),
+                wiring,
+                batch.max(1),
+            )),
+        }
+    }
+
+    /// As [`new`](Self::new) but reading a specific upstream channel.
+    pub fn on_channel(
+        transform: Box<dyn Transform>,
+        upstream: Uid,
+        channel: ChannelId,
+        wiring: OutputWiring,
+        batch: usize,
+    ) -> PumpFilterEject {
+        PumpFilterEject {
+            parts: Some((transform, upstream, channel, wiring, batch.max(1))),
+        }
+    }
+}
+
+impl EjectBehavior for PumpFilterEject {
+    fn type_name(&self) -> &'static str {
+        "PumpFilter"
+    }
+
+    fn activate(&mut self, ctx: &EjectContext) {
+        let (mut transform, upstream, channel, wiring, batch) = match self.parts.take() {
+            Some(p) => p,
+            None => return,
+        };
+        ctx.spawn_process("pump", move |pctx| {
+            loop {
+                if pctx.should_stop() {
+                    return;
+                }
+                let req = TransferRequest {
+                    channel,
+                    max: batch,
+                };
+                let pending = pctx.invoke(upstream, ops::TRANSFER, req.to_value());
+                let pulled = match pctx.wait_or_stop(pending).and_then(Batch::from_value) {
+                    Ok(b) => b,
+                    Err(_) => return,
+                };
+                let mut emitter = Emitter::new();
+                for item in pulled.items {
+                    transform.push(item, &mut emitter);
+                }
+                if pulled.end {
+                    transform.flush(&mut emitter);
+                }
+                let mut send = |port: OutputPort, w: WriteRequest| {
+                    let pending = pctx.invoke(port.uid, ops::WRITE, w.to_value());
+                    pctx.wait_or_stop(pending).map(|_| ())
+                };
+                if crate::write_only::deliver(&wiring, &mut emitter, pulled.end, &mut send)
+                    .is_err()
+                {
+                    return;
+                }
+                if pulled.end {
+                    return;
+                }
+            }
+        });
+    }
+
+    fn handle(&mut self, ctx: &EjectContext, inv: Invocation, reply: ReplyHandle) {
+        reply.reply(Err(EdenError::NoSuchOperation {
+            target: ctx.uid(),
+            op: inv.op,
+        }));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collector::Collector;
+    use crate::sink::SinkEject;
+    use crate::source::{PullSource, VecSource};
+    use crate::transform::map_fn;
+    use crate::write_only::{OutputPort, PushSourceEject};
+    use eden_kernel::Kernel;
+    use std::time::Duration;
+
+    #[test]
+    fn buffer_passive_both_faces() {
+        let kernel = Kernel::new();
+        let buf = kernel.spawn(Box::new(PassiveBufferEject::new(4))).unwrap();
+        // Read first: parks (passive output with no data).
+        let pending = kernel.invoke(buf, ops::TRANSFER, TransferRequest::primary(2).to_value());
+        kernel
+            .invoke_sync(
+                buf,
+                ops::WRITE,
+                WriteRequest::more(vec![Value::Int(1), Value::Int(2)]).to_value(),
+            )
+            .unwrap();
+        let batch = Batch::from_value(pending.wait().unwrap()).unwrap();
+        assert_eq!(batch.items, vec![Value::Int(1), Value::Int(2)]);
+        assert!(!batch.end);
+        kernel.shutdown();
+    }
+
+    #[test]
+    fn buffer_parks_writers_when_full() {
+        let kernel = Kernel::new();
+        let buf = kernel.spawn(Box::new(PassiveBufferEject::new(2))).unwrap();
+        kernel
+            .invoke_sync(
+                buf,
+                ops::WRITE,
+                WriteRequest::more(vec![Value::Int(1), Value::Int(2)]).to_value(),
+            )
+            .unwrap();
+        // Buffer is at capacity: the next write parks.
+        let parked = kernel.invoke(
+            buf,
+            ops::WRITE,
+            WriteRequest::more(vec![Value::Int(3)]).to_value(),
+        );
+        std::thread::sleep(Duration::from_millis(20));
+        let occ = kernel.invoke_sync(buf, "Occupancy", Value::Unit).unwrap();
+        assert_eq!(occ, Value::Int(2), "parked write must not be admitted yet");
+        // Draining readmits the parked write and acks its writer.
+        let got = kernel
+            .invoke_sync(buf, ops::TRANSFER, TransferRequest::primary(2).to_value())
+            .unwrap();
+        assert_eq!(Batch::from_value(got).unwrap().len(), 2);
+        parked.wait().unwrap();
+        let got = kernel
+            .invoke_sync(buf, ops::TRANSFER, TransferRequest::primary(2).to_value())
+            .unwrap();
+        assert_eq!(
+            Batch::from_value(got).unwrap().items,
+            vec![Value::Int(3)]
+        );
+        kernel.shutdown();
+    }
+
+    #[test]
+    fn buffer_end_visible_after_drain() {
+        let kernel = Kernel::new();
+        let buf = kernel.spawn(Box::new(PassiveBufferEject::new(8))).unwrap();
+        kernel
+            .invoke_sync(
+                buf,
+                ops::WRITE,
+                WriteRequest::last(vec![Value::Int(1)]).to_value(),
+            )
+            .unwrap();
+        let got = kernel
+            .invoke_sync(buf, ops::TRANSFER, TransferRequest::primary(4).to_value())
+            .unwrap();
+        let batch = Batch::from_value(got).unwrap();
+        assert_eq!(batch.items, vec![Value::Int(1)]);
+        assert!(batch.end);
+        kernel.shutdown();
+    }
+
+    #[test]
+    fn full_conventional_pipeline() {
+        // source —W→ [pipe] ←R— pump-filter —W→ [pipe] ←R— sink
+        // (Figure 1 with one filter.)
+        let kernel = Kernel::new();
+        let pipe_in = kernel.spawn(Box::new(PassiveBufferEject::new(8))).unwrap();
+        let pipe_out = kernel.spawn(Box::new(PassiveBufferEject::new(8))).unwrap();
+        let _filter = kernel
+            .spawn(Box::new(PumpFilterEject::new(
+                Box::new(map_fn("x10", |v| Value::Int(v.as_int().unwrap() * 10))),
+                pipe_in,
+                OutputWiring::primary_to(OutputPort::primary(pipe_out)),
+                4,
+            )))
+            .unwrap();
+        let src = kernel
+            .spawn(Box::new(PushSourceEject::new(
+                Box::new(VecSource::new((0..12).map(Value::Int).collect())),
+                OutputWiring::primary_to(OutputPort::primary(pipe_in)),
+                4,
+            )))
+            .unwrap();
+        let collector = Collector::new();
+        kernel
+            .spawn(Box::new(SinkEject::new(pipe_out, 4, collector.clone())))
+            .unwrap();
+        kernel.invoke_sync(src, "Start", Value::Unit).unwrap();
+        let items = collector.wait_done(Duration::from_secs(10)).unwrap();
+        assert_eq!(items, (0..12).map(|i| Value::Int(i * 10)).collect::<Vec<_>>());
+        kernel.shutdown();
+    }
+
+    #[test]
+    fn small_buffer_still_flows() {
+        // Capacity 1 forces constant parking on both faces; the stream
+        // must still complete (no deadlock).
+        let kernel = Kernel::new();
+        let pipe = kernel.spawn(Box::new(PassiveBufferEject::new(1))).unwrap();
+        let src = kernel
+            .spawn(Box::new(PushSourceEject::new(
+                Box::new(VecSource::new((0..20).map(Value::Int).collect())),
+                OutputWiring::primary_to(OutputPort::primary(pipe)),
+                1,
+            )))
+            .unwrap();
+        let collector = Collector::new();
+        kernel
+            .spawn(Box::new(SinkEject::new(pipe, 1, collector.clone())))
+            .unwrap();
+        kernel.invoke_sync(src, "Start", Value::Unit).unwrap();
+        let items = collector.wait_done(Duration::from_secs(10)).unwrap();
+        assert_eq!(items.len(), 20);
+        kernel.shutdown();
+    }
+
+    #[test]
+    fn write_after_end_rejected() {
+        let kernel = Kernel::new();
+        let buf = kernel.spawn(Box::new(PassiveBufferEject::new(4))).unwrap();
+        kernel
+            .invoke_sync(buf, ops::WRITE, WriteRequest::last(vec![]).to_value())
+            .unwrap();
+        let err = kernel
+            .invoke_sync(
+                buf,
+                ops::WRITE,
+                WriteRequest::more(vec![Value::Int(1)]).to_value(),
+            )
+            .unwrap_err();
+        assert!(matches!(err, EdenError::Application(_)));
+        kernel.shutdown();
+    }
+
+    #[test]
+    fn vecsource_trait_object_safety() {
+        // PullSource must be usable as a boxed trait object.
+        let mut s: Box<dyn PullSource> = Box::new(VecSource::new(vec![Value::Int(1)]));
+        assert!(s.pull(1).end);
+    }
+}

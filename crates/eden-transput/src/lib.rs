@@ -1,0 +1,62 @@
+//! The asymmetric stream communication system of Black's SOSP 1983 paper,
+//! layered over the Eden kernel.
+//!
+//! The paper's observation: there are *four* transput primitives — active
+//! input, passive output, active output, passive input — and a stream
+//! system needs only one **corresponding pair** of them:
+//!
+//! | discipline | filter performs | pump | fan-in | fan-out |
+//! |---|---|---|---|---|
+//! | read-only ([`read_only`]) | active input + passive output | the sink | natural | via channels (§5) |
+//! | write-only ([`write_only`]) | passive input + active output | the source | impossible | natural |
+//! | conventional ([`conventional`]) | active input + active output | every filter | natural | natural |
+//!
+//! The conventional discipline pays for its symmetry with n+1 passive
+//! buffer Ejects and 2n+2 invocations per datum where the asymmetric
+//! disciplines need n+2 Ejects and n+1 invocations (§4).
+//!
+//! # Quick start
+//!
+//! ```
+//! use eden_core::Value;
+//! use eden_kernel::Kernel;
+//! use eden_transput::{Discipline, PipelineBuilder};
+//! use eden_transput::transform::map_fn;
+//! use std::time::Duration;
+//!
+//! let kernel = Kernel::new();
+//! let run = PipelineBuilder::new(&kernel, Discipline::ReadOnly { read_ahead: 0 })
+//!     .source_vec((0..5).map(Value::Int).collect())
+//!     .stage(Box::new(map_fn("square", |v| {
+//!         let i = v.as_int().unwrap();
+//!         Value::Int(i * i)
+//!     })))
+//!     .build()
+//!     .unwrap()
+//!     .run(Duration::from_secs(10))
+//!     .unwrap();
+//! assert_eq!(run.output[4], Value::Int(16));
+//! kernel.shutdown();
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod bytestream;
+pub mod channels;
+pub mod collector;
+pub mod conventional;
+pub mod devices;
+pub mod pipeline;
+pub mod protocol;
+pub mod read_only;
+pub mod sink;
+pub mod source;
+pub mod stdio;
+pub mod transform;
+pub mod write_only;
+
+pub use channels::{ChannelPolicy, ChannelSpec, ChannelTable};
+pub use collector::Collector;
+pub use pipeline::{Discipline, Pipeline, PipelineBuilder, PipelineRun};
+pub use protocol::{Batch, ChannelId, TransferRequest, WriteRequest};
+pub use transform::{Emitter, Transform};

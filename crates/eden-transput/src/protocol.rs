@@ -1,0 +1,350 @@
+//! The Eden stream transput protocol.
+//!
+//! "The Eden transput package is nothing more than such a protocol designed
+//! to support the abstraction of a Sequence, together with a collection of
+//! library routines which help user Ejects to obey it" (§6). This module is
+//! the protocol half: the invocation shapes for `Transfer` (active input /
+//! passive output — the "read only" discipline) and `Write` (active output /
+//! passive input — the "write only" discipline), and the channel identifiers
+//! of §5 that restore fan-out to the read-only model.
+//!
+//! Streams carry [`Value`] records, not just bytes (§6: "Streams of
+//! arbitrary records fit into the protocol just as well").
+
+use eden_core::{EdenError, Result, Uid, Value};
+
+/// The conventional number of the primary output channel.
+pub const CHANNEL_OUTPUT: u32 = 0;
+/// The conventional number of the report (monitoring) channel of §5.
+pub const CHANNEL_REPORT: u32 = 1;
+
+/// The name of the primary output channel in channel tables.
+pub const OUTPUT_NAME: &str = "Output";
+/// The name of the report channel in channel tables.
+pub const REPORT_NAME: &str = "Report";
+
+/// Identifies one output stream of a multi-output source (§5).
+///
+/// * [`ChannelId::Number`] — "integer channel identifiers as described in
+///   Section 5" (§7, the configuration Eden actually ran). Guessable: any
+///   Eject that knows the source's UID can read any numbered channel.
+/// * [`ChannelId::Cap`] — "use UIDs as channel identifiers: because UIDs
+///   cannot be forged, the only Ejects which are able to make valid
+///   ReadonChannel requests of F are those to which a channel identifier
+///   has been given explicitly" (§5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ChannelId {
+    /// A well-known small integer (0 = primary output, 1 = reports, ...).
+    Number(u32),
+    /// An unforgeable capability channel.
+    Cap(Uid),
+}
+
+impl ChannelId {
+    /// The primary output channel.
+    pub fn output() -> ChannelId {
+        ChannelId::Number(CHANNEL_OUTPUT)
+    }
+
+    /// The report channel.
+    pub fn report() -> ChannelId {
+        ChannelId::Number(CHANNEL_REPORT)
+    }
+
+    /// Encode for transport inside an invocation argument.
+    pub fn to_value(self) -> Value {
+        match self {
+            ChannelId::Number(n) => Value::Int(i64::from(n)),
+            ChannelId::Cap(uid) => Value::Uid(uid),
+        }
+    }
+
+    /// Decode from an invocation argument.
+    pub fn from_value(v: &Value) -> Result<ChannelId> {
+        match v {
+            Value::Int(n) if *n >= 0 && *n <= i64::from(u32::MAX) => {
+                Ok(ChannelId::Number(*n as u32))
+            }
+            Value::Uid(uid) => Ok(ChannelId::Cap(*uid)),
+            other => Err(EdenError::BadParameter(format!(
+                "channel id must be a small integer or a UID, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl Default for ChannelId {
+    fn default() -> Self {
+        ChannelId::output()
+    }
+}
+
+/// A batch of stream records plus the end-of-stream status.
+///
+/// §7: the bootstrap system's `Transfer` replies with data "and eventually
+/// with an indication that the end of the file had been reached". Carrying
+/// `end` alongside the final records (rather than as a separate empty
+/// reply) keeps the per-datum invocation counts exactly at the paper's
+/// n+1 / 2n+2 figures.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Batch {
+    /// The records, in stream order.
+    pub items: Vec<Value>,
+    /// True if no records will follow these.
+    pub end: bool,
+}
+
+impl Batch {
+    /// A batch carrying records, with more to come.
+    pub fn more(items: Vec<Value>) -> Batch {
+        Batch { items, end: false }
+    }
+
+    /// The final batch (possibly carrying the last records).
+    pub fn last(items: Vec<Value>) -> Batch {
+        Batch { items, end: true }
+    }
+
+    /// An empty end-of-stream batch.
+    pub fn end() -> Batch {
+        Batch {
+            items: Vec::new(),
+            end: true,
+        }
+    }
+
+    /// Number of records in the batch.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when the batch carries no records.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Encode as a reply value.
+    pub fn to_value(self) -> Value {
+        Value::record([
+            ("items", Value::List(self.items)),
+            ("end", Value::Bool(self.end)),
+        ])
+    }
+
+    /// Decode from a reply value.
+    pub fn from_value(v: Value) -> Result<Batch> {
+        let end = v.field("end")?.as_bool()?;
+        let items = match v.field_opt("items") {
+            Some(Value::List(_)) => v
+                .field("items")?
+                .clone()
+                .into_list()
+                .expect("checked list"),
+            _ => return Err(EdenError::BadParameter("batch lacks `items` list".into())),
+        };
+        Ok(Batch { items, end })
+    }
+}
+
+/// The argument of a `Transfer` invocation: "give me up to `max` records
+/// from channel `channel`".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TransferRequest {
+    /// Which output stream of the source to read (§5).
+    pub channel: ChannelId,
+    /// Upper bound on records returned; sources may return fewer.
+    pub max: usize,
+}
+
+impl TransferRequest {
+    /// A request on the primary channel.
+    pub fn primary(max: usize) -> TransferRequest {
+        TransferRequest {
+            channel: ChannelId::output(),
+            max,
+        }
+    }
+
+    /// Encode as an invocation argument.
+    pub fn to_value(self) -> Value {
+        Value::record([
+            ("channel", self.channel.to_value()),
+            ("max", Value::Int(self.max as i64)),
+        ])
+    }
+
+    /// Decode from an invocation argument.
+    pub fn from_value(v: &Value) -> Result<TransferRequest> {
+        let channel = ChannelId::from_value(v.field("channel")?)?;
+        let max = v.field("max")?.as_int()?;
+        if max <= 0 {
+            return Err(EdenError::BadParameter(format!(
+                "Transfer max must be positive, got {max}"
+            )));
+        }
+        Ok(TransferRequest {
+            channel,
+            max: max as usize,
+        })
+    }
+}
+
+/// The argument of a `Write` invocation: "here are records for channel
+/// `channel`" (write-only discipline, §5).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WriteRequest {
+    /// Which input stream of the receiver these records belong to.
+    pub channel: ChannelId,
+    /// The records.
+    pub items: Vec<Value>,
+    /// True if this is the final write on the stream.
+    pub end: bool,
+}
+
+impl WriteRequest {
+    /// A write on the primary channel with more to come.
+    pub fn more(items: Vec<Value>) -> WriteRequest {
+        WriteRequest {
+            channel: ChannelId::output(),
+            items,
+            end: false,
+        }
+    }
+
+    /// The final write on the primary channel.
+    pub fn last(items: Vec<Value>) -> WriteRequest {
+        WriteRequest {
+            channel: ChannelId::output(),
+            items,
+            end: true,
+        }
+    }
+
+    /// Encode as an invocation argument.
+    pub fn to_value(self) -> Value {
+        Value::record([
+            ("channel", self.channel.to_value()),
+            ("items", Value::List(self.items)),
+            ("end", Value::Bool(self.end)),
+        ])
+    }
+
+    /// Decode from an invocation argument.
+    pub fn from_value(v: Value) -> Result<WriteRequest> {
+        let channel = ChannelId::from_value(v.field("channel")?)?;
+        let end = v.field("end")?.as_bool()?;
+        let items = match v.field_opt("items") {
+            Some(Value::List(items)) => items.clone(),
+            _ => return Err(EdenError::BadParameter("write lacks `items` list".into())),
+        };
+        Ok(WriteRequest { channel, items, end })
+    }
+}
+
+/// The argument of a `GetChannel` invocation: ask a source for the channel
+/// identifier of a named output stream. With capability channels this is
+/// the *only* way to learn the identifier (§5).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GetChannelRequest {
+    /// The documented name of the channel, e.g. `"Output"` or `"Report"`.
+    pub name: String,
+}
+
+impl GetChannelRequest {
+    /// Encode as an invocation argument.
+    pub fn to_value(self) -> Value {
+        Value::record([("name", Value::Str(self.name))])
+    }
+
+    /// Decode from an invocation argument.
+    pub fn from_value(v: &Value) -> Result<GetChannelRequest> {
+        Ok(GetChannelRequest {
+            name: v.field("name")?.as_str()?.to_owned(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn channel_id_roundtrip() {
+        for id in [
+            ChannelId::Number(0),
+            ChannelId::Number(7),
+            ChannelId::Cap(Uid::fresh()),
+        ] {
+            assert_eq!(ChannelId::from_value(&id.to_value()).unwrap(), id);
+        }
+    }
+
+    #[test]
+    fn channel_id_rejects_garbage() {
+        assert!(ChannelId::from_value(&Value::str("zero")).is_err());
+        assert!(ChannelId::from_value(&Value::Int(-1)).is_err());
+    }
+
+    #[test]
+    fn batch_roundtrip() {
+        let b = Batch::more(vec![Value::Int(1), Value::str("x")]);
+        assert_eq!(Batch::from_value(b.clone().to_value()).unwrap(), b);
+        let e = Batch::end();
+        assert!(e.is_empty());
+        assert_eq!(Batch::from_value(e.clone().to_value()).unwrap(), e);
+    }
+
+    #[test]
+    fn batch_last_carries_items_and_end() {
+        let b = Batch::last(vec![Value::Int(9)]);
+        assert_eq!(b.len(), 1);
+        assert!(b.end);
+    }
+
+    #[test]
+    fn transfer_request_roundtrip() {
+        let r = TransferRequest {
+            channel: ChannelId::report(),
+            max: 32,
+        };
+        assert_eq!(TransferRequest::from_value(&r.to_value()).unwrap(), r);
+    }
+
+    #[test]
+    fn transfer_request_rejects_nonpositive_max() {
+        let bad = TransferRequest::primary(1).to_value();
+        let mut fields = match bad {
+            Value::Record(f) => f,
+            _ => unreachable!(),
+        };
+        fields[1].1 = Value::Int(0);
+        assert!(TransferRequest::from_value(&Value::Record(fields)).is_err());
+    }
+
+    #[test]
+    fn write_request_roundtrip() {
+        let w = WriteRequest {
+            channel: ChannelId::Cap(Uid::fresh()),
+            items: vec![Value::str("a")],
+            end: true,
+        };
+        assert_eq!(WriteRequest::from_value(w.clone().to_value()).unwrap(), w);
+    }
+
+    #[test]
+    fn get_channel_roundtrip() {
+        let g = GetChannelRequest {
+            name: REPORT_NAME.to_owned(),
+        };
+        assert_eq!(
+            GetChannelRequest::from_value(&g.clone().to_value()).unwrap(),
+            g
+        );
+    }
+
+    #[test]
+    fn default_channel_is_primary() {
+        assert_eq!(ChannelId::default(), ChannelId::Number(CHANNEL_OUTPUT));
+    }
+}

@@ -1,0 +1,724 @@
+//! The "read only" discipline: filters that perform **active input** and
+//! **passive output** (§4).
+//!
+//! A [`PullFilterEject`] knows the UID(s) of its input(s) — "one of
+//! [the initialisation arguments] is the Unique Identifier of the Eject from
+//! which it is to obtain its input" — but *not* where its output goes: "it
+//! will be sent to whatever Eject requests it (by performing a Read)."
+//!
+//! Two execution modes reproduce §4's discussion of laziness:
+//!
+//! * **Lazy** (`read_ahead == 0`): "no computation need be done until the
+//!   result is requested." The filter pulls upstream only while serving a
+//!   `Transfer`, synchronously, on its coordinator. No data moves anywhere
+//!   until a sink starts reading.
+//! * **Read-ahead** (`read_ahead > 0`): "each Eject in a pipeline should
+//!   read some input and buffer-up some output, and then suspend processing
+//!   pending a request for output. In this way all the Ejects in a pipeline
+//!   can run concurrently." A worker process pre-pulls up to `read_ahead`
+//!   records under a credit scheme; the coordinator transforms, buffers,
+//!   and answers parked `Transfer`s (passive output via deferred replies).
+//!
+//! Fan-in is natural here (§5): the filter simply holds several input UIDs.
+//! Fan-out requires the channel identifiers of §5, provided by the
+//! [`ChannelTable`].
+
+use std::collections::VecDeque;
+
+use eden_core::op::ops;
+use eden_core::{EdenError, Result, Uid, Value};
+use eden_kernel::{EjectBehavior, EjectContext, Invocation, ReplyHandle};
+
+use crate::channels::{ChannelPolicy, ChannelTable};
+use crate::protocol::{Batch, ChannelId, GetChannelRequest, TransferRequest, OUTPUT_NAME};
+use crate::transform::{Emitter, Transform};
+
+/// How a multi-input filter interleaves its inputs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FanInMode {
+    /// Read input 0 to its end, then input 1, and so on (like `cat a b`).
+    #[default]
+    Concatenate,
+    /// Alternate batches across the inputs that have not yet ended.
+    RoundRobin,
+    /// Take one record from every input and emit the tuple
+    /// `Value::List([r0, r1, ...])`; the stream ends when any input ends.
+    /// This is the shape file-comparison filters consume.
+    Zip,
+}
+
+/// One upstream connection: which Eject, which of its channels.
+#[derive(Debug, Clone, Copy)]
+pub struct InputPort {
+    /// The source Eject.
+    pub uid: Uid,
+    /// Which of its output channels to read.
+    pub channel: ChannelId,
+}
+
+impl InputPort {
+    /// The common case: a source's primary channel.
+    pub fn primary(uid: Uid) -> InputPort {
+        InputPort {
+            uid,
+            channel: ChannelId::output(),
+        }
+    }
+}
+
+/// Tuning for a [`PullFilterEject`].
+#[derive(Debug, Clone)]
+pub struct PullFilterConfig {
+    /// Records requested per upstream `Transfer`.
+    pub batch: usize,
+    /// Target number of pre-pulled records (0 = lazy).
+    pub read_ahead: usize,
+    /// Input interleaving for multi-input filters.
+    pub fan_in: FanInMode,
+    /// How output channel identifiers are minted.
+    pub policy: ChannelPolicy,
+}
+
+impl Default for PullFilterConfig {
+    fn default() -> Self {
+        PullFilterConfig {
+            batch: 16,
+            read_ahead: 0,
+            fan_in: FanInMode::Concatenate,
+            policy: ChannelPolicy::Integer,
+        }
+    }
+}
+
+/// Pulls records from a set of input ports according to a [`FanInMode`].
+struct InputPuller {
+    ports: Vec<InputPort>,
+    ended: Vec<bool>,
+    mode: FanInMode,
+    next: usize,
+    done: bool,
+}
+
+/// One step of input: records pulled, and whether the input is exhausted.
+struct PullStep {
+    items: Vec<Value>,
+    done: bool,
+}
+
+impl InputPuller {
+    fn new(ports: Vec<InputPort>, mode: FanInMode) -> InputPuller {
+        let n = ports.len();
+        InputPuller {
+            ports,
+            ended: vec![false; n],
+            mode,
+            next: 0,
+            done: n == 0,
+        }
+    }
+
+    /// Pull the next step of input. `transfer` performs one Transfer
+    /// invocation and returns the decoded batch.
+    fn pull_next<F>(&mut self, batch: usize, transfer: &mut F) -> Result<PullStep>
+    where
+        F: FnMut(Uid, TransferRequest) -> Result<Batch>,
+    {
+        if self.done {
+            return Ok(PullStep {
+                items: Vec::new(),
+                done: true,
+            });
+        }
+        match self.mode {
+            FanInMode::Concatenate | FanInMode::RoundRobin => {
+                // Find the next port that has not ended.
+                let mut probed = 0;
+                while self.ended[self.next % self.ports.len()] {
+                    self.next += 1;
+                    probed += 1;
+                    debug_assert!(probed <= self.ports.len(), "done flag out of sync");
+                }
+                let idx = self.next % self.ports.len();
+                let port = self.ports[idx];
+                let b = transfer(
+                    port.uid,
+                    TransferRequest {
+                        channel: port.channel,
+                        max: batch,
+                    },
+                )?;
+                if b.end {
+                    self.ended[idx] = true;
+                }
+                if self.mode == FanInMode::RoundRobin {
+                    self.next += 1;
+                }
+                self.done = self.ended.iter().all(|&e| e);
+                Ok(PullStep {
+                    items: b.items,
+                    done: self.done,
+                })
+            }
+            FanInMode::Zip => {
+                let mut tuple = Vec::with_capacity(self.ports.len());
+                let mut any_short = false;
+                for port in &self.ports {
+                    let b = transfer(
+                        port.uid,
+                        TransferRequest {
+                            channel: port.channel,
+                            max: 1,
+                        },
+                    )?;
+                    if b.items.is_empty() {
+                        any_short = true;
+                    } else {
+                        tuple.extend(b.items);
+                    }
+                    if b.end {
+                        any_short = true;
+                    }
+                }
+                if any_short {
+                    self.done = true;
+                    // A partial tuple (some input ended mid-row) is
+                    // discarded: zip semantics.
+                    let items = if tuple.len() == self.ports.len() {
+                        vec![Value::List(tuple)]
+                    } else {
+                        Vec::new()
+                    };
+                    Ok(PullStep { items, done: true })
+                } else {
+                    Ok(PullStep {
+                        items: vec![Value::List(tuple)],
+                        done: false,
+                    })
+                }
+            }
+        }
+    }
+}
+
+/// A parked `Transfer` awaiting data: passive output in flight.
+struct Waiter {
+    max: usize,
+    reply: ReplyHandle,
+}
+
+/// Per-output-channel buffering.
+#[derive(Default)]
+struct OutChannel {
+    buffer: VecDeque<Value>,
+    waiters: VecDeque<Waiter>,
+}
+
+/// A filter Eject of the read-only discipline. See the module docs.
+pub struct PullFilterEject {
+    transform: Box<dyn Transform>,
+    channels: ChannelTable,
+    out: Vec<OutChannel>,
+    config: PullFilterConfig,
+    /// Present in lazy mode; moved into the worker in read-ahead mode.
+    puller: Option<InputPuller>,
+    /// Worker-mode credit: records requested from the worker but not yet
+    /// delivered.
+    outstanding: usize,
+    credit_tx: Option<crossbeam::channel::Sender<usize>>,
+    input_done: bool,
+    flushed: bool,
+}
+
+impl PullFilterEject {
+    /// A single-input filter with default configuration.
+    pub fn new(transform: Box<dyn Transform>, input: InputPort) -> PullFilterEject {
+        PullFilterEject::with_config(transform, vec![input], PullFilterConfig::default())
+    }
+
+    /// A filter with explicit inputs and configuration.
+    pub fn with_config(
+        transform: Box<dyn Transform>,
+        inputs: Vec<InputPort>,
+        config: PullFilterConfig,
+    ) -> PullFilterEject {
+        let mut names = vec![OUTPUT_NAME.to_owned()];
+        names.extend(transform.secondary_channels().iter().map(|s| s.to_string()));
+        let channels = ChannelTable::new(config.policy, names);
+        let out = (0..channels.len()).map(|_| OutChannel::default()).collect();
+        let puller = InputPuller::new(inputs, config.fan_in);
+        PullFilterEject {
+            transform,
+            channels,
+            out,
+            config,
+            puller: Some(puller),
+            outstanding: 0,
+            credit_tx: None,
+            input_done: false,
+            flushed: false,
+        }
+    }
+
+    /// The channel table (for tests; peers use `GetChannel`).
+    pub fn channel_table(&self) -> &ChannelTable {
+        &self.channels
+    }
+
+    /// Feed raw input records through the transform into the out-buffers.
+    fn ingest(&mut self, items: Vec<Value>) {
+        let mut emitter = Emitter::new();
+        for item in items {
+            self.transform.push(item, &mut emitter);
+        }
+        self.drain_emitter(emitter);
+    }
+
+    /// Input exhausted: flush the transform.
+    fn finish_input(&mut self) {
+        if self.flushed {
+            return;
+        }
+        self.input_done = true;
+        let mut emitter = Emitter::new();
+        self.transform.flush(&mut emitter);
+        self.drain_emitter(emitter);
+        self.flushed = true;
+    }
+
+    fn drain_emitter(&mut self, mut emitter: Emitter) {
+        for item in emitter.take_primary() {
+            self.out[0].buffer.push_back(item);
+        }
+        for (name, items) in emitter.take_secondary() {
+            // A transform emitting on an undeclared channel is a bug in the
+            // transform; drop the records rather than poison the stream.
+            if let Ok(idx) = self
+                .channels
+                .id_of(&name)
+                .and_then(|id| self.channels.index_of(id))
+            {
+                self.out[idx].buffer.extend(items);
+            }
+        }
+    }
+
+    /// Answer as many parked Transfers as the buffers now allow.
+    fn serve_waiters(&mut self) {
+        for ch in &mut self.out {
+            while let Some(front) = ch.waiters.front() {
+                if ch.buffer.is_empty() && !self.flushed {
+                    break;
+                }
+                let max = front.max;
+                let waiter = ch.waiters.pop_front().expect("front checked");
+                let n = max.min(ch.buffer.len());
+                let items: Vec<Value> = ch.buffer.drain(..n).collect();
+                let end = self.flushed && ch.buffer.is_empty();
+                waiter.reply.reply(Ok(Batch { items, end }.to_value()));
+            }
+        }
+    }
+
+    /// Lazy mode: synchronously pull and transform until `channel_idx` has
+    /// `want` records buffered (or input ends).
+    fn fill_lazily(&mut self, ctx: &EjectContext, channel_idx: usize, want: usize) {
+        while self.out[channel_idx].buffer.len() < want && !self.flushed {
+            let step = {
+                let puller = match self.puller.as_mut() {
+                    Some(p) => p,
+                    None => break,
+                };
+                let batch = self.config.batch;
+                let mut transfer = |uid: Uid, req: TransferRequest| -> Result<Batch> {
+                    ctx.invoke_sync(uid, ops::TRANSFER, req.to_value())
+                        .and_then(Batch::from_value)
+                };
+                puller.pull_next(batch, &mut transfer)
+            };
+            match step {
+                Ok(step) => {
+                    self.ingest(step.items);
+                    if step.done {
+                        self.finish_input();
+                    }
+                }
+                Err(_e) => {
+                    // Upstream failure: end the stream here. Readers see a
+                    // short stream; the error also surfaced in metrics.
+                    self.finish_input();
+                }
+            }
+        }
+    }
+
+    /// Worker mode: top up the credit so the worker keeps `read_ahead`
+    /// records in flight or buffered.
+    fn grant_credit(&mut self) {
+        if self.input_done {
+            return;
+        }
+        let buffered = self.out[0].buffer.len();
+        let target = self.config.read_ahead;
+        let in_flight = buffered + self.outstanding;
+        if in_flight < target {
+            let want = target - in_flight;
+            if let Some(tx) = &self.credit_tx {
+                if tx.try_send(want).is_ok() {
+                    self.outstanding += want;
+                }
+            }
+        }
+    }
+
+    fn serve_transfer(&mut self, ctx: &EjectContext, req: TransferRequest, reply: ReplyHandle) {
+        let idx = match self.channels.index_of(req.channel) {
+            Ok(idx) => idx,
+            Err(e) => {
+                reply.reply(Err(e));
+                return;
+            }
+        };
+        if self.config.read_ahead == 0 {
+            // Lazy: do the work now, on demand.
+            if idx == 0 {
+                self.fill_lazily(ctx, 0, req.max);
+            }
+            // Secondary channels fill only as a by-product of primary
+            // demand — §4's laziness means reports trail the main stream.
+            let ch = &mut self.out[idx];
+            if ch.buffer.is_empty() && !self.flushed && idx != 0 {
+                reply.mark_deferred();
+                ch.waiters.push_back(Waiter {
+                    max: req.max,
+                    reply,
+                });
+                return;
+            }
+            let n = req.max.min(ch.buffer.len());
+            let items: Vec<Value> = ch.buffer.drain(..n).collect();
+            let end = self.flushed && ch.buffer.is_empty();
+            reply.reply(Ok(Batch { items, end }.to_value()));
+            // Primary demand may have produced secondary-channel data (or
+            // flushed the stream); wake any parked report readers.
+            self.serve_waiters();
+        } else {
+            // Read-ahead: serve from the buffer or park.
+            let ch = &mut self.out[idx];
+            if ch.buffer.is_empty() && !self.flushed {
+                reply.mark_deferred();
+                ch.waiters.push_back(Waiter {
+                    max: req.max,
+                    reply,
+                });
+            } else {
+                let n = req.max.min(ch.buffer.len());
+                let items: Vec<Value> = ch.buffer.drain(..n).collect();
+                let end = self.flushed && ch.buffer.is_empty();
+                reply.reply(Ok(Batch { items, end }.to_value()));
+            }
+            self.grant_credit();
+        }
+    }
+}
+
+impl EjectBehavior for PullFilterEject {
+    fn type_name(&self) -> &'static str {
+        "PullFilter"
+    }
+
+    fn activate(&mut self, ctx: &EjectContext) {
+        if self.config.read_ahead == 0 {
+            return;
+        }
+        // Read-ahead mode: move the puller into a worker process that
+        // fetches input under credit control and posts it back as internal
+        // events (language-level IPC, metered separately from invocation).
+        let mut puller = match self.puller.take() {
+            Some(p) => p,
+            None => return,
+        };
+        let (credit_tx, credit_rx) = crossbeam::channel::bounded::<usize>(64);
+        self.credit_tx = Some(credit_tx);
+        let batch = self.config.batch;
+        ctx.spawn_process("read-ahead", move |pctx| {
+            loop {
+                let credit = match credit_rx.recv() {
+                    Ok(c) => c,
+                    Err(_) => return, // Coordinator gone.
+                };
+                let mut fetched = 0;
+                while fetched < credit {
+                    if pctx.should_stop() {
+                        return;
+                    }
+                    let mut transfer = |uid: Uid, req: TransferRequest| -> Result<Batch> {
+                        let pending = pctx.invoke(uid, ops::TRANSFER, req.to_value());
+                        pctx.wait_or_stop(pending).and_then(Batch::from_value)
+                    };
+                    let step = match puller.pull_next(batch.min(credit - fetched), &mut transfer)
+                    {
+                        Ok(s) => s,
+                        Err(_) => PullStep {
+                            items: Vec::new(),
+                            done: true,
+                        },
+                    };
+                    fetched += step.items.len();
+                    let done = step.done;
+                    let event = Value::record([
+                        ("kind", Value::str(if done { "last" } else { "data" })),
+                        ("items", Value::List(step.items)),
+                    ]);
+                    if pctx.post_internal(event).is_err() {
+                        return;
+                    }
+                    if done {
+                        return;
+                    }
+                }
+            }
+        });
+        // Prime the pump: pre-fetch in anticipation of demand (§4).
+        self.grant_credit();
+    }
+
+    fn handle(&mut self, ctx: &EjectContext, inv: Invocation, reply: ReplyHandle) {
+        match inv.op.as_str() {
+            ops::TRANSFER => match TransferRequest::from_value(&inv.arg) {
+                Ok(req) => self.serve_transfer(ctx, req, reply),
+                Err(e) => reply.reply(Err(e)),
+            },
+            ops::GET_CHANNEL => {
+                let result = GetChannelRequest::from_value(&inv.arg)
+                    .and_then(|req| self.channels.id_of(&req.name))
+                    .map(|id| id.to_value());
+                reply.reply(result);
+            }
+            _ => reply.reply(Err(EdenError::NoSuchOperation {
+                target: ctx.uid(),
+                op: inv.op,
+            })),
+        }
+    }
+
+    fn internal(&mut self, _ctx: &EjectContext, event: Value) {
+        // Data (or end) arriving from the read-ahead worker.
+        let kind = match event.field("kind").and_then(|k| Ok(k.as_str()?.to_owned())) {
+            Ok(k) => k,
+            Err(_) => return,
+        };
+        let items = match event.field("items").cloned().and_then(Value::into_list) {
+            Ok(items) => items,
+            Err(_) => return,
+        };
+        self.outstanding = self.outstanding.saturating_sub(items.len());
+        self.ingest(items);
+        if kind == "last" {
+            // The worker may have delivered less than it was credited for.
+            self.outstanding = 0;
+            self.finish_input();
+        }
+        self.serve_waiters();
+        self.grant_credit();
+    }
+
+    fn deactivating(&mut self, _ctx: &EjectContext) {
+        // Closing the credit channel unblocks the worker's recv.
+        self.credit_tx = None;
+        // Parked replies drop with `self`, failing their waiters fast.
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collector::Collector;
+    use crate::sink::SinkEject;
+    use crate::source::{SourceEject, VecSource};
+    use crate::transform::{filter_fn, map_fn, Identity};
+    use eden_kernel::Kernel;
+    use std::time::Duration;
+
+    fn int_source(kernel: &Kernel, n: i64) -> Uid {
+        kernel
+            .spawn(Box::new(SourceEject::new(Box::new(VecSource::new(
+                (0..n).map(Value::Int).collect(),
+            )))))
+            .unwrap()
+    }
+
+    #[test]
+    fn lazy_filter_end_to_end() {
+        let kernel = Kernel::new();
+        let src = int_source(&kernel, 10);
+        let filter = kernel
+            .spawn(Box::new(PullFilterEject::new(
+                Box::new(map_fn("double", |v| Value::Int(v.as_int().unwrap() * 2))),
+                InputPort::primary(src),
+            )))
+            .unwrap();
+        let collector = Collector::new();
+        kernel
+            .spawn(Box::new(SinkEject::new(filter, 4, collector.clone())))
+            .unwrap();
+        let items = collector.wait_done(Duration::from_secs(10)).unwrap();
+        assert_eq!(items, (0..10).map(|i| Value::Int(i * 2)).collect::<Vec<_>>());
+        kernel.shutdown();
+    }
+
+    #[test]
+    fn read_ahead_filter_end_to_end() {
+        let kernel = Kernel::new();
+        let src = int_source(&kernel, 50);
+        let filter = kernel
+            .spawn(Box::new(PullFilterEject::with_config(
+                Box::new(filter_fn("evens", |v| v.as_int().map(|i| i % 2 == 0).unwrap_or(false))),
+                vec![InputPort::primary(src)],
+                PullFilterConfig {
+                    read_ahead: 8,
+                    batch: 4,
+                    ..Default::default()
+                },
+            )))
+            .unwrap();
+        let collector = Collector::new();
+        kernel
+            .spawn(Box::new(SinkEject::new(filter, 4, collector.clone())))
+            .unwrap();
+        let items = collector.wait_done(Duration::from_secs(10)).unwrap();
+        assert_eq!(items.len(), 25);
+        assert_eq!(items[0], Value::Int(0));
+        assert_eq!(items[24], Value::Int(48));
+        kernel.shutdown();
+    }
+
+    #[test]
+    fn fan_in_concatenate() {
+        let kernel = Kernel::new();
+        let a = int_source(&kernel, 3);
+        let b = int_source(&kernel, 2);
+        let filter = kernel
+            .spawn(Box::new(PullFilterEject::with_config(
+                Box::new(Identity),
+                vec![InputPort::primary(a), InputPort::primary(b)],
+                PullFilterConfig::default(),
+            )))
+            .unwrap();
+        let collector = Collector::new();
+        kernel
+            .spawn(Box::new(SinkEject::new(filter, 8, collector.clone())))
+            .unwrap();
+        let items = collector.wait_done(Duration::from_secs(10)).unwrap();
+        assert_eq!(
+            items,
+            vec![Value::Int(0), Value::Int(1), Value::Int(2), Value::Int(0), Value::Int(1)]
+        );
+        kernel.shutdown();
+    }
+
+    #[test]
+    fn fan_in_zip_pairs_until_shorter_ends() {
+        let kernel = Kernel::new();
+        let a = int_source(&kernel, 4);
+        let b = int_source(&kernel, 2);
+        let filter = kernel
+            .spawn(Box::new(PullFilterEject::with_config(
+                Box::new(Identity),
+                vec![InputPort::primary(a), InputPort::primary(b)],
+                PullFilterConfig {
+                    fan_in: FanInMode::Zip,
+                    ..Default::default()
+                },
+            )))
+            .unwrap();
+        let collector = Collector::new();
+        kernel
+            .spawn(Box::new(SinkEject::new(filter, 8, collector.clone())))
+            .unwrap();
+        let items = collector.wait_done(Duration::from_secs(10)).unwrap();
+        assert_eq!(
+            items,
+            vec![
+                Value::List(vec![Value::Int(0), Value::Int(0)]),
+                Value::List(vec![Value::Int(1), Value::Int(1)]),
+            ]
+        );
+        kernel.shutdown();
+    }
+
+    #[test]
+    fn read_ahead_with_fan_in() {
+        // The prefetch worker owns the multi-port puller: fan-in and
+        // read-ahead must compose.
+        let kernel = Kernel::new();
+        let a = int_source(&kernel, 10);
+        let b = int_source(&kernel, 10);
+        let filter = kernel
+            .spawn(Box::new(PullFilterEject::with_config(
+                Box::new(Identity),
+                vec![InputPort::primary(a), InputPort::primary(b)],
+                PullFilterConfig {
+                    read_ahead: 8,
+                    batch: 4,
+                    fan_in: FanInMode::RoundRobin,
+                    ..Default::default()
+                },
+            )))
+            .unwrap();
+        let collector = Collector::new();
+        kernel
+            .spawn(Box::new(SinkEject::new(filter, 4, collector.clone())))
+            .unwrap();
+        let items = collector.wait_done(Duration::from_secs(10)).unwrap();
+        assert_eq!(items.len(), 20);
+        // The merge delivers each source's full stream exactly once.
+        let mut values: Vec<i64> = items.iter().map(|v| v.as_int().unwrap()).collect();
+        values.sort_unstable();
+        let expected: Vec<i64> = (0..10).flat_map(|i| [i, i]).collect();
+        assert_eq!(values, expected);
+        kernel.shutdown();
+    }
+
+    #[test]
+    fn transfer_on_undeclared_channel_fails() {
+        let kernel = Kernel::new();
+        let src = int_source(&kernel, 1);
+        let filter = kernel
+            .spawn(Box::new(PullFilterEject::new(
+                Box::new(Identity),
+                InputPort::primary(src),
+            )))
+            .unwrap();
+        let err = kernel
+            .invoke_sync(
+                filter,
+                ops::TRANSFER,
+                TransferRequest {
+                    channel: ChannelId::Number(5),
+                    max: 1,
+                }
+                .to_value(),
+            )
+            .unwrap_err();
+        assert!(matches!(err, EdenError::NoSuchChannel(_)));
+        kernel.shutdown();
+    }
+
+    #[test]
+    fn empty_source_yields_empty_end() {
+        let kernel = Kernel::new();
+        let src = int_source(&kernel, 0);
+        let filter = kernel
+            .spawn(Box::new(PullFilterEject::new(
+                Box::new(Identity),
+                InputPort::primary(src),
+            )))
+            .unwrap();
+        let got = kernel
+            .invoke_sync(filter, ops::TRANSFER, TransferRequest::primary(4).to_value())
+            .unwrap();
+        let batch = Batch::from_value(got).unwrap();
+        assert!(batch.is_empty() && batch.end);
+        kernel.shutdown();
+    }
+}

@@ -1,0 +1,290 @@
+//! Data sinks.
+//!
+//! In the read-only discipline the sink is the *pump*: "output devices such
+//! as terminals and printers would provide a potentially infinite supply of
+//! *Read* invocations. Connecting a terminal to a filter Eject would be
+//! rather like starting a pump" (§4). [`SinkEject`] is that device: from the
+//! moment it activates, a worker process pulls from the configured source
+//! until end-of-stream.
+//!
+//! In the write-only discipline the sink is passive:
+//! [`AcceptorSinkEject`] merely accepts `Write` invocations. Faithfully to
+//! §5, it *cannot tell its writers apart* — which is exactly why write-only
+//! transput has no controlled fan-in.
+
+use eden_core::op::ops;
+use eden_core::{EdenError, Uid, Value};
+use eden_kernel::{EjectBehavior, EjectContext, Invocation, ReplyHandle};
+
+use crate::collector::Collector;
+use crate::protocol::{Batch, ChannelId, TransferRequest, WriteRequest};
+
+/// An active-input sink: pumps a source dry and lands the records in a
+/// [`Collector`].
+pub struct SinkEject {
+    source: Uid,
+    channel: ChannelId,
+    batch: usize,
+    collector: Collector,
+}
+
+impl SinkEject {
+    /// Pump `source`'s primary channel in batches of `batch` records.
+    pub fn new(source: Uid, batch: usize, collector: Collector) -> SinkEject {
+        SinkEject::on_channel(source, ChannelId::output(), batch, collector)
+    }
+
+    /// Pump a specific channel of `source` — how report windows read
+    /// `Read(ReportStream)` in Figure 4.
+    pub fn on_channel(
+        source: Uid,
+        channel: ChannelId,
+        batch: usize,
+        collector: Collector,
+    ) -> SinkEject {
+        SinkEject {
+            source,
+            channel,
+            batch: batch.max(1),
+            collector,
+        }
+    }
+}
+
+impl EjectBehavior for SinkEject {
+    fn type_name(&self) -> &'static str {
+        "StreamSink"
+    }
+
+    fn activate(&mut self, ctx: &EjectContext) {
+        let source = self.source;
+        let channel = self.channel;
+        let batch = self.batch;
+        let collector = self.collector.clone();
+        ctx.spawn_process("pump", move |pctx| loop {
+            if pctx.should_stop() {
+                return;
+            }
+            let req = TransferRequest {
+                channel,
+                max: batch,
+            };
+            let pending = pctx.invoke(source, ops::TRANSFER, req.to_value());
+            match pctx.wait_or_stop(pending).and_then(Batch::from_value) {
+                Ok(b) => {
+                    if !b.items.is_empty() {
+                        collector.append(b.items);
+                    }
+                    if b.end {
+                        collector.finish();
+                        return;
+                    }
+                }
+                Err(EdenError::KernelShutdown) => return,
+                Err(e) => {
+                    collector.fail(e);
+                    return;
+                }
+            }
+        });
+    }
+
+    fn handle(&mut self, ctx: &EjectContext, inv: Invocation, reply: ReplyHandle) {
+        match inv.op.as_str() {
+            // How many records this sink has landed so far.
+            "Progress" => reply.reply(Ok(Value::Int(self.collector.records_seen() as i64))),
+            _ => reply.reply(Err(EdenError::NoSuchOperation {
+                target: ctx.uid(),
+                op: inv.op,
+            })),
+        }
+    }
+}
+
+/// A passive-input sink for the write-only discipline: "sinks would always
+/// be ready to accept [write invocations]" (§5).
+pub struct AcceptorSinkEject {
+    collector: Collector,
+    ended: bool,
+}
+
+impl AcceptorSinkEject {
+    /// Accept writes into `collector`; finish it when the end flag arrives.
+    pub fn new(collector: Collector) -> AcceptorSinkEject {
+        AcceptorSinkEject {
+            collector,
+            ended: false,
+        }
+    }
+}
+
+impl EjectBehavior for AcceptorSinkEject {
+    fn type_name(&self) -> &'static str {
+        "AcceptorSink"
+    }
+
+    fn handle(&mut self, ctx: &EjectContext, inv: Invocation, reply: ReplyHandle) {
+        match inv.op.as_str() {
+            ops::WRITE => match WriteRequest::from_value(inv.arg) {
+                Ok(w) => {
+                    // Deliberately no check of *who* wrote: the acceptor
+                    // cannot distinguish one writer making k writes from k
+                    // writers making one write each (§5).
+                    if !w.items.is_empty() {
+                        self.collector.append(w.items);
+                    }
+                    if w.end && !self.ended {
+                        self.ended = true;
+                        self.collector.finish();
+                    }
+                    reply.reply(Ok(Value::Unit));
+                }
+                Err(e) => reply.reply(Err(e)),
+            },
+            "Progress" => reply.reply(Ok(Value::Int(self.collector.records_seen() as i64))),
+            _ => reply.reply(Err(EdenError::NoSuchOperation {
+                target: ctx.uid(),
+                op: inv.op,
+            })),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::{SourceEject, VecSource};
+    use eden_kernel::Kernel;
+    use std::time::Duration;
+
+    #[test]
+    fn sink_pumps_source_dry() {
+        let kernel = Kernel::new();
+        let source = kernel
+            .spawn(Box::new(SourceEject::new(Box::new(VecSource::new(
+                (0..20).map(Value::Int).collect(),
+            )))))
+            .unwrap();
+        let collector = Collector::new();
+        let _sink = kernel
+            .spawn(Box::new(SinkEject::new(source, 4, collector.clone())))
+            .unwrap();
+        let items = collector.wait_done(Duration::from_secs(10)).unwrap();
+        assert_eq!(items, (0..20).map(Value::Int).collect::<Vec<_>>());
+        kernel.shutdown();
+    }
+
+    #[test]
+    fn sink_reports_progress() {
+        let kernel = Kernel::new();
+        let source = kernel
+            .spawn(Box::new(SourceEject::new(Box::new(VecSource::new(
+                (0..5).map(Value::Int).collect(),
+            )))))
+            .unwrap();
+        let collector = Collector::new();
+        let sink = kernel
+            .spawn(Box::new(SinkEject::new(source, 1, collector.clone())))
+            .unwrap();
+        collector.wait_done(Duration::from_secs(10)).unwrap();
+        let got = kernel.invoke_sync(sink, "Progress", Value::Unit).unwrap();
+        assert_eq!(got, Value::Int(5));
+        kernel.shutdown();
+    }
+
+    #[test]
+    fn sink_observes_source_crash() {
+        // A source that never ends, then crashes: the sink must fail the
+        // collector, not hang.
+        let kernel = Kernel::new();
+        let source = kernel
+            .spawn(Box::new(SourceEject::new(Box::new(
+                crate::source::FnSource::new(u64::MAX, |i| Value::Int(i as i64)),
+            ))))
+            .unwrap();
+        let collector = Collector::null();
+        let _sink = kernel
+            .spawn(Box::new(SinkEject::new(source, 2, collector.clone())))
+            .unwrap();
+        while collector.records_seen() < 4 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        kernel.crash(source).unwrap();
+        let err = collector.wait_done(Duration::from_secs(10)).unwrap_err();
+        // Depending on timing the pump observes the crash of its in-flight
+        // Transfer or the source's subsequent disappearance; both are
+        // correct reports of the fault.
+        assert!(
+            matches!(err, EdenError::EjectCrashed(u) | EdenError::NoSuchEject(u) if u == source),
+            "unexpected error: {err}"
+        );
+        kernel.shutdown();
+    }
+
+    #[test]
+    fn acceptor_accepts_writes_until_end() {
+        let kernel = Kernel::new();
+        let collector = Collector::new();
+        let acceptor = kernel
+            .spawn(Box::new(AcceptorSinkEject::new(collector.clone())))
+            .unwrap();
+        kernel
+            .invoke_sync(
+                acceptor,
+                ops::WRITE,
+                WriteRequest::more(vec![Value::Int(1), Value::Int(2)]).to_value(),
+            )
+            .unwrap();
+        kernel
+            .invoke_sync(
+                acceptor,
+                ops::WRITE,
+                WriteRequest::last(vec![Value::Int(3)]).to_value(),
+            )
+            .unwrap();
+        let items = collector.wait_done(Duration::from_secs(5)).unwrap();
+        assert_eq!(items, vec![Value::Int(1), Value::Int(2), Value::Int(3)]);
+        kernel.shutdown();
+    }
+
+    #[test]
+    fn acceptor_cannot_distinguish_writers() {
+        // Two writers interleave; the acceptor sees one merged stream.
+        // This is the §5 "no fan-in" property made concrete.
+        let kernel = Kernel::new();
+        let collector = Collector::new();
+        let acceptor = kernel
+            .spawn(Box::new(AcceptorSinkEject::new(collector.clone())))
+            .unwrap();
+        for writer in 0..2i64 {
+            for i in 0..3i64 {
+                kernel
+                    .invoke_sync(
+                        acceptor,
+                        ops::WRITE,
+                        WriteRequest::more(vec![Value::Int(writer * 10 + i)]).to_value(),
+                    )
+                    .unwrap();
+            }
+        }
+        kernel
+            .invoke_sync(acceptor, ops::WRITE, WriteRequest::last(vec![]).to_value())
+            .unwrap();
+        let items = collector.wait_done(Duration::from_secs(5)).unwrap();
+        assert_eq!(items.len(), 6, "all records land in one undifferentiated stream");
+        kernel.shutdown();
+    }
+
+    #[test]
+    fn acceptor_rejects_malformed_write() {
+        let kernel = Kernel::new();
+        let acceptor = kernel
+            .spawn(Box::new(AcceptorSinkEject::new(Collector::new())))
+            .unwrap();
+        let err = kernel
+            .invoke_sync(acceptor, ops::WRITE, Value::Int(3))
+            .unwrap_err();
+        assert!(matches!(err, EdenError::BadParameter(_)));
+        kernel.shutdown();
+    }
+}

@@ -1,0 +1,300 @@
+//! Data sources.
+//!
+//! "Any Eject which responds to *Read* invocations is by definition a
+//! source" (§4). [`PullSource`] is the local supply of records; a
+//! [`SourceEject`] mounts one behind the stream protocol, performing
+//! passive output only. The paper's examples — a file opened for input, a
+//! date/time server, a directory listing — are all `SourceEject`s over
+//! different `PullSource`s.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use eden_core::op::ops;
+use eden_core::{EdenError, Value};
+use eden_kernel::{EjectBehavior, EjectContext, Invocation, ReplyHandle};
+
+use crate::channels::ChannelTable;
+use crate::protocol::{Batch, GetChannelRequest, TransferRequest};
+
+/// A local, in-process supply of stream records.
+pub trait PullSource: Send + 'static {
+    /// Produce up to `max` records. Setting [`Batch::end`] means no more
+    /// records will ever be produced; `pull` will not be called again.
+    fn pull(&mut self, max: usize) -> Batch;
+}
+
+/// A source over a vector of records.
+pub struct VecSource {
+    items: std::vec::IntoIter<Value>,
+}
+
+impl VecSource {
+    /// Build from any collection of records.
+    pub fn new(items: Vec<Value>) -> VecSource {
+        VecSource {
+            items: items.into_iter(),
+        }
+    }
+
+    /// Build from string lines (the common text-stream case).
+    pub fn from_lines<I, S>(lines: I) -> VecSource
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        VecSource::new(lines.into_iter().map(|l| Value::Str(l.into())).collect())
+    }
+}
+
+impl PullSource for VecSource {
+    fn pull(&mut self, max: usize) -> Batch {
+        let mut items = Vec::with_capacity(max.min(64));
+        for _ in 0..max {
+            match self.items.next() {
+                Some(v) => items.push(v),
+                None => return Batch::last(items),
+            }
+        }
+        // Peek-free end detection: if nothing remains, say so now to keep
+        // the invocation counts exact.
+        if self.items.len() == 0 {
+            Batch::last(items)
+        } else {
+            Batch::more(items)
+        }
+    }
+}
+
+/// A generator source from a closure producing one record per call, with a
+/// record budget. Useful for synthetic workloads.
+pub struct FnSource<F> {
+    f: F,
+    next: u64,
+    total: u64,
+}
+
+impl<F> FnSource<F>
+where
+    F: FnMut(u64) -> Value + Send + 'static,
+{
+    /// `f(i)` produces the i-th record; `count` records total.
+    pub fn new(count: u64, f: F) -> FnSource<F> {
+        FnSource {
+            f,
+            next: 0,
+            total: count,
+        }
+    }
+}
+
+impl<F> PullSource for FnSource<F>
+where
+    F: FnMut(u64) -> Value + Send + 'static,
+{
+    fn pull(&mut self, max: usize) -> Batch {
+        let n = (max as u64).min(self.total - self.next);
+        let items = (self.next..self.next + n).map(|i| (self.f)(i)).collect();
+        self.next += n;
+        if self.next == self.total {
+            Batch::last(items)
+        } else {
+            Batch::more(items)
+        }
+    }
+}
+
+/// Wraps a source and counts how many records have been pulled out of it.
+/// Used by the laziness experiment (E3): with no sink connected, the count
+/// must stay zero.
+pub struct CountingSource<S> {
+    inner: S,
+    pulled: Arc<AtomicU64>,
+}
+
+impl<S: PullSource> CountingSource<S> {
+    /// Wrap `inner`; the returned counter is shared.
+    pub fn new(inner: S) -> (CountingSource<S>, Arc<AtomicU64>) {
+        let counter = Arc::new(AtomicU64::new(0));
+        (
+            CountingSource {
+                inner,
+                pulled: Arc::clone(&counter),
+            },
+            counter,
+        )
+    }
+}
+
+impl<S: PullSource> PullSource for CountingSource<S> {
+    fn pull(&mut self, max: usize) -> Batch {
+        let batch = self.inner.pull(max);
+        self.pulled.fetch_add(batch.len() as u64, Ordering::Relaxed);
+        batch
+    }
+}
+
+/// A source Eject: passive output only.
+///
+/// Responds to `Transfer` with data from its [`PullSource`], and to
+/// `GetChannel` with its channel identifiers. After the underlying source
+/// ends, further `Transfer`s receive empty end batches (reading past end
+/// of file is not an error, just empty).
+pub struct SourceEject {
+    source: Box<dyn PullSource>,
+    channels: ChannelTable,
+    ended: bool,
+    /// Records carried over when a pull returned more than one Transfer
+    /// asked for (never happens with well-behaved sources, but be safe).
+    leftover: Vec<Value>,
+}
+
+impl SourceEject {
+    /// Mount `source` behind a single-output channel table.
+    pub fn new(source: Box<dyn PullSource>) -> SourceEject {
+        SourceEject::with_channels(source, ChannelTable::single_output())
+    }
+
+    /// Mount `source` with an explicit channel table (the data is served on
+    /// the primary channel; declared secondary channels read as empty).
+    pub fn with_channels(source: Box<dyn PullSource>, channels: ChannelTable) -> SourceEject {
+        SourceEject {
+            source,
+            channels,
+            ended: false,
+            leftover: Vec::new(),
+        }
+    }
+
+    fn serve_transfer(&mut self, req: TransferRequest) -> eden_core::Result<Batch> {
+        let index = self.channels.index_of(req.channel)?;
+        if index != 0 {
+            // A plain source only ever has primary data; a declared but
+            // dataless secondary channel reads as an ended stream.
+            return Ok(Batch::end());
+        }
+        let mut items = Vec::new();
+        while items.len() < req.max && !self.leftover.is_empty() {
+            items.push(self.leftover.remove(0));
+        }
+        if items.len() == req.max {
+            let end = self.ended && self.leftover.is_empty();
+            return Ok(Batch { items, end });
+        }
+        if self.ended {
+            return Ok(Batch::last(items));
+        }
+        let mut batch = self.source.pull(req.max - items.len());
+        self.ended = batch.end;
+        if batch.items.len() > req.max - items.len() {
+            let excess = batch.items.split_off(req.max - items.len());
+            self.leftover = excess;
+        }
+        items.append(&mut batch.items);
+        Ok(Batch {
+            items,
+            end: self.ended && self.leftover.is_empty(),
+        })
+    }
+}
+
+impl EjectBehavior for SourceEject {
+    fn type_name(&self) -> &'static str {
+        "StreamSource"
+    }
+
+    fn handle(&mut self, ctx: &EjectContext, inv: Invocation, reply: ReplyHandle) {
+        match inv.op.as_str() {
+            ops::TRANSFER => {
+                let result = TransferRequest::from_value(&inv.arg)
+                    .and_then(|req| self.serve_transfer(req))
+                    .map(Batch::to_value);
+                reply.reply(result);
+            }
+            ops::GET_CHANNEL => {
+                let result = GetChannelRequest::from_value(&inv.arg)
+                    .and_then(|req| self.channels.id_of(&req.name))
+                    .map(|id| id.to_value());
+                reply.reply(result);
+            }
+            _ => reply.reply(Err(EdenError::NoSuchOperation {
+                target: ctx.uid(),
+                op: inv.op,
+            })),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::ChannelId;
+
+    #[test]
+    fn vec_source_batches_and_ends() {
+        let mut s = VecSource::new((0..5).map(Value::Int).collect());
+        let b = s.pull(2);
+        assert_eq!(b.items, vec![Value::Int(0), Value::Int(1)]);
+        assert!(!b.end);
+        let b = s.pull(3);
+        assert_eq!(b.len(), 3);
+        assert!(b.end, "final batch must carry the end flag");
+    }
+
+    #[test]
+    fn vec_source_exact_boundary_sets_end() {
+        let mut s = VecSource::new((0..4).map(Value::Int).collect());
+        let b = s.pull(4);
+        assert_eq!(b.len(), 4);
+        assert!(b.end, "a pull that drains the source must say end");
+    }
+
+    #[test]
+    fn empty_vec_source_is_immediately_ended() {
+        let mut s = VecSource::new(vec![]);
+        let b = s.pull(8);
+        assert!(b.is_empty());
+        assert!(b.end);
+    }
+
+    #[test]
+    fn fn_source_counts_down() {
+        let mut s = FnSource::new(3, |_| Value::str("x"));
+        assert!(!s.pull(2).end);
+        assert!(s.pull(2).end);
+    }
+
+    #[test]
+    fn counting_source_counts() {
+        let (mut s, count) = CountingSource::new(VecSource::new((0..10).map(Value::Int).collect()));
+        assert_eq!(count.load(Ordering::Relaxed), 0);
+        s.pull(4);
+        assert_eq!(count.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn serve_transfer_checks_channel() {
+        let mut e = SourceEject::new(Box::new(VecSource::new(vec![Value::Int(1)])));
+        let bad = TransferRequest {
+            channel: ChannelId::Number(3),
+            max: 1,
+        };
+        assert!(e.serve_transfer(bad).is_err());
+    }
+
+    #[test]
+    fn serve_transfer_after_end_is_empty_end() {
+        let mut e = SourceEject::new(Box::new(VecSource::new(vec![Value::Int(1)])));
+        let b = e.serve_transfer(TransferRequest::primary(5)).unwrap();
+        assert!(b.end);
+        let again = e.serve_transfer(TransferRequest::primary(5)).unwrap();
+        assert!(again.end && again.is_empty());
+    }
+
+    #[test]
+    fn from_lines_builds_strings() {
+        let mut s = VecSource::from_lines(["a", "b"]);
+        let b = s.pull(10);
+        assert_eq!(b.items, vec![Value::str("a"), Value::str("b")]);
+    }
+}

@@ -1,0 +1,109 @@
+//! Model-based testing of the passive buffer (the Unix pipe Eject).
+//!
+//! Random interleavings of `Write` and `Transfer` invocations are fired at
+//! a `PassiveBufferEject`; afterwards we assert the stream invariants that
+//! make it a pipe: everything written comes out, exactly once, in order,
+//! and the end flag appears exactly at the true end.
+
+use std::time::Duration;
+
+use eden_core::op::ops;
+use eden_core::Value;
+use eden_kernel::{Kernel, PendingReply};
+use eden_transput::conventional::PassiveBufferEject;
+use eden_transput::protocol::{Batch, TransferRequest, WriteRequest};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Write this many records.
+    Write(u8),
+    /// Transfer up to this many records.
+    Read(u8),
+}
+
+fn ops_strategy() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (1u8..6).prop_map(Op::Write),
+            (1u8..6).prop_map(Op::Read),
+        ],
+        1..40,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn pipe_preserves_the_stream(ops in ops_strategy(), capacity in 1usize..8) {
+        let kernel = Kernel::new();
+        let pipe = kernel
+            .spawn(Box::new(PassiveBufferEject::new(capacity)))
+            .expect("spawn pipe");
+        let mut next_record: i64 = 0;
+        let mut write_acks: Vec<PendingReply> = Vec::new();
+        let mut reads: Vec<PendingReply> = Vec::new();
+        for op in &ops {
+            match op {
+                Op::Write(n) => {
+                    let items: Vec<Value> =
+                        (next_record..next_record + *n as i64).map(Value::Int).collect();
+                    next_record += *n as i64;
+                    write_acks.push(kernel.invoke(
+                        pipe,
+                        ops::WRITE,
+                        WriteRequest::more(items).to_value(),
+                    ));
+                }
+                Op::Read(n) => {
+                    reads.push(kernel.invoke(
+                        pipe,
+                        ops::TRANSFER,
+                        TransferRequest::primary(*n as usize).to_value(),
+                    ));
+                }
+            }
+        }
+        // Close the stream, then drain whatever remains.
+        write_acks.push(kernel.invoke(pipe, ops::WRITE, WriteRequest::last(vec![]).to_value()));
+        loop {
+            let got = kernel
+                .invoke_sync(pipe, ops::TRANSFER, TransferRequest::primary(4).to_value())
+                .and_then(Batch::from_value)
+                .expect("drain");
+            reads.push(PendingReply::ready(Ok(got.clone().to_value())));
+            if got.end {
+                break;
+            }
+        }
+        // Every write must eventually be acknowledged.
+        for ack in write_acks {
+            ack.wait_timeout(Duration::from_secs(20)).expect("write ack");
+        }
+        // Collect every read reply, in issue order.
+        let mut out: Vec<i64> = Vec::new();
+        let mut saw_end = false;
+        for pending in reads {
+            let batch = Batch::from_value(
+                pending.wait_timeout(Duration::from_secs(20)).expect("read reply"),
+            )
+            .expect("batch");
+            prop_assert!(!saw_end || batch.is_empty(), "records after end");
+            for item in &batch.items {
+                out.push(item.as_int().expect("int record"));
+            }
+            if batch.end {
+                saw_end = true;
+            }
+        }
+        prop_assert!(saw_end, "the end flag must eventually appear");
+        // FIFO, exactly-once: readers issued in order see the whole
+        // sequence in order.
+        prop_assert_eq!(out.len() as i64, next_record, "every record exactly once");
+        for (i, v) in out.iter().enumerate() {
+            prop_assert_eq!(*v, i as i64, "records in order");
+        }
+        kernel.shutdown();
+    }
+}

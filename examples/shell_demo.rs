@@ -1,0 +1,75 @@
+//! The pipeline shell: dynamically redirectable stream transput (§6).
+//!
+//! "Eden must also provide conventional operating system facilities in a
+//! way that compares favourably with systems such as Unix. Dynamically
+//! redirectable stream transput is an example of one such facility."
+//!
+//! Run with: `cargo run --example shell_demo`
+
+use eden::fs::{MemFs, UnixFsEject};
+use eden::kernel::Kernel;
+use eden::shell::ShellEnv;
+
+fn main() {
+    let kernel = Kernel::new();
+
+    // A little host filing system for the `unix` source/sink.
+    let fs = MemFs::with_files([(
+        "report.f",
+        concat!(
+            "C     QUARTERLY REPORT GENERATOR\n",
+            "      PROGRAM REPORT\n",
+            "C     TODO: REMOVE DEBUG LINES\n",
+            "      CALL FETCH(DATA)\n",
+            "      CALL DEBUG(DATA)\n",
+            "      CALL RENDER(DATA)\n",
+            "      END\n",
+        ),
+    )]);
+    let unixfs = kernel
+        .spawn(Box::new(UnixFsEject::new(fs.clone())))
+        .expect("spawn UnixFs");
+    let shell = ShellEnv::new(&kernel).with_unixfs(unixfs);
+
+    let commands = [
+        // Inline data through a chain of filters.
+        "lines 'the cat' 'the dog' 'a bird' | grep the | upcase",
+        // Aggregation: flush-time filters.
+        "lines 'b' 'a' 'c' 'a' | sort | uniq | line-number",
+        // The paper's Fortran example, from the host filing system,
+        // written back to it.
+        "unix report.f | strip-comments | line-number > unix report.lst",
+        // A report channel redirected into a window — the `n>` analogue.
+        "lines 'thee catt sat' | spell-check the cat sat Report>spelling",
+        // The same pipeline under a different discipline, one directive away.
+        "@discipline=conventional @buffer=8 seq 6 | copy",
+    ];
+
+    for command in commands {
+        println!("eden$ {command}");
+        match shell.run(command) {
+            Ok(run) => {
+                for line in run.output_lines() {
+                    println!("{line}");
+                }
+                for (window, items) in &run.windows {
+                    println!("[window {window}]");
+                    for item in items {
+                        println!("  {}", item.as_str().unwrap_or("?"));
+                    }
+                }
+                println!(
+                    "({} invocations, {} entities)\n",
+                    run.run.metrics.invocations, run.run.entities
+                );
+            }
+            Err(e) => println!("error: {e}\n"),
+        }
+    }
+
+    println!("eden$ # and the redirected listing landed in the host fs:");
+    let listing = fs.read("report.lst").expect("report.lst written");
+    print!("{}", String::from_utf8_lossy(&listing));
+
+    kernel.shutdown();
+}

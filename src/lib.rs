@@ -1,0 +1,43 @@
+//! # eden — an asymmetric stream communication system
+//!
+//! A Rust reproduction of Andrew P. Black, *An Asymmetric Stream
+//! Communication System*, Proc. 9th ACM Symposium on Operating Systems
+//! Principles (SOSP), 1983 — the Eden project's "read only" / "write only"
+//! transput design.
+//!
+//! This facade crate re-exports the workspace:
+//!
+//! * [`kernel`] — the Eden substrate: Ejects, invocation, activation,
+//!   checkpointing ([`eden_kernel`]).
+//! * [`transput`] — the paper's contribution: the stream protocol, channel
+//!   identifiers, and the three communication disciplines
+//!   ([`eden_transput`]).
+//! * [`fs`] — files, directories and the bootstrap UnixFS as Ejects
+//!   ([`eden_fs`]).
+//! * [`filters`] — the utility filters of §3 as pure transforms
+//!   ([`eden_filters`]).
+//! * [`shell`] — a pipeline command language with channel redirection
+//!   ([`eden_shell`]).
+//! * [`core`] — UIDs, values, wire codec, errors, metrics ([`eden_core`]).
+//!
+//! See `README.md` for a tour, `DESIGN.md` for the system inventory, and
+//! `EXPERIMENTS.md` for the paper-claim-by-claim reproduction results.
+//!
+//! ```
+//! use eden::kernel::Kernel;
+//! use eden::shell::ShellEnv;
+//!
+//! let kernel = Kernel::new();
+//! let run = ShellEnv::new(&kernel)
+//!     .run("lines 'C old comment' '      CALL F(X)' | strip-comments")
+//!     .unwrap();
+//! assert_eq!(run.output_lines(), vec!["      CALL F(X)"]);
+//! kernel.shutdown();
+//! ```
+
+pub use eden_core as core;
+pub use eden_filters as filters;
+pub use eden_fs as fs;
+pub use eden_kernel as kernel;
+pub use eden_shell as shell;
+pub use eden_transput as transput;

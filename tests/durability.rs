@@ -1,0 +1,246 @@
+//! Durable pipelines: §1's checkpoint contract applied to an entire
+//! in-flight stream — durable read cursor → durable filter — surviving
+//! Eject crashes and whole-kernel restart, including over an on-disk
+//! stable store.
+
+use eden::core::op::ops;
+use eden::core::{Uid, Value};
+use eden::filters::{DurableFilterEject, FilterSpec};
+use eden::fs::{register_fs_types, FileEject};
+use eden::kernel::{Kernel, KernelConfig, StableStore};
+use eden::transput::protocol::{Batch, TransferRequest};
+
+fn register_all(kernel: &Kernel) {
+    register_fs_types(kernel);
+    DurableFilterEject::register(kernel);
+}
+
+fn transfer(kernel: &Kernel, target: Uid, max: usize) -> Batch {
+    Batch::from_value(
+        kernel
+            .invoke_sync(target, ops::TRANSFER, TransferRequest::primary(max).to_value())
+            .expect("transfer"),
+    )
+    .expect("batch")
+}
+
+fn durable_chain(kernel: &Kernel, lines: i64) -> (Uid, Uid) {
+    let file = kernel
+        .spawn(Box::new(FileEject::from_lines(
+            (0..lines).map(|i| format!("record {i}")),
+        )))
+        .expect("file");
+    let cursor = kernel
+        .invoke_sync(file, "OpenDurable", Value::Unit)
+        .expect("open durable")
+        .as_uid()
+        .expect("cursor uid");
+    let filter = kernel
+        .spawn(Box::new(
+            DurableFilterEject::new(FilterSpec::new("line-number"), cursor, 2).expect("filter"),
+        ))
+        .expect("spawn filter");
+    (cursor, filter)
+}
+
+#[test]
+fn durable_cursor_survives_crash() {
+    let kernel = Kernel::new();
+    register_all(&kernel);
+    let (cursor, _filter) = durable_chain(&kernel, 6);
+    let first = transfer(&kernel, cursor, 2);
+    assert_eq!(first.items.len(), 2);
+    kernel.crash(cursor).expect("crash cursor");
+    // Reactivates with its position intact: record 2 comes next.
+    let next = transfer(&kernel, cursor, 1);
+    assert_eq!(next.items[0].as_str().unwrap(), "record 2");
+    kernel.shutdown();
+}
+
+#[test]
+fn crashing_every_eject_between_every_operation_loses_nothing() {
+    // The harshest schedule auto-checkpointing promises to survive:
+    // fail-stop both stages after every single Transfer.
+    let kernel = Kernel::new();
+    register_all(&kernel);
+    let (cursor, filter) = durable_chain(&kernel, 9);
+    let mut out = Vec::new();
+    loop {
+        let batch = transfer(&kernel, filter, 2);
+        out.extend(batch.items);
+        if batch.end {
+            break;
+        }
+        kernel.crash(filter).expect("crash filter");
+        kernel.crash(cursor).expect("crash cursor");
+    }
+    assert_eq!(out.len(), 9, "no records lost: {out:?}");
+    for (i, line) in out.iter().enumerate() {
+        let text = line.as_str().unwrap();
+        assert!(
+            text.trim_start().starts_with(&format!("{}  record {}", i + 1, i)),
+            "row {i} corrupted: {text}"
+        );
+    }
+    kernel.shutdown();
+}
+
+#[test]
+fn mid_stream_pipeline_survives_whole_system_restart() {
+    let store = StableStore::new();
+    let filter;
+    {
+        let kernel = Kernel::with_stable_store(KernelConfig::default(), store.clone());
+        register_all(&kernel);
+        let (_cursor, f) = durable_chain(&kernel, 6);
+        filter = f;
+        let first = transfer(&kernel, filter, 3);
+        assert_eq!(first.items.len(), 3);
+        kernel.shutdown();
+    }
+    // "Reboot": fresh kernel over the same stable store.
+    let kernel = Kernel::with_stable_store(KernelConfig::default(), store);
+    register_all(&kernel);
+    let mut rest = Vec::new();
+    loop {
+        let batch = transfer(&kernel, filter, 2);
+        rest.extend(batch.items);
+        if batch.end {
+            break;
+        }
+    }
+    assert_eq!(rest.len(), 3, "stream resumes mid-flight after reboot");
+    assert!(rest[0].as_str().unwrap().contains("record 3"));
+    kernel.shutdown();
+}
+
+#[test]
+fn durable_pipeline_over_disk_backed_store() {
+    // Full-stack durability: the stable store itself lives on disk, so
+    // even the *process* could die between the two kernels.
+    let dir = std::env::temp_dir().join(format!(
+        "eden-durability-{}-{}",
+        std::process::id(),
+        Uid::fresh().seq()
+    ));
+    let filter;
+    {
+        let store = StableStore::persistent(&dir).expect("open store");
+        let kernel = Kernel::with_stable_store(KernelConfig::default(), store);
+        register_all(&kernel);
+        let (_cursor, f) = durable_chain(&kernel, 4);
+        filter = f;
+        let first = transfer(&kernel, filter, 2);
+        assert_eq!(first.items.len(), 2);
+        kernel.shutdown();
+    }
+    {
+        // Re-open the store from disk — nothing shared in memory.
+        let store = StableStore::persistent(&dir).expect("reopen store");
+        let kernel = Kernel::with_stable_store(KernelConfig::default(), store);
+        register_all(&kernel);
+        let batch = transfer(&kernel, filter, 10);
+        assert_eq!(batch.items.len(), 2);
+        assert!(batch.end);
+        assert!(batch.items[0].as_str().unwrap().contains("record 2"));
+        kernel.shutdown();
+    }
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+}
+
+mod crash_schedules {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// After which transfers to crash which stage.
+    #[derive(Debug, Clone)]
+    struct Schedule {
+        crash_filter: Vec<bool>,
+        crash_cursor: Vec<bool>,
+    }
+
+    fn schedule(len: usize) -> impl Strategy<Value = Schedule> {
+        (
+            proptest::collection::vec(any::<bool>(), len),
+            proptest::collection::vec(any::<bool>(), len),
+        )
+            .prop_map(|(crash_filter, crash_cursor)| Schedule {
+                crash_filter,
+                crash_cursor,
+            })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn any_between_operation_crash_schedule_is_lossless(
+            sched in schedule(12),
+            batch in 1usize..4,
+        ) {
+            let kernel = Kernel::new();
+            register_all(&kernel);
+            let (cursor, filter) = durable_chain(&kernel, 10);
+            let mut out = Vec::new();
+            let mut step = 0;
+            loop {
+                let b = transfer(&kernel, filter, batch);
+                out.extend(b.items);
+                if b.end {
+                    break;
+                }
+                if sched.crash_filter.get(step).copied().unwrap_or(false) {
+                    kernel.crash(filter).expect("crash filter");
+                }
+                if sched.crash_cursor.get(step).copied().unwrap_or(false) {
+                    kernel.crash(cursor).expect("crash cursor");
+                }
+                step += 1;
+            }
+            prop_assert_eq!(out.len(), 10, "schedule {:?} lost records", sched);
+            for (i, line) in out.iter().enumerate() {
+                let text = line.as_str().expect("line");
+                prop_assert!(
+                    text.contains(&format!("record {i}")),
+                    "row {i} out of order under {:?}: {text}",
+                    sched
+                );
+            }
+            kernel.shutdown();
+        }
+    }
+}
+
+#[test]
+fn plain_reader_dies_where_durable_survives() {
+    // The §7 contrast, side by side: the plain reader never checkpointed
+    // and disappears; the durable one recovers.
+    let kernel = Kernel::new();
+    register_all(&kernel);
+    let file = kernel
+        .spawn(Box::new(FileEject::from_lines(["a", "b", "c"])))
+        .expect("file");
+    let plain = kernel
+        .invoke_sync(file, ops::OPEN, Value::Unit)
+        .expect("open")
+        .as_uid()
+        .expect("uid");
+    let durable = kernel
+        .invoke_sync(file, "OpenDurable", Value::Unit)
+        .expect("open durable")
+        .as_uid()
+        .expect("uid");
+    transfer(&kernel, plain, 1);
+    transfer(&kernel, durable, 1);
+    kernel.crash(plain).expect("crash plain");
+    kernel.crash(durable).expect("crash durable");
+    assert!(
+        kernel
+            .invoke_sync(plain, ops::TRANSFER, TransferRequest::primary(1).to_value())
+            .is_err(),
+        "the plain reader disappears"
+    );
+    let recovered = transfer(&kernel, durable, 1);
+    assert_eq!(recovered.items[0].as_str().unwrap(), "b");
+    kernel.shutdown();
+}
