@@ -3,15 +3,36 @@
 //!
 //! Usage: `cargo run -p eden-bench --release --bin experiments [ids...]`
 //! where each id is `e1`..`e10`; no argument (or `all`) runs everything.
+//! `--json` instead measures the pipeline/contention workloads and
+//! writes `BENCH_pipeline.json` (machine-readable, tracked across PRs);
+//! combine it with ids to also print those tables.
 
 use std::time::Instant;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let ids: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
+    let json = args.iter().any(|a| a == "--json");
+    let id_args: Vec<&str> = args
+        .iter()
+        .filter(|a| *a != "--json")
+        .map(String::as_str)
+        .collect();
+    if json {
+        let t0 = Instant::now();
+        let report = eden_bench::json_report::pipeline_report();
+        std::fs::write("BENCH_pipeline.json", &report).expect("write BENCH_pipeline.json");
+        println!(
+            "wrote BENCH_pipeline.json ({:.2}s)",
+            t0.elapsed().as_secs_f64()
+        );
+        if id_args.is_empty() {
+            return;
+        }
+    }
+    let ids: Vec<&str> = if id_args.is_empty() || id_args.contains(&"all") {
         eden_bench::ALL_EXPERIMENTS.to_vec()
     } else {
-        args.iter().map(String::as_str).collect()
+        id_args
     };
     println!("# Asymmetric Stream Communication — experiment harness\n");
     let overall = Instant::now();

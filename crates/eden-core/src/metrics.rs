@@ -37,6 +37,8 @@ struct Counters {
     deactivations: AtomicU64,
     checkpoints: AtomicU64,
     crashes: AtomicU64,
+    route_cache_hits: AtomicU64,
+    route_cache_misses: AtomicU64,
 }
 
 impl Metrics {
@@ -101,6 +103,18 @@ impl Metrics {
         self.inner.crashes.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Record an invocation delivered through a cached route (the kernel
+    /// registry was never consulted).
+    pub fn record_route_cache_hit(&self) {
+        self.inner.route_cache_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record an invocation that had to resolve (or re-resolve) its target
+    /// through the registry: cold cache or stale route.
+    pub fn record_route_cache_miss(&self) {
+        self.inner.route_cache_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Capture the current counter values.
     pub fn snapshot(&self) -> MetricsSnapshot {
         let c = &self.inner;
@@ -117,6 +131,8 @@ impl Metrics {
             deactivations: c.deactivations.load(Ordering::Relaxed),
             checkpoints: c.checkpoints.load(Ordering::Relaxed),
             crashes: c.crashes.load(Ordering::Relaxed),
+            route_cache_hits: c.route_cache_hits.load(Ordering::Relaxed),
+            route_cache_misses: c.route_cache_misses.load(Ordering::Relaxed),
         }
     }
 }
@@ -138,6 +154,8 @@ pub struct MetricsSnapshot {
     pub deactivations: u64,
     pub checkpoints: u64,
     pub crashes: u64,
+    pub route_cache_hits: u64,
+    pub route_cache_misses: u64,
 }
 
 impl MetricsSnapshot {
@@ -156,6 +174,8 @@ impl MetricsSnapshot {
             deactivations: self.deactivations - earlier.deactivations,
             checkpoints: self.checkpoints - earlier.checkpoints,
             crashes: self.crashes - earlier.crashes,
+            route_cache_hits: self.route_cache_hits - earlier.route_cache_hits,
+            route_cache_misses: self.route_cache_misses - earlier.route_cache_misses,
         }
     }
 

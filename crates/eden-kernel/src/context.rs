@@ -21,6 +21,7 @@ use parking_lot::Mutex;
 
 use crate::invocation::{PendingReply, DEFAULT_REPLY_TIMEOUT};
 use crate::kernel::{NodeId, WeakKernel};
+use crate::routes::RouteCache;
 use crate::runtime::Envelope;
 
 /// Context available to an Eject's coordinator (the `&mut self` methods of
@@ -71,6 +72,24 @@ impl EjectContext {
     /// deadline).
     pub fn invoke_sync(&self, target: Uid, op: impl Into<OpName>, arg: Value) -> Result<Value> {
         self.invoke(target, op, arg).wait()
+    }
+
+    /// As [`invoke`](Self::invoke), but through a caller-owned
+    /// [`RouteCache`]: repeat invocations of the same target skip the
+    /// kernel registry. Semantically identical to `invoke` — stale routes
+    /// fall back to the registry (reactivating a passive target) before the
+    /// caller can observe anything.
+    pub fn invoke_routed(
+        &self,
+        cache: &mut RouteCache,
+        target: Uid,
+        op: impl Into<OpName>,
+        arg: Value,
+    ) -> PendingReply {
+        match self.kernel.upgrade() {
+            Some(kernel) => kernel.invoke_cached(self.node, cache, target, op.into(), arg),
+            None => PendingReply::ready(Err(EdenError::KernelShutdown)),
+        }
     }
 
     /// Post an internal event back to this Eject's own coordinator. The
@@ -194,6 +213,23 @@ impl ProcessContext {
     /// Send an invocation and wait for the reply.
     pub fn invoke_sync(&self, target: Uid, op: impl Into<OpName>, arg: Value) -> Result<Value> {
         self.invoke(target, op, arg).wait()
+    }
+
+    /// As [`invoke`](Self::invoke), but through a caller-owned
+    /// [`RouteCache`]: repeat invocations of the same target skip the
+    /// kernel registry. This is the hot path for stream connections, which
+    /// invoke one upstream Eject thousands of times.
+    pub fn invoke_routed(
+        &self,
+        cache: &mut RouteCache,
+        target: Uid,
+        op: impl Into<OpName>,
+        arg: Value,
+    ) -> PendingReply {
+        match self.kernel.upgrade() {
+            Some(kernel) => kernel.invoke_cached(self.node, cache, target, op.into(), arg),
+            None => PendingReply::ready(Err(EdenError::KernelShutdown)),
+        }
     }
 
     /// As [`invoke_sync`](Self::invoke_sync) but with an explicit deadline.

@@ -86,6 +86,17 @@ impl ReplyHandle {
     pub fn responder(&self) -> Uid {
         self.responder
     }
+
+    /// Resolve the waiting side with `err` without metering a reply and
+    /// without `Drop`'s crash default. The cached invocation path uses this
+    /// when a stale route's target no longer exists anywhere: the uncached
+    /// path reports such errors at send time without counting a reply, and
+    /// the cached path must be metrically indistinguishable.
+    pub(crate) fn resolve_silent(mut self, err: EdenError) {
+        if let Some(tx) = self.tx.take() {
+            let _ = tx.send(Err(err));
+        }
+    }
 }
 
 impl Drop for ReplyHandle {

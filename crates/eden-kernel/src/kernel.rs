@@ -14,6 +14,19 @@
 //! * checkpointed state survives crashes; an Eject that never checkpointed
 //!   disappears when it deactivates or crashes (the fate of §7's `UnixFile`
 //!   Ejects).
+//!
+//! # The invocation plane
+//!
+//! Routing is split into a **resolve** step (find or reactivate the target,
+//! under a registry lock) and a **dispatch** step (meter, trace, inject
+//! latency, send — with *no* lock held, so injected latency on one
+//! invocation can never serialise unrelated senders). The registry itself
+//! is sharded by UID: concurrent pipelines resolving different targets take
+//! different locks, and resolutions of already-active targets take only a
+//! shard *read* lock. On top of that, callers that repeatedly invoke the
+//! same target can hold a [`RouteCache`](crate::RouteCache) and skip the
+//! registry entirely — see [`Kernel::invoke_with_cache`] and the
+//! [`routes`](crate::routes) module for the staleness protocol.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -21,13 +34,14 @@ use std::sync::{Arc, Weak};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use crossbeam::channel::{unbounded, Sender};
+use crossbeam::channel::{bounded, unbounded, Sender};
 use eden_core::{wire, EdenError, Metrics, OpName, Result, Uid, Value};
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 
 use crate::behavior::EjectBehavior;
 use crate::context::EjectContext;
-use crate::invocation::{reply_pair, Invocation, PendingReply};
+use crate::invocation::{reply_pair, Invocation, PendingReply, ReplyHandle};
+use crate::routes::{Route, RouteCache};
 use crate::runtime::{run_coordinator, Envelope};
 use crate::stable::StableStore;
 
@@ -36,8 +50,11 @@ use crate::stable::StableStore;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
 pub struct NodeId(pub u16);
 
+/// Default number of registry shards (rounded up to a power of two).
+pub const DEFAULT_REGISTRY_SHARDS: usize = 16;
+
 /// Construction-time options for a [`Kernel`].
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct KernelConfig {
     /// Real latency added to every cross-node invocation (send side).
     pub remote_latency: Option<Duration>,
@@ -46,6 +63,29 @@ pub struct KernelConfig {
     /// Keep a ring of the last N kernel events (invocations, activations,
     /// stops) readable via [`Kernel::trace_events`]. 0 disables tracing.
     pub trace_capacity: usize,
+    /// Number of registry shards (rounded up to a power of two, minimum 1).
+    /// `1` reproduces the old single-lock registry — useful for measuring
+    /// contention on the same binary (see the `registry_contention` bench).
+    pub registry_shards: usize,
+    /// Mailbox capacity per Eject. `None` (the default) keeps the historic
+    /// unbounded mailboxes; `Some(n)` bounds each coordinator mailbox to
+    /// `n` envelopes and *parks the sender* when full — invocation becomes
+    /// flow-controlled rather than queue-growing. Kernel control messages
+    /// (crash, shutdown) bypass the bound so a full mailbox can never wedge
+    /// teardown.
+    pub mailbox_capacity: Option<usize>,
+}
+
+impl Default for KernelConfig {
+    fn default() -> Self {
+        KernelConfig {
+            remote_latency: None,
+            invocation_latency: None,
+            trace_capacity: 0,
+            registry_shards: DEFAULT_REGISTRY_SHARDS,
+            mailbox_capacity: None,
+        }
+    }
 }
 
 /// A reactivation constructor: turns a decoded passive representation back
@@ -64,18 +104,34 @@ pub enum EjectState {
     Passive,
 }
 
-enum Entry {
+/// Everything the kernel knows about one UID, merged into a single record
+/// so resolution touches exactly one shard lock (the old layout spread an
+/// Eject across three maps behind three mutexes).
+struct Slot {
+    state: SlotState,
+    node: NodeId,
+    /// Increments on every (re)activation and *survives passivation*, so an
+    /// exiting incarnation cannot demote its successor and cached routes
+    /// can tell incarnations apart.
+    incarnation: u64,
+}
+
+enum SlotState {
     Active {
         tx: Sender<Envelope>,
         join: Option<JoinHandle<()>>,
-        /// Increments on every (re)activation, so an exiting incarnation
-        /// cannot demote a successor that reused its UID.
-        incarnation: u64,
         type_name: &'static str,
     },
     Passive {
         type_name: String,
     },
+}
+
+/// One registry shard. Non-mutating resolutions (the overwhelmingly common
+/// case: target already active) take the read lock only.
+#[derive(Default)]
+struct Shard {
+    slots: RwLock<HashMap<Uid, Slot>>,
 }
 
 /// One row of [`Kernel::list_ejects`].
@@ -92,15 +148,24 @@ pub struct EjectInfo {
 }
 
 pub(crate) struct KernelInner {
-    registry: Mutex<HashMap<Uid, Entry>>,
+    shards: Box<[Shard]>,
+    /// `shards.len() - 1`; shard count is a power of two.
+    shard_mask: usize,
     types: Mutex<HashMap<String, TypeFactory>>,
-    nodes: Mutex<HashMap<Uid, NodeId>>,
-    incarnations: Mutex<HashMap<Uid, u64>>,
     stable: StableStore,
     metrics: Metrics,
     config: KernelConfig,
     trace: Option<crate::trace::TraceLog>,
     shutting_down: AtomicBool,
+}
+
+impl KernelInner {
+    fn shard(&self, uid: Uid) -> &Shard {
+        // Sequence numbers are sequential; a multiply-shift spreads
+        // neighbouring UIDs across shards.
+        let h = uid.seq().wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        &self.shards[(h >> 32) as usize & self.shard_mask]
+    }
 }
 
 impl Drop for KernelInner {
@@ -111,15 +176,15 @@ impl Drop for KernelInner {
         // backstop for the race where two handles drop concurrently and
         // each thought the other would do it.
         self.shutting_down.store(true, Ordering::Release);
-        let entries: Vec<(Sender<Envelope>, Option<JoinHandle<()>>)> = self
-            .registry
-            .get_mut()
-            .drain()
-            .filter_map(|(_, e)| match e {
-                Entry::Active { tx, join, .. } => Some((tx, join)),
-                Entry::Passive { .. } => None,
-            })
-            .collect();
+        let mut entries: Vec<(Sender<Envelope>, Option<JoinHandle<()>>)> = Vec::new();
+        for shard in self.shards.iter_mut() {
+            entries.extend(shard.slots.get_mut().drain().filter_map(|(_, slot)| {
+                match slot.state {
+                    SlotState::Active { tx, join, .. } => Some((tx, join)),
+                    SlotState::Passive { .. } => None,
+                }
+            }));
+        }
         shutdown_entries(entries);
     }
 }
@@ -128,11 +193,13 @@ impl Drop for KernelInner {
 /// sender release must precede the joins: a coordinator may be blocked
 /// waiting for an envelope queued at another (already exited) coordinator
 /// to be dropped, which happens only once every sender for that mailbox is
-/// gone.
+/// gone. Shutdown envelopes bypass any mailbox bound (`force_send`): with
+/// bounded mailboxes a plain send could park forever behind a full mailbox
+/// whose coordinator is itself waiting to shut down.
 fn shutdown_entries(entries: Vec<(Sender<Envelope>, Option<JoinHandle<()>>)>) {
     let mut joins = Vec::with_capacity(entries.len());
     for (tx, join) in entries {
-        let _ = tx.send(Envelope::Shutdown);
+        let _ = tx.force_send(Envelope::Shutdown);
         drop(tx);
         joins.push(join);
     }
@@ -193,30 +260,36 @@ impl Kernel {
     /// from the previous life are immediately invocable (they reactivate
     /// on first invocation).
     pub fn with_stable_store(config: KernelConfig, stable: StableStore) -> Self {
-        let registry: HashMap<Uid, Entry> = stable
-            .uids()
-            .into_iter()
-            .filter_map(|uid| {
-                stable
-                    .load(uid)
-                    .ok()
-                    .map(|rec| (uid, Entry::Passive { type_name: rec.type_name }))
-            })
-            .collect();
+        let shard_count = config.registry_shards.max(1).next_power_of_two();
+        let shards: Box<[Shard]> = (0..shard_count).map(|_| Shard::default()).collect();
         let trace = (config.trace_capacity > 0)
             .then(|| crate::trace::TraceLog::new(config.trace_capacity));
+        let inner = KernelInner {
+            shards,
+            shard_mask: shard_count - 1,
+            types: Mutex::new(HashMap::new()),
+            stable,
+            metrics: Metrics::new(),
+            config,
+            trace,
+            shutting_down: AtomicBool::new(false),
+        };
+        for uid in inner.stable.uids() {
+            if let Ok(rec) = inner.stable.load(uid) {
+                inner.shard(uid).slots.write().insert(
+                    uid,
+                    Slot {
+                        state: SlotState::Passive {
+                            type_name: rec.type_name,
+                        },
+                        node: NodeId::default(),
+                        incarnation: 0,
+                    },
+                );
+            }
+        }
         Kernel {
-            inner: Arc::new(KernelInner {
-                registry: Mutex::new(registry),
-                types: Mutex::new(HashMap::new()),
-                nodes: Mutex::new(HashMap::new()),
-                incarnations: Mutex::new(HashMap::new()),
-                stable,
-                metrics: Metrics::new(),
-                config,
-                trace,
-                shutting_down: AtomicBool::new(false),
-            }),
+            inner: Arc::new(inner),
         }
     }
 
@@ -277,9 +350,9 @@ impl Kernel {
     pub fn spawn_on(&self, node: NodeId, behavior: Box<dyn EjectBehavior>) -> Result<Uid> {
         let uid = Uid::fresh();
         self.inner.metrics.record_eject_created();
-        self.inner.nodes.lock().insert(uid, node);
-        let mut registry = self.inner.registry.lock();
-        self.start_coordinator(&mut registry, uid, node, behavior)?;
+        let shard = self.inner.shard(uid);
+        let mut slots = shard.slots.write();
+        self.start_coordinator(&mut slots, uid, node, behavior)?;
         Ok(uid)
     }
 
@@ -299,6 +372,21 @@ impl Kernel {
         self.invoke(target, op, arg).wait()
     }
 
+    /// Like [`Kernel::invoke`], but reusing (and maintaining) a caller-owned
+    /// [`RouteCache`]. On a cache hit the registry is never touched; a stale
+    /// route falls back to the registry transparently, so the result is
+    /// indistinguishable from an uncached invocation — including
+    /// reactivation of a passive target.
+    pub fn invoke_with_cache(
+        &self,
+        cache: &mut RouteCache,
+        target: Uid,
+        op: impl Into<OpName>,
+        arg: Value,
+    ) -> PendingReply {
+        self.invoke_cached(NodeId::default(), cache, target, op.into(), arg)
+    }
+
     /// Route an invocation originating on `from` to `target`, reactivating
     /// a passive target if necessary.
     pub(crate) fn invoke_from(
@@ -311,31 +399,164 @@ impl Kernel {
         if self.inner.shutting_down.load(Ordering::Acquire) {
             return PendingReply::ready(Err(EdenError::KernelShutdown));
         }
-        let tx = {
-            let mut registry = self.inner.registry.lock();
-            loop {
-                match registry.get(&target) {
-                    None => {
-                        return PendingReply::ready(Err(EdenError::NoSuchEject(target)))
-                    }
-                    Some(Entry::Active { tx, .. }) => break tx.clone(),
-                    Some(Entry::Passive { .. }) => {
-                        // "If a passive eject is sent an invocation, the
-                        // Eden kernel will activate it" (§1).
-                        if let Err(e) = self.reactivate(&mut registry, target) {
-                            return PendingReply::ready(Err(e));
+        let route = match self.resolve_route(target) {
+            Ok(route) => route,
+            Err(e) => return PendingReply::ready(Err(e)),
+        };
+        let (handle, pending) = reply_pair(target, self.inner.metrics.clone());
+        self.dispatch_route(from, &route, Invocation { op, arg }, handle);
+        pending
+    }
+
+    /// The cached-route invocation path. Semantically identical to
+    /// [`Kernel::invoke_from`]; differs only in cost (a hit skips the
+    /// registry) and in the `route_cache_hits`/`route_cache_misses`
+    /// counters. Invocation accounting is *per delivery attempt that
+    /// reaches a mailbox*: a stale-route fallback records exactly one
+    /// invocation, the same as the uncached path would.
+    pub(crate) fn invoke_cached(
+        &self,
+        from: NodeId,
+        cache: &mut RouteCache,
+        target: Uid,
+        op: OpName,
+        arg: Value,
+    ) -> PendingReply {
+        if self.inner.shutting_down.load(Ordering::Acquire) {
+            return PendingReply::ready(Err(EdenError::KernelShutdown));
+        }
+        let metrics = &self.inner.metrics;
+        if let Some(route) = cache.lookup(target) {
+            // Meter BEFORE the send, exactly as `dispatch_route` does: the
+            // receiver may handle the envelope (and an observer snapshot
+            // the counters) before this thread runs again, so the count
+            // must be visible no later than the envelope.
+            metrics.record_invocation(arg.size_hint());
+            if let Some(trace) = &self.inner.trace {
+                trace.record_invoke(target, &op, from, route.node);
+            }
+            if route.node != from {
+                metrics.record_remote_invocation();
+                if let Some(latency) = self.inner.config.remote_latency {
+                    std::thread::sleep(latency);
+                }
+            }
+            if let Some(latency) = self.inner.config.invocation_latency {
+                std::thread::sleep(latency);
+            }
+            let (handle, pending) = reply_pair(target, metrics.clone());
+            match route
+                .tx
+                .send(Envelope::Invocation(Invocation { op, arg }, handle))
+            {
+                Ok(()) => {
+                    metrics.record_route_cache_hit();
+                    pending
+                }
+                Err(crossbeam::channel::SendError(envelope)) => {
+                    // The cached coordinator exited. Recover the very same
+                    // invocation and reply handle from the bounced envelope
+                    // and retry through the registry, which reactivates a
+                    // passive target exactly as an uncached send would.
+                    // The delivery attempt is already metered; the
+                    // redelivery must not be, or a stale route would count
+                    // two invocations where the uncached path counts one.
+                    cache.invalidate(target);
+                    metrics.record_route_cache_miss();
+                    let Envelope::Invocation(invocation, handle) = envelope else {
+                        unreachable!("bounced envelope is the invocation just sent");
+                    };
+                    match self.resolve_route(target) {
+                        Ok(fresh) => {
+                            cache.insert(fresh.clone());
+                            let _ = fresh
+                                .tx
+                                .send(Envelope::Invocation(invocation, handle));
                         }
+                        // Resolve silently: the uncached path reports a
+                        // missing target without metering a reply, so the
+                        // cached path must too.
+                        Err(e) => handle.resolve_silent(e),
+                    }
+                    pending
+                }
+            }
+        } else {
+            metrics.record_route_cache_miss();
+            let route = match self.resolve_route(target) {
+                Ok(route) => route,
+                Err(e) => return PendingReply::ready(Err(e)),
+            };
+            cache.insert(route.clone());
+            let (handle, pending) = reply_pair(target, metrics.clone());
+            self.dispatch_route(from, &route, Invocation { op, arg }, handle);
+            pending
+        }
+    }
+
+    /// Resolve `target` to a live mailbox route, reactivating it from its
+    /// passive representation if needed. The fast path (target already
+    /// active) takes only a shard read lock; reactivation upgrades to the
+    /// shard write lock and re-checks, so concurrent resolvers of the same
+    /// passive target activate it exactly once.
+    fn resolve_route(&self, target: Uid) -> Result<Route> {
+        let shard = self.inner.shard(target);
+        {
+            let slots = shard.slots.read();
+            match slots.get(&target) {
+                None => return Err(EdenError::NoSuchEject(target)),
+                Some(slot) => {
+                    if let SlotState::Active { tx, .. } = &slot.state {
+                        return Ok(Route {
+                            target,
+                            tx: tx.clone(),
+                            node: slot.node,
+                            incarnation: slot.incarnation,
+                        });
                     }
                 }
             }
-        };
-        let metrics = &self.inner.metrics;
-        metrics.record_invocation(arg.size_hint());
-        let target_node = self.node_of(target);
-        if let Some(trace) = &self.inner.trace {
-            trace.record_invoke(target, &op, from, target_node);
         }
-        if target_node != from {
+        let mut slots = shard.slots.write();
+        loop {
+            match slots.get(&target) {
+                None => return Err(EdenError::NoSuchEject(target)),
+                Some(slot) => match &slot.state {
+                    SlotState::Active { tx, .. } => {
+                        return Ok(Route {
+                            target,
+                            tx: tx.clone(),
+                            node: slot.node,
+                            incarnation: slot.incarnation,
+                        })
+                    }
+                    SlotState::Passive { .. } => {
+                        // "If a passive eject is sent an invocation, the
+                        // Eden kernel will activate it" (§1).
+                        self.reactivate(&mut slots, target)?;
+                    }
+                },
+            }
+        }
+    }
+
+    /// Deliver a resolved invocation: meter, trace, inject latency, send.
+    /// Runs with no kernel lock held — the route owns clones of everything
+    /// it needs — so injected latency delays only this sender and can never
+    /// serialise unrelated invocations.
+    fn dispatch_route(
+        &self,
+        from: NodeId,
+        route: &Route,
+        invocation: Invocation,
+        handle: ReplyHandle,
+    ) {
+        let metrics = &self.inner.metrics;
+        metrics.record_invocation(invocation.arg.size_hint());
+        if let Some(trace) = &self.inner.trace {
+            trace.record_invoke(route.target, &invocation.op, from, route.node);
+        }
+        if route.node != from {
             metrics.record_remote_invocation();
             if let Some(latency) = self.inner.config.remote_latency {
                 std::thread::sleep(latency);
@@ -344,68 +565,71 @@ impl Kernel {
         if let Some(latency) = self.inner.config.invocation_latency {
             std::thread::sleep(latency);
         }
-        let (handle, pending) = reply_pair(target, metrics.clone());
         // A send failure means the coordinator already exited; dropping
-        // `handle` resolves `pending` with EjectCrashed, which is the
-        // correct observation for the caller.
-        let _ = tx.send(Envelope::Invocation(Invocation { op, arg }, handle));
-        pending
+        // `handle` resolves the pending reply with EjectCrashed, which is
+        // the correct observation for the caller.
+        let _ = route.tx.send(Envelope::Invocation(invocation, handle));
     }
 
     /// The node an Eject is placed on (node 0 if never placed).
     pub fn node_of(&self, uid: Uid) -> NodeId {
         self.inner
-            .nodes
-            .lock()
+            .shard(uid)
+            .slots
+            .read()
             .get(&uid)
-            .copied()
+            .map(|slot| slot.node)
             .unwrap_or_default()
     }
 
     /// The Eden type name of a *passive* Eject, read from its registry
     /// entry. Active Ejects answer `Describe` instead.
     pub fn passive_type_name(&self, uid: Uid) -> Option<String> {
-        let registry = self.inner.registry.lock();
-        match registry.get(&uid) {
-            Some(Entry::Passive { type_name }) => Some(type_name.clone()),
+        let slots = self.inner.shard(uid).slots.read();
+        match slots.get(&uid).map(|slot| &slot.state) {
+            Some(SlotState::Passive { type_name }) => Some(type_name.clone()),
             _ => None,
         }
     }
 
     /// The current state of `uid`, if the kernel knows it.
     pub fn eject_state(&self, uid: Uid) -> Option<EjectState> {
-        let registry = self.inner.registry.lock();
-        registry.get(&uid).map(|entry| match entry {
-            Entry::Active { .. } => EjectState::Active,
-            Entry::Passive { .. } => EjectState::Passive,
+        let slots = self.inner.shard(uid).slots.read();
+        slots.get(&uid).map(|slot| match slot.state {
+            SlotState::Active { .. } => EjectState::Active,
+            SlotState::Passive { .. } => EjectState::Passive,
         })
     }
 
     /// Number of Ejects the kernel currently knows (active + passive).
     pub fn eject_count(&self) -> usize {
-        self.inner.registry.lock().len()
+        self.inner
+            .shards
+            .iter()
+            .map(|shard| shard.slots.read().len())
+            .sum()
     }
 
     /// A snapshot of every known Eject, sorted by UID.
     pub fn list_ejects(&self) -> Vec<EjectInfo> {
-        let registry = self.inner.registry.lock();
-        let mut rows: Vec<EjectInfo> = registry
-            .iter()
-            .map(|(uid, entry)| match entry {
-                Entry::Active { type_name, .. } => EjectInfo {
+        let mut rows: Vec<EjectInfo> = Vec::new();
+        for shard in self.inner.shards.iter() {
+            let slots = shard.slots.read();
+            rows.extend(slots.iter().map(|(uid, slot)| match &slot.state {
+                SlotState::Active { type_name, .. } => EjectInfo {
                     uid: *uid,
                     state: EjectState::Active,
                     type_name: (*type_name).to_owned(),
-                    node: self.node_of(*uid),
+                    node: slot.node,
                 },
-                Entry::Passive { type_name } => EjectInfo {
+                SlotState::Passive { type_name } => EjectInfo {
                     uid: *uid,
                     state: EjectState::Passive,
                     type_name: type_name.clone(),
-                    node: self.node_of(*uid),
+                    node: slot.node,
                 },
-            })
-            .collect();
+            }));
+        }
         rows.sort_by_key(|r| r.uid);
         rows
     }
@@ -417,15 +641,16 @@ impl Kernel {
     /// threads.
     pub fn crash(&self, uid: Uid) -> Result<()> {
         let (tx, join) = {
-            let mut registry = self.inner.registry.lock();
-            match registry.get_mut(&uid) {
-                Some(Entry::Active { tx, join, .. }) => (tx.clone(), join.take()),
-                Some(Entry::Passive { .. }) => return Ok(()),
+            let mut slots = self.inner.shard(uid).slots.write();
+            match slots.get_mut(&uid).map(|slot| &mut slot.state) {
+                Some(SlotState::Active { tx, join, .. }) => (tx.clone(), join.take()),
+                Some(SlotState::Passive { .. }) => return Ok(()),
                 None => return Err(EdenError::NoSuchEject(uid)),
             }
         };
         self.inner.metrics.record_crash();
-        let _ = tx.send(Envelope::Crash);
+        // Crash must land even if the mailbox is bounded and full.
+        let _ = tx.force_send(Envelope::Crash);
         drop(tx);
         if let Some(join) = join {
             let _ = join.join();
@@ -447,36 +672,34 @@ impl Kernel {
         if self.inner.shutting_down.load(Ordering::Acquire) {
             return;
         }
-        let mut registry = self.inner.registry.lock();
+        let mut slots = self.inner.shard(uid).slots.write();
         let is_current = matches!(
-            registry.get(&uid),
-            Some(Entry::Active { incarnation: cur, .. }) if *cur == incarnation
+            slots.get(&uid),
+            Some(Slot { state: SlotState::Active { .. }, incarnation: cur, .. })
+                if *cur == incarnation
         );
         if !is_current {
             return;
         }
         match self.inner.stable.load(uid) {
             Ok(record) => {
-                registry.insert(
-                    uid,
-                    Entry::Passive {
-                        type_name: record.type_name,
-                    },
-                );
+                let slot = slots.get_mut(&uid).expect("checked above");
+                slot.state = SlotState::Passive {
+                    type_name: record.type_name,
+                };
             }
             Err(_) => {
                 // Never checkpointed: "since it has never Checkpointed,
                 // [it] disappears" (§7).
-                registry.remove(&uid);
-                self.inner.nodes.lock().remove(&uid);
+                slots.remove(&uid);
             }
         }
     }
 
     /// Reactivate a passive Eject: load its checkpoint, run its type's
     /// constructor, and start a fresh coordinator under the same UID.
-    /// Called with the registry lock held.
-    fn reactivate(&self, registry: &mut HashMap<Uid, Entry>, uid: Uid) -> Result<()> {
+    /// Called with the target's shard write lock held.
+    fn reactivate(&self, slots: &mut HashMap<Uid, Slot>, uid: Uid) -> Result<()> {
         let record = self.inner.stable.load(uid)?;
         let factory = self
             .inner
@@ -492,13 +715,13 @@ impl Kernel {
             })?;
         let state = wire::decode(&record.bytes)?;
         let behavior = factory(Some(state))?;
-        let node = self.node_of(uid);
-        self.start_coordinator(registry, uid, node, behavior)
+        let node = slots.get(&uid).map(|slot| slot.node).unwrap_or_default();
+        self.start_coordinator(slots, uid, node, behavior)
     }
 
     fn start_coordinator(
         &self,
-        registry: &mut HashMap<Uid, Entry>,
+        slots: &mut HashMap<Uid, Slot>,
         uid: Uid,
         node: NodeId,
         behavior: Box<dyn EjectBehavior>,
@@ -506,13 +729,11 @@ impl Kernel {
         if self.inner.shutting_down.load(Ordering::Acquire) {
             return Err(EdenError::KernelShutdown);
         }
-        let incarnation = {
-            let mut incs = self.inner.incarnations.lock();
-            let slot = incs.entry(uid).or_insert(0);
-            *slot += 1;
-            *slot
+        let incarnation = slots.get(&uid).map(|slot| slot.incarnation).unwrap_or(0) + 1;
+        let (tx, rx) = match self.inner.config.mailbox_capacity {
+            Some(cap) => bounded(cap),
+            None => unbounded(),
         };
-        let (tx, rx) = unbounded();
         let type_name = behavior.type_name();
         let ctx = Arc::new(EjectContext {
             uid,
@@ -534,13 +755,16 @@ impl Kernel {
             .name(format!("eject-{}-{type_name}", uid.seq()))
             .spawn(move || run_coordinator(behavior, ctx, rx, weak, incarnation))
             .map_err(|e| EdenError::Application(format!("cannot spawn coordinator: {e}")))?;
-        registry.insert(
+        slots.insert(
             uid,
-            Entry::Active {
-                tx,
-                join: Some(join),
+            Slot {
+                state: SlotState::Active {
+                    tx,
+                    join: Some(join),
+                    type_name,
+                },
+                node,
                 incarnation,
-                type_name,
             },
         );
         Ok(())
@@ -552,16 +776,14 @@ impl Kernel {
         if self.inner.shutting_down.swap(true, Ordering::AcqRel) {
             return;
         }
-        let entries: Vec<(Sender<Envelope>, Option<JoinHandle<()>>)> = {
-            let mut registry = self.inner.registry.lock();
-            registry
-                .drain()
-                .filter_map(|(_, entry)| match entry {
-                    Entry::Active { tx, join, .. } => Some((tx, join)),
-                    Entry::Passive { .. } => None,
-                })
-                .collect()
-        };
+        let mut entries: Vec<(Sender<Envelope>, Option<JoinHandle<()>>)> = Vec::new();
+        for shard in self.inner.shards.iter() {
+            let mut slots = shard.slots.write();
+            entries.extend(slots.drain().filter_map(|(_, slot)| match slot.state {
+                SlotState::Active { tx, join, .. } => Some((tx, join)),
+                SlotState::Passive { .. } => None,
+            }));
+        }
         shutdown_entries(entries);
     }
 }

@@ -53,6 +53,7 @@ mod behavior;
 mod context;
 mod invocation;
 mod kernel;
+mod routes;
 mod runtime;
 mod stable;
 mod trace;
@@ -62,6 +63,10 @@ pub use context::{EjectContext, InternalSender, ProcessContext};
 pub use invocation::{
     reply_pair, Invocation, PendingReply, ReplyHandle, DEFAULT_REPLY_TIMEOUT,
 };
-pub use kernel::{EjectInfo, EjectState, Kernel, KernelConfig, NodeId, TypeFactory, WeakKernel};
+pub use kernel::{
+    EjectInfo, EjectState, Kernel, KernelConfig, NodeId, TypeFactory, WeakKernel,
+    DEFAULT_REGISTRY_SHARDS,
+};
+pub use routes::{Route, RouteCache};
 pub use stable::{PassiveRecord, StableStore};
 pub use trace::TraceEvent;

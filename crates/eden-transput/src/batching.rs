@@ -1,0 +1,145 @@
+//! Adaptive batch sizing for stream connections.
+//!
+//! §4's efficiency argument is about invocations per datum: a bigger batch
+//! per `Transfer`/`Write` amortises the invocation cost over more records,
+//! at the price of latency and buffer memory. The right size depends on the
+//! consumer, which the producer cannot know statically — so instead of a
+//! fixed `batch: 16`, an [`AdaptiveBatch`] starts at a configured minimum
+//! and doubles when the connection shows it is invocation-bound (a starved
+//! puller, a saturated write window) and halves when batching overshoots
+//! demand (records pile up unread, acknowledgements come back instantly).
+//!
+//! The current size lives in a shared atomic: the coordinator (which sees
+//! demand) adjusts it, while the worker that actually issues the transfers
+//! reads it — no locks, no messages. Growth is multiplicative in both
+//! directions so the size converges in O(log(max/min)) adjustments and
+//! never oscillates faster than the signal driving it.
+//!
+//! Semantics are unaffected by construction: the batch size only changes
+//! *how many* records one invocation moves, never which records move —
+//! the equivalence tests in `tests/discipline_equivalence.rs` run the same
+//! streams with adaptation on and off and require identical output.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// A batch-size dial shared between the party observing demand and the
+/// party issuing transfers. Clones share the dial.
+#[derive(Debug, Clone)]
+pub struct AdaptiveBatch {
+    current: Arc<AtomicUsize>,
+    min: usize,
+    max: usize,
+}
+
+impl AdaptiveBatch {
+    /// An adaptive size starting at `min`, doubling up to `max`. If
+    /// `max <= min` the size is fixed at `min` (see [`fixed`](Self::fixed)).
+    pub fn new(min: usize, max: usize) -> AdaptiveBatch {
+        let min = min.max(1);
+        let max = max.max(min);
+        AdaptiveBatch {
+            current: Arc::new(AtomicUsize::new(min)),
+            min,
+            max,
+        }
+    }
+
+    /// A size that never changes — what a plain `batch: n` config yields.
+    pub fn fixed(n: usize) -> AdaptiveBatch {
+        AdaptiveBatch::new(n, n)
+    }
+
+    /// The size to use for the next transfer.
+    pub fn current(&self) -> usize {
+        self.current.load(Ordering::Relaxed)
+    }
+
+    /// True if `grow`/`shrink` can never change the size.
+    pub fn is_fixed(&self) -> bool {
+        self.min == self.max
+    }
+
+    /// The configured bounds.
+    pub fn bounds(&self) -> (usize, usize) {
+        (self.min, self.max)
+    }
+
+    /// The connection is invocation-bound: double the batch (clamped).
+    pub fn grow(&self) {
+        if self.is_fixed() {
+            return;
+        }
+        let cur = self.current.load(Ordering::Relaxed);
+        let next = (cur.saturating_mul(2)).min(self.max);
+        if next != cur {
+            // A racing adjustment may win; both were computed from live
+            // signals, so either outcome is acceptable.
+            let _ = self
+                .current
+                .compare_exchange(cur, next, Ordering::Relaxed, Ordering::Relaxed);
+        }
+    }
+
+    /// Batching overshot demand: halve the batch (clamped).
+    pub fn shrink(&self) {
+        if self.is_fixed() {
+            return;
+        }
+        let cur = self.current.load(Ordering::Relaxed);
+        let next = (cur / 2).max(self.min);
+        if next != cur {
+            let _ = self
+                .current
+                .compare_exchange(cur, next, Ordering::Relaxed, Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grows_and_shrinks_within_bounds() {
+        let b = AdaptiveBatch::new(4, 32);
+        assert_eq!(b.current(), 4);
+        b.grow();
+        b.grow();
+        assert_eq!(b.current(), 16);
+        b.grow();
+        b.grow(); // clamped
+        assert_eq!(b.current(), 32);
+        for _ in 0..10 {
+            b.shrink();
+        }
+        assert_eq!(b.current(), 4);
+    }
+
+    #[test]
+    fn fixed_never_moves() {
+        let b = AdaptiveBatch::fixed(16);
+        assert!(b.is_fixed());
+        b.grow();
+        b.shrink();
+        assert_eq!(b.current(), 16);
+    }
+
+    #[test]
+    fn clones_share_the_dial() {
+        let a = AdaptiveBatch::new(2, 64);
+        let b = a.clone();
+        a.grow();
+        assert_eq!(b.current(), 4);
+    }
+
+    #[test]
+    fn degenerate_bounds_are_sanitised() {
+        let b = AdaptiveBatch::new(0, 0);
+        assert_eq!(b.current(), 1);
+        assert!(b.is_fixed());
+        let b = AdaptiveBatch::new(8, 2);
+        assert!(b.is_fixed());
+        assert_eq!(b.current(), 8);
+    }
+}

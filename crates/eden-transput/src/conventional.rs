@@ -20,7 +20,7 @@ use std::collections::VecDeque;
 
 use eden_core::op::ops;
 use eden_core::{EdenError, Uid, Value};
-use eden_kernel::{EjectBehavior, EjectContext, Invocation, ReplyHandle};
+use eden_kernel::{EjectBehavior, EjectContext, Invocation, ReplyHandle, RouteCache};
 
 use crate::protocol::{Batch, ChannelId, TransferRequest, WriteRequest};
 use crate::transform::{Emitter, Transform};
@@ -230,6 +230,9 @@ impl EjectBehavior for PumpFilterEject {
             None => return,
         };
         ctx.spawn_process("pump", move |pctx| {
+            // The pump invokes its two neighbours thousands of times;
+            // cache their routes across iterations.
+            let mut cache = RouteCache::new();
             loop {
                 if pctx.should_stop() {
                     return;
@@ -238,7 +241,7 @@ impl EjectBehavior for PumpFilterEject {
                     channel,
                     max: batch,
                 };
-                let pending = pctx.invoke(upstream, ops::TRANSFER, req.to_value());
+                let pending = pctx.invoke_routed(&mut cache, upstream, ops::TRANSFER, req.to_value());
                 let pulled = match pctx.wait_or_stop(pending).and_then(Batch::from_value) {
                     Ok(b) => b,
                     Err(_) => return,
@@ -251,7 +254,8 @@ impl EjectBehavior for PumpFilterEject {
                     transform.flush(&mut emitter);
                 }
                 let mut send = |port: OutputPort, w: WriteRequest| {
-                    let pending = pctx.invoke(port.uid, ops::WRITE, w.to_value());
+                    let pending =
+                        pctx.invoke_routed(&mut cache, port.uid, ops::WRITE, w.to_value());
                     pctx.wait_or_stop(pending).map(|_| ())
                 };
                 if crate::write_only::deliver(&wiring, &mut emitter, pulled.end, &mut send)

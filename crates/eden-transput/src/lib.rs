@@ -41,6 +41,7 @@
 
 #![warn(missing_docs)]
 
+pub mod batching;
 pub mod bytestream;
 pub mod channels;
 pub mod collector;
@@ -55,6 +56,7 @@ pub mod stdio;
 pub mod transform;
 pub mod write_only;
 
+pub use batching::AdaptiveBatch;
 pub use channels::{ChannelPolicy, ChannelSpec, ChannelTable};
 pub use collector::Collector;
 pub use pipeline::{Discipline, Pipeline, PipelineBuilder, PipelineRun};

@@ -89,6 +89,7 @@ pub struct PipelineBuilder {
     kernel: Kernel,
     discipline: Discipline,
     batch: usize,
+    batch_max: usize,
     policy: ChannelPolicy,
     source: Option<SourceSpec>,
     stages: Vec<Box<dyn Transform>>,
@@ -105,6 +106,7 @@ impl PipelineBuilder {
             kernel: kernel.clone(),
             discipline,
             batch: 16,
+            batch_max: 0,
             policy: ChannelPolicy::Integer,
             source: None,
             stages: Vec::new(),
@@ -173,6 +175,15 @@ impl PipelineBuilder {
         self
     }
 
+    /// Let every connection adapt its records-per-invocation between
+    /// [`batch`](Self::batch) and `max`: starved consumers and saturated
+    /// write windows grow the batch; overshoot shrinks it back. `max` at
+    /// or below `batch` keeps batches fixed (the default).
+    pub fn adaptive_batch(mut self, max: usize) -> Self {
+        self.batch_max = max;
+        self
+    }
+
     /// Channel identifier policy for read-only filters (§5).
     pub fn policy(mut self, policy: ChannelPolicy) -> Self {
         self.policy = policy;
@@ -219,6 +230,7 @@ impl PipelineBuilder {
             kernel,
             discipline,
             batch,
+            batch_max,
             policy,
             source,
             stages,
@@ -260,6 +272,7 @@ impl PipelineBuilder {
             nodes,
             next_node: 0,
             ejects: Vec::new(),
+            deferred: Vec::new(),
         };
         // Resolve merged sources into a single merging Eject up front, so
         // the discipline builders only ever see Local or Eject sources.
@@ -295,6 +308,7 @@ impl PipelineBuilder {
                         read_ahead: 0,
                         fan_in: mode,
                         policy: ChannelPolicy::Integer,
+                        batch_max,
                     },
                 );
                 SourceSpec::Eject(wiring.spawn(Box::new(merger))?)
@@ -304,13 +318,14 @@ impl PipelineBuilder {
         let start_target = match discipline {
             Discipline::ReadOnly { read_ahead } => {
                 build_read_only(
-                    &mut wiring, source, stages, &taps, batch, read_ahead, policy, &collector,
+                    &mut wiring, source, stages, &taps, batch, batch_max, read_ahead, policy,
+                    &collector,
                 )?;
                 None
             }
             Discipline::WriteOnly { push_ahead } => build_write_only(
-                &mut wiring, source, stages, &taps, batch, push_ahead, write_window,
-                &collector,
+                &mut wiring, source, stages, &taps, batch, batch_max, push_ahead,
+                write_window, &collector,
             )?,
             Discipline::Conventional { buffer_capacity } => build_conventional(
                 &mut wiring,
@@ -318,6 +333,7 @@ impl PipelineBuilder {
                 stages,
                 &taps,
                 batch,
+                batch_max,
                 buffer_capacity,
                 write_window,
                 &collector,
@@ -328,6 +344,7 @@ impl PipelineBuilder {
             kernel,
             discipline,
             ejects: wiring.ejects,
+            deferred_sinks: wiring.deferred,
             start_target,
             collector,
             taps,
@@ -342,20 +359,34 @@ struct Wirer {
     nodes: Option<u16>,
     next_node: u16,
     ejects: Vec<Uid>,
+    deferred: Vec<(Option<NodeId>, Box<dyn eden_kernel::EjectBehavior>)>,
 }
 
 impl Wirer {
+    fn place(&mut self) -> Option<NodeId> {
+        self.nodes.map(|n| {
+            let node = NodeId(self.next_node % n);
+            self.next_node = self.next_node.wrapping_add(1);
+            node
+        })
+    }
+
     fn spawn(&mut self, behavior: Box<dyn eden_kernel::EjectBehavior>) -> Result<Uid> {
-        let uid = match self.nodes {
-            Some(n) => {
-                let node = NodeId(self.next_node % n);
-                self.next_node = self.next_node.wrapping_add(1);
-                self.kernel.spawn_on(node, behavior)?
-            }
+        let uid = match self.place() {
+            Some(node) => self.kernel.spawn_on(node, behavior)?,
             None => self.kernel.spawn(behavior)?,
         };
         self.ejects.push(uid);
         Ok(uid)
+    }
+
+    /// Queue a behavior to spawn in `run()` instead of now. Used for the
+    /// pull-side sinks, whose pump starts the moment they spawn: deferring
+    /// them past the metrics baseline keeps every data-phase invocation
+    /// inside the measured window, so the analytic n+1 counts hold exactly.
+    fn defer(&mut self, behavior: Box<dyn eden_kernel::EjectBehavior>) {
+        let node = self.place();
+        self.deferred.push((node, behavior));
     }
 }
 
@@ -366,6 +397,7 @@ fn build_read_only(
     stages: Vec<Box<dyn Transform>>,
     taps: &[ReportTap],
     batch: usize,
+    batch_max: usize,
     read_ahead: usize,
     policy: ChannelPolicy,
     collector: &Collector,
@@ -397,6 +429,7 @@ fn build_read_only(
                 read_ahead,
                 fan_in: FanInMode::Concatenate,
                 policy,
+                batch_max,
             },
         );
         prev = w.spawn(Box::new(filter))?;
@@ -432,20 +465,19 @@ fn build_read_only(
             .to_value(),
         )?;
         let id = ChannelId::from_value(&id_value)?;
-        w.spawn(Box::new(SinkEject::on_channel(
+        w.defer(Box::new(SinkEject::on_channel(
             filter,
             id,
             batch,
             tap.collector.clone(),
-        )))?;
+        )));
     }
-    // The sink spawns last: attaching it is "starting the pump" (§4).
-    w.spawn(Box::new(SinkEject::on_channel(
-        prev,
-        prev_channel,
-        batch,
-        collector.clone(),
-    )))?;
+    // The sinks spawn last — and deferred until `run()`: attaching the
+    // sink is "starting the pump" (§4), so nothing flows at build time.
+    w.defer(Box::new(
+        SinkEject::on_channel(prev, prev_channel, batch, collector.clone())
+            .adaptive_batch(batch_max),
+    ));
     Ok(())
 }
 
@@ -456,6 +488,7 @@ fn build_write_only(
     stages: Vec<Box<dyn Transform>>,
     taps: &[ReportTap],
     batch: usize,
+    batch_max: usize,
     push_ahead: usize,
     write_window: usize,
     collector: &Collector,
@@ -476,7 +509,7 @@ fn build_write_only(
         next = w.spawn(Box::new(filter))?;
         let _ = n;
     }
-    spawn_pump_for(w, source, next, batch, write_window)
+    spawn_pump_for(w, source, next, batch, batch_max, write_window)
 }
 
 /// Attach the pump appropriate to the source kind: a `Start`-triggered
@@ -487,17 +520,16 @@ fn spawn_pump_for(
     source: SourceSpec,
     target: Uid,
     batch: usize,
+    batch_max: usize,
     write_window: usize,
 ) -> Result<Option<Uid>> {
     let wiring = OutputWiring::primary_to(OutputPort::primary(target));
     match source {
         SourceSpec::Local(s) => {
-            let src = w.spawn(Box::new(PushSourceEject::with_window(
-                s,
-                wiring,
-                batch,
-                write_window,
-            )))?;
+            let src = w.spawn(Box::new(
+                PushSourceEject::with_window(s, wiring, batch, write_window)
+                    .adaptive_batch(batch_max),
+            ))?;
             Ok(Some(src))
         }
         SourceSpec::Eject(uid) => {
@@ -523,6 +555,7 @@ fn build_conventional(
     stages: Vec<Box<dyn Transform>>,
     taps: &[ReportTap],
     batch: usize,
+    batch_max: usize,
     buffer_capacity: usize,
     write_window: usize,
     collector: &Collector,
@@ -552,12 +585,10 @@ fn build_conventional(
         )))?;
         upstream_buf = out_buf;
     }
-    w.spawn(Box::new(SinkEject::new(
-        upstream_buf,
-        batch,
-        collector.clone(),
-    )))?;
-    spawn_pump_for(w, source, first_buf, batch, write_window)
+    w.spawn(Box::new(
+        SinkEject::new(upstream_buf, batch, collector.clone()).adaptive_batch(batch_max),
+    ))?;
+    spawn_pump_for(w, source, first_buf, batch, batch_max, write_window)
 }
 
 /// A wired pipeline, ready to run.
@@ -565,6 +596,9 @@ pub struct Pipeline {
     kernel: Kernel,
     discipline: Discipline,
     ejects: Vec<Uid>,
+    /// Pull-side sinks, spawned in `run()` so their pumps start after the
+    /// metrics baseline (and so that truly nothing flows at build time).
+    deferred_sinks: Vec<(Option<NodeId>, Box<dyn eden_kernel::EjectBehavior>)>,
     /// `Start` target for source-pumped disciplines.
     start_target: Option<Uid>,
     collector: Collector,
@@ -589,8 +623,15 @@ impl Pipeline {
     }
 
     /// Run to end-of-stream, tear the Ejects down, and report.
-    pub fn run(self, deadline: Duration) -> Result<PipelineRun> {
+    pub fn run(mut self, deadline: Duration) -> Result<PipelineRun> {
         let start = Instant::now();
+        for (node, behavior) in self.deferred_sinks.drain(..) {
+            let uid = match node {
+                Some(n) => self.kernel.spawn_on(n, behavior)?,
+                None => self.kernel.spawn(behavior)?,
+            };
+            self.ejects.push(uid);
+        }
         if let Some(target) = self.start_target {
             // Fire the pump; its deferred reply resolves when the source
             // has pushed end-of-stream all the way in, but completion is
@@ -791,7 +832,9 @@ mod tests {
             .source_vec((0..4).map(Value::Int).collect())
             .build()
             .unwrap();
-        assert!(kernel.eject_count() >= 2);
+        // The sink is deferred to run() ("starting the pump"), so a
+        // zero-stage pipeline has spawned only its source at this point.
+        assert!(kernel.eject_count() >= 1);
         let _run = pipeline.run(Duration::from_secs(10)).unwrap();
         assert_eq!(kernel.eject_count(), 0, "run() must tear the pipeline down");
         kernel.shutdown();

@@ -27,8 +27,9 @@ use std::collections::VecDeque;
 
 use eden_core::op::ops;
 use eden_core::{EdenError, Result, Uid, Value};
-use eden_kernel::{EjectBehavior, EjectContext, Invocation, ReplyHandle};
+use eden_kernel::{EjectBehavior, EjectContext, Invocation, ReplyHandle, RouteCache};
 
+use crate::batching::AdaptiveBatch;
 use crate::channels::{ChannelPolicy, ChannelTable};
 use crate::protocol::{Batch, ChannelId, GetChannelRequest, TransferRequest, OUTPUT_NAME};
 use crate::transform::{Emitter, Transform};
@@ -69,7 +70,9 @@ impl InputPort {
 /// Tuning for a [`PullFilterEject`].
 #[derive(Debug, Clone)]
 pub struct PullFilterConfig {
-    /// Records requested per upstream `Transfer`.
+    /// Records requested per upstream `Transfer`. With `batch_max == 0`
+    /// this is the fixed batch size; otherwise it is the floor of an
+    /// adaptive range.
     pub batch: usize,
     /// Target number of pre-pulled records (0 = lazy).
     pub read_ahead: usize,
@@ -77,6 +80,9 @@ pub struct PullFilterConfig {
     pub fan_in: FanInMode,
     /// How output channel identifiers are minted.
     pub policy: ChannelPolicy,
+    /// Upper bound for adaptive batch sizing (see [`AdaptiveBatch`]).
+    /// `0` (the default) keeps the batch fixed at `batch`.
+    pub batch_max: usize,
 }
 
 impl Default for PullFilterConfig {
@@ -86,6 +92,18 @@ impl Default for PullFilterConfig {
             read_ahead: 0,
             fan_in: FanInMode::Concatenate,
             policy: ChannelPolicy::Integer,
+            batch_max: 0,
+        }
+    }
+}
+
+impl PullFilterConfig {
+    /// The batch dial this configuration describes.
+    pub(crate) fn adaptive_batch(&self) -> AdaptiveBatch {
+        if self.batch_max > self.batch {
+            AdaptiveBatch::new(self.batch, self.batch_max)
+        } else {
+            AdaptiveBatch::fixed(self.batch)
         }
     }
 }
@@ -227,6 +245,11 @@ pub struct PullFilterEject {
     credit_tx: Option<crossbeam::channel::Sender<usize>>,
     input_done: bool,
     flushed: bool,
+    /// Upstream routes, learned on first use. In read-ahead mode the
+    /// worker keeps its own cache (it does the pulling).
+    route_cache: RouteCache,
+    /// The records-per-Transfer dial; shared with the read-ahead worker.
+    batch: AdaptiveBatch,
 }
 
 impl PullFilterEject {
@@ -246,6 +269,7 @@ impl PullFilterEject {
         let channels = ChannelTable::new(config.policy, names);
         let out = (0..channels.len()).map(|_| OutChannel::default()).collect();
         let puller = InputPuller::new(inputs, config.fan_in);
+        let batch = config.adaptive_batch();
         PullFilterEject {
             transform,
             channels,
@@ -256,6 +280,8 @@ impl PullFilterEject {
             credit_tx: None,
             input_done: false,
             flushed: false,
+            route_cache: RouteCache::new(),
+            batch,
         }
     }
 
@@ -304,9 +330,18 @@ impl PullFilterEject {
 
     /// Answer as many parked Transfers as the buffers now allow.
     fn serve_waiters(&mut self) {
-        for ch in &mut self.out {
+        let cap = self.batch.bounds().1;
+        let read_ahead = self.config.read_ahead > 0;
+        for (idx, ch) in self.out.iter_mut().enumerate() {
             while let Some(front) = ch.waiters.front() {
                 if ch.buffer.is_empty() && !self.flushed {
+                    break;
+                }
+                // Primary read-ahead serves whole batches: answering a
+                // 64-record ask with the 4 records that happen to be
+                // buffered would turn one invocation into many.
+                if read_ahead && idx == 0 && !self.flushed && ch.buffer.len() < front.max.min(cap)
+                {
                     break;
                 }
                 let max = front.max;
@@ -322,19 +357,23 @@ impl PullFilterEject {
     /// Lazy mode: synchronously pull and transform until `channel_idx` has
     /// `want` records buffered (or input ends).
     fn fill_lazily(&mut self, ctx: &EjectContext, channel_idx: usize, want: usize) {
+        let mut pulls = 0usize;
         while self.out[channel_idx].buffer.len() < want && !self.flushed {
             let step = {
                 let puller = match self.puller.as_mut() {
                     Some(p) => p,
                     None => break,
                 };
-                let batch = self.config.batch;
+                let batch = self.batch.current();
+                let cache = &mut self.route_cache;
                 let mut transfer = |uid: Uid, req: TransferRequest| -> Result<Batch> {
-                    ctx.invoke_sync(uid, ops::TRANSFER, req.to_value())
+                    ctx.invoke_routed(cache, uid, ops::TRANSFER, req.to_value())
+                        .wait()
                         .and_then(Batch::from_value)
                 };
                 puller.pull_next(batch, &mut transfer)
             };
+            pulls += 1;
             match step {
                 Ok(step) => {
                     self.ingest(step.items);
@@ -349,6 +388,14 @@ impl PullFilterEject {
                 }
             }
         }
+        // Adapt: a serve needing several upstream pulls is invocation-bound;
+        // a single pull that left more than a demand's worth buffered
+        // overshot. (No-ops when the batch is fixed.)
+        if pulls >= 2 {
+            self.batch.grow();
+        } else if pulls == 1 && self.out[channel_idx].buffer.len() > want {
+            self.batch.shrink();
+        }
     }
 
     /// Worker mode: top up the credit so the worker keeps `read_ahead`
@@ -358,7 +405,9 @@ impl PullFilterEject {
             return;
         }
         let buffered = self.out[0].buffer.len();
-        let target = self.config.read_ahead;
+        // The window deepens with the batch dial: pre-pulling less than
+        // one batch's worth would starve the very batches we grew.
+        let target = self.config.read_ahead.max(self.batch.current());
         let in_flight = buffered + self.outstanding;
         if in_flight < target {
             let want = target - in_flight;
@@ -378,6 +427,21 @@ impl PullFilterEject {
                 return;
             }
         };
+        // Demand propagation: a downstream asking for more per Transfer
+        // than we pull per Transfer cascades the batch dial up the
+        // pipeline — open it until it covers the observed demand (the
+        // dial's own max still caps it).
+        if idx == 0 {
+            let mut cur = self.batch.current();
+            while req.max > cur {
+                self.batch.grow();
+                let next = self.batch.current();
+                if next == cur {
+                    break;
+                }
+                cur = next;
+            }
+        }
         if self.config.read_ahead == 0 {
             // Lazy: do the work now, on demand.
             if idx == 0 {
@@ -402,14 +466,26 @@ impl PullFilterEject {
             // flushed the stream); wake any parked report readers.
             self.serve_waiters();
         } else {
-            // Read-ahead: serve from the buffer or park.
+            // Read-ahead: serve from the buffer or park. The primary
+            // channel parks until it can answer the whole ask (capped by
+            // the dial's own bound) — see `serve_waiters`.
+            let fill = if idx == 0 {
+                req.max.min(self.batch.bounds().1)
+            } else {
+                1
+            };
             let ch = &mut self.out[idx];
-            if ch.buffer.is_empty() && !self.flushed {
+            if ch.buffer.len() < fill && !self.flushed {
                 reply.mark_deferred();
                 ch.waiters.push_back(Waiter {
                     max: req.max,
                     reply,
                 });
+                // A parked reader means the prefetch is not keeping up:
+                // move more records per invocation.
+                if idx == 0 {
+                    self.batch.grow();
+                }
             } else {
                 let n = req.max.min(ch.buffer.len());
                 let items: Vec<Value> = ch.buffer.drain(..n).collect();
@@ -439,8 +515,11 @@ impl EjectBehavior for PullFilterEject {
         };
         let (credit_tx, credit_rx) = crossbeam::channel::bounded::<usize>(64);
         self.credit_tx = Some(credit_tx);
-        let batch = self.config.batch;
+        let batch = self.batch.clone();
         ctx.spawn_process("read-ahead", move |pctx| {
+            // The worker does all the pulling in this mode, so it owns the
+            // route cache; the coordinator adjusts the shared batch dial.
+            let mut cache = RouteCache::new();
             loop {
                 let credit = match credit_rx.recv() {
                     Ok(c) => c,
@@ -452,10 +531,12 @@ impl EjectBehavior for PullFilterEject {
                         return;
                     }
                     let mut transfer = |uid: Uid, req: TransferRequest| -> Result<Batch> {
-                        let pending = pctx.invoke(uid, ops::TRANSFER, req.to_value());
+                        let pending =
+                            pctx.invoke_routed(&mut cache, uid, ops::TRANSFER, req.to_value());
                         pctx.wait_or_stop(pending).and_then(Batch::from_value)
                     };
-                    let step = match puller.pull_next(batch.min(credit - fetched), &mut transfer)
+                    let step = match puller
+                        .pull_next(batch.current().min(credit - fetched), &mut transfer)
                     {
                         Ok(s) => s,
                         Err(_) => PullStep {
@@ -519,6 +600,16 @@ impl EjectBehavior for PullFilterEject {
             self.finish_input();
         }
         self.serve_waiters();
+        // An amplifying transform can pile output far past the read-ahead
+        // target with nobody reading: batching overshot demand.
+        // Only a backlog far past the window means batching overshot
+        // demand; a transient pile-up right after a fat delivery is
+        // normal and must not collapse the dial.
+        let window = self.config.read_ahead.max(self.batch.current()).max(1);
+        if !self.flushed && self.out[0].waiters.is_empty() && self.out[0].buffer.len() >= 4 * window
+        {
+            self.batch.shrink();
+        }
         self.grant_credit();
     }
 

@@ -14,8 +14,9 @@
 
 use eden_core::op::ops;
 use eden_core::{EdenError, Uid, Value};
-use eden_kernel::{EjectBehavior, EjectContext, Invocation, ReplyHandle};
+use eden_kernel::{EjectBehavior, EjectContext, Invocation, ReplyHandle, RouteCache};
 
+use crate::batching::AdaptiveBatch;
 use crate::collector::Collector;
 use crate::protocol::{Batch, ChannelId, TransferRequest, WriteRequest};
 
@@ -24,7 +25,7 @@ use crate::protocol::{Batch, ChannelId, TransferRequest, WriteRequest};
 pub struct SinkEject {
     source: Uid,
     channel: ChannelId,
-    batch: usize,
+    batch: AdaptiveBatch,
     collector: Collector,
 }
 
@@ -45,9 +46,20 @@ impl SinkEject {
         SinkEject {
             source,
             channel,
-            batch: batch.max(1),
+            batch: AdaptiveBatch::fixed(batch.max(1)),
             collector,
         }
+    }
+
+    /// Let the pump grow its per-`Transfer` batch up to `max` while the
+    /// upstream keeps returning full batches (and fall back when it
+    /// starves). `max == 0` keeps the batch fixed.
+    pub fn adaptive_batch(mut self, max: usize) -> SinkEject {
+        let (min, _) = self.batch.bounds();
+        if max > min {
+            self.batch = AdaptiveBatch::new(min, max);
+        }
+        self
     }
 }
 
@@ -59,31 +71,46 @@ impl EjectBehavior for SinkEject {
     fn activate(&mut self, ctx: &EjectContext) {
         let source = self.source;
         let channel = self.channel;
-        let batch = self.batch;
+        let batch = self.batch.clone();
         let collector = self.collector.clone();
-        ctx.spawn_process("pump", move |pctx| loop {
-            if pctx.should_stop() {
-                return;
-            }
-            let req = TransferRequest {
-                channel,
-                max: batch,
-            };
-            let pending = pctx.invoke(source, ops::TRANSFER, req.to_value());
-            match pctx.wait_or_stop(pending).and_then(Batch::from_value) {
-                Ok(b) => {
-                    if !b.items.is_empty() {
-                        collector.append(b.items);
+        ctx.spawn_process("pump", move |pctx| {
+            // One route, pulled until the stream ends: the textbook case
+            // for caching it.
+            let mut cache = RouteCache::new();
+            loop {
+                if pctx.should_stop() {
+                    return;
+                }
+                let max = batch.current();
+                let req = TransferRequest { channel, max };
+                let pending =
+                    pctx.invoke_routed(&mut cache, source, ops::TRANSFER, req.to_value());
+                match pctx.wait_or_stop(pending).and_then(Batch::from_value) {
+                    Ok(b) => {
+                        // Saturated upstream → fatter batches; a starved
+                        // reply (well under what we asked for) → fall
+                        // back towards the floor. The shrink threshold is
+                        // deliberately far below the grow threshold:
+                        // partial batches are normal under concurrency
+                        // and must not collapse the dial.
+                        if b.items.len() * 2 >= max {
+                            batch.grow();
+                        } else if !b.end && b.items.len() * 8 < max {
+                            batch.shrink();
+                        }
+                        if !b.items.is_empty() {
+                            collector.append(b.items);
+                        }
+                        if b.end {
+                            collector.finish();
+                            return;
+                        }
                     }
-                    if b.end {
-                        collector.finish();
+                    Err(EdenError::KernelShutdown) => return,
+                    Err(e) => {
+                        collector.fail(e);
                         return;
                     }
-                }
-                Err(EdenError::KernelShutdown) => return,
-                Err(e) => {
-                    collector.fail(e);
-                    return;
                 }
             }
         });

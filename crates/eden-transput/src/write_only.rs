@@ -21,8 +21,11 @@
 
 use eden_core::op::ops;
 use eden_core::{EdenError, Result, Uid, Value};
-use eden_kernel::{EjectBehavior, EjectContext, Invocation, ProcessContext, ReplyHandle};
+use eden_kernel::{
+    EjectBehavior, EjectContext, Invocation, ProcessContext, ReplyHandle, RouteCache,
+};
 
+use crate::batching::AdaptiveBatch;
 use crate::protocol::{ChannelId, WriteRequest, OUTPUT_NAME};
 use crate::source::PullSource;
 use crate::transform::{Emitter, Transform};
@@ -136,6 +139,8 @@ pub struct PushSourceEject {
     wiring: OutputWiring,
     batch: usize,
     window: usize,
+    /// Upper bound for adaptive batch sizing; 0 keeps `batch` fixed.
+    batch_max: usize,
     started: bool,
 }
 
@@ -168,13 +173,28 @@ impl PushSourceEject {
             wiring,
             batch: batch.max(1),
             window: window.max(1),
+            batch_max: 0,
             started: false,
         }
     }
+
+    /// Let the pump grow its records-per-`Write` up to `max` when the
+    /// window saturates (downstream is invocation-bound) and shrink it back
+    /// when acknowledgements return instantly. `max <= batch` keeps the
+    /// batch fixed.
+    pub fn adaptive_batch(mut self, max: usize) -> PushSourceEject {
+        self.batch_max = max;
+        self
+    }
 }
 
-fn pctx_send(pctx: &ProcessContext, port: OutputPort, w: WriteRequest) -> Result<()> {
-    let pending = pctx.invoke(port.uid, ops::WRITE, w.to_value());
+fn pctx_send(
+    pctx: &ProcessContext,
+    cache: &mut RouteCache,
+    port: OutputPort,
+    w: WriteRequest,
+) -> Result<()> {
+    let pending = pctx.invoke_routed(cache, port.uid, ops::WRITE, w.to_value());
     pctx.wait_or_stop(pending).map(|_| ())
 }
 
@@ -199,7 +219,11 @@ impl EjectBehavior for PushSourceEject {
                     }
                 };
                 let wiring = self.wiring.clone();
-                let batch = self.batch;
+                let batch = if self.batch_max > self.batch {
+                    AdaptiveBatch::new(self.batch, self.batch_max)
+                } else {
+                    AdaptiveBatch::fixed(self.batch)
+                };
                 // Windowed pipelining only with a single destination.
                 let single_port = (wiring.fan_out() == 1)
                     .then(|| wiring.ports_for(OUTPUT_NAME).first().copied())
@@ -210,6 +234,7 @@ impl EjectBehavior for PushSourceEject {
                 };
                 reply.mark_deferred();
                 ctx.spawn_process("pump", move |pctx| {
+                    let mut cache = RouteCache::new();
                     let result = (|| -> Result<()> {
                         if let (Some(port), true) = (single_port, window > 1) {
                             // Pipelined: keep up to `window` writes in
@@ -220,15 +245,41 @@ impl EjectBehavior for PushSourceEject {
                                 if pctx.should_stop() {
                                     return Err(EdenError::KernelShutdown);
                                 }
-                                let pulled = source.pull(batch);
+                                let pulled = source.pull(batch.current());
                                 let req = WriteRequest {
                                     channel: port.channel,
                                     items: pulled.items,
                                     end: pulled.end,
                                 };
-                                in_flight.push_back(
-                                    pctx.invoke(port.uid, ops::WRITE, req.to_value()),
-                                );
+                                in_flight.push_back(pctx.invoke_routed(
+                                    &mut cache,
+                                    port.uid,
+                                    ops::WRITE,
+                                    req.to_value(),
+                                ));
+                                // Reap acknowledgements that have already
+                                // arrived without blocking.
+                                while let Some(pending) = in_flight.pop_front() {
+                                    match pending.try_wait() {
+                                        Ok(result) => {
+                                            result?;
+                                        }
+                                        Err(still_pending) => {
+                                            in_flight.push_front(still_pending);
+                                            break;
+                                        }
+                                    }
+                                }
+                                if in_flight.is_empty() && !pulled.end {
+                                    // Even the write just sent was already
+                                    // acknowledged: batching overshot.
+                                    batch.shrink();
+                                } else if in_flight.len() >= window {
+                                    // Window saturated — downstream is
+                                    // invocation-bound; amortise with
+                                    // bigger writes, then block.
+                                    batch.grow();
+                                }
                                 while in_flight.len() >= window
                                     || (pulled.end && !in_flight.is_empty())
                                 {
@@ -245,13 +296,13 @@ impl EjectBehavior for PushSourceEject {
                             if pctx.should_stop() {
                                 return Err(EdenError::KernelShutdown);
                             }
-                            let pulled = source.pull(batch);
+                            let pulled = source.pull(batch.current());
                             let mut emitter = Emitter::new();
                             for item in pulled.items {
                                 emitter.emit(item);
                             }
                             let end = pulled.end;
-                            let mut send = |port, w| pctx_send(&pctx, port, w);
+                            let mut send = |port, w| pctx_send(&pctx, &mut cache, port, w);
                             deliver(&wiring, &mut emitter, end, &mut send)?;
                             if end {
                                 return Ok(());
@@ -278,6 +329,9 @@ pub struct PushFilterEject {
     /// Buffered (request, credit-ack) traffic to the drain worker.
     to_worker: Option<crossbeam::channel::Sender<WorkerItem>>,
     ended: bool,
+    /// Downstream routes, learned on first use (synchronous mode; the
+    /// drain worker keeps its own cache).
+    route_cache: RouteCache,
 }
 
 /// What the coordinator hands the drain worker.
@@ -304,13 +358,17 @@ impl PushFilterEject {
             push_ahead,
             to_worker: None,
             ended: false,
+            route_cache: RouteCache::new(),
         }
     }
 
     fn forward_sync(&mut self, ctx: &EjectContext, mut emitter: Emitter, end: bool) -> Result<()> {
         let wiring = self.wiring.clone();
+        let cache = &mut self.route_cache;
         let mut send = |port: OutputPort, w: WriteRequest| -> Result<()> {
-            ctx.invoke_sync(port.uid, ops::WRITE, w.to_value()).map(|_| ())
+            ctx.invoke_routed(cache, port.uid, ops::WRITE, w.to_value())
+                .wait()
+                .map(|_| ())
         };
         deliver(&wiring, &mut emitter, end, &mut send)
     }
@@ -329,6 +387,7 @@ impl EjectBehavior for PushFilterEject {
         self.to_worker = Some(tx);
         let wiring = self.wiring.clone();
         ctx.spawn_process("push-drain", move |pctx| {
+            let mut cache = RouteCache::new();
             while let Ok(item) = rx.recv() {
                 let mut emitter = Emitter::new();
                 for (channel, records) in item.emitted {
@@ -342,7 +401,7 @@ impl EjectBehavior for PushFilterEject {
                         }
                     }
                 }
-                let mut send = |port, w| pctx_send(&pctx, port, w);
+                let mut send = |port, w| pctx_send(&pctx, &mut cache, port, w);
                 if deliver(&wiring, &mut emitter, item.end, &mut send).is_err() {
                     return;
                 }
@@ -439,6 +498,7 @@ pub struct ZipPushFilterEject {
     wiring: OutputWiring,
     secondary_done: bool,
     ended: bool,
+    route_cache: RouteCache,
 }
 
 impl ZipPushFilterEject {
@@ -450,6 +510,7 @@ impl ZipPushFilterEject {
             wiring,
             secondary_done: false,
             ended: false,
+            route_cache: RouteCache::new(),
         }
     }
 
@@ -462,7 +523,13 @@ impl ZipPushFilterEject {
             max: 1,
         };
         match ctx
-            .invoke_sync(self.secondary, ops::TRANSFER, req.to_value())
+            .invoke_routed(
+                &mut self.route_cache,
+                self.secondary,
+                ops::TRANSFER,
+                req.to_value(),
+            )
+            .wait()
             .and_then(crate::protocol::Batch::from_value)
         {
             Ok(batch) => {
@@ -509,8 +576,11 @@ impl EjectBehavior for ZipPushFilterEject {
                     self.ended = true;
                 }
                 let wiring = self.wiring.clone();
+                let cache = &mut self.route_cache;
                 let mut send = |port: OutputPort, req: WriteRequest| -> Result<()> {
-                    ctx.invoke_sync(port.uid, ops::WRITE, req.to_value()).map(|_| ())
+                    ctx.invoke_routed(cache, port.uid, ops::WRITE, req.to_value())
+                        .wait()
+                        .map(|_| ())
                 };
                 let result = deliver(&wiring, &mut emitter, w.end, &mut send);
                 reply.reply(result.map(|()| Value::Unit));

@@ -11,7 +11,7 @@ use eden::core::Value;
 use eden::filters;
 use eden::kernel::Kernel;
 use eden::transput::transform::{apply_chain_offline, Transform};
-use eden::transput::{ChannelPolicy, Discipline, PipelineBuilder};
+use eden::transput::{ChannelPolicy, Discipline, PipelineBuilder, PipelineRun};
 use proptest::prelude::*;
 
 /// The filter chain vocabulary for random pipelines.
@@ -77,17 +77,19 @@ fn input_strategy() -> impl Strategy<Value = Vec<String>> {
     proptest::collection::vec("[a-cC ]{0,12}", 0..25)
 }
 
-fn run_pipeline(
+fn run_full(
     kernel: &Kernel,
     discipline: Discipline,
     policy: ChannelPolicy,
     input: &[String],
     picks: &[FilterPick],
     batch: usize,
-) -> Vec<Value> {
+    batch_max: usize,
+) -> PipelineRun {
     let mut builder = PipelineBuilder::new(kernel, discipline)
         .source_vec(input.iter().map(|l| Value::str(l.clone())).collect())
         .batch(batch)
+        .adaptive_batch(batch_max)
         .policy(policy);
     for pick in picks {
         for t in pick.build() {
@@ -99,7 +101,17 @@ fn run_pipeline(
         .expect("build")
         .run(Duration::from_secs(30))
         .expect("run")
-        .output
+}
+
+fn run_pipeline(
+    kernel: &Kernel,
+    discipline: Discipline,
+    policy: ChannelPolicy,
+    input: &[String],
+    picks: &[FilterPick],
+    batch: usize,
+) -> Vec<Value> {
+    run_full(kernel, discipline, policy, input, picks, batch, 0).output
 }
 
 fn offline(input: &[String], picks: &[FilterPick]) -> Vec<Value> {
@@ -165,5 +177,166 @@ proptest! {
         );
         prop_assert_eq!(got, expected);
         kernel.shutdown();
+    }
+
+    #[test]
+    fn adaptive_batching_is_transparent(
+        input in input_strategy(),
+        picks in proptest::collection::vec(filter_strategy(), 0..4),
+        batch in 1usize..5,
+    ) {
+        // Opening the batch dial changes how many records ride each
+        // invocation, never which records come out.
+        let expected = offline(&input, &picks);
+        let kernel = Kernel::new();
+        for discipline in [
+            Discipline::ReadOnly { read_ahead: 0 },
+            Discipline::ReadOnly { read_ahead: 8 },
+            Discipline::WriteOnly { push_ahead: 4 },
+            Discipline::Conventional { buffer_capacity: 4 },
+        ] {
+            let run = run_full(
+                &kernel,
+                discipline,
+                ChannelPolicy::Integer,
+                &input,
+                &picks,
+                batch,
+                48,
+            );
+            prop_assert_eq!(
+                &run.output,
+                &expected,
+                "adaptive {} diverged (batch {}..48)",
+                discipline.label(),
+                batch
+            );
+        }
+        kernel.shutdown();
+    }
+
+    #[test]
+    fn read_only_formula_is_exact_under_caching(
+        depth in 0usize..5,
+        records in 0usize..40,
+        batch in 1usize..7,
+    ) {
+        // §4: n+1 invocations move a batch end to end. With k records in
+        // batches of b that is (n+1)·⌈k/b⌉ Transfers (one round even when
+        // empty) — and route caching must not change the count by a
+        // single invocation: hits make delivery cheaper, not rarer.
+        let input: Vec<String> = (0..records).map(|i| format!("r{i}")).collect();
+        let picks = vec![FilterPick::Copy; depth];
+        let kernel = Kernel::new();
+        let run = run_full(
+            &kernel,
+            Discipline::ReadOnly { read_ahead: 0 },
+            ChannelPolicy::Integer,
+            &input,
+            &picks,
+            batch,
+            0,
+        );
+        kernel.shutdown();
+        let rounds = records.div_ceil(batch).max(1) as u64;
+        let expected = (depth as u64 + 1) * rounds;
+        prop_assert_eq!(
+            run.metrics.invocations,
+            expected,
+            "(n+1)·⌈k/b⌉ violated at n={}, k={}, b={}",
+            depth,
+            records,
+            batch
+        );
+        // Every Transfer went through a route cache: one cold miss per
+        // pulling stage, hits for the rest.
+        prop_assert_eq!(run.metrics.route_cache_hits + run.metrics.route_cache_misses, expected);
+        if rounds >= 2 {
+            prop_assert!(run.metrics.route_cache_hits > 0, "repeat pulls never hit the cache");
+        }
+    }
+
+    #[test]
+    fn read_only_formula_survives_the_adaptive_dial(
+        depth in 0usize..4,
+        records in 0usize..30,
+        batch in 1usize..5,
+    ) {
+        // Opening the dial lets every hop carry fatter batches, so the
+        // n+1 structure pins the count between (n+1)·⌈k/max⌉ (dial fully
+        // open from the first pull) and (n+1)·⌈k/b⌉ (dial never moved).
+        // Crucially the cache cannot push it *below* the structural
+        // floor: a hit is still one metered invocation.
+        const MAX: usize = 64;
+        let input: Vec<String> = (0..records).map(|i| format!("r{i}")).collect();
+        let picks = vec![FilterPick::Copy; depth];
+        let kernel = Kernel::new();
+        let run = run_full(
+            &kernel,
+            Discipline::ReadOnly { read_ahead: 0 },
+            ChannelPolicy::Integer,
+            &input,
+            &picks,
+            batch,
+            MAX,
+        );
+        kernel.shutdown();
+        let per_level_lo = records.div_ceil(MAX).max(1) as u64;
+        let per_level_hi = records.div_ceil(batch).max(1) as u64;
+        let levels = depth as u64 + 1;
+        prop_assert!(
+            run.metrics.invocations >= levels * per_level_lo
+                && run.metrics.invocations <= levels * per_level_hi,
+            "adaptive invocations {} outside [{}, {}] at n={}, k={}, b={}",
+            run.metrics.invocations,
+            levels * per_level_lo,
+            levels * per_level_hi,
+            depth,
+            records,
+            batch
+        );
+    }
+
+    #[test]
+    fn conventional_formula_holds_under_caching(
+        depth in 0usize..4,
+        records in 0usize..25,
+    ) {
+        // §4's other half: 2n+2 invocations per datum at batch 1, plus
+        // the Start control invocation. Buffers may add a bounded number
+        // of empty end-of-stream transfers (reader racing the final
+        // write) — constant per stage, never per datum.
+        let input: Vec<String> = (0..records).map(|i| format!("r{i}")).collect();
+        let picks = vec![FilterPick::Copy; depth];
+        let kernel = Kernel::new();
+        let run = run_full(
+            &kernel,
+            Discipline::Conventional { buffer_capacity: 4 },
+            ChannelPolicy::Integer,
+            &input,
+            &picks,
+            1,
+            0,
+        );
+        kernel.shutdown();
+        let expected = (2 * depth as u64 + 2) * (records.max(1) as u64) + 1;
+        let slack = (2 * depth as u64 + 3) * 2 + 1;
+        prop_assert!(
+            run.metrics.invocations >= expected,
+            "caching swallowed invocations: {} < {} at n={}, k={}",
+            run.metrics.invocations,
+            expected,
+            depth,
+            records
+        );
+        prop_assert!(
+            run.metrics.invocations <= expected + slack,
+            "{} > {}+{} at n={}, k={}",
+            run.metrics.invocations,
+            expected,
+            slack,
+            depth,
+            records
+        );
     }
 }

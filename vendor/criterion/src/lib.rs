@@ -1,0 +1,343 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! A deliberately small benchmark harness with criterion's API shape:
+//! groups, `BenchmarkId`, throughput annotation, and `Bencher::iter`.
+//! Statistics are simpler than real criterion — each sample times a
+//! batch of iterations and the median sample is reported — but the
+//! numbers are honest wall-clock measurements, comparable run-to-run
+//! on the same machine.
+//!
+//! Run with `cargo bench`. A positional command-line argument filters
+//! benchmarks by substring, like real criterion.
+
+#![allow(clippy::all)]
+
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver. One per bench binary.
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Skip harness flags cargo passes (e.g. `--bench`); a bare
+        // argument is a name filter.
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-'));
+        Criterion { filter }
+    }
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 20,
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_secs(2),
+            throughput: None,
+        }
+    }
+
+    /// Benchmark a single function outside any group.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut group = self.benchmark_group("");
+        group.bench_function(id.to_owned(), f);
+        group.finish();
+        self
+    }
+
+    fn matches(&self, id: &str) -> bool {
+        match &self.filter {
+            Some(f) => id.contains(f.as_str()),
+            None => true,
+        }
+    }
+}
+
+/// Throughput annotation: reported as a rate alongside timing.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// The benchmark moves this many elements per iteration.
+    Elements(u64),
+    /// The benchmark moves this many bytes per iteration.
+    Bytes(u64),
+}
+
+/// A named benchmark identifier, optionally parameterized.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Just the parameter (the group name supplies the function part).
+    pub fn from_parameter(parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Anything `bench_function` accepts as an identifier.
+pub trait IntoBenchmarkId {
+    /// Convert to the display string.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_owned()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// A group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples to collect (min 2).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// How long to warm up before measuring.
+    pub fn warm_up_time(&mut self, dur: Duration) -> &mut Self {
+        self.warm_up_time = dur;
+        self
+    }
+
+    /// Target total measurement time across samples.
+    pub fn measurement_time(&mut self, dur: Duration) -> &mut Self {
+        self.measurement_time = dur;
+        self
+    }
+
+    /// Annotate subsequent benchmarks with a throughput rate.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Measure one benchmark.
+    pub fn bench_function<I, F>(&mut self, id: I, mut f: F) -> &mut Self
+    where
+        I: IntoBenchmarkId,
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into_id();
+        let full = if self.name.is_empty() {
+            id
+        } else {
+            format!("{}/{}", self.name, id)
+        };
+        if !self.criterion.matches(&full) {
+            return self;
+        }
+
+        // Warm-up: run until the warm-up budget is spent.
+        let warm_deadline = Instant::now() + self.warm_up_time;
+        let mut bencher = Bencher { elapsed: Duration::ZERO, iters: 0 };
+        while Instant::now() < warm_deadline {
+            bencher.elapsed = Duration::ZERO;
+            bencher.iters = 0;
+            f(&mut bencher);
+            if bencher.iters == 0 {
+                break; // the closure never called iter(); nothing to time
+            }
+        }
+
+        // Measurement: collect samples until the count is reached or the
+        // time budget runs out (at least 2 samples either way).
+        let mut samples: Vec<Duration> = Vec::with_capacity(self.sample_size);
+        let budget = Instant::now() + self.measurement_time;
+        for i in 0..self.sample_size {
+            bencher.elapsed = Duration::ZERO;
+            bencher.iters = 0;
+            f(&mut bencher);
+            if bencher.iters == 0 {
+                eprintln!("{full:<55} (no iterations)");
+                return self;
+            }
+            samples.push(bencher.elapsed / bencher.iters.max(1) as u32);
+            if i >= 1 && Instant::now() > budget {
+                break;
+            }
+        }
+        samples.sort();
+        let median = samples[samples.len() / 2];
+        let best = samples[0];
+        let rate = self.throughput.map(|t| match t {
+            Throughput::Elements(n) => format!(
+                "  thrpt: {:>12}/s",
+                format_count(n as f64 / median.as_secs_f64())
+            ),
+            Throughput::Bytes(n) => format!(
+                "  thrpt: {:>10}B/s",
+                format_count(n as f64 / median.as_secs_f64())
+            ),
+        });
+        println!(
+            "{full:<55} time: [{} median, {} best, {} samples]{}",
+            format_duration(median),
+            format_duration(best),
+            samples.len(),
+            rate.unwrap_or_default(),
+        );
+        self
+    }
+
+    /// End the group.
+    pub fn finish(self) {}
+}
+
+fn format_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+fn format_count(per_sec: f64) -> String {
+    if per_sec >= 1e9 {
+        format!("{:.2}G", per_sec / 1e9)
+    } else if per_sec >= 1e6 {
+        format!("{:.2}M", per_sec / 1e6)
+    } else if per_sec >= 1e3 {
+        format!("{:.2}K", per_sec / 1e3)
+    } else {
+        format!("{per_sec:.1}")
+    }
+}
+
+/// Passed to each benchmark closure; call [`Bencher::iter`] with the
+/// code under test.
+pub struct Bencher {
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Time `routine`, called in a loop. The measured figure is the mean
+    /// time per call within this sample.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // A fixed small batch per sample keeps heavyweight benchmarks
+        // (whole pipelines) affordable while still amortizing timer
+        // overhead for nanosecond-scale routines.
+        let batch = 3u64;
+        let start = Instant::now();
+        for _ in 0..batch {
+            black_box(routine());
+        }
+        self.elapsed += start.elapsed();
+        self.iters += batch;
+    }
+}
+
+/// Define a benchmark group function from target functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Define `main` from group functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion { filter: None };
+        let mut group = c.benchmark_group("shim");
+        group
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
+        let mut runs = 0u64;
+        group.bench_function(BenchmarkId::new("count", 1), |b| {
+            b.iter(|| {
+                runs += 1;
+                runs
+            })
+        });
+        group.finish();
+        assert!(runs > 0);
+    }
+
+    #[test]
+    fn filter_skips_non_matching() {
+        let mut c = Criterion {
+            filter: Some("nomatch".into()),
+        };
+        let mut group = c.benchmark_group("shim");
+        let mut runs = 0u64;
+        group.bench_function("skipped", |b| {
+            b.iter(|| {
+                runs += 1;
+            })
+        });
+        group.finish();
+        assert_eq!(runs, 0);
+    }
+}

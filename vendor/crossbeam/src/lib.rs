@@ -1,0 +1,490 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Only `crossbeam::channel` is provided — a multi-producer multi-consumer
+//! FIFO channel implemented on `std::sync` primitives. The semantics the
+//! Eden kernel depends on are preserved exactly:
+//!
+//! * `send` on a channel whose every [`channel::Receiver`] has been dropped
+//!   fails with [`channel::SendError`], returning the message — this is how
+//!   stale cached routes to exited coordinators are detected;
+//! * a bounded channel parks the sender while full (passive-buffer flow
+//!   control for Eject mailboxes);
+//! * dropping the last [`channel::Sender`] wakes blocked receivers with
+//!   a disconnect error.
+//!
+//! One extension over the real crate: [`channel::Sender::force_send`]
+//! enqueues ignoring the capacity bound, so kernel control messages
+//! (`Crash`, `Shutdown`) can never deadlock behind a full bounded mailbox.
+
+#![allow(clippy::all)]
+
+#![warn(missing_docs)]
+
+/// Multi-producer multi-consumer channels.
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::error::Error;
+    use std::fmt;
+    use std::sync::{Arc, Condvar, Mutex, PoisonError};
+    use std::time::{Duration, Instant};
+
+    struct Shared<T> {
+        queue: VecDeque<T>,
+        cap: Option<usize>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    struct Chan<T> {
+        shared: Mutex<Shared<T>>,
+        not_empty: Condvar,
+        not_full: Condvar,
+    }
+
+    impl<T> Chan<T> {
+        fn new(cap: Option<usize>) -> Arc<Chan<T>> {
+            Arc::new(Chan {
+                shared: Mutex::new(Shared {
+                    queue: VecDeque::new(),
+                    cap,
+                    senders: 1,
+                    receivers: 1,
+                }),
+                not_empty: Condvar::new(),
+                not_full: Condvar::new(),
+            })
+        }
+    }
+
+    /// The sending half of a channel. Clonable.
+    pub struct Sender<T> {
+        chan: Arc<Chan<T>>,
+    }
+
+    /// The receiving half of a channel. Clonable.
+    pub struct Receiver<T> {
+        chan: Arc<Chan<T>>,
+    }
+
+    /// An unbounded FIFO channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let chan = Chan::new(None);
+        (
+            Sender { chan: chan.clone() },
+            Receiver { chan },
+        )
+    }
+
+    /// A bounded FIFO channel: `send` blocks while `cap` messages queue.
+    ///
+    /// Unlike real crossbeam, `cap == 0` is treated as capacity 1 rather
+    /// than a rendezvous channel (the workspace never uses zero).
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let chan = Chan::new(Some(cap.max(1)));
+        (
+            Sender { chan: chan.clone() },
+            Receiver { chan },
+        )
+    }
+
+    /// Error returned by [`Sender::send`]: all receivers are gone. Holds
+    /// the unsent message.
+    pub struct SendError<T>(pub T);
+
+    /// Error returned by [`Sender::try_send`].
+    pub enum TrySendError<T> {
+        /// The channel is full; the message is returned.
+        Full(T),
+        /// All receivers are gone; the message is returned.
+        Disconnected(T),
+    }
+
+    /// Error returned by [`Receiver::recv`]: channel empty and all senders
+    /// are gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// The channel is currently empty.
+        Empty,
+        /// The channel is empty and all senders are gone.
+        Disconnected,
+    }
+
+    /// Error returned by [`Receiver::recv_timeout`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// No message arrived before the timeout.
+        Timeout,
+        /// The channel is empty and all senders are gone.
+        Disconnected,
+    }
+
+    impl<T> Sender<T> {
+        /// Send `msg`, blocking while a bounded channel is full. Fails only
+        /// when every receiver has been dropped.
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            let mut shared = self.chan.shared.lock().unwrap_or_else(PoisonError::into_inner);
+            loop {
+                if shared.receivers == 0 {
+                    return Err(SendError(msg));
+                }
+                let full = shared.cap.is_some_and(|c| shared.queue.len() >= c);
+                if !full {
+                    shared.queue.push_back(msg);
+                    drop(shared);
+                    self.chan.not_empty.notify_one();
+                    return Ok(());
+                }
+                shared = self
+                    .chan
+                    .not_full
+                    .wait(shared)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+        }
+
+        /// Send without blocking; fails if full or disconnected.
+        pub fn try_send(&self, msg: T) -> Result<(), TrySendError<T>> {
+            let mut shared = self.chan.shared.lock().unwrap_or_else(PoisonError::into_inner);
+            if shared.receivers == 0 {
+                return Err(TrySendError::Disconnected(msg));
+            }
+            if shared.cap.is_some_and(|c| shared.queue.len() >= c) {
+                return Err(TrySendError::Full(msg));
+            }
+            shared.queue.push_back(msg);
+            drop(shared);
+            self.chan.not_empty.notify_one();
+            Ok(())
+        }
+
+        /// Shim extension: enqueue ignoring the capacity bound. Never
+        /// blocks; fails only when every receiver has been dropped. Used
+        /// for kernel control messages that must outrank flow control.
+        pub fn force_send(&self, msg: T) -> Result<(), SendError<T>> {
+            let mut shared = self.chan.shared.lock().unwrap_or_else(PoisonError::into_inner);
+            if shared.receivers == 0 {
+                return Err(SendError(msg));
+            }
+            shared.queue.push_back(msg);
+            drop(shared);
+            self.chan.not_empty.notify_one();
+            Ok(())
+        }
+
+        /// Number of queued messages.
+        pub fn len(&self) -> usize {
+            self.chan
+                .shared
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .queue
+                .len()
+        }
+
+        /// True if no messages are queued.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Receive, blocking until a message arrives or all senders drop.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut shared = self.chan.shared.lock().unwrap_or_else(PoisonError::into_inner);
+            loop {
+                if let Some(msg) = shared.queue.pop_front() {
+                    drop(shared);
+                    self.chan.not_full.notify_one();
+                    return Ok(msg);
+                }
+                if shared.senders == 0 {
+                    return Err(RecvError);
+                }
+                shared = self
+                    .chan
+                    .not_empty
+                    .wait(shared)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+        }
+
+        /// Receive without blocking.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut shared = self.chan.shared.lock().unwrap_or_else(PoisonError::into_inner);
+            if let Some(msg) = shared.queue.pop_front() {
+                drop(shared);
+                self.chan.not_full.notify_one();
+                return Ok(msg);
+            }
+            if shared.senders == 0 {
+                Err(TryRecvError::Disconnected)
+            } else {
+                Err(TryRecvError::Empty)
+            }
+        }
+
+        /// Receive, blocking at most `timeout`.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = Instant::now() + timeout;
+            let mut shared = self.chan.shared.lock().unwrap_or_else(PoisonError::into_inner);
+            loop {
+                if let Some(msg) = shared.queue.pop_front() {
+                    drop(shared);
+                    self.chan.not_full.notify_one();
+                    return Ok(msg);
+                }
+                if shared.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                let (guard, _result) = self
+                    .chan
+                    .not_empty
+                    .wait_timeout(shared, deadline - now)
+                    .unwrap_or_else(PoisonError::into_inner);
+                shared = guard;
+            }
+        }
+
+        /// Number of queued messages.
+        pub fn len(&self) -> usize {
+            self.chan
+                .shared
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .queue
+                .len()
+        }
+
+        /// True if no messages are queued.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.chan
+                .shared
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .senders += 1;
+            Sender {
+                chan: self.chan.clone(),
+            }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.chan
+                .shared
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .receivers += 1;
+            Receiver {
+                chan: self.chan.clone(),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let senders = {
+                let mut shared = self
+                    .chan
+                    .shared
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner);
+                shared.senders -= 1;
+                shared.senders
+            };
+            if senders == 0 {
+                self.chan.not_empty.notify_all();
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let receivers = {
+                let mut shared = self
+                    .chan
+                    .shared
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner);
+                shared.receivers -= 1;
+                shared.receivers
+            };
+            if receivers == 0 {
+                // Wake parked senders so they observe the disconnect.
+                self.chan.not_full.notify_all();
+            }
+        }
+    }
+
+    impl<T> fmt::Debug for Sender<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Sender { .. }")
+        }
+    }
+
+    impl<T> fmt::Debug for Receiver<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Receiver { .. }")
+        }
+    }
+
+    impl<T> fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("SendError(..)")
+        }
+    }
+
+    impl<T> fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("sending on a disconnected channel")
+        }
+    }
+
+    impl<T> Error for SendError<T> {}
+
+    impl<T> fmt::Debug for TrySendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TrySendError::Full(_) => f.write_str("Full(..)"),
+                TrySendError::Disconnected(_) => f.write_str("Disconnected(..)"),
+            }
+        }
+    }
+
+    impl<T> fmt::Display for TrySendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TrySendError::Full(_) => f.write_str("sending on a full channel"),
+                TrySendError::Disconnected(_) => {
+                    f.write_str("sending on a disconnected channel")
+                }
+            }
+        }
+    }
+
+    impl<T> Error for TrySendError<T> {}
+
+    impl fmt::Display for RecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("receiving on an empty and disconnected channel")
+        }
+    }
+
+    impl Error for RecvError {}
+
+    impl fmt::Display for TryRecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TryRecvError::Empty => f.write_str("receiving on an empty channel"),
+                TryRecvError::Disconnected => {
+                    f.write_str("receiving on an empty and disconnected channel")
+                }
+            }
+        }
+    }
+
+    impl Error for TryRecvError {}
+
+    impl fmt::Display for RecvTimeoutError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                RecvTimeoutError::Timeout => f.write_str("timed out waiting on channel"),
+                RecvTimeoutError::Disconnected => {
+                    f.write_str("channel is empty and disconnected")
+                }
+            }
+        }
+    }
+
+    impl Error for RecvTimeoutError {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::*;
+    use std::thread;
+    use std::time::Duration;
+
+    #[test]
+    fn fifo_order() {
+        let (tx, rx) = unbounded();
+        for i in 0..10 {
+            tx.send(i).unwrap();
+        }
+        for i in 0..10 {
+            assert_eq!(rx.recv().unwrap(), i);
+        }
+    }
+
+    #[test]
+    fn send_fails_after_receiver_drop() {
+        let (tx, rx) = unbounded::<u32>();
+        drop(rx);
+        assert!(tx.send(1).is_err());
+    }
+
+    #[test]
+    fn recv_fails_after_sender_drop() {
+        let (tx, rx) = unbounded::<u32>();
+        tx.send(7).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Ok(7));
+        assert!(rx.recv().is_err());
+    }
+
+    #[test]
+    fn bounded_parks_sender_until_drained() {
+        let (tx, rx) = bounded(2);
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert!(matches!(tx.try_send(3), Err(TrySendError::Full(3))));
+        let t = thread::spawn(move || tx.send(3));
+        thread::sleep(Duration::from_millis(20));
+        assert_eq!(rx.recv().unwrap(), 1);
+        t.join().unwrap().unwrap();
+        assert_eq!(rx.recv().unwrap(), 2);
+        assert_eq!(rx.recv().unwrap(), 3);
+    }
+
+    #[test]
+    fn force_send_ignores_capacity() {
+        let (tx, rx) = bounded(1);
+        tx.send(1).unwrap();
+        tx.force_send(2).unwrap();
+        assert_eq!(rx.recv().unwrap(), 1);
+        assert_eq!(rx.recv().unwrap(), 2);
+    }
+
+    #[test]
+    fn recv_timeout_times_out() {
+        let (_tx, rx) = unbounded::<u32>();
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(10)),
+            Err(RecvTimeoutError::Timeout)
+        );
+    }
+
+    #[test]
+    fn parked_sender_observes_disconnect() {
+        let (tx, rx) = bounded(1);
+        tx.send(1).unwrap();
+        let t = thread::spawn(move || tx.send(2));
+        thread::sleep(Duration::from_millis(20));
+        drop(rx);
+        assert!(t.join().unwrap().is_err());
+    }
+}

@@ -1,0 +1,544 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the strategy combinators and macros the workspace's
+//! property tests use: `proptest!`, `prop_assert!`/`prop_assert_eq!`,
+//! `prop_oneof!`, `Just`, `any::<T>()`, integer-range and regex-subset
+//! string strategies, tuples, `prop_map`, `prop_recursive`, and
+//! `collection::vec`.
+//!
+//! Differences from real proptest: no shrinking (failures report the
+//! original inputs), and generation is deterministic per test function —
+//! the seed derives from the test name, so failures reproduce exactly.
+//! Set `PROPTEST_CASES` to change the default case count.
+
+#![allow(clippy::all)]
+
+#![warn(missing_docs)]
+
+pub mod strategy;
+
+pub mod arbitrary {
+    //! `Arbitrary` and `any`, mirroring `proptest::arbitrary`.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::fmt;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical strategy.
+    pub trait Arbitrary: Sized + fmt::Debug {
+        /// Generate one arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for char {
+        fn arbitrary(rng: &mut TestRng) -> char {
+            // Mostly ASCII with occasional multibyte code points.
+            match rng.below(10) {
+                0 => char::from_u32(0x00A1 + rng.below(0x500) as u32).unwrap_or('¿'),
+                _ => (0x20 + rng.below(0x5F) as u8) as char,
+            }
+        }
+    }
+
+    /// Strategy produced by [`any`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any<T> {
+        _marker: PhantomData<T>,
+    }
+
+    /// The canonical strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any {
+            _marker: PhantomData,
+        }
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies, mirroring `proptest::collection`.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A size specification for generated collections.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        min: usize,
+        max_inclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange {
+                min: n,
+                max_inclusive: n,
+            }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                min: r.start,
+                max_inclusive: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> SizeRange {
+            SizeRange {
+                min: *r.start(),
+                max_inclusive: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a size drawn from `size`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// A vector whose elements come from `element` and whose length comes
+    /// from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = self.size.max_inclusive - self.size.min + 1;
+            let len = self.size.min + rng.below(span as u64) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod string {
+    //! Generation from a small regex subset.
+    //!
+    //! Supported: literal characters, `.` (printable ASCII plus a couple
+    //! of multibyte code points), character classes like `[a-zA-Z0-9 ]`,
+    //! and the repetitions `{m,n}`, `{n}`, `*`, `+`, `?` — enough for the
+    //! patterns the workspace's tests use (e.g. `"[ -~]{0,30}"`).
+
+    use crate::test_runner::TestRng;
+
+    #[derive(Debug, Clone)]
+    struct Atom {
+        choices: Vec<char>,
+        min: usize,
+        max: usize,
+    }
+
+    /// A parsed pattern ready to generate strings.
+    #[derive(Debug, Clone)]
+    pub struct RegexGen {
+        atoms: Vec<Atom>,
+    }
+
+    const DOT_EXTRAS: &[char] = &['é', 'λ', '→', '神'];
+
+    impl RegexGen {
+        /// Parse `pattern`, panicking on syntax outside the subset.
+        pub fn parse(pattern: &str) -> RegexGen {
+            let mut chars = pattern.chars().peekable();
+            let mut atoms = Vec::new();
+            while let Some(c) = chars.next() {
+                let choices: Vec<char> = match c {
+                    '.' => {
+                        let mut v: Vec<char> = (0x20u8..0x7f).map(|b| b as char).collect();
+                        v.extend_from_slice(DOT_EXTRAS);
+                        v
+                    }
+                    '[' => {
+                        let mut v = Vec::new();
+                        let mut prev: Option<char> = None;
+                        loop {
+                            let c = chars
+                                .next()
+                                .unwrap_or_else(|| panic!("unterminated class in {pattern:?}"));
+                            match c {
+                                ']' => break,
+                                '-' if prev.is_some() && chars.peek() != Some(&']') => {
+                                    let lo = prev.take().expect("range start");
+                                    let hi = chars.next().expect("range end");
+                                    assert!(lo <= hi, "inverted range in {pattern:?}");
+                                    // `lo` is already in `v`; add the rest.
+                                    let mut ch = lo;
+                                    while ch < hi {
+                                        ch = char::from_u32(ch as u32 + 1)
+                                            .expect("char range");
+                                        v.push(ch);
+                                    }
+                                }
+                                c => {
+                                    v.push(c);
+                                    prev = Some(c);
+                                }
+                            }
+                        }
+                        assert!(!v.is_empty(), "empty class in {pattern:?}");
+                        v
+                    }
+                    '\\' => {
+                        let c = chars
+                            .next()
+                            .unwrap_or_else(|| panic!("dangling escape in {pattern:?}"));
+                        vec![c]
+                    }
+                    c => vec![c],
+                };
+                let (min, max) = match chars.peek() {
+                    Some('{') => {
+                        chars.next();
+                        let mut spec = String::new();
+                        for c in chars.by_ref() {
+                            if c == '}' {
+                                break;
+                            }
+                            spec.push(c);
+                        }
+                        match spec.split_once(',') {
+                            Some((m, n)) => {
+                                let m: usize = m.trim().parse().expect("repeat min");
+                                let n: usize = n.trim().parse().expect("repeat max");
+                                (m, n)
+                            }
+                            None => {
+                                let n: usize = spec.trim().parse().expect("repeat count");
+                                (n, n)
+                            }
+                        }
+                    }
+                    Some('*') => {
+                        chars.next();
+                        (0, 8)
+                    }
+                    Some('+') => {
+                        chars.next();
+                        (1, 8)
+                    }
+                    Some('?') => {
+                        chars.next();
+                        (0, 1)
+                    }
+                    _ => (1, 1),
+                };
+                assert!(min <= max, "inverted repetition in {pattern:?}");
+                atoms.push(Atom { choices, min, max });
+            }
+            RegexGen { atoms }
+        }
+
+        /// Generate one matching string.
+        pub fn generate(&self, rng: &mut TestRng) -> String {
+            let mut out = String::new();
+            for atom in &self.atoms {
+                let n = atom.min + rng.below((atom.max - atom.min + 1) as u64) as usize;
+                for _ in 0..n {
+                    out.push(atom.choices[rng.below(atom.choices.len() as u64) as usize]);
+                }
+            }
+            out
+        }
+    }
+}
+
+pub mod test_runner {
+    //! Configuration and the deterministic test RNG.
+
+    /// Per-`proptest!` block configuration.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per test function.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases.
+        pub fn with_cases(cases: u32) -> ProptestConfig {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> ProptestConfig {
+            let cases = std::env::var("PROPTEST_CASES")
+                .ok()
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(128);
+            ProptestConfig { cases }
+        }
+    }
+
+    /// Deterministic SplitMix64 generator seeded from the test name.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// A generator whose stream is fixed for a given test name.
+        pub fn for_test(name: &str) -> TestRng {
+            let mut seed: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                seed ^= b as u64;
+                seed = seed.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            TestRng { state: seed }
+        }
+
+        /// Next raw 64-bit value.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `[0, bound)`; `bound` must be non-zero.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            debug_assert!(bound > 0);
+            (((self.next_u64() as u128) * (bound as u128)) >> 64) as u64
+        }
+    }
+}
+
+pub mod prelude {
+    //! The usual imports: `use proptest::prelude::*;`.
+
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Run property tests. Mirrors `proptest::proptest!`:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(24))]
+///     #[test]
+///     fn my_property(x in 0u8..10, s in "[a-z]{1,4}") { ... }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ @cfg($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{
+            @cfg(<$crate::test_runner::ProptestConfig as ::core::default::Default>::default())
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (@cfg($cfg:expr) $( $(#[$meta:meta])* fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block )* ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config = $cfg;
+                let mut __rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+                for __case in 0..__config.cases {
+                    $(
+                        let $arg = $crate::strategy::Strategy::generate(&$strat, &mut __rng);
+                    )+
+                    let __inputs: ::std::string::String = [
+                        $( format!("  {} = {:?}", stringify!($arg), &$arg) ),+
+                    ].join("\n");
+                    let __outcome: ::std::result::Result<(), ::std::string::String> =
+                        (|| {
+                            { $body }
+                            ::std::result::Result::Ok(())
+                        })();
+                    if let ::std::result::Result::Err(__msg) = __outcome {
+                        panic!(
+                            "property failed at case {}/{}: {}\ninputs:\n{}",
+                            __case + 1, __config.cases, __msg, __inputs
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Assert inside a `proptest!` body; failures report the generated inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                format!("assertion failed: {}", stringify!($cond)),
+            );
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(format!($($fmt)+));
+        }
+    };
+}
+
+/// Assert equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: `{}` == `{}`\n  left: {:?}\n right: {:?}",
+                stringify!($left), stringify!($right), __l, __r,
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::std::result::Result::Err(format!(
+                "{}\n  left: {:?}\n right: {:?}",
+                format!($($fmt)+), __l, __r,
+            ));
+        }
+    }};
+}
+
+/// Assert inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if *__l == *__r {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: `{}` != `{}`\n  both: {:?}",
+                stringify!($left), stringify!($right), __l,
+            ));
+        }
+    }};
+}
+
+/// Choose uniformly among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $( $crate::strategy::Strategy::boxed($strat) ),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn regex_subset_generates_matching_strings() {
+        let mut rng = TestRng::for_test("regex");
+        let pat = "[a-z]{1,4}";
+        for _ in 0..200 {
+            let s = crate::strategy::Strategy::generate(&pat, &mut rng);
+            assert!((1..=4).contains(&s.chars().count()), "{s:?}");
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()), "{s:?}");
+        }
+        let space_class = "[ -~]{0,30}";
+        for _ in 0..200 {
+            let s = crate::strategy::Strategy::generate(&space_class, &mut rng);
+            assert!(s.chars().count() <= 30);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn ranges_and_oneof_stay_in_bounds() {
+        let mut rng = TestRng::for_test("ranges");
+        let strat = prop_oneof![
+            (0u8..3).prop_map(|x| x as i64),
+            Just(100i64),
+            (10i64..=12).prop_map(|x| x),
+        ];
+        let mut saw_just = false;
+        for _ in 0..300 {
+            let v = crate::strategy::Strategy::generate(&strat, &mut rng);
+            assert!((0..3).contains(&v) || v == 100 || (10..=12).contains(&v));
+            saw_just |= v == 100;
+        }
+        assert!(saw_just);
+    }
+
+    #[test]
+    fn vec_and_tuple_strategies_compose() {
+        let mut rng = TestRng::for_test("vec");
+        let strat = crate::collection::vec(("[ab]{1,2}", 0u8..4), 2..5);
+        for _ in 0..100 {
+            let v = crate::strategy::Strategy::generate(&strat, &mut rng);
+            assert!((2..5).contains(&v.len()));
+            for (s, n) in &v {
+                assert!(!s.is_empty() && s.len() <= 2);
+                assert!(*n < 4);
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn the_macro_itself_works(x in 0usize..50, s in "[a-z]{0,3}") {
+            prop_assert!(x < 50);
+            prop_assert_eq!(s.len(), s.chars().count());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "property failed")]
+    fn failing_property_reports_inputs() {
+        proptest! {
+            fn inner(x in 10u8..20) {
+                prop_assert!(x < 15, "x was {}", x);
+            }
+        }
+        inner();
+    }
+}
