@@ -37,7 +37,7 @@ fn drain(kernel: &Kernel, filter: eden_core::Uid, batch: usize) -> usize {
 fn source(kernel: &Kernel) -> eden_core::Uid {
     kernel
         .spawn(Box::new(SourceEject::new(Box::new(VecSource::new(
-            (0..RECORDS).map(|i| Value::Str(format!("line {i}"))).collect(),
+            (0..RECORDS).map(|i| Value::str(format!("line {i}"))).collect(),
         )))))
         .expect("source")
 }

@@ -3,18 +3,22 @@
 //!
 //! Usage: `cargo run -p eden-bench --release --bin experiments [ids...]`
 //! where each id is `e1`..`e10`; no argument (or `all`) runs everything.
-//! `--json` instead measures the pipeline/contention workloads and
-//! writes `BENCH_pipeline.json` (machine-readable, tracked across PRs);
-//! combine it with ids to also print those tables.
+//! `--json` instead measures the pipeline/contention workloads and writes
+//! `BENCH_pipeline.json` plus the payload-plane report `BENCH_payload.json`
+//! (machine-readable, tracked across PRs); combine it with ids to also
+//! print those tables. `--payload-json` writes only `BENCH_payload.json`,
+//! and `--smoke` shrinks the payload workload for CI.
 
 use std::time::Instant;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let json = args.iter().any(|a| a == "--json");
+    let payload_json = args.iter().any(|a| a == "--payload-json");
+    let smoke = args.iter().any(|a| a == "--smoke");
     let id_args: Vec<&str> = args
         .iter()
-        .filter(|a| *a != "--json")
+        .filter(|a| !a.starts_with("--"))
         .map(String::as_str)
         .collect();
     if json {
@@ -25,9 +29,24 @@ fn main() {
             "wrote BENCH_pipeline.json ({:.2}s)",
             t0.elapsed().as_secs_f64()
         );
-        if id_args.is_empty() {
-            return;
-        }
+    }
+    if json || payload_json {
+        let t0 = Instant::now();
+        let cfg = if smoke {
+            eden_bench::payload_report::PayloadConfig::smoke()
+        } else {
+            eden_bench::payload_report::PayloadConfig::full()
+        };
+        let report = eden_bench::payload_report::payload_report(&cfg);
+        std::fs::write("BENCH_payload.json", &report).expect("write BENCH_payload.json");
+        println!(
+            "wrote BENCH_payload.json ({:.2}s{})",
+            t0.elapsed().as_secs_f64(),
+            if smoke { ", smoke" } else { "" }
+        );
+    }
+    if (json || payload_json) && id_args.is_empty() {
+        return;
     }
     let ids: Vec<&str> = if id_args.is_empty() || id_args.contains(&"all") {
         eden_bench::ALL_EXPERIMENTS.to_vec()

@@ -34,7 +34,7 @@ pub fn prose(n: usize, typo_every: usize, seed: u64) -> Vec<Value> {
                 }
                 line.push_str(&word);
             }
-            Value::Str(line)
+            Value::str(line)
         })
         .collect()
 }
@@ -49,9 +49,9 @@ pub fn fortran_deck(n: usize, comment_every: usize) -> Vec<Value> {
     (0..n)
         .map(|i| {
             if comment_every > 0 && i % comment_every == 0 {
-                Value::Str(format!("C     COMMENT LINE {i}"))
+                Value::str(format!("C     COMMENT LINE {i}"))
             } else {
-                Value::Str(format!("      CALL STEP({i})"))
+                Value::str(format!("      CALL STEP({i})"))
             }
         })
         .collect()
@@ -71,7 +71,7 @@ pub fn sized_lines(n: usize, width: usize) -> Vec<Value> {
                 s.push('x');
             }
             s.truncate(width.max(1));
-            Value::Str(s)
+            Value::str(s)
         })
         .collect()
 }

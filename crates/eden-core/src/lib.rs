@@ -17,6 +17,7 @@
 pub mod error;
 pub mod metrics;
 pub mod op;
+pub mod payload;
 pub mod uid;
 pub mod value;
 pub mod wire;
@@ -24,5 +25,6 @@ pub mod wire;
 pub use error::{EdenError, Result};
 pub use metrics::{CostModel, Metrics, MetricsSnapshot};
 pub use op::OpName;
+pub use payload::PayloadSnapshot;
 pub use uid::{Capability, Uid};
-pub use value::Value;
+pub use value::{SharedList, SharedRecord, Text, Value};

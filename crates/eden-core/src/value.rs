@@ -6,14 +6,372 @@
 //! Programming Language lacked type parameterisation; in Rust we model the
 //! untyped invocation payload with this enum and let higher layers impose
 //! homogeneity where the protocol requires it.
+//!
+//! # The zero-copy payload plane
+//!
+//! Every payload-bearing variant is *shared, not copied*, on clone:
+//!
+//! * [`Value::Str`] holds a [`Text`] — an immutable UTF-8 buffer backed by
+//!   [`Bytes`], so cloning is a reference bump and `wire::decode_shared`
+//!   can alias string payloads straight out of a checkpoint buffer.
+//! * [`Value::List`] and [`Value::Record`] hold their elements behind an
+//!   `Arc` ([`SharedList`] / [`SharedRecord`]) with make-mut copy-on-write:
+//!   a transform that edits a datum in place pays for a spine copy only
+//!   when the datum is actually aliased (metered as a `cow_break`).
+//!
+//! Sharing is semantically invisible — equality, encoding, display and the
+//! accessor API are unchanged — but turns the per-hop, per-consumer deep
+//! copies of a stream pipeline into O(1) reference bumps. The
+//! [`crate::payload`] counters meter both worlds; [`Value::deep_copy`]
+//! reproduces the old copying behaviour for baseline comparisons.
+
+use std::sync::Arc;
 
 use bytes::Bytes;
 
 use crate::error::{EdenError, Result};
+use crate::payload;
 use crate::uid::Uid;
 
+/// An immutable, cheaply-clonable UTF-8 string backed by [`Bytes`].
+///
+/// Invariant: the underlying buffer is always valid UTF-8 — enforced at
+/// every construction site, which is what makes the unchecked view in
+/// [`Text::as_str`] sound.
+#[derive(Clone)]
+pub struct Text(Bytes);
+
+impl Text {
+    /// An empty text (no allocation).
+    pub fn new() -> Text {
+        Text(Bytes::new())
+    }
+
+    /// View as a string slice.
+    pub fn as_str(&self) -> &str {
+        // SAFETY: every constructor validates (or starts from) UTF-8, and
+        // the buffer is immutable thereafter.
+        unsafe { std::str::from_utf8_unchecked(self.0.as_ref()) }
+    }
+
+    /// The shared byte buffer backing this text. Exposed so tests can
+    /// assert that decoded texts alias their input buffer.
+    pub fn as_shared_bytes(&self) -> &Bytes {
+        &self.0
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Build from a shared buffer, validating UTF-8. Zero-copy: the text
+    /// aliases `bytes`.
+    pub fn from_shared(bytes: Bytes) -> std::result::Result<Text, std::str::Utf8Error> {
+        std::str::from_utf8(bytes.as_ref())?;
+        Ok(Text(bytes))
+    }
+
+    /// Copy out into an owned `String`.
+    pub fn to_string_owned(&self) -> String {
+        self.as_str().to_owned()
+    }
+
+    /// True if both texts share the same underlying allocation *and* span.
+    pub fn ptr_eq(&self, other: &Text) -> bool {
+        let a = self.0.as_ref();
+        let b = other.0.as_ref();
+        std::ptr::eq(a.as_ptr(), b.as_ptr()) && a.len() == b.len()
+    }
+}
+
+impl Default for Text {
+    fn default() -> Self {
+        Text::new()
+    }
+}
+
+impl std::ops::Deref for Text {
+    type Target = str;
+    fn deref(&self) -> &str {
+        self.as_str()
+    }
+}
+
+impl AsRef<str> for Text {
+    fn as_ref(&self) -> &str {
+        self.as_str()
+    }
+}
+
+impl std::borrow::Borrow<str> for Text {
+    fn borrow(&self) -> &str {
+        self.as_str()
+    }
+}
+
+impl From<String> for Text {
+    fn from(s: String) -> Text {
+        Text(Bytes::from(s))
+    }
+}
+
+impl From<&str> for Text {
+    fn from(s: &str) -> Text {
+        Text(Bytes::from(s))
+    }
+}
+
+impl From<&String> for Text {
+    fn from(s: &String) -> Text {
+        Text(Bytes::from(s.as_str()))
+    }
+}
+
+impl From<Text> for String {
+    fn from(t: Text) -> String {
+        t.to_string_owned()
+    }
+}
+
+impl PartialEq for Text {
+    fn eq(&self, other: &Text) -> bool {
+        self.as_str() == other.as_str()
+    }
+}
+
+impl Eq for Text {}
+
+impl PartialEq<str> for Text {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == other
+    }
+}
+
+impl PartialEq<&str> for Text {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == *other
+    }
+}
+
+impl PartialEq<String> for Text {
+    fn eq(&self, other: &String) -> bool {
+        self.as_str() == other.as_str()
+    }
+}
+
+impl PartialEq<Text> for str {
+    fn eq(&self, other: &Text) -> bool {
+        self == other.as_str()
+    }
+}
+
+impl PartialEq<Text> for &str {
+    fn eq(&self, other: &Text) -> bool {
+        *self == other.as_str()
+    }
+}
+
+impl PartialEq<Text> for String {
+    fn eq(&self, other: &Text) -> bool {
+        self.as_str() == other.as_str()
+    }
+}
+
+impl PartialOrd for Text {
+    fn partial_cmp(&self, other: &Text) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Text {
+    fn cmp(&self, other: &Text) -> std::cmp::Ordering {
+        self.as_str().cmp(other.as_str())
+    }
+}
+
+impl std::hash::Hash for Text {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.as_str().hash(state);
+    }
+}
+
+impl std::fmt::Debug for Text {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        std::fmt::Debug::fmt(self.as_str(), f)
+    }
+}
+
+impl std::fmt::Display for Text {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A reference-counted sequence of values with make-mut copy-on-write.
+#[derive(Clone, Debug)]
+pub struct SharedList(Arc<Vec<Value>>);
+
+impl SharedList {
+    /// Wrap an owned vector (one allocation; never copies the elements).
+    pub fn new(items: Vec<Value>) -> SharedList {
+        SharedList(Arc::new(items))
+    }
+
+    /// Mutable access to the elements. If the list is aliased this breaks
+    /// the sharing by copying the spine (the elements themselves are
+    /// cheap-cloned, not deep-copied); the break is metered as a
+    /// `cow_break`.
+    pub fn to_mut(&mut self) -> &mut Vec<Value> {
+        if Arc::strong_count(&self.0) > 1 {
+            payload::note_cow_break();
+        }
+        Arc::make_mut(&mut self.0)
+    }
+
+    /// Consume into an owned vector. Free when this is the only reference;
+    /// otherwise the spine is copied (elements are cheap-cloned).
+    pub fn into_vec(self) -> Vec<Value> {
+        match Arc::try_unwrap(self.0) {
+            Ok(v) => v,
+            Err(shared) => (*shared).clone(),
+        }
+    }
+
+    /// True if both lists share the same allocation.
+    pub fn ptr_eq(&self, other: &SharedList) -> bool {
+        Arc::ptr_eq(&self.0, &other.0)
+    }
+
+    /// True if any other reference to this allocation exists.
+    pub fn is_aliased(&self) -> bool {
+        Arc::strong_count(&self.0) > 1
+    }
+}
+
+impl std::ops::Deref for SharedList {
+    type Target = [Value];
+    fn deref(&self) -> &[Value] {
+        &self.0
+    }
+}
+
+impl From<Vec<Value>> for SharedList {
+    fn from(v: Vec<Value>) -> SharedList {
+        SharedList::new(v)
+    }
+}
+
+impl FromIterator<Value> for SharedList {
+    fn from_iter<I: IntoIterator<Item = Value>>(iter: I) -> SharedList {
+        SharedList::new(iter.into_iter().collect())
+    }
+}
+
+impl<'a> IntoIterator for &'a SharedList {
+    type Item = &'a Value;
+    type IntoIter = std::slice::Iter<'a, Value>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.0.iter()
+    }
+}
+
+impl PartialEq for SharedList {
+    fn eq(&self, other: &SharedList) -> bool {
+        Arc::ptr_eq(&self.0, &other.0) || *self.0 == *other.0
+    }
+}
+
+impl Eq for SharedList {}
+
+/// A reference-counted record (named fields, in insertion order) with
+/// make-mut copy-on-write.
+#[derive(Clone, Debug)]
+pub struct SharedRecord(Arc<Vec<(Text, Value)>>);
+
+impl SharedRecord {
+    /// Wrap owned fields (one allocation; never copies the values).
+    pub fn new(fields: Vec<(Text, Value)>) -> SharedRecord {
+        SharedRecord(Arc::new(fields))
+    }
+
+    /// Mutable access to the fields; breaks sharing like
+    /// [`SharedList::to_mut`].
+    pub fn to_mut(&mut self) -> &mut Vec<(Text, Value)> {
+        if Arc::strong_count(&self.0) > 1 {
+            payload::note_cow_break();
+        }
+        Arc::make_mut(&mut self.0)
+    }
+
+    /// Consume into owned fields. Free when unique; spine-copied when
+    /// aliased.
+    pub fn into_fields(self) -> Vec<(Text, Value)> {
+        match Arc::try_unwrap(self.0) {
+            Ok(v) => v,
+            Err(shared) => (*shared).clone(),
+        }
+    }
+
+    /// True if both records share the same allocation.
+    pub fn ptr_eq(&self, other: &SharedRecord) -> bool {
+        Arc::ptr_eq(&self.0, &other.0)
+    }
+
+    /// True if any other reference to this allocation exists.
+    pub fn is_aliased(&self) -> bool {
+        Arc::strong_count(&self.0) > 1
+    }
+}
+
+impl std::ops::Deref for SharedRecord {
+    type Target = [(Text, Value)];
+    fn deref(&self) -> &[(Text, Value)] {
+        &self.0
+    }
+}
+
+impl From<Vec<(Text, Value)>> for SharedRecord {
+    fn from(v: Vec<(Text, Value)>) -> SharedRecord {
+        SharedRecord::new(v)
+    }
+}
+
+impl From<Vec<(String, Value)>> for SharedRecord {
+    fn from(v: Vec<(String, Value)>) -> SharedRecord {
+        SharedRecord::new(v.into_iter().map(|(k, val)| (Text::from(k), val)).collect())
+    }
+}
+
+impl FromIterator<(Text, Value)> for SharedRecord {
+    fn from_iter<I: IntoIterator<Item = (Text, Value)>>(iter: I) -> SharedRecord {
+        SharedRecord::new(iter.into_iter().collect())
+    }
+}
+
+impl<'a> IntoIterator for &'a SharedRecord {
+    type Item = &'a (Text, Value);
+    type IntoIter = std::slice::Iter<'a, (Text, Value)>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.0.iter()
+    }
+}
+
+impl PartialEq for SharedRecord {
+    fn eq(&self, other: &SharedRecord) -> bool {
+        Arc::ptr_eq(&self.0, &other.0) || *self.0 == *other.0
+    }
+}
+
+impl Eq for SharedRecord {}
+
 /// A self-describing datum: invocation parameter, reply, or stream record.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, PartialEq, Eq)]
 pub enum Value {
     /// The absence of a datum (a bare acknowledgement).
     Unit,
@@ -22,33 +380,68 @@ pub enum Value {
     /// A signed integer.
     Int(i64),
     /// A text string. Stream protocols that carry lines use this variant.
-    Str(String),
+    Str(Text),
     /// An opaque byte string. Byte-stream transput uses this variant.
     Bytes(Bytes),
     /// A UID — how capabilities travel inside invocations.
     Uid(Uid),
     /// A heterogeneous sequence.
-    List(Vec<Value>),
+    List(SharedList),
     /// A record of named fields, in insertion order.
-    Record(Vec<(String, Value)>),
+    Record(SharedRecord),
+}
+
+impl Clone for Value {
+    /// Cloning a payload-bearing value is a reference bump, metered as a
+    /// `payload_share` — before the zero-copy plane it was a deep copy.
+    fn clone(&self) -> Value {
+        match self {
+            Value::Unit => Value::Unit,
+            Value::Bool(b) => Value::Bool(*b),
+            Value::Int(i) => Value::Int(*i),
+            Value::Uid(u) => Value::Uid(*u),
+            Value::Str(s) => {
+                payload::note_share();
+                Value::Str(s.clone())
+            }
+            Value::Bytes(b) => {
+                payload::note_share();
+                Value::Bytes(b.clone())
+            }
+            Value::List(items) => {
+                payload::note_share();
+                Value::List(items.clone())
+            }
+            Value::Record(fields) => {
+                payload::note_share();
+                Value::Record(fields.clone())
+            }
+        }
+    }
 }
 
 impl Value {
     /// Build a record from field pairs.
-    pub fn record<I>(fields: I) -> Value
+    pub fn record<K, I>(fields: I) -> Value
     where
-        I: IntoIterator<Item = (&'static str, Value)>,
+        K: Into<Text>,
+        I: IntoIterator<Item = (K, Value)>,
     {
-        Value::Record(
+        Value::Record(SharedRecord::new(
             fields
                 .into_iter()
-                .map(|(k, v)| (k.to_owned(), v))
+                .map(|(k, v)| (k.into(), v))
                 .collect(),
-        )
+        ))
+    }
+
+    /// Build a list value (one allocation; elements are moved, not copied).
+    pub fn list(items: impl Into<SharedList>) -> Value {
+        Value::List(items.into())
     }
 
     /// Build a string value.
-    pub fn str(s: impl Into<String>) -> Value {
+    pub fn str(s: impl Into<Text>) -> Value {
         Value::Str(s.into())
     }
 
@@ -80,6 +473,24 @@ impl Value {
         }
     }
 
+    /// Consume the record, extracting one field by name. Avoids cloning
+    /// the field's payload when this value is the only reference.
+    pub fn take_field(self, name: &str) -> Result<Value> {
+        match self {
+            Value::Record(fields) => {
+                let mut fields = fields.into_fields();
+                match fields.iter().position(|(k, _)| k == name) {
+                    Some(i) => Ok(fields.swap_remove(i).1),
+                    None => Err(EdenError::BadParameter(format!("missing field `{name}`"))),
+                }
+            }
+            other => Err(EdenError::BadParameter(format!(
+                "expected record with field `{name}`, got {}",
+                other.kind()
+            ))),
+        }
+    }
+
     /// Interpret as an integer.
     pub fn as_int(&self) -> Result<i64> {
         match self {
@@ -98,6 +509,14 @@ impl Value {
 
     /// Interpret as a string slice.
     pub fn as_str(&self) -> Result<&str> {
+        match self {
+            Value::Str(s) => Ok(s.as_str()),
+            other => Err(other.type_error("str")),
+        }
+    }
+
+    /// Interpret as a shared text.
+    pub fn as_text(&self) -> Result<&Text> {
         match self {
             Value::Str(s) => Ok(s),
             other => Err(other.type_error("str")),
@@ -128,16 +547,17 @@ impl Value {
         }
     }
 
-    /// Consume as a list.
+    /// Consume as a list. Free when this is the only reference to the
+    /// list; a spine copy (cheap element clones) when aliased.
     pub fn into_list(self) -> Result<Vec<Value>> {
         match self {
-            Value::List(items) => Ok(items),
+            Value::List(items) => Ok(items.into_vec()),
             other => Err(other.type_error("list")),
         }
     }
 
     /// Consume as a string.
-    pub fn into_str(self) -> Result<String> {
+    pub fn into_str(self) -> Result<Text> {
         match self {
             Value::Str(s) => Ok(s),
             other => Err(other.type_error("str")),
@@ -158,8 +578,10 @@ impl Value {
         }
     }
 
-    /// An estimate of the payload size in bytes, used by the metrics layer
-    /// to account for data volume moved by invocations.
+    /// The payload size in bytes, used by the metrics layer to account for
+    /// data volume moved by invocations. Exact for nested lists and
+    /// records: each container contributes its elements plus a fixed
+    /// 4-byte framing term, each field its name plus its value.
     pub fn size_hint(&self) -> usize {
         match self {
             Value::Unit => 1,
@@ -174,6 +596,48 @@ impl Value {
                 .map(|(k, v)| k.len() + v.size_hint())
                 .sum::<usize>()
                 .saturating_add(4),
+        }
+    }
+
+    /// The exact number of bytes [`crate::wire::encode`] will produce for
+    /// this value. Used to size encode buffers so the checkpoint path
+    /// never reallocates mid-encode.
+    pub fn encoded_len(&self) -> usize {
+        crate::wire::encoded_len(self)
+    }
+
+    /// Physically duplicate this value: every payload byte is copied into
+    /// fresh allocations and metered via [`crate::payload::note_copy`].
+    ///
+    /// Sharing makes `clone` O(1), so nothing in the system needs this for
+    /// correctness; it exists to reproduce the pre-zero-copy cost model in
+    /// benchmarks and tests.
+    pub fn deep_copy(&self) -> Value {
+        match self {
+            Value::Unit => Value::Unit,
+            Value::Bool(b) => Value::Bool(*b),
+            Value::Int(i) => Value::Int(*i),
+            Value::Uid(u) => Value::Uid(*u),
+            Value::Str(s) => {
+                payload::note_copy(s.len());
+                Value::Str(Text::from(s.as_str()))
+            }
+            Value::Bytes(b) => {
+                payload::note_copy(b.len());
+                Value::Bytes(Bytes::copy_from_slice(b))
+            }
+            Value::List(items) => Value::List(SharedList::new(
+                items.iter().map(Value::deep_copy).collect(),
+            )),
+            Value::Record(fields) => Value::Record(SharedRecord::new(
+                fields
+                    .iter()
+                    .map(|(k, v)| {
+                        payload::note_copy(k.len());
+                        (Text::from(k.as_str()), v.deep_copy())
+                    })
+                    .collect(),
+            )),
         }
     }
 
@@ -199,7 +663,7 @@ fn fmt_nested(v: &Value, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         Value::Unit => f.write_str("()"),
         Value::Bool(b) => write!(f, "{b}"),
         Value::Int(i) => write!(f, "{i}"),
-        Value::Str(s) => write!(f, "{s:?}"),
+        Value::Str(s) => write!(f, "{:?}", s.as_str()),
         Value::Bytes(b) => write!(f, "<{} bytes>", b.len()),
         Value::Uid(u) => write!(f, "{u}"),
         Value::List(items) => {
@@ -240,13 +704,19 @@ impl From<bool> for Value {
 
 impl From<&str> for Value {
     fn from(s: &str) -> Self {
-        Value::Str(s.to_owned())
+        Value::Str(Text::from(s))
     }
 }
 
 impl From<String> for Value {
     fn from(s: String) -> Self {
-        Value::Str(s)
+        Value::Str(Text::from(s))
+    }
+}
+
+impl From<Text> for Value {
+    fn from(t: Text) -> Self {
+        Value::Str(t)
     }
 }
 
@@ -258,7 +728,7 @@ impl From<Uid> for Value {
 
 impl From<Vec<Value>> for Value {
     fn from(v: Vec<Value>) -> Self {
-        Value::List(v)
+        Value::List(SharedList::new(v))
     }
 }
 
@@ -282,6 +752,14 @@ mod tests {
     }
 
     #[test]
+    fn take_field_extracts_without_lookup_clone() {
+        let v = Value::record([("a", Value::from(1)), ("b", Value::str("x"))]);
+        assert_eq!(v.clone().take_field("b").unwrap().as_str().unwrap(), "x");
+        assert!(v.clone().take_field("zzz").is_err());
+        assert!(Value::Int(1).take_field("a").is_err());
+    }
+
+    #[test]
     fn field_on_non_record_is_error() {
         let err = Value::Int(1).field("x").unwrap_err();
         assert!(matches!(err, EdenError::BadParameter(_)));
@@ -299,7 +777,7 @@ mod tests {
 
     #[test]
     fn list_accessors() {
-        let v = Value::List(vec![Value::from(1), Value::from(2)]);
+        let v = Value::list(vec![Value::from(1), Value::from(2)]);
         assert_eq!(v.as_list().unwrap().len(), 2);
         assert_eq!(v.into_list().unwrap().len(), 2);
         assert!(Value::Unit.into_list().is_err());
@@ -309,14 +787,17 @@ mod tests {
     fn size_hint_reflects_payload() {
         assert_eq!(Value::str("hello").size_hint(), 5);
         assert_eq!(Value::bytes(vec![0u8; 100]).size_hint(), 100);
-        let list = Value::List(vec![Value::str("ab"), Value::str("cd")]);
+        let list = Value::list(vec![Value::str("ab"), Value::str("cd")]);
         assert_eq!(list.size_hint(), 2 + 2 + 4);
     }
 
     #[test]
     fn kind_names() {
         assert_eq!(Value::Unit.kind(), "unit");
-        assert_eq!(Value::record([]).kind(), "record");
+        assert_eq!(
+            Value::record(Vec::<(&str, Value)>::new()).kind(),
+            "record"
+        );
     }
 
     #[test]
@@ -325,7 +806,7 @@ mod tests {
         assert_eq!(Value::Int(7).to_string(), "7");
         assert_eq!(Value::Unit.to_string(), "()");
         assert_eq!(
-            Value::List(vec![Value::str("q"), Value::Int(2)]).to_string(),
+            Value::list(vec![Value::str("q"), Value::Int(2)]).to_string(),
             "[\"q\", 2]"
         );
         assert_eq!(
@@ -333,5 +814,91 @@ mod tests {
             "{n: 1, s: \"x\"}"
         );
         assert_eq!(Value::bytes(vec![0u8; 3]).to_string(), "<3 bytes>");
+    }
+
+    #[test]
+    fn clone_shares_not_copies() {
+        let v = Value::list(vec![Value::str("payload"), Value::Int(1)]);
+        let before = payload::snapshot();
+        let c = v.clone();
+        let delta = payload::snapshot().since(&before);
+        assert_eq!(delta.payload_copies, 0, "clone must not copy payload");
+        assert_eq!(delta.payload_bytes_moved, 0);
+        assert_eq!(delta.payload_shares, 1);
+        match (&v, &c) {
+            (Value::List(a), Value::List(b)) => assert!(a.ptr_eq(b)),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn cow_break_only_when_aliased() {
+        // Unique list: mutation is free, no cow_break.
+        let mut unique = SharedList::new(vec![Value::Int(1)]);
+        let before = payload::snapshot();
+        unique.to_mut().push(Value::Int(2));
+        assert_eq!(payload::snapshot().since(&before).cow_breaks, 0);
+
+        // Aliased list: mutation breaks the sharing, once.
+        let mut a = SharedList::new(vec![Value::Int(1)]);
+        let b = a.clone();
+        let before = payload::snapshot();
+        a.to_mut().push(Value::Int(2));
+        assert_eq!(payload::snapshot().since(&before).cow_breaks, 1);
+        // The alias is unaffected: semantics of the old deep-copy world.
+        assert_eq!(b.len(), 1);
+        assert_eq!(a.len(), 2);
+        assert!(!a.ptr_eq(&b));
+    }
+
+    #[test]
+    fn record_cow_break_preserves_alias() {
+        let v = Value::record([("k", Value::Int(1))]);
+        let mut edited = v.clone();
+        if let Value::Record(fields) = &mut edited {
+            fields.to_mut()[0].1 = Value::Int(99);
+        }
+        assert_eq!(v.field("k").unwrap().as_int().unwrap(), 1);
+        assert_eq!(edited.field("k").unwrap().as_int().unwrap(), 99);
+    }
+
+    #[test]
+    fn deep_copy_moves_every_payload_byte() {
+        let v = Value::record([
+            ("s", Value::str("hello")),
+            ("b", Value::bytes(vec![0u8; 10])),
+            ("l", Value::list(vec![Value::str("xy")])),
+        ]);
+        let before = payload::snapshot();
+        let copy = v.deep_copy();
+        let delta = payload::snapshot().since(&before);
+        assert_eq!(copy, v);
+        // Payload leaves: "hello" (5) + bytes (10) + "xy" (2) + keys (1+1+1).
+        assert_eq!(delta.payload_bytes_moved, 5 + 10 + 2 + 3);
+        assert!(delta.payload_copies >= 3);
+        match (&v, &copy) {
+            (Value::Record(a), Value::Record(b)) => assert!(!a.ptr_eq(b)),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn text_equality_and_order() {
+        let t = Text::from("abc");
+        assert_eq!(t, "abc");
+        assert_eq!(t, "abc".to_owned());
+        let u = Text::from("abd");
+        assert!(t < u);
+        assert_eq!(t.len(), 3);
+        assert!(!t.is_empty());
+        assert!(Text::new().is_empty());
+        assert_eq!(format!("{t}"), "abc");
+        assert_eq!(format!("{t:?}"), "\"abc\"");
+    }
+
+    #[test]
+    fn text_from_shared_validates_utf8() {
+        assert!(Text::from_shared(Bytes::from(&b"ok"[..])).is_ok());
+        assert!(Text::from_shared(Bytes::from(&[0xffu8, 0xfe][..])).is_err());
     }
 }

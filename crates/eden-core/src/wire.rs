@@ -9,12 +9,25 @@
 //! The decoder is defensive: it bounds recursion depth, validates UTF-8, and
 //! never panics on malformed input — corrupt checkpoints surface as
 //! [`EdenError::CorruptCheckpoint`].
+//!
+//! # Zero-copy decode
+//!
+//! [`decode_shared`] decodes out of a shared [`Bytes`] buffer: string,
+//! byte-string and field-name payloads are O(1) *slices* of the input
+//! buffer rather than fresh allocations, so reactivating an Eject from a
+//! checkpoint moves no payload bytes. [`decode`] remains for callers that
+//! only hold a `&[u8]`; it pays one copy of the whole input up front and
+//! then shares slices of that copy.
+//!
+//! [`encoded_len`] returns the exact output size of [`encode`], which sizes
+//! its buffer with it — the checkpoint path never reallocates mid-encode.
 
 use bytes::Bytes;
 
 use crate::error::{EdenError, Result};
+use crate::payload;
 use crate::uid::Uid;
-use crate::value::Value;
+use crate::value::{SharedList, SharedRecord, Text, Value};
 
 /// Maximum nesting depth the decoder will accept. Checkpoints produced by
 /// this workspace are shallow; the bound exists to keep malformed input from
@@ -31,10 +44,42 @@ const TAG_UID: u8 = 0x06;
 const TAG_LIST: u8 = 0x07;
 const TAG_RECORD: u8 = 0x08;
 
-/// Encode a value to bytes.
+/// The number of bytes `put_varint` emits for `v`.
+fn varint_len(v: u64) -> usize {
+    (64 - (v | 1).leading_zeros() as usize).div_ceil(7).max(1)
+}
+
+/// The exact number of bytes [`encode`] produces for `value`.
+pub fn encoded_len(value: &Value) -> usize {
+    match value {
+        Value::Unit | Value::Bool(_) => 1,
+        Value::Int(_) => 9,
+        Value::Uid(_) => 17,
+        Value::Str(s) => 1 + varint_len(s.len() as u64) + s.len(),
+        Value::Bytes(b) => 1 + varint_len(b.len() as u64) + b.len(),
+        Value::List(items) => {
+            1 + varint_len(items.len() as u64)
+                + items.iter().map(encoded_len).sum::<usize>()
+        }
+        Value::Record(fields) => {
+            1 + varint_len(fields.len() as u64)
+                + fields
+                    .iter()
+                    .map(|(name, v)| {
+                        varint_len(name.len() as u64) + name.len() + encoded_len(v)
+                    })
+                    .sum::<usize>()
+        }
+    }
+}
+
+/// Encode a value to bytes. The buffer is sized with [`encoded_len`] so no
+/// mid-encode reallocation occurs; the serialisation is metered as one
+/// payload copy (the datum's bytes physically move into the output).
 pub fn encode(value: &Value) -> Vec<u8> {
-    let mut out = Vec::with_capacity(value.size_hint() + 16);
+    let mut out = Vec::with_capacity(encoded_len(value));
     encode_into(value, &mut out);
+    payload::note_copy(out.len());
     out
 }
 
@@ -51,7 +96,7 @@ pub fn encode_into(value: &Value, out: &mut Vec<u8>) {
         Value::Str(s) => {
             out.push(TAG_STR);
             put_varint(out, s.len() as u64);
-            out.extend_from_slice(s.as_bytes());
+            out.extend_from_slice(s.as_str().as_bytes());
         }
         Value::Bytes(b) => {
             out.push(TAG_BYTES);
@@ -65,24 +110,39 @@ pub fn encode_into(value: &Value, out: &mut Vec<u8>) {
         Value::List(items) => {
             out.push(TAG_LIST);
             put_varint(out, items.len() as u64);
-            for item in items {
+            for item in items.iter() {
                 encode_into(item, out);
             }
         }
         Value::Record(fields) => {
             out.push(TAG_RECORD);
             put_varint(out, fields.len() as u64);
-            for (name, v) in fields {
+            for (name, v) in fields.iter() {
                 put_varint(out, name.len() as u64);
-                out.extend_from_slice(name.as_bytes());
+                out.extend_from_slice(name.as_str().as_bytes());
                 encode_into(v, out);
             }
         }
     }
 }
 
-/// Decode a value from bytes. The entire input must be consumed.
+/// Decode a value from a plain byte slice. The entire input must be
+/// consumed.
+///
+/// Pays one copy of `input` into a shared buffer, then aliases slices of
+/// that copy — callers that already hold a [`Bytes`] should use
+/// [`decode_shared`] and move nothing.
 pub fn decode(input: &[u8]) -> Result<Value> {
+    if !input.is_empty() {
+        payload::note_copy(input.len());
+    }
+    decode_shared(&Bytes::copy_from_slice(input))
+}
+
+/// Decode a value out of a shared buffer, zero-copy: `Str`, `Bytes` and
+/// record field names are O(1) slices aliasing `input`. The entire input
+/// must be consumed.
+pub fn decode_shared(input: &Bytes) -> Result<Value> {
     let mut cursor = Cursor { buf: input, pos: 0 };
     let value = decode_one(&mut cursor, 0)?;
     if cursor.pos != input.len() {
@@ -95,20 +155,32 @@ pub fn decode(input: &[u8]) -> Result<Value> {
 }
 
 struct Cursor<'a> {
-    buf: &'a [u8],
+    buf: &'a Bytes,
     pos: usize,
 }
 
 impl<'a> Cursor<'a> {
-    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+    fn advance(&mut self, n: usize) -> Result<usize> {
         let end = self
             .pos
             .checked_add(n)
             .filter(|&e| e <= self.buf.len())
             .ok_or_else(|| corrupt(format!("truncated: wanted {n} bytes at {}", self.pos)))?;
-        let slice = &self.buf[self.pos..end];
+        let start = self.pos;
         self.pos = end;
-        Ok(slice)
+        Ok(start)
+    }
+
+    /// A borrowed view of the next `n` bytes (for scalars).
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        let start = self.advance(n)?;
+        Ok(&self.buf.as_ref()[start..start + n])
+    }
+
+    /// A shared, zero-copy slice of the next `n` bytes (for payloads).
+    fn take_shared(&mut self, n: usize) -> Result<Bytes> {
+        let start = self.advance(n)?;
+        Ok(self.buf.slice(start..start + n))
     }
 
     fn byte(&mut self) -> Result<u8> {
@@ -162,6 +234,12 @@ fn decode_len(cur: &mut Cursor<'_>) -> Result<usize> {
     Ok(len as usize)
 }
 
+/// Take a UTF-8-validated, zero-copy text of `len` bytes.
+fn take_text(cur: &mut Cursor<'_>, len: usize, what: &str) -> Result<Text> {
+    let shared = cur.take_shared(len)?;
+    Text::from_shared(shared).map_err(|e| corrupt(format!("invalid utf-8 in {what}: {e}")))
+}
+
 fn decode_one(cur: &mut Cursor<'_>, depth: usize) -> Result<Value> {
     if depth > MAX_DEPTH {
         return Err(corrupt("nesting too deep".to_owned()));
@@ -177,13 +255,11 @@ fn decode_one(cur: &mut Cursor<'_>, depth: usize) -> Result<Value> {
         }
         TAG_STR => {
             let len = decode_len(cur)?;
-            let s = std::str::from_utf8(cur.take(len)?)
-                .map_err(|e| corrupt(format!("invalid utf-8 in string: {e}")))?;
-            Ok(Value::Str(s.to_owned()))
+            Ok(Value::Str(take_text(cur, len, "string")?))
         }
         TAG_BYTES => {
             let len = decode_len(cur)?;
-            Ok(Value::Bytes(Bytes::copy_from_slice(cur.take(len)?)))
+            Ok(Value::Bytes(cur.take_shared(len)?))
         }
         TAG_UID => {
             let mut b = [0u8; 16];
@@ -196,19 +272,17 @@ fn decode_one(cur: &mut Cursor<'_>, depth: usize) -> Result<Value> {
             for _ in 0..len {
                 items.push(decode_one(cur, depth + 1)?);
             }
-            Ok(Value::List(items))
+            Ok(Value::List(SharedList::new(items)))
         }
         TAG_RECORD => {
             let len = decode_len(cur)?;
             let mut fields = Vec::with_capacity(len.min(1024));
             for _ in 0..len {
                 let name_len = decode_len(cur)?;
-                let name = std::str::from_utf8(cur.take(name_len)?)
-                    .map_err(|e| corrupt(format!("invalid utf-8 in field name: {e}")))?
-                    .to_owned();
+                let name = take_text(cur, name_len, "field name")?;
                 fields.push((name, decode_one(cur, depth + 1)?));
             }
-            Ok(Value::Record(fields))
+            Ok(Value::Record(SharedRecord::new(fields)))
         }
         tag => Err(corrupt(format!("unknown tag 0x{tag:02x}"))),
     }
@@ -217,6 +291,7 @@ fn decode_one(cur: &mut Cursor<'_>, depth: usize) -> Result<Value> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::payload;
 
     fn roundtrip(v: Value) {
         let enc = encode(&v);
@@ -240,17 +315,72 @@ mod tests {
 
     #[test]
     fn containers_roundtrip() {
-        roundtrip(Value::List(vec![]));
-        roundtrip(Value::List(vec![
+        roundtrip(Value::list(vec![]));
+        roundtrip(Value::list(vec![
             Value::Int(1),
             Value::str("two"),
-            Value::List(vec![Value::Unit]),
+            Value::list(vec![Value::Unit]),
         ]));
         roundtrip(Value::record([
             ("name", Value::str("readme")),
             ("uid", Value::Uid(Uid::fresh())),
-            ("entries", Value::List(vec![Value::Int(3)])),
+            ("entries", Value::list(vec![Value::Int(3)])),
         ]));
+    }
+
+    #[test]
+    fn encoded_len_is_exact() {
+        for v in [
+            Value::Unit,
+            Value::Bool(true),
+            Value::Int(-5),
+            Value::Uid(Uid::fresh()),
+            Value::str(""),
+            Value::str("hello"),
+            Value::str("x".repeat(200)),
+            Value::bytes(vec![7u8; 300]),
+            Value::list(vec![Value::Int(1), Value::str("two")]),
+            Value::record([
+                ("a", Value::list(vec![Value::str("deep"), Value::Unit])),
+                ("bb", Value::bytes(vec![0u8; 1000])),
+            ]),
+        ] {
+            assert_eq!(encode(&v).len(), encoded_len(&v), "for {v:?}");
+        }
+    }
+
+    #[test]
+    fn encode_never_reallocates() {
+        // The hinted capacity must hold the whole encoding: capacity after
+        // the encode equals the capacity before (Vec only grows on push
+        // beyond capacity).
+        let v = Value::record([
+            ("items", Value::list((0..50).map(|i| Value::str(format!("record-{i}"))).collect::<Vec<_>>())),
+            ("blob", Value::bytes(vec![9u8; 4096])),
+        ]);
+        let out = encode(&v);
+        assert_eq!(out.len(), encoded_len(&v));
+        assert_eq!(out.capacity(), encoded_len(&v), "encode reallocated");
+    }
+
+    #[test]
+    fn decode_shared_aliases_payloads() {
+        let v = Value::record([
+            ("name", Value::str("shared-me")),
+            ("blob", Value::bytes(vec![3u8; 64])),
+        ]);
+        let buf = Bytes::from(encode(&v));
+        let before = payload::snapshot();
+        let dec = decode_shared(&buf).unwrap();
+        let delta = payload::snapshot().since(&before);
+        assert_eq!(delta.payload_copies, 0, "decode_shared must not copy");
+        assert_eq!(dec, v);
+        let range = buf.as_ref().as_ptr_range();
+        let s = dec.field("name").unwrap().as_text().unwrap();
+        let sp = s.as_str().as_ptr();
+        assert!(range.contains(&sp), "text must alias the input buffer");
+        let b = dec.field("blob").unwrap().as_bytes().unwrap();
+        assert!(range.contains(&b.as_ref().as_ptr()));
     }
 
     #[test]
@@ -310,6 +440,15 @@ mod tests {
         input.extend_from_slice(&[0xff; 10]);
         input.push(0x7f);
         assert!(decode(&input).is_err());
+    }
+
+    #[test]
+    fn varint_len_matches_put_varint() {
+        for v in [0u64, 1, 127, 128, 16383, 16384, u32::MAX as u64, u64::MAX] {
+            let mut out = Vec::new();
+            put_varint(&mut out, v);
+            assert_eq!(out.len(), varint_len(v), "varint_len({v})");
+        }
     }
 
     #[test]

@@ -82,7 +82,7 @@ impl Default for SortLines {
 
 fn sort_key(v: &Value) -> (u8, String) {
     match v {
-        Value::Str(s) => (0, s.clone()),
+        Value::Str(s) => (0, s.to_string_owned()),
         other => (1, format!("{other:?}")),
     }
 }
@@ -103,7 +103,7 @@ impl Transform for SortLines {
     fn state(&self) -> Option<Value> {
         Some(Value::record([(
             "buffered",
-            Value::List(self.buffered.clone()),
+            Value::list(self.buffered.clone()),
         )]))
     }
     fn restore(&mut self, state: &Value) -> eden_core::Result<()> {
@@ -139,7 +139,7 @@ impl Transform for Uniq {
     fn state(&self) -> Option<Value> {
         Some(Value::record([(
             "last",
-            Value::List(self.last.clone().into_iter().collect()),
+            Value::list(self.last.clone().into_iter().collect::<Vec<_>>()),
         )]))
     }
     fn restore(&mut self, state: &Value) -> eden_core::Result<()> {
@@ -177,7 +177,7 @@ impl Transform for WordFrequency {
         let mut pairs: Vec<(String, u64)> = std::mem::take(&mut self.counts).into_iter().collect();
         pairs.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
         for (word, count) in pairs {
-            out.emit(Value::Str(format!("{word}\t{count}")));
+            out.emit(Value::str(format!("{word}\t{count}")));
         }
     }
     fn name(&self) -> &'static str {

@@ -25,7 +25,7 @@ impl Compare {
 
     fn render(v: &Value) -> String {
         match v {
-            Value::Str(s) => s.clone(),
+            Value::Str(s) => s.to_string_owned(),
             other => format!("{other:?}"),
         }
     }
@@ -42,7 +42,7 @@ impl Transform for Compare {
             Some((left, right)) => {
                 if left != right {
                     self.differences += 1;
-                    out.emit(Value::Str(format!(
+                    out.emit(Value::str(format!(
                         "{}c{}\n< {}\n> {}",
                         self.row,
                         self.row,
@@ -53,7 +53,7 @@ impl Transform for Compare {
             }
             None => {
                 self.differences += 1;
-                out.emit(Value::Str(format!(
+                out.emit(Value::str(format!(
                     "{}?: unpaired record {}",
                     self.row,
                     Self::render(&item)
@@ -62,7 +62,7 @@ impl Transform for Compare {
         }
     }
     fn flush(&mut self, out: &mut Emitter) {
-        out.emit(Value::Str(if self.differences == 0 {
+        out.emit(Value::str(if self.differences == 0 {
             format!("identical ({} rows)", self.row)
         } else {
             format!("{} difference(s) in {} rows", self.differences, self.row)
@@ -79,7 +79,7 @@ mod tests {
     use eden_transput::transform::apply_offline;
 
     fn pair(a: &str, b: &str) -> Value {
-        Value::List(vec![Value::str(a), Value::str(b)])
+        Value::list(vec![Value::str(a), Value::str(b)])
     }
 
     #[test]

@@ -328,7 +328,7 @@ mod tests {
     fn lines_source(kernel: &Kernel, n: i64) -> Uid {
         kernel
             .spawn(Box::new(SourceEject::new(Box::new(VecSource::new(
-                (0..n).map(|i| Value::Str(format!("line {i}"))).collect(),
+                (0..n).map(|i| Value::str(format!("line {i}"))).collect(),
             )))))
             .unwrap()
     }

@@ -109,7 +109,12 @@ impl Transform for StreamEditor {
         for cmd in &self.script {
             match cmd {
                 Command::Substitute(old, new) => {
-                    current = current.replace(old.as_str(), new);
+                    // Only materialise a fresh string when the pattern
+                    // actually occurs; untouched lines keep sharing the
+                    // decoded payload.
+                    if current.as_str().contains(old.as_str()) {
+                        current = current.as_str().replace(old.as_str(), new).into();
+                    }
                 }
                 Command::Delete(pat) => {
                     if pat.contained_in(&current) {
@@ -127,7 +132,7 @@ impl Transform for StreamEditor {
         if !deleted && !self.quit {
             out.emit(Value::Str(current));
             for text in appends {
-                out.emit(Value::Str(text));
+                out.emit(Value::str(text));
             }
         }
     }

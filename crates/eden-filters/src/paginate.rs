@@ -29,7 +29,7 @@ impl Paginator {
 
     fn header(&mut self, out: &mut Emitter) {
         self.page += 1;
-        out.emit(Value::Str(format!(
+        out.emit(Value::str(format!(
             "--- {} --- page {} ---",
             self.title, self.page
         )));
@@ -59,7 +59,7 @@ mod tests {
 
     #[test]
     fn paginates_with_headers_and_feeds() {
-        let input: Vec<Value> = (1..=5).map(|i| Value::Str(format!("line {i}"))).collect();
+        let input: Vec<Value> = (1..=5).map(|i| Value::str(format!("line {i}"))).collect();
         let (out, _) = apply_offline(&mut Paginator::new("doc", 2), input);
         let lines: Vec<&str> = out.iter().map(|v| v.as_str().unwrap()).collect();
         assert_eq!(

@@ -47,8 +47,8 @@ impl Transform for SelectFields {
                     item.field_opt(name).cloned().unwrap_or(Value::Unit),
                 )
             })
-            .collect();
-        out.emit(Value::Record(projected));
+            .collect::<Vec<_>>();
+        out.emit(Value::record(projected));
     }
     fn name(&self) -> &'static str {
         "select-fields"
@@ -154,7 +154,7 @@ impl Transform for GroupAggregate {
     fn flush(&mut self, out: &mut Emitter) {
         for (key, (count, sum)) in std::mem::take(&mut self.groups) {
             out.emit(Value::record([
-                ("key", Value::Str(key)),
+                ("key", Value::str(key)),
                 ("count", Value::Int(count)),
                 ("sum", Value::Int(sum)),
             ]));
@@ -181,7 +181,7 @@ impl Transform for RenderRecords {
                     })
                     .collect::<Vec<_>>()
                     .join("  ");
-                out.emit(Value::Str(line));
+                out.emit(Value::str(line));
             }
             _ => out.emit(item),
         }

@@ -51,7 +51,7 @@ impl Transform for SpellCheck {
                 if !self.dictionary.contains(&lower) && self.reported.insert(lower.clone()) {
                     out.emit_on(
                         REPORT_NAME,
-                        Value::Str(format!("line {}: unknown word `{word}`", self.line_no)),
+                        Value::str(format!("line {}: unknown word `{word}`", self.line_no)),
                     );
                 }
             }
@@ -61,7 +61,7 @@ impl Transform for SpellCheck {
     fn flush(&mut self, out: &mut Emitter) {
         out.emit_on(
             REPORT_NAME,
-            Value::Str(format!("{} unknown word(s)", self.reported.len())),
+            Value::str(format!("{} unknown word(s)", self.reported.len())),
         );
     }
     fn name(&self) -> &'static str {
@@ -97,7 +97,7 @@ impl Transform for ProgressReporter {
         if self.seen.is_multiple_of(self.every) {
             out.emit_on(
                 REPORT_NAME,
-                Value::Str(format!("{}: {} records", self.label, self.seen)),
+                Value::str(format!("{}: {} records", self.label, self.seen)),
             );
         }
         out.emit(item);
@@ -105,7 +105,7 @@ impl Transform for ProgressReporter {
     fn flush(&mut self, out: &mut Emitter) {
         out.emit_on(
             REPORT_NAME,
-            Value::Str(format!("{}: done, {} records total", self.label, self.seen)),
+            Value::str(format!("{}: done, {} records total", self.label, self.seen)),
         );
     }
     fn name(&self) -> &'static str {

@@ -112,7 +112,7 @@ impl Transform for LineNumber {
     fn push(&mut self, item: Value, out: &mut Emitter) {
         match as_line(&item) {
             Some(line) => {
-                out.emit(Value::Str(format!("{:>6}  {line}", self.next)));
+                out.emit(Value::str(format!("{:>6}  {line}", self.next)));
                 self.next += 1;
             }
             None => out.emit(item),
@@ -150,7 +150,7 @@ impl CaseFold {
 impl Transform for CaseFold {
     fn push(&mut self, item: Value, out: &mut Emitter) {
         match as_line(&item) {
-            Some(line) => out.emit(Value::Str(if self.upper {
+            Some(line) => out.emit(Value::str(if self.upper {
                 line.to_uppercase()
             } else {
                 line.to_lowercase()
@@ -193,7 +193,7 @@ impl Transform for ExpandTabs {
                         col += 1;
                     }
                 }
-                out.emit(Value::Str(expanded));
+                out.emit(Value::str(expanded));
             }
             None => out.emit(item),
         }

@@ -126,7 +126,7 @@ impl DirectoryEject {
         self.listing = self
             .entries
             .iter()
-            .map(|(name, uid)| Value::Str(format!("{name:<24} {uid}")))
+            .map(|(name, uid)| Value::str(format!("{name:<24} {uid}")))
             .collect();
         Value::Int(self.listing.len() as i64)
     }

@@ -63,7 +63,7 @@ impl FileEject {
         I: IntoIterator<Item = S>,
         S: Into<String>,
     {
-        FileEject::with_records(lines.into_iter().map(|l| Value::Str(l.into())).collect())
+        FileEject::with_records(lines.into_iter().map(|l| Value::from(l.into())).collect())
     }
 
     /// Reconstruct from a passive representation (the reactivation
@@ -181,10 +181,10 @@ impl EjectBehavior for FileEject {
                                 WriteMode::Append => "append",
                             }),
                         ),
-                        ("items", Value::List(gathered)),
+                        ("items", Value::list(gathered)),
                         (
                             "error",
-                            Value::Str(failure.map(|e| e.to_string()).unwrap_or_default()),
+                            Value::str(failure.map(|e| e.to_string()).unwrap_or_default()),
                         ),
                     ]);
                     let _ = pctx.post_internal(event);
@@ -244,7 +244,7 @@ impl EjectBehavior for FileEject {
 
     fn passive_representation(&self) -> Option<Value> {
         Some(Value::record([
-            ("records", Value::List(self.records.clone())),
+            ("records", Value::list(self.records.clone())),
             ("generation", Value::Int(self.generation)),
         ]))
     }
@@ -398,7 +398,7 @@ impl EjectBehavior for DurableReaderEject {
 
     fn passive_representation(&self) -> Option<Value> {
         Some(Value::record([
-            ("records", Value::List(self.records.clone())),
+            ("records", Value::list(self.records.clone())),
             ("pos", Value::Int(self.pos as i64)),
         ]))
     }

@@ -68,7 +68,7 @@ impl MapFileEject {
             )));
         }
         let end = (start + count as usize).min(self.records.len());
-        Ok(Value::List(self.records[start..end].to_vec()))
+        Ok(Value::list(self.records[start..end].to_vec()))
     }
 
     fn write_at(&mut self, arg: &Value) -> Result<Value> {
@@ -134,7 +134,7 @@ impl EjectBehavior for MapFileEject {
     fn passive_representation(&self) -> Option<Value> {
         Some(Value::record([(
             "records",
-            Value::List(self.records.clone()),
+            Value::list(self.records.clone()),
         )]))
     }
 }
@@ -146,7 +146,7 @@ pub fn read_at_arg(index: i64, count: i64) -> Value {
 
 /// Build a `WriteAt` argument.
 pub fn write_at_arg(index: i64, items: Vec<Value>) -> Value {
-    Value::record([("index", Value::Int(index)), ("items", Value::List(items))])
+    Value::record([("index", Value::Int(index)), ("items", Value::list(items))])
 }
 
 #[cfg(test)]
@@ -163,7 +163,7 @@ mod tests {
         let got = f.read_at(&read_at_arg(1, 2)).unwrap();
         assert_eq!(
             got,
-            Value::List(vec![Value::Int(1), Value::Int(2)])
+            Value::list(vec![Value::Int(1), Value::Int(2)])
         );
         // Reads past the end are truncated, not errors.
         let tail = f.read_at(&read_at_arg(4, 10)).unwrap();

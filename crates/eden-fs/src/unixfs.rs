@@ -98,7 +98,7 @@ impl EjectBehavior for UnixFsEject {
                             Ok(batch) => {
                                 for item in batch.items {
                                     match item {
-                                        Value::Str(s) => lines.push(s),
+                                        Value::Str(s) => lines.push(s.to_string_owned()),
                                         other => lines.push(format!("{other:?}")),
                                     }
                                 }
@@ -123,9 +123,9 @@ impl EjectBehavior for UnixFsEject {
                     .fs
                     .list()
                     .into_iter()
-                    .map(Value::Str)
+                    .map(Value::from)
                     .collect::<Vec<_>>();
-                reply.reply(Ok(Value::List(files)));
+                reply.reply(Ok(Value::list(files)));
             }
             _ => reply.reply(Err(EdenError::NoSuchOperation {
                 target: ctx.uid(),
@@ -143,7 +143,7 @@ struct UnixFileReader {
 impl UnixFileReader {
     fn new(lines: Vec<String>) -> UnixFileReader {
         UnixFileReader {
-            lines: lines.into_iter().map(Value::Str).collect(),
+            lines: lines.into_iter().map(Value::from).collect(),
         }
     }
 }

@@ -713,7 +713,9 @@ impl Kernel {
                     record.type_name
                 ))
             })?;
-        let state = wire::decode(&record.bytes)?;
+        // Zero-copy reactivation: the state's payloads alias the
+        // checkpoint buffer instead of being copied out of it.
+        let state = wire::decode_shared(&record.bytes)?;
         let behavior = factory(Some(state))?;
         let node = slots.get(&uid).map(|slot| slot.node).unwrap_or_default();
         self.start_coordinator(slots, uid, node, behavior)

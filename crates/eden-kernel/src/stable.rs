@@ -10,6 +10,7 @@ use std::collections::HashMap;
 use std::path::PathBuf;
 use std::sync::Arc;
 
+use bytes::Bytes;
 use eden_core::{wire, EdenError, Result, Uid, Value};
 use parking_lot::Mutex;
 
@@ -18,8 +19,10 @@ use parking_lot::Mutex;
 pub struct PassiveRecord {
     /// The Eden type name, used to find the reactivation constructor.
     pub type_name: String,
-    /// The wire-encoded state.
-    pub bytes: Vec<u8>,
+    /// The wire-encoded state, behind a shared buffer: reactivation
+    /// decodes it zero-copy, and cloning the record (the store hands out
+    /// clones) bumps a reference instead of copying the checkpoint.
+    pub bytes: Bytes,
     /// How many times this Eject has checkpointed (diagnostics).
     pub version: u64,
 }
@@ -52,7 +55,8 @@ fn decode_record(data: &[u8]) -> Result<(Uid, PassiveRecord)> {
         v.field("uid")?.as_uid()?,
         PassiveRecord {
             type_name: v.field("type")?.as_str()?.to_owned(),
-            bytes: v.field("bytes")?.as_bytes()?.to_vec(),
+            // Aliases the decoded buffer — the one copy was the file read.
+            bytes: v.field("bytes")?.as_bytes()?.clone(),
             version: v.field("version")?.as_int()?.max(0) as u64,
         },
     ))
@@ -102,7 +106,7 @@ impl StableStore {
             let version = map.get(&uid).map_or(1, |r| r.version + 1);
             let record = PassiveRecord {
                 type_name: type_name.to_owned(),
-                bytes,
+                bytes: Bytes::from(bytes),
                 version,
             };
             map.insert(uid, record.clone());
@@ -238,7 +242,7 @@ mod tests {
         let uid = Uid::fresh();
         let rec = PassiveRecord {
             type_name: "X".into(),
-            bytes: vec![9, 8, 7],
+            bytes: Bytes::from(vec![9, 8, 7]),
             version: 3,
         };
         let (got_uid, got) = decode_record(&encode_record(uid, &rec)).unwrap();

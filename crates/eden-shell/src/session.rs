@@ -220,6 +220,13 @@ impl Session {
                 "activations: {}, deactivations: {}, checkpoints: {}, crashes: {}",
                 s.activations, s.deactivations, s.checkpoints, s.crashes
             ),
+            {
+                let p = eden_core::payload::snapshot();
+                format!(
+                    "payload_bytes_moved: {}, payload_copies: {}, cow_breaks: {}, payload_shares: {}",
+                    p.payload_bytes_moved, p.payload_copies, p.cow_breaks, p.payload_shares
+                )
+            },
         ])
     }
 
@@ -366,6 +373,9 @@ mod tests {
         assert!(!s.execute("help").unwrap().is_empty());
         let stats = s.execute("stats").unwrap();
         assert!(stats[0].contains("invocations"));
+        assert!(stats
+            .iter()
+            .any(|l| l.contains("payload_bytes_moved") && l.contains("cow_breaks")));
         kernel.shutdown();
     }
 

@@ -86,7 +86,7 @@ impl LineSplitter {
         if buf.last() == Some(&b'\r') {
             buf.pop();
         }
-        out.emit(Value::Str(String::from_utf8_lossy(buf).into_owned()));
+        out.emit(Value::str(String::from_utf8_lossy(buf).into_owned()));
         buf.clear();
     }
 }

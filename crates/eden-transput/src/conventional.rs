@@ -253,9 +253,8 @@ impl EjectBehavior for PumpFilterEject {
                 if pulled.end {
                     transform.flush(&mut emitter);
                 }
-                let mut send = |port: OutputPort, w: WriteRequest| {
-                    let pending =
-                        pctx.invoke_routed(&mut cache, port.uid, ops::WRITE, w.to_value());
+                let mut send = |port: OutputPort, arg: Value| {
+                    let pending = pctx.invoke_routed(&mut cache, port.uid, ops::WRITE, arg);
                     pctx.wait_or_stop(pending).map(|_| ())
                 };
                 if crate::write_only::deliver(&wiring, &mut emitter, pulled.end, &mut send)

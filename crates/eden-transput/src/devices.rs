@@ -154,7 +154,7 @@ impl PullSource for TickSource {
                 ("tick", Value::Int(self.next)),
                 (
                     "display",
-                    Value::Str(format!(
+                    Value::str(format!(
                         "day {} {:02}:{:02}",
                         self.next / 1440,
                         (self.next / 60) % 24,

@@ -891,8 +891,8 @@ mod tests {
         assert_eq!(
             run.output,
             vec![
-                Value::List(vec![Value::Int(1), Value::Int(10)]),
-                Value::List(vec![Value::Int(2), Value::Int(20)]),
+                Value::list(vec![Value::Int(1), Value::Int(10)]),
+                Value::list(vec![Value::Int(2), Value::Int(20)]),
             ]
         );
         kernel.shutdown();

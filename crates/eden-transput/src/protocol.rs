@@ -124,23 +124,22 @@ impl Batch {
         self.items.is_empty()
     }
 
-    /// Encode as a reply value.
+    /// Encode as a reply value. The items move behind one shared
+    /// allocation; no record is copied.
     pub fn to_value(self) -> Value {
         Value::record([
-            ("items", Value::List(self.items)),
+            ("items", Value::list(self.items)),
             ("end", Value::Bool(self.end)),
         ])
     }
 
-    /// Decode from a reply value.
+    /// Decode from a reply value. Consumes the reply: when the reply is
+    /// the only reference (the common case) the items are moved out, not
+    /// copied.
     pub fn from_value(v: Value) -> Result<Batch> {
         let end = v.field("end")?.as_bool()?;
-        let items = match v.field_opt("items") {
-            Some(Value::List(_)) => v
-                .field("items")?
-                .clone()
-                .into_list()
-                .expect("checked list"),
+        let items = match v.take_field("items") {
+            Ok(Value::List(items)) => items.into_vec(),
             _ => return Err(EdenError::BadParameter("batch lacks `items` list".into())),
         };
         Ok(Batch { items, end })
@@ -221,21 +220,33 @@ impl WriteRequest {
         }
     }
 
-    /// Encode as an invocation argument.
+    /// Encode as an invocation argument. The items move behind one shared
+    /// allocation; no record is copied.
     pub fn to_value(self) -> Value {
+        WriteRequest::value_shared(self.channel, Value::list(self.items), self.end)
+    }
+
+    /// Encode a `Write` argument around an already-shared items list
+    /// (`items` must be a `Value::List`). This is the fan-out path: one
+    /// batch allocation is built once and every consumer's argument holds
+    /// a reference bump of it, not a copy.
+    pub fn value_shared(channel: ChannelId, items: Value, end: bool) -> Value {
+        debug_assert!(matches!(items, Value::List(_)));
         Value::record([
-            ("channel", self.channel.to_value()),
-            ("items", Value::List(self.items)),
-            ("end", Value::Bool(self.end)),
+            ("channel", channel.to_value()),
+            ("items", items),
+            ("end", Value::Bool(end)),
         ])
     }
 
-    /// Decode from an invocation argument.
+    /// Decode from an invocation argument. Consumes the argument: the
+    /// items are moved out when unaliased, spine-copied (reference bumps,
+    /// no payload bytes) when the batch is shared with other consumers.
     pub fn from_value(v: Value) -> Result<WriteRequest> {
         let channel = ChannelId::from_value(v.field("channel")?)?;
         let end = v.field("end")?.as_bool()?;
-        let items = match v.field_opt("items") {
-            Some(Value::List(items)) => items.clone(),
+        let items = match v.take_field("items") {
+            Ok(Value::List(items)) => items.into_vec(),
             _ => return Err(EdenError::BadParameter("write lacks `items` list".into())),
         };
         Ok(WriteRequest { channel, items, end })
@@ -254,7 +265,7 @@ pub struct GetChannelRequest {
 impl GetChannelRequest {
     /// Encode as an invocation argument.
     pub fn to_value(self) -> Value {
-        Value::record([("name", Value::Str(self.name))])
+        Value::record([("name", Value::from(self.name))])
     }
 
     /// Decode from an invocation argument.
@@ -318,7 +329,7 @@ mod tests {
             Value::Record(f) => f,
             _ => unreachable!(),
         };
-        fields[1].1 = Value::Int(0);
+        fields.to_mut()[1].1 = Value::Int(0);
         assert!(TransferRequest::from_value(&Value::Record(fields)).is_err());
     }
 

@@ -202,14 +202,14 @@ impl InputPuller {
                     // A partial tuple (some input ended mid-row) is
                     // discarded: zip semantics.
                     let items = if tuple.len() == self.ports.len() {
-                        vec![Value::List(tuple)]
+                        vec![Value::list(tuple)]
                     } else {
                         Vec::new()
                     };
                     Ok(PullStep { items, done: true })
                 } else {
                     Ok(PullStep {
-                        items: vec![Value::List(tuple)],
+                        items: vec![Value::list(tuple)],
                         done: false,
                     })
                 }
@@ -548,7 +548,7 @@ impl EjectBehavior for PullFilterEject {
                     let done = step.done;
                     let event = Value::record([
                         ("kind", Value::str(if done { "last" } else { "data" })),
-                        ("items", Value::List(step.items)),
+                        ("items", Value::list(step.items)),
                     ]);
                     if pctx.post_internal(event).is_err() {
                         return;
@@ -730,8 +730,8 @@ mod tests {
         assert_eq!(
             items,
             vec![
-                Value::List(vec![Value::Int(0), Value::Int(0)]),
-                Value::List(vec![Value::Int(1), Value::Int(1)]),
+                Value::list(vec![Value::Int(0), Value::Int(0)]),
+                Value::list(vec![Value::Int(1), Value::Int(1)]),
             ]
         );
         kernel.shutdown();

@@ -43,7 +43,7 @@ impl VecSource {
         I: IntoIterator<Item = S>,
         S: Into<String>,
     {
-        VecSource::new(lines.into_iter().map(|l| Value::Str(l.into())).collect())
+        VecSource::new(lines.into_iter().map(|l| Value::from(l.into())).collect())
     }
 }
 

@@ -90,7 +90,7 @@ impl TransputWriter {
 
     /// Convenience: write a text line.
     pub fn write_line(&self, line: impl Into<String>) -> Result<()> {
-        self.write(Value::Str(line.into()))
+        self.write(Value::from(line.into()))
     }
 
     /// Close the stream: readers will observe end-of-stream once the

@@ -96,6 +96,12 @@ impl OutputWiring {
 
 /// Deliver a batch of (channel, items) to every wired destination.
 /// `end` is forwarded on every channel so downstream streams close.
+///
+/// Fan-out shares one batch allocation: the items list is lifted into a
+/// single shared `Value::List` per channel and every destination's `Write`
+/// argument carries a reference bump of it — O(1) bytes moved per extra
+/// consumer, where this used to deep-copy the whole batch per branch.
+/// `send` receives the pre-encoded `Write` argument.
 pub(crate) fn deliver<F>(
     wiring: &OutputWiring,
     emitter: &mut Emitter,
@@ -103,7 +109,7 @@ pub(crate) fn deliver<F>(
     send: &mut F,
 ) -> Result<()>
 where
-    F: FnMut(OutputPort, WriteRequest) -> Result<()>,
+    F: FnMut(OutputPort, Value) -> Result<()>,
 {
     let primary = emitter.take_primary();
     let secondary = emitter.take_secondary();
@@ -112,17 +118,14 @@ where
         if ports.is_empty() {
             continue; // Unwired channel: the records fall on the floor.
         }
+        if items.is_empty() && !end {
+            continue;
+        }
+        let shared_items = Value::list(items);
         for port in ports {
-            if items.is_empty() && !end {
-                continue;
-            }
             send(
                 *port,
-                WriteRequest {
-                    channel: port.channel,
-                    items: items.clone(),
-                    end,
-                },
+                WriteRequest::value_shared(port.channel, shared_items.clone(), end),
             )?;
         }
     }
@@ -192,9 +195,9 @@ fn pctx_send(
     pctx: &ProcessContext,
     cache: &mut RouteCache,
     port: OutputPort,
-    w: WriteRequest,
+    arg: Value,
 ) -> Result<()> {
-    let pending = pctx.invoke_routed(cache, port.uid, ops::WRITE, w.to_value());
+    let pending = pctx.invoke_routed(cache, port.uid, ops::WRITE, arg);
     pctx.wait_or_stop(pending).map(|_| ())
 }
 
@@ -365,8 +368,8 @@ impl PushFilterEject {
     fn forward_sync(&mut self, ctx: &EjectContext, mut emitter: Emitter, end: bool) -> Result<()> {
         let wiring = self.wiring.clone();
         let cache = &mut self.route_cache;
-        let mut send = |port: OutputPort, w: WriteRequest| -> Result<()> {
-            ctx.invoke_routed(cache, port.uid, ops::WRITE, w.to_value())
+        let mut send = |port: OutputPort, arg: Value| -> Result<()> {
+            ctx.invoke_routed(cache, port.uid, ops::WRITE, arg)
                 .wait()
                 .map(|_| ())
         };
@@ -570,15 +573,15 @@ impl EjectBehavior for ZipPushFilterEject {
                 let mut emitter = Emitter::new();
                 for item in w.items {
                     let paired = self.pull_secondary(ctx);
-                    emitter.emit(Value::List(vec![item, paired]));
+                    emitter.emit(Value::list(vec![item, paired]));
                 }
                 if w.end {
                     self.ended = true;
                 }
                 let wiring = self.wiring.clone();
                 let cache = &mut self.route_cache;
-                let mut send = |port: OutputPort, req: WriteRequest| -> Result<()> {
-                    ctx.invoke_routed(cache, port.uid, ops::WRITE, req.to_value())
+                let mut send = |port: OutputPort, arg: Value| -> Result<()> {
+                    ctx.invoke_routed(cache, port.uid, ops::WRITE, arg)
                         .wait()
                         .map(|_| ())
                 };
@@ -773,10 +776,10 @@ mod tests {
         assert_eq!(
             items,
             vec![
-                Value::List(vec![Value::str("p0"), Value::str("s0")]),
-                Value::List(vec![Value::str("p1"), Value::str("s1")]),
+                Value::list(vec![Value::str("p0"), Value::str("s0")]),
+                Value::list(vec![Value::str("p1"), Value::str("s1")]),
                 // The secondary ran dry: padding with Unit.
-                Value::List(vec![Value::str("p2"), Value::Unit]),
+                Value::list(vec![Value::str("p2"), Value::Unit]),
             ]
         );
         kernel.shutdown();

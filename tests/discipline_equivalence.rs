@@ -321,8 +321,14 @@ proptest! {
         kernel.shutdown();
         let expected = (2 * depth as u64 + 2) * (records.max(1) as u64) + 1;
         let slack = (2 * depth as u64 + 3) * 2 + 1;
+        // Pump processes start transferring at spawn, before the builder
+        // snapshots its metrics baseline: each of the k filter pumps and
+        // the sink may get its first (parking) Transfer metered into the
+        // setup phase instead of the data phase. Bounded by k+1, never
+        // per datum.
+        let early = depth as u64 + 1;
         prop_assert!(
-            run.metrics.invocations >= expected,
+            run.metrics.invocations + early >= expected,
             "caching swallowed invocations: {} < {} at n={}, k={}",
             run.metrics.invocations,
             expected,

@@ -298,7 +298,7 @@ fn wc_over_long_stream() {
     let n = 5_000;
     let run = PipelineBuilder::new(&kernel, Discipline::ReadOnly { read_ahead: 32 })
         .source(Box::new(eden::transput::source::FnSource::new(n, |i| {
-            Value::Str(format!("line {i} with words"))
+            Value::str(format!("line {i} with words"))
         })))
         .stage(Box::new(WordCount::new()))
         .batch(64)

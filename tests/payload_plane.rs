@@ -1,0 +1,157 @@
+//! Zero-copy payload plane, observed end to end.
+//!
+//! A write-only fan-out duplicates *references*, not payloads: every
+//! branch of the tree sees the same underlying allocation, a CoW break
+//! in one branch is invisible to the others, and the data-plane meters
+//! record no extra copies as the fan-out widens.
+
+use std::sync::Mutex;
+use std::time::Duration;
+
+use eden::core::{payload, wire, Value};
+use eden::kernel::Kernel;
+use eden::transput::collector::Collector;
+use eden::transput::protocol::OUTPUT_NAME;
+use eden::transput::sink::AcceptorSinkEject;
+use eden::transput::source::VecSource;
+use eden::transput::transform::Identity;
+use eden::transput::write_only::{OutputPort, OutputWiring, PushFilterEject, PushSourceEject};
+
+/// Payload counters are process-wide; serialize the tests in this binary
+/// that assert on counter deltas so they don't see each other's traffic.
+static PAYLOAD_METER: Mutex<()> = Mutex::new(());
+
+const BODY_BYTES: usize = 64 * 1024;
+
+fn big_datum(seq: i64) -> Value {
+    Value::record([
+        ("seq", Value::Int(seq)),
+        ("body", Value::str("x".repeat(BODY_BYTES))),
+    ])
+}
+
+/// Run `data` through source → identity filter → `width` acceptor sinks,
+/// returning each branch's collected output.
+fn fan_out(kernel: &Kernel, data: Vec<Value>, width: usize) -> Vec<Vec<Value>> {
+    let mut collectors = Vec::new();
+    let mut wiring = OutputWiring::default();
+    for _ in 0..width {
+        let c = Collector::new();
+        let sink = kernel
+            .spawn(Box::new(AcceptorSinkEject::new(c.clone())))
+            .unwrap();
+        wiring.add(OUTPUT_NAME, OutputPort::primary(sink));
+        collectors.push(c);
+    }
+    let filter = kernel
+        .spawn(Box::new(PushFilterEject::new(Box::new(Identity), wiring)))
+        .unwrap();
+    let source = kernel
+        .spawn(Box::new(PushSourceEject::new(
+            Box::new(VecSource::new(data)),
+            OutputWiring::primary_to(OutputPort::primary(filter)),
+            4,
+        )))
+        .unwrap();
+    kernel.invoke_sync(source, "Start", Value::Unit).unwrap();
+    collectors
+        .into_iter()
+        .map(|c| c.wait_done(Duration::from_secs(15)).unwrap())
+        .collect()
+}
+
+fn body_text(v: &Value) -> &eden::core::Text {
+    v.field("body").unwrap().as_text().unwrap()
+}
+
+#[test]
+fn fan_out_branches_alias_one_allocation() {
+    let kernel = Kernel::new();
+    let data: Vec<Value> = (0..4).map(big_datum).collect();
+    let branches = fan_out(&kernel, data.clone(), 3);
+    kernel.shutdown();
+
+    for branch in &branches {
+        assert_eq!(branch.len(), 4);
+    }
+    for i in 0..4 {
+        let first = body_text(&branches[0][i]);
+        // Every branch's datum i shares the allocation the source built —
+        // the fan-out moved references, not 64 KiB bodies.
+        assert!(first.ptr_eq(body_text(&data[i])));
+        for branch in &branches[1..] {
+            assert!(first.ptr_eq(body_text(&branch[i])));
+        }
+    }
+}
+
+#[test]
+fn cow_break_in_one_branch_is_invisible_to_others() {
+    let kernel = Kernel::new();
+    let branches = fan_out(&kernel, vec![big_datum(7)], 2);
+    kernel.shutdown();
+
+    let theirs = branches[1][0].clone();
+    assert!(body_text(&branches[0][0]).ptr_eq(body_text(&theirs)));
+
+    // One consumer rewrites its record in place; make_mut must unshare.
+    let mut mine = branches[0][0].clone();
+    if let Value::Record(rec) = &mut mine {
+        for (name, slot) in rec.to_mut() {
+            if name.as_str() == "body" {
+                *slot = Value::str("rewritten");
+            }
+        }
+    } else {
+        panic!("expected record");
+    }
+
+    assert_eq!(mine.field("body").unwrap().as_str().unwrap(), "rewritten");
+    // The sibling branch still sees the original body, still aliased to
+    // the source allocation.
+    assert_eq!(body_text(&theirs).len(), BODY_BYTES);
+    assert!(body_text(&theirs).ptr_eq(body_text(&branches[1][0])));
+}
+
+#[test]
+fn decoded_payloads_alias_the_wire_buffer_through_fan_out() {
+    // Datums that arrive off the wire stay zero-copy all the way through
+    // a fan-out: decode_shared slices the receive buffer, and every
+    // branch aliases those slices.
+    let encoded = bytes::Bytes::from(wire::encode(&big_datum(1)));
+    let decoded = wire::decode_shared(&encoded).unwrap();
+    let range = encoded.as_ptr() as usize..encoded.as_ptr() as usize + encoded.len();
+    let body = body_text(&decoded).as_shared_bytes();
+    assert!(range.contains(&(body.as_ptr() as usize)));
+
+    let kernel = Kernel::new();
+    let branches = fan_out(&kernel, vec![decoded.clone()], 2);
+    kernel.shutdown();
+    for branch in &branches {
+        assert!(body_text(&branch[0]).ptr_eq(body_text(&decoded)));
+    }
+}
+
+#[test]
+fn fan_out_width_adds_no_payload_copies() {
+    let _guard = PAYLOAD_METER.lock().unwrap();
+    let kernel = Kernel::new();
+
+    let mut copies_by_width = Vec::new();
+    for width in [1usize, 4] {
+        let data: Vec<Value> = (0..4).map(big_datum).collect();
+        let before = payload::snapshot();
+        let branches = fan_out(&kernel, data, width);
+        let delta = payload::snapshot().since(&before);
+        assert_eq!(branches.len(), width);
+        copies_by_width.push(delta.payload_copies);
+    }
+    kernel.shutdown();
+
+    // O(1) bytes moved per extra consumer: widening the tree 1 → 4 must
+    // not add payload copies.
+    assert_eq!(
+        copies_by_width[0], copies_by_width[1],
+        "fan-out width changed payload copy count: {copies_by_width:?}"
+    );
+}
