@@ -30,7 +30,7 @@ fn checkpoint(c: &mut Criterion) {
         group.bench_function(BenchmarkId::new("checkpoint", records), |b| {
             b.iter(|| {
                 kernel
-                    .invoke_sync(file, ops::CHECKPOINT, Value::Unit)
+                    .invoke(file, ops::CHECKPOINT, Value::Unit).wait()
                     .expect("checkpoint")
             })
         });
@@ -40,13 +40,13 @@ fn checkpoint(c: &mut Criterion) {
     for records in [100usize, 10_000] {
         let file = spawn_file(&kernel, records);
         kernel
-            .invoke_sync(file, ops::CHECKPOINT, Value::Unit)
+            .invoke(file, ops::CHECKPOINT, Value::Unit).wait()
             .expect("checkpoint");
         group.bench_function(BenchmarkId::new("crash_reactivate", records), |b| {
             b.iter(|| {
                 kernel.crash(file).expect("crash");
                 let len = kernel
-                    .invoke_sync(file, "Length", Value::Unit)
+                    .invoke(file, "Length", Value::Unit).wait()
                     .expect("reactivate");
                 assert_eq!(len, Value::Int(records as i64));
             })

@@ -49,11 +49,11 @@ fn directory(c: &mut Criterion) {
         b.iter(|| {
             add_entry(&kernel, dir, "temp", eden_core::Uid::fresh()).expect("add");
             kernel
-                .invoke_sync(
+                .invoke(
                     dir,
                     eden_core::op::ops::DELETE_ENTRY,
                     Value::record([("name", Value::str("temp"))]),
-                )
+                ).wait()
                 .expect("delete");
         })
     });

@@ -22,7 +22,7 @@ fn drain(kernel: &Kernel, filter: eden_core::Uid, batch: usize) -> usize {
     loop {
         let b = Batch::from_value(
             kernel
-                .invoke_sync(filter, ops::TRANSFER, TransferRequest::primary(batch).to_value())
+                .invoke(filter, ops::TRANSFER, TransferRequest::primary(batch).to_value()).wait()
                 .expect("transfer"),
         )
         .expect("batch");

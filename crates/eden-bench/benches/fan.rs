@@ -73,7 +73,7 @@ fn fan_out(kernel: &Kernel, m: usize) {
         )))
         .expect("source");
     kernel
-        .invoke_sync(source, "Start", Value::Unit)
+        .invoke(source, "Start", Value::Unit).wait()
         .expect("start");
     for c in &collectors {
         c.wait_done(WAIT).expect("copy");

@@ -61,7 +61,7 @@ fn kernel_microbench(c: &mut Criterion) {
     group.bench_function("invoke_sync_roundtrip", |b| {
         b.iter(|| {
             kernel
-                .invoke_sync(echo, "Echo", Value::Int(42))
+                .invoke(echo, "Echo", Value::Int(42)).wait()
                 .expect("echo")
         })
     });
@@ -81,7 +81,7 @@ fn kernel_microbench(c: &mut Criterion) {
     group.bench_function("deferred_reply_roundtrip", |b| {
         b.iter(|| {
             let pending = kernel.invoke(parker, "Park", Value::Unit);
-            kernel.invoke_sync(parker, "Poke", Value::Unit).expect("poke");
+            kernel.invoke(parker, "Poke", Value::Unit).wait().expect("poke");
             pending.wait().expect("parked reply");
         })
     });
@@ -90,7 +90,7 @@ fn kernel_microbench(c: &mut Criterion) {
         b.iter(|| {
             let uid = kernel.spawn(Box::new(Echo)).expect("spawn");
             kernel
-                .invoke_sync(uid, eden_core::op::ops::DEACTIVATE, Value::Unit)
+                .invoke(uid, eden_core::op::ops::DEACTIVATE, Value::Unit).wait()
                 .expect("deactivate");
         })
     });

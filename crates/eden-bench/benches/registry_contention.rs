@@ -21,7 +21,8 @@ use std::time::Duration as BenchDuration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use eden_core::{EdenError, Value};
 use eden_kernel::{
-    EjectBehavior, EjectContext, Invocation, Kernel, KernelConfig, ReplyHandle, RouteCache,
+    EjectBehavior, EjectContext, Invocation, InvokeOptions, Kernel, KernelConfig, ReplyHandle,
+    RouteCache,
 };
 use eden_transput::transform::Identity;
 use eden_transput::{Discipline, PipelineBuilder};
@@ -65,7 +66,7 @@ fn hammer(kernel: &Kernel, threads: usize, cached: bool) {
                 let mut cache = RouteCache::new();
                 for i in 0..CALLS_PER_THREAD as i64 {
                     let pending = if cached {
-                        kernel.invoke_with_cache(&mut cache, target, "Echo", Value::Int(i))
+                        kernel.invoke_with(target, "Echo", Value::Int(i), InvokeOptions::new().route_cache(&mut cache))
                     } else {
                         kernel.invoke(target, "Echo", Value::Int(i))
                     };

@@ -7,7 +7,8 @@
 //! `BENCH_pipeline.json` plus the payload-plane report `BENCH_payload.json`
 //! (machine-readable, tracked across PRs); combine it with ids to also
 //! print those tables. `--payload-json` writes only `BENCH_payload.json`,
-//! and `--smoke` shrinks the payload workload for CI.
+//! `--chaos-json` runs the fault-plane chaos arms and writes
+//! `BENCH_chaos.json`, and `--smoke` shrinks the workloads for CI.
 
 use std::time::Instant;
 
@@ -15,6 +16,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let json = args.iter().any(|a| a == "--json");
     let payload_json = args.iter().any(|a| a == "--payload-json");
+    let chaos_json = args.iter().any(|a| a == "--chaos-json");
     let smoke = args.iter().any(|a| a == "--smoke");
     let id_args: Vec<&str> = args
         .iter()
@@ -45,7 +47,22 @@ fn main() {
             if smoke { ", smoke" } else { "" }
         );
     }
-    if (json || payload_json) && id_args.is_empty() {
+    if chaos_json {
+        let t0 = Instant::now();
+        let cfg = if smoke {
+            eden_bench::chaos_report::ChaosConfig::smoke()
+        } else {
+            eden_bench::chaos_report::ChaosConfig::full()
+        };
+        let report = eden_bench::chaos_report::chaos_report(&cfg);
+        std::fs::write("BENCH_chaos.json", &report).expect("write BENCH_chaos.json");
+        println!(
+            "wrote BENCH_chaos.json ({:.2}s{})",
+            t0.elapsed().as_secs_f64(),
+            if smoke { ", smoke" } else { "" }
+        );
+    }
+    if (json || payload_json || chaos_json) && id_args.is_empty() {
         return;
     }
     let ids: Vec<&str> = if id_args.is_empty() || id_args.contains(&"all") {

@@ -112,16 +112,16 @@ pub fn e4() -> Vec<Table> {
                 InputPort::primary(source),
             )))
             .expect("filter");
-        let copy_id = ChannelId::from_value(
+        let copy_id = ChannelId::try_from(
             &kernel
-                .invoke_sync(
+                .invoke(
                     filter,
                     ops::GET_CHANNEL,
                     GetChannelRequest {
                         name: eden_filters::COPY_NAME.to_owned(),
                     }
                     .to_value(),
-                )
+                ).wait()
                 .expect("get channel"),
         )
         .expect("channel id");
@@ -166,7 +166,7 @@ pub fn e4() -> Vec<Table> {
             )))
             .expect("push source");
         kernel
-            .invoke_sync(source, "Start", Value::Unit)
+            .invoke(source, "Start", Value::Unit).wait()
             .expect("start");
         let counts: Vec<usize> = collectors
             .iter()
@@ -308,11 +308,11 @@ pub fn e6() -> Vec<Table> {
         };
         let attempt = |channel: ChannelId| -> String {
             match kernel
-                .invoke_sync(
+                .invoke(
                     filter,
                     ops::TRANSFER,
-                    TransferRequest { channel, max: 4 }.to_value(),
-                )
+                    TransferRequest { channel, max: 4, pos: None }.to_value(),
+                ).wait()
                 .and_then(Batch::from_value)
             {
                 Ok(_) => "GRANTED".to_string(),
@@ -333,29 +333,30 @@ pub fn e6() -> Vec<Table> {
         // under primary demand — lazy transput), then read the report.
         let get = |name: &str| -> ChannelId {
             kernel
-                .invoke_sync(
+                .invoke(
                     filter,
                     ops::GET_CHANNEL,
                     GetChannelRequest {
                         name: name.to_owned(),
                     }
                     .to_value(),
-                )
-                .and_then(|v| ChannelId::from_value(&v))
+                ).wait()
+                .and_then(|v| ChannelId::try_from(&v))
                 .expect("GetChannel")
         };
         let output = get(eden_transput::protocol::OUTPUT_NAME);
         loop {
             let batch = kernel
-                .invoke_sync(
+                .invoke(
                     filter,
                     ops::TRANSFER,
                     TransferRequest {
                         channel: output,
                         max: 16,
+                        pos: None,
                     }
                     .to_value(),
-                )
+                ).wait()
                 .and_then(Batch::from_value)
                 .expect("drain primary");
             if batch.end {

@@ -39,7 +39,7 @@ pub fn e9() -> Vec<Table> {
             .expect("spawn file");
         let t0 = Instant::now();
         kernel
-            .invoke_sync(file, ops::CHECKPOINT, Value::Unit)
+            .invoke(file, ops::CHECKPOINT, Value::Unit).wait()
             .expect("checkpoint");
         let checkpoint_ms = t0.elapsed().as_secs_f64() * 1000.0;
         let stable_bytes = kernel
@@ -52,7 +52,7 @@ pub fn e9() -> Vec<Table> {
         kernel.crash(file).expect("crash");
         // First invocation reactivates.
         let len = kernel
-            .invoke_sync(file, "Length", Value::Unit)
+            .invoke(file, "Length", Value::Unit).wait()
             .expect("reactivate");
         let recover_ms = t1.elapsed().as_secs_f64() * 1000.0;
         t.row([
@@ -96,7 +96,7 @@ pub fn e10() -> Vec<Table> {
         }
         let lookup_us = t1.elapsed().as_secs_f64() * 1e6 / probes as f64;
         kernel
-            .invoke_sync(dir, ops::LIST, Value::Unit)
+            .invoke(dir, ops::LIST, Value::Unit).wait()
             .expect("list");
         let c = Collector::new();
         let t2 = Instant::now();

@@ -8,6 +8,7 @@
 
 #![warn(missing_docs)]
 
+pub mod chaos_report;
 pub mod exp_duality;
 pub mod exp_durability;
 pub mod exp_pipeline;

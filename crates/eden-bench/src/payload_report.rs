@@ -211,7 +211,7 @@ fn fanout_arm(cfg: &PayloadConfig, width: usize, deep_copy: bool) -> ArmStats {
     let records = cfg.records;
     let stats = ArmStats::measure(|| {
         kernel
-            .invoke_sync(source, "Start", Value::Unit)
+            .invoke(source, "Start", Value::Unit).wait()
             .expect("fan-out completes");
         for c in &collectors {
             let got = c.wait_done(DEADLINE).expect("branch completes");

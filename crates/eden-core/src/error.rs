@@ -51,6 +51,36 @@ pub enum EdenError {
     HostFs(String),
     /// The invoked Eject explicitly reported failure with a message.
     Application(String),
+    /// The fault injector failed this invocation on purpose. Carries the
+    /// label of the fault rule that fired, so chaos tests can tell their
+    /// own faults from organic failures.
+    FaultInjected(String),
+}
+
+impl EdenError {
+    /// Whether retrying the invocation could plausibly succeed.
+    ///
+    /// Retryable errors are the *transient* ones: a reply deadline expired
+    /// ([`EdenError::Timeout`]), the target crashed while the invocation
+    /// was outstanding ([`EdenError::EjectCrashed`] — the kernel will
+    /// reactivate a checkpointed target on the next invocation), or the
+    /// fault injector dropped the invocation on purpose
+    /// ([`EdenError::FaultInjected`]). Everything else is a property of the
+    /// request or of the system state that a retry cannot change: retrying
+    /// a `BadParameter` or a `NoSuchEject` (the target has no passive
+    /// representation to come back from) only wastes invocations.
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            EdenError::Timeout | EdenError::EjectCrashed(_) | EdenError::FaultInjected(_)
+        )
+    }
+
+    /// Whether the error is permanent: retrying cannot help. The negation
+    /// of [`EdenError::is_retryable`].
+    pub fn is_fatal(&self) -> bool {
+        !self.is_retryable()
+    }
 }
 
 impl fmt::Display for EdenError {
@@ -70,6 +100,7 @@ impl fmt::Display for EdenError {
             EdenError::CorruptCheckpoint(msg) => write!(f, "corrupt checkpoint: {msg}"),
             EdenError::HostFs(msg) => write!(f, "host filesystem error: {msg}"),
             EdenError::Application(msg) => write!(f, "application error: {msg}"),
+            EdenError::FaultInjected(label) => write!(f, "injected fault: {label}"),
         }
     }
 }
@@ -101,5 +132,30 @@ mod tests {
     fn errors_are_comparable() {
         assert_eq!(EdenError::Timeout, EdenError::Timeout);
         assert_ne!(EdenError::Timeout, EdenError::EndOfStream);
+    }
+
+    #[test]
+    fn transient_errors_are_retryable() {
+        assert!(EdenError::Timeout.is_retryable());
+        assert!(EdenError::EjectCrashed(Uid::fresh()).is_retryable());
+        assert!(EdenError::FaultInjected("chaos".into()).is_retryable());
+    }
+
+    #[test]
+    fn permanent_errors_are_fatal() {
+        for e in [
+            EdenError::NoSuchEject(Uid::fresh()),
+            EdenError::KernelShutdown,
+            EdenError::BadParameter("x".into()),
+            EdenError::NoSuchChannel("x".into()),
+            EdenError::NotAuthorized("x".into()),
+            EdenError::EndOfStream,
+            EdenError::CorruptCheckpoint("x".into()),
+            EdenError::HostFs("x".into()),
+            EdenError::Application("x".into()),
+        ] {
+            assert!(e.is_fatal(), "{e} should be fatal");
+            assert!(!e.is_retryable());
+        }
     }
 }

@@ -39,6 +39,10 @@ struct Counters {
     crashes: AtomicU64,
     route_cache_hits: AtomicU64,
     route_cache_misses: AtomicU64,
+    retries: AtomicU64,
+    faults_injected: AtomicU64,
+    reactivations: AtomicU64,
+    recovered_streams: AtomicU64,
 }
 
 impl Metrics {
@@ -115,6 +119,28 @@ impl Metrics {
         self.inner.route_cache_misses.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Record one re-sent invocation (the retry policy fired).
+    pub fn record_retry(&self) {
+        self.inner.retries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one fault deliberately injected on the invocation path.
+    pub fn record_fault_injected(&self) {
+        self.inner.faults_injected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a reactivation: an activation that rebuilt an Eject from its
+    /// passive representation (also counted in `activations`).
+    pub fn record_reactivation(&self) {
+        self.inner.reactivations.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a stream stage that resumed from its checkpoint after a
+    /// crash, picking up at the last acknowledged position.
+    pub fn record_recovered_stream(&self) {
+        self.inner.recovered_streams.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Capture the current counter values.
     pub fn snapshot(&self) -> MetricsSnapshot {
         let c = &self.inner;
@@ -133,6 +159,10 @@ impl Metrics {
             crashes: c.crashes.load(Ordering::Relaxed),
             route_cache_hits: c.route_cache_hits.load(Ordering::Relaxed),
             route_cache_misses: c.route_cache_misses.load(Ordering::Relaxed),
+            retries: c.retries.load(Ordering::Relaxed),
+            faults_injected: c.faults_injected.load(Ordering::Relaxed),
+            reactivations: c.reactivations.load(Ordering::Relaxed),
+            recovered_streams: c.recovered_streams.load(Ordering::Relaxed),
         }
     }
 }
@@ -156,6 +186,10 @@ pub struct MetricsSnapshot {
     pub crashes: u64,
     pub route_cache_hits: u64,
     pub route_cache_misses: u64,
+    pub retries: u64,
+    pub faults_injected: u64,
+    pub reactivations: u64,
+    pub recovered_streams: u64,
 }
 
 impl MetricsSnapshot {
@@ -176,6 +210,10 @@ impl MetricsSnapshot {
             crashes: self.crashes - earlier.crashes,
             route_cache_hits: self.route_cache_hits - earlier.route_cache_hits,
             route_cache_misses: self.route_cache_misses - earlier.route_cache_misses,
+            retries: self.retries - earlier.retries,
+            faults_injected: self.faults_injected - earlier.faults_injected,
+            reactivations: self.reactivations - earlier.reactivations,
+            recovered_streams: self.recovered_streams - earlier.recovered_streams,
         }
     }
 
@@ -303,6 +341,27 @@ mod tests {
         assert_eq!(delta.invocations, 1);
         assert_eq!(delta.checkpoints, 1);
         assert_eq!(delta.bytes_invoked, 10);
+    }
+
+    #[test]
+    fn fault_plane_counters_accumulate_and_diff() {
+        let m = Metrics::new();
+        m.record_retry();
+        let before = m.snapshot();
+        m.record_retry();
+        m.record_fault_injected();
+        m.record_reactivation();
+        m.record_recovered_stream();
+        let s = m.snapshot();
+        assert_eq!(s.retries, 2);
+        assert_eq!(s.faults_injected, 1);
+        assert_eq!(s.reactivations, 1);
+        assert_eq!(s.recovered_streams, 1);
+        let delta = s.since(&before);
+        assert_eq!(delta.retries, 1);
+        assert_eq!(delta.faults_injected, 1);
+        assert_eq!(delta.reactivations, 1);
+        assert_eq!(delta.recovered_streams, 1);
     }
 
     #[test]

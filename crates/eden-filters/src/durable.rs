@@ -213,9 +213,10 @@ impl DurableFilterEject {
             let req = TransferRequest {
                 channel: ChannelId::Number(self.input_channel),
                 max: self.batch,
+                pos: None,
             };
             match ctx
-                .invoke_sync(self.input, ops::TRANSFER, req.to_value())
+                .invoke(self.input, ops::TRANSFER, req.to_value()).wait()
                 .and_then(Batch::from_value)
             {
                 Ok(batch) => {
@@ -282,7 +283,7 @@ impl EjectBehavior for DurableFilterEject {
                     self.channel_names
                         .iter()
                         .position(|n| *n == req.name)
-                        .map(|idx| ChannelId::Number(idx as u32).to_value())
+                        .map(|idx| Value::from(ChannelId::Number(idx as u32)))
                         .ok_or_else(|| {
                             EdenError::NoSuchChannel(format!("no channel named `{}`", req.name))
                         })
@@ -336,7 +337,7 @@ mod tests {
     fn transfer(kernel: &Kernel, target: Uid, max: usize) -> Batch {
         Batch::from_value(
             kernel
-                .invoke_sync(target, ops::TRANSFER, TransferRequest::primary(max).to_value())
+                .invoke(target, ops::TRANSFER, TransferRequest::primary(max).to_value()).wait()
                 .unwrap(),
         )
         .unwrap()
@@ -411,15 +412,16 @@ mod tests {
             ))
             .unwrap();
         let err = kernel
-            .invoke_sync(
+            .invoke(
                 filter,
                 ops::TRANSFER,
                 TransferRequest {
                     channel: ChannelId::Cap(Uid::fresh()),
                     max: 1,
+                    pos: None,
                 }
                 .to_value(),
-            )
+            ).wait()
             .unwrap_err();
         assert!(matches!(err, EdenError::NotAuthorized(_)));
         kernel.shutdown();

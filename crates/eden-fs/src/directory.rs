@@ -221,7 +221,7 @@ impl EjectBehavior for DirConcatenatorEject {
                 let mut last_err =
                     EdenError::Application("concatenator has no directories".into());
                 for &dir in &self.directories {
-                    match ctx.invoke_sync(dir, ops::LOOKUP, inv.arg.clone()) {
+                    match ctx.invoke(dir, ops::LOOKUP, inv.arg.clone()).wait() {
                         Ok(found) => {
                             reply.reply(Ok(found));
                             return;

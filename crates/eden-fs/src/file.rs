@@ -301,7 +301,7 @@ impl EjectBehavior for FileReaderEject {
             ops::GET_CHANNEL => {
                 let result = GetChannelRequest::from_value(&inv.arg)
                     .and_then(|req| self.channels.id_of(&req.name))
-                    .map(|id| id.to_value());
+                    .map(Value::from);
                 reply.reply(result);
             }
             ops::CLOSE => {

@@ -50,33 +50,33 @@ pub fn register_fs_types(kernel: &Kernel) {
 /// Convenience: look `name` up in a directory Eject.
 pub fn lookup(kernel: &Kernel, directory: Uid, name: &str) -> Result<Uid> {
     kernel
-        .invoke_sync(
+        .invoke(
             directory,
             eden_core::op::ops::LOOKUP,
             Value::record([("name", Value::str(name))]),
-        )?
+        ).wait()?
         .as_uid()
 }
 
 /// Convenience: add a `(name, uid)` entry to a directory Eject.
 pub fn add_entry(kernel: &Kernel, directory: Uid, name: &str, uid: Uid) -> Result<()> {
     kernel
-        .invoke_sync(
+        .invoke(
             directory,
             eden_core::op::ops::ADD_ENTRY,
             Value::record([("name", Value::str(name)), ("uid", Value::Uid(uid))]),
-        )
+        ).wait()
         .map(|_| ())
 }
 
 /// Rename an entry within one directory (atomic — single-Eject dispatch).
 pub fn rename_entry(kernel: &Kernel, directory: Uid, from: &str, to: &str) -> Result<()> {
     kernel
-        .invoke_sync(
+        .invoke(
             directory,
             "Rename",
             Value::record([("from", Value::str(from)), ("to", Value::str(to))]),
-        )
+        ).wait()
         .map(|_| ())
 }
 
@@ -101,21 +101,21 @@ pub fn move_entry(
     }
     let uid = lookup(kernel, from_dir, name)?;
     add_entry(kernel, to_dir, new_name, uid)?;
-    let removed = kernel.invoke_sync(
+    let removed = kernel.invoke(
         from_dir,
         eden_core::op::ops::DELETE_ENTRY,
         Value::record([("name", Value::str(name))]),
-    );
+    ).wait();
     match removed {
         Ok(_) => Ok(()),
         Err(e) => {
             // Compensate: undo the destination insert so the move either
             // happened or it did not.
-            let _ = kernel.invoke_sync(
+            let _ = kernel.invoke(
                 to_dir,
                 eden_core::op::ops::DELETE_ENTRY,
                 Value::record([("name", Value::str(new_name))]),
-            );
+            ).wait();
             Err(e)
         }
     }

@@ -31,12 +31,12 @@ fn open_mints_private_reader_streams() {
         .unwrap();
     // Two independent opens read the full contents independently.
     let r1 = kernel
-        .invoke_sync(file, ops::OPEN, Value::Unit)
+        .invoke(file, ops::OPEN, Value::Unit).wait()
         .unwrap()
         .as_uid()
         .unwrap();
     let r2 = kernel
-        .invoke_sync(file, ops::OPEN, Value::Unit)
+        .invoke(file, ops::OPEN, Value::Unit).wait()
         .unwrap()
         .as_uid()
         .unwrap();
@@ -55,13 +55,13 @@ fn exhausted_reader_disappears() {
         .spawn(Box::new(FileEject::from_lines(["only"])))
         .unwrap();
     let reader = kernel
-        .invoke_sync(file, ops::OPEN, Value::Unit)
+        .invoke(file, ops::OPEN, Value::Unit).wait()
         .unwrap()
         .as_uid()
         .unwrap();
     let batch = Batch::from_value(
         kernel
-            .invoke_sync(reader, ops::TRANSFER, TransferRequest::primary(8).to_value())
+            .invoke(reader, ops::TRANSFER, TransferRequest::primary(8).to_value()).wait()
             .unwrap(),
     )
     .unwrap();
@@ -85,11 +85,11 @@ fn close_destroys_reader_early() {
         .spawn(Box::new(FileEject::from_lines(["a", "b"])))
         .unwrap();
     let reader = kernel
-        .invoke_sync(file, ops::OPEN, Value::Unit)
+        .invoke(file, ops::OPEN, Value::Unit).wait()
         .unwrap()
         .as_uid()
         .unwrap();
-    kernel.invoke_sync(reader, ops::CLOSE, Value::Unit).unwrap();
+    kernel.invoke(reader, ops::CLOSE, Value::Unit).wait().unwrap();
     for _ in 0..200 {
         if kernel.eject_state(reader).is_none() {
             break;
@@ -111,18 +111,18 @@ fn write_from_pulls_source_and_checkpoints() {
         ])))))
         .unwrap();
     let written = kernel
-        .invoke_sync(
+        .invoke(
             file,
             ops::WRITE_FROM,
             Value::record([("source", Value::Uid(source))]),
-        )
+        ).wait()
         .unwrap();
     assert_eq!(written, Value::Int(2));
     // The write checkpointed: crash the file and read it back.
     kernel.crash(file).unwrap();
     assert_eq!(kernel.eject_state(file), Some(EjectState::Passive));
     let reader = kernel
-        .invoke_sync(file, ops::OPEN, Value::Unit)
+        .invoke(file, ops::OPEN, Value::Unit).wait()
         .unwrap()
         .as_uid()
         .unwrap();
@@ -144,18 +144,18 @@ fn write_from_append_mode() {
         ])))))
         .unwrap();
     kernel
-        .invoke_sync(
+        .invoke(
             file,
             ops::WRITE_FROM,
             Value::record([
                 ("source", Value::Uid(source)),
                 ("mode", Value::str("append")),
             ]),
-        )
+        ).wait()
         .unwrap();
-    let len = kernel.invoke_sync(file, "Length", Value::Unit).unwrap();
+    let len = kernel.invoke(file, "Length", Value::Unit).wait().unwrap();
     assert_eq!(len, Value::Int(2));
-    let generation = kernel.invoke_sync(file, "Generation", Value::Unit).unwrap();
+    let generation = kernel.invoke(file, "Generation", Value::Unit).wait().unwrap();
     assert_eq!(generation, Value::Int(1));
     kernel.shutdown();
 }
@@ -170,13 +170,13 @@ fn file_survives_whole_system_restart() {
         file = kernel
             .spawn(Box::new(FileEject::from_lines(["durable"])))
             .unwrap();
-        kernel.invoke_sync(file, ops::CHECKPOINT, Value::Unit).unwrap();
+        kernel.invoke(file, ops::CHECKPOINT, Value::Unit).wait().unwrap();
         kernel.shutdown();
     }
     let kernel2 = Kernel::with_stable_store(KernelConfig::default(), store);
     register_fs_types(&kernel2);
     let reader = kernel2
-        .invoke_sync(file, ops::OPEN, Value::Unit)
+        .invoke(file, ops::OPEN, Value::Unit).wait()
         .unwrap()
         .as_uid()
         .unwrap();
@@ -199,11 +199,11 @@ fn directory_crud_via_invocation() {
         EdenError::Application(_)
     ));
     kernel
-        .invoke_sync(
+        .invoke(
             dir,
             ops::DELETE_ENTRY,
             Value::record([("name", Value::str("notes.txt"))]),
-        )
+        ).wait()
         .unwrap();
     assert!(lookup(&kernel, dir, "notes.txt").is_err());
     kernel.shutdown();
@@ -218,7 +218,7 @@ fn directory_listing_is_a_stream() {
     for name in ["zulu", "alpha", "mike"] {
         add_entry(&kernel, dir, name, eden_core::Uid::fresh()).unwrap();
     }
-    let count = kernel.invoke_sync(dir, ops::LIST, Value::Unit).unwrap();
+    let count = kernel.invoke(dir, ops::LIST, Value::Unit).wait().unwrap();
     assert_eq!(count, Value::Int(3));
     let lines = read_stream_fully(&kernel, dir);
     assert_eq!(lines.len(), 3);
@@ -241,7 +241,7 @@ fn directory_survives_restart() {
         dir = kernel.spawn(Box::new(DirectoryEject::new())).unwrap();
         file = eden_core::Uid::fresh();
         add_entry(&kernel, dir, "kept", file).unwrap();
-        kernel.invoke_sync(dir, ops::CHECKPOINT, Value::Unit).unwrap();
+        kernel.invoke(dir, ops::CHECKPOINT, Value::Unit).wait().unwrap();
         kernel.shutdown();
     }
     let kernel2 = Kernel::with_stable_store(KernelConfig::default(), store);
@@ -299,19 +299,19 @@ fn move_entry_compensates_on_failure() {
     // the fault window is internal to it.
     add_entry(&kernel, b, "doc", uid).unwrap();
     kernel.crash(a).unwrap();
-    let removed = kernel.invoke_sync(
+    let removed = kernel.invoke(
         a,
         ops::DELETE_ENTRY,
         Value::record([("name", Value::str("doc"))]),
-    );
+    ).wait();
     assert!(removed.is_err());
     // Compensation path: remove from B again.
     kernel
-        .invoke_sync(
+        .invoke(
             b,
             ops::DELETE_ENTRY,
             Value::record([("name", Value::str("doc"))]),
-        )
+        ).wait()
         .unwrap();
     assert!(lookup(&kernel, b, "doc").is_err());
     kernel.shutdown();
@@ -325,8 +325,8 @@ fn kernel_lists_ejects_with_types() {
     let file = kernel
         .spawn(Box::new(FileEject::from_lines(["x"])))
         .unwrap();
-    kernel.invoke_sync(file, ops::CHECKPOINT, Value::Unit).unwrap();
-    kernel.invoke_sync(file, ops::DEACTIVATE, Value::Unit).unwrap();
+    kernel.invoke(file, ops::CHECKPOINT, Value::Unit).wait().unwrap();
+    kernel.invoke(file, ops::DEACTIVATE, Value::Unit).wait().unwrap();
     for _ in 0..200 {
         if kernel.eject_state(file) == Some(EjectState::Passive) {
             break;
@@ -388,7 +388,7 @@ fn unixfs_new_stream_reads_host_file() {
     let kernel = Kernel::new();
     let ufs = kernel.spawn(Box::new(UnixFsEject::new(fs))).unwrap();
     let stream = kernel
-        .invoke_sync(ufs, ops::NEW_STREAM, new_stream_arg("motd"))
+        .invoke(ufs, ops::NEW_STREAM, new_stream_arg("motd")).wait()
         .unwrap()
         .as_uid()
         .unwrap();
@@ -402,7 +402,7 @@ fn unixfs_new_stream_missing_file_errors() {
     let kernel = Kernel::new();
     let ufs = kernel.spawn(Box::new(UnixFsEject::new(MemFs::new()))).unwrap();
     let err = kernel
-        .invoke_sync(ufs, ops::NEW_STREAM, new_stream_arg("ghost"))
+        .invoke(ufs, ops::NEW_STREAM, new_stream_arg("ghost")).wait()
         .unwrap_err();
     assert!(matches!(err, EdenError::HostFs(_)));
     kernel.shutdown();
@@ -422,7 +422,7 @@ fn unixfs_use_stream_writes_host_file() {
         ])))))
         .unwrap();
     let written = kernel
-        .invoke_sync(ufs, ops::USE_STREAM, use_stream_arg("result.txt", source))
+        .invoke(ufs, ops::USE_STREAM, use_stream_arg("result.txt", source)).wait()
         .unwrap();
     assert_eq!(written, Value::Int(2));
     assert_eq!(
@@ -441,12 +441,12 @@ fn unixfs_roundtrip_copy() {
         .spawn(Box::new(UnixFsEject::new(fs.clone())))
         .unwrap();
     let stream = kernel
-        .invoke_sync(ufs, ops::NEW_STREAM, new_stream_arg("a"))
+        .invoke(ufs, ops::NEW_STREAM, new_stream_arg("a")).wait()
         .unwrap()
         .as_uid()
         .unwrap();
     kernel
-        .invoke_sync(ufs, ops::USE_STREAM, use_stream_arg("b", stream))
+        .invoke(ufs, ops::USE_STREAM, use_stream_arg("b", stream)).wait()
         .unwrap();
     assert_eq!(fs.read("a").unwrap(), fs.read("b").unwrap());
     kernel.shutdown();
@@ -461,7 +461,7 @@ fn file_and_program_are_interchangeable_sources() {
         .spawn(Box::new(FileEject::from_lines(["same", "stream"])))
         .unwrap();
     let file_reader = kernel
-        .invoke_sync(file, ops::OPEN, Value::Unit)
+        .invoke(file, ops::OPEN, Value::Unit).wait()
         .unwrap()
         .as_uid()
         .unwrap();

@@ -47,11 +47,11 @@ proptest! {
                 DirOp::Add(k) => {
                     let name = name_of(k);
                     let uid = Uid::fresh();
-                    let got = kernel.invoke_sync(
+                    let got = kernel.invoke(
                         dir,
                         ops::ADD_ENTRY,
                         Value::record([("name", Value::str(name.clone())), ("uid", Value::Uid(uid))]),
-                    );
+                    ).wait();
                     if let std::collections::btree_map::Entry::Vacant(slot) = model.entry(name)
                     {
                         prop_assert!(got.is_ok());
@@ -62,33 +62,33 @@ proptest! {
                 }
                 DirOp::Delete(k) => {
                     let name = name_of(k);
-                    let got = kernel.invoke_sync(
+                    let got = kernel.invoke(
                         dir,
                         ops::DELETE_ENTRY,
                         Value::record([("name", Value::str(name.clone()))]),
-                    );
+                    ).wait();
                     prop_assert_eq!(got.is_ok(), model.remove(&name).is_some());
                 }
                 DirOp::Lookup(k) => {
                     let name = name_of(k);
-                    let got = kernel.invoke_sync(
+                    let got = kernel.invoke(
                         dir,
                         ops::LOOKUP,
                         Value::record([("name", Value::str(name.clone()))]),
-                    );
+                    ).wait();
                     match model.get(&name) {
                         Some(uid) => prop_assert_eq!(got.expect("hit").as_uid().expect("uid"), *uid),
                         None => prop_assert!(got.is_err()),
                     }
                 }
                 DirOp::Count => {
-                    let got = kernel.invoke_sync(dir, "Count", Value::Unit).expect("count");
+                    let got = kernel.invoke(dir, "Count", Value::Unit).wait().expect("count");
                     prop_assert_eq!(got, Value::Int(model.len() as i64));
                 }
             }
         }
         // Final listing matches the model's sorted names.
-        let count = kernel.invoke_sync(dir, ops::LIST, Value::Unit).expect("list");
+        let count = kernel.invoke(dir, ops::LIST, Value::Unit).wait().expect("list");
         prop_assert_eq!(count, Value::Int(model.len() as i64));
         kernel.shutdown();
     }
@@ -124,11 +124,11 @@ proptest! {
         for op in ops {
             match op {
                 MapOp::ReadAt { index, count } => {
-                    let got = kernel.invoke_sync(
+                    let got = kernel.invoke(
                         file,
                         "ReadAt",
                         mapfile::read_at_arg(index as i64, count as i64),
-                    );
+                    ).wait();
                     let start = index as usize;
                     if start > model.len() {
                         prop_assert!(got.is_err());
@@ -143,11 +143,11 @@ proptest! {
                         .map(|i| Value::Int(next_mark + i))
                         .collect();
                     next_mark += len as i64;
-                    let got = kernel.invoke_sync(
+                    let got = kernel.invoke(
                         file,
                         "WriteAt",
                         mapfile::write_at_arg(index as i64, items.clone()),
-                    );
+                    ).wait();
                     let start = index as usize;
                     if start > model.len() {
                         prop_assert!(got.is_err());
@@ -161,14 +161,14 @@ proptest! {
                     }
                 }
                 MapOp::Size => {
-                    let got = kernel.invoke_sync(file, "Size", Value::Unit).expect("size");
+                    let got = kernel.invoke(file, "Size", Value::Unit).wait().expect("size");
                     prop_assert_eq!(got, Value::Int(model.len() as i64));
                 }
             }
         }
         // And the stream view agrees with the final model state.
         let reader = kernel
-            .invoke_sync(file, ops::OPEN, Value::Unit)
+            .invoke(file, ops::OPEN, Value::Unit).wait()
             .expect("open")
             .as_uid()
             .expect("uid");
@@ -176,11 +176,11 @@ proptest! {
         loop {
             let batch = eden_transput::protocol::Batch::from_value(
                 kernel
-                    .invoke_sync(
+                    .invoke(
                         reader,
                         ops::TRANSFER,
                         eden_transput::protocol::TransferRequest::primary(7).to_value(),
-                    )
+                    ).wait()
                     .expect("transfer"),
             )
             .expect("batch");

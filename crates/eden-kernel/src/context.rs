@@ -21,6 +21,7 @@ use parking_lot::Mutex;
 
 use crate::invocation::{PendingReply, DEFAULT_REPLY_TIMEOUT};
 use crate::kernel::{NodeId, WeakKernel};
+use crate::options::InvokeOptions;
 use crate::routes::RouteCache;
 use crate::runtime::Envelope;
 
@@ -68,8 +69,23 @@ impl EjectContext {
         }
     }
 
-    /// Send an invocation and wait for the reply (with the default
-    /// deadline).
+    /// Send an invocation with explicit [`InvokeOptions`] (deadline, retry
+    /// policy, route cache, fault immunity).
+    pub fn invoke_with(
+        &self,
+        target: Uid,
+        op: impl Into<OpName>,
+        arg: Value,
+        opts: InvokeOptions<'_>,
+    ) -> PendingReply {
+        match self.kernel.upgrade() {
+            Some(kernel) => kernel.invoke_with_from(self.node, target, op.into(), arg, opts),
+            None => PendingReply::ready(Err(EdenError::KernelShutdown)),
+        }
+    }
+
+    /// Deprecated synchronous shim; exactly `invoke(..).wait()`.
+    #[deprecated(since = "0.3.0", note = "use `invoke(..).wait()`")]
     pub fn invoke_sync(&self, target: Uid, op: impl Into<OpName>, arg: Value) -> Result<Value> {
         self.invoke(target, op, arg).wait()
     }
@@ -87,7 +103,7 @@ impl EjectContext {
         arg: Value,
     ) -> PendingReply {
         match self.kernel.upgrade() {
-            Some(kernel) => kernel.invoke_cached(self.node, cache, target, op.into(), arg),
+            Some(kernel) => kernel.invoke_cached(self.node, cache, target, op.into(), arg, true),
             None => PendingReply::ready(Err(EdenError::KernelShutdown)),
         }
     }
@@ -122,8 +138,10 @@ impl EjectContext {
         let pctx = ProcessContext {
             eject: self.uid,
             node: self.node,
+            type_name: self.type_name,
             kernel: self.kernel.clone(),
             internal: self.internal_sender(),
+            metrics: self.metrics.clone(),
             stop: Arc::clone(&self.stop),
         };
         let handle = std::thread::Builder::new()
@@ -139,7 +157,7 @@ impl EjectContext {
     /// storage", §1).
     pub fn checkpoint(&self, representation: &Value) -> Result<()> {
         let kernel = self.kernel.upgrade().ok_or(EdenError::KernelShutdown)?;
-        kernel.store_checkpoint(self.uid, self.type_name, wire::encode(representation));
+        kernel.store_checkpoint(self.uid, self.type_name, wire::encode(representation))?;
         self.metrics.record_checkpoint();
         Ok(())
     }
@@ -191,8 +209,10 @@ impl InternalSender {
 pub struct ProcessContext {
     eject: Uid,
     node: NodeId,
+    type_name: &'static str,
     kernel: WeakKernel,
     internal: InternalSender,
+    metrics: Metrics,
     stop: Arc<AtomicBool>,
 }
 
@@ -210,7 +230,23 @@ impl ProcessContext {
         }
     }
 
-    /// Send an invocation and wait for the reply.
+    /// Send an invocation with explicit [`InvokeOptions`] (deadline, retry
+    /// policy, route cache, fault immunity).
+    pub fn invoke_with(
+        &self,
+        target: Uid,
+        op: impl Into<OpName>,
+        arg: Value,
+        opts: InvokeOptions<'_>,
+    ) -> PendingReply {
+        match self.kernel.upgrade() {
+            Some(kernel) => kernel.invoke_with_from(self.node, target, op.into(), arg, opts),
+            None => PendingReply::ready(Err(EdenError::KernelShutdown)),
+        }
+    }
+
+    /// Deprecated synchronous shim; exactly `invoke(..).wait()`.
+    #[deprecated(since = "0.3.0", note = "use `invoke(..).wait()`")]
     pub fn invoke_sync(&self, target: Uid, op: impl Into<OpName>, arg: Value) -> Result<Value> {
         self.invoke(target, op, arg).wait()
     }
@@ -227,12 +263,24 @@ impl ProcessContext {
         arg: Value,
     ) -> PendingReply {
         match self.kernel.upgrade() {
-            Some(kernel) => kernel.invoke_cached(self.node, cache, target, op.into(), arg),
+            Some(kernel) => kernel.invoke_cached(self.node, cache, target, op.into(), arg, true),
             None => PendingReply::ready(Err(EdenError::KernelShutdown)),
         }
     }
 
-    /// As [`invoke_sync`](Self::invoke_sync) but with an explicit deadline.
+    /// Write `representation` to stable storage as the owning Eject's
+    /// passive representation. Worker-driven Ejects (pumps) use this to
+    /// record stream progress from the worker itself, so a crash between
+    /// pump steps resumes from the last acknowledged position.
+    pub fn checkpoint(&self, representation: &Value) -> Result<()> {
+        let kernel = self.kernel.upgrade().ok_or(EdenError::KernelShutdown)?;
+        kernel.store_checkpoint(self.eject, self.type_name, wire::encode(representation))?;
+        self.metrics.record_checkpoint();
+        Ok(())
+    }
+
+    /// Deprecated synchronous shim; exactly `invoke(..).wait_timeout(d)`.
+    #[deprecated(since = "0.3.0", note = "use `invoke(..).wait_timeout(deadline)`")]
     pub fn invoke_sync_timeout(
         &self,
         target: Uid,

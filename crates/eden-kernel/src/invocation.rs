@@ -118,6 +118,11 @@ pub enum PendingReply {
     Waiting(Receiver<Result<Value>>),
     /// The outcome was known at send time (e.g. no such Eject).
     Ready(Option<Result<Value>>),
+    /// A reply governed by a retry policy or deadline (see
+    /// [`InvokeOptions`](crate::InvokeOptions)): retryable failures are
+    /// re-sent by whichever wait/poll call observes them, so the sender
+    /// still never suspends.
+    Retrying(Box<crate::options::RetryState>),
 }
 
 impl PendingReply {
@@ -131,7 +136,9 @@ impl PendingReply {
         self.wait_timeout(DEFAULT_REPLY_TIMEOUT)
     }
 
-    /// Block until the reply arrives or `deadline` elapses.
+    /// Block until the reply arrives or `deadline` elapses. For a retrying
+    /// reply, `deadline` bounds the whole affair — attempts, backoff
+    /// pauses, and re-sends together.
     pub fn wait_timeout(self, deadline: Duration) -> Result<Value> {
         match self {
             PendingReply::Ready(mut r) => r.take().unwrap_or(Err(EdenError::Timeout)),
@@ -142,6 +149,7 @@ impl PendingReply {
                 // impl running (only possible on panic mid-reply).
                 Err(RecvTimeoutError::Disconnected) => Err(EdenError::KernelShutdown),
             },
+            PendingReply::Retrying(state) => state.wait_timeout(deadline),
         }
     }
 
@@ -159,6 +167,7 @@ impl PendingReply {
                 Err(RecvTimeoutError::Timeout) => None,
                 Err(RecvTimeoutError::Disconnected) => Some(Err(EdenError::KernelShutdown)),
             },
+            PendingReply::Retrying(state) => state.poll_timeout(deadline),
         }
     }
 
@@ -176,6 +185,7 @@ impl PendingReply {
                     Ok(Err(EdenError::KernelShutdown))
                 }
             },
+            PendingReply::Retrying(state) => state.try_wait().map_err(PendingReply::Retrying),
         }
     }
 }

@@ -40,7 +40,9 @@ use parking_lot::{Mutex, RwLock};
 
 use crate::behavior::EjectBehavior;
 use crate::context::EjectContext;
+use crate::fault::{FaultInjector, FaultKind, FaultPlan};
 use crate::invocation::{reply_pair, Invocation, PendingReply, ReplyHandle};
+use crate::options::{InvokeOptions, RetryState};
 use crate::routes::{Route, RouteCache};
 use crate::runtime::{run_coordinator, Envelope};
 use crate::stable::StableStore;
@@ -156,6 +158,7 @@ pub(crate) struct KernelInner {
     metrics: Metrics,
     config: KernelConfig,
     trace: Option<crate::trace::TraceLog>,
+    faults: FaultInjector,
     shutting_down: AtomicBool,
 }
 
@@ -272,6 +275,7 @@ impl Kernel {
             metrics: Metrics::new(),
             config,
             trace,
+            faults: FaultInjector::default(),
             shutting_down: AtomicBool::new(false),
         };
         for uid in inner.stable.uids() {
@@ -358,11 +362,33 @@ impl Kernel {
 
     /// Send an invocation from outside the Eden system (a "user
     /// terminal"). External callers originate on node 0.
+    ///
+    /// This is the single invocation verb. It returns a [`PendingReply`]
+    /// ("the sending of an invocation does not suspend the execution of
+    /// the sending Eject", §1); recover synchronous RPC by waiting on it.
+    /// Deadlines, retry policy, route caching, and fault immunity are
+    /// configured through [`Kernel::invoke_with`].
     pub fn invoke(&self, target: Uid, op: impl Into<OpName>, arg: Value) -> PendingReply {
-        self.invoke_from(NodeId::default(), target, op.into(), arg)
+        self.invoke_inner(NodeId::default(), target, op.into(), arg, true)
     }
 
-    /// Send an invocation and wait for the reply.
+    /// [`Kernel::invoke`] with explicit [`InvokeOptions`]: an overall
+    /// per-invocation deadline, bounded retries with exponential backoff
+    /// (driven lazily by whoever waits on the reply), a caller-owned route
+    /// cache for the first delivery attempt, and fault-plan immunity.
+    pub fn invoke_with(
+        &self,
+        target: Uid,
+        op: impl Into<OpName>,
+        arg: Value,
+        opts: InvokeOptions<'_>,
+    ) -> PendingReply {
+        self.invoke_with_from(NodeId::default(), target, op.into(), arg, opts)
+    }
+
+    /// Deprecated synchronous shim. `invoke_sync(t, op, a)` is exactly
+    /// `invoke(t, op, a).wait()`.
+    #[deprecated(since = "0.3.0", note = "use `invoke(..).wait()`")]
     pub fn invoke_sync(
         &self,
         target: Uid,
@@ -372,11 +398,9 @@ impl Kernel {
         self.invoke(target, op, arg).wait()
     }
 
-    /// Like [`Kernel::invoke`], but reusing (and maintaining) a caller-owned
-    /// [`RouteCache`]. On a cache hit the registry is never touched; a stale
-    /// route falls back to the registry transparently, so the result is
-    /// indistinguishable from an uncached invocation — including
-    /// reactivation of a passive target.
+    /// Deprecated cached-route shim. Equivalent to [`Kernel::invoke_with`]
+    /// with [`InvokeOptions::route_cache`].
+    #[deprecated(since = "0.3.0", note = "use `invoke_with(.., InvokeOptions::new().route_cache(cache))`")]
     pub fn invoke_with_cache(
         &self,
         cache: &mut RouteCache,
@@ -384,7 +408,45 @@ impl Kernel {
         op: impl Into<OpName>,
         arg: Value,
     ) -> PendingReply {
-        self.invoke_cached(NodeId::default(), cache, target, op.into(), arg)
+        self.invoke_with(target, op, arg, InvokeOptions::new().route_cache(cache))
+    }
+
+    /// The options-bearing invocation path, with an explicit originating
+    /// node (Eject contexts pass their own placement).
+    pub(crate) fn invoke_with_from(
+        &self,
+        from: NodeId,
+        target: Uid,
+        op: OpName,
+        arg: Value,
+        opts: InvokeOptions<'_>,
+    ) -> PendingReply {
+        let subject = opts.subject_to_faults();
+        if !opts.needs_driver() {
+            return match opts.route_cache {
+                Some(cache) => self.invoke_cached(from, cache, target, op, arg, subject),
+                None => self.invoke_inner(from, target, op, arg, subject),
+            };
+        }
+        // Deadline or retries requested: keep the request around so the
+        // reply can re-send it. Value clones are reference bumps (the
+        // payload plane), so this costs a few pointers, not a copy.
+        let (op_kept, arg_kept) = (op.clone(), arg.clone());
+        let inner = match opts.route_cache {
+            Some(cache) => self.invoke_cached(from, cache, target, op, arg, subject),
+            None => self.invoke_inner(from, target, op, arg, subject),
+        };
+        PendingReply::Retrying(Box::new(RetryState::new(
+            self.downgrade(),
+            from,
+            target,
+            op_kept,
+            arg_kept,
+            opts.retry,
+            opts.deadline,
+            subject,
+            inner,
+        )))
     }
 
     /// Route an invocation originating on `from` to `target`, reactivating
@@ -396,8 +458,26 @@ impl Kernel {
         op: OpName,
         arg: Value,
     ) -> PendingReply {
+        self.invoke_inner(from, target, op, arg, true)
+    }
+
+    /// The uncached delivery path: shutdown check, fault decision,
+    /// resolve, dispatch.
+    pub(crate) fn invoke_inner(
+        &self,
+        from: NodeId,
+        target: Uid,
+        op: OpName,
+        arg: Value,
+        subject_to_faults: bool,
+    ) -> PendingReply {
         if self.inner.shutting_down.load(Ordering::Acquire) {
             return PendingReply::ready(Err(EdenError::KernelShutdown));
+        }
+        if subject_to_faults {
+            if let Some(faulted) = self.apply_fault(target, &op) {
+                return faulted;
+            }
         }
         let route = match self.resolve_route(target) {
             Ok(route) => route,
@@ -406,6 +486,51 @@ impl Kernel {
         let (handle, pending) = reply_pair(target, self.inner.metrics.clone());
         self.dispatch_route(from, &route, Invocation { op, arg }, handle);
         pending
+    }
+
+    /// Consult the fault injector for this delivery attempt. `Some` means
+    /// the invocation's fate was decided here (dropped, failed, or its
+    /// target crashed); `None` means deliver normally, possibly after an
+    /// injected delay. Faulted invocations never reach a mailbox and are
+    /// not metered as invocations — only `faults_injected` moves.
+    fn apply_fault(&self, target: Uid, op: &OpName) -> Option<PendingReply> {
+        if !self.inner.faults.armed() {
+            return None;
+        }
+        let decision = self.inner.faults.decide(target, op)?;
+        self.inner.metrics.record_fault_injected();
+        match decision.kind {
+            // A lost invocation, observed as the timeout it would become —
+            // immediately, so retry backoff (not a 30 s deadline) paces
+            // the recovery.
+            FaultKind::Drop => Some(PendingReply::ready(Err(EdenError::Timeout))),
+            FaultKind::Error => Some(PendingReply::ready(Err(EdenError::FaultInjected(
+                decision.label,
+            )))),
+            FaultKind::CrashTarget => {
+                // Fail-stop the target, then fail this invocation the way
+                // an in-flight invocation dies with its responder. If the
+                // target ever checkpointed, a retry reactivates it.
+                let _ = self.crash(target);
+                Some(PendingReply::ready(Err(EdenError::EjectCrashed(target))))
+            }
+            FaultKind::Delay(latency) => {
+                std::thread::sleep(latency);
+                None
+            }
+        }
+    }
+
+    /// Install a fault plan on the invocation path, replacing any previous
+    /// plan. Every delivery attempt (including retries) of a non-immune
+    /// invocation consults the plan.
+    pub fn install_faults(&self, plan: FaultPlan) {
+        self.inner.faults.install(plan);
+    }
+
+    /// Remove the installed fault plan.
+    pub fn clear_faults(&self) {
+        self.inner.faults.clear();
     }
 
     /// The cached-route invocation path. Semantically identical to
@@ -421,9 +546,15 @@ impl Kernel {
         target: Uid,
         op: OpName,
         arg: Value,
+        subject_to_faults: bool,
     ) -> PendingReply {
         if self.inner.shutting_down.load(Ordering::Acquire) {
             return PendingReply::ready(Err(EdenError::KernelShutdown));
+        }
+        if subject_to_faults {
+            if let Some(faulted) = self.apply_fault(target, &op) {
+                return faulted;
+            }
         }
         let metrics = &self.inner.metrics;
         if let Some(route) = cache.lookup(target) {
@@ -659,8 +790,10 @@ impl Kernel {
     }
 
     /// Store a checkpoint on behalf of an Eject (used by `EjectContext`).
-    pub(crate) fn store_checkpoint(&self, uid: Uid, type_name: &str, bytes: Vec<u8>) {
-        self.inner.stable.store(uid, type_name, bytes);
+    /// A checkpoint that fails to persist is *not* durable, and the error
+    /// must reach the Eject so it does not acknowledge work it would lose.
+    pub(crate) fn store_checkpoint(&self, uid: Uid, type_name: &str, bytes: Vec<u8>) -> Result<()> {
+        self.inner.stable.store(uid, type_name, bytes)
     }
 
     /// Called by a coordinator as its last act. Decides the Eject's fate:
@@ -718,6 +851,7 @@ impl Kernel {
         let state = wire::decode_shared(&record.bytes)?;
         let behavior = factory(Some(state))?;
         let node = slots.get(&uid).map(|slot| slot.node).unwrap_or_default();
+        self.inner.metrics.record_reactivation();
         self.start_coordinator(slots, uid, node, behavior)
     }
 

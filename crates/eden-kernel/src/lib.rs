@@ -42,8 +42,8 @@
 //!
 //! let kernel = Kernel::new();
 //! let acc = kernel.spawn(Box::new(Accumulator { total: 0 })).unwrap();
-//! assert_eq!(kernel.invoke_sync(acc, "Add", Value::Int(2)).unwrap(), Value::Int(2));
-//! assert_eq!(kernel.invoke_sync(acc, "Add", Value::Int(3)).unwrap(), Value::Int(5));
+//! assert_eq!(kernel.invoke(acc, "Add", Value::Int(2)).wait().unwrap(), Value::Int(2));
+//! assert_eq!(kernel.invoke(acc, "Add", Value::Int(3)).wait().unwrap(), Value::Int(5));
 //! kernel.shutdown();
 //! ```
 
@@ -51,8 +51,10 @@
 
 mod behavior;
 mod context;
+mod fault;
 mod invocation;
 mod kernel;
+mod options;
 mod routes;
 mod runtime;
 mod stable;
@@ -60,6 +62,7 @@ mod trace;
 
 pub use behavior::EjectBehavior;
 pub use context::{EjectContext, InternalSender, ProcessContext};
+pub use fault::{FaultKind, FaultPlan, FaultRule};
 pub use invocation::{
     reply_pair, Invocation, PendingReply, ReplyHandle, DEFAULT_REPLY_TIMEOUT,
 };
@@ -67,6 +70,7 @@ pub use kernel::{
     EjectInfo, EjectState, Kernel, KernelConfig, NodeId, TypeFactory, WeakKernel,
     DEFAULT_REGISTRY_SHARDS,
 };
+pub use options::{FaultExposure, InvokeOptions, RetryPolicy};
 pub use routes::{Route, RouteCache};
 pub use stable::{PassiveRecord, StableStore};
 pub use trace::TraceEvent;

@@ -100,26 +100,47 @@ impl StableStore {
     }
 
     /// Write (or overwrite) the passive representation for `uid`.
-    pub fn store(&self, uid: Uid, type_name: &str, bytes: Vec<u8>) {
-        let record = {
-            let mut map = self.inner.lock();
-            let version = map.get(&uid).map_or(1, |r| r.version + 1);
-            let record = PassiveRecord {
-                type_name: type_name.to_owned(),
-                bytes: Bytes::from(bytes),
-                version,
-            };
-            map.insert(uid, record.clone());
-            record
+    ///
+    /// `Err` means the checkpoint is **not durable** and the previous
+    /// passive representation (if any) is still in force: a persistent
+    /// store that fails the disk write rolls back the in-memory record
+    /// too, so a failed Checkpoint can never be observed as having
+    /// succeeded by a later load.
+    pub fn store(&self, uid: Uid, type_name: &str, bytes: Vec<u8>) -> Result<()> {
+        // Hold the lock across the write-through so a concurrent store
+        // cannot interleave between the map update and the file update
+        // (the rollback below restores exactly what this call displaced).
+        let mut map = self.inner.lock();
+        let prior = map.get(&uid).cloned();
+        let version = prior.as_ref().map_or(1, |r| r.version + 1);
+        let record = PassiveRecord {
+            type_name: type_name.to_owned(),
+            bytes: Bytes::from(bytes),
+            version,
         };
+        map.insert(uid, record.clone());
         if let Some(path) = self.file_for(uid) {
             // Durable write-through: write to a temp file, then rename.
             let tmp = path.with_extension("tmp");
             let encoded = encode_record(uid, &record);
-            // A failed disk write must not poison the in-memory store;
-            // durability degrades to in-memory only (surfaced at reload).
-            let _ = std::fs::write(&tmp, encoded).and_then(|()| std::fs::rename(&tmp, &path));
+            if let Err(e) =
+                std::fs::write(&tmp, encoded).and_then(|()| std::fs::rename(&tmp, &path))
+            {
+                match prior {
+                    Some(prev) => {
+                        map.insert(uid, prev);
+                    }
+                    None => {
+                        map.remove(&uid);
+                    }
+                }
+                return Err(EdenError::HostFs(format!(
+                    "checkpoint {}: {e}",
+                    path.display()
+                )));
+            }
         }
+        Ok(())
     }
 
     /// Read the passive representation for `uid`.
@@ -174,7 +195,7 @@ mod tests {
     fn store_load_roundtrip() {
         let s = StableStore::new();
         let uid = Uid::fresh();
-        s.store(uid, "File", vec![1, 2, 3]);
+        s.store(uid, "File", vec![1, 2, 3]).unwrap();
         let rec = s.load(uid).unwrap();
         assert_eq!(rec.type_name, "File");
         assert_eq!(rec.bytes, vec![1, 2, 3]);
@@ -185,8 +206,8 @@ mod tests {
     fn versions_increment() {
         let s = StableStore::new();
         let uid = Uid::fresh();
-        s.store(uid, "File", vec![1]);
-        s.store(uid, "File", vec![2]);
+        s.store(uid, "File", vec![1]).unwrap();
+        s.store(uid, "File", vec![2]).unwrap();
         assert_eq!(s.load(uid).unwrap().version, 2);
         assert_eq!(s.load(uid).unwrap().bytes, vec![2]);
     }
@@ -205,7 +226,7 @@ mod tests {
         let s = StableStore::new();
         let s2 = s.clone();
         let uid = Uid::fresh();
-        s.store(uid, "Dir", vec![9]);
+        s.store(uid, "Dir", vec![9]).unwrap();
         assert!(s2.contains(uid));
         s2.remove(uid);
         assert!(!s.contains(uid));
@@ -221,8 +242,8 @@ mod tests {
         let uid = Uid::fresh();
         {
             let s = StableStore::persistent(&dir).unwrap();
-            s.store(uid, "Counter", vec![1, 2, 3]);
-            s.store(uid, "Counter", vec![4, 5]);
+            s.store(uid, "Counter", vec![1, 2, 3]).unwrap();
+            s.store(uid, "Counter", vec![4, 5]).unwrap();
         }
         {
             let s = StableStore::persistent(&dir).unwrap();
@@ -235,6 +256,29 @@ mod tests {
         let s = StableStore::persistent(&dir).unwrap();
         assert!(!s.contains(uid));
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn failed_write_through_is_not_reported_durable() {
+        let dir = std::env::temp_dir().join(format!(
+            "eden-stable-gone-{}-{}",
+            std::process::id(),
+            Uid::fresh().seq()
+        ));
+        let s = StableStore::persistent(&dir).unwrap();
+        let uid = Uid::fresh();
+        s.store(uid, "Counter", vec![1]).unwrap();
+        // Yank the directory out from under the store: the next disk
+        // write fails, and the store must report the failure AND keep
+        // serving the last durable record, not the phantom new one.
+        std::fs::remove_dir_all(&dir).unwrap();
+        assert!(s.store(uid, "Counter", vec![2]).is_err());
+        assert_eq!(s.load(uid).unwrap().bytes, vec![1]);
+        assert_eq!(s.load(uid).unwrap().version, 1);
+        // A never-checkpointed Eject whose first store fails stays absent.
+        let fresh = Uid::fresh();
+        assert!(s.store(fresh, "Counter", vec![3]).is_err());
+        assert!(!s.contains(fresh));
     }
 
     #[test]
@@ -258,8 +302,8 @@ mod tests {
         assert!(s.is_empty());
         let a = Uid::fresh();
         let b = Uid::fresh();
-        s.store(a, "X", vec![0; 10]);
-        s.store(b, "Y", vec![0; 5]);
+        s.store(a, "X", vec![0; 10]).unwrap();
+        s.store(b, "Y", vec![0; 5]).unwrap();
         assert_eq!(s.len(), 2);
         assert_eq!(s.total_bytes(), 15);
         assert_eq!(s.uids().len(), 2);

@@ -1,0 +1,50 @@
+//! The deprecated invocation shims must keep compiling and keep meaning
+//! exactly what they meant: `invoke_sync` is `invoke(..).wait()`,
+//! `invoke_with_cache` is `invoke_with(.., route_cache(..))`. This file is
+//! the only place in the repository allowed to call them.
+#![allow(deprecated)]
+
+use eden_core::Value;
+use eden_kernel::{
+    EjectBehavior, EjectContext, Invocation, Kernel, ReplyHandle, RouteCache,
+};
+
+struct Echo;
+
+impl EjectBehavior for Echo {
+    fn type_name(&self) -> &'static str {
+        "Echo"
+    }
+    fn handle(&mut self, _ctx: &EjectContext, inv: Invocation, reply: ReplyHandle) {
+        reply.reply(Ok(inv.arg));
+    }
+}
+
+#[test]
+fn invoke_sync_shim_matches_invoke_wait() {
+    let kernel = Kernel::new();
+    let echo = kernel.spawn(Box::new(Echo)).unwrap();
+    let via_shim = kernel.invoke_sync(echo, "Echo", Value::Int(7)).unwrap();
+    let via_new = kernel.invoke(echo, "Echo", Value::Int(7)).wait().unwrap();
+    assert_eq!(via_shim, via_new);
+    kernel.shutdown();
+}
+
+#[test]
+fn invoke_with_cache_shim_matches_invoke_with() {
+    let kernel = Kernel::new();
+    let echo = kernel.spawn(Box::new(Echo)).unwrap();
+    let mut cache = RouteCache::new();
+    let first = kernel
+        .invoke_with_cache(&mut cache, echo, "Echo", Value::Int(1))
+        .wait()
+        .unwrap();
+    // A second call through the same cache takes the cached-route path.
+    let second = kernel
+        .invoke_with_cache(&mut cache, echo, "Echo", Value::Int(2))
+        .wait()
+        .unwrap();
+    assert_eq!(first, Value::Int(1));
+    assert_eq!(second, Value::Int(2));
+    kernel.shutdown();
+}

@@ -112,7 +112,7 @@ impl EjectBehavior for Cell {
 fn echo_roundtrip() {
     let kernel = Kernel::new();
     let echo = kernel.spawn(Box::new(Echo)).unwrap();
-    let got = kernel.invoke_sync(echo, "Echo", Value::str("hi")).unwrap();
+    let got = kernel.invoke(echo, "Echo", Value::str("hi")).wait().unwrap();
     assert_eq!(got.as_str().unwrap(), "hi");
     kernel.shutdown();
 }
@@ -121,7 +121,7 @@ fn echo_roundtrip() {
 fn application_errors_propagate() {
     let kernel = Kernel::new();
     let echo = kernel.spawn(Box::new(Echo)).unwrap();
-    let err = kernel.invoke_sync(echo, "Fail", Value::Unit).unwrap_err();
+    let err = kernel.invoke(echo, "Fail", Value::Unit).wait().unwrap_err();
     assert_eq!(err, EdenError::Application("requested".into()));
     kernel.shutdown();
 }
@@ -130,7 +130,7 @@ fn application_errors_propagate() {
 fn unknown_operation_is_rejected() {
     let kernel = Kernel::new();
     let echo = kernel.spawn(Box::new(Echo)).unwrap();
-    let err = kernel.invoke_sync(echo, "Bogus", Value::Unit).unwrap_err();
+    let err = kernel.invoke(echo, "Bogus", Value::Unit).wait().unwrap_err();
     assert!(matches!(err, EdenError::NoSuchOperation { .. }));
     kernel.shutdown();
 }
@@ -139,7 +139,7 @@ fn unknown_operation_is_rejected() {
 fn unknown_uid_is_rejected() {
     let kernel = Kernel::new();
     let err = kernel
-        .invoke_sync(eden_core::Uid::fresh(), "Echo", Value::Unit)
+        .invoke(eden_core::Uid::fresh(), "Echo", Value::Unit).wait()
         .unwrap_err();
     assert!(matches!(err, EdenError::NoSuchEject(_)));
     kernel.shutdown();
@@ -164,7 +164,7 @@ fn async_invocation_does_not_suspend_sender() {
 fn describe_reports_type_name() {
     let kernel = Kernel::new();
     let echo = kernel.spawn(Box::new(Echo)).unwrap();
-    let name = kernel.invoke_sync(echo, ops::DESCRIBE, Value::Unit).unwrap();
+    let name = kernel.invoke(echo, ops::DESCRIBE, Value::Unit).wait().unwrap();
     assert_eq!(name.as_str().unwrap(), "Echo");
     kernel.shutdown();
 }
@@ -176,7 +176,7 @@ fn deferred_reply_is_passive_output() {
     // Take first: the reply is parked (a "partial vacuum").
     let pending = kernel.invoke(cell, "Take", Value::Unit);
     std::thread::sleep(Duration::from_millis(20));
-    kernel.invoke_sync(cell, "Put", Value::str("datum")).unwrap();
+    kernel.invoke(cell, "Put", Value::str("datum")).wait().unwrap();
     assert_eq!(pending.wait().unwrap().as_str().unwrap(), "datum");
     assert!(kernel.metrics().snapshot().deferred_replies >= 1);
     kernel.shutdown();
@@ -188,8 +188,8 @@ fn multiple_parked_takes_serve_in_order() {
     let cell = kernel.spawn(Box::new(Cell::default())).unwrap();
     let p1 = kernel.invoke(cell, "Take", Value::Unit);
     let p2 = kernel.invoke(cell, "Take", Value::Unit);
-    kernel.invoke_sync(cell, "Put", Value::Int(1)).unwrap();
-    kernel.invoke_sync(cell, "Put", Value::Int(2)).unwrap();
+    kernel.invoke(cell, "Put", Value::Int(1)).wait().unwrap();
+    kernel.invoke(cell, "Put", Value::Int(2)).wait().unwrap();
     assert_eq!(p1.wait().unwrap(), Value::Int(1));
     assert_eq!(p2.wait().unwrap(), Value::Int(2));
     kernel.shutdown();
@@ -201,7 +201,7 @@ fn deactivate_without_checkpoint_disappears() {
     // Checkpointed, disappears".
     let kernel = Kernel::new();
     let echo = kernel.spawn(Box::new(Echo)).unwrap();
-    kernel.invoke_sync(echo, ops::DEACTIVATE, Value::Unit).unwrap();
+    kernel.invoke(echo, ops::DEACTIVATE, Value::Unit).wait().unwrap();
     // The coordinator exits asynchronously; poll for disappearance.
     for _ in 0..100 {
         if kernel.eject_state(echo).is_none() {
@@ -210,7 +210,7 @@ fn deactivate_without_checkpoint_disappears() {
         std::thread::sleep(Duration::from_millis(5));
     }
     assert_eq!(kernel.eject_state(echo), None);
-    let err = kernel.invoke_sync(echo, "Echo", Value::Unit).unwrap_err();
+    let err = kernel.invoke(echo, "Echo", Value::Unit).wait().unwrap_err();
     assert!(matches!(err, EdenError::NoSuchEject(_)));
     kernel.shutdown();
 }
@@ -225,10 +225,10 @@ fn checkpoint_then_deactivate_then_reactivate_on_invocation() {
     register_counter(&kernel);
     let counter = kernel.spawn(Box::new(Counter { count: 0 })).unwrap();
     for _ in 0..3 {
-        kernel.invoke_sync(counter, "Increment", Value::Unit).unwrap();
+        kernel.invoke(counter, "Increment", Value::Unit).wait().unwrap();
     }
-    kernel.invoke_sync(counter, ops::CHECKPOINT, Value::Unit).unwrap();
-    kernel.invoke_sync(counter, ops::DEACTIVATE, Value::Unit).unwrap();
+    kernel.invoke(counter, ops::CHECKPOINT, Value::Unit).wait().unwrap();
+    kernel.invoke(counter, ops::DEACTIVATE, Value::Unit).wait().unwrap();
     for _ in 0..100 {
         if kernel.eject_state(counter) == Some(EjectState::Passive) {
             break;
@@ -238,7 +238,7 @@ fn checkpoint_then_deactivate_then_reactivate_on_invocation() {
     assert_eq!(kernel.eject_state(counter), Some(EjectState::Passive));
     assert_eq!(kernel.passive_type_name(counter).as_deref(), Some("Counter"));
     // Invocation reactivates it with the checkpointed state.
-    let got = kernel.invoke_sync(counter, "Get", Value::Unit).unwrap();
+    let got = kernel.invoke(counter, "Get", Value::Unit).wait().unwrap();
     assert_eq!(got, Value::Int(3));
     assert_eq!(kernel.eject_state(counter), Some(EjectState::Active));
     kernel.shutdown();
@@ -249,13 +249,13 @@ fn crash_loses_post_checkpoint_state() {
     let kernel = Kernel::new();
     register_counter(&kernel);
     let counter = kernel.spawn(Box::new(Counter { count: 0 })).unwrap();
-    kernel.invoke_sync(counter, "Increment", Value::Unit).unwrap();
-    kernel.invoke_sync(counter, "Increment", Value::Unit).unwrap();
-    kernel.invoke_sync(counter, ops::CHECKPOINT, Value::Unit).unwrap();
+    kernel.invoke(counter, "Increment", Value::Unit).wait().unwrap();
+    kernel.invoke(counter, "Increment", Value::Unit).wait().unwrap();
+    kernel.invoke(counter, ops::CHECKPOINT, Value::Unit).wait().unwrap();
     // Post-checkpoint work is volatile.
-    kernel.invoke_sync(counter, "Increment", Value::Unit).unwrap();
+    kernel.invoke(counter, "Increment", Value::Unit).wait().unwrap();
     kernel.crash(counter).unwrap();
-    let got = kernel.invoke_sync(counter, "Get", Value::Unit).unwrap();
+    let got = kernel.invoke(counter, "Get", Value::Unit).wait().unwrap();
     assert_eq!(got, Value::Int(2), "state must roll back to the checkpoint");
     kernel.shutdown();
 }
@@ -285,7 +285,7 @@ fn checkpoint_on_non_checkpointing_type_fails() {
     let kernel = Kernel::new();
     let echo = kernel.spawn(Box::new(Echo)).unwrap();
     let err = kernel
-        .invoke_sync(echo, ops::CHECKPOINT, Value::Unit)
+        .invoke(echo, ops::CHECKPOINT, Value::Unit).wait()
         .unwrap_err();
     assert!(matches!(err, EdenError::Application(_)));
     kernel.shutdown();
@@ -302,14 +302,14 @@ fn whole_system_restart_from_stable_store() {
         register_counter(&kernel);
         counter = kernel.spawn(Box::new(Counter { count: 0 })).unwrap();
         for _ in 0..5 {
-            kernel.invoke_sync(counter, "Increment", Value::Unit).unwrap();
+            kernel.invoke(counter, "Increment", Value::Unit).wait().unwrap();
         }
-        kernel.invoke_sync(counter, ops::CHECKPOINT, Value::Unit).unwrap();
+        kernel.invoke(counter, ops::CHECKPOINT, Value::Unit).wait().unwrap();
         kernel.shutdown();
     }
     let kernel2 = Kernel::with_stable_store(KernelConfig::default(), store);
     register_counter(&kernel2);
-    let got = kernel2.invoke_sync(counter, "Get", Value::Unit).unwrap();
+    let got = kernel2.invoke(counter, "Get", Value::Unit).wait().unwrap();
     assert_eq!(got, Value::Int(5));
     kernel2.shutdown();
 }
@@ -321,13 +321,14 @@ fn corrupt_checkpoint_surfaces_cleanly() {
     let kernel = Kernel::new();
     register_counter(&kernel);
     let counter = kernel.spawn(Box::new(Counter { count: 3 })).unwrap();
-    kernel.invoke_sync(counter, ops::CHECKPOINT, Value::Unit).unwrap();
+    kernel.invoke(counter, ops::CHECKPOINT, Value::Unit).wait().unwrap();
     kernel.crash(counter).unwrap();
     // Corrupt the passive representation in place.
     kernel
         .stable_store()
-        .store(counter, "Counter", vec![0xff, 0x13, 0x37]);
-    let err = kernel.invoke_sync(counter, "Get", Value::Unit).unwrap_err();
+        .store(counter, "Counter", vec![0xff, 0x13, 0x37])
+        .unwrap();
+    let err = kernel.invoke(counter, "Get", Value::Unit).wait().unwrap_err();
     assert!(
         matches!(err, EdenError::CorruptCheckpoint(_)),
         "got: {err}"
@@ -342,14 +343,15 @@ fn checkpoint_with_wrong_shape_fails_reconstruction() {
     let kernel = Kernel::new();
     register_counter(&kernel);
     let counter = kernel.spawn(Box::new(Counter { count: 1 })).unwrap();
-    kernel.invoke_sync(counter, ops::CHECKPOINT, Value::Unit).unwrap();
+    kernel.invoke(counter, ops::CHECKPOINT, Value::Unit).wait().unwrap();
     kernel.crash(counter).unwrap();
     kernel.stable_store().store(
         counter,
         "Counter",
         eden_core::wire::encode(&Value::str("not a counter record")),
-    );
-    let err = kernel.invoke_sync(counter, "Get", Value::Unit).unwrap_err();
+    )
+    .unwrap();
+    let err = kernel.invoke(counter, "Get", Value::Unit).wait().unwrap_err();
     assert!(matches!(err, EdenError::BadParameter(_)), "got: {err}");
     kernel.shutdown();
 }
@@ -362,12 +364,12 @@ fn reactivation_without_registered_type_fails() {
         let kernel = Kernel::with_stable_store(KernelConfig::default(), store.clone());
         register_counter(&kernel);
         counter = kernel.spawn(Box::new(Counter { count: 0 })).unwrap();
-        kernel.invoke_sync(counter, ops::CHECKPOINT, Value::Unit).unwrap();
+        kernel.invoke(counter, ops::CHECKPOINT, Value::Unit).wait().unwrap();
         kernel.shutdown();
     }
     let kernel2 = Kernel::with_stable_store(KernelConfig::default(), store);
     // No register_type: the constructor is missing.
-    let err = kernel2.invoke_sync(counter, "Get", Value::Unit).unwrap_err();
+    let err = kernel2.invoke(counter, "Get", Value::Unit).wait().unwrap_err();
     assert!(matches!(err, EdenError::Application(_)));
     kernel2.shutdown();
 }
@@ -410,7 +412,7 @@ impl EjectBehavior for Delegator {
 fn worker_process_posts_internal_event() {
     let kernel = Kernel::new();
     let d = kernel.spawn(Box::new(Delegator { parked: None })).unwrap();
-    let got = kernel.invoke_sync(d, "Compute", Value::Int(9)).unwrap();
+    let got = kernel.invoke(d, "Compute", Value::Int(9)).wait().unwrap();
     assert_eq!(got, Value::Int(81));
     assert!(kernel.metrics().snapshot().internal_messages >= 1);
     kernel.shutdown();
@@ -421,7 +423,7 @@ fn invocations_after_shutdown_fail_fast() {
     let kernel = Kernel::new();
     let echo = kernel.spawn(Box::new(Echo)).unwrap();
     kernel.shutdown();
-    let err = kernel.invoke_sync(echo, "Echo", Value::Unit).unwrap_err();
+    let err = kernel.invoke(echo, "Echo", Value::Unit).wait().unwrap_err();
     assert_eq!(err, EdenError::KernelShutdown);
 }
 
@@ -456,7 +458,7 @@ fn metrics_count_invocations_and_replies() {
     let echo = kernel.spawn(Box::new(Echo)).unwrap();
     let before = kernel.metrics().snapshot();
     for _ in 0..10 {
-        kernel.invoke_sync(echo, "Echo", Value::str("x")).unwrap();
+        kernel.invoke(echo, "Echo", Value::str("x")).wait().unwrap();
     }
     let delta = kernel.metrics().snapshot().since(&before);
     assert_eq!(delta.invocations, 10);
@@ -472,8 +474,8 @@ fn cross_node_invocations_are_counted_remote() {
     let local = kernel.spawn_on(NodeId(0), Box::new(Echo)).unwrap();
     let remote = kernel.spawn_on(NodeId(1), Box::new(Echo)).unwrap();
     let before = kernel.metrics().snapshot();
-    kernel.invoke_sync(local, "Echo", Value::Unit).unwrap();
-    kernel.invoke_sync(remote, "Echo", Value::Unit).unwrap();
+    kernel.invoke(local, "Echo", Value::Unit).wait().unwrap();
+    kernel.invoke(remote, "Echo", Value::Unit).wait().unwrap();
     let delta = kernel.metrics().snapshot().since(&before);
     assert_eq!(delta.invocations, 2);
     assert_eq!(delta.remote_invocations, 1);
@@ -492,14 +494,14 @@ fn eject_to_eject_invocation() {
             "Forwarder"
         }
         fn handle(&mut self, ctx: &EjectContext, inv: Invocation, reply: ReplyHandle) {
-            let result = ctx.invoke_sync(self.next, inv.op, inv.arg);
+            let result = ctx.invoke(self.next, inv.op, inv.arg).wait();
             reply.reply(result);
         }
     }
     let kernel = Kernel::new();
     let echo = kernel.spawn(Box::new(Echo)).unwrap();
     let fwd = kernel.spawn(Box::new(Forwarder { next: echo })).unwrap();
-    let got = kernel.invoke_sync(fwd, "Echo", Value::str("via")).unwrap();
+    let got = kernel.invoke(fwd, "Echo", Value::str("via")).wait().unwrap();
     assert_eq!(got.as_str().unwrap(), "via");
     kernel.shutdown();
 }
@@ -516,7 +518,7 @@ fn concurrent_clients_are_serialized_per_eject() {
         let done = Arc::clone(&done);
         handles.push(std::thread::spawn(move || {
             for _ in 0..50 {
-                k.invoke_sync(counter, "Increment", Value::Unit).unwrap();
+                k.invoke(counter, "Increment", Value::Unit).wait().unwrap();
             }
             done.fetch_add(1, Ordering::SeqCst);
         }));
@@ -524,7 +526,7 @@ fn concurrent_clients_are_serialized_per_eject() {
     for h in handles {
         h.join().unwrap();
     }
-    let got = kernel.invoke_sync(counter, "Get", Value::Unit).unwrap();
+    let got = kernel.invoke(counter, "Get", Value::Unit).wait().unwrap();
     assert_eq!(got, Value::Int(400));
     kernel.shutdown();
 }
@@ -538,7 +540,7 @@ fn injected_latency_slows_invocations() {
     let echo = kernel.spawn(Box::new(Echo)).unwrap();
     let start = std::time::Instant::now();
     for _ in 0..4 {
-        kernel.invoke_sync(echo, "Echo", Value::Unit).unwrap();
+        kernel.invoke(echo, "Echo", Value::Unit).wait().unwrap();
     }
     assert!(start.elapsed() >= Duration::from_millis(20));
     kernel.shutdown();

@@ -51,8 +51,8 @@ fn concurrent_invocations_reactivate_exactly_once() {
     let kernel = Kernel::new();
     kernel.register_type("Counter", Counter::from_passive);
     let counter = kernel.spawn(Box::new(Counter { count: 0 })).unwrap();
-    kernel.invoke_sync(counter, ops::CHECKPOINT, Value::Unit).unwrap();
-    kernel.invoke_sync(counter, ops::DEACTIVATE, Value::Unit).unwrap();
+    kernel.invoke(counter, ops::CHECKPOINT, Value::Unit).wait().unwrap();
+    kernel.invoke(counter, ops::DEACTIVATE, Value::Unit).wait().unwrap();
     for _ in 0..200 {
         if kernel.eject_state(counter) == Some(EjectState::Passive) {
             break;
@@ -69,7 +69,7 @@ fn concurrent_invocations_reactivate_exactly_once() {
             let barrier = Arc::clone(&barrier);
             std::thread::spawn(move || {
                 barrier.wait();
-                kernel.invoke_sync(counter, "Increment", Value::Unit).unwrap()
+                kernel.invoke(counter, "Increment", Value::Unit).wait().unwrap()
             })
         })
         .collect();
@@ -81,7 +81,7 @@ fn concurrent_invocations_reactivate_exactly_once() {
         delta.activations, 1,
         "exactly one reactivation despite 16 racing invokers"
     );
-    let got = kernel.invoke_sync(counter, "Get", Value::Unit).unwrap();
+    let got = kernel.invoke(counter, "Get", Value::Unit).wait().unwrap();
     assert_eq!(got, Value::Int(16), "no increment lost or duplicated");
     kernel.shutdown();
 }
@@ -94,7 +94,7 @@ fn crash_reactivate_cycles_under_load() {
     let kernel = Kernel::new();
     kernel.register_type("Counter", Counter::from_passive);
     let counter = kernel.spawn(Box::new(Counter { count: 0 })).unwrap();
-    kernel.invoke_sync(counter, ops::CHECKPOINT, Value::Unit).unwrap();
+    kernel.invoke(counter, ops::CHECKPOINT, Value::Unit).wait().unwrap();
 
     let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
     let clients: Vec<_> = (0..4)
@@ -105,7 +105,7 @@ fn crash_reactivate_cycles_under_load() {
                 let mut ok = 0u64;
                 let mut faults = 0u64;
                 while !stop.load(std::sync::atomic::Ordering::Relaxed) {
-                    match kernel.invoke_sync(counter, "Increment", Value::Unit) {
+                    match kernel.invoke(counter, "Increment", Value::Unit).wait() {
                         Ok(_) => ok += 1,
                         Err(
                             EdenError::EjectCrashed(_)
@@ -133,7 +133,7 @@ fn crash_reactivate_cycles_under_load() {
     // The counter still answers and its state is a valid roll-back point
     // (>= 0, <= total successful increments).
     let got = kernel
-        .invoke_sync(counter, "Get", Value::Unit)
+        .invoke(counter, "Get", Value::Unit).wait()
         .unwrap()
         .as_int()
         .unwrap();
@@ -148,10 +148,10 @@ fn eject_lifecycle_soak() {
     let kernel = Kernel::new();
     for i in 0..5_000i64 {
         let c = kernel.spawn(Box::new(Counter { count: i })).unwrap();
-        let got = kernel.invoke_sync(c, "Get", Value::Unit).unwrap();
+        let got = kernel.invoke(c, "Get", Value::Unit).wait().unwrap();
         assert_eq!(got, Value::Int(i));
         kernel
-            .invoke_sync(c, ops::DEACTIVATE, Value::Unit)
+            .invoke(c, ops::DEACTIVATE, Value::Unit).wait()
             .unwrap();
     }
     for _ in 0..500 {
@@ -190,7 +190,7 @@ fn shutdown_under_traffic_terminates() {
             std::thread::spawn(move || {
                 let mut results = 0u64;
                 for i in 0..10_000 {
-                    match kernel.invoke_sync(echo, "Echo", Value::Int(i)) {
+                    match kernel.invoke(echo, "Echo", Value::Int(i)).wait() {
                         Ok(_) => results += 1,
                         Err(EdenError::KernelShutdown | EdenError::EjectCrashed(_)) => break,
                         Err(other) => panic!("unexpected: {other}"),

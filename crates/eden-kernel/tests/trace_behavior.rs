@@ -35,7 +35,7 @@ fn invocations_appear_in_the_trace() {
     let kernel = traced_kernel();
     let echo = kernel.spawn(Box::new(Echo)).unwrap();
     for _ in 0..3 {
-        kernel.invoke_sync(echo, "Echo", Value::Unit).unwrap();
+        kernel.invoke(echo, "Echo", Value::Unit).wait().unwrap();
     }
     let events = kernel.trace_events();
     let invokes = events
@@ -56,9 +56,9 @@ fn per_target_tallies() {
     let busy = kernel.spawn(Box::new(Echo)).unwrap();
     let quiet = kernel.spawn(Box::new(Echo)).unwrap();
     for _ in 0..5 {
-        kernel.invoke_sync(busy, "Echo", Value::Unit).unwrap();
+        kernel.invoke(busy, "Echo", Value::Unit).wait().unwrap();
     }
-    kernel.invoke_sync(quiet, "Echo", Value::Unit).unwrap();
+    kernel.invoke(quiet, "Echo", Value::Unit).wait().unwrap();
     let tallies = kernel.invocations_by_target();
     assert_eq!(tallies[0], (busy, 5));
     assert_eq!(tallies[1], (quiet, 1));
@@ -81,7 +81,7 @@ fn crash_is_traced_as_stop() {
 fn remote_invocations_render_remote() {
     let kernel = traced_kernel();
     let far = kernel.spawn_on(NodeId(2), Box::new(Echo)).unwrap();
-    kernel.invoke_sync(far, "Echo", Value::Unit).unwrap();
+    kernel.invoke(far, "Echo", Value::Unit).wait().unwrap();
     let rendered: Vec<String> = kernel.trace_events().iter().map(|e| e.to_string()).collect();
     assert!(
         rendered.iter().any(|l| l.contains("remote")),
@@ -94,7 +94,7 @@ fn remote_invocations_render_remote() {
 fn tracing_disabled_by_default() {
     let kernel = Kernel::new();
     let echo = kernel.spawn(Box::new(Echo)).unwrap();
-    kernel.invoke_sync(echo, "Echo", Value::Unit).unwrap();
+    kernel.invoke(echo, "Echo", Value::Unit).wait().unwrap();
     assert!(kernel.trace_events().is_empty());
     assert!(kernel.invocations_by_target().is_empty());
     kernel.shutdown();

@@ -107,7 +107,7 @@ impl ShellEnv {
                 let directory = self.directory.ok_or_else(|| {
                     EdenError::BadParameter("no directory attached; `dir` unavailable".into())
                 })?;
-                self.kernel.invoke_sync(directory, ops::LIST, Value::Unit)?;
+                self.kernel.invoke(directory, ops::LIST, Value::Unit).wait()?;
                 builder.source_eject(directory)
             }
         };
@@ -176,7 +176,7 @@ impl ShellEnv {
         })?;
         let file = lookup(&self.kernel, directory, name)?;
         self.kernel
-            .invoke_sync(file, ops::OPEN, Value::Unit)?
+            .invoke(file, ops::OPEN, Value::Unit).wait()?
             .as_uid()
     }
 
@@ -198,7 +198,7 @@ impl ShellEnv {
             EdenError::BadParameter("no UnixFs attached; `unix` sources unavailable".into())
         })?;
         self.kernel
-            .invoke_sync(unixfs, ops::NEW_STREAM, new_stream_arg(path))?
+            .invoke(unixfs, ops::NEW_STREAM, new_stream_arg(path)).wait()?
             .as_uid()
     }
 
@@ -218,11 +218,11 @@ impl ShellEnv {
                 })?;
                 let file = lookup(&self.kernel, directory, name)?;
                 self.kernel
-                    .invoke_sync(
+                    .invoke(
                         file,
                         ops::WRITE_FROM,
                         Value::record([("source", Value::Uid(source))]),
-                    )
+                    ).wait()
                     .map(|_| ())
             }
             SinkSpec::Unix(path) => {
@@ -230,7 +230,7 @@ impl ShellEnv {
                     EdenError::BadParameter("no UnixFs attached for `> unix`".into())
                 })?;
                 self.kernel
-                    .invoke_sync(unixfs, ops::USE_STREAM, use_stream_arg(path, source))
+                    .invoke(unixfs, ops::USE_STREAM, use_stream_arg(path, source)).wait()
                     .map(|_| ())
             }
         }

@@ -137,15 +137,15 @@ impl Session {
     fn ls(&self) -> Result<Vec<String>> {
         let count = self
             .kernel
-            .invoke_sync(self.home, ops::LIST, Value::Unit)?
+            .invoke(self.home, ops::LIST, Value::Unit).wait()?
             .as_int()?;
         let mut lines = Vec::with_capacity(count as usize);
         loop {
-            let batch = eden_transput::protocol::Batch::from_value(self.kernel.invoke_sync(
+            let batch = eden_transput::protocol::Batch::from_value(self.kernel.invoke(
                 self.home,
                 ops::TRANSFER,
                 eden_transput::protocol::TransferRequest::primary(32).to_value(),
-            )?)?;
+            ).wait()?)?;
             for item in batch.items {
                 lines.push(render(&item));
             }
@@ -160,15 +160,15 @@ impl Session {
         let file = self.named_file(args, "cat")?;
         let reader = self
             .kernel
-            .invoke_sync(file, ops::OPEN, Value::Unit)?
+            .invoke(file, ops::OPEN, Value::Unit).wait()?
             .as_uid()?;
         let mut lines = Vec::new();
         loop {
-            let batch = eden_transput::protocol::Batch::from_value(self.kernel.invoke_sync(
+            let batch = eden_transput::protocol::Batch::from_value(self.kernel.invoke(
                 reader,
                 ops::TRANSFER,
                 eden_transput::protocol::TransferRequest::primary(32).to_value(),
-            )?)?;
+            ).wait()?)?;
             for item in batch.items {
                 lines.push(render(&item));
             }
@@ -183,17 +183,17 @@ impl Session {
         let name = args
             .first()
             .ok_or_else(|| EdenError::BadParameter("rm: need a name".into()))?;
-        self.kernel.invoke_sync(
+        self.kernel.invoke(
             self.home,
             ops::DELETE_ENTRY,
             Value::record([("name", Value::str(*name))]),
-        )?;
+        ).wait()?;
         Ok(vec![format!("removed {name}")])
     }
 
     fn checkpoint(&self, args: &[&str]) -> Result<Vec<String>> {
         let file = self.named_file(args, "checkpoint")?;
-        self.kernel.invoke_sync(file, ops::CHECKPOINT, Value::Unit)?;
+        self.kernel.invoke(file, ops::CHECKPOINT, Value::Unit).wait()?;
         Ok(vec![format!("checkpointed {}", args[0])])
     }
 
@@ -219,6 +219,10 @@ impl Session {
             format!(
                 "activations: {}, deactivations: {}, checkpoints: {}, crashes: {}",
                 s.activations, s.deactivations, s.checkpoints, s.crashes
+            ),
+            format!(
+                "faults injected: {}, retries: {}, reactivations: {}, recovered streams: {}",
+                s.faults_injected, s.retries, s.reactivations, s.recovered_streams
             ),
             {
                 let p = eden_core::payload::snapshot();

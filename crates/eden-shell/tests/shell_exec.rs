@@ -89,7 +89,7 @@ fn file_source_and_sink() {
         .unwrap();
     assert_eq!(run.output_lines(), vec!["keep me"]);
     // The target file received the stream.
-    let len = kernel.invoke_sync(output, "Length", Value::Unit).unwrap();
+    let len = kernel.invoke(output, "Length", Value::Unit).wait().unwrap();
     assert_eq!(len, Value::Int(1));
     kernel.shutdown();
 }
@@ -207,7 +207,7 @@ fn listing_a_directory_through_the_shell() {
     add_entry(&kernel, dir, "home", home).unwrap();
     add_entry(&kernel, dir, "zoo", eden_core::Uid::fresh()).unwrap();
     // Prepare the listing, then read the directory itself as a source.
-    kernel.invoke_sync(dir, ops::LIST, Value::Unit).unwrap();
+    kernel.invoke(dir, ops::LIST, Value::Unit).wait().unwrap();
     let env = plain_env(&kernel);
     // There is no `dir` source kind; use the builder path via `file`-less
     // eject reading — covered by the transput tests. Here we check the

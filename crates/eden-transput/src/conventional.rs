@@ -240,6 +240,7 @@ impl EjectBehavior for PumpFilterEject {
                 let req = TransferRequest {
                     channel,
                     max: batch,
+                    pos: None,
                 };
                 let pending = pctx.invoke_routed(&mut cache, upstream, ops::TRANSFER, req.to_value());
                 let pulled = match pctx.wait_or_stop(pending).and_then(Batch::from_value) {
@@ -295,11 +296,11 @@ mod tests {
         // Read first: parks (passive output with no data).
         let pending = kernel.invoke(buf, ops::TRANSFER, TransferRequest::primary(2).to_value());
         kernel
-            .invoke_sync(
+            .invoke(
                 buf,
                 ops::WRITE,
                 WriteRequest::more(vec![Value::Int(1), Value::Int(2)]).to_value(),
-            )
+            ).wait()
             .unwrap();
         let batch = Batch::from_value(pending.wait().unwrap()).unwrap();
         assert_eq!(batch.items, vec![Value::Int(1), Value::Int(2)]);
@@ -312,11 +313,11 @@ mod tests {
         let kernel = Kernel::new();
         let buf = kernel.spawn(Box::new(PassiveBufferEject::new(2))).unwrap();
         kernel
-            .invoke_sync(
+            .invoke(
                 buf,
                 ops::WRITE,
                 WriteRequest::more(vec![Value::Int(1), Value::Int(2)]).to_value(),
-            )
+            ).wait()
             .unwrap();
         // Buffer is at capacity: the next write parks.
         let parked = kernel.invoke(
@@ -325,16 +326,16 @@ mod tests {
             WriteRequest::more(vec![Value::Int(3)]).to_value(),
         );
         std::thread::sleep(Duration::from_millis(20));
-        let occ = kernel.invoke_sync(buf, "Occupancy", Value::Unit).unwrap();
+        let occ = kernel.invoke(buf, "Occupancy", Value::Unit).wait().unwrap();
         assert_eq!(occ, Value::Int(2), "parked write must not be admitted yet");
         // Draining readmits the parked write and acks its writer.
         let got = kernel
-            .invoke_sync(buf, ops::TRANSFER, TransferRequest::primary(2).to_value())
+            .invoke(buf, ops::TRANSFER, TransferRequest::primary(2).to_value()).wait()
             .unwrap();
         assert_eq!(Batch::from_value(got).unwrap().len(), 2);
         parked.wait().unwrap();
         let got = kernel
-            .invoke_sync(buf, ops::TRANSFER, TransferRequest::primary(2).to_value())
+            .invoke(buf, ops::TRANSFER, TransferRequest::primary(2).to_value()).wait()
             .unwrap();
         assert_eq!(
             Batch::from_value(got).unwrap().items,
@@ -348,14 +349,14 @@ mod tests {
         let kernel = Kernel::new();
         let buf = kernel.spawn(Box::new(PassiveBufferEject::new(8))).unwrap();
         kernel
-            .invoke_sync(
+            .invoke(
                 buf,
                 ops::WRITE,
                 WriteRequest::last(vec![Value::Int(1)]).to_value(),
-            )
+            ).wait()
             .unwrap();
         let got = kernel
-            .invoke_sync(buf, ops::TRANSFER, TransferRequest::primary(4).to_value())
+            .invoke(buf, ops::TRANSFER, TransferRequest::primary(4).to_value()).wait()
             .unwrap();
         let batch = Batch::from_value(got).unwrap();
         assert_eq!(batch.items, vec![Value::Int(1)]);
@@ -389,7 +390,7 @@ mod tests {
         kernel
             .spawn(Box::new(SinkEject::new(pipe_out, 4, collector.clone())))
             .unwrap();
-        kernel.invoke_sync(src, "Start", Value::Unit).unwrap();
+        kernel.invoke(src, "Start", Value::Unit).wait().unwrap();
         let items = collector.wait_done(Duration::from_secs(10)).unwrap();
         assert_eq!(items, (0..12).map(|i| Value::Int(i * 10)).collect::<Vec<_>>());
         kernel.shutdown();
@@ -412,7 +413,7 @@ mod tests {
         kernel
             .spawn(Box::new(SinkEject::new(pipe, 1, collector.clone())))
             .unwrap();
-        kernel.invoke_sync(src, "Start", Value::Unit).unwrap();
+        kernel.invoke(src, "Start", Value::Unit).wait().unwrap();
         let items = collector.wait_done(Duration::from_secs(10)).unwrap();
         assert_eq!(items.len(), 20);
         kernel.shutdown();
@@ -423,14 +424,14 @@ mod tests {
         let kernel = Kernel::new();
         let buf = kernel.spawn(Box::new(PassiveBufferEject::new(4))).unwrap();
         kernel
-            .invoke_sync(buf, ops::WRITE, WriteRequest::last(vec![]).to_value())
+            .invoke(buf, ops::WRITE, WriteRequest::last(vec![]).to_value()).wait()
             .unwrap();
         let err = kernel
-            .invoke_sync(
+            .invoke(
                 buf,
                 ops::WRITE,
                 WriteRequest::more(vec![Value::Int(1)]).to_value(),
-            )
+            ).wait()
             .unwrap_err();
         assert!(matches!(err, EdenError::Application(_)));
         kernel.shutdown();

@@ -81,6 +81,7 @@ impl EjectBehavior for WindowEject {
                     let req = TransferRequest {
                         channel: sub.channel,
                         max: batch,
+                        pos: None,
                     };
                     let pending = pctx.invoke(sub.source, ops::TRANSFER, req.to_value());
                     match pctx.wait_or_stop(pending).and_then(Batch::from_value) {

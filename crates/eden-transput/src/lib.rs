@@ -50,6 +50,7 @@ pub mod devices;
 pub mod pipeline;
 pub mod protocol;
 pub mod read_only;
+pub mod recovery;
 pub mod sink;
 pub mod source;
 pub mod stdio;
@@ -61,4 +62,8 @@ pub use channels::{ChannelPolicy, ChannelSpec, ChannelTable};
 pub use collector::Collector;
 pub use pipeline::{Discipline, Pipeline, PipelineBuilder, PipelineRun};
 pub use protocol::{Batch, ChannelId, TransferRequest, WriteRequest};
+pub use recovery::{
+    install_recovery, run_recoverable_pipeline, RecoveryDiscipline, RecoveryRun,
+    TransformRegistry,
+};
 pub use transform::{Emitter, Transform};

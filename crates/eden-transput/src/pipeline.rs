@@ -437,15 +437,15 @@ fn build_read_only(
         prev_channel = match policy {
             ChannelPolicy::Integer => ChannelId::output(),
             ChannelPolicy::Capability => {
-                let id_value = w.kernel.invoke_sync(
+                let id_value = w.kernel.invoke(
                     prev,
                     ops::GET_CHANNEL,
                     GetChannelRequest {
                         name: crate::protocol::OUTPUT_NAME.to_owned(),
                     }
                     .to_value(),
-                )?;
-                ChannelId::from_value(&id_value)?
+                ).wait()?;
+                ChannelId::try_from(&id_value)?
             }
         };
     }
@@ -456,15 +456,15 @@ fn build_read_only(
         let filter = *filter_uids.get(tap.stage).ok_or_else(|| {
             EdenError::BadParameter(format!("tap names stage {} of {}", tap.stage, filter_uids.len()))
         })?;
-        let id_value = w.kernel.invoke_sync(
+        let id_value = w.kernel.invoke(
             filter,
             ops::GET_CHANNEL,
             GetChannelRequest {
                 name: tap.channel.clone(),
             }
             .to_value(),
-        )?;
-        let id = ChannelId::from_value(&id_value)?;
+        ).wait()?;
+        let id = ChannelId::try_from(&id_value)?;
         w.defer(Box::new(SinkEject::on_channel(
             filter,
             id,

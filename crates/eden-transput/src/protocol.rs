@@ -50,17 +50,23 @@ impl ChannelId {
     pub fn report() -> ChannelId {
         ChannelId::Number(CHANNEL_REPORT)
     }
+}
 
-    /// Encode for transport inside an invocation argument.
-    pub fn to_value(self) -> Value {
-        match self {
+/// Encode for transport inside an invocation argument.
+impl From<ChannelId> for Value {
+    fn from(id: ChannelId) -> Value {
+        match id {
             ChannelId::Number(n) => Value::Int(i64::from(n)),
             ChannelId::Cap(uid) => Value::Uid(uid),
         }
     }
+}
 
-    /// Decode from an invocation argument.
-    pub fn from_value(v: &Value) -> Result<ChannelId> {
+/// Decode from an invocation argument.
+impl TryFrom<&Value> for ChannelId {
+    type Error = EdenError;
+
+    fn try_from(v: &Value) -> Result<ChannelId> {
         match v {
             Value::Int(n) if *n >= 0 && *n <= i64::from(u32::MAX) => {
                 Ok(ChannelId::Number(*n as u32))
@@ -154,6 +160,14 @@ pub struct TransferRequest {
     pub channel: ChannelId,
     /// Upper bound on records returned; sources may return fewer.
     pub max: usize,
+    /// Stream position of the first record wanted, counted from the start
+    /// of the stream. `None` means "wherever you left off" (the classic
+    /// stateful protocol). A position doubles as a cumulative
+    /// acknowledgement: a source that sees `pos = n` knows records before
+    /// `n` were delivered and may discard them, and a *recovered* source
+    /// re-serves from `n` exactly — this is what makes a `Transfer` retry
+    /// after a crash lose and duplicate nothing.
+    pub pos: Option<u64>,
 }
 
 impl TransferRequest {
@@ -162,29 +176,45 @@ impl TransferRequest {
         TransferRequest {
             channel: ChannelId::output(),
             max,
+            pos: None,
         }
+    }
+
+    /// The same request pinned to an absolute stream position.
+    pub fn at(mut self, pos: u64) -> TransferRequest {
+        self.pos = Some(pos);
+        self
     }
 
     /// Encode as an invocation argument.
     pub fn to_value(self) -> Value {
-        Value::record([
-            ("channel", self.channel.to_value()),
+        let mut fields = vec![
+            ("channel", Value::from(self.channel)),
             ("max", Value::Int(self.max as i64)),
-        ])
+        ];
+        if let Some(pos) = self.pos {
+            fields.push(("pos", Value::Int(pos as i64)));
+        }
+        Value::record(fields)
     }
 
     /// Decode from an invocation argument.
     pub fn from_value(v: &Value) -> Result<TransferRequest> {
-        let channel = ChannelId::from_value(v.field("channel")?)?;
+        let channel = ChannelId::try_from(v.field("channel")?)?;
         let max = v.field("max")?.as_int()?;
         if max <= 0 {
             return Err(EdenError::BadParameter(format!(
                 "Transfer max must be positive, got {max}"
             )));
         }
+        let pos = match v.field_opt("pos") {
+            Some(p) => Some(p.as_int()?.max(0) as u64),
+            None => None,
+        };
         Ok(TransferRequest {
             channel,
             max: max as usize,
+            pos,
         })
     }
 }
@@ -199,6 +229,13 @@ pub struct WriteRequest {
     pub items: Vec<Value>,
     /// True if this is the final write on the stream.
     pub end: bool,
+    /// Stream position of the first record in `items`, counted from the
+    /// start of the stream. `None` means "append" (the classic protocol).
+    /// A sequenced receiver compares `seq` with how many records it has
+    /// already accepted and skips the overlap, so a `Write` re-sent after
+    /// a crash (whose predecessor may or may not have landed) duplicates
+    /// nothing.
+    pub seq: Option<u64>,
 }
 
 impl WriteRequest {
@@ -208,6 +245,7 @@ impl WriteRequest {
             channel: ChannelId::output(),
             items,
             end: false,
+            seq: None,
         }
     }
 
@@ -217,13 +255,20 @@ impl WriteRequest {
             channel: ChannelId::output(),
             items,
             end: true,
+            seq: None,
         }
+    }
+
+    /// The same write pinned to an absolute stream position.
+    pub fn at(mut self, seq: u64) -> WriteRequest {
+        self.seq = Some(seq);
+        self
     }
 
     /// Encode as an invocation argument. The items move behind one shared
     /// allocation; no record is copied.
     pub fn to_value(self) -> Value {
-        WriteRequest::value_shared(self.channel, Value::list(self.items), self.end)
+        WriteRequest::value_shared_at(self.channel, Value::list(self.items), self.end, self.seq)
     }
 
     /// Encode a `Write` argument around an already-shared items list
@@ -231,25 +276,44 @@ impl WriteRequest {
     /// batch allocation is built once and every consumer's argument holds
     /// a reference bump of it, not a copy.
     pub fn value_shared(channel: ChannelId, items: Value, end: bool) -> Value {
+        WriteRequest::value_shared_at(channel, items, end, None)
+    }
+
+    /// [`WriteRequest::value_shared`] with an explicit stream position for
+    /// the first item.
+    pub fn value_shared_at(channel: ChannelId, items: Value, end: bool, seq: Option<u64>) -> Value {
         debug_assert!(matches!(items, Value::List(_)));
-        Value::record([
-            ("channel", channel.to_value()),
+        let mut fields = vec![
+            ("channel", Value::from(channel)),
             ("items", items),
             ("end", Value::Bool(end)),
-        ])
+        ];
+        if let Some(seq) = seq {
+            fields.push(("seq", Value::Int(seq as i64)));
+        }
+        Value::record(fields)
     }
 
     /// Decode from an invocation argument. Consumes the argument: the
     /// items are moved out when unaliased, spine-copied (reference bumps,
     /// no payload bytes) when the batch is shared with other consumers.
     pub fn from_value(v: Value) -> Result<WriteRequest> {
-        let channel = ChannelId::from_value(v.field("channel")?)?;
+        let channel = ChannelId::try_from(v.field("channel")?)?;
         let end = v.field("end")?.as_bool()?;
+        let seq = match v.field_opt("seq") {
+            Some(s) => Some(s.as_int()?.max(0) as u64),
+            None => None,
+        };
         let items = match v.take_field("items") {
             Ok(Value::List(items)) => items.into_vec(),
             _ => return Err(EdenError::BadParameter("write lacks `items` list".into())),
         };
-        Ok(WriteRequest { channel, items, end })
+        Ok(WriteRequest {
+            channel,
+            items,
+            end,
+            seq,
+        })
     }
 }
 
@@ -287,14 +351,14 @@ mod tests {
             ChannelId::Number(7),
             ChannelId::Cap(Uid::fresh()),
         ] {
-            assert_eq!(ChannelId::from_value(&id.to_value()).unwrap(), id);
+            assert_eq!(ChannelId::try_from(&Value::from(id)).unwrap(), id);
         }
     }
 
     #[test]
     fn channel_id_rejects_garbage() {
-        assert!(ChannelId::from_value(&Value::str("zero")).is_err());
-        assert!(ChannelId::from_value(&Value::Int(-1)).is_err());
+        assert!(ChannelId::try_from(&Value::str("zero")).is_err());
+        assert!(ChannelId::try_from(&Value::Int(-1)).is_err());
     }
 
     #[test]
@@ -318,6 +382,7 @@ mod tests {
         let r = TransferRequest {
             channel: ChannelId::report(),
             max: 32,
+            pos: None,
         };
         assert_eq!(TransferRequest::from_value(&r.to_value()).unwrap(), r);
     }
@@ -339,8 +404,25 @@ mod tests {
             channel: ChannelId::Cap(Uid::fresh()),
             items: vec![Value::str("a")],
             end: true,
+            seq: None,
         };
         assert_eq!(WriteRequest::from_value(w.clone().to_value()).unwrap(), w);
+    }
+
+    #[test]
+    fn positional_requests_roundtrip() {
+        let t = TransferRequest::primary(8).at(1000);
+        assert_eq!(TransferRequest::from_value(&t.to_value()).unwrap(), t);
+        let w = WriteRequest::more(vec![Value::Int(1)]).at(42);
+        assert_eq!(WriteRequest::from_value(w.clone().to_value()).unwrap(), w);
+        // Requests without a position decode with `None`, so old-style
+        // senders interoperate with sequenced receivers.
+        assert_eq!(
+            TransferRequest::from_value(&TransferRequest::primary(8).to_value())
+                .unwrap()
+                .pos,
+            None
+        );
     }
 
     #[test]

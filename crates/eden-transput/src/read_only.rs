@@ -163,6 +163,7 @@ impl InputPuller {
                     TransferRequest {
                         channel: port.channel,
                         max: batch,
+                        pos: None,
                     },
                 )?;
                 if b.end {
@@ -186,6 +187,7 @@ impl InputPuller {
                         TransferRequest {
                             channel: port.channel,
                             max: 1,
+                            pos: None,
                         },
                     )?;
                     if b.items.is_empty() {
@@ -572,7 +574,7 @@ impl EjectBehavior for PullFilterEject {
             ops::GET_CHANNEL => {
                 let result = GetChannelRequest::from_value(&inv.arg)
                     .and_then(|req| self.channels.id_of(&req.name))
-                    .map(|id| id.to_value());
+                    .map(Value::from);
                 reply.reply(result);
             }
             _ => reply.reply(Err(EdenError::NoSuchOperation {
@@ -781,15 +783,16 @@ mod tests {
             )))
             .unwrap();
         let err = kernel
-            .invoke_sync(
+            .invoke(
                 filter,
                 ops::TRANSFER,
                 TransferRequest {
                     channel: ChannelId::Number(5),
                     max: 1,
+                    pos: None,
                 }
                 .to_value(),
-            )
+            ).wait()
             .unwrap_err();
         assert!(matches!(err, EdenError::NoSuchChannel(_)));
         kernel.shutdown();
@@ -806,7 +809,7 @@ mod tests {
             )))
             .unwrap();
         let got = kernel
-            .invoke_sync(filter, ops::TRANSFER, TransferRequest::primary(4).to_value())
+            .invoke(filter, ops::TRANSFER, TransferRequest::primary(4).to_value()).wait()
             .unwrap();
         let batch = Batch::from_value(got).unwrap();
         assert!(batch.is_empty() && batch.end);

@@ -1,0 +1,1282 @@
+//! Checkpoint-driven stream recovery: pipelines that survive fail-stop
+//! crashes of any stage without losing or duplicating a record.
+//!
+//! §7 of the paper observes that an Eject which has checkpointed survives a
+//! crash as its passive representation and is "automatically reactivated by
+//! the Eden kernel when it is next invoked". This module turns that
+//! mechanism into an end-to-end guarantee for streams, in all three
+//! disciplines, by combining three ingredients:
+//!
+//! 1. **Positions on the wire.** Every `Transfer` carries the reader's
+//!    absolute stream position ([`TransferRequest::pos`]) and every `Write`
+//!    the absolute position of its first record ([`WriteRequest::seq`]).
+//!    The position doubles as a cumulative acknowledgement: a producer may
+//!    discard records below the highest position it has served, and a
+//!    receiver skips the overlap of a re-sent batch.
+//! 2. **Checkpoint before reply.** Every recoverable stage writes its
+//!    passive representation to the [`StableStore`] *before* acknowledging
+//!    an invocation, so the stable state never claims more progress than
+//!    the peers have observed.
+//! 3. **Retry against a reactivating kernel.** Stream invocations travel
+//!    with a [`RetryPolicy`]; a retry of an invocation whose target crashed
+//!    reactivates the target from its checkpoint (activation on invocation,
+//!    §1), and the re-sent position makes the repeat idempotent.
+//!
+//! Together these give exactly-once delivery across a fail-stop crash of
+//! any single stage — and, because every window between checkpoint and
+//! acknowledgement is closed by the position arithmetic, across repeated
+//! crashes too, provided the mounted [`Transform`]s are **deterministic
+//! and per-record** (a re-run of an unacknowledged input must reproduce
+//! byte-identical output; sorters and other whole-stream buffers are out of
+//! scope). Secondary emission channels are not forwarded by the recovery
+//! adapters.
+//!
+//! Active stages (the write-only pump, the conventional pumps) receive no
+//! stream invocations, so a crashed one would stay passive forever; the
+//! driving loop in [`run_recoverable_pipeline`] "nudges" every active stage
+//! with a fault-immune `Describe` while it waits, which reactivates any
+//! that have crashed.
+//!
+//! [`StableStore`]: eden_kernel::StableStore
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use eden_core::op::ops;
+use eden_core::{EdenError, Result, Uid, Value};
+use eden_kernel::{
+    EjectBehavior, EjectContext, Invocation, InvokeOptions, Kernel, ReplyHandle, RetryPolicy,
+};
+
+use crate::protocol::{Batch, TransferRequest, WriteRequest};
+use crate::transform::{Emitter, Transform};
+
+/// The operation a [`run_recoverable_pipeline`] driver uses to read the
+/// terminal acceptor: replies with a [`Batch`] of everything accepted so
+/// far, `end` set once the stream has closed. Keeping the output *inside*
+/// the acceptor's checkpoint (rather than pushing it to an external
+/// collector) is what lets the terminal stage recover exactly: the records
+/// and the position that acknowledges them are one atomic state.
+pub const READ_ALL: &str = "ReadAll";
+
+/// How often a polling worker re-asks an empty buffer.
+const POLL: Duration = Duration::from_millis(1);
+
+/// The retry policy stream invocations travel with: patient enough to ride
+/// out a reactivation, fast enough that the chaos benchmarks measure
+/// recovery latency rather than backoff pauses.
+fn stream_opts() -> InvokeOptions<'static> {
+    InvokeOptions::new()
+        .retry(
+            RetryPolicy::retries(24)
+                .base_delay(Duration::from_millis(1))
+                .max_delay(Duration::from_millis(25)),
+        )
+        .deadline(Duration::from_secs(20))
+}
+
+/// Options for control-plane traffic (starting pumps, polling the
+/// acceptor, nudging crashed stages): immune to the fault plan, so chaos
+/// experiments perturb the stream itself, not the experiment's harness.
+fn control_opts() -> InvokeOptions<'static> {
+    InvokeOptions::new()
+        .immune()
+        .retry(RetryPolicy::retries(8).base_delay(Duration::from_millis(1)))
+}
+
+/// A constructor for one named, deterministic [`Transform`].
+pub type TransformFactory = fn() -> Box<dyn Transform>;
+
+/// A named catalogue of transform constructors, used to rebuild a stage's
+/// [`Transform`] on reactivation (function state is not checkpointable;
+/// determinism makes rebuilding equivalent).
+#[derive(Clone, Default)]
+pub struct TransformRegistry {
+    map: Arc<HashMap<String, TransformFactory>>,
+}
+
+impl TransformRegistry {
+    /// Build a registry from `(name, constructor)` pairs.
+    pub fn new(entries: &[(&str, TransformFactory)]) -> TransformRegistry {
+        TransformRegistry {
+            map: Arc::new(
+                entries
+                    .iter()
+                    .map(|(n, f)| ((*n).to_owned(), *f))
+                    .collect(),
+            ),
+        }
+    }
+
+    /// Construct a fresh transform. The empty name is the identity
+    /// (pass-through) transform; unknown names are an error.
+    fn build(&self, name: &str) -> Result<Option<Box<dyn Transform>>> {
+        if name.is_empty() {
+            return Ok(None);
+        }
+        match self.map.get(name) {
+            Some(f) => Ok(Some(f())),
+            None => Err(EdenError::Application(format!(
+                "no transform named `{name}` in the recovery registry"
+            ))),
+        }
+    }
+}
+
+/// Feed `items` through an optional transform, collecting primary output.
+fn apply(transform: &mut Option<Box<dyn Transform>>, items: Vec<Value>) -> Vec<Value> {
+    match transform {
+        None => items,
+        Some(t) => {
+            let mut out = Emitter::new();
+            for item in items {
+                t.push(item, &mut out);
+            }
+            out.take_primary()
+        }
+    }
+}
+
+/// Flush an optional transform (input ended), collecting primary output.
+fn flush(transform: &mut Option<Box<dyn Transform>>) -> Vec<Value> {
+    match transform {
+        None => Vec::new(),
+        Some(t) => {
+            let mut out = Emitter::new();
+            t.flush(&mut out);
+            out.take_primary()
+        }
+    }
+}
+
+fn items_field(v: &Value, name: &str) -> Result<Vec<Value>> {
+    v.field(name)?.as_list().map(<[Value]>::to_vec)
+}
+
+fn uint_field(v: &Value, name: &str) -> Result<u64> {
+    Ok(v.field(name)?.as_int()?.max(0) as u64)
+}
+
+// ---------------------------------------------------------------------------
+// RecoverableSource — positional passive output over a fixed record list.
+// ---------------------------------------------------------------------------
+
+/// A source whose whole record list lives in its checkpoint. Serving is
+/// pure position arithmetic, so a reactivated source re-serves any
+/// unacknowledged suffix byte-for-byte.
+pub struct RecoverableSource {
+    items: Vec<Value>,
+    /// Fallback cursor for non-positional readers.
+    cursor: u64,
+    recovered: bool,
+}
+
+impl RecoverableSource {
+    /// A fresh source over `items`.
+    pub fn new(items: Vec<Value>) -> RecoverableSource {
+        RecoverableSource {
+            items,
+            cursor: 0,
+            recovered: false,
+        }
+    }
+
+    fn state(&self) -> Value {
+        Value::record([
+            ("items", Value::list(self.items.clone())),
+            ("cursor", Value::Int(self.cursor as i64)),
+        ])
+    }
+
+    fn from_state(v: Value) -> Result<RecoverableSource> {
+        Ok(RecoverableSource {
+            items: items_field(&v, "items")?,
+            cursor: uint_field(&v, "cursor")?,
+            recovered: true,
+        })
+    }
+}
+
+impl EjectBehavior for RecoverableSource {
+    fn type_name(&self) -> &'static str {
+        "RecoverableSource"
+    }
+
+    fn activate(&mut self, ctx: &EjectContext) {
+        if self.recovered {
+            ctx.metrics().record_recovered_stream();
+        }
+        // Durable from birth: a crash before the first Transfer must leave
+        // a reactivatable Eject, not a vanished one.
+        let _ = ctx.checkpoint(&self.state());
+    }
+
+    fn handle(&mut self, ctx: &EjectContext, inv: Invocation, reply: ReplyHandle) {
+        match inv.op.as_str() {
+            ops::TRANSFER => {
+                let req = match TransferRequest::from_value(&inv.arg) {
+                    Ok(req) => req,
+                    Err(e) => return reply.reply(Err(e)),
+                };
+                let pos = (req.pos.unwrap_or(self.cursor) as usize).min(self.items.len());
+                let n = req.max.min(self.items.len() - pos);
+                let batch = Batch {
+                    items: self.items[pos..pos + n].to_vec(),
+                    end: pos + n == self.items.len(),
+                };
+                self.cursor = (pos + n) as u64;
+                if let Err(e) = ctx.checkpoint(&self.state()) {
+                    return reply.reply(Err(e));
+                }
+                reply.reply(Ok(batch.to_value()));
+            }
+            _ => reply.reply(Err(EdenError::NoSuchOperation {
+                target: ctx.uid(),
+                op: inv.op,
+            })),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// RecoverablePullFilter — read-only discipline (active input, passive
+// output), with positional replay.
+// ---------------------------------------------------------------------------
+
+/// A read-only filter that checkpoints `{input consumed, output buffer}`
+/// before every reply. Its output buffer retains records until the
+/// downstream position acknowledges them, so a reader retrying after a
+/// crash (its own, or this filter's) re-reads exactly what it missed.
+pub struct RecoverablePullFilter {
+    transform_name: String,
+    transform: Option<Box<dyn Transform>>,
+    upstream: Uid,
+    /// Input records consumed from upstream (doubles as our pull position).
+    consumed: u64,
+    /// Upstream ended and the transform has flushed.
+    in_end: bool,
+    /// Stream position of `buf[0]`.
+    base: u64,
+    /// Produced but not yet acknowledged output.
+    buf: Vec<Value>,
+    pull_batch: usize,
+    recovered: bool,
+}
+
+impl RecoverablePullFilter {
+    /// A fresh filter running `transform_name` (from `registry`) over
+    /// `upstream`, pulling `pull_batch` records per upstream Transfer.
+    pub fn new(
+        transform_name: &str,
+        registry: &TransformRegistry,
+        upstream: Uid,
+        pull_batch: usize,
+    ) -> Result<RecoverablePullFilter> {
+        Ok(RecoverablePullFilter {
+            transform_name: transform_name.to_owned(),
+            transform: registry.build(transform_name)?,
+            upstream,
+            consumed: 0,
+            in_end: false,
+            base: 0,
+            buf: Vec::new(),
+            pull_batch: pull_batch.max(1),
+            recovered: false,
+        })
+    }
+
+    fn state(&self) -> Value {
+        Value::record([
+            ("transform", Value::str(self.transform_name.clone())),
+            ("upstream", Value::Uid(self.upstream)),
+            ("consumed", Value::Int(self.consumed as i64)),
+            ("in_end", Value::Bool(self.in_end)),
+            ("base", Value::Int(self.base as i64)),
+            ("buf", Value::list(self.buf.clone())),
+            ("batch", Value::Int(self.pull_batch as i64)),
+        ])
+    }
+
+    fn from_state(v: Value, registry: &TransformRegistry) -> Result<RecoverablePullFilter> {
+        let name = v.field("transform")?.as_str()?.to_owned();
+        Ok(RecoverablePullFilter {
+            transform: registry.build(&name)?,
+            transform_name: name,
+            upstream: v.field("upstream")?.as_uid()?,
+            consumed: uint_field(&v, "consumed")?,
+            in_end: v.field("in_end")?.as_bool()?,
+            base: uint_field(&v, "base")?,
+            buf: items_field(&v, "buf")?,
+            pull_batch: uint_field(&v, "batch")?.max(1) as usize,
+            recovered: true,
+        })
+    }
+
+    /// Pull upstream until `want` output records are buffered or the input
+    /// ends. Upstream crashes are ridden out by the retry policy; the
+    /// retried Transfer carries `consumed`, so the reactivated upstream
+    /// re-serves from exactly where this filter left off.
+    fn fill(&mut self, ctx: &EjectContext, want: usize) -> Result<()> {
+        while !self.in_end && self.buf.len() < want {
+            let req = TransferRequest::primary(self.pull_batch).at(self.consumed);
+            let reply = ctx
+                .invoke_with(self.upstream, ops::TRANSFER, req.to_value(), stream_opts())
+                .wait_timeout(Duration::from_secs(20))?;
+            let pulled = Batch::from_value(reply)?;
+            self.consumed += pulled.items.len() as u64;
+            let mut produced = apply(&mut self.transform, pulled.items);
+            if pulled.end {
+                produced.extend(flush(&mut self.transform));
+                self.in_end = true;
+            }
+            self.buf.extend(produced);
+        }
+        Ok(())
+    }
+}
+
+impl EjectBehavior for RecoverablePullFilter {
+    fn type_name(&self) -> &'static str {
+        "RecoverablePullFilter"
+    }
+
+    fn activate(&mut self, ctx: &EjectContext) {
+        if self.recovered {
+            ctx.metrics().record_recovered_stream();
+        }
+        let _ = ctx.checkpoint(&self.state());
+    }
+
+    fn handle(&mut self, ctx: &EjectContext, inv: Invocation, reply: ReplyHandle) {
+        match inv.op.as_str() {
+            ops::TRANSFER => {
+                let req = match TransferRequest::from_value(&inv.arg) {
+                    Ok(req) => req,
+                    Err(e) => return reply.reply(Err(e)),
+                };
+                let pos = req.pos.unwrap_or(self.base);
+                if pos < self.base {
+                    // The acknowledged prefix is gone; a position below it
+                    // means the reader rewound further than we retained.
+                    return reply.reply(Err(EdenError::BadParameter(format!(
+                        "position {pos} below retained base {}",
+                        self.base
+                    ))));
+                }
+                // The position acknowledges everything before it.
+                let acked = ((pos - self.base) as usize).min(self.buf.len());
+                self.buf.drain(..acked);
+                self.base = pos;
+                if let Err(e) = self.fill(ctx, req.max) {
+                    return reply.reply(Err(e));
+                }
+                let n = req.max.min(self.buf.len());
+                let batch = Batch {
+                    items: self.buf[..n].to_vec(),
+                    end: self.in_end && n == self.buf.len(),
+                };
+                // Checkpoint before reply: the stable state must not claim
+                // more progress than the reader has seen.
+                if let Err(e) = ctx.checkpoint(&self.state()) {
+                    return reply.reply(Err(e));
+                }
+                reply.reply(Ok(batch.to_value()));
+            }
+            _ => reply.reply(Err(EdenError::NoSuchOperation {
+                target: ctx.uid(),
+                op: inv.op,
+            })),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Write-only discipline: RecoverablePushSource, RecoverablePushFilter,
+// RecoverableAcceptor.
+// ---------------------------------------------------------------------------
+
+/// The write-only pump with a durable write position: a worker drains the
+/// record list into sequenced `Write`s, checkpointing after each
+/// acknowledgement. Reactivation resumes the pump from the checkpointed
+/// position; the receiver's sequence arithmetic absorbs any overlap.
+pub struct RecoverablePushSource {
+    items: Vec<Value>,
+    downstream: Uid,
+    w: u64,
+    started: bool,
+    done: bool,
+    batch: usize,
+    recovered: bool,
+}
+
+impl RecoverablePushSource {
+    /// A fresh pump of `items` into `downstream`, `batch` records per
+    /// write.
+    pub fn new(items: Vec<Value>, downstream: Uid, batch: usize) -> RecoverablePushSource {
+        RecoverablePushSource {
+            items,
+            downstream,
+            w: 0,
+            started: false,
+            done: false,
+            batch: batch.max(1),
+            recovered: false,
+        }
+    }
+
+    fn state_value(items: &[Value], downstream: Uid, w: u64, started: bool, done: bool, batch: usize) -> Value {
+        Value::record([
+            ("items", Value::list(items.to_vec())),
+            ("downstream", Value::Uid(downstream)),
+            ("w", Value::Int(w as i64)),
+            ("started", Value::Bool(started)),
+            ("done", Value::Bool(done)),
+            ("batch", Value::Int(batch as i64)),
+        ])
+    }
+
+    fn state(&self) -> Value {
+        Self::state_value(&self.items, self.downstream, self.w, self.started, self.done, self.batch)
+    }
+
+    fn from_state(v: Value) -> Result<RecoverablePushSource> {
+        Ok(RecoverablePushSource {
+            items: items_field(&v, "items")?,
+            downstream: v.field("downstream")?.as_uid()?,
+            w: uint_field(&v, "w")?,
+            started: v.field("started")?.as_bool()?,
+            done: v.field("done")?.as_bool()?,
+            batch: uint_field(&v, "batch")?.max(1) as usize,
+            recovered: true,
+        })
+    }
+
+    fn spawn_pump(&self, ctx: &EjectContext) {
+        let items = self.items.clone();
+        let downstream = self.downstream;
+        let batch = self.batch;
+        let mut w = self.w;
+        ctx.spawn_process("push-pump", move |pctx| {
+            while !pctx.should_stop() {
+                let end = w as usize + batch >= items.len();
+                let slice = items[(w as usize).min(items.len())..(w as usize + batch).min(items.len())].to_vec();
+                let n = slice.len() as u64;
+                let req = WriteRequest {
+                    channel: Default::default(),
+                    items: slice,
+                    end,
+                    seq: Some(w),
+                };
+                let pending =
+                    pctx.invoke_with(downstream, ops::WRITE, req.to_value(), stream_opts());
+                match pctx.wait_or_stop(pending) {
+                    Ok(_) => {
+                        w += n;
+                        let _ = pctx.checkpoint(&RecoverablePushSource::state_value(
+                            &items, downstream, w, true, end, batch,
+                        ));
+                        if end {
+                            return;
+                        }
+                    }
+                    Err(EdenError::KernelShutdown) => return,
+                    // Retries exhausted under heavy fault load: pause and
+                    // keep pumping from the same position rather than
+                    // stranding the stream.
+                    Err(_) => std::thread::sleep(POLL),
+                }
+            }
+        });
+    }
+}
+
+impl EjectBehavior for RecoverablePushSource {
+    fn type_name(&self) -> &'static str {
+        "RecoverablePushSource"
+    }
+
+    fn activate(&mut self, ctx: &EjectContext) {
+        if self.recovered {
+            ctx.metrics().record_recovered_stream();
+        }
+        let _ = ctx.checkpoint(&self.state());
+        if self.started && !self.done {
+            self.spawn_pump(ctx);
+        }
+    }
+
+    fn handle(&mut self, ctx: &EjectContext, inv: Invocation, reply: ReplyHandle) {
+        match inv.op.as_str() {
+            "Start" => {
+                if !self.started {
+                    self.started = true;
+                    if let Err(e) = ctx.checkpoint(&self.state()) {
+                        return reply.reply(Err(e));
+                    }
+                    self.spawn_pump(ctx);
+                }
+                reply.reply(Ok(Value::Unit));
+            }
+            _ => reply.reply(Err(EdenError::NoSuchOperation {
+                target: ctx.uid(),
+                op: inv.op,
+            })),
+        }
+    }
+}
+
+/// A write-only filter: passive, sequenced input; active, sequenced
+/// output. The checkpoint records `{input accepted, output forwarded}`;
+/// forwarding happens *before* the checkpoint, and the checkpoint before
+/// the acknowledgement, so every crash window resolves to a re-send that
+/// the sequence arithmetic deduplicates.
+pub struct RecoverablePushFilter {
+    transform_name: String,
+    transform: Option<Box<dyn Transform>>,
+    downstream: Uid,
+    /// Input records accepted.
+    r: u64,
+    /// Output records forwarded and acknowledged.
+    w: u64,
+    ended: bool,
+    recovered: bool,
+}
+
+impl RecoverablePushFilter {
+    /// A fresh filter running `transform_name` over writes, forwarding to
+    /// `downstream`.
+    pub fn new(
+        transform_name: &str,
+        registry: &TransformRegistry,
+        downstream: Uid,
+    ) -> Result<RecoverablePushFilter> {
+        Ok(RecoverablePushFilter {
+            transform_name: transform_name.to_owned(),
+            transform: registry.build(transform_name)?,
+            downstream,
+            r: 0,
+            w: 0,
+            ended: false,
+            recovered: false,
+        })
+    }
+
+    fn state(&self) -> Value {
+        Value::record([
+            ("transform", Value::str(self.transform_name.clone())),
+            ("downstream", Value::Uid(self.downstream)),
+            ("r", Value::Int(self.r as i64)),
+            ("w", Value::Int(self.w as i64)),
+            ("ended", Value::Bool(self.ended)),
+        ])
+    }
+
+    fn from_state(v: Value, registry: &TransformRegistry) -> Result<RecoverablePushFilter> {
+        let name = v.field("transform")?.as_str()?.to_owned();
+        Ok(RecoverablePushFilter {
+            transform: registry.build(&name)?,
+            transform_name: name,
+            downstream: v.field("downstream")?.as_uid()?,
+            r: uint_field(&v, "r")?,
+            w: uint_field(&v, "w")?,
+            ended: v.field("ended")?.as_bool()?,
+            recovered: true,
+        })
+    }
+}
+
+impl EjectBehavior for RecoverablePushFilter {
+    fn type_name(&self) -> &'static str {
+        "RecoverablePushFilter"
+    }
+
+    fn activate(&mut self, ctx: &EjectContext) {
+        if self.recovered {
+            ctx.metrics().record_recovered_stream();
+        }
+        let _ = ctx.checkpoint(&self.state());
+    }
+
+    fn handle(&mut self, ctx: &EjectContext, inv: Invocation, reply: ReplyHandle) {
+        match inv.op.as_str() {
+            ops::WRITE => {
+                let req = match WriteRequest::from_value(inv.arg) {
+                    Ok(req) => req,
+                    Err(e) => return reply.reply(Err(e)),
+                };
+                let seq = req.seq.unwrap_or(self.r);
+                if seq > self.r {
+                    return reply.reply(Err(EdenError::BadParameter(format!(
+                        "write at {seq} leaves a gap after {}",
+                        self.r
+                    ))));
+                }
+                // Skip the overlap of a re-sent batch (sequence arithmetic
+                // is the dedupe).
+                let skip = ((self.r - seq) as usize).min(req.items.len());
+                let accepted = req.items.len() - skip;
+                let fresh: Vec<Value> = req.items[skip..].to_vec();
+                let mut out = apply(&mut self.transform, fresh);
+                let end_now = req.end && !self.ended;
+                if end_now {
+                    out.extend(flush(&mut self.transform));
+                }
+                if !out.is_empty() || req.end {
+                    let fwd = WriteRequest {
+                        channel: Default::default(),
+                        items: out.clone(),
+                        end: req.end,
+                        seq: Some(self.w),
+                    };
+                    let forwarded = ctx
+                        .invoke_with(self.downstream, ops::WRITE, fwd.to_value(), stream_opts())
+                        .wait_timeout(Duration::from_secs(20));
+                    if let Err(e) = forwarded {
+                        return reply.reply(Err(e));
+                    }
+                }
+                self.r += accepted as u64;
+                self.w += out.len() as u64;
+                self.ended |= req.end;
+                if let Err(e) = ctx.checkpoint(&self.state()) {
+                    return reply.reply(Err(e));
+                }
+                reply.reply(Ok(Value::Unit));
+            }
+            _ => reply.reply(Err(EdenError::NoSuchOperation {
+                target: ctx.uid(),
+                op: inv.op,
+            })),
+        }
+    }
+}
+
+/// The terminal stage: accepts sequenced writes, keeps every record inside
+/// its checkpoint, and serves the whole stream back via [`READ_ALL`]. The
+/// records and the position acknowledging them live in one atomic passive
+/// representation, so the output itself survives the acceptor crashing.
+pub struct RecoverableAcceptor {
+    items: Vec<Value>,
+    ended: bool,
+    recovered: bool,
+}
+
+impl RecoverableAcceptor {
+    /// A fresh, empty acceptor.
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> RecoverableAcceptor {
+        RecoverableAcceptor {
+            items: Vec::new(),
+            ended: false,
+            recovered: false,
+        }
+    }
+
+    fn state(&self) -> Value {
+        Value::record([
+            ("items", Value::list(self.items.clone())),
+            ("ended", Value::Bool(self.ended)),
+        ])
+    }
+
+    fn from_state(v: Value) -> Result<RecoverableAcceptor> {
+        Ok(RecoverableAcceptor {
+            items: items_field(&v, "items")?,
+            ended: v.field("ended")?.as_bool()?,
+            recovered: true,
+        })
+    }
+}
+
+impl EjectBehavior for RecoverableAcceptor {
+    fn type_name(&self) -> &'static str {
+        "RecoverableAcceptor"
+    }
+
+    fn activate(&mut self, ctx: &EjectContext) {
+        if self.recovered {
+            ctx.metrics().record_recovered_stream();
+        }
+        let _ = ctx.checkpoint(&self.state());
+    }
+
+    fn handle(&mut self, ctx: &EjectContext, inv: Invocation, reply: ReplyHandle) {
+        match inv.op.as_str() {
+            ops::WRITE => {
+                let req = match WriteRequest::from_value(inv.arg) {
+                    Ok(req) => req,
+                    Err(e) => return reply.reply(Err(e)),
+                };
+                let r = self.items.len() as u64;
+                let seq = req.seq.unwrap_or(r);
+                if seq > r {
+                    return reply.reply(Err(EdenError::BadParameter(format!(
+                        "write at {seq} leaves a gap after {r}"
+                    ))));
+                }
+                let skip = ((r - seq) as usize).min(req.items.len());
+                self.items.extend_from_slice(&req.items[skip..]);
+                self.ended |= req.end;
+                if let Err(e) = ctx.checkpoint(&self.state()) {
+                    return reply.reply(Err(e));
+                }
+                reply.reply(Ok(Value::Unit));
+            }
+            READ_ALL => {
+                let batch = Batch {
+                    items: self.items.clone(),
+                    end: self.ended,
+                };
+                reply.reply(Ok(batch.to_value()));
+            }
+            _ => reply.reply(Err(EdenError::NoSuchOperation {
+                target: ctx.uid(),
+                op: inv.op,
+            })),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Conventional discipline: RecoverableBuffer and RecoverablePump.
+// ---------------------------------------------------------------------------
+
+/// The conventional discipline's passive buffer, with both faces
+/// positional: sequenced `Write`s in, positional `Transfer`s out. Reads
+/// never park — an empty buffer replies with an empty non-final batch and
+/// the pump polls — because a parked reply would die with a crash anyway;
+/// polling against the checkpointed position is what recovery can prove
+/// correct.
+pub struct RecoverableBuffer {
+    /// Stream position of `buf[0]`.
+    base: u64,
+    buf: Vec<Value>,
+    /// Input records accepted (`base + buf.len()`).
+    r: u64,
+    ended: bool,
+    recovered: bool,
+}
+
+impl RecoverableBuffer {
+    /// A fresh, empty buffer.
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> RecoverableBuffer {
+        RecoverableBuffer {
+            base: 0,
+            buf: Vec::new(),
+            r: 0,
+            ended: false,
+            recovered: false,
+        }
+    }
+
+    fn state(&self) -> Value {
+        Value::record([
+            ("base", Value::Int(self.base as i64)),
+            ("buf", Value::list(self.buf.clone())),
+            ("r", Value::Int(self.r as i64)),
+            ("ended", Value::Bool(self.ended)),
+        ])
+    }
+
+    fn from_state(v: Value) -> Result<RecoverableBuffer> {
+        Ok(RecoverableBuffer {
+            base: uint_field(&v, "base")?,
+            buf: items_field(&v, "buf")?,
+            r: uint_field(&v, "r")?,
+            ended: v.field("ended")?.as_bool()?,
+            recovered: true,
+        })
+    }
+}
+
+impl EjectBehavior for RecoverableBuffer {
+    fn type_name(&self) -> &'static str {
+        "RecoverableBuffer"
+    }
+
+    fn activate(&mut self, ctx: &EjectContext) {
+        if self.recovered {
+            ctx.metrics().record_recovered_stream();
+        }
+        let _ = ctx.checkpoint(&self.state());
+    }
+
+    fn handle(&mut self, ctx: &EjectContext, inv: Invocation, reply: ReplyHandle) {
+        match inv.op.as_str() {
+            ops::WRITE => {
+                let req = match WriteRequest::from_value(inv.arg) {
+                    Ok(req) => req,
+                    Err(e) => return reply.reply(Err(e)),
+                };
+                let seq = req.seq.unwrap_or(self.r);
+                if seq > self.r {
+                    return reply.reply(Err(EdenError::BadParameter(format!(
+                        "write at {seq} leaves a gap after {}",
+                        self.r
+                    ))));
+                }
+                let skip = ((self.r - seq) as usize).min(req.items.len());
+                self.buf.extend_from_slice(&req.items[skip..]);
+                self.r += (req.items.len() - skip) as u64;
+                self.ended |= req.end;
+                if let Err(e) = ctx.checkpoint(&self.state()) {
+                    return reply.reply(Err(e));
+                }
+                reply.reply(Ok(Value::Unit));
+            }
+            ops::TRANSFER => {
+                let req = match TransferRequest::from_value(&inv.arg) {
+                    Ok(req) => req,
+                    Err(e) => return reply.reply(Err(e)),
+                };
+                let pos = req.pos.unwrap_or(self.base);
+                if pos < self.base {
+                    return reply.reply(Err(EdenError::BadParameter(format!(
+                        "position {pos} below retained base {}",
+                        self.base
+                    ))));
+                }
+                // The position acknowledges everything before it; drop the
+                // acknowledged prefix and persist the trim.
+                let acked = ((pos - self.base) as usize).min(self.buf.len());
+                if acked > 0 {
+                    self.buf.drain(..acked);
+                    self.base = pos;
+                    if let Err(e) = ctx.checkpoint(&self.state()) {
+                        return reply.reply(Err(e));
+                    }
+                }
+                let offset = ((pos - self.base) as usize).min(self.buf.len());
+                let n = req.max.min(self.buf.len() - offset);
+                let batch = Batch {
+                    items: self.buf[offset..offset + n].to_vec(),
+                    end: self.ended && pos + n as u64 == self.r,
+                };
+                reply.reply(Ok(batch.to_value()));
+            }
+            _ => reply.reply(Err(EdenError::NoSuchOperation {
+                target: ctx.uid(),
+                op: inv.op,
+            })),
+        }
+    }
+}
+
+/// The conventional discipline's pump: a worker actively pulls from one
+/// Eject and actively writes to the next, checkpointing its `{consumed,
+/// written}` pair (via [`eden_kernel::ProcessContext::checkpoint`]) only
+/// after the
+/// downstream acknowledgement. A crashed pump resumes from that pair; both
+/// neighbours' position arithmetic absorbs the replayed window.
+pub struct RecoverablePump {
+    transform_name: String,
+    upstream: Uid,
+    downstream: Uid,
+    c: u64,
+    w: u64,
+    started: bool,
+    done: bool,
+    batch: usize,
+    registry: TransformRegistry,
+    recovered: bool,
+}
+
+impl RecoverablePump {
+    /// A fresh pump from `upstream` to `downstream` running
+    /// `transform_name` (empty = identity).
+    pub fn new(
+        transform_name: &str,
+        registry: &TransformRegistry,
+        upstream: Uid,
+        downstream: Uid,
+        batch: usize,
+    ) -> Result<RecoverablePump> {
+        // Validate the name now so a typo fails at build, not mid-stream.
+        registry.build(transform_name)?;
+        Ok(RecoverablePump {
+            transform_name: transform_name.to_owned(),
+            upstream,
+            downstream,
+            c: 0,
+            w: 0,
+            started: false,
+            done: false,
+            batch: batch.max(1),
+            registry: registry.clone(),
+            recovered: false,
+        })
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn state_value(
+        transform: &str,
+        upstream: Uid,
+        downstream: Uid,
+        c: u64,
+        w: u64,
+        started: bool,
+        done: bool,
+        batch: usize,
+    ) -> Value {
+        Value::record([
+            ("transform", Value::str(transform.to_owned())),
+            ("upstream", Value::Uid(upstream)),
+            ("downstream", Value::Uid(downstream)),
+            ("c", Value::Int(c as i64)),
+            ("w", Value::Int(w as i64)),
+            ("started", Value::Bool(started)),
+            ("done", Value::Bool(done)),
+            ("batch", Value::Int(batch as i64)),
+        ])
+    }
+
+    fn state(&self) -> Value {
+        Self::state_value(
+            &self.transform_name,
+            self.upstream,
+            self.downstream,
+            self.c,
+            self.w,
+            self.started,
+            self.done,
+            self.batch,
+        )
+    }
+
+    fn from_state(v: Value, registry: &TransformRegistry) -> Result<RecoverablePump> {
+        Ok(RecoverablePump {
+            transform_name: v.field("transform")?.as_str()?.to_owned(),
+            upstream: v.field("upstream")?.as_uid()?,
+            downstream: v.field("downstream")?.as_uid()?,
+            c: uint_field(&v, "c")?,
+            w: uint_field(&v, "w")?,
+            started: v.field("started")?.as_bool()?,
+            done: v.field("done")?.as_bool()?,
+            batch: uint_field(&v, "batch")?.max(1) as usize,
+            registry: registry.clone(),
+            recovered: true,
+        })
+    }
+
+    fn spawn_pump(&self, ctx: &EjectContext) {
+        let name = self.transform_name.clone();
+        let registry = self.registry.clone();
+        let (upstream, downstream, batch) = (self.upstream, self.downstream, self.batch);
+        let (mut c, mut w) = (self.c, self.w);
+        ctx.spawn_process("pump", move |pctx| {
+            // Rebuilt fresh: recovery replays any unacknowledged inputs
+            // through it, so a deterministic per-record transform lands in
+            // the same state it crashed in.
+            let mut transform = registry.build(&name).expect("validated at build");
+            // Replay the unacknowledged window [w_in_inputs..c) — for a
+            // per-record transform nothing needs replaying; the positions
+            // already agree.
+            loop {
+                if pctx.should_stop() {
+                    return;
+                }
+                let req = TransferRequest::primary(batch).at(c);
+                let pending =
+                    pctx.invoke_with(upstream, ops::TRANSFER, req.to_value(), stream_opts());
+                let pulled = match pctx.wait_or_stop(pending).and_then(Batch::from_value) {
+                    Ok(b) => b,
+                    Err(EdenError::KernelShutdown) => return,
+                    Err(_) => {
+                        std::thread::sleep(POLL);
+                        continue;
+                    }
+                };
+                if pulled.items.is_empty() && !pulled.end {
+                    // Empty non-final read: the upstream buffer is dry but
+                    // the stream is still open. Poll.
+                    std::thread::sleep(POLL);
+                    continue;
+                }
+                let n = pulled.items.len() as u64;
+                let mut out = apply(&mut transform, pulled.items);
+                if pulled.end {
+                    out.extend(flush(&mut transform));
+                }
+                let m = out.len() as u64;
+                if !out.is_empty() || pulled.end {
+                    let fwd = WriteRequest {
+                        channel: Default::default(),
+                        items: out,
+                        end: pulled.end,
+                        seq: Some(w),
+                    };
+                    let pending =
+                        pctx.invoke_with(downstream, ops::WRITE, fwd.to_value(), stream_opts());
+                    match pctx.wait_or_stop(pending) {
+                        Ok(_) => {}
+                        Err(EdenError::KernelShutdown) => return,
+                        Err(_) => {
+                            // The write may or may not have landed; re-pull
+                            // from the unadvanced position and re-send with
+                            // the same sequence — the receiver deduplicates.
+                            std::thread::sleep(POLL);
+                            continue;
+                        }
+                    }
+                }
+                c += n;
+                w += m;
+                let _ = pctx.checkpoint(&RecoverablePump::state_value(
+                    &name, upstream, downstream, c, w, true, pulled.end, batch,
+                ));
+                if pulled.end {
+                    return;
+                }
+            }
+        });
+    }
+}
+
+impl EjectBehavior for RecoverablePump {
+    fn type_name(&self) -> &'static str {
+        "RecoverablePump"
+    }
+
+    fn activate(&mut self, ctx: &EjectContext) {
+        if self.recovered {
+            ctx.metrics().record_recovered_stream();
+        }
+        let _ = ctx.checkpoint(&self.state());
+        if self.started && !self.done {
+            self.spawn_pump(ctx);
+        }
+    }
+
+    fn handle(&mut self, ctx: &EjectContext, inv: Invocation, reply: ReplyHandle) {
+        match inv.op.as_str() {
+            "Start" => {
+                if !self.started {
+                    self.started = true;
+                    if let Err(e) = ctx.checkpoint(&self.state()) {
+                        return reply.reply(Err(e));
+                    }
+                    self.spawn_pump(ctx);
+                }
+                reply.reply(Ok(Value::Unit));
+            }
+            _ => reply.reply(Err(EdenError::NoSuchOperation {
+                target: ctx.uid(),
+                op: inv.op,
+            })),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Registration and the pipeline driver.
+// ---------------------------------------------------------------------------
+
+/// Register the reactivation constructors for every recoverable stage
+/// type. Must be called (once per kernel) before any recoverable stage can
+/// come back from a crash; `registry` must contain every transform the
+/// pipelines will mount.
+pub fn install_recovery(kernel: &Kernel, registry: &TransformRegistry) {
+    let reg = registry.clone();
+    kernel.register_type("RecoverableSource", move |state| {
+        let _ = &reg;
+        match state {
+            Some(v) => Ok(Box::new(RecoverableSource::from_state(v)?)),
+            None => Err(EdenError::Application("source needs a checkpoint".into())),
+        }
+    });
+    let reg = registry.clone();
+    kernel.register_type("RecoverablePullFilter", move |state| match state {
+        Some(v) => Ok(Box::new(RecoverablePullFilter::from_state(v, &reg)?)),
+        None => Err(EdenError::Application("filter needs a checkpoint".into())),
+    });
+    kernel.register_type("RecoverablePushSource", move |state| match state {
+        Some(v) => Ok(Box::new(RecoverablePushSource::from_state(v)?)),
+        None => Err(EdenError::Application("source needs a checkpoint".into())),
+    });
+    let reg = registry.clone();
+    kernel.register_type("RecoverablePushFilter", move |state| match state {
+        Some(v) => Ok(Box::new(RecoverablePushFilter::from_state(v, &reg)?)),
+        None => Err(EdenError::Application("filter needs a checkpoint".into())),
+    });
+    kernel.register_type("RecoverableAcceptor", move |state| match state {
+        Some(v) => Ok(Box::new(RecoverableAcceptor::from_state(v)?)),
+        None => Err(EdenError::Application("acceptor needs a checkpoint".into())),
+    });
+    kernel.register_type("RecoverableBuffer", move |state| match state {
+        Some(v) => Ok(Box::new(RecoverableBuffer::from_state(v)?)),
+        None => Err(EdenError::Application("buffer needs a checkpoint".into())),
+    });
+    let reg = registry.clone();
+    kernel.register_type("RecoverablePump", move |state| match state {
+        Some(v) => Ok(Box::new(RecoverablePump::from_state(v, &reg)?)),
+        None => Err(EdenError::Application("pump needs a checkpoint".into())),
+    });
+}
+
+/// Which communication discipline a recoverable pipeline uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoveryDiscipline {
+    /// Active input / passive output: the driver pulls the tail filter.
+    ReadOnly,
+    /// Active output / passive input: a pump pushes through push filters
+    /// into the acceptor.
+    WriteOnly,
+    /// Active input *and* output: pumps move records between passive
+    /// buffers (n+1 extra Ejects, 2n+2 invocations per batch — §4's cost).
+    Conventional,
+}
+
+/// The result of a recoverable pipeline run.
+pub struct RecoveryRun {
+    /// The records that reached the end of the pipeline, in order.
+    pub output: Vec<Value>,
+    /// Every Eject the pipeline spawned (sources, filters, buffers, pumps,
+    /// acceptor), head first. Exposed so chaos tests can crash them.
+    pub stages: Vec<Uid>,
+}
+
+/// Build and run a recoverable pipeline of `transforms` over `items` and
+/// wait (up to `timeout`) for the complete output.
+///
+/// [`install_recovery`] must have been called on this kernel with a
+/// registry containing every named transform. The run rides out injected
+/// faults and crashes of any stage; it fails only if the kernel shuts
+/// down, a fatal (non-retryable) error surfaces, or `timeout` passes.
+pub fn run_recoverable_pipeline(
+    kernel: &Kernel,
+    discipline: RecoveryDiscipline,
+    items: Vec<Value>,
+    transforms: &[&str],
+    registry: &TransformRegistry,
+    batch: usize,
+    timeout: Duration,
+) -> Result<RecoveryRun> {
+    let deadline = Instant::now() + timeout;
+    let batch = batch.max(1);
+    match discipline {
+        RecoveryDiscipline::ReadOnly => {
+            let mut stages = vec![kernel.spawn(Box::new(RecoverableSource::new(items)))?];
+            let mut upstream = stages[0];
+            for name in transforms {
+                upstream = kernel.spawn(Box::new(RecoverablePullFilter::new(
+                    name, registry, upstream, batch,
+                )?))?;
+                stages.push(upstream);
+            }
+            let mut output = Vec::new();
+            let mut pos = 0u64;
+            loop {
+                let remaining = deadline
+                    .checked_duration_since(Instant::now())
+                    .ok_or(EdenError::Timeout)?;
+                let req = TransferRequest::primary(batch).at(pos);
+                let reply = kernel
+                    .invoke_with(upstream, ops::TRANSFER, req.to_value(), stream_opts())
+                    .wait_timeout(remaining)?;
+                let b = Batch::from_value(reply)?;
+                pos += b.items.len() as u64;
+                output.extend(b.items);
+                if b.end {
+                    return Ok(RecoveryRun { output, stages });
+                }
+            }
+        }
+        RecoveryDiscipline::WriteOnly => {
+            let acceptor = kernel.spawn(Box::new(RecoverableAcceptor::new()))?;
+            let mut downstream = acceptor;
+            let mut stages = vec![acceptor];
+            for name in transforms.iter().rev() {
+                downstream = kernel.spawn(Box::new(RecoverablePushFilter::new(
+                    name, registry, downstream,
+                )?))?;
+                stages.push(downstream);
+            }
+            let source = kernel.spawn(Box::new(RecoverablePushSource::new(
+                items, downstream, batch,
+            )))?;
+            stages.push(source);
+            stages.reverse(); // head first
+            kernel
+                .invoke_with(source, "Start", Value::Unit, control_opts())
+                .wait()?;
+            let active: Vec<Uid> = stages[..stages.len() - 1].to_vec();
+            drive_to_end(kernel, acceptor, &active, deadline).map(|output| RecoveryRun {
+                output,
+                stages,
+            })
+        }
+        RecoveryDiscipline::Conventional => {
+            let source = kernel.spawn(Box::new(RecoverableSource::new(items)))?;
+            let acceptor = kernel.spawn(Box::new(RecoverableAcceptor::new()))?;
+            // With no transforms a single identity pump still has to move
+            // the records.
+            let names: Vec<&str> = if transforms.is_empty() {
+                vec![""]
+            } else {
+                transforms.to_vec()
+            };
+            let mut stages = vec![source];
+            let mut pumps = Vec::new();
+            let mut prev = source;
+            for (i, name) in names.iter().enumerate() {
+                let next = if i + 1 == names.len() {
+                    acceptor
+                } else {
+                    kernel.spawn(Box::new(RecoverableBuffer::new()))?
+                };
+                let pump = kernel.spawn(Box::new(RecoverablePump::new(
+                    name, registry, prev, next, batch,
+                )?))?;
+                pumps.push(pump);
+                stages.push(pump);
+                if next != acceptor {
+                    stages.push(next);
+                }
+                prev = next;
+            }
+            stages.push(acceptor);
+            for pump in &pumps {
+                kernel
+                    .invoke_with(*pump, "Start", Value::Unit, control_opts())
+                    .wait()?;
+            }
+            let nudge: Vec<Uid> = stages[..stages.len() - 1].to_vec();
+            drive_to_end(kernel, acceptor, &nudge, deadline).map(|output| RecoveryRun {
+                output,
+                stages,
+            })
+        }
+    }
+}
+
+/// Poll the acceptor until the stream closes, nudging every other stage
+/// with a fault-immune `Describe` each round so a crashed *active* stage
+/// (which nobody else invokes) gets reactivated.
+fn drive_to_end(
+    kernel: &Kernel,
+    acceptor: Uid,
+    nudge: &[Uid],
+    deadline: Instant,
+) -> Result<Vec<Value>> {
+    loop {
+        if Instant::now() >= deadline {
+            return Err(EdenError::Timeout);
+        }
+        let reply = kernel
+            .invoke_with(acceptor, READ_ALL, Value::Unit, control_opts())
+            .wait_timeout(Duration::from_secs(5))?;
+        let b = Batch::from_value(reply)?;
+        if b.end {
+            return Ok(b.items);
+        }
+        for stage in nudge {
+            // Reactivation-on-invocation is the point; the reply is not.
+            let _ = kernel
+                .invoke_with(*stage, ops::DESCRIBE, Value::Unit, control_opts())
+                .wait_timeout(Duration::from_secs(5));
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+}

@@ -82,7 +82,7 @@ impl EjectBehavior for SinkEject {
                     return;
                 }
                 let max = batch.current();
-                let req = TransferRequest { channel, max };
+                let req = TransferRequest { channel, max, pos: None };
                 let pending =
                     pctx.invoke_routed(&mut cache, source, ops::TRANSFER, req.to_value());
                 match pctx.wait_or_stop(pending).and_then(Batch::from_value) {
@@ -214,7 +214,7 @@ mod tests {
             .spawn(Box::new(SinkEject::new(source, 1, collector.clone())))
             .unwrap();
         collector.wait_done(Duration::from_secs(10)).unwrap();
-        let got = kernel.invoke_sync(sink, "Progress", Value::Unit).unwrap();
+        let got = kernel.invoke(sink, "Progress", Value::Unit).wait().unwrap();
         assert_eq!(got, Value::Int(5));
         kernel.shutdown();
     }
@@ -256,18 +256,18 @@ mod tests {
             .spawn(Box::new(AcceptorSinkEject::new(collector.clone())))
             .unwrap();
         kernel
-            .invoke_sync(
+            .invoke(
                 acceptor,
                 ops::WRITE,
                 WriteRequest::more(vec![Value::Int(1), Value::Int(2)]).to_value(),
-            )
+            ).wait()
             .unwrap();
         kernel
-            .invoke_sync(
+            .invoke(
                 acceptor,
                 ops::WRITE,
                 WriteRequest::last(vec![Value::Int(3)]).to_value(),
-            )
+            ).wait()
             .unwrap();
         let items = collector.wait_done(Duration::from_secs(5)).unwrap();
         assert_eq!(items, vec![Value::Int(1), Value::Int(2), Value::Int(3)]);
@@ -286,16 +286,16 @@ mod tests {
         for writer in 0..2i64 {
             for i in 0..3i64 {
                 kernel
-                    .invoke_sync(
+                    .invoke(
                         acceptor,
                         ops::WRITE,
                         WriteRequest::more(vec![Value::Int(writer * 10 + i)]).to_value(),
-                    )
+                    ).wait()
                     .unwrap();
             }
         }
         kernel
-            .invoke_sync(acceptor, ops::WRITE, WriteRequest::last(vec![]).to_value())
+            .invoke(acceptor, ops::WRITE, WriteRequest::last(vec![]).to_value()).wait()
             .unwrap();
         let items = collector.wait_done(Duration::from_secs(5)).unwrap();
         assert_eq!(items.len(), 6, "all records land in one undifferentiated stream");
@@ -309,7 +309,7 @@ mod tests {
             .spawn(Box::new(AcceptorSinkEject::new(Collector::new())))
             .unwrap();
         let err = kernel
-            .invoke_sync(acceptor, ops::WRITE, Value::Int(3))
+            .invoke(acceptor, ops::WRITE, Value::Int(3)).wait()
             .unwrap_err();
         assert!(matches!(err, EdenError::BadParameter(_)));
         kernel.shutdown();

@@ -214,7 +214,7 @@ impl EjectBehavior for SourceEject {
             ops::GET_CHANNEL => {
                 let result = GetChannelRequest::from_value(&inv.arg)
                     .and_then(|req| self.channels.id_of(&req.name))
-                    .map(|id| id.to_value());
+                    .map(Value::from);
                 reply.reply(result);
             }
             _ => reply.reply(Err(EdenError::NoSuchOperation {
@@ -278,6 +278,7 @@ mod tests {
         let bad = TransferRequest {
             channel: ChannelId::Number(3),
             max: 1,
+            pos: None,
         };
         assert!(e.serve_transfer(bad).is_err());
     }

@@ -444,7 +444,7 @@ mod tests {
                 4,
             )))
             .unwrap();
-        kernel.invoke_sync(src, "Start", Value::Unit).unwrap();
+        kernel.invoke(src, "Start", Value::Unit).wait().unwrap();
         let mut flag = done.0.lock();
         if !*flag {
             done.1.wait_for(&mut flag, Duration::from_secs(10));

@@ -253,6 +253,7 @@ impl EjectBehavior for PushSourceEject {
                                     channel: port.channel,
                                     items: pulled.items,
                                     end: pulled.end,
+                                    seq: None,
                                 };
                                 in_flight.push_back(pctx.invoke_routed(
                                     &mut cache,
@@ -524,6 +525,7 @@ impl ZipPushFilterEject {
         let req = crate::protocol::TransferRequest {
             channel: self.secondary_channel,
             max: 1,
+            pos: None,
         };
         match ctx
             .invoke_routed(
@@ -625,7 +627,7 @@ mod tests {
                 3,
             )))
             .unwrap();
-        kernel.invoke_sync(src, "Start", Value::Unit).unwrap();
+        kernel.invoke(src, "Start", Value::Unit).wait().unwrap();
         let items = collector.wait_done(Duration::from_secs(10)).unwrap();
         assert_eq!(items, (0..10).map(Value::Int).collect::<Vec<_>>());
         kernel.shutdown();
@@ -648,7 +650,7 @@ mod tests {
                 2,
             )))
             .unwrap();
-        kernel.invoke_sync(src, "Start", Value::Unit).unwrap();
+        kernel.invoke(src, "Start", Value::Unit).wait().unwrap();
         let items = collector.wait_done(Duration::from_secs(10)).unwrap();
         assert_eq!(items, vec![Value::Int(-1), Value::Int(-2), Value::Int(-3)]);
         kernel.shutdown();
@@ -674,7 +676,7 @@ mod tests {
                 2,
             )))
             .unwrap();
-        kernel.invoke_sync(src, "Start", Value::Unit).unwrap();
+        kernel.invoke(src, "Start", Value::Unit).wait().unwrap();
         let a = col_a.wait_done(Duration::from_secs(10)).unwrap();
         let b = col_b.wait_done(Duration::from_secs(10)).unwrap();
         assert_eq!(a, b);
@@ -700,7 +702,7 @@ mod tests {
                 5,
             )))
             .unwrap();
-        kernel.invoke_sync(src, "Start", Value::Unit).unwrap();
+        kernel.invoke(src, "Start", Value::Unit).wait().unwrap();
         let items = collector.wait_done(Duration::from_secs(10)).unwrap();
         assert_eq!(items, (0..30).map(Value::Int).collect::<Vec<_>>());
         kernel.shutdown();
@@ -718,7 +720,7 @@ mod tests {
                 8,
             )))
             .unwrap();
-        kernel.invoke_sync(src, "Start", Value::Unit).unwrap();
+        kernel.invoke(src, "Start", Value::Unit).wait().unwrap();
         let items = collector.wait_done(Duration::from_secs(10)).unwrap();
         assert_eq!(items, (0..100).map(Value::Int).collect::<Vec<_>>());
         kernel.shutdown();
@@ -742,7 +744,7 @@ mod tests {
                 16,
             )))
             .unwrap();
-        kernel.invoke_sync(src, "Start", Value::Unit).unwrap();
+        kernel.invoke(src, "Start", Value::Unit).wait().unwrap();
         assert_eq!(col_a.wait_done(Duration::from_secs(10)).unwrap().len(), 10);
         assert_eq!(col_b.wait_done(Duration::from_secs(10)).unwrap().len(), 10);
         kernel.shutdown();
@@ -771,7 +773,7 @@ mod tests {
                 2,
             )))
             .unwrap();
-        kernel.invoke_sync(src, "Start", Value::Unit).unwrap();
+        kernel.invoke(src, "Start", Value::Unit).wait().unwrap();
         let items = collector.wait_done(Duration::from_secs(10)).unwrap();
         assert_eq!(
             items,
@@ -796,8 +798,8 @@ mod tests {
                 1,
             )))
             .unwrap();
-        kernel.invoke_sync(src, "Start", Value::Unit).unwrap();
-        let err = kernel.invoke_sync(src, "Start", Value::Unit).unwrap_err();
+        kernel.invoke(src, "Start", Value::Unit).wait().unwrap();
+        let err = kernel.invoke(src, "Start", Value::Unit).wait().unwrap_err();
         assert!(matches!(err, EdenError::Application(_)));
         kernel.shutdown();
     }
@@ -813,14 +815,14 @@ mod tests {
             )))
             .unwrap();
         kernel
-            .invoke_sync(filter, ops::WRITE, WriteRequest::last(vec![]).to_value())
+            .invoke(filter, ops::WRITE, WriteRequest::last(vec![]).to_value()).wait()
             .unwrap();
         let err = kernel
-            .invoke_sync(
+            .invoke(
                 filter,
                 ops::WRITE,
                 WriteRequest::more(vec![Value::Int(1)]).to_value(),
-            )
+            ).wait()
             .unwrap_err();
         assert!(matches!(err, EdenError::Application(_)));
         kernel.shutdown();

@@ -69,7 +69,7 @@ proptest! {
         write_acks.push(kernel.invoke(pipe, ops::WRITE, WriteRequest::last(vec![]).to_value()));
         loop {
             let got = kernel
-                .invoke_sync(pipe, ops::TRANSFER, TransferRequest::primary(4).to_value())
+                .invoke(pipe, ops::TRANSFER, TransferRequest::primary(4).to_value()).wait()
                 .and_then(Batch::from_value)
                 .expect("drain");
             reads.push(PendingReply::ready(Ok(got.clone().to_value())));

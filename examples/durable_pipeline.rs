@@ -33,7 +33,7 @@ fn main() {
         )))
         .expect("spawn file");
     let cursor = kernel
-        .invoke_sync(file, "OpenDurable", Value::Unit)
+        .invoke(file, "OpenDurable", Value::Unit).wait()
         .expect("durable cursor")
         .as_uid()
         .expect("capability");
@@ -49,7 +49,7 @@ fn main() {
     loop {
         let batch = Batch::from_value(
             kernel
-                .invoke_sync(filter, ops::TRANSFER, TransferRequest::primary(2).to_value())
+                .invoke(filter, ops::TRANSFER, TransferRequest::primary(2).to_value()).wait()
                 .expect("transfer"),
         )
         .expect("batch");

@@ -47,7 +47,7 @@ fn main() {
     // Find the document by name — UIDs, not path strings, do the wiring.
     let found = lookup(&kernel, home, "tiger.txt").expect("lookup");
     let reader = kernel
-        .invoke_sync(found, ops::OPEN, Value::Unit)
+        .invoke(found, ops::OPEN, Value::Unit).wait()
         .expect("open for reading")
         .as_uid()
         .expect("stream capability");
@@ -82,7 +82,7 @@ fn main() {
 
     // The directory listing is itself a stream (§2): print it the same way.
     kernel
-        .invoke_sync(home, ops::LIST, Value::Unit)
+        .invoke(home, ops::LIST, Value::Unit).wait()
         .expect("prepare listing");
     let listing = Collector::new();
     kernel

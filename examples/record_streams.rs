@@ -50,22 +50,22 @@ fn main() {
     // Random access (the Map protocol): patch one record in place.
     println!("== Map protocol: random access ==");
     let before = kernel
-        .invoke_sync(payroll, "ReadAt", mapfile::read_at_arg(2, 1))
+        .invoke(payroll, "ReadAt", mapfile::read_at_arg(2, 1)).wait()
         .expect("ReadAt");
     println!("record 2 before: {:?}", before.as_list().unwrap()[0].field("name").unwrap());
     kernel
-        .invoke_sync(
+        .invoke(
             payroll,
             "WriteAt",
             mapfile::write_at_arg(2, vec![employee("alan", "eng", 125)]),
-        )
+        ).wait()
         .expect("WriteAt");
     println!("record 2 patched: alan moves to eng at 125\n");
 
     // Streaming (the transput protocol): a query over the same Eject.
     println!("== record pipeline: eng salaries > 120, projected and rendered ==");
     let reader = kernel
-        .invoke_sync(payroll, ops::OPEN, Value::Unit)
+        .invoke(payroll, ops::OPEN, Value::Unit).wait()
         .expect("open stream view")
         .as_uid()
         .expect("capability");
@@ -85,7 +85,7 @@ fn main() {
 
     println!("\n== aggregation: headcount and payroll by department ==");
     let reader = kernel
-        .invoke_sync(payroll, ops::OPEN, Value::Unit)
+        .invoke(payroll, ops::OPEN, Value::Unit).wait()
         .expect("open second view")
         .as_uid()
         .expect("capability");
@@ -107,7 +107,7 @@ fn main() {
         .spawn(Box::new(SourceEject::new(Box::new(TickSource::new(3)))))
         .expect("spawn clock");
     let reader = kernel
-        .invoke_sync(payroll, ops::OPEN, Value::Unit)
+        .invoke(payroll, ops::OPEN, Value::Unit).wait()
         .expect("open third view")
         .as_uid()
         .expect("capability");

@@ -42,11 +42,11 @@ fn spawn_spellcheck_filter(kernel: &Kernel, policy: ChannelPolicy) -> Uid {
 
 fn transfer(kernel: &Kernel, target: Uid, channel: ChannelId) -> eden::core::Result<Batch> {
     kernel
-        .invoke_sync(
+        .invoke(
             target,
             ops::TRANSFER,
-            TransferRequest { channel, max: 8 }.to_value(),
-        )
+            TransferRequest { channel, max: 8, pos: None }.to_value(),
+        ).wait()
         .and_then(Batch::from_value)
 }
 
@@ -92,31 +92,31 @@ fn capability_channels_work_when_granted() {
     let kernel = Kernel::new();
     let filter = spawn_spellcheck_filter(&kernel, ChannelPolicy::Capability);
     let output_cap = kernel
-        .invoke_sync(
+        .invoke(
             filter,
             ops::GET_CHANNEL,
             GetChannelRequest {
                 name: OUTPUT_NAME.to_owned(),
             }
             .to_value(),
-        )
+        ).wait()
         .unwrap();
-    let output_id = ChannelId::from_value(&output_cap).unwrap();
+    let output_id = ChannelId::try_from(&output_cap).unwrap();
     assert!(matches!(output_id, ChannelId::Cap(_)));
     let batch = transfer(&kernel, filter, output_id).unwrap();
     assert_eq!(batch.items.len(), 1);
 
     let report_cap = kernel
-        .invoke_sync(
+        .invoke(
             filter,
             ops::GET_CHANNEL,
             GetChannelRequest {
                 name: REPORT_NAME.to_owned(),
             }
             .to_value(),
-        )
+        ).wait()
         .unwrap();
-    let report_id = ChannelId::from_value(&report_cap).unwrap();
+    let report_id = ChannelId::try_from(&report_cap).unwrap();
     let report = transfer(&kernel, filter, report_id).unwrap();
     assert!(report.items[0].as_str().unwrap().contains("xyzzy"));
     kernel.shutdown();
@@ -127,16 +127,16 @@ fn channel_capabilities_are_per_channel() {
     // Holding the Output capability grants nothing on Report.
     let kernel = Kernel::new();
     let filter = spawn_spellcheck_filter(&kernel, ChannelPolicy::Capability);
-    let output_id = ChannelId::from_value(
+    let output_id = ChannelId::try_from(
         &kernel
-            .invoke_sync(
+            .invoke(
                 filter,
                 ops::GET_CHANNEL,
                 GetChannelRequest {
                     name: OUTPUT_NAME.to_owned(),
                 }
                 .to_value(),
-            )
+            ).wait()
             .unwrap(),
     )
     .unwrap();
@@ -144,16 +144,16 @@ fn channel_capabilities_are_per_channel() {
     transfer(&kernel, filter, output_id).unwrap();
     // ...but is not the Report capability — and there is no way to derive
     // one from the other.
-    let report_id = ChannelId::from_value(
+    let report_id = ChannelId::try_from(
         &kernel
-            .invoke_sync(
+            .invoke(
                 filter,
                 ops::GET_CHANNEL,
                 GetChannelRequest {
                     name: REPORT_NAME.to_owned(),
                 }
                 .to_value(),
-            )
+            ).wait()
             .unwrap(),
     )
     .unwrap();
@@ -166,14 +166,14 @@ fn get_channel_unknown_name_fails() {
     let kernel = Kernel::new();
     let filter = spawn_spellcheck_filter(&kernel, ChannelPolicy::Capability);
     let err = kernel
-        .invoke_sync(
+        .invoke(
             filter,
             ops::GET_CHANNEL,
             GetChannelRequest {
                 name: "Backdoor".to_owned(),
             }
             .to_value(),
-        )
+        ).wait()
         .unwrap_err();
     assert!(matches!(err, EdenError::NoSuchChannel(_)));
     kernel.shutdown();

@@ -18,7 +18,7 @@ fn register_all(kernel: &Kernel) {
 fn transfer(kernel: &Kernel, target: Uid, max: usize) -> Batch {
     Batch::from_value(
         kernel
-            .invoke_sync(target, ops::TRANSFER, TransferRequest::primary(max).to_value())
+            .invoke(target, ops::TRANSFER, TransferRequest::primary(max).to_value()).wait()
             .expect("transfer"),
     )
     .expect("batch")
@@ -31,7 +31,7 @@ fn durable_chain(kernel: &Kernel, lines: i64) -> (Uid, Uid) {
         )))
         .expect("file");
     let cursor = kernel
-        .invoke_sync(file, "OpenDurable", Value::Unit)
+        .invoke(file, "OpenDurable", Value::Unit).wait()
         .expect("open durable")
         .as_uid()
         .expect("cursor uid");
@@ -221,12 +221,12 @@ fn plain_reader_dies_where_durable_survives() {
         .spawn(Box::new(FileEject::from_lines(["a", "b", "c"])))
         .expect("file");
     let plain = kernel
-        .invoke_sync(file, ops::OPEN, Value::Unit)
+        .invoke(file, ops::OPEN, Value::Unit).wait()
         .expect("open")
         .as_uid()
         .expect("uid");
     let durable = kernel
-        .invoke_sync(file, "OpenDurable", Value::Unit)
+        .invoke(file, "OpenDurable", Value::Unit).wait()
         .expect("open durable")
         .as_uid()
         .expect("uid");
@@ -236,7 +236,7 @@ fn plain_reader_dies_where_durable_survives() {
     kernel.crash(durable).expect("crash durable");
     assert!(
         kernel
-            .invoke_sync(plain, ops::TRANSFER, TransferRequest::primary(1).to_value())
+            .invoke(plain, ops::TRANSFER, TransferRequest::primary(1).to_value()).wait()
             .is_err(),
         "the plain reader disappears"
     );

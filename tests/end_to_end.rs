@@ -50,7 +50,7 @@ fn file_through_filters_into_file() {
 
     let found = lookup(&kernel, home, "draft").unwrap();
     let reader = kernel
-        .invoke_sync(found, ops::OPEN, Value::Unit)
+        .invoke(found, ops::OPEN, Value::Unit).wait()
         .unwrap()
         .as_uid()
         .unwrap();
@@ -72,15 +72,15 @@ fn file_through_filters_into_file() {
         )))))
         .unwrap();
     kernel
-        .invoke_sync(
+        .invoke(
             published,
             ops::WRITE_FROM,
             Value::record([("source", Value::Uid(staging))]),
-        )
+        ).wait()
         .unwrap();
     kernel.crash(published).unwrap();
     let reader = kernel
-        .invoke_sync(published, ops::OPEN, Value::Unit)
+        .invoke(published, ops::OPEN, Value::Unit).wait()
         .unwrap()
         .as_uid()
         .unwrap();
@@ -98,7 +98,7 @@ fn editor_command_stream_is_fan_in_at_setup() {
         .spawn(Box::new(FileEject::from_lines(["s/colour/color/", "d/DRAFT/"])))
         .unwrap();
     let commands_reader = kernel
-        .invoke_sync(command_file, ops::OPEN, Value::Unit)
+        .invoke(command_file, ops::OPEN, Value::Unit).wait()
         .unwrap()
         .as_uid()
         .unwrap();
@@ -189,8 +189,8 @@ fn whole_system_restart_preserves_filing_tree() {
             .spawn(Box::new(FileEject::from_lines(["persistent truth"])))
             .unwrap();
         add_entry(&kernel, root, "truth.txt", file).unwrap();
-        kernel.invoke_sync(file, ops::CHECKPOINT, Value::Unit).unwrap();
-        kernel.invoke_sync(root, ops::CHECKPOINT, Value::Unit).unwrap();
+        kernel.invoke(file, ops::CHECKPOINT, Value::Unit).wait().unwrap();
+        kernel.invoke(root, ops::CHECKPOINT, Value::Unit).wait().unwrap();
         kernel.shutdown();
         (root, file)
     };
@@ -199,7 +199,7 @@ fn whole_system_restart_preserves_filing_tree() {
     register_fs_types(&kernel);
     assert_eq!(lookup(&kernel, root, "truth.txt").unwrap(), file);
     let reader = kernel
-        .invoke_sync(file, ops::OPEN, Value::Unit)
+        .invoke(file, ops::OPEN, Value::Unit).wait()
         .unwrap()
         .as_uid()
         .unwrap();
@@ -223,7 +223,7 @@ fn unixfs_pipeline_roundtrip_all_disciplines() {
     .enumerate()
     {
         let stream = kernel
-            .invoke_sync(ufs, ops::NEW_STREAM, eden::fs::new_stream_arg("in.txt"))
+            .invoke(ufs, ops::NEW_STREAM, eden::fs::new_stream_arg("in.txt")).wait()
             .unwrap()
             .as_uid()
             .unwrap();
@@ -254,7 +254,7 @@ fn path_like_lookup_through_concatenator_feeds_pipeline() {
         .unwrap();
     let found = lookup(&kernel, path, "data").unwrap();
     let reader = kernel
-        .invoke_sync(found, ops::OPEN, Value::Unit)
+        .invoke(found, ops::OPEN, Value::Unit).wait()
         .unwrap()
         .as_uid()
         .unwrap();

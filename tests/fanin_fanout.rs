@@ -123,16 +123,16 @@ fn read_only_fan_out_via_tee_channels() {
             InputPort::primary(source),
         )))
         .unwrap();
-    let copy_id = ChannelId::from_value(
+    let copy_id = ChannelId::try_from(
         &kernel
-            .invoke_sync(
+            .invoke(
                 filter,
                 ops::GET_CHANNEL,
                 GetChannelRequest {
                     name: eden::filters::COPY_NAME.to_owned(),
                 }
                 .to_value(),
-            )
+            ).wait()
             .unwrap(),
     )
     .unwrap();
@@ -182,7 +182,7 @@ fn write_only_fan_out_is_natural() {
             4,
         )))
         .unwrap();
-    kernel.invoke_sync(source, "Start", Value::Unit).unwrap();
+    kernel.invoke(source, "Start", Value::Unit).wait().unwrap();
     let first = collectors[0].wait_done(Duration::from_secs(15)).unwrap();
     for c in &collectors[1..] {
         assert_eq!(c.wait_done(Duration::from_secs(15)).unwrap(), first);
@@ -251,11 +251,11 @@ fn conventional_supports_both_directions() {
         .unwrap();
     // Feed the input pipe directly.
     kernel
-        .invoke_sync(
+        .invoke(
             pipe_in,
             ops::WRITE,
             WriteRequest::last((0..6).map(Value::Int).collect()).to_value(),
-        )
+        ).wait()
         .unwrap();
     let ca = Collector::new();
     let cb = Collector::new();

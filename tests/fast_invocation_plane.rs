@@ -15,7 +15,8 @@ use eden::core::{EdenError, Uid, Value};
 use eden::filters::{DurableFilterEject, FilterSpec};
 use eden::fs::{register_fs_types, FileEject};
 use eden::kernel::{
-    EjectBehavior, EjectContext, Invocation, Kernel, KernelConfig, ReplyHandle, RouteCache,
+    EjectBehavior, EjectContext, Invocation, InvokeOptions, Kernel, KernelConfig, ReplyHandle,
+    RouteCache,
 };
 use eden::transput::protocol::{Batch, TransferRequest};
 use eden::transput::{Discipline, PipelineBuilder};
@@ -67,7 +68,7 @@ fn durable_chain(kernel: &Kernel, lines: i64) -> Uid {
         )))
         .expect("file");
     let cursor = kernel
-        .invoke_sync(file, "OpenDurable", Value::Unit)
+        .invoke(file, "OpenDurable", Value::Unit).wait()
         .expect("open durable")
         .as_uid()
         .expect("cursor uid");
@@ -81,11 +82,11 @@ fn durable_chain(kernel: &Kernel, lines: i64) -> Uid {
 fn transfer_cached(kernel: &Kernel, cache: &mut RouteCache, target: Uid, max: usize) -> Batch {
     Batch::from_value(
         kernel
-            .invoke_with_cache(
-                cache,
+            .invoke_with(
                 target,
                 ops::TRANSFER,
                 TransferRequest::primary(max).to_value(),
+                InvokeOptions::new().route_cache(cache),
             )
             .wait()
             .expect("transfer"),
@@ -175,7 +176,7 @@ fn cache_hits_are_not_counted_as_invocation_savings() {
     let mut cache = RouteCache::new();
     for i in 0..10i64 {
         let got = kernel
-            .invoke_with_cache(&mut cache, echo, "Echo", Value::Int(i))
+            .invoke_with(echo, "Echo", Value::Int(i), InvokeOptions::new().route_cache(&mut cache))
             .wait()
             .unwrap();
         assert_eq!(got, Value::Int(i));
@@ -209,7 +210,7 @@ fn bounded_mailboxes_deliver_everything_and_shut_down_cleanly() {
         senders.push(std::thread::spawn(move || {
             for i in 0..10i64 {
                 let got = kernel
-                    .invoke_sync(slow, "Echo", Value::Int(t * 100 + i))
+                    .invoke(slow, "Echo", Value::Int(t * 100 + i)).wait()
                     .expect("echo");
                 assert_eq!(got, Value::Int(t * 100 + i));
             }
@@ -245,7 +246,7 @@ fn injected_latency_is_paid_outside_registry_locks() {
         let kernel = kernel.clone();
         workers.push(std::thread::spawn(move || {
             for i in 0..CALLS as i64 {
-                kernel.invoke_sync(target, "Echo", Value::Int(i)).unwrap();
+                kernel.invoke(target, "Echo", Value::Int(i)).wait().unwrap();
             }
         }));
     }

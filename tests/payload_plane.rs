@@ -53,7 +53,7 @@ fn fan_out(kernel: &Kernel, data: Vec<Value>, width: usize) -> Vec<Vec<Value>> {
             4,
         )))
         .unwrap();
-    kernel.invoke_sync(source, "Start", Value::Unit).unwrap();
+    kernel.invoke(source, "Start", Value::Unit).wait().unwrap();
     collectors
         .into_iter()
         .map(|c| c.wait_done(Duration::from_secs(15)).unwrap())
