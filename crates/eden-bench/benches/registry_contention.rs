@@ -25,7 +25,7 @@ use eden_kernel::{
     RouteCache,
 };
 use eden_transput::transform::Identity;
-use eden_transput::{Discipline, PipelineBuilder};
+use eden_transput::{Discipline, PipelineSpec};
 
 struct Echo;
 
@@ -114,13 +114,13 @@ fn run_pipelines(kernel: &Kernel, batch_max: usize) {
         .map(|_| {
             let kernel = kernel.clone();
             std::thread::spawn(move || {
-                let run = PipelineBuilder::new(&kernel, Discipline::ReadOnly { read_ahead: 8 })
+                let run = PipelineSpec::new(Discipline::ReadOnly { read_ahead: 8 })
                     .source_vec((0..RECORDS).map(Value::Int).collect())
                     .batch(4)
                     .adaptive_batch(batch_max)
                     .stage(Box::new(Identity))
                     .stage(Box::new(Identity))
-                    .build()
+                    .build(&kernel)
                     .expect("build")
                     .run(BenchDuration::from_secs(120))
                     .expect("run");

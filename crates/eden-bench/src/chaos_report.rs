@@ -36,6 +36,7 @@ const DISCIPLINES: [(RecoveryDiscipline, &str); 3] = [
 ];
 
 /// Workload knobs for the chaos report.
+#[derive(Debug)]
 pub struct ChaosConfig {
     /// Records pushed through each pipeline arm.
     pub records: i64,

@@ -138,7 +138,7 @@ pub fn e2() -> Vec<Table> {
             Discipline::Conventional { buffer_capacity: 16 },
         ] {
             let mut builder =
-                eden_transput::PipelineBuilder::new(&kernel, discipline)
+                eden_transput::PipelineSpec::new(discipline)
                     .source_vec(workloads::ints(1000))
                     .batch(8)
                     .over_nodes(nodes);
@@ -146,7 +146,7 @@ pub fn e2() -> Vec<Table> {
                 builder = builder.stage(Box::new(Identity));
             }
             let run = builder
-                .build()
+                .build(&kernel)
                 .expect("build")
                 .run(crate::runner::DEADLINE)
                 .expect("run");
@@ -184,7 +184,7 @@ pub fn e2() -> Vec<Table> {
             1,
         ),
     ] {
-        let mut builder = eden_transput::PipelineBuilder::new(&slow, discipline)
+        let mut builder = eden_transput::PipelineSpec::new(discipline)
             .source_vec(workloads::ints(400))
             .batch(8)
             .write_window(window);
@@ -192,7 +192,7 @@ pub fn e2() -> Vec<Table> {
             builder = builder.stage(Box::new(Identity));
         }
         let run = builder
-            .build()
+            .build(&slow)
             .expect("build")
             .run(crate::runner::DEADLINE)
             .expect("run");

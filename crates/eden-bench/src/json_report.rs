@@ -17,7 +17,7 @@ use std::time::{Duration, Instant};
 use eden_core::Value;
 use eden_kernel::{Kernel, KernelConfig};
 use eden_transput::transform::Identity;
-use eden_transput::{ChannelPolicy, Discipline, PipelineBuilder};
+use eden_transput::{ChannelPolicy, Discipline, PipelineSpec};
 
 use crate::runner::DEADLINE;
 
@@ -57,7 +57,7 @@ struct PipelineRow {
 
 fn measure_pipeline(name: &'static str, discipline: Discipline, batch_max: usize) -> PipelineRow {
     let kernel = Kernel::new();
-    let mut builder = PipelineBuilder::new(&kernel, discipline)
+    let mut builder = PipelineSpec::new(discipline)
         .source_vec((0..RECORDS).map(Value::Int).collect())
         .batch(BATCH)
         .adaptive_batch(batch_max)
@@ -66,7 +66,7 @@ fn measure_pipeline(name: &'static str, discipline: Discipline, batch_max: usize
         builder = builder.stage(Box::new(Identity));
     }
     let run = builder
-        .build()
+        .build(&kernel)
         .expect("pipeline builds")
         .run(DEADLINE)
         .expect("pipeline completes");
@@ -98,13 +98,13 @@ fn contention_run(kernel: &Kernel, batch_max: usize) -> Duration {
         .map(|_| {
             let kernel = kernel.clone();
             std::thread::spawn(move || {
-                let run = PipelineBuilder::new(&kernel, Discipline::ReadOnly { read_ahead: 8 })
+                let run = PipelineSpec::new(Discipline::ReadOnly { read_ahead: 8 })
                     .source_vec((0..CONTENTION_RECORDS).map(Value::Int).collect())
                     .batch(BATCH)
                     .adaptive_batch(batch_max)
                     .stage(Box::new(Identity))
                     .stage(Box::new(Identity))
-                    .build()
+                    .build(&kernel)
                     .expect("pipeline builds")
                     .run(DEADLINE)
                     .expect("pipeline completes");

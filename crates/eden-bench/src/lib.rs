@@ -6,7 +6,6 @@
 //! `cargo run -p eden-bench --bin experiments [--release] [e1..e10|all]`,
 //! and the wall-clock microbenchmarks with `cargo bench`.
 
-#![warn(missing_docs)]
 
 pub mod chaos_report;
 pub mod exp_duality;

@@ -30,12 +30,13 @@ use eden_transput::protocol::OUTPUT_NAME;
 use eden_transput::source::VecSource;
 use eden_transput::transform::{map_fn, Identity};
 use eden_transput::write_only::{OutputPort, OutputWiring, PushFilterEject, PushSourceEject};
-use eden_transput::{Collector, Discipline, PipelineBuilder, WriteRequest};
+use eden_transput::{Collector, Discipline, PipelineSpec, WriteRequest};
 
 use crate::runner::DEADLINE;
 
 /// Workload dimensions; `smoke()` keeps CI runs to well under a second.
 #[derive(Clone, Copy)]
+#[derive(Debug)]
 pub struct PayloadConfig {
     /// Payload bytes per record body.
     pub record_bytes: usize,
@@ -165,7 +166,7 @@ fn workload(cfg: &PayloadConfig) -> Vec<Value> {
 /// or an explicit per-stage deep copy (the pre-refactor cost model).
 fn pipeline_arm(cfg: &PayloadConfig, deep_copy: bool) -> ArmStats {
     let kernel = Kernel::new();
-    let mut builder = PipelineBuilder::new(&kernel, Discipline::WriteOnly { push_ahead: 4 })
+    let mut builder = PipelineSpec::new(Discipline::WriteOnly { push_ahead: 4 })
         .source_vec(workload(cfg))
         .batch(cfg.batch);
     for _ in 0..cfg.depth {
@@ -175,7 +176,7 @@ fn pipeline_arm(cfg: &PayloadConfig, deep_copy: bool) -> ArmStats {
             builder.stage(Box::new(Identity))
         };
     }
-    let pipeline = builder.build().expect("pipeline builds");
+    let pipeline = builder.build(&kernel).expect("pipeline builds");
     let records = cfg.records as u64;
     let stats = ArmStats::measure(|| {
         let run = pipeline.run(DEADLINE).expect("pipeline completes");

@@ -5,7 +5,7 @@ use std::time::Duration;
 use eden_core::Value;
 use eden_kernel::Kernel;
 use eden_transput::transform::{Identity, Transform};
-use eden_transput::{ChannelPolicy, Discipline, PipelineBuilder, PipelineRun};
+use eden_transput::{ChannelPolicy, Discipline, PipelineSpec, PipelineRun};
 
 /// Generous deadline for experiment pipelines.
 pub const DEADLINE: Duration = Duration::from_secs(120);
@@ -27,7 +27,7 @@ pub fn run_pipeline(
     policy: ChannelPolicy,
     taps: &[(usize, &str)],
 ) -> PipelineRun {
-    let mut builder = PipelineBuilder::new(kernel, discipline)
+    let mut builder = PipelineSpec::new(discipline)
         .source_vec(input)
         .batch(batch)
         .policy(policy);
@@ -38,7 +38,7 @@ pub fn run_pipeline(
         builder = builder.tap(*idx, channel);
     }
     builder
-        .build()
+        .build(kernel)
         .expect("pipeline builds")
         .run(DEADLINE)
         .expect("pipeline completes")

@@ -55,6 +55,11 @@ pub enum EdenError {
     /// label of the fault rule that fired, so chaos tests can tell their
     /// own faults from organic failures.
     FaultInjected(String),
+    /// A pipeline's wiring graph violates its transput discipline (§3–§5):
+    /// fan-out under read-only, fan-in under write-only, an unbuffered
+    /// filter pair under conventional, or a forged channel capability.
+    /// Raised at build time, before any Eject spawns.
+    Discipline(String),
 }
 
 impl EdenError {
@@ -101,6 +106,7 @@ impl fmt::Display for EdenError {
             EdenError::HostFs(msg) => write!(f, "host filesystem error: {msg}"),
             EdenError::Application(msg) => write!(f, "application error: {msg}"),
             EdenError::FaultInjected(label) => write!(f, "injected fault: {label}"),
+            EdenError::Discipline(msg) => write!(f, "discipline violation: {msg}"),
         }
     }
 }
@@ -153,6 +159,7 @@ mod tests {
             EdenError::CorruptCheckpoint("x".into()),
             EdenError::HostFs("x".into()),
             EdenError::Application("x".into()),
+            EdenError::Discipline("x".into()),
         ] {
             assert!(e.is_fatal(), "{e} should be fatal");
             assert!(!e.is_retryable());

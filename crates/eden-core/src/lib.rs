@@ -12,7 +12,6 @@
 //! Systems Principles (SOSP), 1983. See `DESIGN.md` at the workspace root
 //! for the full system inventory.
 
-#![warn(missing_docs)]
 
 pub mod error;
 pub mod metrics;

@@ -13,6 +13,7 @@ use eden_transput::{Emitter, Transform};
 /// `wc`: counts lines, words and characters; emits one summary record at
 /// flush.
 #[derive(Default)]
+#[derive(Debug)]
 pub struct WordCount {
     lines: i64,
     words: i64,
@@ -61,6 +62,7 @@ impl Transform for WordCount {
 
 /// `sort`: buffers all lines, emits them sorted at flush. Non-string
 /// records sort after strings, by their debug form (total order needed).
+#[derive(Debug)]
 pub struct SortLines {
     buffered: Vec<Value>,
 }
@@ -115,6 +117,7 @@ impl Transform for SortLines {
 /// `uniq`: drops *adjacent* duplicate records (sort first for global
 /// dedup, as in Unix).
 #[derive(Default)]
+#[derive(Debug)]
 pub struct Uniq {
     last: Option<Value>,
 }
@@ -152,6 +155,7 @@ impl Transform for Uniq {
 /// descending count then word. The core of the paper-era "spelling
 /// checker" toolchain.
 #[derive(Default)]
+#[derive(Debug)]
 pub struct WordFrequency {
     counts: BTreeMap<String, u64>,
 }
@@ -188,6 +192,7 @@ impl Transform for WordFrequency {
 /// Run-length encode consecutive equal records into
 /// `Record{item, count}` pairs.
 #[derive(Default)]
+#[derive(Debug)]
 pub struct RleEncode {
     run: Option<(Value, i64)>,
 }
@@ -231,6 +236,7 @@ impl Transform for RleEncode {
 /// Inverse of [`RleEncode`]: expand `Record{item, count}` runs.
 /// Non-run records pass through unchanged.
 #[derive(Default)]
+#[derive(Debug)]
 pub struct RleDecode;
 
 impl RleDecode {

@@ -12,6 +12,7 @@ use eden_transput::{Emitter, Transform};
 
 /// Compares paired records from two zipped inputs.
 #[derive(Default)]
+#[derive(Debug)]
 pub struct Compare {
     row: u64,
     differences: u64,

@@ -97,6 +97,7 @@ impl FilterSpec {
 }
 
 /// A crash-recoverable read-only filter. See the module docs.
+#[derive(Debug)]
 pub struct DurableFilterEject {
     spec: FilterSpec,
     transform: Box<dyn Transform>,

@@ -63,6 +63,7 @@ fn split_slashes(s: &str) -> Result<Vec<String>> {
 }
 
 /// The stream editor transform.
+#[derive(Debug)]
 pub struct StreamEditor {
     script: Vec<Command>,
     quit: bool,

@@ -14,7 +14,6 @@
 //!
 //! [`Transform`]: eden_transput::Transform
 
-#![warn(missing_docs)]
 
 pub mod aggregate;
 pub mod compare;

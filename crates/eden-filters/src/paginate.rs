@@ -6,6 +6,7 @@ use eden_core::Value;
 use eden_transput::{Emitter, Transform};
 
 /// Breaks a line stream into pages with headers and form feeds.
+#[derive(Debug)]
 pub struct Paginator {
     title: String,
     lines_per_page: usize,

@@ -15,6 +15,7 @@ use eden_transput::{Emitter, Transform};
 /// Project each record onto a subset of its fields, in the given order.
 /// Records missing a requested field get `Unit` there; non-records pass
 /// through untouched.
+#[derive(Debug)]
 pub struct SelectFields {
     fields: Vec<String>,
 }
@@ -70,6 +71,7 @@ pub enum FieldCmp {
 
 /// Keep records whose named field compares against a literal.
 /// Records lacking the field (and non-records) are dropped.
+#[derive(Debug)]
 pub struct WhereField {
     field: String,
     cmp: FieldCmp,
@@ -119,6 +121,7 @@ impl Transform for WhereField {
 /// Group records by a string-valued field and emit
 /// `Record{key, count, sum}` per group at flush (sum over an optional
 /// integer field), sorted by key.
+#[derive(Debug)]
 pub struct GroupAggregate {
     key_field: String,
     sum_field: Option<String>,
@@ -166,6 +169,7 @@ impl Transform for GroupAggregate {
 }
 
 /// Render records as aligned text lines (for printing record pipelines).
+#[derive(Debug)]
 pub struct RenderRecords;
 
 impl Transform for RenderRecords {

@@ -15,6 +15,7 @@ use eden_transput::{Emitter, Transform};
 
 /// A spelling checker: passes its text through unchanged and reports each
 /// unknown word once on the `Report` channel.
+#[derive(Debug)]
 pub struct SpellCheck {
     dictionary: BTreeSet<String>,
     reported: BTreeSet<String>,
@@ -74,6 +75,7 @@ impl Transform for SpellCheck {
 
 /// A progress monitor: passes records through and reports a line every
 /// `every` records and a total at the end.
+#[derive(Debug)]
 pub struct ProgressReporter {
     every: u64,
     seen: u64,
@@ -126,6 +128,7 @@ impl Transform for ProgressReporter {
 /// `tee`: emits every record on the primary channel *and* on a `Copy`
 /// channel. In the read-only discipline this is how a stream is duplicated
 /// without write-only fan-out.
+#[derive(Debug)]
 pub struct Tee;
 
 /// The name of [`Tee`]'s duplicate channel.

@@ -20,6 +20,7 @@ fn as_line(v: &Value) -> Option<&str> {
 /// §3's motivating example: "a program whose output is a copy of its input
 /// except that all lines beginning with 'C' have been omitted. Such a
 /// filter might be used to strip comment lines from a Fortran program."
+#[derive(Debug)]
 pub struct StripComments {
     prefix: String,
 }
@@ -52,6 +53,7 @@ impl Transform for StripComments {
 
 /// Keep (or delete) lines matching a glob pattern — the parameterised
 /// filter of §3.
+#[derive(Debug)]
 pub struct Grep {
     pattern: Pattern,
     keep_matches: bool,
@@ -91,6 +93,7 @@ impl Transform for Grep {
 }
 
 /// Prefix each line with its (1-based) line number.
+#[derive(Debug)]
 pub struct LineNumber {
     next: u64,
 }
@@ -131,6 +134,7 @@ impl Transform for LineNumber {
 }
 
 /// Case folding.
+#[derive(Debug)]
 pub struct CaseFold {
     upper: bool,
 }
@@ -164,6 +168,7 @@ impl Transform for CaseFold {
 }
 
 /// Replace tabs with spaces to the next `width`-column tab stop.
+#[derive(Debug)]
 pub struct ExpandTabs {
     width: usize,
 }
@@ -204,6 +209,7 @@ impl Transform for ExpandTabs {
 }
 
 /// Pass only the first `n` records, like `head`.
+#[derive(Debug)]
 pub struct Head {
     remaining: u64,
 }
@@ -238,6 +244,7 @@ impl Transform for Head {
 }
 
 /// Pass only the last `n` records, like `tail` (buffers at most `n`).
+#[derive(Debug)]
 pub struct Tail {
     n: usize,
     window: std::collections::VecDeque<Value>,
@@ -274,6 +281,7 @@ impl Transform for Tail {
 }
 
 /// Drop blank (empty or whitespace-only) lines.
+#[derive(Debug)]
 pub struct SqueezeBlank;
 
 impl Transform for SqueezeBlank {

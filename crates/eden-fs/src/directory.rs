@@ -25,6 +25,7 @@ pub const DIRECTORY_TYPE: &str = "EdenDirectory";
 
 /// A directory: a checkpointable map from names to UIDs, which doubles as
 /// a stream source of its own printable listing.
+#[derive(Debug)]
 pub struct DirectoryEject {
     entries: BTreeMap<String, Uid>,
     /// The listing being streamed out, prepared by `List`.
@@ -196,6 +197,7 @@ impl EjectBehavior for DirectoryEject {
 /// Because the concatenator answers `Lookup` like any directory, clients
 /// cannot tell it from a plain one — the behavioural-compatibility point
 /// of §2.
+#[derive(Debug)]
 pub struct DirConcatenatorEject {
     directories: Vec<Uid>,
 }

@@ -34,6 +34,7 @@ pub enum WriteMode {
 }
 
 /// A file: a checkpointable sequence of records.
+#[derive(Debug)]
 pub struct FileEject {
     records: Vec<Value>,
     /// Bumped on every successful `WriteFrom`.
@@ -255,6 +256,7 @@ impl EjectBehavior for FileEject {
 /// Like §7's `UnixFile` Eject it deactivates itself when closed — or when
 /// its data is exhausted — "and, since it has never Checkpointed,
 /// disappears."
+#[derive(Debug)]
 pub struct FileReaderEject {
     records: std::collections::VecDeque<Value>,
     channels: ChannelTable,
@@ -322,6 +324,7 @@ pub const DURABLE_READER_TYPE: &str = "DurableReader";
 /// A read cursor that survives crashes: its passive representation is the
 /// remaining records and position, checkpointed after every `Transfer`.
 /// The durable counterpart of [`FileReaderEject`].
+#[derive(Debug)]
 pub struct DurableReaderEject {
     records: Vec<Value>,
     pos: usize,

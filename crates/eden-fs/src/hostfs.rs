@@ -33,6 +33,7 @@ pub type HostFsHandle = Arc<dyn HostFs>;
 
 /// An in-memory filing system.
 #[derive(Default)]
+#[derive(Debug)]
 pub struct MemFs {
     files: Mutex<BTreeMap<String, Vec<u8>>>,
 }
@@ -94,6 +95,7 @@ impl HostFs for MemFs {
 }
 
 /// A filing system over `std::fs`, confined to a root directory.
+#[derive(Debug)]
 pub struct RealFs {
     root: PathBuf,
 }
@@ -193,6 +195,13 @@ pub fn lines_to_bytes<S: AsRef<str>>(lines: &[S]) -> Vec<u8> {
         out.push(b'\n');
     }
     out
+}
+
+
+impl std::fmt::Debug for dyn HostFs {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("HostFs")
+    }
 }
 
 #[cfg(test)]

@@ -18,7 +18,6 @@
 //! a program" (§4) — the integration tests pipe files through filters and
 //! filters into files with the same builder calls.
 
-#![warn(missing_docs)]
 
 pub mod directory;
 pub mod file;

@@ -23,6 +23,7 @@ use crate::file::FileReaderEject;
 pub const MAP_FILE_TYPE: &str = "EdenMapFile";
 
 /// A random-access record file that also speaks the stream protocol.
+#[derive(Debug)]
 pub struct MapFileEject {
     records: Vec<Value>,
 }

@@ -22,6 +22,7 @@ use eden_transput::protocol::{Batch, TransferRequest};
 use crate::hostfs::{bytes_to_lines, lines_to_bytes, HostFsHandle};
 
 /// The per-machine bootstrap Eject.
+#[derive(Debug)]
 pub struct UnixFsEject {
     fs: HostFsHandle,
 }

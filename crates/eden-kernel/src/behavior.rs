@@ -61,3 +61,9 @@ pub trait EjectBehavior: Send + 'static {
         let _ = ctx;
     }
 }
+
+impl std::fmt::Debug for dyn EjectBehavior {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "EjectBehavior({})", self.type_name())
+    }
+}

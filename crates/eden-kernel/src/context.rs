@@ -27,6 +27,7 @@ use crate::runtime::Envelope;
 
 /// Context available to an Eject's coordinator (the `&mut self` methods of
 /// its behaviour).
+#[derive(Debug)]
 pub struct EjectContext {
     pub(crate) uid: Uid,
     pub(crate) node: NodeId,
@@ -85,6 +86,7 @@ impl EjectContext {
     }
 
     /// Deprecated synchronous shim; exactly `invoke(..).wait()`.
+    #[cfg(feature = "legacy-shims")]
     #[deprecated(since = "0.3.0", note = "use `invoke(..).wait()`")]
     pub fn invoke_sync(&self, target: Uid, op: impl Into<OpName>, arg: Value) -> Result<Value> {
         self.invoke(target, op, arg).wait()
@@ -189,6 +191,7 @@ impl EjectContext {
 
 /// A cloneable sender for intra-Eject (language-level) messages.
 #[derive(Clone)]
+#[derive(Debug)]
 pub struct InternalSender {
     tx: Sender<Envelope>,
     metrics: Metrics,
@@ -206,6 +209,7 @@ impl InternalSender {
 
 /// Context available to a worker process spawned with
 /// [`EjectContext::spawn_process`].
+#[derive(Debug)]
 pub struct ProcessContext {
     eject: Uid,
     node: NodeId,
@@ -246,6 +250,7 @@ impl ProcessContext {
     }
 
     /// Deprecated synchronous shim; exactly `invoke(..).wait()`.
+    #[cfg(feature = "legacy-shims")]
     #[deprecated(since = "0.3.0", note = "use `invoke(..).wait()`")]
     pub fn invoke_sync(&self, target: Uid, op: impl Into<OpName>, arg: Value) -> Result<Value> {
         self.invoke(target, op, arg).wait()
@@ -280,6 +285,7 @@ impl ProcessContext {
     }
 
     /// Deprecated synchronous shim; exactly `invoke(..).wait_timeout(d)`.
+    #[cfg(feature = "legacy-shims")]
     #[deprecated(since = "0.3.0", note = "use `invoke(..).wait_timeout(deadline)`")]
     pub fn invoke_sync_timeout(
         &self,

@@ -219,6 +219,7 @@ fn shutdown_entries(entries: Vec<(Sender<Envelope>, Option<JoinHandle<()>>)>) {
 /// A weak reference to the kernel, held by Eject contexts so the kernel can
 /// shut down when the last user-visible [`Kernel`] handle drops.
 #[derive(Clone)]
+#[derive(Debug)]
 pub struct WeakKernel(Weak<KernelInner>);
 
 impl WeakKernel {
@@ -236,6 +237,15 @@ impl WeakKernel {
 /// problems surface where they happen.
 pub struct Kernel {
     inner: Arc<KernelInner>,
+}
+
+impl std::fmt::Debug for Kernel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Kernel")
+            .field("ejects", &self.eject_count())
+            .field("shards", &self.inner.shards.len())
+            .finish_non_exhaustive()
+    }
 }
 
 impl Clone for Kernel {
@@ -388,6 +398,7 @@ impl Kernel {
 
     /// Deprecated synchronous shim. `invoke_sync(t, op, a)` is exactly
     /// `invoke(t, op, a).wait()`.
+    #[cfg(feature = "legacy-shims")]
     #[deprecated(since = "0.3.0", note = "use `invoke(..).wait()`")]
     pub fn invoke_sync(
         &self,
@@ -400,6 +411,7 @@ impl Kernel {
 
     /// Deprecated cached-route shim. Equivalent to [`Kernel::invoke_with`]
     /// with [`InvokeOptions::route_cache`].
+    #[cfg(feature = "legacy-shims")]
     #[deprecated(since = "0.3.0", note = "use `invoke_with(.., InvokeOptions::new().route_cache(cache))`")]
     pub fn invoke_with_cache(
         &self,
@@ -832,6 +844,7 @@ impl Kernel {
     /// Reactivate a passive Eject: load its checkpoint, run its type's
     /// constructor, and start a fresh coordinator under the same UID.
     /// Called with the target's shard write lock held.
+    // eden-lint: holds(registry-shard)
     fn reactivate(&self, slots: &mut HashMap<Uid, Slot>, uid: Uid) -> Result<()> {
         let record = self.inner.stable.load(uid)?;
         let factory = self
@@ -855,6 +868,9 @@ impl Kernel {
         self.start_coordinator(slots, uid, node, behavior)
     }
 
+    // Receives the shard guard's map from its caller (spawn or
+    // reactivate), so the shard lock is held for the whole body.
+    // eden-lint: holds(registry-shard)
     fn start_coordinator(
         &self,
         slots: &mut HashMap<Uid, Slot>,

@@ -47,7 +47,6 @@
 //! kernel.shutdown();
 //! ```
 
-#![warn(missing_docs)]
 
 mod behavior;
 mod context;

@@ -110,6 +110,7 @@ impl Default for RetryPolicy {
 /// [`Kernel::invoke`]: crate::Kernel::invoke
 /// [`Kernel::invoke_with`]: crate::Kernel::invoke_with
 #[derive(Default)]
+#[derive(Debug)]
 pub struct InvokeOptions<'a> {
     /// Overall per-invocation deadline, measured from the send. Waits and
     /// retries both stop when it expires, whatever the wait call's own

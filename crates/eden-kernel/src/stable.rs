@@ -32,6 +32,7 @@ pub struct PassiveRecord {
 /// Cheap to clone; clones share the underlying storage, so a store created
 /// before a kernel can outlive it.
 #[derive(Clone, Default)]
+#[derive(Debug)]
 pub struct StableStore {
     inner: Arc<Mutex<HashMap<Uid, PassiveRecord>>>,
     /// When set, every record is written through to one file per Eject in

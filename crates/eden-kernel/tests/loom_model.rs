@@ -1,0 +1,209 @@
+//! Interleaving models for the invocation plane, compiled only under
+//! `RUSTFLAGS="--cfg loom"` (see `vendor/loom` for what `model` means in
+//! this offline build).
+//!
+//! These tests do not drive the real [`Kernel`]: loom-style checking
+//! works on a distilled copy of the algorithm whose state space is small
+//! enough to explore. The distilled object here is the one-shot reply
+//! cell behind `PendingReply::Retrying` (`crates/eden-kernel/src/
+//! invocation.rs` / `options.rs`), whose contract under concurrency is:
+//!
+//! 1. the caller observes exactly one terminal outcome — a reply or a
+//!    deadline error, never both, never neither;
+//! 2. a reply landing after the deadline was consumed is discarded, not
+//!    delivered twice or panicked on;
+//! 3. no re-send is issued once expiry has been observed, and the
+//!    attempt count never exceeds the policy budget.
+#![cfg(loom)]
+
+use loom::sync::atomic::{AtomicU32, Ordering};
+use loom::sync::{Arc, Mutex};
+use loom::thread;
+
+/// The distilled reply cell. `Waiting` can move to exactly one of the
+/// terminal states; `Retryable` hands the caller a re-send decision.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Slot {
+    Waiting,
+    Retryable,
+    Replied(u32),
+    Expired,
+}
+
+struct ReplyCell {
+    slot: Mutex<Slot>,
+    discarded: AtomicU32,
+}
+
+impl ReplyCell {
+    fn new() -> Self {
+        ReplyCell {
+            slot: Mutex::new(Slot::Waiting),
+            discarded: AtomicU32::new(0),
+        }
+    }
+
+    /// Responder side: deliver `outcome`. A delivery that loses the race
+    /// with expiry is counted as discarded — mirroring `ReplyHandle`
+    /// sending into a channel nobody will drain — never double-stored.
+    fn complete(&self, outcome: Slot) -> bool {
+        let mut slot = self.slot.lock().unwrap();
+        if *slot == Slot::Waiting {
+            *slot = outcome;
+            true
+        } else {
+            self.discarded.fetch_add(1, Ordering::SeqCst);
+            false
+        }
+    }
+
+    /// Caller side: give up on the deadline. Only a still-waiting cell
+    /// can expire; a reply that already landed wins.
+    fn expire(&self) -> bool {
+        let mut slot = self.slot.lock().unwrap();
+        if *slot == Slot::Waiting {
+            *slot = Slot::Expired;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Caller side: observe a retryable failure and atomically re-arm
+    /// for the next attempt. In `RetryState::resend` the re-send happens
+    /// on the caller's own thread *after* the deadline check, under the
+    /// same observation that saw the failure — so re-arming must be
+    /// atomic with the deadline-not-expired check.
+    fn rearm_if_retryable(&self, expired_observed: bool) -> bool {
+        let mut slot = self.slot.lock().unwrap();
+        if *slot == Slot::Retryable && !expired_observed {
+            *slot = Slot::Waiting;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn read(&self) -> Slot {
+        *self.slot.lock().unwrap()
+    }
+}
+
+#[test]
+fn reply_and_deadline_race_yields_exactly_one_terminal() {
+    loom::model(|| {
+        let cell = Arc::new(ReplyCell::new());
+
+        let responder = {
+            let cell = cell.clone();
+            thread::spawn(move || cell.complete(Slot::Replied(7)))
+        };
+        let deadline = {
+            let cell = cell.clone();
+            thread::spawn(move || cell.expire())
+        };
+
+        let replied = responder.join().unwrap();
+        let expired = deadline.join().unwrap();
+
+        // Exactly one side won, and the cell holds that side's terminal.
+        assert!(replied ^ expired, "both or neither terminal won");
+        match cell.read() {
+            Slot::Replied(v) => {
+                assert!(replied);
+                assert_eq!(v, 7);
+            }
+            Slot::Expired => assert!(expired),
+            other => panic!("non-terminal final state {other:?}"),
+        }
+        // A losing reply is discarded exactly once, never redelivered.
+        let discarded = cell.discarded.load(Ordering::SeqCst);
+        assert_eq!(discarded, u32::from(expired));
+    });
+}
+
+#[test]
+fn late_reply_after_expiry_is_discarded_not_redelivered() {
+    loom::model(|| {
+        let cell = Arc::new(ReplyCell::new());
+        assert!(cell.expire());
+
+        let late = {
+            let cell = cell.clone();
+            thread::spawn(move || cell.complete(Slot::Replied(9)))
+        };
+        assert!(!late.join().unwrap());
+        assert_eq!(cell.read(), Slot::Expired);
+        assert_eq!(cell.discarded.load(Ordering::SeqCst), 1);
+    });
+}
+
+#[test]
+fn no_resend_after_expiry_and_attempts_stay_bounded() {
+    const MAX_ATTEMPTS: u32 = 3;
+    loom::model(|| {
+        let cell = Arc::new(ReplyCell::new());
+
+        // The responder fails retryably once, then (if re-armed in time)
+        // replies for real. The deadline races the whole affair.
+        let responder = {
+            let cell = cell.clone();
+            thread::spawn(move || {
+                cell.complete(Slot::Retryable);
+                // Wait for the caller's re-arm or a terminal verdict.
+                loop {
+                    match cell.read() {
+                        Slot::Waiting => {
+                            cell.complete(Slot::Replied(1));
+                            break;
+                        }
+                        Slot::Retryable => thread::yield_now(),
+                        Slot::Replied(_) | Slot::Expired => break,
+                    }
+                }
+            })
+        };
+        let deadline = {
+            let cell = cell.clone();
+            thread::spawn(move || cell.expire())
+        };
+
+        // Caller loop: poll; on a retryable failure, check the deadline
+        // and re-send; stop on any terminal.
+        let mut attempts = 0u32;
+        let outcome = loop {
+            match cell.read() {
+                Slot::Retryable => {
+                    if attempts + 1 >= MAX_ATTEMPTS {
+                        break Slot::Expired;
+                    }
+                    // `expired_observed` stands for deadline_remaining()
+                    // == 0 having been seen by this caller.
+                    if cell.rearm_if_retryable(false) {
+                        attempts += 1;
+                    }
+                }
+                Slot::Waiting => thread::yield_now(),
+                terminal => break terminal,
+            }
+        };
+
+        responder.join().unwrap();
+        let expired = deadline.join().unwrap();
+
+        assert!(attempts < MAX_ATTEMPTS, "attempt budget exceeded");
+        match outcome {
+            Slot::Replied(_) => {
+                // The reply beat the deadline; expiry must have lost.
+                assert!(!expired, "caller saw a reply after expiry won");
+            }
+            Slot::Expired => {
+                // Once expiry is terminal, the cell can never leave it:
+                // re-arming checks state under the same lock.
+                assert!(!cell.rearm_if_retryable(false));
+                assert_eq!(cell.read(), Slot::Expired);
+            }
+            other => panic!("caller stopped on non-terminal {other:?}"),
+        }
+    });
+}

@@ -1,0 +1,184 @@
+//! The in-repo wiring catalog: every pipeline *shape* the repository
+//! actually builds, reconstructed as a kernel-free [`PipelineSpec`] (or a
+//! recovery chain) and rendered to its [`WiringGraph`].
+//!
+//! `PipelineSpec::build` already refuses non-conforming specs, so this
+//! pass cannot find a violation that a test run would not — its value is
+//! that it proves conformance *statically*, without spawning a kernel,
+//! and that it keeps doing so for shapes only exercised by examples,
+//! benches, and the shell. A violation here means a wiring template the
+//! repo ships is unsound under its own discipline.
+
+use eden_core::{Result, Value};
+use eden_transput::read_only::FanInMode;
+use eden_transput::recovery::{recovery_graph, RecoveryDiscipline};
+use eden_transput::source::VecSource;
+use eden_transput::transform::{Emitter, Identity, Transform};
+use eden_transput::{ChannelPolicy, Discipline, PipelineSpec, Violation, WiringGraph};
+
+/// A transform with a secondary `Report` channel — the shape of
+/// `SpellCheck` in the report-streams example (Figures 3 and 4), without
+/// depending on the filter library.
+#[derive(Debug)]
+struct Reporter;
+
+impl Transform for Reporter {
+    fn push(&mut self, item: Value, out: &mut Emitter) {
+        out.emit(item);
+    }
+    fn name(&self) -> &'static str {
+        "reporter"
+    }
+    fn secondary_channels(&self) -> Vec<&'static str> {
+        vec!["Report"]
+    }
+}
+
+fn items() -> Vec<Value> {
+    (0..4).map(Value::Int).collect()
+}
+
+fn two_sources() -> Vec<Box<dyn eden_transput::source::PullSource>> {
+    vec![
+        Box::new(VecSource::new(items())),
+        Box::new(VecSource::new(items())),
+    ]
+}
+
+/// Every wiring shape the repo builds, as `(name, graph)` pairs. Names are
+/// stable identifiers used in reports and tests.
+pub fn catalog() -> Result<Vec<(String, WiringGraph)>> {
+    let mut entries: Vec<(String, PipelineSpec)> = Vec::new();
+
+    // The plain chains every test, bench, and example builds.
+    for (label, discipline) in [
+        ("read-only/chain", Discipline::ReadOnly { read_ahead: 0 }),
+        ("read-only/read-ahead", Discipline::ReadOnly { read_ahead: 8 }),
+        ("write-only/chain", Discipline::WriteOnly { push_ahead: 0 }),
+        ("write-only/push-ahead", Discipline::WriteOnly { push_ahead: 4 }),
+        (
+            "conventional/chain",
+            Discipline::Conventional { buffer_capacity: 4 },
+        ),
+    ] {
+        entries.push((
+            label.to_owned(),
+            PipelineSpec::new(discipline)
+                .source_vec(items())
+                .stage(Box::new(Identity))
+                .stage(Box::new(Identity)),
+        ));
+    }
+
+    // §5 connection protocol: the same chain under capability channels.
+    entries.push((
+        "read-only/capability".to_owned(),
+        PipelineSpec::new(Discipline::ReadOnly { read_ahead: 0 })
+            .source_vec(items())
+            .stage(Box::new(Identity))
+            .policy(ChannelPolicy::Capability),
+    ));
+
+    // Figure 4: a report window tapping a secondary channel.
+    entries.push((
+        "read-only/tapped-report".to_owned(),
+        PipelineSpec::new(Discipline::ReadOnly { read_ahead: 0 })
+            .source_vec(items())
+            .stage(Box::new(Reporter))
+            .tap(0, "Report")
+            .policy(ChannelPolicy::Capability),
+    ));
+    entries.push((
+        "conventional/tapped-report".to_owned(),
+        PipelineSpec::new(Discipline::Conventional { buffer_capacity: 4 })
+            .source_vec(items())
+            .stage(Box::new(Reporter))
+            .tap(0, "Report"),
+    ));
+
+    // Merged sources in all three disciplines — including the write-only
+    // fan-in workaround of §5 (pull-wired merge behind the pump).
+    for (label, discipline) in [
+        ("read-only/merged", Discipline::ReadOnly { read_ahead: 0 }),
+        ("write-only/merged", Discipline::WriteOnly { push_ahead: 0 }),
+        (
+            "conventional/merged",
+            Discipline::Conventional { buffer_capacity: 4 },
+        ),
+    ] {
+        entries.push((
+            label.to_owned(),
+            PipelineSpec::new(discipline)
+                .source_merge(two_sources(), FanInMode::Concatenate)
+                .stage(Box::new(Identity)),
+        ));
+    }
+
+    // The adaptive-batching and distribution dials (benches + E-series).
+    entries.push((
+        "read-only/adaptive-distributed".to_owned(),
+        PipelineSpec::new(Discipline::ReadOnly { read_ahead: 0 })
+            .source_vec(items())
+            .stage(Box::new(Identity))
+            .adaptive_batch(48)
+            .over_nodes(3),
+    ));
+
+    // The shell's default pipeline shape (`eden-shell::exec`).
+    entries.push((
+        "shell/default".to_owned(),
+        PipelineSpec::new(Discipline::ReadOnly { read_ahead: 0 })
+            .source_vec(items())
+            .stage(Box::new(Identity))
+            .batch(4),
+    ));
+
+    let mut graphs: Vec<(String, WiringGraph)> = entries
+        .into_iter()
+        .map(|(name, spec)| spec.graph().map(|g| (name, g)))
+        .collect::<Result<_>>()?;
+
+    // The recovery plane's chains (crates/eden-transput/src/recovery.rs).
+    for (label, discipline) in [
+        ("recovery/read-only", RecoveryDiscipline::ReadOnly),
+        ("recovery/write-only", RecoveryDiscipline::WriteOnly),
+        ("recovery/conventional", RecoveryDiscipline::Conventional),
+    ] {
+        graphs.push((
+            label.to_owned(),
+            recovery_graph(discipline, &["upcase", "grep"]),
+        ));
+    }
+    Ok(graphs)
+}
+
+/// Check every catalog entry; returns only the entries with violations.
+pub fn check_catalog() -> Result<Vec<(String, Vec<Violation>)>> {
+    Ok(catalog()?
+        .into_iter()
+        .map(|(name, graph)| (name, graph.check()))
+        .filter(|(_, v)| !v.is_empty())
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_covers_all_disciplines_and_recovery() {
+        let graphs = catalog().unwrap();
+        assert!(graphs.len() >= 12);
+        for prefix in ["read-only/", "write-only/", "conventional/", "recovery/"] {
+            assert!(
+                graphs.iter().any(|(n, _)| n.starts_with(prefix)),
+                "no {prefix} entry"
+            );
+        }
+    }
+
+    #[test]
+    fn every_shipped_shape_conforms() {
+        assert_eq!(check_catalog().unwrap(), Vec::new());
+    }
+}

@@ -1,0 +1,17 @@
+//! Static analysis for the Eden reproduction.
+//!
+//! Two passes, both runnable from the `eden-lint` binary and from CI:
+//!
+//! * **Discipline conformance** ([`catalog`], [`fixture`]): every wiring
+//!   shape the repo builds — pipeline specs, shell pipelines, recovery
+//!   chains — is rendered as a [`eden_transput::WiringGraph`] and checked
+//!   against the §3–§5 discipline predicates. Hand-written violation
+//!   fixtures prove each predicate actually fires.
+//! * **Lock-order audit** ([`lockorder`]): a source-level scan of
+//!   eden-kernel and eden-transput extracts the Mutex/RwLock acquisition
+//!   graph, detects cycles, and checks every observed nesting against the
+//!   blessed partial order in `docs/LOCK_ORDER.md`.
+
+pub mod catalog;
+pub mod fixture;
+pub mod lockorder;

@@ -1,0 +1,184 @@
+//! `eden-lint` — static analysis for the Eden reproduction.
+//!
+//! ```text
+//! cargo run -p eden-lint -- --all
+//!     Run both passes over the real tree; exit 1 on any finding.
+//! cargo run -p eden-lint -- --discipline [--fixture PATH]
+//!     Discipline conformance: the in-repo wiring catalog, or the given
+//!     fixture file / directory of `.graph` files.
+//! cargo run -p eden-lint -- --lock-order [--root DIR]... [--blessed FILE]
+//!     Lock-order audit over the given roots (default: eden-kernel and
+//!     eden-transput sources) against the blessed partial order.
+//! ```
+//!
+//! Exit status: 0 clean, 1 findings, 2 usage or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use eden_lint::{catalog, fixture, lockorder};
+
+fn workspace_root() -> PathBuf {
+    // crates/eden-lint -> crates -> workspace root. Compile-time constant,
+    // so the binary works whatever the invocation directory.
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..");
+    root.canonicalize().unwrap_or(root)
+}
+
+struct Args {
+    discipline: bool,
+    lock_order: bool,
+    fixtures: Vec<PathBuf>,
+    roots: Vec<PathBuf>,
+    blessed: Option<PathBuf>,
+    quiet: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        discipline: false,
+        lock_order: false,
+        fixtures: Vec::new(),
+        roots: Vec::new(),
+        blessed: None,
+        quiet: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--all" => {
+                args.discipline = true;
+                args.lock_order = true;
+            }
+            "--discipline" => args.discipline = true,
+            "--lock-order" => args.lock_order = true,
+            "--fixture" => args
+                .fixtures
+                .push(PathBuf::from(it.next().ok_or("--fixture needs a path")?)),
+            "--root" => args
+                .roots
+                .push(PathBuf::from(it.next().ok_or("--root needs a path")?)),
+            "--blessed" => {
+                args.blessed = Some(PathBuf::from(it.next().ok_or("--blessed needs a path")?))
+            }
+            "--quiet" | "-q" => args.quiet = true,
+            "--help" | "-h" => return Err("help".into()),
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    if !args.discipline && !args.lock_order {
+        return Err("pass --discipline, --lock-order, or --all".into());
+    }
+    Ok(args)
+}
+
+fn run_discipline(args: &Args) -> Result<usize, String> {
+    let mut findings = 0usize;
+    if args.fixtures.is_empty() {
+        let checked = catalog::catalog().map_err(|e| e.to_string())?;
+        for (name, graph) in checked {
+            let violations = graph.check();
+            if violations.is_empty() {
+                if !args.quiet {
+                    println!("discipline ok: {name}");
+                }
+            } else {
+                findings += violations.len();
+                for v in violations {
+                    println!("discipline FAIL: {name}: {v}");
+                }
+            }
+        }
+    } else {
+        for path in &args.fixtures {
+            let loaded = if path.is_dir() {
+                fixture::load_dir(path).map_err(|e| e.to_string())?
+            } else {
+                vec![fixture::load(path).map_err(|e| e.to_string())?]
+            };
+            for f in loaded {
+                let violations = f.check();
+                let expected = f.verdict_matches(&violations);
+                if violations.is_empty() {
+                    if !args.quiet {
+                        println!("fixture clean: {}", f.name);
+                    }
+                } else {
+                    findings += violations.len();
+                    for v in &violations {
+                        println!("fixture {}: {v}", f.name);
+                    }
+                }
+                if !expected {
+                    findings += 1;
+                    println!(
+                        "fixture {}: raised rules do not match its `# expect:` headers",
+                        f.name
+                    );
+                }
+            }
+        }
+    }
+    Ok(findings)
+}
+
+fn run_lock_order(args: &Args) -> Result<usize, String> {
+    let root = workspace_root();
+    let blessed_path = args
+        .blessed
+        .clone()
+        .unwrap_or_else(|| root.join("docs").join("LOCK_ORDER.md"));
+    let markdown = std::fs::read_to_string(&blessed_path)
+        .map_err(|e| format!("read {}: {e}", blessed_path.display()))?;
+    let spec = lockorder::parse_blessed(&markdown).map_err(|e| e.to_string())?;
+    let roots: Vec<PathBuf> = if args.roots.is_empty() {
+        vec![
+            root.join("crates").join("eden-kernel").join("src"),
+            root.join("crates").join("eden-transput").join("src"),
+        ]
+    } else {
+        args.roots.clone()
+    };
+    let report = lockorder::audit(&spec, &roots).map_err(|e| e.to_string())?;
+    print!("{}", report.render());
+    Ok(report.cycles.len() + report.deviations.len())
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("eden-lint: {msg}");
+            eprintln!(
+                "usage: eden-lint [--all] [--discipline [--fixture PATH]...] \
+                 [--lock-order [--root DIR]... [--blessed FILE]] [--quiet]"
+            );
+            return ExitCode::from(2);
+        }
+    };
+    let mut findings = 0usize;
+    for (enabled, pass) in [
+        (args.discipline, run_discipline as fn(&Args) -> Result<usize, String>),
+        (args.lock_order, run_lock_order as fn(&Args) -> Result<usize, String>),
+    ] {
+        if !enabled {
+            continue;
+        }
+        match pass(&args) {
+            Ok(n) => findings += n,
+            Err(msg) => {
+                eprintln!("eden-lint: {msg}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if findings == 0 {
+        println!("eden-lint: clean");
+        ExitCode::SUCCESS
+    } else {
+        println!("eden-lint: {findings} finding(s)");
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,23 @@
+// A deliberately inverted acquisition order. This file is *scanned* by
+// the lock-order fixture test, never compiled: `forward` nests
+// alpha -> beta (the blessed direction) and `backward` nests
+// beta -> alpha, closing the cycle the audit must detect.
+
+struct Pair {
+    alpha: Mutex<u32>,
+    beta: Mutex<u32>,
+}
+
+impl Pair {
+    fn forward(&self) -> u32 {
+        let a = self.alpha.lock();
+        let b = self.beta.lock();
+        *a + *b
+    }
+
+    fn backward(&self) -> u32 {
+        let b = self.beta.lock();
+        let a = self.alpha.lock();
+        *a - *b
+    }
+}

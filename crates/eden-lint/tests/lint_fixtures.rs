@@ -1,0 +1,119 @@
+//! The `#[should_fail]`-style corpus: every discipline rule has a seeded
+//! fixture that must make the linter fire (and exit non-zero), the legal
+//! §5 merge workaround must stay clean, the lock-order fixture must
+//! produce a cycle, and the real tree must pass both passes.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use eden_lint::{fixture, lockorder};
+use eden_transput::conform::Rule;
+
+fn fixtures_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("fixtures")
+}
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_eden-lint"))
+}
+
+#[test]
+fn every_discipline_rule_has_a_firing_fixture() {
+    let fixtures = fixture::load_dir(&fixtures_dir().join("discipline")).unwrap();
+    let mut fired: Vec<Rule> = Vec::new();
+    for f in &fixtures {
+        let violations = f.check();
+        assert!(
+            f.verdict_matches(&violations),
+            "{}: expected {:?}, raised {:?}",
+            f.name,
+            f.expect,
+            violations
+        );
+        fired.extend(violations.iter().map(|v| v.rule));
+    }
+    for rule in [
+        Rule::FanOutUnderReadOnly,
+        Rule::FanInUnderWriteOnly,
+        Rule::UnbufferedFilterEdge,
+        Rule::ChannelForgery,
+        Rule::UnknownNode,
+    ] {
+        assert!(fired.contains(&rule), "no fixture fires {rule}");
+    }
+}
+
+#[test]
+fn merge_workaround_fixture_is_clean() {
+    let f = fixture::load(
+        &fixtures_dir()
+            .join("discipline")
+            .join("merge_workaround_clean.graph"),
+    )
+    .unwrap();
+    assert!(f.expect.is_empty());
+    assert_eq!(f.check(), Vec::new());
+}
+
+#[test]
+fn binary_exits_nonzero_on_each_seeded_violation() {
+    for entry in std::fs::read_dir(fixtures_dir().join("discipline")).unwrap() {
+        let path = entry.unwrap().path();
+        if path.extension().is_none_or(|e| e != "graph") {
+            continue;
+        }
+        let f = fixture::load(&path).unwrap();
+        let status = bin()
+            .args(["--discipline", "--fixture"])
+            .arg(&path)
+            .status()
+            .unwrap();
+        if f.expect.is_empty() {
+            assert!(status.success(), "{} should be clean", f.name);
+        } else {
+            assert_eq!(status.code(), Some(1), "{} should fail", f.name);
+        }
+    }
+}
+
+#[test]
+fn lock_order_fixture_cycle_is_detected() {
+    let spec = lockorder::parse_blessed(
+        &std::fs::read_to_string(fixtures_dir().join("lock_order").join("blessed.md")).unwrap(),
+    )
+    .unwrap();
+    let report = lockorder::audit(&spec, &[fixtures_dir().join("lock_order").join("cycle")])
+        .unwrap();
+    assert_eq!(report.cycles.len(), 1, "{}", report.render());
+    assert!(!report.deviations.is_empty(), "{}", report.render());
+
+    let status = bin()
+        .args(["--lock-order", "--root"])
+        .arg(fixtures_dir().join("lock_order").join("cycle"))
+        .arg("--blessed")
+        .arg(fixtures_dir().join("lock_order").join("blessed.md"))
+        .status()
+        .unwrap();
+    assert_eq!(status.code(), Some(1));
+}
+
+#[test]
+fn real_tree_is_clean_under_both_passes() {
+    let output = bin().args(["--all", "--quiet"]).output().unwrap();
+    assert!(
+        output.status.success(),
+        "stdout:\n{}\nstderr:\n{}",
+        String::from_utf8_lossy(&output.stdout),
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("acyclic and blessed"), "{stdout}");
+}
+
+#[test]
+fn usage_errors_exit_two() {
+    assert_eq!(bin().status().unwrap().code(), Some(2));
+    assert_eq!(bin().arg("--frobnicate").status().unwrap().code(), Some(2));
+}

@@ -1,4 +1,5 @@
-//! Executor: [`PipelineSpec`] → wired Ejects → results.
+//! Executor: parsed [`CommandSpec`] → typed [`PipelineSpec`] → wired
+//! Ejects → results.
 //!
 //! This is the Eject the paper says a security-conscious user could write
 //! for themselves (§5): "the security of this scheme thus depends on the
@@ -15,12 +16,13 @@ use eden_core::{EdenError, Result, Uid, Value};
 use eden_fs::{lookup, new_stream_arg, use_stream_arg};
 use eden_kernel::Kernel;
 use eden_transput::source::VecSource;
-use eden_transput::{ChannelPolicy, Discipline, PipelineBuilder, PipelineRun};
+use eden_transput::{ChannelPolicy, Discipline, PipelineRun, PipelineSpec};
 
-use crate::parse::{parse, PipelineSpec, SinkSpec, SourceSpec};
+use crate::parse::{parse, CommandSpec, SinkSpec, SourceSpec};
 
 /// The Ejects a shell session talks to.
 #[derive(Clone)]
+#[derive(Debug)]
 pub struct ShellEnv {
     kernel: Kernel,
     /// Directory for `file NAME` sources/sinks (any Eject answering
@@ -68,9 +70,9 @@ impl ShellEnv {
     }
 
     /// Execute a parsed pipeline.
-    pub fn execute(&self, spec: PipelineSpec) -> Result<ShellRun> {
+    pub fn execute(&self, spec: CommandSpec) -> Result<ShellRun> {
         let discipline = self.discipline(&spec)?;
-        let mut builder = PipelineBuilder::new(&self.kernel, discipline);
+        let mut builder = PipelineSpec::new(discipline);
         if let Some(batch) = spec.directives.get("batch") {
             builder = builder.batch(parse_num(batch, "@batch")?);
         }
@@ -120,7 +122,7 @@ impl ShellEnv {
                 windows_wanted.push((idx, tap.channel.clone(), tap.window.clone()));
             }
         }
-        let run = builder.build()?.run(self.deadline)?;
+        let run = builder.build(&self.kernel)?.run(self.deadline)?;
         let mut windows = BTreeMap::new();
         for (idx, channel, window) in windows_wanted {
             let items = run.report(idx, &channel).unwrap_or(&[]).to_vec();
@@ -136,7 +138,7 @@ impl ShellEnv {
         })
     }
 
-    fn discipline(&self, spec: &PipelineSpec) -> Result<Discipline> {
+    fn discipline(&self, spec: &CommandSpec) -> Result<Discipline> {
         let read_ahead = spec
             .directives
             .get("readahead")

@@ -35,7 +35,6 @@
 //! kernel.shutdown();
 //! ```
 
-#![warn(missing_docs)]
 
 pub mod exec;
 pub mod parse;
@@ -43,6 +42,6 @@ pub mod session;
 pub mod token;
 
 pub use exec::{ShellEnv, ShellRun};
-pub use parse::{parse, PipelineSpec, SinkSpec, SourceSpec, StageSpec, TapSpec};
+pub use parse::{parse, CommandSpec, SinkSpec, SourceSpec, StageSpec, TapSpec};
 pub use session::Session;
 pub use token::{tokenize, Token};

@@ -1,4 +1,4 @@
-//! Parser: tokens → [`PipelineSpec`].
+//! Parser: tokens → [`CommandSpec`].
 //!
 //! Grammar (see the crate docs for the language reference):
 //!
@@ -67,7 +67,7 @@ pub enum SinkSpec {
 
 /// A parsed pipeline command.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct PipelineSpec {
+pub struct CommandSpec {
     /// `@key=value` directives (discipline, batch, readahead, ...).
     pub directives: BTreeMap<String, String>,
     /// The source.
@@ -79,7 +79,7 @@ pub struct PipelineSpec {
 }
 
 /// Parse a command line.
-pub fn parse(input: &str) -> Result<PipelineSpec> {
+pub fn parse(input: &str) -> Result<CommandSpec> {
     let tokens = tokenize(input)?;
     Parser { tokens, pos: 0 }.pipeline()
 }
@@ -111,7 +111,7 @@ impl Parser {
         }
     }
 
-    fn pipeline(&mut self) -> Result<PipelineSpec> {
+    fn pipeline(&mut self) -> Result<CommandSpec> {
         let mut directives = BTreeMap::new();
         while self.peek() == Some(&Token::At) {
             self.next();
@@ -147,7 +147,7 @@ impl Parser {
                 }
             }
         }
-        Ok(PipelineSpec {
+        Ok(CommandSpec {
             directives,
             source,
             stages,

@@ -24,6 +24,7 @@ use eden_kernel::Kernel;
 use crate::exec::ShellEnv;
 
 /// One interactive session over a kernel.
+#[derive(Debug)]
 pub struct Session {
     kernel: Kernel,
     home: Uid,

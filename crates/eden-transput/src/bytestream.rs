@@ -20,6 +20,7 @@ use crate::source::PullSource;
 use crate::transform::{Emitter, Transform};
 
 /// A source of byte chunks over a single buffer.
+#[derive(Debug)]
 pub struct BytesSource {
     data: Bytes,
     offset: usize,
@@ -71,6 +72,7 @@ pub fn concat_bytes<'a>(items: impl IntoIterator<Item = &'a Value>) -> Bytes {
 /// buffering partial lines across chunk boundaries. The final unterminated
 /// line (if any) is emitted at flush.
 #[derive(Default)]
+#[derive(Debug)]
 pub struct LineSplitter {
     partial: Vec<u8>,
 }
@@ -123,6 +125,7 @@ impl Transform for LineSplitter {
 /// newline-terminated) — the inverse of [`LineSplitter`] for
 /// newline-terminated text.
 #[derive(Default)]
+#[derive(Debug)]
 pub struct LineJoiner;
 
 impl LineJoiner {
@@ -151,6 +154,7 @@ impl Transform for LineJoiner {
 
 /// Re-chunk a byte stream into fixed-size records (accumulates across
 /// input boundaries; the final short chunk flushes at end).
+#[derive(Debug)]
 pub struct Rechunker {
     size: usize,
     pending: BytesMut,

@@ -7,7 +7,7 @@ use std::time::{Duration, Instant};
 use eden_core::{EdenError, Result, Value};
 use parking_lot::{Condvar, Mutex};
 
-#[derive(Default)]
+#[derive(Debug, Default)]
 struct State {
     items: Vec<Value>,
     records_seen: u64,
@@ -22,6 +22,7 @@ struct State {
 /// ignores the data it is given", §4) — it still counts records and signals
 /// completion, which is what benchmarks need.
 #[derive(Clone)]
+#[derive(Debug)]
 pub struct Collector {
     state: Arc<(Mutex<State>, Condvar)>,
     keep_items: bool,

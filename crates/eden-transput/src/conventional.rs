@@ -27,12 +27,14 @@ use crate::transform::{Emitter, Transform};
 use crate::write_only::{OutputPort, OutputWiring};
 
 /// A parked reader.
+#[derive(Debug)]
 struct ReadWaiter {
     max: usize,
     reply: ReplyHandle,
 }
 
 /// A parked writer, holding the records that did not yet fit.
+#[derive(Debug)]
 struct WriteWaiter {
     request: WriteRequest,
     reply: ReplyHandle,
@@ -40,6 +42,7 @@ struct WriteWaiter {
 
 /// The Unix pipe as an Eject: a bounded queue doing passive transput on
 /// both faces.
+#[derive(Debug)]
 pub struct PassiveBufferEject {
     capacity: usize,
     buffer: VecDeque<Value>,
@@ -180,6 +183,7 @@ type PumpParts = (Box<dyn Transform>, Uid, ChannelId, OutputWiring, usize);
 
 /// The Unix filter as an Eject: active on both faces, so it must sit
 /// between passive buffers. Transforms *and pumps*.
+#[derive(Debug)]
 pub struct PumpFilterEject {
     /// Moved into the pump worker at activation.
     parts: Option<PumpParts>,

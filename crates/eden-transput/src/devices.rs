@@ -36,6 +36,7 @@ pub struct Subscription {
 /// Each subscription gets its own pump process; records land in the shared
 /// collector as `Record{from, item}`. The collector finishes when every
 /// subscribed stream has ended.
+#[derive(Debug)]
 pub struct WindowEject {
     subscriptions: Vec<Subscription>,
     collector: Collector,
@@ -135,6 +136,7 @@ impl EjectBehavior for WindowEject {
 
 /// A deterministic clock source: each record is a monotonically increasing
 /// "timestamp" record. The paper's date/time source, made reproducible.
+#[derive(Debug)]
 pub struct TickSource {
     next: i64,
     limit: i64,

@@ -20,31 +20,36 @@
 //! ```
 //! use eden_core::Value;
 //! use eden_kernel::Kernel;
-//! use eden_transput::{Discipline, PipelineBuilder};
+//! use eden_transput::{Discipline, PipelineSpec};
 //! use eden_transput::transform::map_fn;
 //! use std::time::Duration;
 //!
 //! let kernel = Kernel::new();
-//! let run = PipelineBuilder::new(&kernel, Discipline::ReadOnly { read_ahead: 0 })
+//! let run = PipelineSpec::new(Discipline::ReadOnly { read_ahead: 0 })
 //!     .source_vec((0..5).map(Value::Int).collect())
 //!     .stage(Box::new(map_fn("square", |v| {
 //!         let i = v.as_int().unwrap();
 //!         Value::Int(i * i)
 //!     })))
-//!     .build()
+//!     .build(&kernel)
 //!     .unwrap()
 //!     .run(Duration::from_secs(10))
 //!     .unwrap();
 //! assert_eq!(run.output[4], Value::Int(16));
 //! kernel.shutdown();
 //! ```
+//!
+//! A [`PipelineSpec`] is kernel-free until `build`: the same value can be
+//! rendered as a [`conform::WiringGraph`] and statically checked against
+//! the discipline predicates (see [`conform`]) — `build` refuses specs
+//! whose wiring violates them.
 
-#![warn(missing_docs)]
 
 pub mod batching;
 pub mod bytestream;
 pub mod channels;
 pub mod collector;
+pub mod conform;
 pub mod conventional;
 pub mod devices;
 pub mod pipeline;
@@ -60,10 +65,11 @@ pub mod write_only;
 pub use batching::AdaptiveBatch;
 pub use channels::{ChannelPolicy, ChannelSpec, ChannelTable};
 pub use collector::Collector;
-pub use pipeline::{Discipline, Pipeline, PipelineBuilder, PipelineRun};
+pub use conform::{DisciplineKind, Rule, Violation, WiringGraph};
+pub use pipeline::{Discipline, Pipeline, PipelineRun, PipelineSpec};
 pub use protocol::{Batch, ChannelId, TransferRequest, WriteRequest};
 pub use recovery::{
-    install_recovery, run_recoverable_pipeline, RecoveryDiscipline, RecoveryRun,
+    install_recovery, recovery_graph, run_recoverable_pipeline, RecoveryDiscipline, RecoveryRun,
     TransformRegistry,
 };
 pub use transform::{Emitter, Transform};

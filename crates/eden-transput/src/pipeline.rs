@@ -1,7 +1,7 @@
 //! Pipeline construction and measurement.
 //!
-//! One builder, three disciplines (§3–§5): the same source records and the
-//! same [`Transform`] chain can be wired
+//! One typed spec, three disciplines (§3–§5): the same source records and
+//! the same [`Transform`] chain can be wired
 //!
 //! * **read-only** (Figure 2): source ← filters ← sink, the sink pumps;
 //! * **write-only** (Figure 3): source → filters → acceptor, the source
@@ -9,10 +9,16 @@
 //! * **conventional** (Figure 1): active filters glued with passive buffer
 //!   Ejects, both ends pumping.
 //!
-//! [`Pipeline::run`] executes to end-of-stream and returns a
-//! [`PipelineRun`] with the output, the metered event counts for the data
-//! phase, and wall-clock time — the raw material for every experiment in
-//! `EXPERIMENTS.md`.
+//! [`PipelineSpec`] is kernel-free: it describes the wiring without
+//! touching a kernel, so the same value can be statically checked
+//! ([`PipelineSpec::graph`] → [`conform::check`]) or instantiated
+//! ([`PipelineSpec::build`], which validates first — a spec that violates
+//! its discipline never spawns an Eject). [`Pipeline::run`] executes to
+//! end-of-stream and returns a [`PipelineRun`] with the output, the
+//! metered event counts for the data phase, and wall-clock time — the raw
+//! material for every experiment in `EXPERIMENTS.md`.
+//!
+//! [`conform::check`]: crate::conform::check
 
 use std::time::{Duration, Instant};
 
@@ -22,8 +28,9 @@ use eden_kernel::{EjectState, Kernel, NodeId};
 
 use crate::channels::ChannelPolicy;
 use crate::collector::Collector;
+use crate::conform::{self, DisciplineKind, GrantPolicy, NodeRole, WiringGraph};
 use crate::conventional::{PassiveBufferEject, PumpFilterEject};
-use crate::protocol::{ChannelId, GetChannelRequest};
+use crate::protocol::{ChannelId, GetChannelRequest, OUTPUT_NAME};
 use crate::read_only::{FanInMode, InputPort, PullFilterConfig, PullFilterEject};
 use crate::sink::{AcceptorSinkEject, SinkEject};
 use crate::source::{PullSource, VecSource};
@@ -59,9 +66,20 @@ impl Discipline {
             Discipline::Conventional { .. } => "conventional",
         }
     }
+
+    /// The discipline's identity, stripped of tuning knobs — what the
+    /// static conformance predicates key on.
+    pub fn kind(&self) -> DisciplineKind {
+        match self {
+            Discipline::ReadOnly { .. } => DisciplineKind::ReadOnly,
+            Discipline::WriteOnly { .. } => DisciplineKind::WriteOnly,
+            Discipline::Conventional { .. } => DisciplineKind::Conventional,
+        }
+    }
 }
 
 /// A tap on a filter's secondary output channel (a report stream, §5).
+#[derive(Debug)]
 struct ReportTap {
     stage: usize,
     channel: String,
@@ -84,9 +102,42 @@ enum SourceSpec {
     Program(Box<dyn FnOnce(crate::stdio::TransputWriter) + Send>),
 }
 
-/// Builder for a linear pipeline with optional report taps.
-pub struct PipelineBuilder {
-    kernel: Kernel,
+impl std::fmt::Debug for SourceSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SourceSpec::Local(_) => f.write_str("Local"),
+            SourceSpec::Eject(uid) => f.debug_tuple("Eject").field(uid).finish(),
+            SourceSpec::Merge(sources, mode) => f
+                .debug_tuple("Merge")
+                .field(&sources.len())
+                .field(mode)
+                .finish(),
+            SourceSpec::MergeEjects(ports, mode) => {
+                f.debug_tuple("MergeEjects").field(ports).field(mode).finish()
+            }
+            SourceSpec::Program(_) => f.write_str("Program"),
+        }
+    }
+}
+
+/// The graph-label for an input port's channel.
+fn channel_label(id: &ChannelId) -> String {
+    match id {
+        ChannelId::Number(0) => OUTPUT_NAME.to_owned(),
+        ChannelId::Number(n) => format!("#{n}"),
+        ChannelId::Cap(uid) => format!("cap:{uid}"),
+    }
+}
+
+/// A kernel-free description of a linear pipeline with optional report
+/// taps: what to wire, in which discipline, with which knobs.
+///
+/// The spec is the unit of static analysis — [`graph`](Self::graph)
+/// renders it as a [`WiringGraph`] for the conformance predicates, and
+/// [`build`](Self::build) instantiates it on a kernel only after
+/// [`validate`](Self::validate) passes.
+#[derive(Debug)]
+pub struct PipelineSpec {
     discipline: Discipline,
     batch: usize,
     batch_max: usize,
@@ -99,11 +150,10 @@ pub struct PipelineBuilder {
     write_window: usize,
 }
 
-impl PipelineBuilder {
-    /// Start building a pipeline on `kernel` in `discipline`.
-    pub fn new(kernel: &Kernel, discipline: Discipline) -> PipelineBuilder {
-        PipelineBuilder {
-            kernel: kernel.clone(),
+impl PipelineSpec {
+    /// Start describing a pipeline in `discipline`.
+    pub fn new(discipline: Discipline) -> PipelineSpec {
+        PipelineSpec {
             discipline,
             batch: 16,
             batch_max: 0,
@@ -222,12 +272,191 @@ impl PipelineBuilder {
         self
     }
 
-    /// Wire everything up. Ejects spawn now; in the read-only discipline no
-    /// data flows yet (the sink's first Transfer starts the flow as part of
-    /// `run`).
-    pub fn build(self) -> Result<Pipeline> {
-        let PipelineBuilder {
-            kernel,
+    /// Render the spec as a wiring graph for the conformance predicates.
+    ///
+    /// The graph mirrors the Ejects [`build`](Self::build) would spawn —
+    /// merge filters, identity pumps, and conventional buffers included —
+    /// so a conforming graph here means the instantiated pipeline's actual
+    /// wiring conforms too. Under the capability channel policy every edge
+    /// carries a grant, because the wirer itself performs the §5
+    /// `GetChannel` handshake for each connection it makes.
+    pub fn graph(&self) -> Result<WiringGraph> {
+        let source = self.source.as_ref().ok_or_else(|| {
+            EdenError::BadParameter("pipeline needs a source before graph()".into())
+        })?;
+        let mut g = WiringGraph::new(self.discipline.kind());
+        if self.policy == ChannelPolicy::Capability {
+            g = g.policy(GrantPolicy::Capability);
+        }
+
+        // Resolve the source into the node feeding the first stage,
+        // mirroring `build`: merges become a fan-in filter; in the
+        // source-pumped disciplines, external Ejects and programs get an
+        // identity pump; a local supply pumps for itself.
+        let pumped = !matches!(self.discipline, Discipline::ReadOnly { .. });
+        let head = match source {
+            SourceSpec::Local(_) => {
+                g.node("source", NodeRole::Source);
+                "source".to_owned()
+            }
+            SourceSpec::Program(_) => {
+                g.node("source:program", NodeRole::Source);
+                "source:program".to_owned()
+            }
+            SourceSpec::Eject(uid) => {
+                let name = format!("eject:{uid}");
+                g.node(&name, NodeRole::Source);
+                name
+            }
+            SourceSpec::Merge(sources, _) => {
+                // The merge filter *pulls* its inputs whatever the
+                // pipeline's discipline — that pull wiring is the §5
+                // workaround making fan-in legal even in a write-only
+                // pipeline.
+                g.node("merge", NodeRole::Filter);
+                for (i, _) in sources.iter().enumerate() {
+                    let name = format!("source[{i}]");
+                    g.node(&name, NodeRole::Source);
+                    g.edge_mode(&name, OUTPUT_NAME, "merge", conform::EdgeMode::Pull);
+                }
+                "merge".to_owned()
+            }
+            SourceSpec::MergeEjects(ports, _) => {
+                g.node("merge", NodeRole::Filter);
+                for port in ports {
+                    let name = format!("eject:{}", port.uid);
+                    g.node(&name, NodeRole::Source);
+                    g.edge_mode(&name, channel_label(&port.channel), "merge", conform::EdgeMode::Pull);
+                }
+                "merge".to_owned()
+            }
+        };
+        // Non-local sources cannot pump themselves: `build` interposes an
+        // identity pump in the source-pumped disciplines. The pump pulls
+        // its upstream and pushes downstream.
+        let head = if pumped && !matches!(source, SourceSpec::Local(_)) {
+            g.node("pump", NodeRole::Filter);
+            g.edge_mode(&head, OUTPUT_NAME, "pump", conform::EdgeMode::Pull);
+            "pump".to_owned()
+        } else {
+            head
+        };
+
+        let mut stage_names = Vec::with_capacity(self.stages.len());
+        for (i, t) in self.stages.iter().enumerate() {
+            let name = format!("stage{i}:{}", t.name());
+            g.node(&name, NodeRole::Filter);
+            stage_names.push(name);
+        }
+        g.node("sink", NodeRole::Sink);
+
+        match self.discipline {
+            Discipline::ReadOnly { .. } | Discipline::WriteOnly { .. } => {
+                // A straight chain; taps hang their own sink off the
+                // stage's secondary channel.
+                let mut prev = head;
+                for name in &stage_names {
+                    g.edge(&prev, OUTPUT_NAME, name);
+                    prev = name.clone();
+                }
+                g.edge(&prev, OUTPUT_NAME, "sink");
+                for tap in &self.taps {
+                    if let Some(stage) = stage_names.get(tap.stage) {
+                        let sink = format!("tap{}:{}", tap.stage, tap.channel);
+                        g.node(&sink, NodeRole::Sink);
+                        g.edge(stage, &tap.channel, &sink);
+                    }
+                }
+            }
+            Discipline::Conventional { .. } => {
+                // Figure 1: n filters need n+1 passive buffers; taps get
+                // their own buffer + reader.
+                g.node("buf0", NodeRole::Buffer);
+                g.edge(&head, OUTPUT_NAME, "buf0");
+                let mut upstream = "buf0".to_owned();
+                for (i, name) in stage_names.iter().enumerate() {
+                    let out_buf = format!("buf{}", i + 1);
+                    g.node(&out_buf, NodeRole::Buffer);
+                    g.edge(&upstream, OUTPUT_NAME, name);
+                    g.edge(name, OUTPUT_NAME, &out_buf);
+                    for tap in self.taps.iter().filter(|t| t.stage == i) {
+                        let buf = format!("tapbuf{}:{}", tap.stage, tap.channel);
+                        let sink = format!("tap{}:{}", tap.stage, tap.channel);
+                        g.node(&buf, NodeRole::Buffer);
+                        g.node(&sink, NodeRole::Sink);
+                        g.edge(name, &tap.channel, &buf);
+                        g.edge(&buf, OUTPUT_NAME, &sink);
+                    }
+                    upstream = out_buf;
+                }
+                g.edge(&upstream, OUTPUT_NAME, "sink");
+            }
+        }
+
+        if g.policy == GrantPolicy::Capability {
+            g.grant_all_edges();
+        }
+        Ok(g)
+    }
+
+    /// Check the spec without touching a kernel: a source is present,
+    /// every tap names a declared secondary channel of a real stage, and
+    /// the wiring graph satisfies its discipline's predicates.
+    pub fn validate(&self) -> Result<()> {
+        // Validate taps up front: in the source-pumped disciplines an
+        // unattached tap would otherwise stall `run` until its deadline.
+        for tap in &self.taps {
+            if tap.stage >= self.stages.len() {
+                return Err(EdenError::BadParameter(format!(
+                    "tap names stage {} but the pipeline has {} stage(s)",
+                    tap.stage,
+                    self.stages.len()
+                )));
+            }
+            let declared = self.stages[tap.stage].secondary_channels();
+            if !declared.iter().any(|c| *c == tap.channel) {
+                return Err(EdenError::NoSuchChannel(format!(
+                    "stage {} (`{}`) declares no channel named `{}`",
+                    tap.stage,
+                    self.stages[tap.stage].name(),
+                    tap.channel
+                )));
+            }
+        }
+        if let SourceSpec::Merge(sources, _) = self.source.as_ref().ok_or_else(|| {
+            EdenError::BadParameter("pipeline needs a source before build()".into())
+        })? {
+            if sources.is_empty() {
+                return Err(EdenError::BadParameter(
+                    "merged source needs at least one input".into(),
+                ));
+            }
+        }
+        if let SourceSpec::MergeEjects(ports, _) = self.source.as_ref().expect("checked above") {
+            if ports.is_empty() {
+                return Err(EdenError::BadParameter(
+                    "merged source needs at least one input".into(),
+                ));
+            }
+        }
+        let violations = self.graph()?.check();
+        if !violations.is_empty() {
+            let list = violations
+                .iter()
+                .map(|v| v.to_string())
+                .collect::<Vec<_>>()
+                .join("; ");
+            return Err(EdenError::Discipline(list));
+        }
+        Ok(())
+    }
+
+    /// Wire everything up on `kernel`, validating first. Ejects spawn
+    /// now; in the read-only discipline no data flows yet (the sink's
+    /// first Transfer starts the flow as part of `run`).
+    pub fn build(self, kernel: &Kernel) -> Result<Pipeline> {
+        self.validate()?;
+        let PipelineSpec {
             discipline,
             batch,
             batch_max,
@@ -239,29 +468,7 @@ impl PipelineBuilder {
             keep_output,
             write_window,
         } = self;
-        let source = source.ok_or_else(|| {
-            EdenError::BadParameter("pipeline needs a source before build()".into())
-        })?;
-        // Validate taps up front: in the source-pumped disciplines an
-        // unattached tap would otherwise stall `run` until its deadline.
-        for tap in &taps {
-            if tap.stage >= stages.len() {
-                return Err(EdenError::BadParameter(format!(
-                    "tap names stage {} but the pipeline has {} stage(s)",
-                    tap.stage,
-                    stages.len()
-                )));
-            }
-            let declared = stages[tap.stage].secondary_channels();
-            if !declared.iter().any(|c| *c == tap.channel) {
-                return Err(EdenError::NoSuchChannel(format!(
-                    "stage {} (`{}`) declares no channel named `{}`",
-                    tap.stage,
-                    stages[tap.stage].name(),
-                    tap.channel
-                )));
-            }
-        }
+        let source = source.expect("validate() checked the source");
         let collector = if keep_output {
             Collector::new()
         } else {
@@ -295,11 +502,6 @@ impl PipelineBuilder {
         };
         let source = match source {
             SourceSpec::MergeEjects(ports, mode) => {
-                if ports.is_empty() {
-                    return Err(EdenError::BadParameter(
-                        "merged source needs at least one input".into(),
-                    ));
-                }
                 let merger = PullFilterEject::with_config(
                     Box::new(crate::transform::Identity),
                     ports,
@@ -341,7 +543,7 @@ impl PipelineBuilder {
         };
         let baseline = kernel.metrics().snapshot();
         Ok(Pipeline {
-            kernel,
+            kernel: kernel.clone(),
             discipline,
             ejects: wiring.ejects,
             deferred_sinks: wiring.deferred,
@@ -592,6 +794,7 @@ fn build_conventional(
 }
 
 /// A wired pipeline, ready to run.
+#[derive(Debug)]
 pub struct Pipeline {
     kernel: Kernel,
     discipline: Discipline,
@@ -744,14 +947,14 @@ mod tests {
 
     fn build_and_run(discipline: Discipline) -> PipelineRun {
         let kernel = Kernel::new();
-        let run = PipelineBuilder::new(&kernel, discipline)
+        let run = PipelineSpec::new(discipline)
             .source_vec((0..40).map(Value::Int).collect())
             .stage(Box::new(map_fn("double", |v| {
                 Value::Int(v.as_int().unwrap() * 2)
             })))
             .stage(Box::new(filter_fn("keep-all", |_| true)))
             .batch(4)
-            .build()
+            .build(&kernel)
             .unwrap()
             .run(Duration::from_secs(20))
             .unwrap();
@@ -817,8 +1020,8 @@ mod tests {
     #[test]
     fn pipeline_without_source_fails_to_build() {
         let kernel = Kernel::new();
-        let err = PipelineBuilder::new(&kernel, Discipline::ReadOnly { read_ahead: 0 })
-            .build()
+        let err = PipelineSpec::new(Discipline::ReadOnly { read_ahead: 0 })
+            .build(&kernel)
             .map(|_| ())
             .unwrap_err();
         assert!(matches!(err, EdenError::BadParameter(_)));
@@ -828,9 +1031,9 @@ mod tests {
     #[test]
     fn teardown_reclaims_ejects() {
         let kernel = Kernel::new();
-        let pipeline = PipelineBuilder::new(&kernel, Discipline::ReadOnly { read_ahead: 0 })
+        let pipeline = PipelineSpec::new(Discipline::ReadOnly { read_ahead: 0 })
             .source_vec((0..4).map(Value::Int).collect())
-            .build()
+            .build(&kernel)
             .unwrap();
         // The sink is deferred to run() ("starting the pump"), so a
         // zero-stage pipeline has spawned only its source at this point.
@@ -848,9 +1051,9 @@ mod tests {
             Discipline::Conventional { buffer_capacity: 4 },
         ] {
             let kernel = Kernel::new();
-            let run = PipelineBuilder::new(&kernel, discipline)
+            let run = PipelineSpec::new(discipline)
                 .source_vec((0..7).map(Value::Int).collect())
-                .build()
+                .build(&kernel)
                 .unwrap()
                 .run(Duration::from_secs(10))
                 .unwrap();
@@ -862,7 +1065,7 @@ mod tests {
     #[test]
     fn merged_sources_concatenate_and_zip() {
         let kernel = Kernel::new();
-        let run = PipelineBuilder::new(&kernel, Discipline::ReadOnly { read_ahead: 0 })
+        let run = PipelineSpec::new(Discipline::ReadOnly { read_ahead: 0 })
             .source_merge(
                 vec![
                     Box::new(crate::source::VecSource::new(vec![Value::Int(1), Value::Int(2)])),
@@ -870,13 +1073,13 @@ mod tests {
                 ],
                 FanInMode::Concatenate,
             )
-            .build()
+            .build(&kernel)
             .unwrap()
             .run(Duration::from_secs(10))
             .unwrap();
         assert_eq!(run.output, vec![Value::Int(1), Value::Int(2), Value::Int(10)]);
 
-        let run = PipelineBuilder::new(&kernel, Discipline::WriteOnly { push_ahead: 0 })
+        let run = PipelineSpec::new(Discipline::WriteOnly { push_ahead: 0 })
             .source_merge(
                 vec![
                     Box::new(crate::source::VecSource::new(vec![Value::Int(1), Value::Int(2)])),
@@ -884,7 +1087,7 @@ mod tests {
                 ],
                 FanInMode::Zip,
             )
-            .build()
+            .build(&kernel)
             .unwrap()
             .run(Duration::from_secs(10))
             .unwrap();
@@ -915,20 +1118,20 @@ mod tests {
             Discipline::WriteOnly { push_ahead: 0 },
         ] {
             // Stage index out of range.
-            let err = PipelineBuilder::new(&kernel, discipline)
+            let err = PipelineSpec::new(discipline)
                 .source_vec(vec![Value::Int(1)])
                 .stage(Box::new(Reporter))
                 .tap(5, "Report")
-                .build()
+                .build(&kernel)
                 .map(|_| ())
                 .unwrap_err();
             assert!(matches!(err, EdenError::BadParameter(_)), "{err}");
             // Channel not declared by the stage.
-            let err = PipelineBuilder::new(&kernel, discipline)
+            let err = PipelineSpec::new(discipline)
                 .source_vec(vec![Value::Int(1)])
                 .stage(Box::new(Reporter))
                 .tap(0, "Bogus")
-                .build()
+                .build(&kernel)
                 .map(|_| ())
                 .unwrap_err();
             assert!(matches!(err, EdenError::NoSuchChannel(_)), "{err}");
@@ -941,7 +1144,7 @@ mod tests {
         // §4's standard IO module as a pipeline source: conventional
         // imperative writes behind passive output.
         let kernel = Kernel::new();
-        let run = PipelineBuilder::new(&kernel, Discipline::ReadOnly { read_ahead: 0 })
+        let run = PipelineSpec::new(Discipline::ReadOnly { read_ahead: 0 })
             .source_program(|out| {
                 for i in 0..5 {
                     out.write(Value::Int(i * 11)).expect("write");
@@ -950,7 +1153,7 @@ mod tests {
             .stage(Box::new(filter_fn("nonzero", |v| {
                 v.as_int().map(|i| i != 0).unwrap_or(false)
             })))
-            .build()
+            .build(&kernel)
             .unwrap()
             .run(Duration::from_secs(10))
             .unwrap();
@@ -966,9 +1169,9 @@ mod tests {
     #[test]
     fn empty_merge_is_rejected() {
         let kernel = Kernel::new();
-        let err = PipelineBuilder::new(&kernel, Discipline::ReadOnly { read_ahead: 0 })
+        let err = PipelineSpec::new(Discipline::ReadOnly { read_ahead: 0 })
             .source_merge(vec![], FanInMode::Concatenate)
-            .build()
+            .build(&kernel)
             .map(|_| ())
             .unwrap_err();
         assert!(matches!(err, EdenError::BadParameter(_)));
@@ -978,15 +1181,129 @@ mod tests {
     #[test]
     fn distributed_placement_counts_remote_invocations() {
         let kernel = Kernel::new();
-        let run = PipelineBuilder::new(&kernel, Discipline::ReadOnly { read_ahead: 0 })
+        let run = PipelineSpec::new(Discipline::ReadOnly { read_ahead: 0 })
             .source_vec((0..10).map(Value::Int).collect())
             .stage(Box::new(map_fn("id", |v| v)))
             .over_nodes(3)
-            .build()
+            .build(&kernel)
             .unwrap()
             .run(Duration::from_secs(10))
             .unwrap();
         assert!(run.metrics.remote_invocations > 0);
         kernel.shutdown();
+    }
+
+    // -- static conformance: PipelineSpec::graph() ---------------------
+
+    fn spec(discipline: Discipline) -> PipelineSpec {
+        PipelineSpec::new(discipline)
+            .source_vec((0..4).map(Value::Int).collect())
+            .stage(Box::new(map_fn("id", |v| v)))
+            .stage(Box::new(filter_fn("keep", |_| true)))
+    }
+
+    #[test]
+    fn specs_conform_by_construction() {
+        for discipline in [
+            Discipline::ReadOnly { read_ahead: 0 },
+            Discipline::WriteOnly { push_ahead: 2 },
+            Discipline::Conventional { buffer_capacity: 8 },
+        ] {
+            let g = spec(discipline).graph().unwrap();
+            assert!(g.check().is_empty(), "{discipline:?}: {:?}", g.check());
+        }
+    }
+
+    #[test]
+    fn graph_mirrors_conventional_buffer_count() {
+        // n filters → n+1 buffers (Figure 1), visible in the graph.
+        let g = spec(Discipline::Conventional { buffer_capacity: 8 })
+            .graph()
+            .unwrap();
+        let buffers = g
+            .nodes
+            .values()
+            .filter(|r| **r == NodeRole::Buffer)
+            .count();
+        assert_eq!(buffers, 3);
+    }
+
+    #[test]
+    fn graph_grants_every_edge_under_capability_policy() {
+        let g = spec(Discipline::ReadOnly { read_ahead: 0 })
+            .policy(ChannelPolicy::Capability)
+            .graph()
+            .unwrap();
+        assert_eq!(g.policy, GrantPolicy::Capability);
+        assert_eq!(g.grants.len(), g.edges.len());
+        assert!(g.check().is_empty());
+    }
+
+    #[test]
+    fn tapped_spec_graph_conforms() {
+        struct Reporter;
+        impl Transform for Reporter {
+            fn push(&mut self, item: Value, out: &mut crate::transform::Emitter) {
+                out.emit(item);
+            }
+            fn secondary_channels(&self) -> Vec<&'static str> {
+                vec!["Report"]
+            }
+        }
+        for discipline in [
+            Discipline::ReadOnly { read_ahead: 0 },
+            Discipline::WriteOnly { push_ahead: 0 },
+            Discipline::Conventional { buffer_capacity: 4 },
+        ] {
+            let g = PipelineSpec::new(discipline)
+                .source_vec(vec![Value::Int(1)])
+                .stage(Box::new(Reporter))
+                .tap(0, "Report")
+                .graph()
+                .unwrap();
+            assert!(g.check().is_empty(), "{discipline:?}: {:?}", g.check());
+        }
+    }
+
+    #[test]
+    fn merged_spec_graph_conforms_in_both_asymmetric_disciplines() {
+        // Fan-in is natural under read-only; under write-only the builder
+        // interposes a pull-side merge filter plus a pump — the §5
+        // workaround for "fan-in is impossible" — and the graph records
+        // those edges as pull-mode, which the write-only predicate
+        // exempts.
+        for discipline in [
+            Discipline::ReadOnly { read_ahead: 0 },
+            Discipline::WriteOnly { push_ahead: 0 },
+            Discipline::Conventional { buffer_capacity: 4 },
+        ] {
+            let g = PipelineSpec::new(discipline)
+                .source_merge(
+                    vec![
+                        Box::new(VecSource::new(vec![Value::Int(1)])),
+                        Box::new(VecSource::new(vec![Value::Int(2)])),
+                    ],
+                    FanInMode::Concatenate,
+                )
+                .graph()
+                .unwrap();
+            assert!(g.check().is_empty(), "{discipline:?}: {:?}", g.check());
+        }
+    }
+
+    #[test]
+    fn discipline_kind_strips_knobs() {
+        assert_eq!(
+            Discipline::ReadOnly { read_ahead: 9 }.kind(),
+            DisciplineKind::ReadOnly
+        );
+        assert_eq!(
+            Discipline::WriteOnly { push_ahead: 9 }.kind(),
+            DisciplineKind::WriteOnly
+        );
+        assert_eq!(
+            Discipline::Conventional { buffer_capacity: 9 }.kind(),
+            DisciplineKind::Conventional
+        );
     }
 }

@@ -109,6 +109,7 @@ impl PullFilterConfig {
 }
 
 /// Pulls records from a set of input ports according to a [`FanInMode`].
+#[derive(Debug)]
 struct InputPuller {
     ports: Vec<InputPort>,
     ended: Vec<bool>,
@@ -221,19 +222,21 @@ impl InputPuller {
 }
 
 /// A parked `Transfer` awaiting data: passive output in flight.
+#[derive(Debug)]
 struct Waiter {
     max: usize,
     reply: ReplyHandle,
 }
 
 /// Per-output-channel buffering.
-#[derive(Default)]
+#[derive(Debug, Default)]
 struct OutChannel {
     buffer: VecDeque<Value>,
     waiters: VecDeque<Waiter>,
 }
 
 /// A filter Eject of the read-only discipline. See the module docs.
+#[derive(Debug)]
 pub struct PullFilterEject {
     transform: Box<dyn Transform>,
     channels: ChannelTable,

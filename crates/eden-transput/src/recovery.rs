@@ -49,6 +49,7 @@ use eden_kernel::{
     EjectBehavior, EjectContext, Invocation, InvokeOptions, Kernel, ReplyHandle, RetryPolicy,
 };
 
+use crate::conform::{DisciplineKind, EdgeMode, NodeRole, WiringGraph};
 use crate::protocol::{Batch, TransferRequest, WriteRequest};
 use crate::transform::{Emitter, Transform};
 
@@ -92,6 +93,7 @@ pub type TransformFactory = fn() -> Box<dyn Transform>;
 /// [`Transform`] on reactivation (function state is not checkpointable;
 /// determinism makes rebuilding equivalent).
 #[derive(Clone, Default)]
+#[derive(Debug)]
 pub struct TransformRegistry {
     map: Arc<HashMap<String, TransformFactory>>,
 }
@@ -165,6 +167,7 @@ fn uint_field(v: &Value, name: &str) -> Result<u64> {
 /// A source whose whole record list lives in its checkpoint. Serving is
 /// pure position arithmetic, so a reactivated source re-serves any
 /// unacknowledged suffix byte-for-byte.
+#[derive(Debug)]
 pub struct RecoverableSource {
     items: Vec<Value>,
     /// Fallback cursor for non-positional readers.
@@ -248,6 +251,7 @@ impl EjectBehavior for RecoverableSource {
 /// before every reply. Its output buffer retains records until the
 /// downstream position acknowledges them, so a reader retrying after a
 /// crash (its own, or this filter's) re-reads exactly what it missed.
+#[derive(Debug)]
 pub struct RecoverablePullFilter {
     transform_name: String,
     transform: Option<Box<dyn Transform>>,
@@ -400,6 +404,7 @@ impl EjectBehavior for RecoverablePullFilter {
 /// record list into sequenced `Write`s, checkpointing after each
 /// acknowledgement. Reactivation resumes the pump from the checkpointed
 /// position; the receiver's sequence arithmetic absorbs any overlap.
+#[derive(Debug)]
 pub struct RecoverablePushSource {
     items: Vec<Value>,
     downstream: Uid,
@@ -531,6 +536,7 @@ impl EjectBehavior for RecoverablePushSource {
 /// forwarding happens *before* the checkpoint, and the checkpoint before
 /// the acknowledgement, so every crash window resolves to a re-send that
 /// the sequence arithmetic deduplicates.
+#[derive(Debug)]
 pub struct RecoverablePushFilter {
     transform_name: String,
     transform: Option<Box<dyn Transform>>,
@@ -656,6 +662,7 @@ impl EjectBehavior for RecoverablePushFilter {
 /// its checkpoint, and serves the whole stream back via [`READ_ALL`]. The
 /// records and the position acknowledging them live in one atomic passive
 /// representation, so the output itself survives the acceptor crashing.
+#[derive(Debug)]
 pub struct RecoverableAcceptor {
     items: Vec<Value>,
     ended: bool,
@@ -748,6 +755,7 @@ impl EjectBehavior for RecoverableAcceptor {
 /// the pump polls — because a parked reply would die with a crash anyway;
 /// polling against the checkpointed position is what recovery can prove
 /// correct.
+#[derive(Debug)]
 pub struct RecoverableBuffer {
     /// Stream position of `buf[0]`.
     base: u64,
@@ -870,6 +878,7 @@ impl EjectBehavior for RecoverableBuffer {
 /// after the
 /// downstream acknowledgement. A crashed pump resumes from that pair; both
 /// neighbours' position arithmetic absorbs the replayed window.
+#[derive(Debug)]
 pub struct RecoverablePump {
     transform_name: String,
     upstream: Uid,
@@ -1128,7 +1137,89 @@ pub enum RecoveryDiscipline {
     Conventional,
 }
 
+impl RecoveryDiscipline {
+    /// The discipline predicate this wiring is checked against.
+    pub fn kind(self) -> DisciplineKind {
+        match self {
+            RecoveryDiscipline::ReadOnly => DisciplineKind::ReadOnly,
+            RecoveryDiscipline::WriteOnly => DisciplineKind::WriteOnly,
+            RecoveryDiscipline::Conventional => DisciplineKind::Conventional,
+        }
+    }
+}
+
+/// Render the wiring [`run_recoverable_pipeline`] would spawn for this
+/// discipline and transform chain, in the same [`WiringGraph`] form the
+/// non-recoverable [`crate::pipeline::PipelineSpec`] uses. The driver
+/// checks this graph before spawning anything, so a recoverable pipeline
+/// that would violate its discipline's shape rules fails statically.
+pub fn recovery_graph(discipline: RecoveryDiscipline, transforms: &[&str]) -> WiringGraph {
+    let mut graph = WiringGraph::new(discipline.kind());
+    match discipline {
+        RecoveryDiscipline::ReadOnly => {
+            // Source ← pull filters ← driver: every hop is a positional
+            // Transfer issued by the consumer.
+            graph.node("source", NodeRole::Source);
+            let mut prev = "source".to_owned();
+            for (i, name) in transforms.iter().enumerate() {
+                let stage = stage_name(i, name);
+                graph.node(stage.clone(), NodeRole::Filter);
+                graph.edge(prev, "Output", stage.clone());
+                prev = stage;
+            }
+            graph.node("driver", NodeRole::Sink);
+            graph.edge(prev, "Output", "driver");
+        }
+        RecoveryDiscipline::WriteOnly => {
+            // Source → push filters → acceptor: every hop is a sequenced
+            // Write issued by the producer.
+            graph.node("source", NodeRole::Source);
+            let mut prev = "source".to_owned();
+            for (i, name) in transforms.iter().enumerate() {
+                let stage = stage_name(i, name);
+                graph.node(stage.clone(), NodeRole::Filter);
+                graph.edge(prev, "Output", stage.clone());
+                prev = stage;
+            }
+            graph.node("acceptor", NodeRole::Sink);
+            graph.edge(prev, "Output", "acceptor");
+        }
+        RecoveryDiscipline::Conventional => {
+            // Pumps pull from the passive stage behind them and push into
+            // the one ahead; a buffer sits between consecutive pumps.
+            graph.node("source", NodeRole::Source);
+            graph.node("acceptor", NodeRole::Sink);
+            let names: Vec<&str> = if transforms.is_empty() {
+                vec![""]
+            } else {
+                transforms.to_vec()
+            };
+            let mut prev = "source".to_owned();
+            for (i, name) in names.iter().enumerate() {
+                let pump = format!("pump{i}:{}", if name.is_empty() { "copy" } else { name });
+                graph.node(pump.clone(), NodeRole::Filter);
+                graph.edge_mode(prev, "Output", pump.clone(), EdgeMode::Pull);
+                let next = if i + 1 == names.len() {
+                    "acceptor".to_owned()
+                } else {
+                    let buf = format!("buf{i}");
+                    graph.node(buf.clone(), NodeRole::Buffer);
+                    buf
+                };
+                graph.edge_mode(pump, "Output", next.clone(), EdgeMode::Push);
+                prev = next;
+            }
+        }
+    }
+    graph
+}
+
+fn stage_name(i: usize, name: &str) -> String {
+    format!("stage{i}:{}", if name.is_empty() { "copy" } else { name })
+}
+
 /// The result of a recoverable pipeline run.
+#[derive(Debug)]
 pub struct RecoveryRun {
     /// The records that reached the end of the pipeline, in order.
     pub output: Vec<Value>,
@@ -1153,6 +1244,11 @@ pub fn run_recoverable_pipeline(
     batch: usize,
     timeout: Duration,
 ) -> Result<RecoveryRun> {
+    let violations = recovery_graph(discipline, transforms).check();
+    if !violations.is_empty() {
+        let msgs: Vec<String> = violations.iter().map(ToString::to_string).collect();
+        return Err(EdenError::Discipline(msgs.join("; ")));
+    }
     let deadline = Instant::now() + timeout;
     let batch = batch.max(1);
     match discipline {
@@ -1278,5 +1374,44 @@ fn drive_to_end(
                 .wait_timeout(Duration::from_secs(5));
         }
         std::thread::sleep(Duration::from_millis(2));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovery_wiring_conforms_in_every_discipline() {
+        for discipline in [
+            RecoveryDiscipline::ReadOnly,
+            RecoveryDiscipline::WriteOnly,
+            RecoveryDiscipline::Conventional,
+        ] {
+            for chain in [&[][..], &["upcase"][..], &["upcase", "grep"][..]] {
+                let violations = recovery_graph(discipline, chain).check();
+                assert!(
+                    violations.is_empty(),
+                    "{discipline:?} over {chain:?}: {violations:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn conventional_recovery_graph_pairs_pumps_with_buffers() {
+        let graph = recovery_graph(RecoveryDiscipline::Conventional, &["a", "b", "c"]);
+        let buffers = graph
+            .nodes
+            .values()
+            .filter(|r| **r == NodeRole::Buffer)
+            .count();
+        let pumps = graph
+            .nodes
+            .values()
+            .filter(|r| **r == NodeRole::Filter)
+            .count();
+        assert_eq!(pumps, 3);
+        assert_eq!(buffers, 2); // between consecutive pumps only
     }
 }

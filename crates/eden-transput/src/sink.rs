@@ -22,6 +22,7 @@ use crate::protocol::{Batch, ChannelId, TransferRequest, WriteRequest};
 
 /// An active-input sink: pumps a source dry and lands the records in a
 /// [`Collector`].
+#[derive(Debug)]
 pub struct SinkEject {
     source: Uid,
     channel: ChannelId,
@@ -130,6 +131,7 @@ impl EjectBehavior for SinkEject {
 
 /// A passive-input sink for the write-only discipline: "sinks would always
 /// be ready to accept [write invocations]" (§5).
+#[derive(Debug)]
 pub struct AcceptorSinkEject {
     collector: Collector,
     ended: bool,

@@ -25,6 +25,7 @@ pub trait PullSource: Send + 'static {
 }
 
 /// A source over a vector of records.
+#[derive(Debug)]
 pub struct VecSource {
     items: std::vec::IntoIter<Value>,
 }
@@ -68,6 +69,7 @@ impl PullSource for VecSource {
 
 /// A generator source from a closure producing one record per call, with a
 /// record budget. Useful for synthetic workloads.
+#[derive(Debug)]
 pub struct FnSource<F> {
     f: F,
     next: u64,
@@ -107,6 +109,7 @@ where
 /// Wraps a source and counts how many records have been pulled out of it.
 /// Used by the laziness experiment (E3): with no sink connected, the count
 /// must stay zero.
+#[derive(Debug)]
 pub struct CountingSource<S> {
     inner: S,
     pulled: Arc<AtomicU64>,
@@ -140,6 +143,7 @@ impl<S: PullSource> PullSource for CountingSource<S> {
 /// `GetChannel` with its channel identifiers. After the underlying source
 /// ends, further `Transfer`s receive empty end batches (reading past end
 /// of file is not an error, just empty).
+#[derive(Debug)]
 pub struct SourceEject {
     source: Box<dyn PullSource>,
     channels: ChannelTable,
@@ -222,6 +226,13 @@ impl EjectBehavior for SourceEject {
                 op: inv.op,
             })),
         }
+    }
+}
+
+
+impl std::fmt::Debug for dyn PullSource {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("PullSource")
     }
 }
 

@@ -32,6 +32,7 @@ use parking_lot::{Condvar, Mutex};
 use crate::protocol::{Batch, TransferRequest, WriteRequest};
 
 /// Shared buffer state between the user program and the coordinator.
+#[derive(Debug)]
 struct Shared {
     queue: Mutex<SharedQueue>,
     /// Signalled when space frees (producer side) or data arrives
@@ -40,6 +41,7 @@ struct Shared {
     capacity: usize,
 }
 
+#[derive(Debug)]
 struct SharedQueue {
     items: VecDeque<Value>,
     closed: bool,
@@ -60,6 +62,7 @@ impl Shared {
 
 /// The conventional `Write` interface handed to a user program running
 /// inside a [`ProgramSourceEject`].
+#[derive(Debug)]
 pub struct TransputWriter {
     shared: Arc<Shared>,
     /// Wakes the coordinator so it can serve parked readers.
@@ -216,6 +219,7 @@ impl EjectBehavior for ProgramSourceEject {
 
 /// The conventional `Read` interface handed to a user program running
 /// inside a [`ProgramSinkEject`].
+#[derive(Debug)]
 pub struct TransputReader {
     shared: Arc<Shared>,
     /// Wakes the coordinator so it can admit parked writers after this
@@ -367,6 +371,19 @@ impl EjectBehavior for ProgramSinkEject {
 
     fn internal(&mut self, _ctx: &EjectContext, _event: Value) {
         self.admit();
+    }
+}
+
+
+impl std::fmt::Debug for ProgramSourceEject {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ProgramSourceEject").finish_non_exhaustive()
+    }
+}
+
+impl std::fmt::Debug for ProgramSinkEject {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ProgramSinkEject").finish_non_exhaustive()
     }
 }
 

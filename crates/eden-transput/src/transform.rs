@@ -100,6 +100,7 @@ pub trait Transform: Send + 'static {
 }
 
 /// The identity transform: a one-stage pipe.
+#[derive(Debug)]
 pub struct Identity;
 
 impl Transform for Identity {
@@ -112,6 +113,7 @@ impl Transform for Identity {
 }
 
 /// A stateless map transform from a closure.
+#[derive(Debug)]
 pub struct MapFn<F> {
     f: F,
     label: &'static str,
@@ -138,6 +140,7 @@ where
 }
 
 /// A stateless filter (predicate) transform from a closure.
+#[derive(Debug)]
 pub struct FilterFn<F> {
     pred: F,
     label: &'static str,
@@ -206,6 +209,13 @@ pub fn apply_chain_offline(
         stream = primary;
     }
     stream
+}
+
+
+impl std::fmt::Debug for dyn Transform {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Transform({})", self.name())
+    }
 }
 
 #[cfg(test)]

@@ -137,6 +137,7 @@ where
 /// The pump starts on the `Start` invocation; the reply to `Start` is
 /// deferred until the final write has been acknowledged, so
 /// `invoke_sync(source, "Start", ..)` is "run the pipeline".
+#[derive(Debug)]
 pub struct PushSourceEject {
     source: Option<Box<dyn PullSource>>,
     wiring: OutputWiring,
@@ -325,6 +326,7 @@ impl EjectBehavior for PushSourceEject {
 }
 
 /// A filter of the write-only discipline. See the module docs.
+#[derive(Debug)]
 pub struct PushFilterEject {
     transform: Box<dyn Transform>,
     wiring: OutputWiring,
@@ -496,6 +498,7 @@ impl EjectBehavior for PushFilterEject {
 /// secondary runs dry the pairing pads with `Unit`. This is how a stream
 /// editor's command input or a comparator's second file enters a
 /// write-only pipeline.
+#[derive(Debug)]
 pub struct ZipPushFilterEject {
     secondary: Uid,
     secondary_channel: ChannelId,

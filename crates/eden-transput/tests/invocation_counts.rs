@@ -12,20 +12,20 @@ use std::time::Duration;
 use eden_core::Value;
 use eden_kernel::Kernel;
 use eden_transput::transform::Identity;
-use eden_transput::{Discipline, PipelineBuilder, PipelineRun};
+use eden_transput::{Discipline, PipelineSpec, PipelineRun};
 
 const ITEMS: i64 = 200;
 
 fn run_identity_pipeline(discipline: Discipline, depth: usize) -> PipelineRun {
     let kernel = Kernel::new();
-    let mut builder = PipelineBuilder::new(&kernel, discipline)
+    let mut builder = PipelineSpec::new(discipline)
         .source_vec((0..ITEMS).map(Value::Int).collect())
         .batch(1); // One datum per invocation: per-datum counts are exact.
     for _ in 0..depth {
         builder = builder.stage(Box::new(Identity));
     }
     let run = builder
-        .build()
+        .build(&kernel)
         .unwrap()
         .run(Duration::from_secs(30))
         .unwrap();

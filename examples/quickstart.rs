@@ -8,7 +8,7 @@ use std::time::Duration;
 use eden::core::Value;
 use eden::filters::{Grep, LineNumber, StripComments};
 use eden::kernel::Kernel;
-use eden::transput::{Discipline, PipelineBuilder};
+use eden::transput::{Discipline, PipelineSpec};
 
 fn fortran_deck() -> Vec<Value> {
     [
@@ -37,13 +37,13 @@ fn main() {
         Discipline::WriteOnly { push_ahead: 0 },
         Discipline::Conventional { buffer_capacity: 16 },
     ] {
-        let run = PipelineBuilder::new(&kernel, discipline)
+        let run = PipelineSpec::new(discipline)
             .source_vec(fortran_deck())
             .stage(Box::new(StripComments::fortran()))
             .stage(Box::new(Grep::matching("CALL*")))
             .stage(Box::new(LineNumber::new()))
             .batch(1)
-            .build()
+            .build(&kernel)
             .expect("pipeline builds")
             .run(Duration::from_secs(10))
             .expect("pipeline runs");

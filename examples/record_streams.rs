@@ -23,7 +23,7 @@ use eden::transput::collector::Collector;
 use eden::transput::devices::{Subscription, TickSource, WindowEject};
 use eden::transput::protocol::ChannelId;
 use eden::transput::source::SourceEject;
-use eden::transput::{Discipline, PipelineBuilder};
+use eden::transput::{Discipline, PipelineSpec};
 
 fn employee(name: &str, dept: &str, salary: i64) -> Value {
     Value::record([
@@ -69,13 +69,13 @@ fn main() {
         .expect("open stream view")
         .as_uid()
         .expect("capability");
-    let run = PipelineBuilder::new(&kernel, Discipline::ReadOnly { read_ahead: 0 })
+    let run = PipelineSpec::new(Discipline::ReadOnly { read_ahead: 0 })
         .source_eject(reader)
         .stage(Box::new(WhereField::new("dept", FieldCmp::Eq, Value::str("eng"))))
         .stage(Box::new(WhereField::new("salary", FieldCmp::Gt, Value::Int(120))))
         .stage(Box::new(SelectFields::new(["name", "salary"])))
         .stage(Box::new(RenderRecords))
-        .build()
+        .build(&kernel)
         .expect("build query")
         .run(Duration::from_secs(10))
         .expect("run query");
@@ -89,11 +89,11 @@ fn main() {
         .expect("open second view")
         .as_uid()
         .expect("capability");
-    let run = PipelineBuilder::new(&kernel, Discipline::ReadOnly { read_ahead: 0 })
+    let run = PipelineSpec::new(Discipline::ReadOnly { read_ahead: 0 })
         .source_eject(reader)
         .stage(Box::new(GroupAggregate::new("dept", Some("salary"))))
         .stage(Box::new(RenderRecords))
-        .build()
+        .build(&kernel)
         .expect("build aggregate")
         .run(Duration::from_secs(10))
         .expect("run aggregate");

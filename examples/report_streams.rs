@@ -16,7 +16,7 @@ use eden::core::Value;
 use eden::filters::SpellCheck;
 use eden::kernel::Kernel;
 use eden::transput::protocol::REPORT_NAME;
-use eden::transput::{ChannelPolicy, Discipline, PipelineBuilder};
+use eden::transput::{ChannelPolicy, Discipline, PipelineSpec};
 
 fn manuscript() -> Vec<Value> {
     [
@@ -35,13 +35,13 @@ const DICTIONARY: [&str; 14] = [
 ];
 
 fn run_one(kernel: &Kernel, discipline: Discipline, policy: ChannelPolicy, label: &str) {
-    let run = PipelineBuilder::new(kernel, discipline)
+    let run = PipelineSpec::new(discipline)
         .source_vec(manuscript())
         .stage(Box::new(SpellCheck::new(DICTIONARY)))
         .tap(0, REPORT_NAME)
         .policy(policy)
         .batch(1)
-        .build()
+        .build(kernel)
         .expect("build")
         .run(Duration::from_secs(10))
         .expect("run");

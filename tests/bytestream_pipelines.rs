@@ -7,7 +7,7 @@ use eden::core::Value;
 use eden::filters::{Grep, LineNumber};
 use eden::kernel::Kernel;
 use eden::transput::bytestream::{concat_bytes, BytesSource, LineJoiner, LineSplitter, Rechunker};
-use eden::transput::{Discipline, PipelineBuilder};
+use eden::transput::{Discipline, PipelineSpec};
 use proptest::prelude::*;
 
 fn document() -> Vec<u8> {
@@ -33,14 +33,14 @@ fn byte_grep_pipeline_all_disciplines() {
         Discipline::WriteOnly { push_ahead: 8 },
         Discipline::Conventional { buffer_capacity: 16 },
     ] {
-        let run = PipelineBuilder::new(&kernel, discipline)
+        let run = PipelineSpec::new(discipline)
             .source(Box::new(BytesSource::new(document(), 113))) // Awkward chunk size on purpose.
             .stage(Box::new(LineSplitter::new()))
             .stage(Box::new(Grep::matching("ERROR")))
             .stage(Box::new(LineNumber::new()))
             .stage(Box::new(LineJoiner::new()))
             .batch(8)
-            .build()
+            .build(&kernel)
             .unwrap()
             .run(Duration::from_secs(30))
             .unwrap();
@@ -73,12 +73,12 @@ proptest! {
         }
         let original = text.into_bytes();
         let kernel = Kernel::new();
-        let run = PipelineBuilder::new(&kernel, Discipline::ReadOnly { read_ahead: 0 })
+        let run = PipelineSpec::new(Discipline::ReadOnly { read_ahead: 0 })
             .source(Box::new(BytesSource::new(original.clone(), chunk)))
             .stage(Box::new(LineSplitter::new()))
             .stage(Box::new(LineJoiner::new()))
             .batch(batch)
-            .build()
+            .build(&kernel)
             .unwrap()
             .run(Duration::from_secs(30))
             .unwrap();
@@ -94,10 +94,10 @@ proptest! {
         out_chunk in 1usize..48,
     ) {
         let kernel = Kernel::new();
-        let run = PipelineBuilder::new(&kernel, Discipline::ReadOnly { read_ahead: 0 })
+        let run = PipelineSpec::new(Discipline::ReadOnly { read_ahead: 0 })
             .source(Box::new(BytesSource::new(payload.clone(), in_chunk)))
             .stage(Box::new(Rechunker::new(out_chunk)))
-            .build()
+            .build(&kernel)
             .unwrap()
             .run(Duration::from_secs(30))
             .unwrap();
@@ -116,14 +116,14 @@ fn bytes_and_records_mix_in_one_stream() {
     // §6: homogeneity is a protocol convention, not an enforcement; a
     // stray record passes through the byte stages untouched.
     let kernel = Kernel::new();
-    let run = PipelineBuilder::new(&kernel, Discipline::ReadOnly { read_ahead: 0 })
+    let run = PipelineSpec::new(Discipline::ReadOnly { read_ahead: 0 })
         .source_vec(vec![
             Value::bytes(&b"one\n"[..]),
             Value::Int(42),
             Value::bytes(&b"two\n"[..]),
         ])
         .stage(Box::new(LineSplitter::new()))
-        .build()
+        .build(&kernel)
         .unwrap()
         .run(Duration::from_secs(10))
         .unwrap();

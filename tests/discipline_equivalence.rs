@@ -11,7 +11,7 @@ use eden::core::Value;
 use eden::filters;
 use eden::kernel::Kernel;
 use eden::transput::transform::{apply_chain_offline, Transform};
-use eden::transput::{ChannelPolicy, Discipline, PipelineBuilder, PipelineRun};
+use eden::transput::{ChannelPolicy, Discipline, PipelineSpec, PipelineRun};
 use proptest::prelude::*;
 
 /// The filter chain vocabulary for random pipelines.
@@ -86,7 +86,7 @@ fn run_full(
     batch: usize,
     batch_max: usize,
 ) -> PipelineRun {
-    let mut builder = PipelineBuilder::new(kernel, discipline)
+    let mut builder = PipelineSpec::new(discipline)
         .source_vec(input.iter().map(|l| Value::str(l.clone())).collect())
         .batch(batch)
         .adaptive_batch(batch_max)
@@ -97,7 +97,7 @@ fn run_full(
         }
     }
     builder
-        .build()
+        .build(kernel)
         .expect("build")
         .run(Duration::from_secs(30))
         .expect("run")

@@ -15,7 +15,7 @@ use eden::transput::collector::Collector;
 use eden::transput::read_only::{FanInMode, InputPort, PullFilterConfig, PullFilterEject};
 use eden::transput::sink::SinkEject;
 use eden::transput::source::{SourceEject, VecSource};
-use eden::transput::{Discipline, PipelineBuilder};
+use eden::transput::{Discipline, PipelineSpec};
 
 fn lines(ls: &[&str]) -> Vec<Value> {
     ls.iter().map(|l| Value::str(*l)).collect()
@@ -54,11 +54,11 @@ fn file_through_filters_into_file() {
         .unwrap()
         .as_uid()
         .unwrap();
-    let run = PipelineBuilder::new(&kernel, Discipline::ReadOnly { read_ahead: 0 })
+    let run = PipelineSpec::new(Discipline::ReadOnly { read_ahead: 0 })
         .source_eject(reader)
         .stage(Box::new(eden::filters::StripComments::fortran()))
         .stage(Box::new(eden::filters::CaseFold::lower()))
-        .build()
+        .build(&kernel)
         .unwrap()
         .run(Duration::from_secs(15))
         .unwrap();
@@ -106,10 +106,10 @@ fn editor_command_stream_is_fan_in_at_setup() {
     let script: Vec<&str> = command_lines.iter().map(|v| v.as_str().unwrap()).collect();
     let editor = StreamEditor::from_command_lines(script).unwrap();
 
-    let run = PipelineBuilder::new(&kernel, Discipline::ReadOnly { read_ahead: 0 })
+    let run = PipelineSpec::new(Discipline::ReadOnly { read_ahead: 0 })
         .source_vec(lines(&["the colour red", "DRAFT do not ship", "done"]))
         .stage(Box::new(editor))
-        .build()
+        .build(&kernel)
         .unwrap()
         .run(Duration::from_secs(15))
         .unwrap();
@@ -227,10 +227,10 @@ fn unixfs_pipeline_roundtrip_all_disciplines() {
             .unwrap()
             .as_uid()
             .unwrap();
-        let run = PipelineBuilder::new(&kernel, discipline)
+        let run = PipelineSpec::new(discipline)
             .source_eject(stream)
             .stage(Box::new(eden::filters::StripComments::fortran()))
-            .build()
+            .build(&kernel)
             .unwrap()
             .run(Duration::from_secs(15))
             .unwrap();
@@ -272,11 +272,11 @@ fn spellcheck_reports_survive_all_disciplines() {
         Discipline::ReadOnly { read_ahead: 0 },
         Discipline::Conventional { buffer_capacity: 8 },
     ] {
-        let run = PipelineBuilder::new(&kernel, discipline)
+        let run = PipelineSpec::new(discipline)
             .source_vec(lines(&["the catt sat"]))
             .stage(Box::new(SpellCheck::new(["the", "sat"])))
             .tap(0, eden::transput::protocol::REPORT_NAME)
-            .build()
+            .build(&kernel)
             .unwrap()
             .run(Duration::from_secs(15))
             .unwrap();
@@ -296,13 +296,13 @@ fn spellcheck_reports_survive_all_disciplines() {
 fn wc_over_long_stream() {
     let kernel = Kernel::new();
     let n = 5_000;
-    let run = PipelineBuilder::new(&kernel, Discipline::ReadOnly { read_ahead: 32 })
+    let run = PipelineSpec::new(Discipline::ReadOnly { read_ahead: 32 })
         .source(Box::new(eden::transput::source::FnSource::new(n, |i| {
             Value::str(format!("line {i} with words"))
         })))
         .stage(Box::new(WordCount::new()))
         .batch(64)
-        .build()
+        .build(&kernel)
         .unwrap()
         .run(Duration::from_secs(30))
         .unwrap();

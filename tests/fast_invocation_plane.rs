@@ -19,7 +19,7 @@ use eden::kernel::{
     RouteCache,
 };
 use eden::transput::protocol::{Batch, TransferRequest};
-use eden::transput::{Discipline, PipelineBuilder};
+use eden::transput::{Discipline, PipelineSpec};
 
 /// Replies to `Echo` with its argument.
 struct Echo;
@@ -271,12 +271,12 @@ fn single_shard_registry_reproduces_default_behaviour() {
             registry_shards: shards,
             ..KernelConfig::default()
         });
-        let run = PipelineBuilder::new(&kernel, Discipline::ReadOnly { read_ahead: 4 })
+        let run = PipelineSpec::new(Discipline::ReadOnly { read_ahead: 4 })
             .source_vec((0..40).map(Value::Int).collect())
             .batch(3)
             .stage(Box::new(eden::transput::transform::Identity))
             .stage(Box::new(eden::filters::LineNumber::new()))
-            .build()
+            .build(&kernel)
             .unwrap()
             .run(Duration::from_secs(30))
             .unwrap();

@@ -357,6 +357,87 @@ fn direct_crash_of_every_stage_recovers() {
     }
 }
 
+#[test]
+fn zero_record_stream_survives_crash_and_reactivation() {
+    // §7 edge case: a stream with no records still runs the full
+    // handshake — stages spawn, checkpoint their empty state, and report
+    // end-of-stream. Crashing the very first stream operation must
+    // reactivate from that empty checkpoint and terminate cleanly rather
+    // than hang waiting for a record that will never arrive.
+    for discipline in DISCIPLINES {
+        let kernel = Kernel::new();
+        let reg = registry();
+        install_recovery(&kernel, &reg);
+        kernel.install_faults(
+            FaultPlan::new(0x0e0e + discipline as u64)
+                .rule(FaultRule::new(FaultKind::CrashTarget).on_op("Transfer").nth(1))
+                .rule(FaultRule::new(FaultKind::CrashTarget).on_op("Write").nth(1)),
+        );
+        let run = run_recoverable_pipeline(
+            &kernel,
+            discipline,
+            Vec::new(),
+            &["double", "inc"],
+            &reg,
+            3,
+            Duration::from_secs(30),
+        )
+        .unwrap();
+        assert_eq!(run.output, Vec::<Value>::new(), "{discipline:?}");
+        let m = kernel.metrics().snapshot();
+        if m.crashes > 0 {
+            assert!(
+                m.reactivations > 0,
+                "{discipline:?}: zero-record crash without reactivation"
+            );
+        }
+        kernel.shutdown();
+    }
+}
+
+#[test]
+fn crash_exactly_at_checkpoint_boundary_neither_loses_nor_repeats() {
+    // The subtle off-by-one: with checkpoint_every = 5, the crash lands on
+    // the operation right at a checkpoint boundary, so the reactivated
+    // stage resumes with its checkpointed position equal to everything it
+    // has consumed (seq == pos). Resuming must replay nothing and skip
+    // nothing — a <= versus < in the resume comparison would double or
+    // drop the boundary record.
+    const EVERY: u64 = 5;
+    for discipline in DISCIPLINES {
+        for boundary in [EVERY, 2 * EVERY, 4 * EVERY] {
+            for op in ["Transfer", "Write"] {
+                let kernel = Kernel::new();
+                let reg = registry();
+                install_recovery(&kernel, &reg);
+                kernel.install_faults(FaultPlan::new(0xb0b + boundary).rule(
+                    FaultRule::new(FaultKind::CrashTarget)
+                        .on_op(op)
+                        .nth(boundary)
+                        .labeled("boundary-crash"),
+                ));
+                let items: Vec<Value> = (0..30).map(Value::Int).collect();
+                let run = run_recoverable_pipeline(
+                    &kernel,
+                    discipline,
+                    items,
+                    &["double", "inc"],
+                    &reg,
+                    EVERY as usize,
+                    Duration::from_secs(60),
+                )
+                .unwrap();
+                assert_eq!(
+                    run.output,
+                    expected(30),
+                    "{discipline:?} {op} crash at checkpoint boundary {boundary}"
+                );
+                kernel.shutdown();
+            }
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(18))]
 

@@ -9,7 +9,7 @@ use eden::core::Value;
 use eden::kernel::Kernel;
 use eden::transput::bytestream::{concat_bytes, BytesSource, LineJoiner, LineSplitter, Rechunker};
 use eden::transput::transform::{map_fn, Identity};
-use eden::transput::{Discipline, PipelineBuilder};
+use eden::transput::{Discipline, PipelineSpec};
 
 #[test]
 fn very_deep_pipeline() {
@@ -18,14 +18,14 @@ fn very_deep_pipeline() {
     let kernel = Kernel::new();
     let depth = 48usize;
     let items = 50i64;
-    let mut builder = PipelineBuilder::new(&kernel, Discipline::ReadOnly { read_ahead: 0 })
+    let mut builder = PipelineSpec::new(Discipline::ReadOnly { read_ahead: 0 })
         .source_vec((0..items).map(Value::Int).collect())
         .batch(1);
     for _ in 0..depth {
         builder = builder.stage(Box::new(Identity));
     }
     let run = builder
-        .build()
+        .build(&kernel)
         .unwrap()
         .run(Duration::from_secs(60))
         .unwrap();
@@ -44,7 +44,7 @@ fn deep_concurrent_pipeline_all_disciplines() {
         Discipline::WriteOnly { push_ahead: 8 },
         Discipline::Conventional { buffer_capacity: 4 },
     ] {
-        let mut builder = PipelineBuilder::new(&kernel, discipline)
+        let mut builder = PipelineSpec::new(discipline)
             .source_vec((0..500).map(Value::Int).collect())
             .batch(8)
             .null_sink();
@@ -52,7 +52,7 @@ fn deep_concurrent_pipeline_all_disciplines() {
             builder = builder.stage(Box::new(Identity));
         }
         let run = builder
-            .build()
+            .build(&kernel)
             .unwrap()
             .run(Duration::from_secs(60))
             .unwrap();
@@ -80,10 +80,10 @@ impl ShutdownCheck for Kernel {
 #[test]
 fn null_sink_counts_via_collector() {
     let kernel = Kernel::new();
-    let pipeline = PipelineBuilder::new(&kernel, Discipline::ReadOnly { read_ahead: 0 })
+    let pipeline = PipelineSpec::new(Discipline::ReadOnly { read_ahead: 0 })
         .source_vec((0..100).map(Value::Int).collect())
         .null_sink()
-        .build()
+        .build(&kernel)
         .unwrap();
     let collector = pipeline.collector().clone();
     let run = pipeline.run(Duration::from_secs(30)).unwrap();
@@ -99,9 +99,7 @@ fn many_concurrent_pipelines_share_one_kernel() {
         .map(|i| {
             let kernel = kernel.clone();
             std::thread::spawn(move || {
-                let run = PipelineBuilder::new(
-                    &kernel,
-                    if i % 2 == 0 {
+                let run = PipelineSpec::new(if i % 2 == 0 {
                         Discipline::ReadOnly { read_ahead: 8 }
                     } else {
                         Discipline::WriteOnly { push_ahead: 8 }
@@ -113,7 +111,7 @@ fn many_concurrent_pipelines_share_one_kernel() {
                 })))
                 .stage(Box::new(Identity))
                 .batch(16)
-                .build()
+                .build(&kernel)
                 .unwrap()
                 .run(Duration::from_secs(60))
                 .unwrap();
@@ -138,13 +136,13 @@ fn large_records_flow() {
         text.push_str(&format!("line number {i} with some padding text\n"));
     }
     let original = text.clone().into_bytes();
-    let run = PipelineBuilder::new(&kernel, Discipline::ReadOnly { read_ahead: 4 })
+    let run = PipelineSpec::new(Discipline::ReadOnly { read_ahead: 4 })
         .source(Box::new(BytesSource::new(original.clone(), 4096)))
         .stage(Box::new(LineSplitter::new()))
         .stage(Box::new(LineJoiner::new()))
         .stage(Box::new(Rechunker::new(1024)))
         .batch(8)
-        .build()
+        .build(&kernel)
         .unwrap()
         .run(Duration::from_secs(60))
         .unwrap();
@@ -160,10 +158,10 @@ fn repeated_build_teardown_cycles() {
     // 100 build/run/teardown cycles on one kernel: no Eject accumulation.
     let kernel = Kernel::new();
     for i in 0..100 {
-        let run = PipelineBuilder::new(&kernel, Discipline::ReadOnly { read_ahead: 0 })
+        let run = PipelineSpec::new(Discipline::ReadOnly { read_ahead: 0 })
             .source_vec((0..5).map(Value::Int).collect())
             .stage(Box::new(Identity))
-            .build()
+            .build(&kernel)
             .unwrap()
             .run(Duration::from_secs(30))
             .unwrap();
