@@ -8,7 +8,9 @@
 //! (machine-readable, tracked across PRs); combine it with ids to also
 //! print those tables. `--payload-json` writes only `BENCH_payload.json`,
 //! `--chaos-json` runs the fault-plane chaos arms and writes
-//! `BENCH_chaos.json`, and `--smoke` shrinks the workloads for CI.
+//! `BENCH_chaos.json`, `--obs-json` measures the observability-plane
+//! overhead and writes `BENCH_obs.json`, and `--smoke` shrinks the
+//! workloads for CI.
 
 use std::time::Instant;
 
@@ -17,6 +19,7 @@ fn main() {
     let json = args.iter().any(|a| a == "--json");
     let payload_json = args.iter().any(|a| a == "--payload-json");
     let chaos_json = args.iter().any(|a| a == "--chaos-json");
+    let obs_json = args.iter().any(|a| a == "--obs-json");
     let smoke = args.iter().any(|a| a == "--smoke");
     let id_args: Vec<&str> = args
         .iter()
@@ -62,7 +65,22 @@ fn main() {
             if smoke { ", smoke" } else { "" }
         );
     }
-    if (json || payload_json || chaos_json) && id_args.is_empty() {
+    if obs_json {
+        let t0 = Instant::now();
+        let cfg = if smoke {
+            eden_bench::obs_report::ObsConfigDims::smoke()
+        } else {
+            eden_bench::obs_report::ObsConfigDims::full()
+        };
+        let report = eden_bench::obs_report::obs_report(&cfg);
+        std::fs::write("BENCH_obs.json", &report).expect("write BENCH_obs.json");
+        println!(
+            "wrote BENCH_obs.json ({:.2}s{})",
+            t0.elapsed().as_secs_f64(),
+            if smoke { ", smoke" } else { "" }
+        );
+    }
+    if (json || payload_json || chaos_json || obs_json) && id_args.is_empty() {
         return;
     }
     let ids: Vec<&str> = if id_args.is_empty() || id_args.contains(&"all") {

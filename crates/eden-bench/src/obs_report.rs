@@ -1,0 +1,266 @@
+//! The observability-plane benchmark — `--obs-json` mode, `BENCH_obs.json`.
+//!
+//! The observability plane's contract is that it is affordable: span
+//! recording and per-stage histograms sharded enough that turning them on
+//! costs a few percent on a depth-3 identity pipeline, and compiled-out
+//! enough (one `Option` check on the invoke path) that leaving them off
+//! costs nothing measurable. This report quantifies both claims with three
+//! arms over the same workload:
+//!
+//! * `baseline`: a kernel with `ObsConfig::off()` (the default);
+//! * `histograms`: per-stage latency histograms on, spans off;
+//! * `spans_on`: `ObsConfig::full()` — spans and histograms.
+//!
+//! The measurement is *paired*: every round runs the three arms
+//! back-to-back, so slow stretches of machine time (a background compile,
+//! a thermal dip) hit the round's baseline and its instrumented arms
+//! alike, and the per-round wall ratio cancels the drift. `overhead_pct`
+//! in the JSON is the median of the per-round ratios over `samples`
+//! rounds (a warm-up round is discarded); `wall_seconds_best` per arm is
+//! the best observed wall, the stable floor estimator for a fixed
+//! workload. The acceptance bar is < 5 % for spans-on at full size. The
+//! number is recorded rather than asserted — CI machines are noisy — but
+//! the structural facts (spans recorded ≥ the analytic invocation count,
+//! stage histograms populated, output intact) are asserted on every run.
+
+use std::time::Instant;
+
+use eden_core::Value;
+use eden_kernel::{Kernel, KernelConfig, ObsConfig};
+use eden_transput::Discipline;
+
+use crate::runner::run_identity;
+
+/// Workload dimensions; `smoke()` keeps CI runs to well under a second.
+#[derive(Clone, Copy, Debug)]
+pub struct ObsConfigDims {
+    /// Records per run.
+    pub records: usize,
+    /// Identity stages in the pipeline.
+    pub depth: usize,
+    /// Records per Transfer.
+    pub batch: usize,
+    /// Measured samples per arm (a warm-up run precedes them).
+    pub samples: usize,
+}
+
+impl ObsConfigDims {
+    /// The full-size configuration: enough batch rounds that the data
+    /// phase dominates pipeline setup and teardown.
+    pub fn full() -> ObsConfigDims {
+        ObsConfigDims {
+            records: 40_000,
+            depth: 3,
+            batch: 16,
+            samples: 18,
+        }
+    }
+
+    /// The smoke configuration: same shape, small enough for CI.
+    pub fn smoke() -> ObsConfigDims {
+        ObsConfigDims {
+            records: 2_000,
+            depth: 3,
+            batch: 16,
+            samples: 3,
+        }
+    }
+}
+
+/// One measured arm: best-of-N wall seconds plus the observability
+/// counters from the final sample.
+struct ArmStats {
+    wall_seconds_best: f64,
+    spans_recorded: u64,
+    spans_dropped: u64,
+    stages_seen: usize,
+}
+
+impl ArmStats {
+    fn new() -> ArmStats {
+        ArmStats {
+            wall_seconds_best: f64::INFINITY,
+            spans_recorded: 0,
+            spans_dropped: 0,
+            stages_seen: 0,
+        }
+    }
+}
+
+/// One timed pipeline run under `obs`; returns the wall seconds and folds
+/// the best wall into `arm` unless this is the warm-up pass.
+fn run_once(cfg: &ObsConfigDims, obs: ObsConfig, arm: &mut ArmStats, warm_up: bool) -> f64 {
+    let kernel = Kernel::with_config(KernelConfig {
+        observability: obs,
+        ..Default::default()
+    });
+    let input: Vec<Value> = (0..cfg.records as i64).map(Value::Int).collect();
+    let t0 = Instant::now();
+    let run = run_identity(
+        &kernel,
+        Discipline::ReadOnly { read_ahead: 0 },
+        input,
+        cfg.depth,
+        cfg.batch,
+    );
+    let wall = t0.elapsed().as_secs_f64();
+    assert_eq!(
+        run.records_out, cfg.records as u64,
+        "observability must not perturb the stream"
+    );
+    if !warm_up {
+        arm.wall_seconds_best = arm.wall_seconds_best.min(wall);
+    }
+    let snap = kernel.metrics_snapshot();
+    arm.spans_recorded = snap.spans_recorded;
+    arm.spans_dropped = snap.spans_dropped;
+    arm.stages_seen = snap.stages.len();
+    kernel.shutdown();
+    wall
+}
+
+/// The median of the per-round overhead ratios, as a percentage.
+fn median_overhead_pct(ratios: &mut [f64]) -> f64 {
+    ratios.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    (ratios[ratios.len() / 2] - 1.0) * 100.0
+}
+
+fn json_arm(arm: &ArmStats) -> String {
+    format!(
+        concat!(
+            "{{ \"wall_seconds_best\": {:.6}, \"spans_recorded\": {}, ",
+            "\"spans_dropped\": {}, \"stages_seen\": {} }}"
+        ),
+        arm.wall_seconds_best, arm.spans_recorded, arm.spans_dropped, arm.stages_seen,
+    )
+}
+
+/// Run the observability-plane measurements and render `BENCH_obs.json`.
+///
+/// Panics if the structural invariants fail: the baseline arm must record
+/// no spans, and the spans-on arm must record at least the analytic
+/// `(depth + 1) * ceil(records / batch)` invocation spans of the read-only
+/// data phase.
+pub fn obs_report(cfg: &ObsConfigDims) -> String {
+    let hist_only = ObsConfig {
+        histograms: true,
+        ..ObsConfig::off()
+    };
+    let configs = [ObsConfig::off(), hist_only, ObsConfig::full()];
+    let mut stats = [ArmStats::new(), ArmStats::new(), ArmStats::new()];
+    let mut hist_ratios = Vec::with_capacity(cfg.samples);
+    let mut span_ratios = Vec::with_capacity(cfg.samples);
+    for sample in 0..cfg.samples + 1 {
+        let warm_up = sample == 0;
+        let mut walls = [0.0f64; 3];
+        // Rotate the order within the round: the position of a run inside
+        // a round measurably shifts its wall (allocator and scheduler
+        // state carried over from the previous run), so each arm must
+        // occupy each position equally often for the bias to cancel.
+        for k in 0..3 {
+            let j = (sample + k) % 3;
+            walls[j] = run_once(cfg, configs[j], &mut stats[j], warm_up);
+        }
+        if !warm_up {
+            hist_ratios.push(walls[1] / walls[0].max(f64::EPSILON));
+            span_ratios.push(walls[2] / walls[0].max(f64::EPSILON));
+        }
+    }
+    let [baseline, histograms, spans_on] = stats;
+
+    assert_eq!(
+        baseline.spans_recorded, 0,
+        "the off arm must not record spans"
+    );
+    // n+1 hops per batch round, plus end-of-stream detection rounds; the
+    // lower bound is the analytic data-phase count.
+    let analytic = ((cfg.depth + 1) * cfg.records.div_ceil(cfg.batch)) as u64;
+    assert!(
+        spans_on.spans_recorded + spans_on.spans_dropped >= analytic,
+        "spans-on arm saw {} spans (+{} dropped), analytic floor is {analytic}",
+        spans_on.spans_recorded,
+        spans_on.spans_dropped,
+    );
+    assert!(
+        spans_on.stages_seen > 0,
+        "spans-on arm populated no stage histograms"
+    );
+
+    let hov = median_overhead_pct(&mut hist_ratios);
+    let sov = median_overhead_pct(&mut span_ratios);
+    // Absolute per-span cost: the machine-independent number — the relative
+    // percentage depends on how expensive this machine makes a baseline
+    // invocation.
+    let spans_completed = (spans_on.spans_recorded + spans_on.spans_dropped).max(1);
+    let per_span_ns = sov / 100.0 * baseline.wall_seconds_best * 1e9 / spans_completed as f64;
+
+    format!(
+        concat!(
+            "{{\n",
+            "  \"schema\": 1,\n",
+            "  \"records\": {records},\n",
+            "  \"depth\": {depth},\n",
+            "  \"batch\": {batch},\n",
+            "  \"samples\": {samples},\n",
+            "  \"baseline\": {base},\n",
+            "  \"histograms\": {hist},\n",
+            "  \"spans_on\": {spans},\n",
+            "  \"histograms_overhead_pct\": {hov:.2},\n",
+            "  \"spans_on_overhead_pct\": {sov:.2},\n",
+            "  \"spans_on_per_span_ns\": {psn:.0},\n",
+            "  \"analytic_span_floor\": {floor}\n",
+            "}}\n"
+        ),
+        records = cfg.records,
+        depth = cfg.depth,
+        batch = cfg.batch,
+        samples = cfg.samples,
+        base = json_arm(&baseline),
+        hist = json_arm(&histograms),
+        spans = json_arm(&spans_on),
+        hov = hov,
+        sov = sov,
+        psn = per_span_ns,
+        floor = analytic,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_report_renders_and_upholds_invariants() {
+        let cfg = ObsConfigDims {
+            records: 60,
+            depth: 2,
+            batch: 4,
+            samples: 1,
+        };
+        let report = obs_report(&cfg);
+        assert!(report.contains("\"spans_on_overhead_pct\""));
+        assert!(report.contains("\"analytic_span_floor\""));
+        // The JSON is hand-rolled; check it is at least brace-balanced.
+        assert_eq!(
+            report.matches('{').count(),
+            report.matches('}').count(),
+            "unbalanced JSON: {report}"
+        );
+    }
+
+    #[test]
+    fn best_of_keeps_the_minimum() {
+        let mut arm = ArmStats::new();
+        let cfg = ObsConfigDims {
+            records: 8,
+            depth: 1,
+            batch: 4,
+            samples: 2,
+        };
+        run_once(&cfg, ObsConfig::off(), &mut arm, false);
+        assert!(arm.wall_seconds_best.is_finite());
+        let first = arm.wall_seconds_best;
+        run_once(&cfg, ObsConfig::off(), &mut arm, false);
+        assert!(arm.wall_seconds_best <= first);
+    }
+}

@@ -17,6 +17,8 @@ pub mod error;
 pub mod metrics;
 pub mod op;
 pub mod payload;
+pub mod span;
+pub mod stream;
 pub mod uid;
 pub mod value;
 pub mod wire;
@@ -25,5 +27,7 @@ pub use error::{EdenError, Result};
 pub use metrics::{CostModel, Metrics, MetricsSnapshot};
 pub use op::OpName;
 pub use payload::PayloadSnapshot;
+pub use span::SpanContext;
+pub use stream::StreamSnapshot;
 pub use uid::{Capability, Uid};
 pub use value::{SharedList, SharedRecord, Text, Value};

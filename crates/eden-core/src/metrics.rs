@@ -43,6 +43,8 @@ struct Counters {
     faults_injected: AtomicU64,
     reactivations: AtomicU64,
     recovered_streams: AtomicU64,
+    successes: AtomicU64,
+    fatal_failures: AtomicU64,
 }
 
 impl Metrics {
@@ -141,6 +143,22 @@ impl Metrics {
         self.inner.recovered_streams.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Record the terminal success of one *logical* invocation. Together
+    /// with [`record_fatal_failure`](Metrics::record_fatal_failure) this
+    /// forms the outcome ledger: once every in-flight invocation has
+    /// resolved, `invocations == successes + fatal_failures` regardless of
+    /// how many times any of them was retried (retries re-send an existing
+    /// invocation; they never open a new ledger entry).
+    pub fn record_success(&self) {
+        self.inner.successes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record the terminal failure of one logical invocation: a fatal
+    /// error, retry exhaustion, deadline expiry, or abandonment.
+    pub fn record_fatal_failure(&self) {
+        self.inner.fatal_failures.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Capture the current counter values.
     pub fn snapshot(&self) -> MetricsSnapshot {
         let c = &self.inner;
@@ -163,6 +181,8 @@ impl Metrics {
             faults_injected: c.faults_injected.load(Ordering::Relaxed),
             reactivations: c.reactivations.load(Ordering::Relaxed),
             recovered_streams: c.recovered_streams.load(Ordering::Relaxed),
+            successes: c.successes.load(Ordering::Relaxed),
+            fatal_failures: c.fatal_failures.load(Ordering::Relaxed),
         }
     }
 }
@@ -190,6 +210,8 @@ pub struct MetricsSnapshot {
     pub faults_injected: u64,
     pub reactivations: u64,
     pub recovered_streams: u64,
+    pub successes: u64,
+    pub fatal_failures: u64,
 }
 
 impl MetricsSnapshot {
@@ -214,6 +236,8 @@ impl MetricsSnapshot {
             faults_injected: self.faults_injected - earlier.faults_injected,
             reactivations: self.reactivations - earlier.reactivations,
             recovered_streams: self.recovered_streams - earlier.recovered_streams,
+            successes: self.successes - earlier.successes,
+            fatal_failures: self.fatal_failures - earlier.fatal_failures,
         }
     }
 
@@ -362,6 +386,21 @@ mod tests {
         assert_eq!(delta.faults_injected, 1);
         assert_eq!(delta.reactivations, 1);
         assert_eq!(delta.recovered_streams, 1);
+    }
+
+    #[test]
+    fn outcome_ledger_accumulates_and_diffs() {
+        let m = Metrics::new();
+        m.record_success();
+        let before = m.snapshot();
+        m.record_success();
+        m.record_fatal_failure();
+        let s = m.snapshot();
+        assert_eq!(s.successes, 2);
+        assert_eq!(s.fatal_failures, 1);
+        let delta = s.since(&before);
+        assert_eq!(delta.successes, 1);
+        assert_eq!(delta.fatal_failures, 1);
     }
 
     #[test]

@@ -105,7 +105,9 @@ impl EjectContext {
         arg: Value,
     ) -> PendingReply {
         match self.kernel.upgrade() {
-            Some(kernel) => kernel.invoke_cached(self.node, cache, target, op.into(), arg, true),
+            Some(kernel) => {
+                kernel.invoke_cached(self.node, cache, target, op.into(), arg, true, false)
+            }
             None => PendingReply::ready(Err(EdenError::KernelShutdown)),
         }
     }
@@ -146,9 +148,16 @@ impl EjectContext {
             metrics: self.metrics.clone(),
             stop: Arc::clone(&self.stop),
         };
+        // Workers inherit the spawner's ambient span: a pump spawned while
+        // a pipeline's root span is ambient sends its invocations inside
+        // that trace (§1's internal processes stay causally attributable).
+        let ambient = eden_core::span::current();
         let handle = std::thread::Builder::new()
             .name(format!("{}:{}", self.uid, name))
-            .spawn(move || body(pctx))
+            .spawn(move || {
+                let _span = ambient.map(|ctx| eden_core::span::enter(Some(ctx)));
+                body(pctx)
+            })
             .expect("spawning a worker thread failed");
         self.workers.lock().push(handle);
     }
@@ -268,7 +277,9 @@ impl ProcessContext {
         arg: Value,
     ) -> PendingReply {
         match self.kernel.upgrade() {
-            Some(kernel) => kernel.invoke_cached(self.node, cache, target, op.into(), arg, true),
+            Some(kernel) => {
+                kernel.invoke_cached(self.node, cache, target, op.into(), arg, true, false)
+            }
             None => PendingReply::ready(Err(EdenError::KernelShutdown)),
         }
     }

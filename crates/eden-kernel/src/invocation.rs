@@ -57,6 +57,17 @@ pub struct ReplyHandle {
     tx: Option<Sender<Result<Value>>>,
     responder: Uid,
     metrics: Metrics,
+    /// Observability tag attached by the kernel dispatch path when the
+    /// observability plane is enabled. Inline, not boxed: the tag is built
+    /// and dropped once per delivered invocation, and a heap round trip
+    /// there is measurable on the reply path, while the extra handle bytes
+    /// cost only a slightly larger memcpy into the mailbox.
+    obs: Option<crate::obs::ObsTag>,
+    /// When true, resolving this handle settles the outcome ledger
+    /// (`successes` / `fatal_failures`). The kernel sets it for plain
+    /// invocations; driver-owned (retrying) invocations keep it false and
+    /// let the driver meter the *terminal* outcome exactly once.
+    meter_outcome: bool,
 }
 
 impl ReplyHandle {
@@ -68,10 +79,61 @@ impl ReplyHandle {
                 Err(_) => 0,
             };
             self.metrics.record_reply(bytes);
+            self.settle(result.is_ok());
             // The waiter may have given up (timeout); that is not an error
             // on the replying side.
             let _ = tx.send(result);
         }
+    }
+
+    /// Settle the outcome ledger and complete the observability span.
+    /// Idempotent by construction: callers reach it only from the branch
+    /// that took `tx`, and the span tag is `take`n.
+    fn settle(&mut self, ok: bool) {
+        self.settle_ledger(ok);
+        self.settle_obs(ok);
+    }
+
+    fn settle_ledger(&mut self, ok: bool) {
+        if self.meter_outcome {
+            if ok {
+                self.metrics.record_success();
+            } else {
+                self.metrics.record_fatal_failure();
+            }
+        }
+    }
+
+    fn settle_obs(&mut self, ok: bool) {
+        if let Some(tag) = self.obs.take() {
+            tag.plane.complete(&tag, ok);
+        }
+    }
+
+    /// Attach the observability tag (kernel dispatch path only).
+    pub(crate) fn set_obs(&mut self, tag: crate::obs::ObsTag) {
+        self.obs = Some(tag);
+    }
+
+    /// Opt this handle into outcome-ledger metering (kernel dispatch path,
+    /// non-driver invocations only).
+    pub(crate) fn set_meter_outcome(&mut self) {
+        self.meter_outcome = true;
+    }
+
+    /// Mark the moment a coordinator picked this invocation out of its
+    /// mailbox: splits queue wait from service time, and returns a guard
+    /// installing the invocation's span as the thread's ambient span (so
+    /// invocations sent *while handling this one* become its children).
+    pub(crate) fn begin_service(&mut self) -> Option<eden_core::span::AmbientGuard> {
+        let tag = self.obs.as_mut()?;
+        if tag.dequeued.is_none() {
+            tag.dequeued = Some(std::time::Instant::now());
+        }
+        tag.plane
+            .config()
+            .spans
+            .then(|| eden_core::span::enter(Some(tag.ctx)))
     }
 
     /// Note that this reply is being parked for later (metrics only).
@@ -91,9 +153,11 @@ impl ReplyHandle {
     /// without `Drop`'s crash default. The cached invocation path uses this
     /// when a stale route's target no longer exists anywhere: the uncached
     /// path reports such errors at send time without counting a reply, and
-    /// the cached path must be metrically indistinguishable.
+    /// the cached path must be metrically indistinguishable. The outcome
+    /// ledger still settles: the logical invocation terminally failed.
     pub(crate) fn resolve_silent(mut self, err: EdenError) {
         if let Some(tx) = self.tx.take() {
+            self.settle(false);
             let _ = tx.send(Err(err));
         }
     }
@@ -102,6 +166,7 @@ impl ReplyHandle {
 impl Drop for ReplyHandle {
     fn drop(&mut self) {
         if let Some(tx) = self.tx.take() {
+            self.settle(false);
             let _ = tx.send(Err(EdenError::EjectCrashed(self.responder)));
         }
     }
@@ -198,6 +263,8 @@ pub fn reply_pair(responder: Uid, metrics: Metrics) -> (ReplyHandle, PendingRepl
             tx: Some(tx),
             responder,
             metrics,
+            obs: None,
+            meter_outcome: false,
         },
         PendingReply::Waiting(rx),
     )

@@ -42,10 +42,12 @@ use crate::behavior::EjectBehavior;
 use crate::context::EjectContext;
 use crate::fault::{FaultInjector, FaultKind, FaultPlan};
 use crate::invocation::{reply_pair, Invocation, PendingReply, ReplyHandle};
+use crate::obs::{KernelSnapshot, ObsConfig, ObsPlane, ObsTag, SpanRecord, StageSummary};
 use crate::options::{InvokeOptions, RetryState};
 use crate::routes::{Route, RouteCache};
 use crate::runtime::{run_coordinator, Envelope};
 use crate::stable::StableStore;
+use crate::trace::TraceDump;
 
 /// A simulated machine. Ejects placed on different nodes pay the remote
 /// invocation surcharge in the cost model (and optional injected latency).
@@ -76,6 +78,10 @@ pub struct KernelConfig {
     /// (crash, shutdown) bypass the bound so a full mailbox can never wedge
     /// teardown.
     pub mailbox_capacity: Option<usize>,
+    /// The observability plane: causal spans and per-stage latency
+    /// histograms (see [`ObsConfig`]). Off by default — a disabled kernel
+    /// carries no instrumentation state at all.
+    pub observability: ObsConfig,
 }
 
 impl Default for KernelConfig {
@@ -86,6 +92,7 @@ impl Default for KernelConfig {
             trace_capacity: 0,
             registry_shards: DEFAULT_REGISTRY_SHARDS,
             mailbox_capacity: None,
+            observability: ObsConfig::off(),
         }
     }
 }
@@ -158,6 +165,7 @@ pub(crate) struct KernelInner {
     metrics: Metrics,
     config: KernelConfig,
     trace: Option<crate::trace::TraceLog>,
+    obs: Option<Arc<ObsPlane>>,
     faults: FaultInjector,
     shutting_down: AtomicBool,
 }
@@ -277,6 +285,10 @@ impl Kernel {
         let shards: Box<[Shard]> = (0..shard_count).map(|_| Shard::default()).collect();
         let trace = (config.trace_capacity > 0)
             .then(|| crate::trace::TraceLog::new(config.trace_capacity));
+        let obs = config
+            .observability
+            .enabled()
+            .then(|| Arc::new(ObsPlane::new(config.observability)));
         let inner = KernelInner {
             shards,
             shard_mask: shard_count - 1,
@@ -285,6 +297,7 @@ impl Kernel {
             metrics: Metrics::new(),
             config,
             trace,
+            obs,
             faults: FaultInjector::default(),
             shutting_down: AtomicBool::new(false),
         };
@@ -317,14 +330,79 @@ impl Kernel {
         &self.inner.metrics
     }
 
-    /// The traced kernel events, oldest first (empty unless
-    /// [`KernelConfig::trace_capacity`] was set).
-    pub fn trace_events(&self) -> Vec<crate::trace::TraceEvent> {
+    /// The traced kernel events, oldest first, with the count of events the
+    /// bounded ring has evicted (empty unless
+    /// [`KernelConfig::trace_capacity`] was set). The dump derefs to
+    /// `[TraceEvent]`, so iteration and indexing work directly on it.
+    pub fn trace_events(&self) -> TraceDump {
         self.inner
             .trace
             .as_ref()
             .map(|t| t.events())
             .unwrap_or_default()
+    }
+
+    /// Events evicted from the trace ring since the kernel started (0 when
+    /// tracing is disabled). Monotonic — it never resets while the kernel
+    /// lives, so two reads bound how much history was lost between them.
+    pub fn trace_dropped(&self) -> u64 {
+        self.inner.trace.as_ref().map(|t| t.dropped()).unwrap_or(0)
+    }
+
+    /// True if the kernel was built with causal span recording on.
+    pub fn spans_enabled(&self) -> bool {
+        self.inner
+            .obs
+            .as_ref()
+            .is_some_and(|obs| obs.config().spans)
+    }
+
+    /// All completed invocation spans, ordered by start time (empty unless
+    /// [`ObsConfig::spans`] was set).
+    pub fn spans(&self) -> Vec<SpanRecord> {
+        self.inner
+            .obs
+            .as_ref()
+            .map(|obs| obs.spans())
+            .unwrap_or_default()
+    }
+
+    /// Spans evicted from the bounded span store since the kernel started.
+    pub fn spans_dropped(&self) -> u64 {
+        self.inner
+            .obs
+            .as_ref()
+            .map(|obs| obs.spans_dropped())
+            .unwrap_or(0)
+    }
+
+    /// Per-(Eject, op) latency summaries, busiest first (empty unless
+    /// [`ObsConfig::histograms`] was set).
+    pub fn stage_summaries(&self) -> Vec<StageSummary> {
+        self.inner
+            .obs
+            .as_ref()
+            .map(|obs| obs.stage_summaries())
+            .unwrap_or_default()
+    }
+
+    /// Everything the kernel can report, in one consistent-enough snapshot:
+    /// control-plane counters, the process-wide payload and stream planes,
+    /// per-stage latency summaries, and trace/span bookkeeping. This is the
+    /// source for the Prometheus and JSON export surfaces (see
+    /// [`prometheus_text`](crate::prometheus_text) and
+    /// [`json_text`](crate::json_text)).
+    pub fn metrics_snapshot(&self) -> KernelSnapshot {
+        let obs = self.inner.obs.as_ref();
+        KernelSnapshot {
+            metrics: self.inner.metrics.snapshot(),
+            payload: eden_core::payload::snapshot(),
+            stream: eden_core::stream::snapshot(),
+            stages: obs.map(|o| o.stage_summaries()).unwrap_or_default(),
+            trace_dropped: self.trace_dropped(),
+            spans_recorded: obs.map(|o| o.span_count()).unwrap_or(0),
+            spans_dropped: obs.map(|o| o.spans_dropped()).unwrap_or(0),
+        }
     }
 
     /// Invocation tallies per target Eject, busiest first (empty unless
@@ -379,7 +457,7 @@ impl Kernel {
     /// Deadlines, retry policy, route caching, and fault immunity are
     /// configured through [`Kernel::invoke_with`].
     pub fn invoke(&self, target: Uid, op: impl Into<OpName>, arg: Value) -> PendingReply {
-        self.invoke_inner(NodeId::default(), target, op.into(), arg, true)
+        self.invoke_inner(NodeId::default(), target, op.into(), arg, true, true, false)
     }
 
     /// [`Kernel::invoke`] with explicit [`InvokeOptions`]: an overall
@@ -436,8 +514,8 @@ impl Kernel {
         let subject = opts.subject_to_faults();
         if !opts.needs_driver() {
             return match opts.route_cache {
-                Some(cache) => self.invoke_cached(from, cache, target, op, arg, subject),
-                None => self.invoke_inner(from, target, op, arg, subject),
+                Some(cache) => self.invoke_cached(from, cache, target, op, arg, subject, false),
+                None => self.invoke_inner(from, target, op, arg, subject, true, false),
             };
         }
         // Deadline or retries requested: keep the request around so the
@@ -445,8 +523,8 @@ impl Kernel {
         // payload plane), so this costs a few pointers, not a copy.
         let (op_kept, arg_kept) = (op.clone(), arg.clone());
         let inner = match opts.route_cache {
-            Some(cache) => self.invoke_cached(from, cache, target, op, arg, subject),
-            None => self.invoke_inner(from, target, op, arg, subject),
+            Some(cache) => self.invoke_cached(from, cache, target, op, arg, subject, true),
+            None => self.invoke_inner(from, target, op, arg, subject, true, true),
         };
         PendingReply::Retrying(Box::new(RetryState::new(
             self.downgrade(),
@@ -458,6 +536,7 @@ impl Kernel {
             opts.deadline,
             subject,
             inner,
+            self.inner.metrics.clone(),
         )))
     }
 
@@ -470,11 +549,20 @@ impl Kernel {
         op: OpName,
         arg: Value,
     ) -> PendingReply {
-        self.invoke_inner(from, target, op, arg, true)
+        self.invoke_inner(from, target, op, arg, true, true, false)
     }
 
-    /// The uncached delivery path: shutdown check, fault decision,
+    /// The uncached delivery path: meter, shutdown check, fault decision,
     /// resolve, dispatch.
+    ///
+    /// `first_attempt` opens the ledger entry for this *logical*
+    /// invocation (`invocations`, `bytes_invoked`); the retry driver's
+    /// re-sends pass `false` so a retried invocation counts once however
+    /// many times it is re-sent. `driver_owned` marks invocations whose
+    /// terminal outcome is settled by a [`RetryState`] — every failure
+    /// here is per-attempt, not terminal, so the ledger's outcome side is
+    /// left to the driver.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn invoke_inner(
         &self,
         from: NodeId,
@@ -482,30 +570,98 @@ impl Kernel {
         op: OpName,
         arg: Value,
         subject_to_faults: bool,
+        first_attempt: bool,
+        driver_owned: bool,
     ) -> PendingReply {
+        let metrics = &self.inner.metrics;
+        if first_attempt {
+            metrics.record_invocation(arg.size_hint());
+        }
+        let fail = |e: EdenError| {
+            if !driver_owned {
+                metrics.record_fatal_failure();
+            }
+            PendingReply::ready(Err(e))
+        };
         if self.inner.shutting_down.load(Ordering::Acquire) {
-            return PendingReply::ready(Err(EdenError::KernelShutdown));
+            return fail(EdenError::KernelShutdown);
         }
         if subject_to_faults {
-            if let Some(faulted) = self.apply_fault(target, &op) {
-                return faulted;
+            if let Some(err) = self.apply_fault(target, &op) {
+                self.record_faulted_span(from, target, &op);
+                return fail(err);
             }
         }
         let route = match self.resolve_route(target) {
             Ok(route) => route,
-            Err(e) => return PendingReply::ready(Err(e)),
+            Err(e) => return fail(e),
         };
-        let (handle, pending) = reply_pair(target, self.inner.metrics.clone());
+        let (handle, pending) = self.reply_pair_for(target, &op, from, &route, driver_owned);
         self.dispatch_route(from, &route, Invocation { op, arg }, handle);
         pending
+    }
+
+    /// Build the reply pair for a resolved dispatch, wiring in outcome
+    /// metering (non-driver invocations settle the ledger at reply time)
+    /// and the observability tag (span coordinates + enqueue timestamp)
+    /// when the plane is enabled.
+    fn reply_pair_for(
+        &self,
+        target: Uid,
+        op: &OpName,
+        from: NodeId,
+        route: &Route,
+        driver_owned: bool,
+    ) -> (ReplyHandle, PendingReply) {
+        let (mut handle, pending) = reply_pair(target, self.inner.metrics.clone());
+        if !driver_owned {
+            handle.set_meter_outcome();
+        }
+        if let Some(obs) = &self.inner.obs {
+            // Histogram-only mode never reads the span coordinates; skip
+            // the thread-local lookup and the span-id allocation.
+            let ctx = if obs.config().spans {
+                eden_core::span::child_of_current()
+            } else {
+                eden_core::span::SpanContext {
+                    trace: 0,
+                    span: 0,
+                    parent: None,
+                    hop: 0,
+                }
+            };
+            handle.set_obs(ObsTag::new(
+                Arc::clone(obs),
+                ctx,
+                target,
+                op.clone(),
+                from,
+                route.node,
+            ));
+        }
+        (handle, pending)
+    }
+
+    /// Make a fault-injected delivery visible to the observability plane.
+    /// The attempt never built a reply pair (and so carries no [`ObsTag`]);
+    /// a zero-duration failed span is recorded directly, keeping injected
+    /// drops, errors, and crashes in the causal tree their retries belong
+    /// to.
+    fn record_faulted_span(&self, from: NodeId, target: Uid, op: &OpName) {
+        if let Some(obs) = &self.inner.obs {
+            if obs.config().spans {
+                obs.record_faulted(eden_core::span::child_of_current(), target, op, from);
+            }
+        }
     }
 
     /// Consult the fault injector for this delivery attempt. `Some` means
     /// the invocation's fate was decided here (dropped, failed, or its
     /// target crashed); `None` means deliver normally, possibly after an
-    /// injected delay. Faulted invocations never reach a mailbox and are
-    /// not metered as invocations — only `faults_injected` moves.
-    fn apply_fault(&self, target: Uid, op: &OpName) -> Option<PendingReply> {
+    /// injected delay. Faulted invocations never reach a mailbox; the
+    /// logical invocation is still in the ledger (metered at first
+    /// attempt), and `faults_injected` counts the decision.
+    fn apply_fault(&self, target: Uid, op: &OpName) -> Option<EdenError> {
         if !self.inner.faults.armed() {
             return None;
         }
@@ -515,16 +671,14 @@ impl Kernel {
             // A lost invocation, observed as the timeout it would become —
             // immediately, so retry backoff (not a 30 s deadline) paces
             // the recovery.
-            FaultKind::Drop => Some(PendingReply::ready(Err(EdenError::Timeout))),
-            FaultKind::Error => Some(PendingReply::ready(Err(EdenError::FaultInjected(
-                decision.label,
-            )))),
+            FaultKind::Drop => Some(EdenError::Timeout),
+            FaultKind::Error => Some(EdenError::FaultInjected(decision.label)),
             FaultKind::CrashTarget => {
                 // Fail-stop the target, then fail this invocation the way
                 // an in-flight invocation dies with its responder. If the
                 // target ever checkpointed, a retry reactivates it.
                 let _ = self.crash(target);
-                Some(PendingReply::ready(Err(EdenError::EjectCrashed(target))))
+                Some(EdenError::EjectCrashed(target))
             }
             FaultKind::Delay(latency) => {
                 std::thread::sleep(latency);
@@ -548,9 +702,11 @@ impl Kernel {
     /// The cached-route invocation path. Semantically identical to
     /// [`Kernel::invoke_from`]; differs only in cost (a hit skips the
     /// registry) and in the `route_cache_hits`/`route_cache_misses`
-    /// counters. Invocation accounting is *per delivery attempt that
-    /// reaches a mailbox*: a stale-route fallback records exactly one
-    /// invocation, the same as the uncached path would.
+    /// counters. This path is always a first attempt (retry re-sends never
+    /// carry a cache), so it opens the ledger entry unconditionally; a
+    /// stale-route fallback redelivers the same logical invocation and
+    /// meters nothing extra.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn invoke_cached(
         &self,
         from: NodeId,
@@ -559,22 +715,29 @@ impl Kernel {
         op: OpName,
         arg: Value,
         subject_to_faults: bool,
+        driver_owned: bool,
     ) -> PendingReply {
+        let metrics = &self.inner.metrics;
+        // Meter BEFORE the send: the receiver may handle the envelope (and
+        // an observer snapshot the counters) before this thread runs again,
+        // so the count must be visible no later than the envelope.
+        metrics.record_invocation(arg.size_hint());
+        let fail = |e: EdenError| {
+            if !driver_owned {
+                metrics.record_fatal_failure();
+            }
+            PendingReply::ready(Err(e))
+        };
         if self.inner.shutting_down.load(Ordering::Acquire) {
-            return PendingReply::ready(Err(EdenError::KernelShutdown));
+            return fail(EdenError::KernelShutdown);
         }
         if subject_to_faults {
-            if let Some(faulted) = self.apply_fault(target, &op) {
-                return faulted;
+            if let Some(err) = self.apply_fault(target, &op) {
+                self.record_faulted_span(from, target, &op);
+                return fail(err);
             }
         }
-        let metrics = &self.inner.metrics;
         if let Some(route) = cache.lookup(target) {
-            // Meter BEFORE the send, exactly as `dispatch_route` does: the
-            // receiver may handle the envelope (and an observer snapshot
-            // the counters) before this thread runs again, so the count
-            // must be visible no later than the envelope.
-            metrics.record_invocation(arg.size_hint());
             if let Some(trace) = &self.inner.trace {
                 trace.record_invoke(target, &op, from, route.node);
             }
@@ -587,7 +750,7 @@ impl Kernel {
             if let Some(latency) = self.inner.config.invocation_latency {
                 std::thread::sleep(latency);
             }
-            let (handle, pending) = reply_pair(target, metrics.clone());
+            let (handle, pending) = self.reply_pair_for(target, &op, from, &route, driver_owned);
             match route
                 .tx
                 .send(Envelope::Invocation(Invocation { op, arg }, handle))
@@ -601,9 +764,10 @@ impl Kernel {
                     // invocation and reply handle from the bounced envelope
                     // and retry through the registry, which reactivates a
                     // passive target exactly as an uncached send would.
-                    // The delivery attempt is already metered; the
-                    // redelivery must not be, or a stale route would count
-                    // two invocations where the uncached path counts one.
+                    // The logical invocation is already in the ledger; the
+                    // redelivery must not meter again, or a stale route
+                    // would count two invocations where the uncached path
+                    // counts one.
                     cache.invalidate(target);
                     metrics.record_route_cache_miss();
                     let Envelope::Invocation(invocation, handle) = envelope else {
@@ -618,7 +782,8 @@ impl Kernel {
                         }
                         // Resolve silently: the uncached path reports a
                         // missing target without metering a reply, so the
-                        // cached path must too.
+                        // cached path must too. (The handle still settles
+                        // the outcome ledger — the invocation failed.)
                         Err(e) => handle.resolve_silent(e),
                     }
                     pending
@@ -628,10 +793,10 @@ impl Kernel {
             metrics.record_route_cache_miss();
             let route = match self.resolve_route(target) {
                 Ok(route) => route,
-                Err(e) => return PendingReply::ready(Err(e)),
+                Err(e) => return fail(e),
             };
             cache.insert(route.clone());
-            let (handle, pending) = reply_pair(target, metrics.clone());
+            let (handle, pending) = self.reply_pair_for(target, &op, from, &route, driver_owned);
             self.dispatch_route(from, &route, Invocation { op, arg }, handle);
             pending
         }
@@ -683,10 +848,12 @@ impl Kernel {
         }
     }
 
-    /// Deliver a resolved invocation: meter, trace, inject latency, send.
-    /// Runs with no kernel lock held — the route owns clones of everything
-    /// it needs — so injected latency delays only this sender and can never
-    /// serialise unrelated invocations.
+    /// Deliver a resolved invocation: trace, inject latency, send. (The
+    /// ledger entry was opened by the caller — once per logical
+    /// invocation, not per delivery attempt.) Runs with no kernel lock
+    /// held — the route owns clones of everything it needs — so injected
+    /// latency delays only this sender and can never serialise unrelated
+    /// invocations.
     fn dispatch_route(
         &self,
         from: NodeId,
@@ -695,7 +862,6 @@ impl Kernel {
         handle: ReplyHandle,
     ) {
         let metrics = &self.inner.metrics;
-        metrics.record_invocation(invocation.arg.size_hint());
         if let Some(trace) = &self.inner.trace {
             trace.record_invoke(route.target, &invocation.op, from, route.node);
         }
@@ -903,9 +1069,18 @@ impl Kernel {
             trace.record_activate(uid, type_name);
         }
         let weak = self.downgrade();
+        // The coordinator thread inherits the spawner's ambient span: an
+        // Eject activated while a pipeline (or a retry holding its origin
+        // span) is ambient joins that trace, so invocations its `activate`
+        // hook sends — e.g. a conventional pump spawning — and a
+        // crash/reactivate cycle both stay causally connected.
+        let ambient = eden_core::span::current();
         let join = std::thread::Builder::new()
             .name(format!("eject-{}-{type_name}", uid.seq()))
-            .spawn(move || run_coordinator(behavior, ctx, rx, weak, incarnation))
+            .spawn(move || {
+                let _span = ambient.map(|ctx| eden_core::span::enter(Some(ctx)));
+                run_coordinator(behavior, ctx, rx, weak, incarnation)
+            })
             .map_err(|e| EdenError::Application(format!("cannot spawn coordinator: {e}")))?;
         slots.insert(
             uid,

@@ -53,6 +53,7 @@ mod context;
 mod fault;
 mod invocation;
 mod kernel;
+mod obs;
 mod options;
 mod routes;
 mod runtime;
@@ -69,7 +70,11 @@ pub use kernel::{
     EjectInfo, EjectState, Kernel, KernelConfig, NodeId, TypeFactory, WeakKernel,
     DEFAULT_REGISTRY_SHARDS,
 };
+pub use obs::{
+    chrome_trace_json, json_text, prometheus_text, Histogram, KernelSnapshot, ObsConfig,
+    SpanRecord, StageSummary,
+};
 pub use options::{FaultExposure, InvokeOptions, RetryPolicy};
 pub use routes::{Route, RouteCache};
 pub use stable::{PassiveRecord, StableStore};
-pub use trace::TraceEvent;
+pub use trace::{TraceDump, TraceEvent};

@@ -14,7 +14,8 @@
 use std::fmt;
 use std::time::{Duration, Instant};
 
-use eden_core::{EdenError, OpName, Result, Uid, Value};
+use eden_core::span::SpanContext;
+use eden_core::{EdenError, Metrics, OpName, Result, Uid, Value};
 
 use crate::invocation::PendingReply;
 use crate::kernel::{NodeId, WeakKernel};
@@ -206,6 +207,15 @@ pub struct RetryState {
     started: Instant,
     attempt: u32,
     inner: PendingReply,
+    /// For the outcome ledger: a driver-owned invocation settles
+    /// `successes`/`fatal_failures` here, exactly once, at its *terminal*
+    /// resolution — per-attempt replies never touch the ledger.
+    metrics: Metrics,
+    finished: bool,
+    /// The span ambient when the invocation was first issued. Re-entered
+    /// around every re-send so retries (and any reactivation they trigger)
+    /// stay in the original trace.
+    origin: Option<SpanContext>,
 }
 
 impl fmt::Debug for RetryState {
@@ -232,6 +242,7 @@ impl RetryState {
         deadline: Option<Duration>,
         subject_to_faults: bool,
         inner: PendingReply,
+        metrics: Metrics,
     ) -> RetryState {
         RetryState {
             kernel,
@@ -245,6 +256,9 @@ impl RetryState {
             started: Instant::now(),
             attempt: 0,
             inner,
+            metrics,
+            finished: false,
+            origin: eden_core::span::current(),
         }
     }
 
@@ -253,17 +267,38 @@ impl RetryState {
         self.deadline.map(|d| d.saturating_sub(self.started.elapsed()))
     }
 
+    /// Settle the outcome ledger for this logical invocation, exactly once
+    /// (`poll_timeout` can report a deadline expiry more than once, and
+    /// `Drop` runs after every terminal path).
+    fn finish(&mut self, ok: bool) {
+        if self.finished {
+            return;
+        }
+        self.finished = true;
+        if ok {
+            self.metrics.record_success();
+        } else {
+            self.metrics.record_fatal_failure();
+        }
+    }
+
     /// Re-send the invocation through the registry. Counts one retry.
     fn resend(&mut self) -> Result<()> {
         let kernel = self.kernel.upgrade().ok_or(EdenError::KernelShutdown)?;
         kernel.metrics().record_retry();
         self.attempt += 1;
+        // Re-sends happen on whatever thread is waiting on the reply;
+        // restore the ambient span from issue time so the re-sent attempt
+        // (and any reactivation it triggers) stays in the original trace.
+        let _ambient = self.origin.map(|ctx| eden_core::span::enter(Some(ctx)));
         self.inner = kernel.invoke_inner(
             self.from,
             self.target,
             self.op.clone(),
             self.arg.clone(),
             self.subject_to_faults,
+            false,
+            true,
         );
         Ok(())
     }
@@ -287,13 +322,17 @@ impl RetryState {
         loop {
             let rem = overall.saturating_sub(start.elapsed());
             match self.take_inner().wait_timeout(rem) {
-                Ok(v) => return Ok(v),
+                Ok(v) => {
+                    self.finish(true);
+                    return Ok(v);
+                }
                 Err(e) => {
                     // A Timeout from budget exhaustion leaves no remaining
                     // time, so it is never retried; a fault-injected drop
                     // (an *immediate* Timeout) is.
                     let rem = overall.saturating_sub(start.elapsed());
                     if !e.is_retryable() || !self.attempts_left() || rem.is_zero() {
+                        self.finish(false);
                         return Err(e);
                     }
                     let pause = self.policy.backoff(self.attempt).min(rem);
@@ -308,15 +347,22 @@ impl RetryState {
 
     pub(crate) fn poll_timeout(&mut self, budget: Duration) -> Option<Result<Value>> {
         let budget = match self.deadline_remaining() {
-            Some(rem) if rem.is_zero() => return Some(Err(EdenError::Timeout)),
+            Some(rem) if rem.is_zero() => {
+                self.finish(false);
+                return Some(Err(EdenError::Timeout));
+            }
             Some(rem) => budget.min(rem),
             None => budget,
         };
         match self.inner.poll_timeout(budget)? {
-            Ok(v) => Some(Ok(v)),
+            Ok(v) => {
+                self.finish(true);
+                Some(Ok(v))
+            }
             Err(e) => {
                 let deadline_left = self.deadline_remaining().is_none_or(|rem| !rem.is_zero());
                 if !e.is_retryable() || !self.attempts_left() || !deadline_left {
+                    self.finish(false);
                     return Some(Err(e));
                 }
                 let mut pause = self.policy.backoff(self.attempt);
@@ -328,7 +374,10 @@ impl RetryState {
                 }
                 match self.resend() {
                     Ok(()) => None,
-                    Err(err) => Some(Err(err)),
+                    Err(err) => {
+                        self.finish(false);
+                        Some(Err(err))
+                    }
                 }
             }
         }
@@ -338,7 +387,10 @@ impl RetryState {
         mut self: Box<Self>,
     ) -> std::result::Result<Result<Value>, Box<RetryState>> {
         match self.take_inner().try_wait() {
-            Ok(Ok(v)) => Ok(Ok(v)),
+            Ok(Ok(v)) => {
+                self.finish(true);
+                Ok(Ok(v))
+            }
             Ok(Err(e)) => {
                 let deadline_left = self.deadline_remaining().is_none_or(|rem| !rem.is_zero());
                 if e.is_retryable() && self.attempts_left() && deadline_left {
@@ -346,9 +398,13 @@ impl RetryState {
                     // caller's own polling cadence provides the spacing.
                     match self.resend() {
                         Ok(()) => Err(self),
-                        Err(err) => Ok(Err(err)),
+                        Err(err) => {
+                            self.finish(false);
+                            Ok(Err(err))
+                        }
                     }
                 } else {
+                    self.finish(false);
                     Ok(Err(e))
                 }
             }
@@ -357,6 +413,15 @@ impl RetryState {
                 Err(self)
             }
         }
+    }
+}
+
+impl Drop for RetryState {
+    fn drop(&mut self) {
+        // Abandoned without a terminal resolution (the waiter dropped the
+        // reply, or `resend` failed on a dead kernel): the logical
+        // invocation terminally failed.
+        self.finish(false);
     }
 }
 

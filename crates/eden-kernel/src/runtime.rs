@@ -49,7 +49,12 @@ pub(crate) fn run_coordinator(
             break ExitCause::Deactivated;
         }
         match mailbox.recv() {
-            Ok(Envelope::Invocation(inv, reply)) => {
+            Ok(Envelope::Invocation(inv, mut reply)) => {
+                // Stamp the dequeue time (splitting queue wait from service
+                // time) and make the invocation's span ambient for the whole
+                // dispatch, so invocations sent while handling this one
+                // become its children in the trace tree.
+                let _span = reply.begin_service();
                 dispatch(behavior.as_mut(), &ctx, &kernel, inv, reply);
             }
             Ok(Envelope::Internal(event)) => behavior.internal(&ctx, event),

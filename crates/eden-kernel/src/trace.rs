@@ -93,12 +93,42 @@ impl fmt::Display for TraceEvent {
     }
 }
 
+/// The events surviving in the trace ring plus the count of events the ring
+/// has evicted since the kernel started. Derefs to `[TraceEvent]`, so code
+/// that only wants the events can iterate it directly.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TraceDump {
+    /// The surviving events, oldest first.
+    pub events: Vec<TraceEvent>,
+    /// Events evicted from the ring to stay within capacity. Monotonic:
+    /// `events.len() as u64 + dropped` equals the total ever recorded.
+    pub dropped: u64,
+}
+
+impl std::ops::Deref for TraceDump {
+    type Target = [TraceEvent];
+
+    fn deref(&self) -> &[TraceEvent] {
+        &self.events
+    }
+}
+
+impl<'a> IntoIterator for &'a TraceDump {
+    type Item = &'a TraceEvent;
+    type IntoIter = std::slice::Iter<'a, TraceEvent>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.events.iter()
+    }
+}
+
 /// A bounded ring of trace events plus per-target invocation tallies.
 pub(crate) struct TraceLog {
     ring: Mutex<VecDeque<TraceEvent>>,
     per_target: Mutex<HashMap<Uid, u64>>,
     capacity: usize,
     seq: AtomicU64,
+    dropped: AtomicU64,
 }
 
 impl TraceLog {
@@ -108,6 +138,7 @@ impl TraceLog {
             per_target: Mutex::new(HashMap::new()),
             capacity: capacity.max(1),
             seq: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
         }
     }
 
@@ -115,6 +146,7 @@ impl TraceLog {
         let mut ring = self.ring.lock();
         if ring.len() == self.capacity {
             ring.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
         }
         ring.push_back(event);
     }
@@ -149,8 +181,15 @@ impl TraceLog {
         self.push(TraceEvent::Stop { seq, uid, crashed });
     }
 
-    pub(crate) fn events(&self) -> Vec<TraceEvent> {
-        self.ring.lock().iter().cloned().collect()
+    pub(crate) fn events(&self) -> TraceDump {
+        TraceDump {
+            events: self.ring.lock().iter().cloned().collect(),
+            dropped: self.dropped.load(Ordering::Relaxed),
+        }
+    }
+
+    pub(crate) fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
     }
 
     pub(crate) fn per_target(&self) -> Vec<(Uid, u64)> {
@@ -181,6 +220,26 @@ mod tests {
         // The survivors are the latest, in order.
         assert_eq!(events[0].seq() + 1, events[1].seq());
         assert_eq!(events[2].seq(), 4);
+    }
+
+    #[test]
+    fn overflow_is_counted_not_silent() {
+        let log = TraceLog::new(3);
+        assert_eq!(log.events().dropped, 0);
+        for _ in 0..5 {
+            log.record_invoke(Uid::fresh(), &OpName::from("Transfer"), NodeId(0), NodeId(0));
+        }
+        let dump = log.events();
+        assert_eq!(dump.dropped, 2, "two events were evicted");
+        assert_eq!(
+            dump.events.len() as u64 + dump.dropped,
+            5,
+            "survivors + dropped account for every recorded event"
+        );
+        // The counter is monotonic across further wrap-arounds.
+        log.record_invoke(Uid::fresh(), &OpName::from("Write"), NodeId(0), NodeId(0));
+        assert_eq!(log.events().dropped, 3);
+        assert_eq!(log.dropped(), 3);
     }
 
     #[test]

@@ -1,19 +1,34 @@
 //! `eden-sh` — an interactive shell over a simulated Eden.
 //!
 //! ```text
-//! cargo run -p eden-shell --bin eden-sh
+//! cargo run -p eden-shell --bin eden-sh [-- --obs]
 //! ```
+//!
+//! `--obs` turns on the observability plane (spans + per-stage
+//! histograms) so `trace export` and the stage table in `stats` have
+//! data; by default the kernel runs with observability off.
 //!
 //! Type `help` for the command reference; Ctrl-D or `quit` exits.
 
 use std::io::{BufRead, Write};
 
-use eden_kernel::{Kernel, KernelConfig};
+use eden_kernel::{Kernel, KernelConfig, ObsConfig};
 use eden_shell::session::Session;
 
 fn main() {
+    let mut observability = ObsConfig::default();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--obs" => observability = ObsConfig::full(),
+            other => {
+                eprintln!("unknown argument `{other}` (supported: --obs)");
+                std::process::exit(2);
+            }
+        }
+    }
     let kernel = Kernel::with_config(KernelConfig {
         trace_capacity: 256,
+        observability,
         ..Default::default()
     });
     let session = match Session::new(&kernel) {

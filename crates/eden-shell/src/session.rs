@@ -95,9 +95,9 @@ impl Session {
             "rm" => self.rm(&words[1..]),
             "checkpoint" => self.checkpoint(&words[1..]),
             "crash" => self.crash(&words[1..]),
-            "stats" => self.stats(),
-            "trace" => self.trace(),
-            "top" => self.top(),
+            "stats" => self.stats(&words[1..]),
+            "trace" => self.trace(&words[1..]),
+            "top" => self.top(&words[1..]),
             "ejects" => self.ejects(),
             "mv" => self.mv(&words[1..]),
             _ => Ok(HELP.lines().map(str::to_owned).collect()),
@@ -204,7 +204,29 @@ impl Session {
         Ok(vec![format!("crashed {} (fail-stop)", args[0])])
     }
 
-    fn stats(&self) -> Result<Vec<String>> {
+    fn stats(&self, args: &[&str]) -> Result<Vec<String>> {
+        match args.first() {
+            Some(&"--prometheus") => {
+                let snap = self.kernel.metrics_snapshot();
+                return Ok(eden_kernel::prometheus_text(&snap)
+                    .lines()
+                    .map(str::to_owned)
+                    .collect());
+            }
+            Some(&"--json") => {
+                let snap = self.kernel.metrics_snapshot();
+                return Ok(eden_kernel::json_text(&snap)
+                    .lines()
+                    .map(str::to_owned)
+                    .collect());
+            }
+            Some(other) => {
+                return Err(EdenError::BadParameter(format!(
+                    "stats: unknown flag `{other}` (try --prometheus or --json)"
+                )))
+            }
+            None => {}
+        }
         let s = self.kernel.metrics().snapshot();
         Ok(vec![
             format!(
@@ -230,6 +252,16 @@ impl Session {
                 format!(
                     "payload_bytes_moved: {}, payload_copies: {}, cow_breaks: {}, payload_shares: {}",
                     p.payload_bytes_moved, p.payload_copies, p.cow_breaks, p.payload_shares
+                )
+            },
+            {
+                let st = eden_core::stream::snapshot();
+                format!(
+                    "records emitted: {}, collected: {}, in flight: {}, streams active: {}",
+                    st.records_emitted,
+                    st.records_collected,
+                    st.records_in_flight(),
+                    st.streams_active()
                 )
             },
         ])
@@ -268,28 +300,92 @@ impl Session {
         Ok(vec![format!("renamed {from} -> {to}")])
     }
 
-    fn top(&self) -> Result<Vec<String>> {
-        let tallies = self.kernel.invocations_by_target();
-        if tallies.is_empty() {
-            return Ok(vec![
-                "no data (tracing disabled, or nothing invoked yet)".to_owned(),
-            ]);
+    fn top(&self, args: &[&str]) -> Result<Vec<String>> {
+        let frames = match args {
+            [] => 1,
+            ["--watch"] => 5,
+            ["--watch", n] => n.parse::<usize>().map_err(|_| {
+                EdenError::BadParameter(format!("top: bad frame count `{n}`"))
+            })?,
+            _ => {
+                return Err(EdenError::BadParameter(format!(
+                    "top: unknown arguments {args:?} (try --watch [FRAMES])"
+                )))
+            }
+        };
+        let mut out = Vec::new();
+        let mut prev = eden_core::stream::snapshot();
+        let mut prev_at = std::time::Instant::now();
+        for frame in 0..frames.max(1) {
+            if frame > 0 {
+                // The watch cadence: long enough for the rates to mean
+                // something, short enough to feel live.
+                std::thread::sleep(std::time::Duration::from_millis(100));
+            }
+            let now = eden_core::stream::snapshot();
+            let elapsed = prev_at.elapsed().as_secs_f64();
+            let rate = |n: u64| {
+                if frame == 0 || elapsed <= 0.0 {
+                    "-".to_owned()
+                } else {
+                    format!("{:.0}/s", n as f64 / elapsed)
+                }
+            };
+            let delta = now.since(&prev);
+            out.push(format!(
+                "[{frame}] streams active: {}, records in flight: {}, emit {} collect {}",
+                now.streams_active(),
+                now.records_in_flight(),
+                rate(delta.records_emitted),
+                rate(delta.records_collected),
+            ));
+            for (uid, count) in self.kernel.invocations_by_target().into_iter().take(10) {
+                out.push(format!("{count:>8}  {uid}"));
+            }
+            prev = now;
+            prev_at = std::time::Instant::now();
         }
-        Ok(tallies
-            .into_iter()
-            .take(10)
-            .map(|(uid, count)| format!("{count:>8}  {uid}"))
-            .collect())
+        if out.len() == frames.max(1) && self.kernel.invocations_by_target().is_empty() {
+            out.push("no per-Eject data (tracing disabled, or nothing invoked yet)".to_owned());
+        }
+        Ok(out)
     }
 
-    fn trace(&self) -> Result<Vec<String>> {
-        let events = self.kernel.trace_events();
-        if events.is_empty() {
+    fn trace(&self, args: &[&str]) -> Result<Vec<String>> {
+        match args.first() {
+            Some(&"export") => {
+                let spans = self.kernel.spans();
+                if !self.kernel.spans_enabled() {
+                    return Ok(vec![
+                        "span recording disabled (enable KernelConfig.observability.spans)"
+                            .to_owned(),
+                    ]);
+                }
+                // Chrome trace_event JSON: load into chrome://tracing or
+                // Perfetto. One line so callers can redirect it to a file.
+                return Ok(vec![eden_kernel::chrome_trace_json(&spans)]);
+            }
+            Some(other) => {
+                return Err(EdenError::BadParameter(format!(
+                    "trace: unknown subcommand `{other}` (try `trace` or `trace export`)"
+                )))
+            }
+            None => {}
+        }
+        let dump = self.kernel.trace_events();
+        if dump.is_empty() && dump.dropped == 0 {
             return Ok(vec![
                 "tracing disabled (start the kernel with trace_capacity > 0)".to_owned(),
             ]);
         }
-        Ok(events.iter().map(|e| e.to_string()).collect())
+        let mut out: Vec<String> = dump.iter().map(|e| e.to_string()).collect();
+        if dump.dropped > 0 {
+            out.push(format!(
+                "({} earlier event(s) evicted from the ring)",
+                dump.dropped
+            ));
+        }
+        Ok(out)
     }
 }
 
@@ -308,9 +404,12 @@ built-ins:
   ejects                  list every Eject the kernel knows
   checkpoint NAME         write the file's passive representation
   crash NAME              fail-stop the file Eject (recovers on next use)
-  stats                   kernel metrics snapshot
+  stats [--prometheus|--json]
+                          kernel metrics snapshot (optionally rendered as
+                          Prometheus exposition text or JSON)
   trace                   recent kernel events (needs tracing enabled)
-  top                     busiest Ejects by invocation count (needs tracing)
+  trace export            spans as Chrome trace_event JSON (Perfetto)
+  top [--watch [FRAMES]]  stream gauges + busiest Ejects; --watch repeats
   help                    this text
 pipelines:
   [@key=value ...] SOURCE [| FILTER args... [Chan>window]]... [> SINK]
@@ -395,7 +494,75 @@ mod tests {
         let trace = s.execute("trace").unwrap();
         assert!(trace.iter().any(|l| l.contains("invoke")));
         let top = s.execute("top").unwrap();
-        assert!(top[0].trim().chars().next().unwrap().is_ascii_digit());
+        assert!(top[0].contains("streams active"));
+        assert!(top[1].trim().chars().next().unwrap().is_ascii_digit());
+        kernel.shutdown();
+    }
+
+    #[test]
+    fn stats_render_prometheus_and_json() {
+        let (kernel, s) = session();
+        s.execute("mkfile notes x").unwrap();
+        let prom = s.execute("stats --prometheus").unwrap();
+        assert!(prom.iter().any(|l| l.starts_with("# HELP eden_invocations_total")));
+        assert!(prom
+            .iter()
+            .any(|l| l.starts_with("eden_invocations_total ")));
+        let json = s.execute("stats --json").unwrap().join("\n");
+        assert!(json.contains("\"counters\""));
+        assert!(json.contains("\"eden_invocations_total\""));
+        assert!(s.execute("stats --bogus").is_err());
+        kernel.shutdown();
+    }
+
+    #[test]
+    fn trace_reports_ring_eviction() {
+        let kernel = Kernel::with_config(eden_kernel::KernelConfig {
+            trace_capacity: 4,
+            ..Default::default()
+        });
+        let s = Session::new(&kernel).unwrap();
+        for i in 0..4 {
+            s.execute(&format!("mkfile f{i} x")).unwrap();
+        }
+        let trace = s.execute("trace").unwrap();
+        assert!(
+            trace.last().unwrap().contains("evicted from the ring"),
+            "{trace:?}"
+        );
+        kernel.shutdown();
+    }
+
+    #[test]
+    fn trace_export_emits_chrome_json() {
+        let kernel = Kernel::with_config(eden_kernel::KernelConfig {
+            observability: eden_kernel::ObsConfig::full(),
+            ..Default::default()
+        });
+        let s = Session::new(&kernel).unwrap();
+        s.execute("mkfile notes hello").unwrap();
+        s.execute("cat notes").unwrap();
+        let exported = s.execute("trace export").unwrap().join("");
+        assert!(exported.starts_with("{\"traceEvents\":["));
+        assert!(exported.contains("\"ph\":\"X\""));
+        kernel.shutdown();
+
+        // Spans off: the subcommand says so instead of emitting an empty file.
+        let plain = Kernel::new();
+        let s = Session::new(&plain).unwrap();
+        let out = s.execute("trace export").unwrap();
+        assert!(out[0].contains("span recording disabled"));
+        plain.shutdown();
+    }
+
+    #[test]
+    fn top_watch_renders_frames() {
+        let (kernel, s) = session();
+        s.execute("mkfile notes x").unwrap();
+        let out = s.execute("top --watch 2").unwrap();
+        let frames = out.iter().filter(|l| l.contains("records in flight")).count();
+        assert_eq!(frames, 2);
+        assert!(s.execute("top --watch zap").is_err());
         kernel.shutdown();
     }
 

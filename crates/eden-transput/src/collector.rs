@@ -31,6 +31,7 @@ pub struct Collector {
 impl Collector {
     /// A collector that retains every record.
     pub fn new() -> Collector {
+        eden_core::stream::note_stream_opened();
         Collector {
             state: Arc::new((Mutex::new(State::default()), Condvar::new())),
             keep_items: true,
@@ -39,6 +40,7 @@ impl Collector {
 
     /// A counting-only collector (the null sink).
     pub fn null() -> Collector {
+        eden_core::stream::note_stream_opened();
         Collector {
             state: Arc::new((Mutex::new(State::default()), Condvar::new())),
             keep_items: false,
@@ -47,6 +49,7 @@ impl Collector {
 
     /// Append records (called by sink Ejects).
     pub fn append(&self, items: Vec<Value>) {
+        eden_core::stream::note_collected(items.len());
         let (lock, cvar) = &*self.state;
         let mut st = lock.lock();
         st.records_seen += items.len() as u64;
@@ -59,7 +62,11 @@ impl Collector {
     /// Mark the stream complete (called once by the sink on end-of-stream).
     pub fn finish(&self) {
         let (lock, cvar) = &*self.state;
-        lock.lock().done = true;
+        let mut st = lock.lock();
+        if !st.done {
+            eden_core::stream::note_stream_closed();
+        }
+        st.done = true;
         cvar.notify_all();
     }
 
@@ -68,6 +75,9 @@ impl Collector {
     pub fn fail(&self, error: EdenError) {
         let (lock, cvar) = &*self.state;
         let mut st = lock.lock();
+        if !st.done {
+            eden_core::stream::note_stream_closed();
+        }
         st.done = true;
         st.error = Some(error);
         cvar.notify_all();

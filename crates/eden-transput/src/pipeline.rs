@@ -456,6 +456,12 @@ impl PipelineSpec {
     /// first Transfer starts the flow as part of `run`).
     pub fn build(self, kernel: &Kernel) -> Result<Pipeline> {
         self.validate()?;
+        // One trace per pipeline: everything wired or spawned from here on
+        // (including pump workers, which inherit the ambient span of the
+        // thread that spawned their Eject) parents under this root, so the
+        // whole run reconstructs as a single causal tree.
+        let trace = eden_core::span::SpanContext::root();
+        let _ambient = eden_core::span::enter(Some(trace));
         let PipelineSpec {
             discipline,
             batch,
@@ -551,6 +557,7 @@ impl PipelineSpec {
             collector,
             taps,
             baseline,
+            trace,
         })
     }
 }
@@ -807,6 +814,9 @@ pub struct Pipeline {
     collector: Collector,
     taps: Vec<ReportTap>,
     baseline: MetricsSnapshot,
+    /// The root span of the pipeline's trace; `run` re-enters it so the
+    /// data phase joins the tree the build started.
+    trace: eden_core::span::SpanContext,
 }
 
 impl Pipeline {
@@ -828,6 +838,11 @@ impl Pipeline {
     /// Run to end-of-stream, tear the Ejects down, and report.
     pub fn run(mut self, deadline: Duration) -> Result<PipelineRun> {
         let start = Instant::now();
+        // The data phase belongs to the trace the build started: the sink
+        // spawns and the Start invocation below happen under the root span.
+        // The guard is dropped before teardown so the Deactivate sweep does
+        // not pollute the tree.
+        let ambient = eden_core::span::enter(Some(self.trace));
         for (node, behavior) in self.deferred_sinks.drain(..) {
             let uid = match node {
                 Some(n) => self.kernel.spawn_on(n, behavior)?,
@@ -854,6 +869,7 @@ impl Pipeline {
         let wall = start.elapsed();
         let metrics = self.kernel.metrics().snapshot().since(&self.baseline);
         let entities = self.ejects.len();
+        drop(ambient);
         self.teardown(Duration::from_secs(10));
         Ok(PipelineRun {
             output,
@@ -862,6 +878,7 @@ impl Pipeline {
             wall,
             entities,
             reports,
+            trace: self.trace.trace,
         }
         .fix_counts())
     }
@@ -901,6 +918,10 @@ pub struct PipelineRun {
     pub entities: usize,
     /// Report-stream captures, keyed by (stage, channel name).
     pub reports: Vec<((usize, String), Vec<Value>)>,
+    /// The trace id every span of this run carries (when the kernel records
+    /// spans); filter [`Kernel::spans`](eden_kernel::Kernel::spans) by it to
+    /// reconstruct the run's causal tree.
+    pub trace: u64,
 }
 
 impl PipelineRun {

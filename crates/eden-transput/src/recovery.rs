@@ -1226,6 +1226,10 @@ pub struct RecoveryRun {
     /// Every Eject the pipeline spawned (sources, filters, buffers, pumps,
     /// acceptor), head first. Exposed so chaos tests can crash them.
     pub stages: Vec<Uid>,
+    /// The trace id the run's spans carry — stable across retries and
+    /// checkpoint-driven reactivation, so the recovered replay is part of
+    /// the same causal tree as the first attempt.
+    pub trace: u64,
 }
 
 /// Build and run a recoverable pipeline of `transforms` over `items` and
@@ -1251,6 +1255,14 @@ pub fn run_recoverable_pipeline(
     }
     let deadline = Instant::now() + timeout;
     let batch = batch.max(1);
+    // One trace for the whole recoverable affair. Retries re-send under the
+    // span captured at first issue, and a reactivated stage's coordinator
+    // inherits the ambient of the invocation that woke it, so the trace id
+    // survives crash/reactivate cycles — the recovery replay and the first
+    // attempt reconstruct as one tree.
+    let root = eden_core::span::SpanContext::root();
+    let _ambient = eden_core::span::enter(Some(root));
+    let trace = root.trace;
     match discipline {
         RecoveryDiscipline::ReadOnly => {
             let mut stages = vec![kernel.spawn(Box::new(RecoverableSource::new(items)))?];
@@ -1275,7 +1287,11 @@ pub fn run_recoverable_pipeline(
                 pos += b.items.len() as u64;
                 output.extend(b.items);
                 if b.end {
-                    return Ok(RecoveryRun { output, stages });
+                    return Ok(RecoveryRun {
+                        output,
+                        stages,
+                        trace,
+                    });
                 }
             }
         }
@@ -1301,6 +1317,7 @@ pub fn run_recoverable_pipeline(
             drive_to_end(kernel, acceptor, &active, deadline).map(|output| RecoveryRun {
                 output,
                 stages,
+                trace,
             })
         }
         RecoveryDiscipline::Conventional => {
@@ -1342,6 +1359,7 @@ pub fn run_recoverable_pipeline(
             drive_to_end(kernel, acceptor, &nudge, deadline).map(|output| RecoveryRun {
                 output,
                 stages,
+                trace,
             })
         }
     }

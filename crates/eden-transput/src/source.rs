@@ -212,7 +212,10 @@ impl EjectBehavior for SourceEject {
             ops::TRANSFER => {
                 let result = TransferRequest::from_value(&inv.arg)
                     .and_then(|req| self.serve_transfer(req))
-                    .map(Batch::to_value);
+                    .map(|batch| {
+                        eden_core::stream::note_emitted(batch.len());
+                        batch.to_value()
+                    });
                 reply.reply(result);
             }
             ops::GET_CHANNEL => {

@@ -250,6 +250,7 @@ impl EjectBehavior for PushSourceEject {
                                     return Err(EdenError::KernelShutdown);
                                 }
                                 let pulled = source.pull(batch.current());
+                                eden_core::stream::note_emitted(pulled.items.len());
                                 let req = WriteRequest {
                                     channel: port.channel,
                                     items: pulled.items,
@@ -302,6 +303,7 @@ impl EjectBehavior for PushSourceEject {
                                 return Err(EdenError::KernelShutdown);
                             }
                             let pulled = source.pull(batch.current());
+                            eden_core::stream::note_emitted(pulled.items.len());
                             let mut emitter = Emitter::new();
                             for item in pulled.items {
                                 emitter.emit(item);

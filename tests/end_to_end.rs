@@ -166,7 +166,15 @@ fn crash_mid_pipeline_is_reported_not_hung() {
     kernel
         .spawn(Box::new(SinkEject::new(filter, 16, collector.clone())))
         .unwrap();
+    // Bounded wait: if the stream stalls before the crash is even
+    // injected, fail with a diagnosis instead of hanging the suite.
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
     while collector.records_seen() < 100 {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "stream stalled at {} records before the crash",
+            collector.records_seen()
+        );
         std::thread::sleep(Duration::from_millis(1));
     }
     kernel.crash(filter).unwrap();

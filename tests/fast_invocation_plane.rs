@@ -255,8 +255,12 @@ fn injected_latency_is_paid_outside_registry_locks() {
     }
     let elapsed = start.elapsed();
     let serialised = LATENCY * (THREADS * CALLS) as u32;
+    // Concurrent delivery lands around 2 × LATENCY (~50ms); fully serial
+    // is 400ms. Asserting < 3/4 of serial still rules out serialisation
+    // decisively while leaving room for scheduler noise on small or busy
+    // CI machines.
     assert!(
-        elapsed < serialised / 2,
+        elapsed < serialised * 3 / 4,
         "invocations serialised: {elapsed:?} vs {serialised:?} fully serial"
     );
     kernel.shutdown();

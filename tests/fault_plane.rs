@@ -13,7 +13,7 @@ use std::time::Duration;
 use eden::core::{EdenError, Value};
 use eden::kernel::{
     EjectBehavior, EjectContext, FaultKind, FaultPlan, FaultRule, Invocation, InvokeOptions,
-    Kernel, ReplyHandle, RetryPolicy,
+    Kernel, KernelConfig, ObsConfig, ReplyHandle, RetryPolicy,
 };
 use eden::transput::recovery::{
     install_recovery, run_recoverable_pipeline, RecoveryDiscipline, TransformRegistry,
@@ -336,11 +336,17 @@ fn direct_crash_of_every_stage_recovers() {
                     Duration::from_secs(60),
                 )
             });
-            // Give the pipeline a moment to spawn and move some records,
-            // then crash whatever stage holds `stage_idx` in UID order of
-            // creation: stages are spawned before any data moves, so all
-            // exist by now.
-            std::thread::sleep(Duration::from_millis(30));
+            // Wait until the pipeline's stages exist (they all spawn before
+            // any data moves), then crash whatever stage holds `stage_idx`
+            // in UID order of creation. Polling instead of a fixed sleep
+            // keeps the crash aimed mid-stream on fast machines and still
+            // lands it on slow ones.
+            let spawn_deadline = std::time::Instant::now() + Duration::from_secs(2);
+            while kernel.list_ejects().len() < probe
+                && std::time::Instant::now() < spawn_deadline
+            {
+                std::thread::yield_now();
+            }
             let mut ejects = kernel.list_ejects();
             ejects.sort_by_key(|info| info.uid.seq());
             if let Some(info) = ejects.get(stage_idx.min(ejects.len().saturating_sub(1))) {
@@ -473,4 +479,202 @@ proptest! {
         prop_assert_eq!(run.output, expected(len));
         kernel.shutdown();
     }
+}
+
+// ---------------------------------------------------------------------------
+// The outcome ledger under fire, and span propagation through recovery.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn outcome_ledger_balances_under_injected_fire() {
+    // Every logical invocation must land on exactly one side of the
+    // ledger — `invocations == successes + fatal_failures` once all are
+    // resolved — no matter how it got there: first try, after retries, by
+    // injected error, or by deadline expiry. Retries re-send an existing
+    // invocation and must not open new ledger entries.
+    let kernel = Kernel::new();
+    kernel.register_type("DurableCounter", DurableCounter::factory);
+    let counter = kernel.spawn(Box::new(DurableCounter { total: 0 })).unwrap();
+
+    // A plain first-try success.
+    kernel.invoke(counter, "Add", Value::Int(1)).wait().unwrap();
+    // An injected error with no retry: one fatal failure.
+    kernel.install_faults(
+        FaultPlan::new(11).rule(FaultRule::new(FaultKind::Error).on_op("Add").nth(1).labeled("e")),
+    );
+    kernel.invoke(counter, "Add", Value::Int(1)).wait().unwrap_err();
+    // Two drops survived by retry: one success, despite three deliveries.
+    kernel.install_faults(
+        FaultPlan::new(12)
+            .rule(FaultRule::new(FaultKind::Drop).on_op("Add").nth(1).labeled("d1"))
+            .rule(FaultRule::new(FaultKind::Drop).on_op("Add").nth(1).labeled("d2")),
+    );
+    kernel
+        .invoke_with(counter, "Add", Value::Int(1), retrying())
+        .wait()
+        .unwrap();
+    // Every delivery dropped until the deadline: one fatal failure, not
+    // one per attempt.
+    kernel.install_faults(
+        FaultPlan::new(13).rule(FaultRule::new(FaultKind::Drop).on_op("Add").labeled("all")),
+    );
+    kernel
+        .invoke_with(
+            counter,
+            "Add",
+            Value::Int(1),
+            InvokeOptions::new()
+                .deadline(Duration::from_millis(40))
+                .retry(RetryPolicy::retries(1000).base_delay(Duration::from_millis(2))),
+        )
+        .wait()
+        .unwrap_err();
+    // An application-level error (unknown op): one fatal failure.
+    kernel.invoke(counter, "Bogus", Value::Unit).wait().unwrap_err();
+
+    let m = kernel.metrics().snapshot();
+    assert_eq!(
+        m.invocations,
+        m.successes + m.fatal_failures,
+        "ledger out of balance: {} invocations vs {} + {}",
+        m.invocations,
+        m.successes,
+        m.fatal_failures
+    );
+    assert_eq!(m.successes, 2);
+    assert_eq!(m.fatal_failures, 3);
+    kernel.shutdown();
+}
+
+#[test]
+fn outcome_ledger_balances_under_probabilistic_fire() {
+    // The audit version: a seeded FaultInjector decides fates at random;
+    // whatever mix of errors, drops, retries, and timeouts falls out, the
+    // ledger must balance exactly once the invocations resolve.
+    for seed in [5, 21, 0xfa11] {
+        let kernel = Kernel::new();
+        kernel.register_type("DurableCounter", DurableCounter::factory);
+        let counter = kernel.spawn(Box::new(DurableCounter { total: 0 })).unwrap();
+        kernel.install_faults(
+            FaultPlan::new(seed)
+                .rule(FaultRule::new(FaultKind::Error).on_op("Add").with_probability(0.3))
+                .rule(FaultRule::new(FaultKind::Drop).on_op("Add").with_probability(0.2)),
+        );
+        let mut ok = 0u64;
+        let mut failed = 0u64;
+        for _ in 0..30 {
+            let outcome = kernel
+                .invoke_with(
+                    counter,
+                    "Add",
+                    Value::Int(1),
+                    InvokeOptions::new()
+                        .deadline(Duration::from_millis(200))
+                        .retry(
+                            RetryPolicy::retries(5).base_delay(Duration::from_millis(1)),
+                        ),
+                )
+                .wait();
+            match outcome {
+                Ok(_) => ok += 1,
+                Err(_) => failed += 1,
+            }
+        }
+        let m = kernel.metrics().snapshot();
+        assert_eq!(
+            m.invocations,
+            m.successes + m.fatal_failures,
+            "seed {seed}: ledger out of balance"
+        );
+        assert_eq!(m.successes, ok, "seed {seed}");
+        assert_eq!(m.fatal_failures, failed, "seed {seed}");
+        kernel.shutdown();
+    }
+}
+
+#[test]
+fn recovery_keeps_the_crashed_stream_in_one_trace() {
+    // Span propagation across crash and reactivation: the delivery that
+    // dies, the retries that bring the stage back, and the replayed stream
+    // all carry the run's trace id — one causal tree, not a new trace per
+    // recovery.
+    let kernel = Kernel::with_config(KernelConfig {
+        observability: ObsConfig::full(),
+        ..KernelConfig::default()
+    });
+    let reg = registry();
+    install_recovery(&kernel, &reg);
+    kernel.install_faults(FaultPlan::new(0xcafe).rule(
+        FaultRule::new(FaultKind::CrashTarget).on_op("Transfer").nth(8).labeled("crash"),
+    ));
+    let run = run_recoverable_pipeline(
+        &kernel,
+        RecoveryDiscipline::ReadOnly,
+        (0..40).map(Value::Int).collect(),
+        &["double", "inc"],
+        &reg,
+        5,
+        Duration::from_secs(60),
+    )
+    .unwrap();
+    assert_eq!(run.output, expected(40), "recovery must not corrupt the stream");
+    let m = kernel.metrics().snapshot();
+    assert_eq!(m.crashes, 1);
+    assert!(m.reactivations >= 1);
+
+    // Spans settle before their replies, but the last few can land on
+    // coordinator threads after the run returns: poll until the trace has
+    // its failed span and the count stops moving. (The run batches
+    // records, so the span count is structural, not per-record.)
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    let mut last_len = 0usize;
+    let mut stable = 0u32;
+    let spans = loop {
+        let spans: Vec<_> = kernel
+            .spans()
+            .into_iter()
+            .filter(|s| s.trace == run.trace)
+            .collect();
+        let settled = !spans.is_empty() && spans.iter().any(|s| !s.ok);
+        if settled && spans.len() == last_len {
+            stable += 1;
+        } else {
+            stable = 0;
+            last_len = spans.len();
+        }
+        if (settled && stable >= 3) || std::time::Instant::now() >= deadline {
+            break spans;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    };
+    assert!(
+        spans.len() >= 12,
+        "a recovered depth-2 run must leave a substantial trace, got {}",
+        spans.len()
+    );
+    let crashed = spans.iter().filter(|s| !s.ok).count();
+    assert!(
+        crashed >= 1,
+        "the crashed delivery must appear in the trace as a failed span"
+    );
+    // The recovered replay is *in* the tree: every parent resolves to
+    // another span of this trace or to the run's unrecorded ambient root.
+    let ids: std::collections::HashSet<u64> = spans.iter().map(|s| s.span).collect();
+    assert_eq!(ids.len(), spans.len(), "span ids must be unique");
+    let mut roots = std::collections::HashSet::new();
+    for s in &spans {
+        match s.parent {
+            Some(p) if ids.contains(&p) => {}
+            Some(p) => {
+                roots.insert(p);
+            }
+            None => panic!("span {} lost its causal parent", s.span),
+        }
+    }
+    assert_eq!(
+        roots.len(),
+        1,
+        "crash recovery must not fork the causal tree: roots {roots:?}"
+    );
+    kernel.shutdown();
 }
