@@ -9,8 +9,9 @@
 //! print those tables. `--payload-json` writes only `BENCH_payload.json`,
 //! `--chaos-json` runs the fault-plane chaos arms and writes
 //! `BENCH_chaos.json`, `--obs-json` measures the observability-plane
-//! overhead and writes `BENCH_obs.json`, and `--smoke` shrinks the
-//! workloads for CI.
+//! overhead and writes `BENCH_obs.json`, `--density-json` measures
+//! resident-stream density and scheduler goodput and writes
+//! `BENCH_density.json`, and `--smoke` shrinks the workloads for CI.
 
 use std::time::Instant;
 
@@ -20,6 +21,7 @@ fn main() {
     let payload_json = args.iter().any(|a| a == "--payload-json");
     let chaos_json = args.iter().any(|a| a == "--chaos-json");
     let obs_json = args.iter().any(|a| a == "--obs-json");
+    let density_json = args.iter().any(|a| a == "--density-json");
     let smoke = args.iter().any(|a| a == "--smoke");
     let id_args: Vec<&str> = args
         .iter()
@@ -80,7 +82,22 @@ fn main() {
             if smoke { ", smoke" } else { "" }
         );
     }
-    if (json || payload_json || chaos_json || obs_json) && id_args.is_empty() {
+    if density_json {
+        let t0 = Instant::now();
+        let cfg = if smoke {
+            eden_bench::density_report::DensityConfig::smoke()
+        } else {
+            eden_bench::density_report::DensityConfig::full()
+        };
+        let report = eden_bench::density_report::density_report(&cfg, smoke);
+        std::fs::write("BENCH_density.json", &report).expect("write BENCH_density.json");
+        println!(
+            "wrote BENCH_density.json ({:.2}s{})",
+            t0.elapsed().as_secs_f64(),
+            if smoke { ", smoke" } else { "" }
+        );
+    }
+    if (json || payload_json || chaos_json || obs_json || density_json) && id_args.is_empty() {
         return;
     }
     let ids: Vec<&str> = if id_args.is_empty() || id_args.contains(&"all") {

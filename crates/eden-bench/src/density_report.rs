@@ -1,0 +1,314 @@
+//! Density-plane report — the `--density-json` mode of the `experiments`
+//! binary.
+//!
+//! Emits `BENCH_density.json` answering the scheduler tentpole's two
+//! questions:
+//!
+//! * `resident`: how much memory and how many OS threads a parked
+//!   read-only stream costs. The scheduler arm holds the full resident
+//!   population (1M streams, 100k in `--smoke`); the threads arm holds a
+//!   deliberately small sample (a million coordinator threads would not
+//!   fit), and the per-Eject RSS slopes are compared directly.
+//! * `goodput`: depth-4 identity-pipeline throughput, threads mode vs
+//!   scheduler mode, plus the goodput-vs-workers curve for the pool.
+
+use std::time::{Duration, Instant};
+
+use eden_core::Value;
+use eden_kernel::{
+    EjectBehavior, EjectContext, Invocation, Kernel, ReplyHandle, SchedulerConfig,
+};
+use eden_transput::Discipline;
+
+use crate::runner;
+
+/// Workload dials for the density report.
+#[derive(Debug, Clone)]
+pub struct DensityConfig {
+    /// Parked read-only streams held resident in the scheduler arm.
+    pub resident: usize,
+    /// Streams probed with a `Read` after the population parks.
+    pub sample_reads: usize,
+    /// Resident population for the thread-per-Eject baseline arm.
+    pub threads_baseline: usize,
+    /// Records pushed through each goodput pipeline.
+    pub goodput_records: i64,
+    /// Identity stages in the goodput pipelines.
+    pub depth: usize,
+    /// Worker-pool sizes for the goodput-vs-workers curve.
+    pub workers_curve: Vec<usize>,
+}
+
+impl DensityConfig {
+    /// CI-sized run: 100k resident streams.
+    pub fn smoke() -> Self {
+        DensityConfig {
+            resident: 100_000,
+            sample_reads: 256,
+            threads_baseline: 1_000,
+            goodput_records: 600,
+            depth: 4,
+            workers_curve: vec![1, 2, 4],
+        }
+    }
+
+    /// Full run: the paper-scale 1M resident streams.
+    pub fn full() -> Self {
+        DensityConfig {
+            resident: 1_000_000,
+            sample_reads: 1024,
+            threads_baseline: 4_000,
+            goodput_records: 2_000,
+            depth: 4,
+            workers_curve: vec![1, 2, 4, 8],
+        }
+    }
+}
+
+/// A minimal read-only stream: replies to `Read` with the next integer.
+/// One of these parked on its mailbox is the unit the density claim
+/// prices.
+struct ResidentStream {
+    next: i64,
+}
+
+impl EjectBehavior for ResidentStream {
+    fn type_name(&self) -> &'static str {
+        "ResidentStream"
+    }
+
+    fn handle(&mut self, ctx: &EjectContext, inv: Invocation, reply: ReplyHandle) {
+        match inv.op.as_str() {
+            "Read" => {
+                let v = self.next;
+                self.next += 1;
+                reply.reply(Ok(Value::Int(v)));
+            }
+            _ => reply.reply(Err(eden_core::EdenError::NoSuchOperation {
+                target: ctx.uid(),
+                op: inv.op.clone(),
+            })),
+        }
+    }
+}
+
+/// `VmRSS` (kB) and `Threads` from `/proc/self/status`; zeros when the
+/// file is unavailable (non-Linux), which the report records as-is.
+fn proc_status() -> (u64, u64) {
+    let status = std::fs::read_to_string("/proc/self/status").unwrap_or_default();
+    let mut rss_kb = 0;
+    let mut threads = 0;
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmRSS:") {
+            rss_kb = rest
+                .trim()
+                .trim_end_matches("kB")
+                .trim()
+                .parse()
+                .unwrap_or(0);
+        } else if let Some(rest) = line.strip_prefix("Threads:") {
+            threads = rest.trim().parse().unwrap_or(0);
+        }
+    }
+    (rss_kb, threads)
+}
+
+struct ResidentArm {
+    count: usize,
+    rss_before_kb: u64,
+    rss_after_kb: u64,
+    threads_before: u64,
+    threads_after: u64,
+    resident_ejects: u64,
+    parked_ejects: u64,
+    spawn_seconds: f64,
+    probe_ok: usize,
+    probe_total: usize,
+}
+
+impl ResidentArm {
+    fn bytes_per_eject(&self) -> f64 {
+        self.rss_after_kb.saturating_sub(self.rss_before_kb) as f64 * 1024.0
+            / self.count.max(1) as f64
+    }
+
+    fn threads_per_eject(&self) -> f64 {
+        self.threads_after.saturating_sub(self.threads_before) as f64 / self.count.max(1) as f64
+    }
+
+    fn json(&self) -> String {
+        format!(
+            concat!(
+                "{{\n",
+                "      \"count\": {},\n",
+                "      \"rss_before_kb\": {},\n",
+                "      \"rss_after_kb\": {},\n",
+                "      \"rss_bytes_per_eject\": {:.1},\n",
+                "      \"threads_before\": {},\n",
+                "      \"threads_after\": {},\n",
+                "      \"threads_per_eject\": {:.4},\n",
+                "      \"resident_ejects\": {},\n",
+                "      \"parked_ejects\": {},\n",
+                "      \"spawn_seconds\": {:.3},\n",
+                "      \"probe_ok\": {},\n",
+                "      \"probe_total\": {}\n",
+                "    }}"
+            ),
+            self.count,
+            self.rss_before_kb,
+            self.rss_after_kb,
+            self.bytes_per_eject(),
+            self.threads_before,
+            self.threads_after,
+            self.threads_per_eject(),
+            self.resident_ejects,
+            self.parked_ejects,
+            self.spawn_seconds,
+            self.probe_ok,
+            self.probe_total,
+        )
+    }
+}
+
+/// Hold `count` parked streams resident on `kernel`, measure the RSS and
+/// thread deltas, and probe a sample with a `Read` to prove the parked
+/// population is live, not leaked.
+fn resident_arm(kernel: &Kernel, count: usize, sample_reads: usize) -> ResidentArm {
+    let (rss_before_kb, threads_before) = proc_status();
+    let t0 = Instant::now();
+    let mut uids = Vec::with_capacity(count);
+    for _ in 0..count {
+        uids.push(
+            kernel
+                .spawn(Box::new(ResidentStream { next: 0 }))
+                .expect("spawn resident stream"),
+        );
+    }
+    // Wait for the population to drain through activation and park. In
+    // threads mode there is nothing to wait for: parked_ejects stays zero
+    // and the spawn loop itself is the rendezvous.
+    if kernel.metrics_snapshot().sched.workers > 0 {
+        let parked_deadline = Instant::now() + Duration::from_secs(120);
+        loop {
+            let sched = kernel.metrics_snapshot().sched;
+            if sched.parked_ejects >= count as u64 || Instant::now() > parked_deadline {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+    let spawn_seconds = t0.elapsed().as_secs_f64();
+    let (rss_after_kb, threads_after) = proc_status();
+    let snap = kernel.metrics_snapshot().sched;
+
+    let probe_total = sample_reads.min(count);
+    let stride = (count / probe_total.max(1)).max(1);
+    let mut probe_ok = 0;
+    for uid in uids.iter().step_by(stride).take(probe_total) {
+        if kernel.invoke(*uid, "Read", Value::Unit).wait() == Ok(Value::Int(0)) {
+            probe_ok += 1;
+        }
+    }
+    ResidentArm {
+        count,
+        rss_before_kb,
+        rss_after_kb,
+        threads_before,
+        threads_after,
+        resident_ejects: snap.resident_ejects,
+        parked_ejects: snap.parked_ejects,
+        spawn_seconds,
+        probe_ok,
+        probe_total,
+    }
+}
+
+/// Depth-`depth` identity-pipeline goodput (records/s) on `kernel`.
+fn goodput(kernel: &Kernel, records: i64, depth: usize) -> f64 {
+    let run = runner::run_identity(
+        kernel,
+        Discipline::ReadOnly { read_ahead: 8 },
+        (0..records).map(Value::Int).collect(),
+        depth,
+        16,
+    );
+    assert_eq!(run.records_out, records as u64, "goodput pipeline lost records");
+    run.records_out as f64 / run.wall.as_secs_f64().max(f64::EPSILON)
+}
+
+/// Run every arm and render `BENCH_density.json`.
+pub fn density_report(cfg: &DensityConfig, smoke: bool) -> String {
+    // Resident population, scheduler mode (the tentpole claim).
+    let sched_kernel = Kernel::builder().build();
+    let sched_arm = resident_arm(&sched_kernel, cfg.resident, cfg.sample_reads);
+    sched_kernel.shutdown();
+
+    // Thread-per-Eject baseline at a survivable population.
+    let threads_kernel = Kernel::builder().threads_mode().build();
+    let threads_arm = resident_arm(&threads_kernel, cfg.threads_baseline, cfg.sample_reads);
+    threads_kernel.shutdown();
+
+    // Goodput: threads mode vs default scheduler, then the workers curve.
+    let threads_kernel = Kernel::builder().threads_mode().build();
+    let threads_rps = goodput(&threads_kernel, cfg.goodput_records, cfg.depth);
+    threads_kernel.shutdown();
+    let sched_kernel = Kernel::builder().build();
+    let sched_rps = goodput(&sched_kernel, cfg.goodput_records, cfg.depth);
+    sched_kernel.shutdown();
+
+    let mut curve_rows = Vec::new();
+    for &workers in &cfg.workers_curve {
+        let kernel = Kernel::builder()
+            .scheduler(SchedulerConfig {
+                workers,
+                ..SchedulerConfig::default()
+            })
+            .build();
+        let rps = goodput(&kernel, cfg.goodput_records, cfg.depth);
+        kernel.shutdown();
+        curve_rows.push(format!(
+            "      {{ \"workers\": {workers}, \"records_per_second\": {rps:.1} }}"
+        ));
+    }
+
+    format!(
+        concat!(
+            "{{\n",
+            "  \"schema\": 1,\n",
+            "  \"mode\": \"{}\",\n",
+            "  \"resident\": {{\n",
+            "    \"scheduler\": {},\n",
+            "    \"threads_baseline\": {},\n",
+            "    \"rss_bytes_per_eject_scheduler\": {:.1},\n",
+            "    \"rss_bytes_per_eject_threads\": {:.1},\n",
+            "    \"threads_per_eject_scheduler\": {:.4},\n",
+            "    \"threads_per_eject_threads\": {:.4},\n",
+            "    \"sublinear_vs_threads\": {}\n",
+            "  }},\n",
+            "  \"goodput\": {{\n",
+            "    \"depth\": {},\n",
+            "    \"records\": {},\n",
+            "    \"threads_records_per_second\": {:.1},\n",
+            "    \"scheduler_records_per_second\": {:.1},\n",
+            "    \"scheduler_over_threads\": {:.3},\n",
+            "    \"workers_curve\": [\n{}\n    ]\n",
+            "  }}\n",
+            "}}\n"
+        ),
+        if smoke { "smoke" } else { "full" },
+        sched_arm.json(),
+        threads_arm.json(),
+        sched_arm.bytes_per_eject(),
+        threads_arm.bytes_per_eject(),
+        sched_arm.threads_per_eject(),
+        threads_arm.threads_per_eject(),
+        sched_arm.bytes_per_eject() < threads_arm.bytes_per_eject()
+            && sched_arm.threads_per_eject() < threads_arm.threads_per_eject(),
+        cfg.depth,
+        cfg.goodput_records,
+        threads_rps,
+        sched_rps,
+        sched_rps / threads_rps.max(f64::EPSILON),
+        curve_rows.join(",\n"),
+    )
+}

@@ -15,12 +15,12 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use crossbeam::channel::Sender;
 use eden_core::{wire, EdenError, Metrics, OpName, Result, Uid, Value};
 use parking_lot::Mutex;
 
 use crate::invocation::{PendingReply, DEFAULT_REPLY_TIMEOUT};
 use crate::kernel::{NodeId, WeakKernel};
+use crate::mailbox::MailboxSender;
 use crate::options::InvokeOptions;
 use crate::routes::RouteCache;
 use crate::runtime::Envelope;
@@ -33,7 +33,7 @@ pub struct EjectContext {
     pub(crate) node: NodeId,
     pub(crate) type_name: &'static str,
     pub(crate) kernel: WeakKernel,
-    pub(crate) mailbox: Sender<Envelope>,
+    pub(crate) mailbox: MailboxSender,
     pub(crate) metrics: Metrics,
     pub(crate) stop: Arc<AtomicBool>,
     pub(crate) deactivate: AtomicBool,
@@ -202,7 +202,7 @@ impl EjectContext {
 #[derive(Clone)]
 #[derive(Debug)]
 pub struct InternalSender {
-    tx: Sender<Envelope>,
+    tx: MailboxSender,
     metrics: Metrics,
 }
 

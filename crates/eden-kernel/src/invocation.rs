@@ -126,9 +126,28 @@ impl ReplyHandle {
     /// installing the invocation's span as the thread's ambient span (so
     /// invocations sent *while handling this one* become its children).
     pub(crate) fn begin_service(&mut self) -> Option<eden_core::span::AmbientGuard> {
+        self.begin_service_at(None)
+    }
+
+    /// As [`begin_service`](Self::begin_service), with the scheduler's
+    /// resume instants: `(rq_enq, pickup)` are when the owning task was
+    /// pushed onto the run queue and when a worker picked it up. The slice
+    /// of queue time between those two — bounded below by the envelope's
+    /// own enqueue time, since an envelope delivered to an already-queued
+    /// task waited for less than the whole run-queue stint — is attributed
+    /// to `sched_wait` rather than mailbox queueing, keeping
+    /// queue + sched + service an exact decomposition of the span.
+    pub(crate) fn begin_service_at(
+        &mut self,
+        sched: Option<(std::time::Instant, std::time::Instant)>,
+    ) -> Option<eden_core::span::AmbientGuard> {
         let tag = self.obs.as_mut()?;
         if tag.dequeued.is_none() {
             tag.dequeued = Some(std::time::Instant::now());
+            if let Some((rq_enq, pickup)) = sched {
+                let baseline = rq_enq.max(tag.enqueued);
+                tag.sched_ns = pickup.saturating_duration_since(baseline).as_nanos() as u64;
+            }
         }
         tag.plane
             .config()
@@ -207,13 +226,17 @@ impl PendingReply {
     pub fn wait_timeout(self, deadline: Duration) -> Result<Value> {
         match self {
             PendingReply::Ready(mut r) => r.take().unwrap_or(Err(EdenError::Timeout)),
-            PendingReply::Waiting(rx) => match rx.recv_timeout(deadline) {
-                Ok(result) => result,
-                Err(RecvTimeoutError::Timeout) => Err(EdenError::Timeout),
-                // Sender dropped without replying and without the Drop
-                // impl running (only possible on panic mid-reply).
-                Err(RecvTimeoutError::Disconnected) => Err(EdenError::KernelShutdown),
-            },
+            // A rendezvous point: a scheduler worker waiting here counts as
+            // blocked so the pool can compensate with a spare.
+            PendingReply::Waiting(rx) => {
+                match crate::sched::blocking(|| rx.recv_timeout(deadline)) {
+                    Ok(result) => result,
+                    Err(RecvTimeoutError::Timeout) => Err(EdenError::Timeout),
+                    // Sender dropped without replying and without the Drop
+                    // impl running (only possible on panic mid-reply).
+                    Err(RecvTimeoutError::Disconnected) => Err(EdenError::KernelShutdown),
+                }
+            }
             PendingReply::Retrying(state) => state.wait_timeout(deadline),
         }
     }
@@ -227,11 +250,13 @@ impl PendingReply {
     pub fn poll_timeout(&mut self, deadline: Duration) -> Option<Result<Value>> {
         match self {
             PendingReply::Ready(r) => Some(r.take().unwrap_or(Err(EdenError::Timeout))),
-            PendingReply::Waiting(rx) => match rx.recv_timeout(deadline) {
-                Ok(result) => Some(result),
-                Err(RecvTimeoutError::Timeout) => None,
-                Err(RecvTimeoutError::Disconnected) => Some(Err(EdenError::KernelShutdown)),
-            },
+            PendingReply::Waiting(rx) => {
+                match crate::sched::blocking(|| rx.recv_timeout(deadline)) {
+                    Ok(result) => Some(result),
+                    Err(RecvTimeoutError::Timeout) => None,
+                    Err(RecvTimeoutError::Disconnected) => Some(Err(EdenError::KernelShutdown)),
+                }
+            }
             PendingReply::Retrying(state) => state.poll_timeout(deadline),
         }
     }

@@ -34,7 +34,6 @@ use std::sync::{Arc, Weak};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use crossbeam::channel::{bounded, unbounded, Sender};
 use eden_core::{wire, EdenError, Metrics, OpName, Result, Uid, Value};
 use parking_lot::{Mutex, RwLock};
 
@@ -42,10 +41,12 @@ use crate::behavior::EjectBehavior;
 use crate::context::EjectContext;
 use crate::fault::{FaultInjector, FaultKind, FaultPlan};
 use crate::invocation::{reply_pair, Invocation, PendingReply, ReplyHandle};
+use crate::mailbox::{mailbox, receiver, MailboxSender, SendError};
 use crate::obs::{KernelSnapshot, ObsConfig, ObsPlane, ObsTag, SpanRecord, StageSummary};
 use crate::options::{InvokeOptions, RetryState};
 use crate::routes::{Route, RouteCache};
 use crate::runtime::{run_coordinator, Envelope};
+use crate::sched::{Scheduler, SchedulerConfig, Task};
 use crate::stable::StableStore;
 use crate::trace::TraceDump;
 
@@ -56,6 +57,25 @@ pub struct NodeId(pub u16);
 
 /// Default number of registry shards (rounded up to a power of two).
 pub const DEFAULT_REGISTRY_SHARDS: usize = 16;
+
+/// How Eject coordinators are executed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecMode {
+    /// One dedicated thread per active Eject — the historic model, kept
+    /// behind this flag for differential testing and as a fallback. Idle
+    /// Ejects cost a resident thread each.
+    Threads,
+    /// The density plane (the default): Ejects are state machines parked
+    /// on their mailboxes, resumed by a fixed worker pool. Idle Ejects
+    /// cost zero threads; see [`SchedulerConfig`] for the knobs.
+    Scheduler(SchedulerConfig),
+}
+
+impl Default for ExecMode {
+    fn default() -> Self {
+        ExecMode::Scheduler(SchedulerConfig::default())
+    }
+}
 
 /// Construction-time options for a [`Kernel`].
 #[derive(Debug, Clone)]
@@ -82,6 +102,9 @@ pub struct KernelConfig {
     /// histograms (see [`ObsConfig`]). Off by default — a disabled kernel
     /// carries no instrumentation state at all.
     pub observability: ObsConfig,
+    /// How coordinators execute: the N-worker scheduler (default) or the
+    /// historic thread-per-Eject model (see [`ExecMode`]).
+    pub exec: ExecMode,
 }
 
 impl Default for KernelConfig {
@@ -93,7 +116,94 @@ impl Default for KernelConfig {
             registry_shards: DEFAULT_REGISTRY_SHARDS,
             mailbox_capacity: None,
             observability: ObsConfig::off(),
+            exec: ExecMode::default(),
         }
+    }
+}
+
+/// Fluent construction for a [`Kernel`] — the front door for the
+/// execution-mode and scheduler knobs:
+///
+/// ```no_run
+/// use eden_kernel::{Kernel, SchedulerConfig};
+///
+/// let kernel = Kernel::builder()
+///     .scheduler(SchedulerConfig { workers: 4, ..SchedulerConfig::default() })
+///     .trace_capacity(256)
+///     .build();
+/// ```
+#[derive(Debug, Default)]
+pub struct KernelBuilder {
+    config: KernelConfig,
+    stable: Option<StableStore>,
+}
+
+impl KernelBuilder {
+    /// A builder over the default configuration.
+    pub fn new() -> KernelBuilder {
+        KernelBuilder::default()
+    }
+
+    /// Run coordinators on the N-worker scheduler with explicit knobs
+    /// (the default mode uses [`SchedulerConfig::default`]).
+    pub fn scheduler(mut self, config: SchedulerConfig) -> Self {
+        self.config.exec = ExecMode::Scheduler(config);
+        self
+    }
+
+    /// Run one dedicated thread per Eject — the fallback mode, for
+    /// differential testing against the scheduler.
+    pub fn threads_mode(mut self) -> Self {
+        self.config.exec = ExecMode::Threads;
+        self
+    }
+
+    /// See [`KernelConfig::remote_latency`].
+    pub fn remote_latency(mut self, latency: Duration) -> Self {
+        self.config.remote_latency = Some(latency);
+        self
+    }
+
+    /// See [`KernelConfig::invocation_latency`].
+    pub fn invocation_latency(mut self, latency: Duration) -> Self {
+        self.config.invocation_latency = Some(latency);
+        self
+    }
+
+    /// See [`KernelConfig::trace_capacity`].
+    pub fn trace_capacity(mut self, capacity: usize) -> Self {
+        self.config.trace_capacity = capacity;
+        self
+    }
+
+    /// See [`KernelConfig::registry_shards`].
+    pub fn registry_shards(mut self, shards: usize) -> Self {
+        self.config.registry_shards = shards;
+        self
+    }
+
+    /// See [`KernelConfig::mailbox_capacity`].
+    pub fn mailbox_capacity(mut self, capacity: usize) -> Self {
+        self.config.mailbox_capacity = Some(capacity);
+        self
+    }
+
+    /// See [`KernelConfig::observability`].
+    pub fn observability(mut self, obs: ObsConfig) -> Self {
+        self.config.observability = obs;
+        self
+    }
+
+    /// Attach an existing stable store (whole-system restart).
+    pub fn stable_store(mut self, store: StableStore) -> Self {
+        self.stable = Some(store);
+        self
+    }
+
+    /// Build the kernel.
+    pub fn build(self) -> Kernel {
+        let store = self.stable.unwrap_or_default();
+        Kernel::with_stable_store(self.config, store)
     }
 }
 
@@ -127,13 +237,23 @@ struct Slot {
 
 enum SlotState {
     Active {
-        tx: Sender<Envelope>,
-        join: Option<JoinHandle<()>>,
+        tx: MailboxSender,
+        exec: ExecHandle,
         type_name: &'static str,
     },
     Passive {
         type_name: String,
     },
+}
+
+/// The execution resource behind an active Eject: a dedicated coordinator
+/// thread (threads mode) or a parked-mailbox task owned by the scheduler.
+/// The registry slot is what keeps a task alive — the mailbox holds only
+/// weak references back to it, so dropping the slot (after teardown) frees
+/// the state machine.
+enum ExecHandle {
+    Thread(Option<JoinHandle<()>>),
+    Task(Arc<Task>),
 }
 
 /// One registry shard. Non-mutating resolutions (the overwhelmingly common
@@ -167,6 +287,8 @@ pub(crate) struct KernelInner {
     trace: Option<crate::trace::TraceLog>,
     obs: Option<Arc<ObsPlane>>,
     faults: FaultInjector,
+    /// The worker pool, present in [`ExecMode::Scheduler`] only.
+    sched: Option<Arc<Scheduler>>,
     shutting_down: AtomicBool,
 }
 
@@ -187,41 +309,56 @@ impl Drop for KernelInner {
         // backstop for the race where two handles drop concurrently and
         // each thought the other would do it.
         self.shutting_down.store(true, Ordering::Release);
-        let mut entries: Vec<(Sender<Envelope>, Option<JoinHandle<()>>)> = Vec::new();
+        let mut entries: Vec<(MailboxSender, ExecHandle)> = Vec::new();
         for shard in self.shards.iter_mut() {
             entries.extend(shard.slots.get_mut().drain().filter_map(|(_, slot)| {
                 match slot.state {
-                    SlotState::Active { tx, join, .. } => Some((tx, join)),
+                    SlotState::Active { tx, exec, .. } => Some((tx, exec)),
                     SlotState::Passive { .. } => None,
                 }
             }));
         }
-        shutdown_entries(entries);
+        shutdown_entries(entries, self.sched.as_ref());
+        if let Some(sched) = &self.sched {
+            sched.stop();
+        }
     }
 }
 
-/// Tell every coordinator to stop, release our senders, then join. The
-/// sender release must precede the joins: a coordinator may be blocked
+/// Tell every coordinator to stop, release our senders, then wait. The
+/// sender release must precede the waits: a coordinator may be blocked
 /// waiting for an envelope queued at another (already exited) coordinator
 /// to be dropped, which happens only once every sender for that mailbox is
 /// gone. Shutdown envelopes bypass any mailbox bound (`force_send`): with
 /// bounded mailboxes a plain send could park forever behind a full mailbox
-/// whose coordinator is itself waiting to shut down.
-fn shutdown_entries(entries: Vec<(Sender<Envelope>, Option<JoinHandle<()>>)>) {
-    let mut joins = Vec::with_capacity(entries.len());
-    for (tx, join) in entries {
+/// whose coordinator is itself waiting to shut down. Threads-mode entries
+/// are joined (skipping the current thread — shutdown can be triggered
+/// from inside a coordinator); scheduler-mode entries are awaited via the
+/// pool's death latch, which excuses the calling worker's own task.
+fn shutdown_entries(entries: Vec<(MailboxSender, ExecHandle)>, sched: Option<&Arc<Scheduler>>) {
+    let mut joins = Vec::new();
+    let mut tasks = Vec::new();
+    for (tx, exec) in entries {
         let _ = tx.force_send(Envelope::Shutdown);
         drop(tx);
-        joins.push(join);
+        match exec {
+            ExecHandle::Thread(join) => joins.push(join),
+            ExecHandle::Task(task) => tasks.push(task),
+        }
     }
     let current = std::thread::current().id();
     for join in joins.into_iter().flatten() {
-        // Never join the current thread: shutdown can be triggered from
-        // inside a coordinator when it drops the last kernel handle.
         if join.thread().id() != current {
             let _ = join.join();
         }
     }
+    if let Some(sched) = sched {
+        if !tasks.is_empty() {
+            sched.wait_all_dead();
+        }
+    }
+    // Dropping `tasks` here releases the dead state machines.
+    drop(tasks);
 }
 
 /// A weak reference to the kernel, held by Eject contexts so the kernel can
@@ -289,6 +426,10 @@ impl Kernel {
             .observability
             .enabled()
             .then(|| Arc::new(ObsPlane::new(config.observability)));
+        let sched = match &config.exec {
+            ExecMode::Scheduler(sched_config) => Some(Scheduler::new(*sched_config)),
+            ExecMode::Threads => None,
+        };
         let inner = KernelInner {
             shards,
             shard_mask: shard_count - 1,
@@ -299,6 +440,7 @@ impl Kernel {
             trace,
             obs,
             faults: FaultInjector::default(),
+            sched,
             shutting_down: AtomicBool::new(false),
         };
         for uid in inner.stable.uids() {
@@ -402,7 +544,18 @@ impl Kernel {
             trace_dropped: self.trace_dropped(),
             spans_recorded: obs.map(|o| o.span_count()).unwrap_or(0),
             spans_dropped: obs.map(|o| o.spans_dropped()).unwrap_or(0),
+            sched: self
+                .inner
+                .sched
+                .as_ref()
+                .map(|s| s.snapshot())
+                .unwrap_or_default(),
         }
+    }
+
+    /// A convenient entry point to [`KernelBuilder`].
+    pub fn builder() -> KernelBuilder {
+        KernelBuilder::new()
     }
 
     /// Invocation tallies per target Eject, busiest first (empty unless
@@ -681,7 +834,7 @@ impl Kernel {
                 Some(EdenError::EjectCrashed(target))
             }
             FaultKind::Delay(latency) => {
-                std::thread::sleep(latency);
+                crate::sched::blocking(|| std::thread::sleep(latency));
                 None
             }
         }
@@ -744,11 +897,11 @@ impl Kernel {
             if route.node != from {
                 metrics.record_remote_invocation();
                 if let Some(latency) = self.inner.config.remote_latency {
-                    std::thread::sleep(latency);
+                    crate::sched::blocking(|| std::thread::sleep(latency));
                 }
             }
             if let Some(latency) = self.inner.config.invocation_latency {
-                std::thread::sleep(latency);
+                crate::sched::blocking(|| std::thread::sleep(latency));
             }
             let (handle, pending) = self.reply_pair_for(target, &op, from, &route, driver_owned);
             match route
@@ -759,7 +912,7 @@ impl Kernel {
                     metrics.record_route_cache_hit();
                     pending
                 }
-                Err(crossbeam::channel::SendError(envelope)) => {
+                Err(SendError(envelope)) => {
                     // The cached coordinator exited. Recover the very same
                     // invocation and reply handle from the bounced envelope
                     // and retry through the registry, which reactivates a
@@ -868,11 +1021,11 @@ impl Kernel {
         if route.node != from {
             metrics.record_remote_invocation();
             if let Some(latency) = self.inner.config.remote_latency {
-                std::thread::sleep(latency);
+                crate::sched::blocking(|| std::thread::sleep(latency));
             }
         }
         if let Some(latency) = self.inner.config.invocation_latency {
-            std::thread::sleep(latency);
+            crate::sched::blocking(|| std::thread::sleep(latency));
         }
         // A send failure means the coordinator already exited; dropping
         // `handle` resolves the pending reply with EjectCrashed, which is
@@ -946,13 +1099,25 @@ impl Kernel {
     /// Simulated fail-stop crash of one Eject. The coordinator stops at
     /// its next dispatch point without replying to anything outstanding;
     /// waiters observe [`EdenError::EjectCrashed`]. Blocks until the
-    /// coordinator has exited. Must not be called from the Eject's own
-    /// threads.
+    /// coordinator has exited — except when an Eject crashes *itself*
+    /// (scheduler mode detects this and returns without waiting; in
+    /// threads mode a self-crash must not be attempted from the
+    /// coordinator thread).
     pub fn crash(&self, uid: Uid) -> Result<()> {
-        let (tx, join) = {
+        enum CrashWait {
+            Join(Option<JoinHandle<()>>),
+            Task(Arc<Task>),
+        }
+        let (tx, wait) = {
             let mut slots = self.inner.shard(uid).slots.write();
             match slots.get_mut(&uid).map(|slot| &mut slot.state) {
-                Some(SlotState::Active { tx, join, .. }) => (tx.clone(), join.take()),
+                Some(SlotState::Active { tx, exec, .. }) => {
+                    let wait = match exec {
+                        ExecHandle::Thread(join) => CrashWait::Join(join.take()),
+                        ExecHandle::Task(task) => CrashWait::Task(Arc::clone(task)),
+                    };
+                    (tx.clone(), wait)
+                }
                 Some(SlotState::Passive { .. }) => return Ok(()),
                 None => return Err(EdenError::NoSuchEject(uid)),
             }
@@ -961,8 +1126,19 @@ impl Kernel {
         // Crash must land even if the mailbox is bounded and full.
         let _ = tx.force_send(Envelope::Crash);
         drop(tx);
-        if let Some(join) = join {
-            let _ = join.join();
+        match wait {
+            CrashWait::Join(Some(join)) => {
+                let _ = join.join();
+            }
+            CrashWait::Join(None) => {}
+            CrashWait::Task(task) => {
+                // A worker crashing the very task it is resuming cannot
+                // wait for that task to die — it dies when this dispatch
+                // returns. Every other caller gets the blocking semantics.
+                if crate::sched::current_task() != Some(uid) {
+                    task.wait_dead();
+                }
+            }
         }
         Ok(())
     }
@@ -1048,10 +1224,7 @@ impl Kernel {
             return Err(EdenError::KernelShutdown);
         }
         let incarnation = slots.get(&uid).map(|slot| slot.incarnation).unwrap_or(0) + 1;
-        let (tx, rx) = match self.inner.config.mailbox_capacity {
-            Some(cap) => bounded(cap),
-            None => unbounded(),
-        };
+        let (tx, core) = mailbox(self.inner.config.mailbox_capacity);
         let type_name = behavior.type_name();
         let ctx = Arc::new(EjectContext {
             uid,
@@ -1069,25 +1242,36 @@ impl Kernel {
             trace.record_activate(uid, type_name);
         }
         let weak = self.downgrade();
-        // The coordinator thread inherits the spawner's ambient span: an
-        // Eject activated while a pipeline (or a retry holding its origin
-        // span) is ambient joins that trace, so invocations its `activate`
-        // hook sends — e.g. a conventional pump spawning — and a
+        // The coordinator inherits the spawner's ambient span: an Eject
+        // activated while a pipeline (or a retry holding its origin span)
+        // is ambient joins that trace, so invocations its `activate` hook
+        // sends — e.g. a conventional pump spawning — and a
         // crash/reactivate cycle both stay causally connected.
         let ambient = eden_core::span::current();
-        let join = std::thread::Builder::new()
-            .name(format!("eject-{}-{type_name}", uid.seq()))
-            .spawn(move || {
-                let _span = ambient.map(|ctx| eden_core::span::enter(Some(ctx)));
-                run_coordinator(behavior, ctx, rx, weak, incarnation)
-            })
-            .map_err(|e| EdenError::Application(format!("cannot spawn coordinator: {e}")))?;
+        let exec = match &self.inner.sched {
+            Some(sched) => ExecHandle::Task(sched.spawn_task(
+                core, ctx, weak, incarnation, behavior, ambient,
+            )),
+            None => {
+                let rx = receiver(core);
+                let join = std::thread::Builder::new()
+                    .name(format!("eject-{}-{type_name}", uid.seq()))
+                    .spawn(move || {
+                        let _span = ambient.map(|ctx| eden_core::span::enter(Some(ctx)));
+                        run_coordinator(behavior, ctx, rx, weak, incarnation)
+                    })
+                    .map_err(|e| {
+                        EdenError::Application(format!("cannot spawn coordinator: {e}"))
+                    })?;
+                ExecHandle::Thread(Some(join))
+            }
+        };
         slots.insert(
             uid,
             Slot {
                 state: SlotState::Active {
                     tx,
-                    join: Some(join),
+                    exec,
                     type_name,
                 },
                 node,
@@ -1097,21 +1281,25 @@ impl Kernel {
         Ok(())
     }
 
-    /// Stop every Eject and join every coordinator. Idempotent. Passive
-    /// representations survive in the stable store.
+    /// Stop every Eject and join every coordinator, then (in scheduler
+    /// mode) stop the worker pool. Idempotent. Passive representations
+    /// survive in the stable store.
     pub fn shutdown(&self) {
         if self.inner.shutting_down.swap(true, Ordering::AcqRel) {
             return;
         }
-        let mut entries: Vec<(Sender<Envelope>, Option<JoinHandle<()>>)> = Vec::new();
+        let mut entries: Vec<(MailboxSender, ExecHandle)> = Vec::new();
         for shard in self.inner.shards.iter() {
             let mut slots = shard.slots.write();
             entries.extend(slots.drain().filter_map(|(_, slot)| match slot.state {
-                SlotState::Active { tx, join, .. } => Some((tx, join)),
+                SlotState::Active { tx, exec, .. } => Some((tx, exec)),
                 SlotState::Passive { .. } => None,
             }));
         }
-        shutdown_entries(entries);
+        shutdown_entries(entries, self.inner.sched.as_ref());
+        if let Some(sched) = &self.inner.sched {
+            sched.stop();
+        }
     }
 }
 

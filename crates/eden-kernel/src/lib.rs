@@ -53,10 +53,12 @@ mod context;
 mod fault;
 mod invocation;
 mod kernel;
+mod mailbox;
 mod obs;
 mod options;
 mod routes;
 mod runtime;
+mod sched;
 mod stable;
 mod trace;
 
@@ -67,8 +69,8 @@ pub use invocation::{
     reply_pair, Invocation, PendingReply, ReplyHandle, DEFAULT_REPLY_TIMEOUT,
 };
 pub use kernel::{
-    EjectInfo, EjectState, Kernel, KernelConfig, NodeId, TypeFactory, WeakKernel,
-    DEFAULT_REGISTRY_SHARDS,
+    EjectInfo, EjectState, ExecMode, Kernel, KernelBuilder, KernelConfig, NodeId, TypeFactory,
+    WeakKernel, DEFAULT_REGISTRY_SHARDS,
 };
 pub use obs::{
     chrome_trace_json, json_text, prometheus_text, Histogram, KernelSnapshot, ObsConfig,
@@ -76,5 +78,6 @@ pub use obs::{
 };
 pub use options::{FaultExposure, InvokeOptions, RetryPolicy};
 pub use routes::{Route, RouteCache};
+pub use sched::{SchedSnapshot, SchedulerConfig};
 pub use stable::{PassiveRecord, StableStore};
 pub use trace::{TraceDump, TraceEvent};

@@ -1,0 +1,372 @@
+//! Kernel-owned Eject mailboxes.
+//!
+//! Until the density plane landed, every Eject owned a crossbeam channel
+//! and a coordinator thread blocked on `recv()`. Both sides of that pair
+//! priced an *idle* Eject like a busy one: the channel kept its buffer
+//! allocated, and the thread kept a stack resident. This module replaces
+//! the channel with a mailbox the kernel owns directly, designed around
+//! two costs:
+//!
+//! * **Idle RSS.** The ring is a [`VecDeque`] that starts unallocated and
+//!   is released again once a burst drains ([`SHRINK_CAPACITY`]), so a
+//!   parked Eject's mailbox is a pointer-sized husk, not a buffer.
+//! * **Wakeup.** The mailbox carries the Eject's *parking bit* — the
+//!   [`park_state`](MailboxCore::park_state) machine the scheduler runs
+//!   its state transitions on. A sender that lands mail on a `PARKED`
+//!   mailbox enqueues the owning task; one that lands mail on a `RUNNING`
+//!   mailbox merely marks it dirty, and the running worker re-checks
+//!   before parking. The push-then-notify order (the push happens under
+//!   the ring mutex, the notify after it is released) is what makes the
+//!   protocol lossless — see `park_vs_deliver` in `tests/loom_model.rs`.
+//!
+//! In `threads` execution mode nothing parks on the bit: a dedicated
+//! coordinator blocks on [`MailboxReceiver::recv`] (condvar), exactly the
+//! crossbeam shape it replaces. Send-side semantics are preserved
+//! verbatim: `send` parks on a full bounded mailbox, `force_send` bypasses
+//! the bound (kernel control traffic), and both fail with the envelope
+//! returned once the mailbox closed — the staleness signal cached routes
+//! rely on.
+
+// A failed send hands the whole envelope back (crossbeam's contract, and
+// what invoke-over-a-stale-route needs to retry without a clone); boxing
+// it would buy a smaller Err at the price of an allocation per bounce.
+#![allow(clippy::result_large_err)]
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock, Weak};
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::runtime::Envelope;
+use crate::sched::{Scheduler, Task};
+
+/// Ring capacities at or above this are released when the ring drains, so
+/// a burst does not pin its high-water mark for the rest of an idle
+/// Eject's life. Below it, the ring is kept — a hot stage reuses its
+/// allocation instead of churning the allocator every batch.
+const SHRINK_CAPACITY: usize = 64;
+
+/// The parking-bit states. Stored in [`MailboxCore::park_state`]; only
+/// meaningful in scheduler mode (a threads-mode mailbox stays `PARKED`
+/// and wakes its coordinator through the condvar instead).
+pub(crate) mod park {
+    /// Not queued, not running; the next delivery must enqueue the task.
+    pub const PARKED: u8 = 0;
+    /// Sitting in a run queue awaiting a worker.
+    pub const QUEUED: u8 = 1;
+    /// A worker is draining the mailbox right now.
+    pub const RUNNING: u8 = 2;
+    /// Running, and mail arrived since the worker last checked the ring.
+    pub const DIRTY: u8 = 3;
+    /// The Eject exited; deliveries fail and wake nobody.
+    pub const DEAD: u8 = 4;
+}
+
+/// What a sender must do after landing an envelope.
+enum Wake {
+    /// Nothing: the task is already queued, running was marked dirty, or
+    /// the mailbox is threads-mode (the condvar was notified instead).
+    None,
+    /// The push transitioned `PARKED -> QUEUED`: enqueue the task.
+    Enqueue(Arc<Scheduler>, Arc<Task>),
+}
+
+/// The scheduler-mode wiring of a mailbox, installed once when the owning
+/// task is created. Weak on both ends: a parked task is kept alive by its
+/// registry slot, never by its own mailbox (which the task itself owns).
+struct SchedWake {
+    sched: Weak<Scheduler>,
+    task: Weak<Task>,
+}
+
+struct Ring {
+    q: VecDeque<Envelope>,
+    /// Closed mailboxes reject every send with the envelope returned —
+    /// exactly a crossbeam channel whose receiver was dropped.
+    closed: bool,
+}
+
+/// The shared heart of one Eject's mailbox.
+pub(crate) struct MailboxCore {
+    /// The ring buffer, lazily allocated. Field is named `mailq` so the
+    /// lock-order audit can pattern-match acquisitions (`mailbox-queue`).
+    mailq: Mutex<Ring>,
+    /// Threads mode: wakes the coordinator blocked in `recv`.
+    not_empty: Condvar,
+    /// Bounded mode: wakes senders parked on a full ring.
+    not_full: Condvar,
+    /// `Some(n)` bounds the ring to `n` envelopes for plain `send`.
+    cap: Option<usize>,
+    /// Live `MailboxSender` clones; `recv` reports disconnection at zero.
+    senders: AtomicUsize,
+    /// The parking bit (see [`park`]).
+    park_state: AtomicU8,
+    /// Scheduler-mode wakeup target; empty in threads mode.
+    wake: OnceLock<SchedWake>,
+}
+
+impl MailboxCore {
+    fn new(cap: Option<usize>) -> Arc<MailboxCore> {
+        Arc::new(MailboxCore {
+            mailq: Mutex::new(Ring {
+                q: VecDeque::new(),
+                closed: false,
+            }),
+            not_empty: Condvar::default(),
+            not_full: Condvar::default(),
+            cap,
+            // The initial sender handed to the caller of `mailbox()`.
+            senders: AtomicUsize::new(1),
+            park_state: AtomicU8::new(park::PARKED),
+            wake: OnceLock::new(),
+        })
+    }
+
+    /// Wire this mailbox to its scheduler task. Called once at task
+    /// creation, before the task is first enqueued.
+    pub(crate) fn attach_task(&self, sched: &Arc<Scheduler>, task: &Arc<Task>) {
+        let _ = self.wake.set(SchedWake {
+            sched: Arc::downgrade(sched),
+            task: Arc::downgrade(task),
+        });
+    }
+
+    /// The parking bit, for the scheduler's CAS transitions.
+    pub(crate) fn park_bit(&self) -> &AtomicU8 {
+        &self.park_state
+    }
+
+    /// Run the sender side of the parking protocol after a push. Must be
+    /// called with the ring mutex *released*: the enqueue it may trigger
+    /// takes a run-queue lock, and `mailbox-queue` is blessed as a leaf.
+    fn wake_after_push(&self) -> Wake {
+        let Some(wake) = self.wake.get() else {
+            // Threads mode: the coordinator waits on the condvar.
+            self.not_empty.notify_one();
+            return Wake::None;
+        };
+        loop {
+            match self.park_state.load(Ordering::Acquire) {
+                park::PARKED => {
+                    if self
+                        .park_state
+                        .compare_exchange(
+                            park::PARKED,
+                            park::QUEUED,
+                            Ordering::AcqRel,
+                            Ordering::Acquire,
+                        )
+                        .is_ok()
+                    {
+                        match (wake.sched.upgrade(), wake.task.upgrade()) {
+                            (Some(sched), Some(task)) => return Wake::Enqueue(sched, task),
+                            // Scheduler or task gone: teardown won the
+                            // race; nobody is left to run the mail.
+                            _ => return Wake::None,
+                        }
+                    }
+                }
+                park::RUNNING => {
+                    if self
+                        .park_state
+                        .compare_exchange(
+                            park::RUNNING,
+                            park::DIRTY,
+                            Ordering::AcqRel,
+                            Ordering::Acquire,
+                        )
+                        .is_ok()
+                    {
+                        return Wake::None;
+                    }
+                }
+                // Already queued/dirty (someone else's push won), or dead.
+                _ => return Wake::None,
+            }
+        }
+    }
+
+    fn push(&self, envelope: Envelope, respect_bound: bool) -> Result<(), SendError> {
+        {
+            let mut ring = self.mailq.lock();
+            loop {
+                if ring.closed {
+                    drop(ring);
+                    return Err(SendError(envelope));
+                }
+                if respect_bound {
+                    if let Some(cap) = self.cap {
+                        if ring.q.len() >= cap {
+                            // Backpressure: park this sender until the
+                            // receiver drains. Kernel control traffic
+                            // (`force_send`) never takes this branch.
+                            crate::sched::blocking(|| self.not_full.wait(&mut ring));
+                            continue;
+                        }
+                    }
+                }
+                ring.q.push_back(envelope);
+                break;
+            }
+        }
+        match self.wake_after_push() {
+            Wake::None => {}
+            Wake::Enqueue(sched, task) => sched.enqueue(task),
+        }
+        Ok(())
+    }
+
+    /// Pop one envelope (scheduler workers and the threads-mode receiver
+    /// both drain through here). Shrinks an oversized ring on drain.
+    pub(crate) fn pop(&self) -> Option<Envelope> {
+        let mut ring = self.mailq.lock();
+        let envelope = ring.q.pop_front()?;
+        if ring.q.is_empty() && ring.q.capacity() >= SHRINK_CAPACITY {
+            ring.q = VecDeque::new();
+        }
+        drop(ring);
+        if self.cap.is_some() {
+            self.not_full.notify_one();
+        }
+        Some(envelope)
+    }
+
+    /// Close the mailbox and return everything still queued. Dropping the
+    /// returned envelopes resolves their replies with `EjectCrashed` —
+    /// the fail-fast the old drain loop provided. Atomic under the ring
+    /// mutex: no envelope can land between the drain and the close.
+    pub(crate) fn close(&self) -> VecDeque<Envelope> {
+        let drained = {
+            let mut ring = self.mailq.lock();
+            ring.closed = true;
+            std::mem::take(&mut ring.q)
+        };
+        // Senders parked on a full ring must observe the close and fail.
+        self.not_full.notify_all();
+        self.not_empty.notify_all();
+        drained
+    }
+}
+
+impl std::fmt::Debug for MailboxCore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MailboxCore")
+            .field("cap", &self.cap)
+            .field("senders", &self.senders.load(Ordering::Relaxed))
+            .field("park_state", &self.park_state.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
+    }
+}
+
+/// `send` failed because the mailbox closed; the envelope comes back so
+/// the caller can redeliver it (the stale-route fallback).
+pub(crate) struct SendError(pub(crate) Envelope);
+
+impl std::fmt::Debug for SendError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("SendError(..)")
+    }
+}
+
+/// The sending half of a mailbox. Clones count toward disconnection.
+pub(crate) struct MailboxSender {
+    core: Arc<MailboxCore>,
+}
+
+impl MailboxSender {
+    /// Deliver an envelope, respecting a bounded mailbox's capacity (the
+    /// sender parks until space frees). Fails only once the mailbox
+    /// closed.
+    pub(crate) fn send(&self, envelope: Envelope) -> Result<(), SendError> {
+        self.core.push(envelope, true)
+    }
+
+    /// Deliver an envelope past any capacity bound. Kernel control
+    /// messages (crash, shutdown) use this so a full mailbox can never
+    /// wedge teardown.
+    pub(crate) fn force_send(&self, envelope: Envelope) -> Result<(), SendError> {
+        self.core.push(envelope, false)
+    }
+}
+
+impl Clone for MailboxSender {
+    fn clone(&self) -> Self {
+        self.core.senders.fetch_add(1, Ordering::Relaxed);
+        MailboxSender {
+            core: Arc::clone(&self.core),
+        }
+    }
+}
+
+impl Drop for MailboxSender {
+    fn drop(&mut self) {
+        if self.core.senders.fetch_sub(1, Ordering::AcqRel) == 1 {
+            // Last sender gone: a threads-mode receiver blocked in `recv`
+            // must wake up and observe the disconnection.
+            self.core.not_empty.notify_all();
+        }
+    }
+}
+
+impl std::fmt::Debug for MailboxSender {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MailboxSender").finish_non_exhaustive()
+    }
+}
+
+/// The receiving half, used only by `threads`-mode coordinators (a
+/// scheduler task drains its [`MailboxCore`] directly). Dropping it
+/// closes the mailbox.
+#[derive(Debug)]
+pub(crate) struct MailboxReceiver {
+    core: Arc<MailboxCore>,
+}
+
+impl MailboxReceiver {
+    /// Block until an envelope arrives. `Err(())` means every sender is
+    /// gone and the ring is empty — the coordinator should exit.
+    pub(crate) fn recv(&self) -> Result<Envelope, ()> {
+        loop {
+            if let Some(envelope) = self.core.pop() {
+                return Ok(envelope);
+            }
+            let mut ring = self.core.mailq.lock();
+            if !ring.q.is_empty() {
+                continue;
+            }
+            if self.core.senders.load(Ordering::Acquire) == 0 {
+                return Err(());
+            }
+            self.core.not_empty.wait(&mut ring);
+        }
+    }
+
+    /// Drain without blocking (the teardown path).
+    pub(crate) fn try_recv(&self) -> Option<Envelope> {
+        self.core.pop()
+    }
+}
+
+impl Drop for MailboxReceiver {
+    fn drop(&mut self) {
+        drop(self.core.close());
+    }
+}
+
+/// Create a mailbox, returning the sender and the shared core. `cap`
+/// bounds plain sends; `None` keeps the historic unbounded behaviour.
+pub(crate) fn mailbox(cap: Option<usize>) -> (MailboxSender, Arc<MailboxCore>) {
+    let core = MailboxCore::new(cap);
+    (
+        MailboxSender {
+            core: Arc::clone(&core),
+        },
+        core,
+    )
+}
+
+/// Wrap a core in its threads-mode receiving half.
+pub(crate) fn receiver(core: Arc<MailboxCore>) -> MailboxReceiver {
+    MailboxReceiver { core }
+}

@@ -26,6 +26,7 @@ use eden_core::{MetricsSnapshot, OpName, PayloadSnapshot, StreamSnapshot, Uid};
 use parking_lot::Mutex;
 
 use crate::kernel::NodeId;
+use crate::sched::SchedSnapshot;
 
 /// Construction-time options for the observability plane, carried in
 /// [`KernelConfig::observability`](crate::KernelConfig).
@@ -98,8 +99,14 @@ pub struct SpanRecord {
     /// Dispatch time, nanoseconds since the kernel's observability epoch.
     pub start_ns: u64,
     /// Time spent in the target's mailbox before the coordinator picked the
-    /// invocation up (zero if it never reached a coordinator).
+    /// invocation up (zero if it never reached a coordinator). Excludes the
+    /// scheduler wait below: `queue + sched + service` decomposes the whole
+    /// span exactly.
     pub queue_ns: u64,
+    /// Scheduler wait: time the target's parked state machine spent on the
+    /// run queue before a worker resumed it to service this invocation.
+    /// Always zero in `threads` execution mode.
+    pub sched_ns: u64,
     /// Time from dequeue to reply resolution — includes any time the reply
     /// was parked as passive output.
     pub service_ns: u64,
@@ -192,8 +199,11 @@ pub struct StageSummary {
     pub op: OpName,
     /// Completed invocations of this (Eject, op).
     pub count: u64,
-    /// Mailbox wait distribution.
+    /// Mailbox wait distribution (run-queue time excluded).
     pub queue: Histogram,
+    /// Scheduler wait distribution (run-queue time; all-zero in `threads`
+    /// execution mode).
+    pub sched: Histogram,
     /// Service time distribution (dequeue to reply resolution).
     pub service: Histogram,
 }
@@ -207,6 +217,7 @@ struct StageSlot {
     target: Uid,
     op: OpName,
     queue: Histogram,
+    sched: Histogram,
     service: Histogram,
 }
 
@@ -228,6 +239,7 @@ impl ObsShard {
                     target,
                     op: op.clone(),
                     queue: Histogram::new(),
+                    sched: Histogram::new(),
                     service: Histogram::new(),
                 });
                 self.stages.len() - 1
@@ -307,12 +319,18 @@ impl ObsPlane {
     pub(crate) fn complete(&self, tag: &ObsTag, ok: bool) {
         let end = Instant::now();
         let dequeued = tag.dequeued.unwrap_or(end);
-        let queue_ns = dequeued.saturating_duration_since(tag.enqueued).as_nanos() as u64;
+        // The scheduler wait (stamped at pickup, zero in threads mode) is
+        // carved out of the enqueue→dequeue interval, so the three stages
+        // still sum to the exact span duration.
+        let total_wait_ns = dequeued.saturating_duration_since(tag.enqueued).as_nanos() as u64;
+        let sched_ns = tag.sched_ns.min(total_wait_ns);
+        let queue_ns = total_wait_ns - sched_ns;
         let service_ns = end.saturating_duration_since(dequeued).as_nanos() as u64;
         let mut shard = self.shard_of_thread().lock();
         if self.config.histograms {
             let slot = shard.stage_slot(tag.target, &tag.op);
             slot.queue.record(queue_ns);
+            slot.sched.record(sched_ns);
             slot.service.record(service_ns);
         }
         if self.config.spans {
@@ -331,6 +349,7 @@ impl ObsPlane {
                 to: tag.to,
                 start_ns: tag.enqueued.saturating_duration_since(self.epoch).as_nanos() as u64,
                 queue_ns,
+                sched_ns,
                 service_ns,
                 ok,
             });
@@ -370,6 +389,7 @@ impl ObsPlane {
             to: from,
             start_ns,
             queue_ns: 0,
+            sched_ns: 0,
             service_ns: 0,
             ok: false,
         });
@@ -409,6 +429,7 @@ impl ObsPlane {
                 {
                     Some(row) => {
                         row.queue.merge(&slot.queue);
+                        row.sched.merge(&slot.sched);
                         row.service.merge(&slot.service);
                         row.count = row.service.count();
                     }
@@ -417,6 +438,7 @@ impl ObsPlane {
                         op: slot.op.clone(),
                         count: slot.service.count(),
                         queue: slot.queue.clone(),
+                        sched: slot.sched.clone(),
                         service: slot.service.clone(),
                     }),
                 }
@@ -454,6 +476,9 @@ pub(crate) struct ObsTag {
     pub(crate) to: NodeId,
     pub(crate) enqueued: Instant,
     pub(crate) dequeued: Option<Instant>,
+    /// Run-queue wait attributed at pickup time (scheduler mode only;
+    /// stays zero in threads mode).
+    pub(crate) sched_ns: u64,
 }
 
 impl ObsTag {
@@ -474,6 +499,7 @@ impl ObsTag {
             to,
             enqueued: Instant::now(),
             dequeued: None,
+            sched_ns: 0,
         }
     }
 }
@@ -499,6 +525,9 @@ pub struct KernelSnapshot {
     pub spans_recorded: u64,
     /// Spans evicted from the span store.
     pub spans_dropped: u64,
+    /// Density-plane gauges: resident/parked Ejects, steal count, worker
+    /// pool state (all zero in `threads` execution mode).
+    pub sched: SchedSnapshot,
 }
 
 fn escape_label(s: &str) -> String {
@@ -555,6 +584,7 @@ fn counter_rows(snap: &KernelSnapshot) -> Vec<(&'static str, &'static str, u64)>
         ("eden_stream_records_collected_total", "Records that reached a sink collector", snap.stream.records_collected),
         ("eden_trace_events_dropped_total", "Events evicted from the kernel trace ring", snap.trace_dropped),
         ("eden_spans_dropped_total", "Spans evicted from the span store", snap.spans_dropped),
+        ("eden_sched_steals_total", "Tasks stolen from another worker's run-queue shard", snap.sched.sched_steals),
     ]
 }
 
@@ -563,6 +593,10 @@ fn gauge_rows(snap: &KernelSnapshot) -> Vec<(&'static str, &'static str, u64)> {
         ("eden_stream_records_in_flight", "Records emitted but not yet collected", snap.stream.records_in_flight()),
         ("eden_streams_active", "Streams currently open", snap.stream.streams_active()),
         ("eden_spans_recorded", "Spans currently held in the span store", snap.spans_recorded),
+        ("eden_resident_ejects", "Scheduler-mode Ejects currently resident (parked or runnable)", snap.sched.resident_ejects),
+        ("eden_parked_ejects", "Scheduler-mode Ejects parked on an empty mailbox", snap.sched.parked_ejects),
+        ("eden_sched_workers", "Live scheduler worker threads", snap.sched.workers),
+        ("eden_sched_workers_blocked", "Scheduler workers inside a blocking rendezvous", snap.sched.workers_blocked),
     ]
 }
 
@@ -578,11 +612,16 @@ pub fn prometheus_text(snap: &KernelSnapshot) -> String {
         out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} gauge\n{name} {value}\n"));
     }
     type HistPicker = fn(&StageSummary) -> &Histogram;
-    let pickers: [(&str, &str, HistPicker); 2] = [
+    let pickers: [(&str, &str, HistPicker); 3] = [
         (
             "eden_stage_queue_seconds",
             "Mailbox wait per (Eject, op)",
             |s| &s.queue,
+        ),
+        (
+            "eden_stage_sched_seconds",
+            "Run-queue wait per (Eject, op), scheduler mode only",
+            |s| &s.sched,
         ),
         (
             "eden_stage_service_seconds",
@@ -641,6 +680,7 @@ pub fn json_text(snap: &KernelSnapshot) -> String {
             concat!(
                 "{}\n    {{\"eject\": \"{}\", \"op\": \"{}\", \"count\": {}, ",
                 "\"queue_p50_ns\": {}, \"queue_p99_ns\": {}, ",
+                "\"sched_p50_ns\": {}, \"sched_p99_ns\": {}, ",
                 "\"service_p50_ns\": {}, \"service_p99_ns\": {}}}"
             ),
             sep,
@@ -649,6 +689,8 @@ pub fn json_text(snap: &KernelSnapshot) -> String {
             stage.count,
             stage.queue.p50_ns(),
             stage.queue.p99_ns(),
+            stage.sched.p50_ns(),
+            stage.sched.p99_ns(),
             stage.service.p50_ns(),
             stage.service.p99_ns(),
         ));
@@ -669,12 +711,13 @@ pub fn chrome_trace_json(spans: &[SpanRecord]) -> String {
                 "{}\n  {{\"name\":\"{}\",\"cat\":\"invocation\",\"ph\":\"X\",",
                 "\"ts\":{},\"dur\":{},\"pid\":{},\"tid\":{},",
                 "\"args\":{{\"trace\":{},\"span\":{},\"parent\":{},\"hop\":{},",
-                "\"target\":\"{}\",\"queue_us\":{},\"from_node\":{},\"to_node\":{},\"ok\":{}}}}}"
+                "\"target\":\"{}\",\"queue_us\":{},\"sched_us\":{},",
+                "\"from_node\":{},\"to_node\":{},\"ok\":{}}}}}"
             ),
             sep,
             escape_json(s.op.as_str()),
             s.start_ns / 1_000,
-            ((s.queue_ns + s.service_ns) / 1_000).max(1),
+            ((s.queue_ns + s.sched_ns + s.service_ns) / 1_000).max(1),
             s.trace,
             s.target.seq(),
             s.trace,
@@ -683,6 +726,7 @@ pub fn chrome_trace_json(spans: &[SpanRecord]) -> String {
             s.hop,
             escape_json(&s.target.to_string()),
             s.queue_ns / 1_000,
+            s.sched_ns / 1_000,
             s.from.0,
             s.to.0,
             s.ok,
@@ -760,6 +804,8 @@ mod tests {
                 NodeId(0),
             );
             plane.complete(&tag, true);
+            // (ObsTag::new zero-initialises sched_ns; threads-mode spans
+            // always carve a zero sched stage.)
         }
         // All three landed in the same shard (same uid) with capacity 1.
         assert_eq!(plane.spans().len(), 1);
@@ -776,6 +822,7 @@ mod tests {
             trace_dropped: 0,
             spans_recorded: 0,
             spans_dropped: 0,
+            sched: SchedSnapshot::default(),
         };
         let prom = prometheus_text(&snap);
         let json = json_text(&snap);
@@ -800,6 +847,7 @@ mod tests {
             to: NodeId(1),
             start_ns: 2_000,
             queue_ns: 1_000,
+            sched_ns: 500,
             service_ns: 3_000,
             ok: true,
         }];

@@ -337,7 +337,7 @@ impl RetryState {
                     }
                     let pause = self.policy.backoff(self.attempt).min(rem);
                     if !pause.is_zero() {
-                        std::thread::sleep(pause);
+                        crate::sched::blocking(|| std::thread::sleep(pause));
                     }
                     self.resend()?;
                 }
@@ -370,7 +370,7 @@ impl RetryState {
                     pause = pause.min(rem);
                 }
                 if !pause.is_zero() {
-                    std::thread::sleep(pause);
+                    crate::sched::blocking(|| std::thread::sleep(pause));
                 }
                 match self.resend() {
                     Ok(()) => None,

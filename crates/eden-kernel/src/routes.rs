@@ -21,11 +21,10 @@
 
 use std::fmt;
 
-use crossbeam::channel::Sender;
 use eden_core::Uid;
 
 use crate::kernel::NodeId;
-use crate::runtime::Envelope;
+use crate::mailbox::MailboxSender;
 
 /// A resolved fast path to one Eject: its mailbox, node, and incarnation
 /// at resolution time. Cheap to clone (a channel-sender `Arc` bump).
@@ -36,7 +35,7 @@ use crate::runtime::Envelope;
 #[derive(Clone)]
 pub struct Route {
     pub(crate) target: Uid,
-    pub(crate) tx: Sender<Envelope>,
+    pub(crate) tx: MailboxSender,
     pub(crate) node: NodeId,
     pub(crate) incarnation: u64,
 }

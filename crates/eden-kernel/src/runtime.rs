@@ -5,7 +5,6 @@
 //! internal events from the Eject's own worker processes, and kernel control
 //! messages — and dispatches them one at a time to the behaviour.
 
-use crossbeam::channel::Receiver;
 use eden_core::op::ops;
 use eden_core::{EdenError, Value};
 
@@ -13,6 +12,7 @@ use crate::behavior::EjectBehavior;
 use crate::context::EjectContext;
 use crate::invocation::{Invocation, ReplyHandle};
 use crate::kernel::WeakKernel;
+use crate::mailbox::MailboxReceiver;
 use std::sync::Arc;
 
 /// A message in an Eject's mailbox.
@@ -35,11 +35,13 @@ enum ExitCause {
     Shutdown,
 }
 
-/// Run an Eject to completion. This is the body of the coordinator thread.
+/// Run an Eject to completion. This is the body of the coordinator thread
+/// (`threads` execution mode only — scheduler mode runs the same protocol
+/// as a state machine in [`crate::sched`]).
 pub(crate) fn run_coordinator(
     mut behavior: Box<dyn EjectBehavior>,
     ctx: Arc<EjectContext>,
-    mailbox: Receiver<Envelope>,
+    mailbox: MailboxReceiver,
     kernel: WeakKernel,
     incarnation: u64,
 ) {
@@ -61,7 +63,7 @@ pub(crate) fn run_coordinator(
             Ok(Envelope::Crash) => break ExitCause::Crashed,
             Ok(Envelope::Shutdown) => break ExitCause::Shutdown,
             // All senders gone: the kernel entry was removed.
-            Err(_) => break ExitCause::Shutdown,
+            Err(()) => break ExitCause::Shutdown,
         }
     };
     behavior.deactivating(&ctx);
@@ -73,7 +75,7 @@ pub(crate) fn run_coordinator(
     drop(behavior);
     // Drain the mailbox so queued invocations fail fast instead of waiting
     // for a timeout: dropping their ReplyHandles delivers EjectCrashed.
-    while let Ok(envelope) = mailbox.try_recv() {
+    while let Some(envelope) = mailbox.try_recv() {
         drop(envelope);
     }
     ctx.join_workers();
@@ -83,7 +85,8 @@ pub(crate) fn run_coordinator(
 }
 
 /// Dispatch one invocation, intercepting the runtime-provided operations.
-fn dispatch(
+/// Shared by the coordinator loop above and the scheduler's resume loop.
+pub(crate) fn dispatch(
     behavior: &mut dyn EjectBehavior,
     ctx: &EjectContext,
     kernel: &WeakKernel,

@@ -1,0 +1,697 @@
+//! The density plane: an N-worker scheduler for parked-mailbox Ejects.
+//!
+//! Thread-per-Eject prices an idle Eject at a kernel thread (stack pages,
+//! a task struct, a scheduler slot) — a few thousand resident streams per
+//! box. This module replaces the coordinator *thread* with a coordinator
+//! *state machine*: an idle Eject is just its behaviour box parked on its
+//! mailbox's parking bit, costing zero threads. Delivery flips the bit
+//! (`PARKED -> QUEUED`, see [`crate::mailbox`]) and lands the task on a
+//! sharded run queue; a fixed pool of workers resumes tasks, each resume
+//! bounded by a **fairness budget** of envelopes so one hot pipeline
+//! cannot starve a million passive streams; idle workers **steal** from
+//! other shards before sleeping.
+//!
+//! # Blocking compensation
+//!
+//! Eden behaviours are allowed to block mid-dispatch — a lazy filter
+//! waits on its upstream reply, a bounded mailbox parks its sender, a
+//! retry sleeps its backoff. On a cooperative pool those waits would eat
+//! workers and deadlock once the pool is exhausted. Every such rendezvous
+//! is therefore wrapped in [`blocking`]: when a *worker* thread enters a
+//! blocking section the pool notes one worker lost and spawns a spare if
+//! runnable capacity fell below target; when it exits, surplus spares
+//! retire at the next idle moment. The worst case (every Eject blocked at
+//! once) degenerates to thread-per-*blocked*-Eject — exactly the old
+//! model — while the common case (parked Ejects, non-blocking handlers)
+//! costs `workers` threads total.
+//!
+//! The scheduler is deliberately kernel-agnostic: tasks hold a
+//! [`WeakKernel`] and workers hold only the scheduler, so a dropped
+//! kernel tears down through the normal shutdown path with no reference
+//! cycles.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use eden_core::span::SpanContext;
+use eden_core::Uid;
+use parking_lot::{Condvar, Mutex};
+
+use crate::behavior::EjectBehavior;
+use crate::context::EjectContext;
+use crate::kernel::WeakKernel;
+use crate::mailbox::{park, MailboxCore};
+use crate::runtime::{dispatch, Envelope};
+
+/// How long an idle worker sleeps between run-queue scans. A push from a
+/// racing sender can slip between a worker's last scan and its wait (the
+/// queued-task counter closes most of that window, not all of it), so
+/// this also bounds the stale-wakeup latency.
+const IDLE_WAIT: Duration = Duration::from_millis(10);
+
+/// Hard ceiling on pool size, counting spares the monitor adds for
+/// stalled workers. At the ceiling the pool degrades to thread-per-
+/// blocked-Eject — the seed's costs, never worse.
+const MAX_WORKERS: usize = 512;
+
+/// How often the stall monitor samples pickup progress. Two stalled
+/// ticks spawn a spare, so this bounds the detection latency for a
+/// rendezvous the kernel cannot see.
+const MONITOR_TICK: Duration = Duration::from_millis(1);
+
+/// Tuning knobs for the scheduler execution mode, carried in
+/// [`ExecMode::Scheduler`](crate::ExecMode) and settable through
+/// [`KernelBuilder::scheduler`](crate::KernelBuilder::scheduler).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SchedulerConfig {
+    /// Target worker-pool size. Blocking sections may transiently grow
+    /// the pool past this (see the module docs); it never shrinks below.
+    /// Defaults to the machine's available parallelism, floored at 2 so
+    /// a single-core box still overlaps a blocked handler with progress.
+    pub workers: usize,
+    /// Number of run-queue shards (rounded up to a power of two).
+    /// Defaults to the worker count.
+    pub run_queue_shards: usize,
+    /// Envelopes one task may drain per resume before it is re-enqueued
+    /// behind whatever else is runnable.
+    pub fairness_budget: usize,
+}
+
+impl Default for SchedulerConfig {
+    fn default() -> Self {
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .max(2);
+        SchedulerConfig {
+            workers,
+            run_queue_shards: workers,
+            fairness_budget: 64,
+        }
+    }
+}
+
+impl SchedulerConfig {
+    fn normalized(mut self) -> SchedulerConfig {
+        self.workers = self.workers.max(1);
+        self.run_queue_shards = self.run_queue_shards.max(1).next_power_of_two();
+        self.fairness_budget = self.fairness_budget.max(1);
+        self
+    }
+}
+
+/// Scheduler gauges and counters, embedded in
+/// [`KernelSnapshot`](crate::KernelSnapshot). All zero in `threads` mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SchedSnapshot {
+    /// Live scheduler tasks (every active Eject, parked or not).
+    pub resident_ejects: u64,
+    /// Tasks currently parked on their mailbox (no thread, no queue slot).
+    pub parked_ejects: u64,
+    /// Tasks a worker picked from a shard other than its own.
+    pub sched_steals: u64,
+    /// Current worker-pool size (target plus live spares).
+    pub workers: u64,
+    /// Workers currently inside a blocking section.
+    pub workers_blocked: u64,
+}
+
+/// The coordinator state of one scheduler-mode Eject: its behaviour box,
+/// mailbox, and identity. Kept alive by the registry slot; run queues
+/// hold it only while it is `QUEUED`.
+pub(crate) struct Task {
+    core: Arc<MailboxCore>,
+    ctx: Arc<EjectContext>,
+    kernel: WeakKernel,
+    incarnation: u64,
+    /// The behaviour and resume bookkeeping, exclusively owned by
+    /// whichever worker is running the task. Locked only for the take at
+    /// resume start and the put-back at park (`task-body` is a leaf).
+    body: Mutex<Option<TaskBody>>,
+    /// Run-queue enqueue time, nanoseconds since the scheduler epoch.
+    /// Feeds the obs plane's `sched_wait` stage.
+    rq_enq_ns: AtomicU64,
+    /// The death latch `Kernel::crash` waits on.
+    died: Mutex<bool>,
+    died_cv: Condvar,
+}
+
+struct TaskBody {
+    behavior: Box<dyn EjectBehavior>,
+    /// `activate` runs on the first resume, not at spawn: the spawner's
+    /// shard lock must not be held across user code.
+    activated: bool,
+    /// The ambient span at spawn time, re-entered for every resume (a
+    /// coordinator thread inherited it once at thread start).
+    ambient: Option<SpanContext>,
+}
+
+impl Task {
+    pub(crate) fn uid(&self) -> Uid {
+        self.ctx.uid
+    }
+
+    fn take_body(&self) -> Option<TaskBody> {
+        self.body.lock().take()
+    }
+
+    fn put_body(&self, body: TaskBody) {
+        *self.body.lock() = Some(body);
+    }
+
+    fn mark_died(&self) {
+        *self.died.lock() = true;
+        self.died_cv.notify_all();
+    }
+
+    /// Block until this task's death latch trips. Must not be called from
+    /// the worker currently running the task (see [`current_task`]).
+    pub(crate) fn wait_dead(&self) {
+        blocking(|| {
+            let mut died = self.died.lock();
+            while !*died {
+                let _ = self.died_cv.wait_for(&mut died, Duration::from_millis(50));
+            }
+        });
+    }
+}
+
+impl std::fmt::Debug for Task {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Task")
+            .field("uid", &self.ctx.uid)
+            .field("incarnation", &self.incarnation)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Why a resume ended.
+#[derive(PartialEq, Eq, Clone, Copy, Debug)]
+enum Resume {
+    /// Parked or re-enqueued; the task lives on.
+    Yield,
+    /// The task exited; `true` means it crashed.
+    Dead(bool),
+}
+
+struct RunShard {
+    runq: Mutex<VecDeque<Arc<Task>>>,
+}
+
+impl RunShard {
+    fn push(&self, task: Arc<Task>) {
+        self.runq.lock().push_back(task);
+    }
+
+    fn pop(&self) -> Option<Arc<Task>> {
+        self.runq.lock().pop_front()
+    }
+}
+
+thread_local! {
+    /// The scheduler this thread serves, plus the blocking-section depth
+    /// (only the outermost section counts a worker as lost).
+    static WORKER: std::cell::RefCell<Option<(Arc<Scheduler>, u32)>> =
+        const { std::cell::RefCell::new(None) };
+    /// The task this worker is currently resuming. Lets crash/shutdown
+    /// recognise "waiting on myself" and skip the self-deadlock.
+    static CURRENT_TASK: std::cell::Cell<Option<Uid>> = const { std::cell::Cell::new(None) };
+}
+
+/// The UID of the task the calling thread is currently resuming, if the
+/// calling thread is a scheduler worker mid-resume.
+pub(crate) fn current_task() -> Option<Uid> {
+    CURRENT_TASK.with(|c| c.get())
+}
+
+/// Run `f` as an explicit yield point: a rendezvous that may block the
+/// calling thread for real (reply waits, backoff sleeps, bounded-mailbox
+/// parks, death latches). On a non-worker thread this is a plain call; on
+/// a worker it keeps the pool's runnable capacity at target by spawning a
+/// spare for the duration (outermost section only).
+pub(crate) fn blocking<R>(f: impl FnOnce() -> R) -> R {
+    let sched = WORKER.with(|w| {
+        let mut slot = w.borrow_mut();
+        match slot.as_mut() {
+            Some((sched, depth)) => {
+                *depth += 1;
+                (*depth == 1).then(|| Arc::clone(sched))
+            }
+            None => None,
+        }
+    });
+    if let Some(sched) = &sched {
+        sched.note_block_enter();
+    }
+    let out = f();
+    if let Some(sched) = &sched {
+        sched.note_block_exit();
+    }
+    WORKER.with(|w| {
+        if let Some((_, depth)) = w.borrow_mut().as_mut() {
+            *depth -= 1;
+        }
+    });
+    out
+}
+
+/// The worker pool and its sharded run queues. One per scheduler-mode
+/// kernel, shared with every worker thread.
+pub(crate) struct Scheduler {
+    shards: Box<[RunShard]>,
+    shard_mask: usize,
+    target_workers: usize,
+    fairness_budget: usize,
+    epoch: Instant,
+    /// Round-robin cursor for push placement.
+    next_shard: AtomicUsize,
+    /// Tasks currently sitting in some run queue (approximate by a hair
+    /// during a push, exact at rest) — the idle workers' cheap "anything
+    /// to do?" check.
+    queued_tasks: AtomicUsize,
+    live_workers: AtomicUsize,
+    blocked_workers: AtomicUsize,
+    idle_workers: AtomicUsize,
+    tasks_alive: AtomicUsize,
+    parked: AtomicU64,
+    steals: AtomicU64,
+    /// Bumped on every task pickup; the monitor reads it to tell "workers
+    /// are busy" from "workers are stuck in a rendezvous the kernel cannot
+    /// see" (a raw channel send or sleep inside a behaviour).
+    progress: AtomicU64,
+    worker_seq: AtomicUsize,
+    stopping: AtomicBool,
+    /// Idle workers sleep here; `idle_mx` protects only the sleep itself.
+    idle_mx: Mutex<()>,
+    idle_cv: Condvar,
+    /// `wait_all_dead` sleeps here; signalled on every task death.
+    death_mx: Mutex<()>,
+    death_cv: Condvar,
+    threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl Scheduler {
+    pub(crate) fn new(config: SchedulerConfig) -> Arc<Scheduler> {
+        let config = config.normalized();
+        let shards: Box<[RunShard]> = (0..config.run_queue_shards)
+            .map(|_| RunShard {
+                runq: Mutex::new(VecDeque::new()),
+            })
+            .collect();
+        let sched = Arc::new(Scheduler {
+            shard_mask: shards.len() - 1,
+            shards,
+            target_workers: config.workers,
+            fairness_budget: config.fairness_budget,
+            epoch: Instant::now(),
+            next_shard: AtomicUsize::new(0),
+            queued_tasks: AtomicUsize::new(0),
+            live_workers: AtomicUsize::new(0),
+            blocked_workers: AtomicUsize::new(0),
+            idle_workers: AtomicUsize::new(0),
+            tasks_alive: AtomicUsize::new(0),
+            parked: AtomicU64::new(0),
+            steals: AtomicU64::new(0),
+            progress: AtomicU64::new(0),
+            worker_seq: AtomicUsize::new(0),
+            stopping: AtomicBool::new(false),
+            idle_mx: Mutex::new(()),
+            idle_cv: Condvar::default(),
+            death_mx: Mutex::new(()),
+            death_cv: Condvar::default(),
+            threads: Mutex::new(Vec::new()),
+        });
+        for _ in 0..config.workers {
+            sched.spawn_worker();
+        }
+        let mon = Arc::clone(&sched);
+        if let Ok(handle) = std::thread::Builder::new()
+            .name("eden-sched-mon".into())
+            .spawn(move || monitor_main(mon))
+        {
+            sched.threads.lock().push(handle);
+        }
+        sched
+    }
+
+    pub(crate) fn snapshot(&self) -> SchedSnapshot {
+        SchedSnapshot {
+            resident_ejects: self.tasks_alive.load(Ordering::Relaxed) as u64,
+            parked_ejects: self.parked.load(Ordering::Relaxed),
+            sched_steals: self.steals.load(Ordering::Relaxed),
+            workers: self.live_workers.load(Ordering::Relaxed) as u64,
+            workers_blocked: self.blocked_workers.load(Ordering::Relaxed) as u64,
+        }
+    }
+
+    /// Create the task for a freshly spawned (or reactivated) Eject and
+    /// queue its first resume, which runs `activate`. Called with the
+    /// registry shard lock held — the push is lock-ordered under it.
+    pub(crate) fn spawn_task(
+        self: &Arc<Scheduler>,
+        core: Arc<MailboxCore>,
+        ctx: Arc<EjectContext>,
+        kernel: WeakKernel,
+        incarnation: u64,
+        behavior: Box<dyn EjectBehavior>,
+        ambient: Option<SpanContext>,
+    ) -> Arc<Task> {
+        let task = Arc::new(Task {
+            core: Arc::clone(&core),
+            ctx,
+            kernel,
+            incarnation,
+            body: Mutex::new(Some(TaskBody {
+                behavior,
+                activated: false,
+                ambient,
+            })),
+            rq_enq_ns: AtomicU64::new(0),
+            died: Mutex::new(false),
+            died_cv: Condvar::default(),
+        });
+        core.attach_task(self, &task);
+        self.tasks_alive.fetch_add(1, Ordering::AcqRel);
+        core.park_bit().store(park::QUEUED, Ordering::Release);
+        self.push_task(Arc::clone(&task));
+        task
+    }
+
+    /// Queue a task whose parking bit just flipped `PARKED -> QUEUED`
+    /// (the mailbox wake path).
+    pub(crate) fn enqueue(self: &Arc<Scheduler>, task: Arc<Task>) {
+        self.parked.fetch_sub(1, Ordering::AcqRel);
+        self.push_task(task);
+    }
+
+    // Worst-case caller: `spawn_task` runs under the registry shard
+    // being written, so every lock below nests under it.
+    // eden-lint: holds(registry-shard)
+    fn push_task(&self, task: Arc<Task>) {
+        task.rq_enq_ns
+            .store(self.epoch.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        self.queued_tasks.fetch_add(1, Ordering::AcqRel);
+        let shard = self.next_shard.fetch_add(1, Ordering::Relaxed) & self.shard_mask;
+        self.shards[shard].push(task);
+        if self.idle_workers.load(Ordering::Acquire) > 0 {
+            // Lock, then notify: an idle worker re-checks `queued_tasks`
+            // under `idle_mx` before sleeping, so taking the mutex here
+            // means the notify cannot slip into its check-to-sleep gap.
+            let _idle = self.idle_mx.lock();
+            self.idle_cv.notify_one();
+        }
+    }
+
+    /// Pop the next runnable task: own shard first, then steal.
+    fn next_task(&self, worker: usize) -> Option<Arc<Task>> {
+        let own = worker & self.shard_mask;
+        if let Some(task) = self.shards[own].pop() {
+            self.queued_tasks.fetch_sub(1, Ordering::AcqRel);
+            return Some(task);
+        }
+        for step in 1..self.shards.len() {
+            if let Some(task) = self.shards[(own + step) & self.shard_mask].pop() {
+                self.queued_tasks.fetch_sub(1, Ordering::AcqRel);
+                self.steals.fetch_add(1, Ordering::Relaxed);
+                return Some(task);
+            }
+        }
+        None
+    }
+
+    fn spawn_worker(self: &Arc<Scheduler>) {
+        let idx = self.worker_seq.fetch_add(1, Ordering::Relaxed);
+        self.live_workers.fetch_add(1, Ordering::AcqRel);
+        let sched = Arc::clone(self);
+        let spawned = std::thread::Builder::new()
+            .name(format!("eden-sched-{idx}"))
+            .spawn(move || worker_main(sched, idx));
+        match spawned {
+            Ok(handle) => self.threads.lock().push(handle),
+            Err(_) => {
+                // Out of threads: run degraded rather than dead. The
+                // remaining workers still drain every queue.
+                self.live_workers.fetch_sub(1, Ordering::AcqRel);
+            }
+        }
+    }
+
+    fn note_block_enter(self: &Arc<Scheduler>) {
+        let blocked = self.blocked_workers.fetch_add(1, Ordering::AcqRel) + 1;
+        let live = self.live_workers.load(Ordering::Acquire);
+        if live.saturating_sub(blocked) < self.target_workers
+            && !self.stopping.load(Ordering::Acquire)
+        {
+            self.spawn_worker();
+        }
+    }
+
+    fn note_block_exit(&self) {
+        self.blocked_workers.fetch_sub(1, Ordering::AcqRel);
+    }
+
+    /// Resume one task: drain up to the fairness budget, then park or
+    /// requeue; run the death path if an exit envelope (or a panic in the
+    /// behaviour) ends it.
+    fn run_task(&self, task: Arc<Task>) {
+        self.progress.fetch_add(1, Ordering::Relaxed);
+        let bit = task.core.park_bit();
+        bit.store(park::RUNNING, Ordering::Release);
+        CURRENT_TASK.with(|c| c.set(Some(task.uid())));
+        let outcome =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.resume(&task)));
+        CURRENT_TASK.with(|c| c.set(None));
+        match outcome {
+            Ok(Resume::Yield) => {}
+            Ok(Resume::Dead(crashed)) => self.reap(&task, crashed),
+            Err(_) => {
+                // The behaviour panicked mid-dispatch. Thread-per-Eject
+                // lost the coordinator thread here; the pool must survive
+                // instead, so the task dies as a crash and the worker
+                // lives on. The behaviour box was dropped by the unwind,
+                // releasing any parked replies.
+                task.ctx.begin_stop();
+                self.reap(&task, true);
+            }
+        }
+    }
+
+    fn resume(&self, task: &Arc<Task>) -> Resume {
+        let Some(mut body) = task.take_body() else {
+            // Only reachable if a stale queue entry outlived the death
+            // path; nothing to run.
+            return Resume::Yield;
+        };
+        let _span = body.ambient.map(|ctx| eden_core::span::enter(Some(ctx)));
+        let pickup = Instant::now();
+        let rq_enq = self.epoch + Duration::from_nanos(task.rq_enq_ns.load(Ordering::Relaxed));
+        if !body.activated {
+            body.activated = true;
+            body.behavior.activate(&task.ctx);
+        }
+        let bit = task.core.park_bit();
+        let mut budget = self.fairness_budget;
+        loop {
+            if task.ctx.deactivate_requested() {
+                return self.die(task, body, false);
+            }
+            if budget == 0 {
+                // Budget exhausted: go to the back of the line so other
+                // runnable tasks (a million parked streams' worth) get a
+                // worker before this pipeline's next batch.
+                bit.store(park::QUEUED, Ordering::Release);
+                task.put_body(body);
+                self.push_task(Arc::clone(task));
+                return Resume::Yield;
+            }
+            match task.core.pop() {
+                Some(Envelope::Invocation(inv, mut reply)) => {
+                    budget -= 1;
+                    let _guard = reply.begin_service_at(Some((rq_enq, pickup)));
+                    dispatch(body.behavior.as_mut(), &task.ctx, &task.kernel, inv, reply);
+                }
+                Some(Envelope::Internal(event)) => {
+                    budget -= 1;
+                    body.behavior.internal(&task.ctx, event);
+                }
+                Some(Envelope::Crash) => return self.die(task, body, true),
+                Some(Envelope::Shutdown) => return self.die(task, body, false),
+                None => {
+                    // Publish the body (and the parked gauge) BEFORE the
+                    // CAS advertises PARKED: the instant the CAS succeeds a
+                    // sender may re-enqueue this task and another worker
+                    // resume it, and that worker must find the body in
+                    // place — parking after publishing would let the wake
+                    // race ahead of the state machine and be lost.
+                    task.put_body(body);
+                    self.parked.fetch_add(1, Ordering::AcqRel);
+                    match bit.compare_exchange(
+                        park::RUNNING,
+                        park::PARKED,
+                        Ordering::AcqRel,
+                        Ordering::Acquire,
+                    ) {
+                        Ok(_) => return Resume::Yield,
+                        Err(_) => {
+                            // A sender marked us dirty between the empty
+                            // pop and the park attempt; reclaim the body
+                            // and keep draining.
+                            self.parked.fetch_sub(1, Ordering::AcqRel);
+                            bit.store(park::RUNNING, Ordering::Release);
+                            body = match task.take_body() {
+                                Some(reclaimed) => reclaimed,
+                                // Unreachable: the task is in no run queue
+                                // while RUNNING, so nobody else takes it.
+                                None => return Resume::Yield,
+                            };
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// The in-resume half of the death path: mirror of the coordinator
+    /// thread's exit tail, up to dropping the behaviour.
+    fn die(&self, task: &Arc<Task>, body: TaskBody, crashed: bool) -> Resume {
+        let TaskBody { mut behavior, .. } = body;
+        behavior.deactivating(&task.ctx);
+        task.ctx.begin_stop();
+        // Dropping the behaviour releases any parked ReplyHandles,
+        // unblocking whoever waits on this Eject.
+        drop(behavior);
+        Resume::Dead(crashed)
+    }
+
+    /// The post-behaviour half of the death path: close the mailbox (so
+    /// queued invocations fail fast and later sends bounce), reap worker
+    /// processes, and tell the kernel.
+    fn reap(&self, task: &Arc<Task>, crashed: bool) {
+        task.core.park_bit().store(park::DEAD, Ordering::Release);
+        drop(task.core.close());
+        // The Eject's worker threads may need other Ejects (hence this
+        // pool) to make progress before they exit.
+        blocking(|| task.ctx.join_workers());
+        if let Some(kernel) = task.kernel.upgrade() {
+            kernel.on_eject_exit(task.uid(), task.incarnation, crashed);
+        }
+        task.mark_died();
+        self.tasks_alive.fetch_sub(1, Ordering::AcqRel);
+        let _death = self.death_mx.lock();
+        self.death_cv.notify_all();
+    }
+
+    /// Block until every task has died, excluding (when called from a
+    /// worker mid-resume) the task this thread is currently running —
+    /// which cannot die before this call returns.
+    pub(crate) fn wait_all_dead(&self) {
+        let allow = usize::from(current_task().is_some());
+        blocking(|| {
+            let mut death = self.death_mx.lock();
+            while self.tasks_alive.load(Ordering::Acquire) > allow {
+                let _ = self
+                    .death_cv
+                    .wait_for(&mut death, Duration::from_millis(50));
+            }
+        });
+    }
+
+    /// Stop the pool: workers drain what is queued, then exit. Idempotent.
+    /// Never joins the calling thread (shutdown can originate on a
+    /// worker).
+    pub(crate) fn stop(&self) {
+        self.stopping.store(true, Ordering::Release);
+        {
+            let _idle = self.idle_mx.lock();
+            self.idle_cv.notify_all();
+        }
+        let handles: Vec<_> = std::mem::take(&mut *self.threads.lock());
+        let current = std::thread::current().id();
+        for handle in handles {
+            if handle.thread().id() != current {
+                let _ = handle.join();
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for Scheduler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Scheduler")
+            .field("target_workers", &self.target_workers)
+            .field("shards", &self.shards.len())
+            .field("snapshot", &self.snapshot())
+            .finish_non_exhaustive()
+    }
+}
+
+fn worker_main(sched: Arc<Scheduler>, idx: usize) {
+    WORKER.with(|w| *w.borrow_mut() = Some((Arc::clone(&sched), 0)));
+    loop {
+        if let Some(task) = sched.next_task(idx) {
+            sched.run_task(task);
+            continue;
+        }
+        if sched.stopping.load(Ordering::Acquire) {
+            break;
+        }
+        // A spare beyond target with nothing to do retires; the sub-check
+        // races other retirees at worst into a transient under-target,
+        // which the next blocking section corrects.
+        let live = sched.live_workers.load(Ordering::Acquire);
+        let blocked = sched.blocked_workers.load(Ordering::Acquire);
+        if live.saturating_sub(blocked) > sched.target_workers {
+            break;
+        }
+        sched.idle_workers.fetch_add(1, Ordering::AcqRel);
+        {
+            let mut idle = sched.idle_mx.lock();
+            if sched.queued_tasks.load(Ordering::Acquire) == 0
+                && !sched.stopping.load(Ordering::Acquire)
+            {
+                let _ = sched.idle_cv.wait_for(&mut idle, IDLE_WAIT);
+            }
+        }
+        sched.idle_workers.fetch_sub(1, Ordering::AcqRel);
+    }
+    WORKER.with(|w| *w.borrow_mut() = None);
+    sched.live_workers.fetch_sub(1, Ordering::AcqRel);
+}
+
+/// The stall monitor. [`blocking`] compensates for every rendezvous the
+/// kernel controls, but a behaviour may also block a worker on a
+/// primitive the kernel cannot see — a bounded channel send to one of
+/// its own worker processes, a bare sleep. This thread samples the
+/// pickup counter: runnable tasks plus two ticks with no pickup and no
+/// idle worker means the whole pool is stuck in such a rendezvous, so
+/// it spawns a spare (which retires itself once the pool is over
+/// target again). The degenerate case — every resident Eject blocked at
+/// once — converges to thread-per-Eject, the seed's behaviour.
+fn monitor_main(sched: Arc<Scheduler>) {
+    let mut last_progress = u64::MAX;
+    let mut stalled_ticks = 0u32;
+    let mut tick = MONITOR_TICK;
+    while !sched.stopping.load(Ordering::Acquire) {
+        std::thread::sleep(tick);
+        let progress = sched.progress.load(Ordering::Relaxed);
+        let queued = sched.queued_tasks.load(Ordering::Acquire);
+        // An idle pool needs no 1 kHz heartbeat; back off until work shows.
+        tick = if queued == 0 { 5 * MONITOR_TICK } else { MONITOR_TICK };
+        let idle = sched.idle_workers.load(Ordering::Acquire);
+        if queued > 0 && idle == 0 && progress == last_progress {
+            stalled_ticks += 1;
+            if stalled_ticks >= 2
+                && sched.live_workers.load(Ordering::Acquire) < MAX_WORKERS
+                && !sched.stopping.load(Ordering::Acquire)
+            {
+                sched.spawn_worker();
+                stalled_ticks = 0;
+            }
+        } else {
+            stalled_ticks = 0;
+        }
+        last_progress = progress;
+    }
+}

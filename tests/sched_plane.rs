@@ -1,0 +1,248 @@
+//! The density plane's behaviour contract: the N-worker parked-mailbox
+//! scheduler must be invisible to correctness. Ten thousand Ejects on a
+//! two-worker pool see every invocation exactly once; a parked idle
+//! population stays responsive while a pipeline hammers the same pool;
+//! and the `threads` fallback mode produces byte-identical pipeline
+//! output, so differential runs can always arbitrate a scheduler bug.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use eden::core::op::ops;
+use eden::core::{Uid, Value};
+use eden::filters;
+use eden::filters::DurableFilterEject;
+use eden::fs::{register_fs_types, FileEject};
+use eden::kernel::{
+    EjectBehavior, EjectContext, Invocation, Kernel, ReplyHandle, SchedulerConfig,
+};
+use eden::transput::protocol::{Batch, TransferRequest};
+use eden::transput::transform::Transform;
+use eden::transput::{ChannelPolicy, Discipline, PipelineSpec};
+
+/// A deliberately starved pool: every test here runs its whole cast on
+/// two workers, so any lost wakeup or unfair queue shows up as a hang
+/// or a wrong count rather than hiding behind spare threads.
+fn two_worker_kernel() -> Kernel {
+    Kernel::builder()
+        .scheduler(SchedulerConfig {
+            workers: 2,
+            ..SchedulerConfig::default()
+        })
+        .build()
+}
+
+struct Accumulator {
+    total: i64,
+}
+
+impl EjectBehavior for Accumulator {
+    fn type_name(&self) -> &'static str {
+        "Accumulator"
+    }
+
+    fn handle(&mut self, ctx: &EjectContext, inv: Invocation, reply: ReplyHandle) {
+        match inv.op.as_str() {
+            "Add" => {
+                self.total += inv.arg.as_int().unwrap_or(0);
+                reply.reply(Ok(Value::Int(self.total)));
+            }
+            "Total" => reply.reply(Ok(Value::Int(self.total))),
+            _ => reply.reply(Err(eden_core::EdenError::NoSuchOperation {
+                target: ctx.uid(),
+                op: inv.op.clone(),
+            })),
+        }
+    }
+}
+
+/// 10k resident Ejects multiplexed onto two workers: three full rounds
+/// of increments land exactly once each, and crashing a slice of the
+/// population leaves the survivors' counts untouched.
+#[test]
+fn ten_thousand_ejects_on_two_workers_see_each_invocation_once() {
+    const EJECTS: usize = 10_000;
+    const ROUNDS: i64 = 3;
+    let kernel = two_worker_kernel();
+    let uids: Vec<Uid> = (0..EJECTS)
+        .map(|_| {
+            kernel
+                .spawn(Box::new(Accumulator { total: 0 }))
+                .expect("spawn accumulator")
+        })
+        .collect();
+    for round in 1..=ROUNDS {
+        let pending: Vec<_> = uids
+            .iter()
+            .map(|&uid| kernel.invoke(uid, "Add", Value::Int(1)))
+            .collect();
+        for reply in pending {
+            assert_eq!(reply.wait(), Ok(Value::Int(round)), "double or lost delivery");
+        }
+    }
+    // Crash a slice; exactly-once for the survivors must be unaffected.
+    for &uid in uids.iter().step_by(97) {
+        kernel.crash(uid).expect("crash");
+    }
+    for (i, &uid) in uids.iter().enumerate() {
+        if i % 97 != 0 {
+            assert_eq!(
+                kernel.invoke(uid, "Total", Value::Unit).wait(),
+                Ok(Value::Int(ROUNDS)),
+                "survivor count drifted after neighbours crashed"
+            );
+        }
+    }
+    kernel.shutdown();
+}
+
+fn transfer(kernel: &Kernel, target: Uid, max: usize) -> Batch {
+    Batch::from_value(
+        kernel
+            .invoke(target, ops::TRANSFER, TransferRequest::primary(max).to_value())
+            .wait()
+            .expect("transfer"),
+    )
+    .expect("batch")
+}
+
+/// Crash/recovery on the starved pool: a durable cursor crashed
+/// mid-stream reactivates at its checkpoint — each record delivered
+/// exactly once, none replayed, none skipped.
+#[test]
+fn crash_recovery_on_two_worker_pool_is_exactly_once() {
+    let kernel = two_worker_kernel();
+    register_fs_types(&kernel);
+    DurableFilterEject::register(&kernel);
+    let file = kernel
+        .spawn(Box::new(FileEject::from_lines(
+            (0..6).map(|i| format!("record {i}")),
+        )))
+        .expect("file");
+    let cursor = kernel
+        .invoke(file, "OpenDurable", Value::Unit)
+        .wait()
+        .expect("open durable")
+        .as_uid()
+        .expect("cursor uid");
+    let first = transfer(&kernel, cursor, 2);
+    assert_eq!(first.items.len(), 2);
+    kernel.crash(cursor).expect("crash cursor");
+    let next = transfer(&kernel, cursor, 1);
+    assert_eq!(next.items[0].as_str().unwrap(), "record 2");
+    kernel.shutdown();
+}
+
+/// Fairness: a hot depth-4 pipeline saturating both workers must not
+/// starve a parked population — the fairness budget forces the hot
+/// Ejects back into the queue, so idle streams' tail latency stays
+/// bounded instead of waiting for the pipeline to finish.
+#[test]
+fn idle_streams_stay_responsive_under_hot_pipeline() {
+    const IDLE: usize = 1_000;
+    let kernel = two_worker_kernel();
+    let idle: Vec<Uid> = (0..IDLE)
+        .map(|_| {
+            kernel
+                .spawn(Box::new(Accumulator { total: 0 }))
+                .expect("spawn idle stream")
+        })
+        .collect();
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let hot = {
+        let kernel = kernel.clone();
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            while !stop.load(Ordering::Acquire) {
+                let mut builder = PipelineSpec::new(Discipline::ReadOnly { read_ahead: 8 })
+                    .source_vec((0..2_000).map(Value::Int).collect())
+                    .batch(8)
+                    .policy(ChannelPolicy::Integer);
+                for _ in 0..4 {
+                    builder = builder.stage(Box::new(eden::transput::transform::Identity));
+                }
+                let run = builder
+                    .build(&kernel)
+                    .expect("hot pipeline builds")
+                    .run(Duration::from_secs(60))
+                    .expect("hot pipeline completes");
+                assert_eq!(run.records_out, 2_000);
+            }
+        })
+    };
+
+    let mut latencies: Vec<Duration> = Vec::with_capacity(IDLE);
+    for &uid in &idle {
+        let t0 = Instant::now();
+        assert_eq!(
+            kernel.invoke(uid, "Total", Value::Unit).wait(),
+            Ok(Value::Int(0)),
+            "idle stream starved out entirely"
+        );
+        latencies.push(t0.elapsed());
+    }
+    stop.store(true, Ordering::Release);
+    hot.join().expect("hot pipeline thread");
+
+    latencies.sort();
+    let p99 = latencies[IDLE * 99 / 100 - 1];
+    // Generous for a loaded single-core CI box; the failure mode being
+    // excluded is "idle p99 ≈ the hot pipeline's whole runtime".
+    assert!(
+        p99 < Duration::from_secs(2),
+        "idle stream p99 {p99:?} unbounded under hot pipeline"
+    );
+    kernel.shutdown();
+}
+
+fn pipeline_output(kernel: &Kernel, discipline: Discipline) -> Vec<Value> {
+    let input: Vec<Value> = (0..200).map(|i| Value::str(format!("line {i}"))).collect();
+    let mut builder = PipelineSpec::new(discipline)
+        .source_vec(input)
+        .batch(4)
+        .policy(ChannelPolicy::Integer);
+    let stages: [Box<dyn Transform>; 2] = [
+        Box::new(filters::CaseFold::upper()),
+        Box::new(filters::LineNumber::new()),
+    ];
+    for stage in stages {
+        builder = builder.stage(stage);
+    }
+    builder
+        .build(kernel)
+        .expect("pipeline builds")
+        .run(Duration::from_secs(60))
+        .expect("pipeline completes")
+        .output
+}
+
+/// Differential arbitration: the `threads` fallback and the scheduler
+/// produce byte-identical primary streams across all three disciplines.
+#[test]
+fn threads_and_scheduler_modes_produce_identical_output() {
+    for discipline in [
+        Discipline::ReadOnly { read_ahead: 8 },
+        Discipline::WriteOnly { push_ahead: 8 },
+        Discipline::Conventional { buffer_capacity: 16 },
+    ] {
+        let threads_kernel = Kernel::builder().threads_mode().build();
+        let threads_out = pipeline_output(&threads_kernel, discipline);
+        threads_kernel.shutdown();
+
+        let sched_kernel = two_worker_kernel();
+        let sched_out = pipeline_output(&sched_kernel, discipline);
+        sched_kernel.shutdown();
+
+        assert_eq!(
+            threads_out, sched_out,
+            "{discipline:?}: scheduler output diverged from threads mode"
+        );
+        assert_eq!(
+            format!("{threads_out:?}"),
+            format!("{sched_out:?}"),
+            "{discipline:?}: rendered bytes diverged"
+        );
+    }
+}
