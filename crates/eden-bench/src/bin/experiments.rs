@@ -90,12 +90,44 @@ fn main() {
             eden_bench::density_report::DensityConfig::full()
         };
         let report = eden_bench::density_report::density_report(&cfg, smoke);
-        std::fs::write("BENCH_density.json", &report).expect("write BENCH_density.json");
+        std::fs::write("BENCH_density.json", &report.json).expect("write BENCH_density.json");
         println!(
             "wrote BENCH_density.json ({:.2}s{})",
             t0.elapsed().as_secs_f64(),
             if smoke { ", smoke" } else { "" }
         );
+        // Scaling guard: the multi-pipeline arm's widest pool must not
+        // lose to its single-worker point. Judged after the JSON is
+        // written so a failing run still leaves the curve on disk.
+        //
+        // The verdict uses the drift-cancelling paired gain with a 10%
+        // tolerance band: a shared host wobbles individual samples by
+        // ±5% even after pairing, while the failure mode this guard
+        // exists to catch — worker scaling collapsing into the old
+        // inverted curve — showed up as a 28% deficit. Ten percent
+        // rejects noise at better than 2 sigma and still flags a real
+        // collapse on the first run.
+        if let (Some(&(w_lo, lo)), Some(&(w_hi, hi))) =
+            (report.multi_curve.first(), report.multi_curve.last())
+        {
+            let tolerance = lo * 0.10;
+            println!(
+                "density scaling guard: multi-pipeline goodput \
+                 workers={w_lo}: {lo:.1} rec/s, workers={w_hi}: {hi:.1} rec/s \
+                 (paired per-round gain {:+.1} rec/s, tolerance -{tolerance:.1})",
+                report.widest_paired_gain,
+            );
+            if report.widest_paired_gain < -tolerance {
+                eprintln!(
+                    "FAIL: scheduler scaling regressed — workers={w_hi} multi-pipeline \
+                     goodput {hi:.1} rec/s vs workers={w_lo} goodput {lo:.1} rec/s, \
+                     paired per-round gain {:.1} rec/s is below -{tolerance:.1} \
+                     (10% of the single-worker point)",
+                    report.widest_paired_gain,
+                );
+                std::process::exit(1);
+            }
+        }
     }
     if (json || payload_json || chaos_json || obs_json || density_json) && id_args.is_empty() {
         return;

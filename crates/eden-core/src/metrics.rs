@@ -13,15 +13,59 @@
 //! the invocation : internal-IPC cost ratio (experiment E8) instead of being
 //! hostage to one machine's timings.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
+
+/// Counter shards per `Metrics` instance. Power of two; indexed by a
+/// cheap per-thread id so concurrent recorders from different threads
+/// land on different cache lines.
+const METRIC_SHARDS: usize = 16;
+
+static NEXT_METRIC_SLOT: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// This thread's dense index, assigned on first use — one shared
+    /// `fetch_add` per thread lifetime, not per event.
+    static METRIC_SLOT: Cell<usize> = const { Cell::new(usize::MAX) };
+}
+
+fn metric_slot() -> usize {
+    METRIC_SLOT.with(|slot| {
+        let mut v = slot.get();
+        if v == usize::MAX {
+            v = NEXT_METRIC_SLOT.fetch_add(1, Ordering::Relaxed);
+            slot.set(v);
+        }
+        v
+    })
+}
 
 /// Shared event counters. Cheap to clone (an `Arc` bump); updated with
 /// relaxed atomics — the counts are statistics, not synchronisation.
-#[derive(Clone, Default, Debug)]
+///
+/// Counters are sharded across cache-line-aligned blocks keyed by a
+/// per-thread index: several counters fire on *every* delivery, and a
+/// single shared block would bounce its lines between all scheduler
+/// workers. [`snapshot`](Metrics::snapshot) folds the shards.
+#[derive(Clone, Debug)]
 pub struct Metrics {
-    inner: Arc<Counters>,
+    shards: Arc<[CounterShard]>,
 }
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Metrics {
+            shards: (0..METRIC_SHARDS).map(|_| CounterShard::default()).collect(),
+        }
+    }
+}
+
+/// One cache-line-aligned block of counters (128 bytes covers x86's
+/// adjacent-line prefetch pairing).
+#[repr(align(128))]
+#[derive(Default, Debug)]
+struct CounterShard(Counters);
 
 #[derive(Default, Debug)]
 struct Counters {
@@ -55,92 +99,92 @@ impl Metrics {
 
     /// Record an invocation being sent, with its parameter payload size.
     pub fn record_invocation(&self, payload_bytes: usize) {
-        self.inner.invocations.fetch_add(1, Ordering::Relaxed);
-        self.inner
+        self.cell().invocations.fetch_add(1, Ordering::Relaxed);
+        self.cell()
             .bytes_invoked
             .fetch_add(payload_bytes as u64, Ordering::Relaxed);
     }
 
     /// Record that the most recent invocation crossed simulated nodes.
     pub fn record_remote_invocation(&self) {
-        self.inner.remote_invocations.fetch_add(1, Ordering::Relaxed);
+        self.cell().remote_invocations.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Record a reply being delivered, with its payload size.
     pub fn record_reply(&self, payload_bytes: usize) {
-        self.inner.replies.fetch_add(1, Ordering::Relaxed);
-        self.inner
+        self.cell().replies.fetch_add(1, Ordering::Relaxed);
+        self.cell()
             .bytes_replied
             .fetch_add(payload_bytes as u64, Ordering::Relaxed);
     }
 
     /// Record a reply being parked for later (passive output in action).
     pub fn record_deferred_reply(&self) {
-        self.inner.deferred_replies.fetch_add(1, Ordering::Relaxed);
+        self.cell().deferred_replies.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Record one intra-Eject message (language-level process communication).
     pub fn record_internal_message(&self) {
-        self.inner.internal_messages.fetch_add(1, Ordering::Relaxed);
+        self.cell().internal_messages.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Record the creation of an Eject.
     pub fn record_eject_created(&self) {
-        self.inner.ejects_created.fetch_add(1, Ordering::Relaxed);
+        self.cell().ejects_created.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Record an activation (including reactivation from a checkpoint).
     pub fn record_activation(&self) {
-        self.inner.activations.fetch_add(1, Ordering::Relaxed);
+        self.cell().activations.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Record an explicit deactivation.
     pub fn record_deactivation(&self) {
-        self.inner.deactivations.fetch_add(1, Ordering::Relaxed);
+        self.cell().deactivations.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Record a checkpoint being written.
     pub fn record_checkpoint(&self) {
-        self.inner.checkpoints.fetch_add(1, Ordering::Relaxed);
+        self.cell().checkpoints.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Record a simulated crash.
     pub fn record_crash(&self) {
-        self.inner.crashes.fetch_add(1, Ordering::Relaxed);
+        self.cell().crashes.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Record an invocation delivered through a cached route (the kernel
     /// registry was never consulted).
     pub fn record_route_cache_hit(&self) {
-        self.inner.route_cache_hits.fetch_add(1, Ordering::Relaxed);
+        self.cell().route_cache_hits.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Record an invocation that had to resolve (or re-resolve) its target
     /// through the registry: cold cache or stale route.
     pub fn record_route_cache_miss(&self) {
-        self.inner.route_cache_misses.fetch_add(1, Ordering::Relaxed);
+        self.cell().route_cache_misses.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Record one re-sent invocation (the retry policy fired).
     pub fn record_retry(&self) {
-        self.inner.retries.fetch_add(1, Ordering::Relaxed);
+        self.cell().retries.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Record one fault deliberately injected on the invocation path.
     pub fn record_fault_injected(&self) {
-        self.inner.faults_injected.fetch_add(1, Ordering::Relaxed);
+        self.cell().faults_injected.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Record a reactivation: an activation that rebuilt an Eject from its
     /// passive representation (also counted in `activations`).
     pub fn record_reactivation(&self) {
-        self.inner.reactivations.fetch_add(1, Ordering::Relaxed);
+        self.cell().reactivations.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Record a stream stage that resumed from its checkpoint after a
     /// crash, picking up at the last acknowledged position.
     pub fn record_recovered_stream(&self) {
-        self.inner.recovered_streams.fetch_add(1, Ordering::Relaxed);
+        self.cell().recovered_streams.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Record the terminal success of one *logical* invocation. Together
@@ -150,40 +194,47 @@ impl Metrics {
     /// how many times any of them was retried (retries re-send an existing
     /// invocation; they never open a new ledger entry).
     pub fn record_success(&self) {
-        self.inner.successes.fetch_add(1, Ordering::Relaxed);
+        self.cell().successes.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Record the terminal failure of one logical invocation: a fatal
     /// error, retry exhaustion, deadline expiry, or abandonment.
     pub fn record_fatal_failure(&self) {
-        self.inner.fatal_failures.fetch_add(1, Ordering::Relaxed);
+        self.cell().fatal_failures.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Capture the current counter values.
+    /// The calling thread's counter block.
+    fn cell(&self) -> &Counters {
+        &self.shards[metric_slot() & (METRIC_SHARDS - 1)].0
+    }
+
+    /// Capture the current counter values, folded across every shard.
     pub fn snapshot(&self) -> MetricsSnapshot {
-        let c = &self.inner;
-        MetricsSnapshot {
-            invocations: c.invocations.load(Ordering::Relaxed),
-            remote_invocations: c.remote_invocations.load(Ordering::Relaxed),
-            replies: c.replies.load(Ordering::Relaxed),
-            deferred_replies: c.deferred_replies.load(Ordering::Relaxed),
-            internal_messages: c.internal_messages.load(Ordering::Relaxed),
-            bytes_invoked: c.bytes_invoked.load(Ordering::Relaxed),
-            bytes_replied: c.bytes_replied.load(Ordering::Relaxed),
-            ejects_created: c.ejects_created.load(Ordering::Relaxed),
-            activations: c.activations.load(Ordering::Relaxed),
-            deactivations: c.deactivations.load(Ordering::Relaxed),
-            checkpoints: c.checkpoints.load(Ordering::Relaxed),
-            crashes: c.crashes.load(Ordering::Relaxed),
-            route_cache_hits: c.route_cache_hits.load(Ordering::Relaxed),
-            route_cache_misses: c.route_cache_misses.load(Ordering::Relaxed),
-            retries: c.retries.load(Ordering::Relaxed),
-            faults_injected: c.faults_injected.load(Ordering::Relaxed),
-            reactivations: c.reactivations.load(Ordering::Relaxed),
-            recovered_streams: c.recovered_streams.load(Ordering::Relaxed),
-            successes: c.successes.load(Ordering::Relaxed),
-            fatal_failures: c.fatal_failures.load(Ordering::Relaxed),
+        let mut s = MetricsSnapshot::default();
+        for shard in self.shards.iter() {
+            let c = &shard.0;
+            s.invocations += c.invocations.load(Ordering::Relaxed);
+            s.remote_invocations += c.remote_invocations.load(Ordering::Relaxed);
+            s.replies += c.replies.load(Ordering::Relaxed);
+            s.deferred_replies += c.deferred_replies.load(Ordering::Relaxed);
+            s.internal_messages += c.internal_messages.load(Ordering::Relaxed);
+            s.bytes_invoked += c.bytes_invoked.load(Ordering::Relaxed);
+            s.bytes_replied += c.bytes_replied.load(Ordering::Relaxed);
+            s.ejects_created += c.ejects_created.load(Ordering::Relaxed);
+            s.activations += c.activations.load(Ordering::Relaxed);
+            s.deactivations += c.deactivations.load(Ordering::Relaxed);
+            s.checkpoints += c.checkpoints.load(Ordering::Relaxed);
+            s.crashes += c.crashes.load(Ordering::Relaxed);
+            s.route_cache_hits += c.route_cache_hits.load(Ordering::Relaxed);
+            s.route_cache_misses += c.route_cache_misses.load(Ordering::Relaxed);
+            s.retries += c.retries.load(Ordering::Relaxed);
+            s.faults_injected += c.faults_injected.load(Ordering::Relaxed);
+            s.reactivations += c.reactivations.load(Ordering::Relaxed);
+            s.recovered_streams += c.recovered_streams.load(Ordering::Relaxed);
+            s.successes += c.successes.load(Ordering::Relaxed);
+            s.fatal_failures += c.fatal_failures.load(Ordering::Relaxed);
         }
+        s
     }
 }
 

@@ -1,0 +1,285 @@
+//! A fixed-capacity Chase–Lev work-stealing deque of scheduler tasks.
+//!
+//! One of these belongs to each scheduler worker: the **owner** pushes
+//! and pops at the *bottom* (LIFO — the task it just woke is the task
+//! whose cache lines are still hot), while **thieves** claim from the
+//! *top* with a compare-and-swap (FIFO — a thief gets the victim's
+//! coldest work, which is the work least likely to be mid-flight). The
+//! orderings follow Lê, Pop, Cocchini & Nardelli, *Correct and Efficient
+//! Work-Stealing for Weak Memory Models* (PPoPP '13); the capacity is
+//! fixed so the implementation needs no buffer reclamation scheme:
+//!
+//! * `push` refuses once `bottom - top == capacity`, so a cell is never
+//!   rewritten while a thief holding the old `top` could still CAS it —
+//!   overwriting index `t & mask` requires `top > t`, which makes that
+//!   thief's CAS fail. The caller overflows into the scheduler's
+//!   injector instead (see [`Scheduler`](crate::sched::Scheduler)).
+//! * `top` is monotonically increasing, so the CAS has no ABA window.
+//!
+//! **Batched stealing is a loop of single-element claims**, not one CAS
+//! over a range. A range CAS (`top: t -> t+n`) is unsound against the
+//! owner's bottom pops: the owner takes elements *unguarded* whenever it
+//! observes `top < bottom - 1`, so a thief that read `top == t` before
+//! the owner's pops could retroactively claim `[t, t+n)` and double-run
+//! every element the owner already took. The per-element CAS keeps each
+//! claim atomic; what batching must buy — fewer steal *sessions*, and
+//! half the victim's backlog moving in one go — survives intact because
+//! the thief parks the extra claims in its own deque (see
+//! `Scheduler::steal_from`).
+//!
+//! Tasks are stored as raw `Arc` pointers (`Arc::into_raw`) because the
+//! cells must be plain atomics that thieves may read racily; a cell read
+//! is only materialised back into an `Arc` after the CAS that proves
+//! ownership of that index.
+
+use std::sync::atomic::{fence, AtomicIsize, AtomicPtr, Ordering};
+use std::sync::Arc;
+
+/// Per-worker deque capacity. Bounded so full deques spill half into the
+/// injector instead of growing (growth would need buffer reclamation);
+/// 256 comfortably holds a fairness-budget burst of wakeups.
+pub(crate) const DEQUE_CAP: usize = 256;
+
+/// The deque. Owner-side calls (`push`, `pop`) must come from one thread
+/// at a time; `steal` may come from anywhere, including the owner
+/// spilling its own overflow. Generic so the unit tests can stress it
+/// with plain payloads; the scheduler instantiates it at
+/// [`Task`](crate::sched::Task).
+pub(crate) struct WorkDeque<T> {
+    /// Next index a thief claims. Monotonic.
+    top: AtomicIsize,
+    /// Next index the owner pushes. Only the owner writes it (pop's
+    /// transient decrement included).
+    bottom: AtomicIsize,
+    /// The ring. Cells are meaningful only in `[top, bottom)`.
+    cells: Box<[AtomicPtr<T>]>,
+    mask: usize,
+}
+
+impl<T> WorkDeque<T> {
+    pub(crate) fn new() -> WorkDeque<T> {
+        WorkDeque {
+            top: AtomicIsize::new(0),
+            bottom: AtomicIsize::new(0),
+            cells: (0..DEQUE_CAP)
+                .map(|_| AtomicPtr::new(std::ptr::null_mut()))
+                .collect(),
+            mask: DEQUE_CAP - 1,
+        }
+    }
+
+    /// Entries currently claimable, as a relaxed hint for idle re-checks
+    /// and the stall monitor. Exact at rest.
+    pub(crate) fn len_hint(&self) -> usize {
+        let b = self.bottom.load(Ordering::Relaxed);
+        let t = self.top.load(Ordering::Relaxed);
+        b.saturating_sub(t).max(0) as usize
+    }
+
+    pub(crate) fn is_empty_hint(&self) -> bool {
+        self.len_hint() == 0
+    }
+
+    /// Owner-only: push at the bottom. `Err` hands the task back when the
+    /// deque is full; the caller spills to the injector.
+    pub(crate) fn push(&self, task: Arc<T>) -> Result<(), Arc<T>> {
+        let b = self.bottom.load(Ordering::Relaxed);
+        let t = self.top.load(Ordering::Acquire);
+        if b - t >= self.cells.len() as isize {
+            return Err(task);
+        }
+        let ptr = Arc::into_raw(task).cast_mut();
+        self.cells[b as usize & self.mask].store(ptr, Ordering::Relaxed);
+        // Publish the cell before the bottom that advertises it.
+        fence(Ordering::Release);
+        self.bottom.store(b + 1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Owner-only: pop at the bottom (the most recently pushed task).
+    pub(crate) fn pop(&self) -> Option<Arc<T>> {
+        let b = self.bottom.load(Ordering::Relaxed) - 1;
+        self.bottom.store(b, Ordering::Relaxed);
+        // The store must be visible to thieves before top is read, and
+        // symmetrically for the thief's CAS: the SeqCst pair is what
+        // arbitrates the last-element race.
+        fence(Ordering::SeqCst);
+        let t = self.top.load(Ordering::Relaxed);
+        if t <= b {
+            let ptr = self.cells[b as usize & self.mask].load(Ordering::Relaxed);
+            if t == b {
+                // Last element: a thief may be claiming it right now.
+                let won = self
+                    .top
+                    .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+                    .is_ok();
+                self.bottom.store(b + 1, Ordering::Relaxed);
+                return won.then(|| unsafe { Arc::from_raw(ptr) });
+            }
+            Some(unsafe { Arc::from_raw(ptr) })
+        } else {
+            // Empty: restore the canonical bottom == top.
+            self.bottom.store(b + 1, Ordering::Relaxed);
+            None
+        }
+    }
+
+    /// Any thread: claim the element at the top. The cell is read
+    /// *before* the CAS and materialised only after it succeeds — a
+    /// failed CAS means the read value was never ours to run.
+    pub(crate) fn steal(&self) -> Option<Arc<T>> {
+        let t = self.top.load(Ordering::Acquire);
+        fence(Ordering::SeqCst);
+        let b = self.bottom.load(Ordering::Acquire);
+        if t >= b {
+            return None;
+        }
+        let ptr = self.cells[t as usize & self.mask].load(Ordering::Relaxed);
+        if self
+            .top
+            .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
+            .is_ok()
+        {
+            Some(unsafe { Arc::from_raw(ptr) })
+        } else {
+            None
+        }
+    }
+}
+
+impl<T> Drop for WorkDeque<T> {
+    fn drop(&mut self) {
+        // Exclusive access: release whatever the workers left behind.
+        let t = *self.top.get_mut();
+        let b = *self.bottom.get_mut();
+        for i in t..b {
+            let ptr = *self.cells[i as usize & self.mask].get_mut();
+            if !ptr.is_null() {
+                drop(unsafe { Arc::from_raw(ptr) });
+            }
+        }
+    }
+}
+
+impl<T> std::fmt::Debug for WorkDeque<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkDeque")
+            .field("len_hint", &self.len_hint())
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn owner_is_lifo_thief_is_fifo() {
+        let d: WorkDeque<u64> = WorkDeque::new();
+        for i in 0..4u64 {
+            d.push(Arc::new(i)).unwrap();
+        }
+        assert_eq!(d.len_hint(), 4);
+        // Thief drains from the top: oldest first.
+        assert_eq!(*d.steal().unwrap(), 0);
+        // Owner drains from the bottom: newest first.
+        assert_eq!(*d.pop().unwrap(), 3);
+        assert_eq!(*d.pop().unwrap(), 2);
+        assert_eq!(*d.pop().unwrap(), 1);
+        assert!(d.pop().is_none());
+        assert!(d.steal().is_none());
+        assert!(d.is_empty_hint());
+    }
+
+    #[test]
+    fn push_refuses_at_capacity() {
+        let d: WorkDeque<usize> = WorkDeque::new();
+        for i in 0..DEQUE_CAP {
+            d.push(Arc::new(i)).unwrap();
+        }
+        let bounced = d.push(Arc::new(usize::MAX)).unwrap_err();
+        assert_eq!(*bounced, usize::MAX);
+        // Stealing one frees a slot (the owner's overflow-spill path).
+        assert_eq!(*d.steal().unwrap(), 0);
+        d.push(Arc::new(usize::MAX)).unwrap();
+    }
+
+    #[test]
+    fn drop_releases_leftovers() {
+        let d: WorkDeque<String> = WorkDeque::new();
+        let probe = Arc::new("leftover".to_string());
+        d.push(Arc::clone(&probe)).unwrap();
+        drop(d);
+        // The deque's strong count is gone.
+        assert_eq!(Arc::strong_count(&probe), 1);
+    }
+
+    /// One owner interleaving pushes and pops with three thieves: every
+    /// item is claimed by exactly one side, none twice, none lost. The
+    /// claim ledger is an array of per-item counters checked at the end.
+    #[test]
+    fn concurrent_owner_and_thieves_claim_each_item_once() {
+        const ITEMS: usize = 100_000;
+        const THIEVES: usize = 3;
+        let deque: Arc<WorkDeque<usize>> = Arc::new(WorkDeque::new());
+        let claims: Arc<Vec<AtomicUsize>> =
+            Arc::new((0..ITEMS).map(|_| AtomicUsize::new(0)).collect());
+        let produced = Arc::new(AtomicUsize::new(0));
+        let claimed = Arc::new(AtomicUsize::new(0));
+
+        let thieves: Vec<_> = (0..THIEVES)
+            .map(|_| {
+                let deque = Arc::clone(&deque);
+                let claims = Arc::clone(&claims);
+                let claimed = Arc::clone(&claimed);
+                let produced = Arc::clone(&produced);
+                std::thread::spawn(move || loop {
+                    if let Some(item) = deque.steal() {
+                        claims[*item].fetch_add(1, Ordering::SeqCst);
+                        claimed.fetch_add(1, Ordering::SeqCst);
+                    } else if produced.load(Ordering::SeqCst) == ITEMS
+                        && claimed.load(Ordering::SeqCst) == ITEMS
+                    {
+                        return;
+                    } else {
+                        std::thread::yield_now();
+                    }
+                })
+            })
+            .collect();
+
+        // Owner: push everything, popping a burst every few pushes so the
+        // bottom race with thieves is exercised constantly.
+        for i in 0..ITEMS {
+            let mut item = Arc::new(i);
+            loop {
+                match deque.push(item) {
+                    Ok(()) => break,
+                    Err(back) => {
+                        item = back;
+                        std::thread::yield_now();
+                    }
+                }
+            }
+            produced.fetch_add(1, Ordering::SeqCst);
+            if i % 3 == 0 {
+                if let Some(popped) = deque.pop() {
+                    claims[*popped].fetch_add(1, Ordering::SeqCst);
+                    claimed.fetch_add(1, Ordering::SeqCst);
+                }
+            }
+        }
+        while let Some(popped) = deque.pop() {
+            claims[*popped].fetch_add(1, Ordering::SeqCst);
+            claimed.fetch_add(1, Ordering::SeqCst);
+        }
+        for t in thieves {
+            t.join().unwrap();
+        }
+        assert_eq!(claimed.load(Ordering::SeqCst), ITEMS);
+        for (i, c) in claims.iter().enumerate() {
+            assert_eq!(c.load(Ordering::SeqCst), 1, "item {i} claimed wrong number of times");
+        }
+    }
+}

@@ -50,6 +50,7 @@
 
 mod behavior;
 mod context;
+mod deque;
 mod fault;
 mod invocation;
 mod kernel;

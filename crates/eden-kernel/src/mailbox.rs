@@ -53,7 +53,8 @@ const SHRINK_CAPACITY: usize = 64;
 pub(crate) mod park {
     /// Not queued, not running; the next delivery must enqueue the task.
     pub const PARKED: u8 = 0;
-    /// Sitting in a run queue awaiting a worker.
+    /// Queued for dispatch (a LIFO slot, a worker's deque, or the
+    /// injector) awaiting a worker.
     pub const QUEUED: u8 = 1;
     /// A worker is draining the mailbox right now.
     pub const RUNNING: u8 = 2;
@@ -139,7 +140,9 @@ impl MailboxCore {
 
     /// Run the sender side of the parking protocol after a push. Must be
     /// called with the ring mutex *released*: the enqueue it may trigger
-    /// takes a run-queue lock, and `mailbox-queue` is blessed as a leaf.
+    /// lands the task on the dispatch path (LIFO slot, deque, or an
+    /// injector shard plus a sleeper wake), and `mailbox-queue` stays a
+    /// leaf on the delivery path.
     fn wake_after_push(&self) -> Wake {
         let Some(wake) = self.wake.get() else {
             // Threads mode: the coordinator waits on the condvar.

@@ -597,6 +597,9 @@ fn gauge_rows(snap: &KernelSnapshot) -> Vec<(&'static str, &'static str, u64)> {
         ("eden_parked_ejects", "Scheduler-mode Ejects parked on an empty mailbox", snap.sched.parked_ejects),
         ("eden_sched_workers", "Live scheduler worker threads", snap.sched.workers),
         ("eden_sched_workers_blocked", "Scheduler workers inside a blocking rendezvous", snap.sched.workers_blocked),
+        ("eden_sched_workers_idle", "Scheduler workers registered in the sleep protocol", snap.sched.workers_idle),
+        ("eden_sched_wake_tokens", "Wake notifies counted but not yet consumed by a woken worker", snap.sched.wake_tokens),
+        ("eden_sched_queued_tasks", "Tasks visible in dispatch queues (injector + deques + LIFO slots)", snap.sched.queued_tasks),
     ]
 }
 

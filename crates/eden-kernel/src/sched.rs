@@ -5,11 +5,47 @@
 //! box. This module replaces the coordinator *thread* with a coordinator
 //! *state machine*: an idle Eject is just its behaviour box parked on its
 //! mailbox's parking bit, costing zero threads. Delivery flips the bit
-//! (`PARKED -> QUEUED`, see [`crate::mailbox`]) and lands the task on a
-//! sharded run queue; a fixed pool of workers resumes tasks, each resume
+//! (`PARKED -> QUEUED`, see [`crate::mailbox`]) and lands the task on the
+//! dispatch fast path below; a pool of workers resumes tasks, each resume
 //! bounded by a **fairness budget** of envelopes so one hot pipeline
-//! cannot starve a million passive streams; idle workers **steal** from
-//! other shards before sleeping.
+//! cannot starve a million passive streams.
+//!
+//! # Dispatch fast path
+//!
+//! Delivery used to land every wake on a mutexed run-queue shard chosen
+//! by a shared round-robin cursor and wake workers through one idle
+//! condvar — three globally contended cache lines per delivery, which is
+//! why goodput *fell* as workers were added. The hot path is now
+//! lock-free end to end:
+//!
+//! * **Per-worker Chase–Lev deques** ([`crate::deque`]): a worker pushes
+//!   the wakes it produces onto its own deque's bottom and pops them back
+//!   LIFO; idle workers steal from the top with a CAS, claiming half the
+//!   victim's backlog per steal session (one proven CAS per element —
+//!   see the deque docs for why a range CAS would be unsound).
+//! * **A one-task LIFO slot** in front of each deque: the mailbox the
+//!   running task just wakened holds the hottest cache lines in the
+//!   system, so it runs next on the same worker. [`SchedulerConfig::
+//!   lifo_budget`] bounds consecutive slot pickups while colder work
+//!   waits, so the slot cannot starve the deque or the injector; slot
+//!   pushes wake no sibling (the owner itself runs the task next).
+//! * **A sharded FIFO injector** for everything else: non-worker
+//!   producers (spawns, deliveries from user threads), fairness-budget
+//!   requeues, and deque overflow. Producers pick a shard by a cheap
+//!   per-thread index (one shared `fetch_add` per thread *lifetime*, not
+//!   per push); workers drain a batch per lock round and also poll the
+//!   injector periodically mid-stream so external producers are never
+//!   starved behind an endless local chain.
+//! * **Per-worker sleep latches**: an idle worker yields a few rounds,
+//!   then announces itself on a sleeper list and parks on its own
+//!   mutex+condvar latch. A producer wakes at most one sleeper, and only
+//!   after a `SeqCst` fence arbitrates the announce-vs-publish race, so
+//!   a push can never slip between a sleeper's last look and its sleep.
+//!
+//! Hot counters (resident/parked gauges, steal and pickup counts) are
+//! cache-line padded and sharded per worker or per thread, folded on
+//! [`Scheduler::snapshot`], so bookkeeping never bounces one shared line
+//! per delivery.
 //!
 //! # Blocking compensation
 //!
@@ -18,20 +54,24 @@
 //! retry sleeps its backoff. On a cooperative pool those waits would eat
 //! workers and deadlock once the pool is exhausted. Every such rendezvous
 //! is therefore wrapped in [`blocking`]: when a *worker* thread enters a
-//! blocking section the pool notes one worker lost and spawns a spare if
-//! runnable capacity fell below target; when it exits, surplus spares
-//! retire at the next idle moment. The worst case (every Eject blocked at
-//! once) degenerates to thread-per-*blocked*-Eject — exactly the old
-//! model — while the common case (parked Ejects, non-blocking handlers)
-//! costs `workers` threads total.
+//! blocking section it first flushes its LIFO slot onto its deque (where
+//! thieves can see it), then the pool notes one worker lost and spawns a
+//! spare if runnable capacity fell below target; when it exits, surplus
+//! spares retire at the next idle moment. The worst case (every Eject
+//! blocked at once) degenerates to thread-per-*blocked*-Eject — exactly
+//! the old model — while the common case (parked Ejects, non-blocking
+//! handlers) costs `workers` threads total.
 //!
 //! The scheduler is deliberately kernel-agnostic: tasks hold a
 //! [`WeakKernel`] and workers hold only the scheduler, so a dropped
 //! kernel tears down through the normal shutdown path with no reference
 //! cycles.
 
+use std::cell::Cell;
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{
+    fence, AtomicBool, AtomicI64, AtomicPtr, AtomicU64, AtomicUsize, Ordering,
+};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -41,15 +81,22 @@ use parking_lot::{Condvar, Mutex};
 
 use crate::behavior::EjectBehavior;
 use crate::context::EjectContext;
+use crate::deque::{WorkDeque, DEQUE_CAP};
 use crate::kernel::WeakKernel;
 use crate::mailbox::{park, MailboxCore};
 use crate::runtime::{dispatch, Envelope};
 
-/// How long an idle worker sleeps between run-queue scans. A push from a
-/// racing sender can slip between a worker's last scan and its wait (the
-/// queued-task counter closes most of that window, not all of it), so
-/// this also bounds the stale-wakeup latency.
+/// Backstop timeout for a parked worker. The sleep protocol hands every
+/// wake to a specific latch, but the timeout bounds the damage of any
+/// residual race (and lets spares notice they are surplus).
 const IDLE_WAIT: Duration = Duration::from_millis(10);
+
+/// Re-park backstop once a sleeper has confirmed the pool saturates the
+/// core quota without it. Every real wake is an explicit notify, so the
+/// only cost of a longer wait is the rediscovery latency of a state the
+/// monitor thread already patrols; the benefit is not paying a timeout
+/// wakeup per sleeper per 10ms on a saturated pool.
+const SATURATED_WAIT: Duration = Duration::from_millis(100);
 
 /// Hard ceiling on pool size, counting spares the monitor adds for
 /// stalled workers. At the ceiling the pool degrades to thread-per-
@@ -61,6 +108,249 @@ const MAX_WORKERS: usize = 512;
 /// rendezvous the kernel cannot see.
 const MONITOR_TICK: Duration = Duration::from_millis(1);
 
+/// Yield-to-the-OS rounds an idle worker burns before entering the sleep
+/// protocol. Kept tiny: on a loaded single-core box the yield itself is
+/// what hands the producer the core.
+const SPIN_ROUNDS: u32 = 3;
+
+/// Empty sleep rounds (of [`IDLE_WAIT`] each) a spare worker lingers
+/// past the over-target mark before retiring. Blocking sections arrive
+/// in bursts; an eager retire turns each burst into a thread spawn.
+const SPARE_LINGER_ROUNDS: u32 = 3;
+
+/// A worker checks the injector every this-many dispatch loops even when
+/// its own slot/deque still has work, bounding the queue delay of
+/// non-worker producers. Prime, so the poll never phase-locks with a
+/// power-of-two fairness budget.
+const GLOBAL_POLL_INTERVAL: u64 = 31;
+
+/// Most tasks one injector lock round may move into the polling worker's
+/// deque (beyond the one returned), amortising the lock over a burst.
+const INJECT_BATCH: usize = 32;
+
+/// Shards in a [`ShardedGauge`]. Power of two; indexed by per-thread id.
+const COUNTER_SHARDS: usize = 16;
+
+/// A LIFO-slot task older than this is considered *stranded* — its owner
+/// is stuck in a rendezvous the kernel cannot see — and becomes fair
+/// game for thieves. Fresh slot tasks are never stolen: ping-ponging the
+/// cache-hot task to a cold core is exactly what the slot exists to
+/// prevent.
+const LIFO_STALE: Duration = Duration::from_millis(1);
+
+/// Pads a hot field to its own cache-line pair (128 bytes covers x86's
+/// adjacent-line prefetcher and 128-byte Apple/POWER lines), so one
+/// worker's counter traffic never invalidates a neighbour's.
+#[repr(align(128))]
+struct CachePadded<T>(T);
+
+static NEXT_THREAD_SLOT: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// This thread's dense index, assigned on first use. Replaces the old
+    /// shared `next_shard` round-robin cursor: one global `fetch_add` per
+    /// thread *lifetime* instead of one per push.
+    static THREAD_SLOT: Cell<usize> = const { Cell::new(usize::MAX) };
+}
+
+fn thread_slot() -> usize {
+    THREAD_SLOT.with(|slot| {
+        let mut v = slot.get();
+        if v == usize::MAX {
+            v = NEXT_THREAD_SLOT.fetch_add(1, Ordering::Relaxed);
+            slot.set(v);
+        }
+        v
+    })
+}
+
+/// A gauge sharded across cache-padded cells to keep `+1/-1` traffic off
+/// any single line; cells are signed so a decrement may land on a
+/// different cell than its increment. Folded (and clamped at zero) on
+/// read.
+struct ShardedGauge {
+    cells: Box<[CachePadded<AtomicI64>]>,
+}
+
+impl ShardedGauge {
+    fn new() -> ShardedGauge {
+        ShardedGauge {
+            cells: (0..COUNTER_SHARDS)
+                .map(|_| CachePadded(AtomicI64::new(0)))
+                .collect(),
+        }
+    }
+
+    fn add(&self, delta: i64) {
+        self.cells[thread_slot() & (COUNTER_SHARDS - 1)]
+            .0
+            .fetch_add(delta, Ordering::Relaxed);
+    }
+
+    fn sum(&self) -> u64 {
+        self.cells
+            .iter()
+            .map(|cell| cell.0.load(Ordering::Relaxed))
+            .sum::<i64>()
+            .max(0) as u64
+    }
+}
+
+/// One worker's private sleep latch. Splitting the old shared
+/// `idle_mx`/`idle_cv` pair per worker means a producer's wake touches
+/// exactly one sleeper and workers never serialize on a global mutex to
+/// fall asleep.
+struct Parker {
+    /// Wake pending. Checked under the lock before waiting, so a notify
+    /// delivered before the park is consumed, not lost.
+    park_mx: Mutex<bool>,
+    park_cv: Condvar,
+}
+
+impl Parker {
+    fn new() -> Parker {
+        Parker {
+            park_mx: Mutex::new(false),
+            park_cv: Condvar::default(),
+        }
+    }
+
+    /// Returns whether a notify (as opposed to the timeout) ended the
+    /// park — the caller owes the pool a `wakes_pending` decrement for a
+    /// consumed notify, because the producer that sent it counted it.
+    fn park(&self, timeout: Duration) -> bool {
+        let mut notified = self.park_mx.lock();
+        if !*notified {
+            let _ = self.park_cv.wait_for(&mut notified, timeout);
+        }
+        std::mem::take(&mut *notified)
+    }
+
+    /// Consume a pending notify without parking (worker-exit tail): a
+    /// notify that raced our last timeout would otherwise strand its
+    /// `wakes_pending` count and gate every future wake.
+    fn take_notified(&self) -> bool {
+        std::mem::take(&mut *self.park_mx.lock())
+    }
+
+    // Worst-case caller: `maybe_wake` runs under the registry shard
+    // (spawn path) or a mailbox ring (backpressure overflow spill), so
+    // the latch lock nests under both.
+    // eden-lint: holds(registry-shard, mailbox-queue)
+    fn notify(&self) {
+        *self.park_mx.lock() = true;
+        self.park_cv.notify_one();
+    }
+}
+
+/// The one-task LIFO slot in front of a worker's deque. A plain atomic
+/// pointer: the owner swaps tasks in and out; thieves may swap it empty
+/// as a last resort when the task is stranded (owner stuck in an
+/// invisible rendezvous).
+struct LifoSlot {
+    task: AtomicPtr<Task>,
+}
+
+impl LifoSlot {
+    fn new() -> LifoSlot {
+        LifoSlot {
+            task: AtomicPtr::new(std::ptr::null_mut()),
+        }
+    }
+
+    fn is_empty_hint(&self) -> bool {
+        self.task.load(Ordering::Relaxed).is_null()
+    }
+
+    /// Install `task`, handing back whatever it displaced.
+    fn put(&self, task: Arc<Task>) -> Option<Arc<Task>> {
+        let fresh = Arc::into_raw(task).cast_mut();
+        let old = self.task.swap(fresh, Ordering::AcqRel);
+        (!old.is_null()).then(|| unsafe { Arc::from_raw(old) })
+    }
+
+    fn take(&self) -> Option<Arc<Task>> {
+        // Cheap shared-load fast path so steal scans over empty slots
+        // never take the line exclusive.
+        if self.task.load(Ordering::Relaxed).is_null() {
+            return None;
+        }
+        let old = self.task.swap(std::ptr::null_mut(), Ordering::AcqRel);
+        (!old.is_null()).then(|| unsafe { Arc::from_raw(old) })
+    }
+}
+
+impl Drop for LifoSlot {
+    fn drop(&mut self) {
+        let ptr = *self.task.get_mut();
+        if !ptr.is_null() {
+            drop(unsafe { Arc::from_raw(ptr) });
+        }
+    }
+}
+
+/// One shard of the FIFO overflow injector. The only mutex left on the
+/// dispatch path, and only for producers without a worker slot (spawns,
+/// user-thread deliveries), fairness requeues, and deque overflow.
+struct InjectShard {
+    injq: Mutex<VecDeque<Arc<Task>>>,
+    /// Relaxed mirror of the queue length so idle scans skip empty
+    /// shards without locking.
+    backlog: AtomicUsize,
+}
+
+impl InjectShard {
+    // Worst-case callers: the spawn path runs under the registry shard
+    // being written; a deque-overflow spill inside a bounded-send
+    // backpressure wait runs under the mailbox ring.
+    // eden-lint: holds(registry-shard, mailbox-queue)
+    fn push(&self, task: Arc<Task>) {
+        let mut q = self.injq.lock();
+        q.push_back(task);
+        self.backlog.store(q.len(), Ordering::Release);
+    }
+
+    /// Pop one task for the caller and move up to half of the remainder
+    /// (capped at [`INJECT_BATCH`]) into `dest` — the calling worker's
+    /// own deque — under the same lock hold, so a burst of spawns costs
+    /// one lock round per batch rather than per task.
+    fn pop_into(&self, dest: Option<&WorkDeque<Task>>) -> Option<Arc<Task>> {
+        let mut q = self.injq.lock();
+        let Some(first) = q.pop_front() else {
+            self.backlog.store(0, Ordering::Release);
+            return None;
+        };
+        if let Some(deque) = dest {
+            let extra = (q.len() / 2).min(INJECT_BATCH);
+            for _ in 0..extra {
+                let Some(task) = q.pop_front() else { break };
+                if let Err(task) = deque.push(task) {
+                    q.push_front(task);
+                    break;
+                }
+            }
+        }
+        self.backlog.store(q.len(), Ordering::Release);
+        Some(first)
+    }
+}
+
+/// One worker's share of the dispatch state. Aligned so neighbouring
+/// workers' hot fields never share a cache line.
+#[repr(align(128))]
+struct WorkerSlot {
+    deque: WorkDeque<Task>,
+    lifo: LifoSlot,
+    /// Epoch-nanoseconds of the last `lifo.put`, the staleness hint that
+    /// gates slot stealing (see [`LIFO_STALE`]).
+    lifo_since_ns: AtomicU64,
+    parker: Arc<Parker>,
+    steals: AtomicU64,
+    /// Task pickups by this worker; folded into the stall monitor's
+    /// progress signal.
+    progress: AtomicU64,
+}
+
 /// Tuning knobs for the scheduler execution mode, carried in
 /// [`ExecMode::Scheduler`](crate::ExecMode) and settable through
 /// [`KernelBuilder::scheduler`](crate::KernelBuilder::scheduler).
@@ -71,12 +361,17 @@ pub struct SchedulerConfig {
     /// Defaults to the machine's available parallelism, floored at 2 so
     /// a single-core box still overlaps a blocked handler with progress.
     pub workers: usize,
-    /// Number of run-queue shards (rounded up to a power of two).
-    /// Defaults to the worker count.
+    /// Number of injector shards (rounded up to a power of two).
+    /// Defaults to the worker count. The name is a fossil from the
+    /// mutexed run-queue design this knob used to size.
     pub run_queue_shards: usize,
     /// Envelopes one task may drain per resume before it is re-enqueued
     /// behind whatever else is runnable.
     pub fairness_budget: usize,
+    /// Consecutive LIFO-slot pickups one worker may take while colder
+    /// work waits in its deque or the injector, before the slot must
+    /// yield a turn. Irrelevant when nothing else is runnable locally.
+    pub lifo_budget: u32,
 }
 
 impl Default for SchedulerConfig {
@@ -89,6 +384,7 @@ impl Default for SchedulerConfig {
             workers,
             run_queue_shards: workers,
             fairness_budget: 64,
+            lifo_budget: 16,
         }
     }
 }
@@ -98,6 +394,7 @@ impl SchedulerConfig {
         self.workers = self.workers.max(1);
         self.run_queue_shards = self.run_queue_shards.max(1).next_power_of_two();
         self.fairness_budget = self.fairness_budget.max(1);
+        self.lifo_budget = self.lifo_budget.max(1);
         self
     }
 }
@@ -110,17 +407,28 @@ pub struct SchedSnapshot {
     pub resident_ejects: u64,
     /// Tasks currently parked on their mailbox (no thread, no queue slot).
     pub parked_ejects: u64,
-    /// Tasks a worker picked from a shard other than its own.
+    /// Tasks a worker claimed from another worker's deque or LIFO slot.
     pub sched_steals: u64,
     /// Current worker-pool size (target plus live spares).
     pub workers: u64,
     /// Workers currently inside a blocking section.
     pub workers_blocked: u64,
+    /// Workers registered in the sleep protocol (parked or re-checking).
+    pub workers_idle: u64,
+    /// Producer wake notifies counted but not yet consumed by a woken
+    /// worker. Transiently 1 in steady state; stuck > 0 with no idle
+    /// worker en route would mean a leaked token (the wake gate's
+    /// failure mode), so this gauge is the one to watch in a stall.
+    pub wake_tokens: u64,
+    /// Tasks visible to dispatch right now: injector backlog plus deque
+    /// occupancy plus occupied LIFO slots. A hint (relaxed reads), exact
+    /// at rest.
+    pub queued_tasks: u64,
 }
 
 /// The coordinator state of one scheduler-mode Eject: its behaviour box,
-/// mailbox, and identity. Kept alive by the registry slot; run queues
-/// hold it only while it is `QUEUED`.
+/// mailbox, and identity. Kept alive by the registry slot; dispatch
+/// queues hold it only while it is `QUEUED`.
 pub(crate) struct Task {
     core: Arc<MailboxCore>,
     ctx: Arc<EjectContext>,
@@ -130,7 +438,7 @@ pub(crate) struct Task {
     /// whichever worker is running the task. Locked only for the take at
     /// resume start and the put-back at park (`task-body` is a leaf).
     body: Mutex<Option<TaskBody>>,
-    /// Run-queue enqueue time, nanoseconds since the scheduler epoch.
+    /// Dispatch enqueue time, nanoseconds since the scheduler epoch.
     /// Feeds the obs plane's `sched_wait` stage.
     rq_enq_ns: AtomicU64,
     /// The death latch `Kernel::crash` waits on.
@@ -196,28 +504,21 @@ enum Resume {
     Dead(bool),
 }
 
-struct RunShard {
-    runq: Mutex<VecDeque<Arc<Task>>>,
-}
-
-impl RunShard {
-    fn push(&self, task: Arc<Task>) {
-        self.runq.lock().push_back(task);
-    }
-
-    fn pop(&self) -> Option<Arc<Task>> {
-        self.runq.lock().pop_front()
-    }
+/// Thread-local identity of a worker: which scheduler it serves, which
+/// slot (if any — spares have none), and the blocking-section depth
+/// (only the outermost section counts the worker as lost).
+struct WorkerTls {
+    sched: Arc<Scheduler>,
+    slot: Option<usize>,
+    block_depth: u32,
 }
 
 thread_local! {
-    /// The scheduler this thread serves, plus the blocking-section depth
-    /// (only the outermost section counts a worker as lost).
-    static WORKER: std::cell::RefCell<Option<(Arc<Scheduler>, u32)>> =
+    static WORKER: std::cell::RefCell<Option<WorkerTls>> =
         const { std::cell::RefCell::new(None) };
     /// The task this worker is currently resuming. Lets crash/shutdown
     /// recognise "waiting on myself" and skip the self-deadlock.
-    static CURRENT_TASK: std::cell::Cell<Option<Uid>> = const { std::cell::Cell::new(None) };
+    static CURRENT_TASK: Cell<Option<Uid>> = const { Cell::new(None) };
 }
 
 /// The UID of the task the calling thread is currently resuming, if the
@@ -229,63 +530,87 @@ pub(crate) fn current_task() -> Option<Uid> {
 /// Run `f` as an explicit yield point: a rendezvous that may block the
 /// calling thread for real (reply waits, backoff sleeps, bounded-mailbox
 /// parks, death latches). On a non-worker thread this is a plain call; on
-/// a worker it keeps the pool's runnable capacity at target by spawning a
-/// spare for the duration (outermost section only).
+/// a worker it first flushes the worker's LIFO slot to stealable ground,
+/// then keeps the pool's runnable capacity at target by spawning a spare
+/// for the duration (outermost section only).
 pub(crate) fn blocking<R>(f: impl FnOnce() -> R) -> R {
-    let sched = WORKER.with(|w| {
-        let mut slot = w.borrow_mut();
-        match slot.as_mut() {
-            Some((sched, depth)) => {
-                *depth += 1;
-                (*depth == 1).then(|| Arc::clone(sched))
+    let outermost = WORKER.with(|w| {
+        let mut tls = w.borrow_mut();
+        match tls.as_mut() {
+            Some(worker) => {
+                worker.block_depth += 1;
+                (worker.block_depth == 1).then(|| (Arc::clone(&worker.sched), worker.slot))
             }
             None => None,
         }
     });
-    if let Some(sched) = &sched {
+    if let Some((sched, slot)) = &outermost {
+        if let Some(i) = slot {
+            // About to stop dispatching: a task left in the LIFO slot
+            // would otherwise wait out this whole rendezvous (fresh slot
+            // tasks are not stealable).
+            sched.flush_lifo(*i);
+        }
         sched.note_block_enter();
     }
     let out = f();
-    if let Some(sched) = &sched {
+    if let Some((sched, _)) = &outermost {
         sched.note_block_exit();
     }
     WORKER.with(|w| {
-        if let Some((_, depth)) = w.borrow_mut().as_mut() {
-            *depth -= 1;
+        if let Some(worker) = w.borrow_mut().as_mut() {
+            worker.block_depth -= 1;
         }
     });
     out
 }
 
-/// The worker pool and its sharded run queues. One per scheduler-mode
-/// kernel, shared with every worker thread.
+/// The worker pool and its lock-free dispatch state. One per
+/// scheduler-mode kernel, shared with every worker thread.
 pub(crate) struct Scheduler {
-    shards: Box<[RunShard]>,
-    shard_mask: usize,
+    /// Per-worker dispatch state, indexed by worker slot. Fixed at
+    /// construction; spares beyond `target_workers` own no slot and
+    /// work purely by injector polls and steals.
+    slots: Box<[WorkerSlot]>,
+    injector: Box<[InjectShard]>,
+    inject_mask: usize,
     target_workers: usize,
     fairness_budget: usize,
+    lifo_budget: u32,
     epoch: Instant,
-    /// Round-robin cursor for push placement.
-    next_shard: AtomicUsize,
-    /// Tasks currently sitting in some run queue (approximate by a hair
-    /// during a push, exact at rest) — the idle workers' cheap "anything
-    /// to do?" check.
-    queued_tasks: AtomicUsize,
+    /// Workers inside the sleep protocol (announced on `sleepers`, about
+    /// to park or parked). The producer side of the Dekker handshake in
+    /// [`Scheduler::maybe_wake`].
+    idle_count: CachePadded<AtomicUsize>,
+    /// The host's available parallelism, sampled once at pool build.
+    /// Producers stop waking sleepers once this many workers are awake
+    /// and unblocked: extra runnable threads beyond the core count add
+    /// context switches, never throughput — the single rule that makes
+    /// oversized pools free instead of regressive on small machines.
+    cpu_quota: usize,
+    /// Notifies sent but not yet consumed by the woken worker. While
+    /// this is non-zero a worker is already on its way to the backlog,
+    /// so producers skip further wakes — the wake-storm dampener that
+    /// keeps pool sizes beyond the core count close to free: without
+    /// it, every push while any worker sleeps pays a latch round and
+    /// makes one more thread runnable, and an oversubscribed box burns
+    /// the curve's headroom on context switches. Wake rate is thereby
+    /// throttled to the rate woken workers actually reach the CPU.
+    wakes_pending: CachePadded<AtomicUsize>,
+    /// Latches of workers currently inside the sleep protocol. Producers
+    /// pop one to wake; a sleeper that finds work (or times out) removes
+    /// itself.
+    sleepers: Mutex<Vec<Arc<Parker>>>,
     live_workers: AtomicUsize,
     blocked_workers: AtomicUsize,
-    idle_workers: AtomicUsize,
-    tasks_alive: AtomicUsize,
-    parked: AtomicU64,
-    steals: AtomicU64,
-    /// Bumped on every task pickup; the monitor reads it to tell "workers
-    /// are busy" from "workers are stuck in a rendezvous the kernel cannot
-    /// see" (a raw channel send or sleep inside a behaviour).
-    progress: AtomicU64,
+    tasks_alive: ShardedGauge,
+    parked: ShardedGauge,
+    /// Steal/pickup counts of slotless spare workers (slotted workers
+    /// count on their own padded lines).
+    spare_steals: CachePadded<AtomicU64>,
+    spare_progress: CachePadded<AtomicU64>,
     worker_seq: AtomicUsize,
     stopping: AtomicBool,
-    /// Idle workers sleep here; `idle_mx` protects only the sleep itself.
-    idle_mx: Mutex<()>,
-    idle_cv: Condvar,
     /// `wait_all_dead` sleeps here; signalled on every task death.
     death_mx: Mutex<()>,
     death_cv: Condvar,
@@ -295,30 +620,44 @@ pub(crate) struct Scheduler {
 impl Scheduler {
     pub(crate) fn new(config: SchedulerConfig) -> Arc<Scheduler> {
         let config = config.normalized();
-        let shards: Box<[RunShard]> = (0..config.run_queue_shards)
-            .map(|_| RunShard {
-                runq: Mutex::new(VecDeque::new()),
+        let slots: Box<[WorkerSlot]> = (0..config.workers)
+            .map(|_| WorkerSlot {
+                deque: WorkDeque::new(),
+                lifo: LifoSlot::new(),
+                lifo_since_ns: AtomicU64::new(0),
+                parker: Arc::new(Parker::new()),
+                steals: AtomicU64::new(0),
+                progress: AtomicU64::new(0),
+            })
+            .collect();
+        let injector: Box<[InjectShard]> = (0..config.run_queue_shards)
+            .map(|_| InjectShard {
+                injq: Mutex::new(VecDeque::new()),
+                backlog: AtomicUsize::new(0),
             })
             .collect();
         let sched = Arc::new(Scheduler {
-            shard_mask: shards.len() - 1,
-            shards,
+            slots,
+            inject_mask: injector.len() - 1,
+            injector,
             target_workers: config.workers,
             fairness_budget: config.fairness_budget,
+            lifo_budget: config.lifo_budget,
             epoch: Instant::now(),
-            next_shard: AtomicUsize::new(0),
-            queued_tasks: AtomicUsize::new(0),
+            idle_count: CachePadded(AtomicUsize::new(0)),
+            cpu_quota: std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(config.workers),
+            wakes_pending: CachePadded(AtomicUsize::new(0)),
+            sleepers: Mutex::new(Vec::new()),
             live_workers: AtomicUsize::new(0),
             blocked_workers: AtomicUsize::new(0),
-            idle_workers: AtomicUsize::new(0),
-            tasks_alive: AtomicUsize::new(0),
-            parked: AtomicU64::new(0),
-            steals: AtomicU64::new(0),
-            progress: AtomicU64::new(0),
+            tasks_alive: ShardedGauge::new(),
+            parked: ShardedGauge::new(),
+            spare_steals: CachePadded(AtomicU64::new(0)),
+            spare_progress: CachePadded(AtomicU64::new(0)),
             worker_seq: AtomicUsize::new(0),
             stopping: AtomicBool::new(false),
-            idle_mx: Mutex::new(()),
-            idle_cv: Condvar::default(),
             death_mx: Mutex::new(()),
             death_cv: Condvar::default(),
             threads: Mutex::new(Vec::new()),
@@ -337,12 +676,32 @@ impl Scheduler {
     }
 
     pub(crate) fn snapshot(&self) -> SchedSnapshot {
+        let slot_steals: u64 = self
+            .slots
+            .iter()
+            .map(|slot| slot.steals.load(Ordering::Relaxed))
+            .sum();
+        let queued: u64 = self
+            .injector
+            .iter()
+            .map(|shard| shard.backlog.load(Ordering::Relaxed) as u64)
+            .sum::<u64>()
+            + self
+                .slots
+                .iter()
+                .map(|slot| {
+                    slot.deque.len_hint() as u64 + u64::from(!slot.lifo.is_empty_hint())
+                })
+                .sum::<u64>();
         SchedSnapshot {
-            resident_ejects: self.tasks_alive.load(Ordering::Relaxed) as u64,
-            parked_ejects: self.parked.load(Ordering::Relaxed),
-            sched_steals: self.steals.load(Ordering::Relaxed),
+            resident_ejects: self.tasks_alive.sum(),
+            parked_ejects: self.parked.sum(),
+            sched_steals: slot_steals + self.spare_steals.0.load(Ordering::Relaxed),
             workers: self.live_workers.load(Ordering::Relaxed) as u64,
             workers_blocked: self.blocked_workers.load(Ordering::Relaxed) as u64,
+            workers_idle: self.idle_count.0.load(Ordering::Relaxed) as u64,
+            wake_tokens: self.wakes_pending.0.load(Ordering::Relaxed) as u64,
+            queued_tasks: queued,
         }
     }
 
@@ -373,52 +732,334 @@ impl Scheduler {
             died_cv: Condvar::default(),
         });
         core.attach_task(self, &task);
-        self.tasks_alive.fetch_add(1, Ordering::AcqRel);
+        self.tasks_alive.add(1);
         core.park_bit().store(park::QUEUED, Ordering::Release);
-        self.push_task(Arc::clone(&task));
+        // Spawns go FIFO through the injector, never the LIFO slot: a
+        // spawn burst must fan out across workers, and activation order
+        // should follow spawn order.
+        self.push_fifo(Arc::clone(&task));
         task
     }
 
     /// Queue a task whose parking bit just flipped `PARKED -> QUEUED`
     /// (the mailbox wake path).
     pub(crate) fn enqueue(self: &Arc<Scheduler>, task: Arc<Task>) {
-        self.parked.fetch_sub(1, Ordering::AcqRel);
-        self.push_task(task);
-    }
-
-    // Worst-case caller: `spawn_task` runs under the registry shard
-    // being written, so every lock below nests under it.
-    // eden-lint: holds(registry-shard)
-    fn push_task(&self, task: Arc<Task>) {
-        task.rq_enq_ns
-            .store(self.epoch.elapsed().as_nanos() as u64, Ordering::Relaxed);
-        self.queued_tasks.fetch_add(1, Ordering::AcqRel);
-        let shard = self.next_shard.fetch_add(1, Ordering::Relaxed) & self.shard_mask;
-        self.shards[shard].push(task);
-        if self.idle_workers.load(Ordering::Acquire) > 0 {
-            // Lock, then notify: an idle worker re-checks `queued_tasks`
-            // under `idle_mx` before sleeping, so taking the mutex here
-            // means the notify cannot slip into its check-to-sleep gap.
-            let _idle = self.idle_mx.lock();
-            self.idle_cv.notify_one();
+        self.parked.add(-1);
+        self.stamp_enqueue(&task);
+        match self.local_slot() {
+            Some(i) => {
+                // Hot path: a worker delivering mid-resume. The wakened
+                // task goes to this worker's LIFO slot — its mailbox is
+                // the hottest data in the system — and wakes no sibling:
+                // this worker runs it next itself.
+                if let Some(displaced) = self.slots[i].lifo.put(task) {
+                    self.push_local_deque(i, displaced);
+                }
+                self.slots[i]
+                    .lifo_since_ns
+                    .store(self.now_ns(), Ordering::Relaxed);
+            }
+            None => self.push_inject(task),
         }
     }
 
-    /// Pop the next runnable task: own shard first, then steal.
-    fn next_task(&self, worker: usize) -> Option<Arc<Task>> {
-        let own = worker & self.shard_mask;
-        if let Some(task) = self.shards[own].pop() {
-            self.queued_tasks.fetch_sub(1, Ordering::AcqRel);
-            return Some(task);
+    fn now_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+
+    fn stamp_enqueue(&self, task: &Task) {
+        task.rq_enq_ns.store(self.now_ns(), Ordering::Relaxed);
+    }
+
+    /// The calling thread's worker slot on *this* scheduler, if any.
+    fn local_slot(self: &Arc<Scheduler>) -> Option<usize> {
+        WORKER.with(|w| {
+            w.borrow().as_ref().and_then(|worker| {
+                if Arc::ptr_eq(&worker.sched, self) {
+                    worker.slot
+                } else {
+                    None
+                }
+            })
+        })
+    }
+
+    /// FIFO admission: stamp and hand to the injector. Spawns and
+    /// fairness-budget requeues come through here — a requeue pushed to
+    /// the owner's LIFO deque would be popped right back, defeating the
+    /// budget.
+    fn push_fifo(&self, task: Arc<Task>) {
+        self.stamp_enqueue(&task);
+        self.push_inject(task);
+    }
+
+    fn push_inject(&self, task: Arc<Task>) {
+        self.injector[thread_slot() & self.inject_mask].push(task);
+        self.maybe_wake();
+    }
+
+    /// Owner-side push onto worker `i`'s deque. On overflow, half the
+    /// deque (its cold top) spills to the injector so the push lands.
+    fn push_local_deque(&self, i: usize, task: Arc<Task>) {
+        if let Err(task) = self.slots[i].deque.push(task) {
+            let shard = &self.injector[thread_slot() & self.inject_mask];
+            for _ in 0..DEQUE_CAP / 2 {
+                let Some(cold) = self.slots[i].deque.steal() else { break };
+                shard.push(cold);
+            }
+            if let Err(task) = self.slots[i].deque.push(task) {
+                shard.push(task);
+            }
         }
-        for step in 1..self.shards.len() {
-            if let Some(task) = self.shards[(own + step) & self.shard_mask].pop() {
-                self.queued_tasks.fetch_sub(1, Ordering::AcqRel);
-                self.steals.fetch_add(1, Ordering::Relaxed);
+        self.maybe_wake();
+    }
+
+    /// Wake one sleeping worker, if any. The `SeqCst` fence pairs with
+    /// the sleeper's announce in [`worker_main`]: either this producer
+    /// observes `idle_count > 0` (and pops a latch to notify) or the
+    /// sleeper's post-announce re-check observes the pushed work —
+    /// whichever fence is later in the total order sees the other side's
+    /// write, so the push cannot fall into the look-then-sleep gap.
+    /// A second gate dampens wake storms: while a previous notify is
+    /// still in flight (`wakes_pending > 0`), the woken worker is
+    /// already bound for the backlog and will re-scan everything when
+    /// it reaches the CPU, so piling more wakes on only converts queue
+    /// depth into context switches. The gate cannot strand work: the
+    /// pending worker's own dispatch loop re-checks all queues, and if
+    /// it exits instead, the exit tail returns the token (see
+    /// [`worker_main`]); even a leaked token only degrades to the
+    /// sleepers' [`IDLE_WAIT`] timeout re-scan, never a hang.
+    fn maybe_wake(&self) {
+        fence(Ordering::SeqCst);
+        if self.idle_count.0.load(Ordering::Relaxed) == 0 {
+            return;
+        }
+        if self.wakes_pending.0.load(Ordering::Relaxed) > 0 {
+            return;
+        }
+        // Core-quota gate: with `cpu_quota` workers already awake and
+        // unblocked, a wake buys contention, not capacity. The count is
+        // conservative in the safe direction — a worker inside the
+        // sleep protocol is still counted idle while it re-checks, so
+        // transient underestimates of `active` cause extra wakes, never
+        // missed ones. When the last active worker parks or blocks,
+        // `active` hits zero and the gate opens; a worker glued to a
+        // long local backlog still lets the injector in every
+        // [`GLOBAL_POLL_INTERVAL`] dispatch rounds, bounding external
+        // latency without any wake at all.
+        let live = self.live_workers.load(Ordering::Relaxed);
+        let blocked = self.blocked_workers.load(Ordering::Relaxed);
+        let idle = self.idle_count.0.load(Ordering::Relaxed);
+        let active = live.saturating_sub(blocked).saturating_sub(idle);
+        if active >= self.cpu_quota {
+            return;
+        }
+        if let Some(parker) = self.pop_sleeper() {
+            self.wakes_pending.0.fetch_add(1, Ordering::SeqCst);
+            parker.notify();
+        }
+    }
+
+    /// Return one wake token, floor zero: `stop()`'s shutdown notifies
+    /// are deliberately uncounted, so a consumer may see more consumed
+    /// notifies than counted ones.
+    fn consume_wake_token(&self) {
+        let _ = self
+            .wakes_pending
+            .0
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |v| v.checked_sub(1));
+    }
+
+    // Worst-case caller: `maybe_wake` under the registry shard (spawn
+    // path) or a mailbox ring (backpressure overflow spill).
+    // eden-lint: holds(registry-shard, mailbox-queue)
+    fn pop_sleeper(&self) -> Option<Arc<Parker>> {
+        self.sleepers.lock().pop()
+    }
+
+    fn remove_sleeper(&self, parker: &Arc<Parker>) {
+        self.sleepers.lock().retain(|p| !Arc::ptr_eq(p, parker));
+    }
+
+    /// Whether any injector shard advertises backlog. Relaxed scan over
+    /// a handful of padded counters; exact at rest.
+    fn inject_backlog(&self) -> bool {
+        self.injector
+            .iter()
+            .any(|shard| shard.backlog.load(Ordering::Relaxed) > 0)
+    }
+
+    /// Any stranded LIFO slot anywhere — the one backlog a beyond-quota
+    /// sleeper must rejoin for, because its owner by definition is not
+    /// dispatching and the active workers may never run dry enough to
+    /// reach their second steal pass.
+    fn lifo_any_stranded(&self) -> bool {
+        (0..self.slots.len()).any(|i| self.lifo_stranded(i))
+    }
+
+    /// Whether worker `i`'s LIFO slot holds a *stranded* task: occupied
+    /// for longer than [`LIFO_STALE`], meaning its owner stopped
+    /// dispatching without flushing (a rendezvous the kernel cannot see).
+    fn lifo_stranded(&self, i: usize) -> bool {
+        !self.slots[i].lifo.is_empty_hint()
+            && self
+                .now_ns()
+                .saturating_sub(self.slots[i].lifo_since_ns.load(Ordering::Relaxed))
+                > LIFO_STALE.as_nanos() as u64
+    }
+
+    /// The idle re-check and the stall monitor's "is there work" probe.
+    /// A *fresh* LIFO slot does not count: its owner is about to run it,
+    /// and counting it would keep idle workers awake polling for a task
+    /// they must not steal.
+    fn has_runnable(&self) -> bool {
+        self.inject_backlog()
+            || self
+                .slots
+                .iter()
+                .enumerate()
+                .any(|(i, slot)| !slot.deque.is_empty_hint() || self.lifo_stranded(i))
+    }
+
+    /// Drain one task from the injector, preferring the shard indexed by
+    /// the caller (so workers spread over shards), batching extras into
+    /// the calling worker's deque.
+    fn pop_inject(&self, me: Option<usize>) -> Option<Arc<Task>> {
+        let start = me.unwrap_or_else(thread_slot);
+        for step in 0..self.injector.len() {
+            let shard = &self.injector[(start + step) & self.inject_mask];
+            if shard.backlog.load(Ordering::Acquire) == 0 {
+                continue;
+            }
+            let dest = me.map(|i| &self.slots[i].deque);
+            if let Some(task) = shard.pop_into(dest) {
                 return Some(task);
             }
         }
         None
+    }
+
+    /// Pick the next runnable task for a worker: periodic injector poll,
+    /// then LIFO slot (budgeted), own deque, injector, steal.
+    fn next_task(&self, me: Option<usize>, lifo_streak: &mut u32, tick: u64) -> Option<Arc<Task>> {
+        if tick.is_multiple_of(GLOBAL_POLL_INTERVAL) {
+            // Even a worker with endless local work periodically lets
+            // the injector in, bounding external producers' queue delay.
+            if let Some(task) = self.pop_inject(me) {
+                *lifo_streak = 0;
+                return Some(task);
+            }
+        }
+        if let Some(i) = me {
+            let slot = &self.slots[i];
+            let colder_waiting = !slot.deque.is_empty_hint() || self.inject_backlog();
+            if *lifo_streak < self.lifo_budget || !colder_waiting {
+                if let Some(task) = slot.lifo.take() {
+                    *lifo_streak += 1;
+                    return Some(task);
+                }
+            }
+            if let Some(task) = slot.deque.pop() {
+                *lifo_streak = 0;
+                return Some(task);
+            }
+        }
+        *lifo_streak = 0;
+        if let Some(task) = self.pop_inject(me) {
+            return Some(task);
+        }
+        self.steal(me)
+    }
+
+    /// Steal for a worker that found nothing local: first pass batches
+    /// from deque tops (half the victim's backlog per session), second
+    /// pass rescues stranded LIFO-slot tasks.
+    fn steal(&self, me: Option<usize>) -> Option<Arc<Task>> {
+        let n = self.slots.len();
+        let start = match me {
+            Some(i) => i + 1,
+            None => thread_slot(),
+        };
+        for step in 0..n {
+            let victim = (start + step) % n;
+            if me == Some(victim) {
+                continue;
+            }
+            if let Some(task) = self.steal_from(victim, me) {
+                self.note_steal(me);
+                return Some(task);
+            }
+        }
+        for step in 0..n {
+            let victim = (start + step) % n;
+            if me == Some(victim) {
+                continue;
+            }
+            if self.lifo_stranded(victim) {
+                if let Some(task) = self.slots[victim].lifo.take() {
+                    self.note_steal(me);
+                    return Some(task);
+                }
+            }
+        }
+        None
+    }
+
+    /// One steal session against `victim`'s deque: claim one task to run
+    /// plus up to half the victim's remaining backlog into the thief's
+    /// own deque — each claim its own proven CAS (see [`crate::deque`]
+    /// for why a range CAS would double-run tasks).
+    ///
+    /// On a single-core quota the batch is skipped: the thief only runs
+    /// while the victim is off-CPU, so one task covers the gap and the
+    /// rest of the backlog stays in the victim's (cache-warm) deque for
+    /// it to resume.
+    fn steal_from(&self, victim: usize, me: Option<usize>) -> Option<Arc<Task>> {
+        let victim_deque = &self.slots[victim].deque;
+        let first = victim_deque.steal()?;
+        if let Some(i) = me.filter(|_| self.cpu_quota > 1) {
+            let dest = &self.slots[i].deque;
+            for _ in 0..victim_deque.len_hint() / 2 {
+                let Some(task) = victim_deque.steal() else { break };
+                if let Err(task) = dest.push(task) {
+                    self.push_inject(task);
+                    break;
+                }
+            }
+        }
+        Some(first)
+    }
+
+    fn note_steal(&self, me: Option<usize>) {
+        match me {
+            Some(i) => self.slots[i].steals.fetch_add(1, Ordering::Relaxed),
+            None => self.spare_steals.0.fetch_add(1, Ordering::Relaxed),
+        };
+    }
+
+    fn note_progress(&self, me: Option<usize>) {
+        match me {
+            Some(i) => self.slots[i].progress.fetch_add(1, Ordering::Relaxed),
+            None => self.spare_progress.0.fetch_add(1, Ordering::Relaxed),
+        };
+    }
+
+    /// Total task pickups, folded for the stall monitor.
+    fn total_progress(&self) -> u64 {
+        self.slots
+            .iter()
+            .map(|slot| slot.progress.load(Ordering::Relaxed))
+            .sum::<u64>()
+            + self.spare_progress.0.load(Ordering::Relaxed)
+    }
+
+    /// Move whatever sits in worker `i`'s LIFO slot onto its deque,
+    /// where thieves can see it. Called when the worker is about to stop
+    /// dispatching (blocking section entry, worker exit).
+    fn flush_lifo(&self, i: usize) {
+        if let Some(task) = self.slots[i].lifo.take() {
+            self.push_local_deque(i, task);
+        }
     }
 
     fn spawn_worker(self: &Arc<Scheduler>) {
@@ -444,7 +1085,20 @@ impl Scheduler {
         if live.saturating_sub(blocked) < self.target_workers
             && !self.stopping.load(Ordering::Acquire)
         {
-            self.spawn_worker();
+            // A parked sibling is a full-capacity replacement at futex
+            // cost; spawn a fresh spare only when no sleeper exists.
+            // Without this preference, every blocking dip of a large
+            // pool paid a thread spawn while its own workers slept —
+            // the dominant hidden cost of the old compensation rule.
+            if self.wakes_pending.0.load(Ordering::SeqCst) > 0 {
+                return; // a woken worker is already en route
+            }
+            if let Some(parker) = self.pop_sleeper() {
+                self.wakes_pending.0.fetch_add(1, Ordering::SeqCst);
+                parker.notify();
+            } else {
+                self.spawn_worker();
+            }
         }
     }
 
@@ -456,7 +1110,6 @@ impl Scheduler {
     /// requeue; run the death path if an exit envelope (or a panic in the
     /// behaviour) ends it.
     fn run_task(&self, task: Arc<Task>) {
-        self.progress.fetch_add(1, Ordering::Relaxed);
         let bit = task.core.park_bit();
         bit.store(park::RUNNING, Ordering::Release);
         CURRENT_TASK.with(|c| c.set(Some(task.uid())));
@@ -500,10 +1153,11 @@ impl Scheduler {
             if budget == 0 {
                 // Budget exhausted: go to the back of the line so other
                 // runnable tasks (a million parked streams' worth) get a
-                // worker before this pipeline's next batch.
+                // worker before this pipeline's next batch. FIFO through
+                // the injector — the LIFO slot would run us right back.
                 bit.store(park::QUEUED, Ordering::Release);
                 task.put_body(body);
-                self.push_task(Arc::clone(task));
+                self.push_fifo(Arc::clone(task));
                 return Resume::Yield;
             }
             match task.core.pop() {
@@ -526,7 +1180,7 @@ impl Scheduler {
                     // place — parking after publishing would let the wake
                     // race ahead of the state machine and be lost.
                     task.put_body(body);
-                    self.parked.fetch_add(1, Ordering::AcqRel);
+                    self.parked.add(1);
                     match bit.compare_exchange(
                         park::RUNNING,
                         park::PARKED,
@@ -538,7 +1192,7 @@ impl Scheduler {
                             // A sender marked us dirty between the empty
                             // pop and the park attempt; reclaim the body
                             // and keep draining.
-                            self.parked.fetch_sub(1, Ordering::AcqRel);
+                            self.parked.add(-1);
                             bit.store(park::RUNNING, Ordering::Release);
                             body = match task.take_body() {
                                 Some(reclaimed) => reclaimed,
@@ -578,7 +1232,7 @@ impl Scheduler {
             kernel.on_eject_exit(task.uid(), task.incarnation, crashed);
         }
         task.mark_died();
-        self.tasks_alive.fetch_sub(1, Ordering::AcqRel);
+        self.tasks_alive.add(-1);
         let _death = self.death_mx.lock();
         self.death_cv.notify_all();
     }
@@ -587,10 +1241,10 @@ impl Scheduler {
     /// worker mid-resume) the task this thread is currently running —
     /// which cannot die before this call returns.
     pub(crate) fn wait_all_dead(&self) {
-        let allow = usize::from(current_task().is_some());
+        let allow = u64::from(current_task().is_some());
         blocking(|| {
             let mut death = self.death_mx.lock();
-            while self.tasks_alive.load(Ordering::Acquire) > allow {
+            while self.tasks_alive.sum() > allow {
                 let _ = self
                     .death_cv
                     .wait_for(&mut death, Duration::from_millis(50));
@@ -603,9 +1257,9 @@ impl Scheduler {
     /// worker).
     pub(crate) fn stop(&self) {
         self.stopping.store(true, Ordering::Release);
-        {
-            let _idle = self.idle_mx.lock();
-            self.idle_cv.notify_all();
+        fence(Ordering::SeqCst);
+        while let Some(parker) = self.pop_sleeper() {
+            parker.notify();
         }
         let handles: Vec<_> = std::mem::take(&mut *self.threads.lock());
         let current = std::thread::current().id();
@@ -621,40 +1275,174 @@ impl std::fmt::Debug for Scheduler {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Scheduler")
             .field("target_workers", &self.target_workers)
-            .field("shards", &self.shards.len())
+            .field("injector_shards", &self.injector.len())
             .field("snapshot", &self.snapshot())
             .finish_non_exhaustive()
     }
 }
 
 fn worker_main(sched: Arc<Scheduler>, idx: usize) {
-    WORKER.with(|w| *w.borrow_mut() = Some((Arc::clone(&sched), 0)));
+    // The first `target_workers` spawns own a slot; later spawns are
+    // spares (blocking compensation, stall rescue) and work slotless.
+    let me = (idx < sched.slots.len()).then_some(idx);
+    let parker = match me {
+        Some(i) => Arc::clone(&sched.slots[i].parker),
+        None => Arc::new(Parker::new()),
+    };
+    WORKER.with(|w| {
+        *w.borrow_mut() = Some(WorkerTls {
+            sched: Arc::clone(&sched),
+            slot: me,
+            block_depth: 0,
+        })
+    });
+    let mut lifo_streak = 0u32;
+    let mut tick = 0u64;
+    let mut spins = 0u32;
+    // Consecutive empty sleep rounds, for the spare linger rule below.
+    let mut idle_rounds = 0u32;
+    // Whether this worker owes the pool a wake token: set when a notify
+    // ends a park, returned on the first task pickup (or once the worker
+    // concludes there is nothing to pick up). Holding it through the
+    // scan keeps the producer-side wake gate closed for the whole
+    // notify-to-pickup window, so queue depth during a scheduling delay
+    // costs one wake, not one per push.
+    let mut holds_token = false;
     loop {
-        if let Some(task) = sched.next_task(idx) {
+        tick = tick.wrapping_add(1);
+        if let Some(task) = sched.next_task(me, &mut lifo_streak, tick) {
+            spins = 0;
+            idle_rounds = 0;
+            if holds_token {
+                holds_token = false;
+                sched.consume_wake_token();
+            }
+            sched.note_progress(me);
             sched.run_task(task);
             continue;
         }
         if sched.stopping.load(Ordering::Acquire) {
             break;
         }
-        // A spare beyond target with nothing to do retires; the sub-check
-        // races other retirees at worst into a transient under-target,
-        // which the next blocking section corrects.
+        if spins < SPIN_ROUNDS {
+            spins += 1;
+            std::thread::yield_now();
+            continue;
+        }
+        spins = 0;
+        // Nothing claimable anywhere: a held token's claim is spent.
+        // Release it before announcing idle, so producers can aim their
+        // next wake at whichever sleeper is closest to new work.
+        if holds_token {
+            holds_token = false;
+            sched.consume_wake_token();
+        }
+        // A spare beyond target retires only after lingering through a
+        // few empty sleep rounds: blocking sections arrive in bursts,
+        // and retiring on the first quiet moment makes the pool pay a
+        // thread spawn per burst. The check races other retirees at
+        // worst into a transient under-target, which the next blocking
+        // section corrects. Slotted workers never retire.
         let live = sched.live_workers.load(Ordering::Acquire);
         let blocked = sched.blocked_workers.load(Ordering::Acquire);
-        if live.saturating_sub(blocked) > sched.target_workers {
+        if me.is_none()
+            && idle_rounds >= SPARE_LINGER_ROUNDS
+            && live.saturating_sub(blocked) > sched.target_workers
+        {
             break;
         }
-        sched.idle_workers.fetch_add(1, Ordering::AcqRel);
-        {
-            let mut idle = sched.idle_mx.lock();
-            if sched.queued_tasks.load(Ordering::Acquire) == 0
-                && !sched.stopping.load(Ordering::Acquire)
-            {
-                let _ = sched.idle_cv.wait_for(&mut idle, IDLE_WAIT);
+        // Sleep protocol: register the latch, announce, then re-check.
+        // The registration must precede the announce so a producer that
+        // observes `idle_count > 0` finds a latch to pop; the fence
+        // pairs with `maybe_wake`'s (see there).
+        sched.sleepers.lock().push(Arc::clone(&parker));
+        sched.idle_count.0.fetch_add(1, Ordering::SeqCst);
+        fence(Ordering::SeqCst);
+        if !sched.has_runnable() && !sched.stopping.load(Ordering::Acquire) {
+            // Park rounds continue across bare timeouts while the
+            // active set already fills the core quota AND demonstrably
+            // dispatches: a timeout is not an invitation, and a sleeper
+            // that rejoined on every 10ms tick of a saturated pool
+            // would reintroduce exactly the contention the wake gate
+            // exists to prevent. The sleeper stays registered
+            // throughout, so a producer-side notify (sent the moment
+            // `active` dips below quota) still lands. Spares always
+            // surface so the retire check can run, and a stranded LIFO
+            // slot anywhere overrides the quota — its owner is stuck,
+            // and rescuing it needs an idle thief.
+            //
+            // `active` can lie: a behaviour may block its worker on a
+            // primitive the kernel cannot see (a bounded channel to its
+            // own worker process), leaving the worker counted active
+            // while it dispatches nothing. So saturation must be
+            // re-proven each round by the pickup counter — a genuinely
+            // busy pool advances it every few microseconds, while a
+            // frozen counter with runnable work queued means the
+            // "active" set is stuck and this sleeper is the rescue.
+            let mut wait = IDLE_WAIT;
+            let mut progress_mark = sched.total_progress();
+            let mut frozen_rounds = 0u32;
+            loop {
+                if parker.park(wait) {
+                    holds_token = true;
+                    break;
+                }
+                idle_rounds = idle_rounds.saturating_add(1);
+                if me.is_none() || sched.stopping.load(Ordering::Acquire) {
+                    break;
+                }
+                let live = sched.live_workers.load(Ordering::Acquire);
+                let blocked = sched.blocked_workers.load(Ordering::Acquire);
+                let idle = sched.idle_count.0.load(Ordering::Acquire);
+                let active = live.saturating_sub(blocked).saturating_sub(idle);
+                if active < sched.cpu_quota || sched.lifo_any_stranded() {
+                    break;
+                }
+                if !sched.has_runnable() {
+                    break;
+                }
+                let progress = sched.total_progress();
+                if progress == progress_mark {
+                    // Runnable work, a full active set, and zero
+                    // pickups for a whole wait: the actives look
+                    // wedged. One frozen wait can also be the OS
+                    // preempting a genuinely busy pool, so demand a
+                    // second before rejoining — a real wedge holds, a
+                    // preemption blip resumes ticking the counter.
+                    frozen_rounds += 1;
+                    if frozen_rounds >= 2 {
+                        break;
+                    }
+                    continue;
+                }
+                progress_mark = progress;
+                frozen_rounds = 0;
+                // First timeout proved saturation; later rounds only
+                // re-confirm it, so they can tick an order slower.
+                wait = SATURATED_WAIT;
             }
+        } else {
+            // The pre-park re-check found work; a producer may still
+            // have counted a notify at us — take the token and carry it
+            // into the scan above.
+            holds_token = parker.take_notified();
         }
-        sched.idle_workers.fetch_sub(1, Ordering::AcqRel);
+        sched.remove_sleeper(&parker);
+        sched.idle_count.0.fetch_sub(1, Ordering::SeqCst);
+    }
+    if holds_token {
+        sched.consume_wake_token();
+    }
+    // Exit tail: anything still queued on this worker must outlive it,
+    // and a notify that raced our exit must return its wake token.
+    if parker.take_notified() {
+        sched.consume_wake_token();
+    }
+    if let Some(i) = me {
+        sched.flush_lifo(i);
+        while let Some(task) = sched.slots[i].deque.pop() {
+            sched.push_inject(task);
+        }
     }
     WORKER.with(|w| *w.borrow_mut() = None);
     sched.live_workers.fetch_sub(1, Ordering::AcqRel);
@@ -664,29 +1452,40 @@ fn worker_main(sched: Arc<Scheduler>, idx: usize) {
 /// kernel controls, but a behaviour may also block a worker on a
 /// primitive the kernel cannot see — a bounded channel send to one of
 /// its own worker processes, a bare sleep. This thread samples the
-/// pickup counter: runnable tasks plus two ticks with no pickup and no
-/// idle worker means the whole pool is stuck in such a rendezvous, so
-/// it spawns a spare (which retires itself once the pool is over
-/// target again). The degenerate case — every resident Eject blocked at
-/// once — converges to thread-per-Eject, the seed's behaviour.
+/// pickup counter: runnable tasks plus two ticks with no pickup means
+/// every non-sleeping worker is stuck in such a rendezvous, so it wakes
+/// a sleeper if one exists (the cheap rescue) and spawns a spare
+/// otherwise (which retires itself once the pool is over target again).
+/// The degenerate case — every resident Eject blocked at once —
+/// converges to thread-per-Eject, the seed's behaviour. A stranded
+/// LIFO-slot task counts as runnable here once stale, so a thief
+/// arrives to steal it (second steal pass).
+///
+/// The monitor must NOT gate on `idle_count == 0`: sleepers in the
+/// saturated re-park loop trust the `active` head-count, and when that
+/// count lies (invisible rendezvous) the pool can sit at idle > 0 with
+/// runnable work and nobody dispatching. The sleepers' own
+/// frozen-progress check breaks that standoff within one park timeout;
+/// the monitor's notify resolves it in ~2 ms instead.
 fn monitor_main(sched: Arc<Scheduler>) {
     let mut last_progress = u64::MAX;
     let mut stalled_ticks = 0u32;
     let mut tick = MONITOR_TICK;
     while !sched.stopping.load(Ordering::Acquire) {
         std::thread::sleep(tick);
-        let progress = sched.progress.load(Ordering::Relaxed);
-        let queued = sched.queued_tasks.load(Ordering::Acquire);
+        let progress = sched.total_progress();
+        let runnable = sched.has_runnable();
         // An idle pool needs no 1 kHz heartbeat; back off until work shows.
-        tick = if queued == 0 { 5 * MONITOR_TICK } else { MONITOR_TICK };
-        let idle = sched.idle_workers.load(Ordering::Acquire);
-        if queued > 0 && idle == 0 && progress == last_progress {
+        tick = if runnable { MONITOR_TICK } else { 5 * MONITOR_TICK };
+        if runnable && progress == last_progress {
             stalled_ticks += 1;
-            if stalled_ticks >= 2
-                && sched.live_workers.load(Ordering::Acquire) < MAX_WORKERS
-                && !sched.stopping.load(Ordering::Acquire)
-            {
-                sched.spawn_worker();
+            if stalled_ticks >= 2 && !sched.stopping.load(Ordering::Acquire) {
+                if let Some(parker) = sched.pop_sleeper() {
+                    sched.wakes_pending.0.fetch_add(1, Ordering::SeqCst);
+                    parker.notify();
+                } else if sched.live_workers.load(Ordering::Acquire) < MAX_WORKERS {
+                    sched.spawn_worker();
+                }
                 stalled_ticks = 0;
             }
         } else {

@@ -97,6 +97,88 @@ fn ten_thousand_ejects_on_two_workers_see_each_invocation_once() {
     kernel.shutdown();
 }
 
+/// Fans invocations out to a fixed cast from *worker context*, so every
+/// wake lands on the producing worker's LIFO slot and deque rather than
+/// the external-producer injector. `Blast(round)` increments the whole
+/// cast and replies with how many replies came back equal to `round` —
+/// i.e. how many targets have seen exactly `round` increments.
+struct Fanout {
+    targets: Vec<Uid>,
+}
+
+impl EjectBehavior for Fanout {
+    fn type_name(&self) -> &'static str {
+        "Fanout"
+    }
+
+    fn handle(&mut self, ctx: &EjectContext, inv: Invocation, reply: ReplyHandle) {
+        match inv.op.as_str() {
+            "Blast" => {
+                let round = inv.arg.as_int().unwrap_or(0);
+                let pending: Vec<_> = self
+                    .targets
+                    .iter()
+                    .map(|&uid| ctx.invoke(uid, "Add", Value::Int(1)))
+                    .collect();
+                let mut exact = 0i64;
+                for p in pending {
+                    if p.wait() == Ok(Value::Int(round)) {
+                        exact += 1;
+                    }
+                }
+                reply.reply(Ok(Value::Int(exact)));
+            }
+            _ => reply.reply(Err(eden_core::EdenError::NoSuchOperation {
+                target: ctx.uid(),
+                op: inv.op.clone(),
+            })),
+        }
+    }
+}
+
+/// Forced work stealing: one worker produces all 10k wakes (the fanout
+/// runs in worker context, so they land on its LIFO slot and deque, not
+/// the injector), and the other three workers can only get work by
+/// stealing. Every increment must still land exactly once, and the
+/// steal counter must show the thieves actually fed off the producer.
+#[test]
+fn forced_stealing_delivers_ten_thousand_ejects_exactly_once() {
+    const EJECTS: usize = 10_000;
+    const ROUNDS: i64 = 2;
+    let kernel = Kernel::builder()
+        .scheduler(SchedulerConfig {
+            workers: 4,
+            ..SchedulerConfig::default()
+        })
+        .build();
+    let targets: Vec<Uid> = (0..EJECTS)
+        .map(|_| {
+            kernel
+                .spawn(Box::new(Accumulator { total: 0 }))
+                .expect("spawn accumulator")
+        })
+        .collect();
+    let fanout = kernel
+        .spawn(Box::new(Fanout { targets }))
+        .expect("spawn fanout");
+
+    let steals_before = kernel.metrics_snapshot().sched.sched_steals;
+    for round in 1..=ROUNDS {
+        assert_eq!(
+            kernel.invoke(fanout, "Blast", Value::Int(round)).wait(),
+            Ok(Value::Int(EJECTS as i64)),
+            "round {round}: some target saw a lost or doubled increment"
+        );
+    }
+    let steals_after = kernel.metrics_snapshot().sched.sched_steals;
+    assert!(
+        steals_after > steals_before,
+        "no steals recorded ({steals_before} -> {steals_after}): \
+         the hot producer's backlog was never distributed"
+    );
+    kernel.shutdown();
+}
+
 fn transfer(kernel: &Kernel, target: Uid, max: usize) -> Batch {
     Batch::from_value(
         kernel
@@ -134,14 +216,22 @@ fn crash_recovery_on_two_worker_pool_is_exactly_once() {
     kernel.shutdown();
 }
 
-/// Fairness: a hot depth-4 pipeline saturating both workers must not
-/// starve a parked population — the fairness budget forces the hot
-/// Ejects back into the queue, so idle streams' tail latency stays
-/// bounded instead of waiting for the pipeline to finish.
-#[test]
-fn idle_streams_stay_responsive_under_hot_pipeline() {
+/// Fairness: a hot depth-4 pipeline saturating the pool must not starve
+/// a parked population — the fairness budget forces the hot Ejects back
+/// into the queue (FIFO through the injector, never back onto a LIFO
+/// slot), so idle streams' tail latency stays bounded instead of
+/// waiting for the pipeline to finish. Parameterised over the pool size
+/// because the LIFO slot changes shape with it: one worker is the
+/// worst case for slot monopolisation, eight exercises the slot-per-
+/// worker layout with thieves present.
+fn idle_p99_bounded_under_hot_pipeline(workers: usize) {
     const IDLE: usize = 1_000;
-    let kernel = two_worker_kernel();
+    let kernel = Kernel::builder()
+        .scheduler(SchedulerConfig {
+            workers,
+            ..SchedulerConfig::default()
+        })
+        .build();
     let idle: Vec<Uid> = (0..IDLE)
         .map(|_| {
             kernel
@@ -192,9 +282,24 @@ fn idle_streams_stay_responsive_under_hot_pipeline() {
     // excluded is "idle p99 ≈ the hot pipeline's whole runtime".
     assert!(
         p99 < Duration::from_secs(2),
-        "idle stream p99 {p99:?} unbounded under hot pipeline"
+        "idle stream p99 {p99:?} unbounded under hot pipeline ({workers} workers)"
     );
     kernel.shutdown();
+}
+
+#[test]
+fn idle_streams_stay_responsive_under_hot_pipeline_one_worker() {
+    idle_p99_bounded_under_hot_pipeline(1);
+}
+
+#[test]
+fn idle_streams_stay_responsive_under_hot_pipeline_two_workers() {
+    idle_p99_bounded_under_hot_pipeline(2);
+}
+
+#[test]
+fn idle_streams_stay_responsive_under_hot_pipeline_eight_workers() {
+    idle_p99_bounded_under_hot_pipeline(8);
 }
 
 fn pipeline_output(kernel: &Kernel, discipline: Discipline) -> Vec<Value> {
