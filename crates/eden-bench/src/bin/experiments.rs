@@ -11,7 +11,10 @@
 //! `BENCH_chaos.json`, `--obs-json` measures the observability-plane
 //! overhead and writes `BENCH_obs.json`, `--density-json` measures
 //! resident-stream density and scheduler goodput and writes
-//! `BENCH_density.json`, and `--smoke` shrinks the workloads for CI.
+//! `BENCH_density.json`, `--durability-json` measures the log-structured
+//! durable stable store (cold-restart recovery, fsync-policy goodput,
+//! chaos with a durable backend) and writes `BENCH_durability.json`, and
+//! `--smoke` shrinks the workloads for CI.
 
 use std::time::Instant;
 
@@ -22,6 +25,7 @@ fn main() {
     let chaos_json = args.iter().any(|a| a == "--chaos-json");
     let obs_json = args.iter().any(|a| a == "--obs-json");
     let density_json = args.iter().any(|a| a == "--density-json");
+    let durability_json = args.iter().any(|a| a == "--durability-json");
     let smoke = args.iter().any(|a| a == "--smoke");
     let id_args: Vec<&str> = args
         .iter()
@@ -82,6 +86,21 @@ fn main() {
             if smoke { ", smoke" } else { "" }
         );
     }
+    if durability_json {
+        let t0 = Instant::now();
+        let cfg = if smoke {
+            eden_bench::durability_report::DurabilityConfig::smoke()
+        } else {
+            eden_bench::durability_report::DurabilityConfig::full()
+        };
+        let report = eden_bench::durability_report::durability_report(&cfg);
+        std::fs::write("BENCH_durability.json", &report).expect("write BENCH_durability.json");
+        println!(
+            "wrote BENCH_durability.json ({:.2}s{})",
+            t0.elapsed().as_secs_f64(),
+            if smoke { ", smoke" } else { "" }
+        );
+    }
     if density_json {
         let t0 = Instant::now();
         let cfg = if smoke {
@@ -129,7 +148,9 @@ fn main() {
             }
         }
     }
-    if (json || payload_json || chaos_json || obs_json || density_json) && id_args.is_empty() {
+    if (json || payload_json || chaos_json || obs_json || density_json || durability_json)
+        && id_args.is_empty()
+    {
         return;
     }
     let ids: Vec<&str> = if id_args.is_empty() || id_args.contains(&"all") {

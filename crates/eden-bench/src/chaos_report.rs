@@ -94,22 +94,22 @@ fn plan(rate: f64, seed: u64) -> FaultPlan {
         .rule(FaultRule::new(FaultKind::Drop).on_op("Write").with_probability(rate))
 }
 
-struct ChaosArm {
-    discipline: &'static str,
-    fault_rate: f64,
-    records_out: usize,
-    lost: usize,
-    duplicated: usize,
-    wall_seconds: f64,
-    goodput: f64,
-    faults_injected: u64,
-    crashes: u64,
-    retries: u64,
-    reactivations: u64,
-    recovered_streams: u64,
-    recovery_p50_ms: f64,
-    recovery_p99_ms: f64,
-    recovery_samples: usize,
+pub(crate) struct ChaosArm {
+    pub(crate) discipline: &'static str,
+    pub(crate) fault_rate: f64,
+    pub(crate) records_out: usize,
+    pub(crate) lost: usize,
+    pub(crate) duplicated: usize,
+    pub(crate) wall_seconds: f64,
+    pub(crate) goodput: f64,
+    pub(crate) faults_injected: u64,
+    pub(crate) crashes: u64,
+    pub(crate) retries: u64,
+    pub(crate) reactivations: u64,
+    pub(crate) recovered_streams: u64,
+    pub(crate) recovery_p50_ms: f64,
+    pub(crate) recovery_p99_ms: f64,
+    pub(crate) recovery_samples: usize,
 }
 
 /// Multiset difference: how many of `want` never arrived (lost) and how
@@ -154,7 +154,20 @@ fn run_arm(
     rate: f64,
     cfg: &ChaosConfig,
 ) -> ChaosArm {
-    let kernel = Kernel::new();
+    run_arm_on(Kernel::new(), discipline, label, rate, cfg)
+}
+
+/// Run one arm on a caller-built kernel — the durability report passes a
+/// kernel whose stable store is the log-structured durable backend, so the
+/// same chaos workload exercises checkpoint-before-reply against real
+/// group-committed storage.
+pub(crate) fn run_arm_on(
+    kernel: Kernel,
+    discipline: RecoveryDiscipline,
+    label: &'static str,
+    rate: f64,
+    cfg: &ChaosConfig,
+) -> ChaosArm {
     let reg = registry();
     install_recovery(&kernel, &reg);
     if rate > 0.0 {
@@ -233,7 +246,7 @@ fn run_arm(
     }
 }
 
-fn json_arm(a: &ChaosArm) -> String {
+pub(crate) fn json_arm(a: &ChaosArm) -> String {
     format!(
         concat!(
             "    {{\n",

@@ -1,0 +1,379 @@
+//! Durability benchmark — the `--durability-json` mode of the
+//! `experiments` binary (experiment E18).
+//!
+//! Three arms, all against the log-structured durable backend on the real
+//! filing system (`RealFs`, rooted under `target/` so a run leaves no
+//! stray state):
+//!
+//! 1. **Cold-restart recovery.** Populate the log with one checkpoint per
+//!    stream (100k tracked, 10k in smoke), drop every handle, and measure
+//!    a cold open: the segment replay wall time, then the per-stream
+//!    reactivation latency (p50/p99) of invoking every recovered UID on a
+//!    fresh kernel seeded from the replayed store.
+//! 2. **Fsync cost vs goodput.** The same checkpoint write workload under
+//!    each [`FsyncPolicy`] — `Always`, `EveryN(8)`, `EveryN(64)`,
+//!    `Interval(2ms)` — reporting stores/second and the fsync count the
+//!    group committer actually issued.
+//! 3. **Chaos with a durable backend.** The fault-plane chaos arms
+//!    (crash + drop faults on the stream operations) rerun with the
+//!    kernel's stable store backed by the durable log instead of
+//!    memory: recovery reads reactivated state back through real
+//!    segment files, and the exactly-once ledger (zero lost, zero
+//!    duplicated) must still hold.
+//!
+//! Everything but wall-clock timing is deterministic: fault schedules are
+//! seeded, the record population is fixed, and the backend's version
+//! counters make replay order-free.
+
+use std::time::Instant;
+
+use eden_core::{wire, EdenError, Uid, Value};
+use eden_kernel::{
+    EjectBehavior, EjectContext, FsyncPolicy, Invocation, Kernel, ReplyHandle, StableStore,
+};
+use eden_transput::RecoveryDiscipline;
+
+use crate::chaos_report::{self, ChaosConfig};
+
+/// Workload knobs for the durability report.
+#[derive(Debug)]
+pub struct DurabilityConfig {
+    /// Passive streams checkpointed for the cold-restart arm.
+    pub streams: usize,
+    /// Checkpoint writes per fsync-policy goodput arm.
+    pub stores: usize,
+    /// Writer threads sharing the group committer in the goodput arm.
+    pub writers: usize,
+    /// Records per chaos arm.
+    pub chaos_records: i64,
+}
+
+impl DurabilityConfig {
+    /// The tracked configuration: the acceptance target of 100k streams.
+    pub fn full() -> DurabilityConfig {
+        DurabilityConfig {
+            streams: 100_000,
+            stores: 12_000,
+            writers: 8,
+            chaos_records: 300,
+        }
+    }
+
+    /// A CI-sized workload (seconds, not minutes).
+    pub fn smoke() -> DurabilityConfig {
+        DurabilityConfig {
+            streams: 10_000,
+            stores: 2_000,
+            writers: 8,
+            chaos_records: 120,
+        }
+    }
+}
+
+/// A checkpointed stream stand-in: its whole state is the `Value` it was
+/// recovered with, served back on `Get`.
+struct BenchStream {
+    state: Value,
+}
+
+impl EjectBehavior for BenchStream {
+    fn type_name(&self) -> &'static str {
+        "BenchStream"
+    }
+
+    fn handle(&mut self, ctx: &EjectContext, inv: Invocation, reply: ReplyHandle) {
+        match inv.op.as_str() {
+            "Get" => reply.reply(Ok(self.state.clone())),
+            _ => reply.reply(Err(EdenError::NoSuchOperation {
+                target: ctx.uid(),
+                op: inv.op,
+            })),
+        }
+    }
+}
+
+/// One stream's checkpoint payload: a small record, like a real stage's
+/// position-plus-buffer state.
+fn stream_state(i: usize) -> Value {
+    Value::record([
+        ("seq", Value::Int(i as i64)),
+        ("pos", Value::Int((i * 7) as i64)),
+        ("tag", Value::str(format!("stream-{i}"))),
+    ])
+}
+
+/// A scratch directory under `target/` (always inside the repo), fresh per
+/// label, removed by the caller when the arm is done.
+fn scratch_dir(label: &str) -> std::path::PathBuf {
+    let dir = std::path::Path::new("target")
+        .join("durability-bench")
+        .join(format!("{label}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn policy_label(p: FsyncPolicy) -> String {
+    match p {
+        FsyncPolicy::Always => "always".into(),
+        FsyncPolicy::EveryN(n) => format!("every-{n}"),
+        FsyncPolicy::Interval(d) => format!("interval-{}ms", d.as_millis()),
+    }
+}
+
+/// Write `n` checkpoints into `store` from `writers` threads (the group
+/// committer coalesces them), returning the wall seconds.
+fn populate(store: &StableStore, uids: &[Uid], writers: usize) -> f64 {
+    let t0 = Instant::now();
+    let per = uids.len().div_ceil(writers.max(1));
+    std::thread::scope(|s| {
+        for (w, chunk) in uids.chunks(per.max(1)).enumerate() {
+            let store = store.clone();
+            s.spawn(move || {
+                for (j, &uid) in chunk.iter().enumerate() {
+                    let state = stream_state(w * per + j);
+                    store
+                        .store(uid, "BenchStream", wire::encode(&state).into())
+                        .expect("durable store");
+                }
+            });
+        }
+    });
+    store.flush().expect("flush");
+    t0.elapsed().as_secs_f64()
+}
+
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx]
+}
+
+struct RecoveryArm {
+    streams: usize,
+    populate_seconds: f64,
+    log_bytes: u64,
+    segments_live: u64,
+    replay_seconds: f64,
+    reactivate_all_seconds: f64,
+    reactivation_p50_ms: f64,
+    reactivation_p99_ms: f64,
+}
+
+/// Arm 1: cold-restart recovery of `cfg.streams` passive streams.
+fn recovery_arm(cfg: &DurabilityConfig) -> RecoveryArm {
+    let dir = scratch_dir("recovery");
+    let uids: Vec<Uid> = (0..cfg.streams).map(|_| Uid::fresh()).collect();
+
+    // Populate, then drop every handle: the only survivor is the log.
+    let (populate_seconds, log_bytes, segments_live) = {
+        let store = StableStore::durable(&dir, FsyncPolicy::EveryN(64)).expect("open store");
+        let secs = populate(&store, &uids, cfg.writers);
+        let stats = store.stats();
+        (secs, stats.log_bytes, stats.segments_live)
+    };
+
+    // Cold restart: replay the segments...
+    let t0 = Instant::now();
+    let store = StableStore::durable(&dir, FsyncPolicy::EveryN(64)).expect("reopen store");
+    let replay_seconds = t0.elapsed().as_secs_f64();
+    assert_eq!(store.len(), cfg.streams, "replay must recover every stream");
+
+    // ...seed a fresh kernel with the recovered store, and reactivate
+    // every stream by invoking it (activation-on-invocation, §1).
+    let kernel = Kernel::builder().stable_store(store).build();
+    kernel.register_type("BenchStream", |state| {
+        let state = state.ok_or_else(|| {
+            EdenError::Application("BenchStream reactivates from its checkpoint".into())
+        })?;
+        Ok(Box::new(BenchStream { state }))
+    });
+    let mut latencies_ms: Vec<f64> = Vec::with_capacity(uids.len());
+    let t0 = Instant::now();
+    for (i, &uid) in uids.iter().enumerate() {
+        let t = Instant::now();
+        let got = kernel
+            .invoke(uid, "Get", Value::Unit)
+            .wait()
+            .expect("reactivate stream");
+        latencies_ms.push(t.elapsed().as_secs_f64() * 1000.0);
+        if i % (cfg.streams / 4).max(1) == 0 {
+            assert_eq!(got, stream_state(i), "recovered state must be exact");
+        }
+    }
+    let reactivate_all_seconds = t0.elapsed().as_secs_f64();
+    let m = kernel.metrics().snapshot();
+    assert!(
+        m.reactivations >= uids.len() as u64,
+        "every invocation must reactivate a passive stream"
+    );
+    kernel.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    latencies_ms.sort_by(f64::total_cmp);
+    RecoveryArm {
+        streams: cfg.streams,
+        populate_seconds,
+        log_bytes,
+        segments_live,
+        replay_seconds,
+        reactivate_all_seconds,
+        reactivation_p50_ms: percentile(&latencies_ms, 0.50),
+        reactivation_p99_ms: percentile(&latencies_ms, 0.99),
+    }
+}
+
+struct GoodputArm {
+    policy: String,
+    stores: usize,
+    wall_seconds: f64,
+    stores_per_second: f64,
+    fsyncs: u64,
+}
+
+/// Arm 2: checkpoint goodput under each fsync policy.
+fn goodput_arm(policy: FsyncPolicy, cfg: &DurabilityConfig) -> GoodputArm {
+    let label = policy_label(policy);
+    let dir = scratch_dir(&format!("goodput-{label}"));
+    let uids: Vec<Uid> = (0..cfg.stores).map(|_| Uid::fresh()).collect();
+    let store = StableStore::durable(&dir, policy).expect("open store");
+    let wall_seconds = populate(&store, &uids, cfg.writers);
+    let stats = store.stats();
+    drop(store);
+    let _ = std::fs::remove_dir_all(&dir);
+    GoodputArm {
+        policy: label,
+        stores: cfg.stores,
+        wall_seconds,
+        stores_per_second: cfg.stores as f64 / wall_seconds,
+        fsyncs: stats.fsyncs,
+    }
+}
+
+/// Arm 3: the chaos workload on a kernel whose stable store is durable.
+fn durable_chaos(cfg: &DurabilityConfig) -> Vec<String> {
+    let chaos_cfg = ChaosConfig {
+        records: cfg.chaos_records,
+        batch: 5,
+        timeout: std::time::Duration::from_secs(120),
+    };
+    let arms = [
+        (RecoveryDiscipline::ReadOnly, "read-only"),
+        (RecoveryDiscipline::WriteOnly, "write-only"),
+        (RecoveryDiscipline::Conventional, "conventional"),
+    ];
+    let mut out = Vec::new();
+    for (discipline, label) in arms {
+        let dir = scratch_dir(&format!("chaos-{label}"));
+        let store = StableStore::durable(&dir, FsyncPolicy::EveryN(8)).expect("open store");
+        let kernel = Kernel::builder().stable_store(store).build();
+        let arm = chaos_report::run_arm_on(kernel, discipline, label, 0.01, &chaos_cfg);
+        assert_eq!(
+            (arm.lost, arm.duplicated),
+            (0, 0),
+            "durable chaos arm {label}: exactly-once must hold"
+        );
+        out.push(chaos_report::json_arm(&arm));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    out
+}
+
+/// Run the durability measurement and render `BENCH_durability.json`.
+pub fn durability_report(cfg: &DurabilityConfig) -> String {
+    let recovery = recovery_arm(cfg);
+    let policies = [
+        FsyncPolicy::Always,
+        FsyncPolicy::EveryN(8),
+        FsyncPolicy::EveryN(64),
+        FsyncPolicy::Interval(std::time::Duration::from_millis(2)),
+    ];
+    let goodput: Vec<GoodputArm> = policies.iter().map(|&p| goodput_arm(p, cfg)).collect();
+    let chaos = durable_chaos(cfg);
+
+    let goodput_json = goodput
+        .iter()
+        .map(|g| {
+            format!(
+                concat!(
+                    "    {{\n",
+                    "      \"fsync_policy\": \"{}\",\n",
+                    "      \"stores\": {},\n",
+                    "      \"wall_seconds\": {:.6},\n",
+                    "      \"stores_per_second\": {:.1},\n",
+                    "      \"fsyncs\": {}\n",
+                    "    }}"
+                ),
+                g.policy, g.stores, g.wall_seconds, g.stores_per_second, g.fsyncs
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
+
+    format!(
+        concat!(
+            "{{\n",
+            "  \"experiment\": \"durability\",\n",
+            "  \"backend\": \"log-structured segments, group commit, RealFs\",\n",
+            "  \"cold_restart\": {{\n",
+            "    \"streams\": {},\n",
+            "    \"populate_seconds\": {:.6},\n",
+            "    \"log_bytes\": {},\n",
+            "    \"segments_live\": {},\n",
+            "    \"replay_wall_seconds\": {:.6},\n",
+            "    \"reactivate_all_wall_seconds\": {:.6},\n",
+            "    \"reactivation_p50_ms\": {:.4},\n",
+            "    \"reactivation_p99_ms\": {:.4}\n",
+            "  }},\n",
+            "  \"fsync_goodput\": [\n{}\n  ],\n",
+            "  \"durable_chaos_fault_rate\": 0.01,\n",
+            "  \"durable_chaos\": [\n{}\n  ]\n",
+            "}}\n"
+        ),
+        recovery.streams,
+        recovery.populate_seconds,
+        recovery.log_bytes,
+        recovery.segments_live,
+        recovery.replay_seconds,
+        recovery.reactivate_all_seconds,
+        recovery.reactivation_p50_ms,
+        recovery.reactivation_p99_ms,
+        goodput_json,
+        chaos.join(",\n"),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cold_restart_arm_recovers_a_small_population() {
+        let cfg = DurabilityConfig {
+            streams: 200,
+            stores: 50,
+            writers: 4,
+            chaos_records: 0,
+        };
+        let arm = recovery_arm(&cfg);
+        assert_eq!(arm.streams, 200);
+        assert!(arm.replay_seconds >= 0.0);
+        assert!(arm.reactivation_p99_ms >= arm.reactivation_p50_ms);
+        assert!(arm.log_bytes > 0);
+    }
+
+    #[test]
+    fn goodput_arm_counts_fsyncs_per_policy() {
+        let cfg = DurabilityConfig {
+            streams: 0,
+            stores: 300,
+            writers: 4,
+            chaos_records: 0,
+        };
+        let always = goodput_arm(FsyncPolicy::Always, &cfg);
+        let lazy = goodput_arm(FsyncPolicy::EveryN(64), &cfg);
+        assert!(always.fsyncs > lazy.fsyncs, "Always must fsync more");
+        assert!(always.stores_per_second > 0.0);
+    }
+}

@@ -9,6 +9,7 @@
 
 pub mod chaos_report;
 pub mod density_report;
+pub mod durability_report;
 pub mod exp_duality;
 pub mod exp_durability;
 pub mod exp_pipeline;

@@ -14,6 +14,7 @@
 
 
 pub mod error;
+pub mod hostfs;
 pub mod metrics;
 pub mod op;
 pub mod payload;
@@ -24,6 +25,7 @@ pub mod value;
 pub mod wire;
 
 pub use error::{EdenError, Result};
+pub use hostfs::{HostFs, HostFsHandle, MemFs, RealFs};
 pub use metrics::{CostModel, Metrics, MetricsSnapshot};
 pub use op::OpName;
 pub use payload::PayloadSnapshot;

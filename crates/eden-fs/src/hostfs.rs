@@ -1,180 +1,13 @@
 //! The host filing system under the bootstrap Ejects of §7.
 //!
-//! "Currently most data of interest is in the Unix file system, so a
-//! bootstrap Eden transput system has been constructed." The paper's
-//! substrate was a real Unix; ours is the [`HostFs`] trait with two
-//! implementations: a hermetic in-memory [`MemFs`] (the default everywhere
-//! in tests and benchmarks) and [`RealFs`] over `std::fs`, rooted in a
-//! directory, for users who want actual files.
+//! The [`HostFs`] trait and its two implementations ([`MemFs`] in memory,
+//! [`RealFs`] over `std::fs`) moved to `eden-core::hostfs` when the
+//! durability plane made the kernel's stable store a second consumer of
+//! the same I/O path; this module re-exports them so `eden_fs::hostfs`
+//! callers keep working, and keeps the line-file helpers the bootstrap
+//! Ejects use.
 
-use std::collections::BTreeMap;
-use std::path::{Component, Path, PathBuf};
-use std::sync::Arc;
-
-use eden_core::{EdenError, Result};
-use parking_lot::Mutex;
-
-/// A minimal byte-file interface: exactly what the bootstrap Ejects need.
-pub trait HostFs: Send + Sync + 'static {
-    /// Read the whole file at `path`.
-    fn read(&self, path: &str) -> Result<Vec<u8>>;
-    /// Create or replace the file at `path`.
-    fn write(&self, path: &str, bytes: &[u8]) -> Result<()>;
-    /// Whether a file exists at `path`.
-    fn exists(&self, path: &str) -> bool;
-    /// Paths of every file, sorted (diagnostics and tests).
-    fn list(&self) -> Vec<String>;
-    /// Remove the file at `path` (missing files are an error).
-    fn remove(&self, path: &str) -> Result<()>;
-}
-
-/// A shared handle to a host filing system.
-pub type HostFsHandle = Arc<dyn HostFs>;
-
-/// An in-memory filing system.
-#[derive(Default)]
-#[derive(Debug)]
-pub struct MemFs {
-    files: Mutex<BTreeMap<String, Vec<u8>>>,
-}
-
-impl MemFs {
-    /// An empty in-memory filing system, ready to share.
-    #[allow(clippy::new_ret_no_self)] // Deliberately returns the shared handle.
-    pub fn new() -> HostFsHandle {
-        Arc::new(MemFs::default())
-    }
-
-    /// A filing system pre-populated with text files.
-    pub fn with_files<I, P, C>(files: I) -> HostFsHandle
-    where
-        I: IntoIterator<Item = (P, C)>,
-        P: Into<String>,
-        C: Into<Vec<u8>>,
-    {
-        let fs = MemFs::default();
-        {
-            let mut map = fs.files.lock();
-            for (path, contents) in files {
-                map.insert(path.into(), contents.into());
-            }
-        }
-        Arc::new(fs)
-    }
-}
-
-impl HostFs for MemFs {
-    fn read(&self, path: &str) -> Result<Vec<u8>> {
-        self.files
-            .lock()
-            .get(path)
-            .cloned()
-            .ok_or_else(|| EdenError::HostFs(format!("no such file: {path}")))
-    }
-
-    fn write(&self, path: &str, bytes: &[u8]) -> Result<()> {
-        self.files.lock().insert(path.to_owned(), bytes.to_vec());
-        Ok(())
-    }
-
-    fn exists(&self, path: &str) -> bool {
-        self.files.lock().contains_key(path)
-    }
-
-    fn list(&self) -> Vec<String> {
-        self.files.lock().keys().cloned().collect()
-    }
-
-    fn remove(&self, path: &str) -> Result<()> {
-        self.files
-            .lock()
-            .remove(path)
-            .map(|_| ())
-            .ok_or_else(|| EdenError::HostFs(format!("no such file: {path}")))
-    }
-}
-
-/// A filing system over `std::fs`, confined to a root directory.
-#[derive(Debug)]
-pub struct RealFs {
-    root: PathBuf,
-}
-
-impl RealFs {
-    /// Use `root` as the filing-system root. The directory must exist.
-    #[allow(clippy::new_ret_no_self)] // Deliberately returns the shared handle.
-    pub fn new(root: impl Into<PathBuf>) -> Result<HostFsHandle> {
-        let root = root.into();
-        if !root.is_dir() {
-            return Err(EdenError::HostFs(format!(
-                "root is not a directory: {}",
-                root.display()
-            )));
-        }
-        Ok(Arc::new(RealFs { root }))
-    }
-
-    /// Resolve a relative path, rejecting traversal outside the root.
-    fn resolve(&self, path: &str) -> Result<PathBuf> {
-        let rel = Path::new(path);
-        if rel.is_absolute()
-            || rel
-                .components()
-                .any(|c| matches!(c, Component::ParentDir | Component::Prefix(_)))
-        {
-            return Err(EdenError::HostFs(format!(
-                "path must be relative and traversal-free: {path}"
-            )));
-        }
-        Ok(self.root.join(rel))
-    }
-}
-
-impl HostFs for RealFs {
-    fn read(&self, path: &str) -> Result<Vec<u8>> {
-        let full = self.resolve(path)?;
-        std::fs::read(&full).map_err(|e| EdenError::HostFs(format!("read {path}: {e}")))
-    }
-
-    fn write(&self, path: &str, bytes: &[u8]) -> Result<()> {
-        let full = self.resolve(path)?;
-        if let Some(parent) = full.parent() {
-            std::fs::create_dir_all(parent)
-                .map_err(|e| EdenError::HostFs(format!("mkdir for {path}: {e}")))?;
-        }
-        std::fs::write(&full, bytes).map_err(|e| EdenError::HostFs(format!("write {path}: {e}")))
-    }
-
-    fn exists(&self, path: &str) -> bool {
-        self.resolve(path).map(|p| p.is_file()).unwrap_or(false)
-    }
-
-    fn list(&self) -> Vec<String> {
-        fn walk(dir: &Path, root: &Path, out: &mut Vec<String>) {
-            let entries = match std::fs::read_dir(dir) {
-                Ok(e) => e,
-                Err(_) => return,
-            };
-            for entry in entries.flatten() {
-                let path = entry.path();
-                if path.is_dir() {
-                    walk(&path, root, out);
-                } else if let Ok(rel) = path.strip_prefix(root) {
-                    out.push(rel.to_string_lossy().into_owned());
-                }
-            }
-        }
-        let mut out = Vec::new();
-        walk(&self.root, &self.root, &mut out);
-        out.sort();
-        out
-    }
-
-    fn remove(&self, path: &str) -> Result<()> {
-        let full = self.resolve(path)?;
-        std::fs::remove_file(&full).map_err(|e| EdenError::HostFs(format!("remove {path}: {e}")))
-    }
-}
+pub use eden_core::hostfs::{HostFs, HostFsHandle, MemFs, RealFs};
 
 /// Split file bytes into text lines (used by the line-oriented Ejects).
 pub fn bytes_to_lines(bytes: &[u8]) -> Vec<String> {
@@ -197,69 +30,21 @@ pub fn lines_to_bytes<S: AsRef<str>>(lines: &[S]) -> Vec<u8> {
     out
 }
 
-
-impl std::fmt::Debug for dyn HostFs {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str("HostFs")
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn memfs_roundtrip() {
-        let fs = MemFs::new();
-        assert!(!fs.exists("a.txt"));
-        fs.write("a.txt", b"hello").unwrap();
-        assert!(fs.exists("a.txt"));
-        assert_eq!(fs.read("a.txt").unwrap(), b"hello");
-        assert_eq!(fs.list(), vec!["a.txt"]);
-        fs.remove("a.txt").unwrap();
-        assert!(!fs.exists("a.txt"));
-    }
-
-    #[test]
-    fn memfs_missing_file_errors() {
-        let fs = MemFs::new();
-        assert!(matches!(fs.read("nope"), Err(EdenError::HostFs(_))));
-        assert!(fs.remove("nope").is_err());
-    }
-
-    #[test]
-    fn memfs_prepopulated() {
-        let fs = MemFs::with_files([("x/y.txt", "line1\nline2\n")]);
-        assert_eq!(bytes_to_lines(&fs.read("x/y.txt").unwrap()), vec!["line1", "line2"]);
-    }
-
-    #[test]
-    fn realfs_confined_roundtrip() {
-        let dir = std::env::temp_dir().join(format!("eden-fs-test-{}", std::process::id()));
-        std::fs::create_dir_all(&dir).unwrap();
-        let fs = RealFs::new(&dir).unwrap();
-        fs.write("sub/file.txt", b"data").unwrap();
-        assert_eq!(fs.read("sub/file.txt").unwrap(), b"data");
-        assert!(fs.exists("sub/file.txt"));
-        assert_eq!(fs.list(), vec!["sub/file.txt".to_owned()]);
-        fs.remove("sub/file.txt").unwrap();
-        std::fs::remove_dir_all(&dir).unwrap();
-    }
-
-    #[test]
-    fn realfs_rejects_traversal() {
-        let dir = std::env::temp_dir().join(format!("eden-fs-esc-{}", std::process::id()));
-        std::fs::create_dir_all(&dir).unwrap();
-        let fs = RealFs::new(&dir).unwrap();
-        assert!(fs.read("../etc/passwd").is_err());
-        assert!(fs.write("/abs.txt", b"x").is_err());
-        std::fs::remove_dir_all(&dir).unwrap();
-    }
 
     #[test]
     fn line_helpers_roundtrip() {
         let lines = vec!["a", "b", "c"];
         assert_eq!(bytes_to_lines(&lines_to_bytes(&lines)), lines);
         assert!(bytes_to_lines(b"").is_empty());
+    }
+
+    #[test]
+    fn reexported_memfs_still_constructs() {
+        let fs = MemFs::new();
+        fs.write("a", b"1").unwrap();
+        assert_eq!(fs.read("a").unwrap(), b"1");
     }
 }

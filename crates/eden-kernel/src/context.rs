@@ -168,7 +168,7 @@ impl EjectContext {
     /// storage", §1).
     pub fn checkpoint(&self, representation: &Value) -> Result<()> {
         let kernel = self.kernel.upgrade().ok_or(EdenError::KernelShutdown)?;
-        kernel.store_checkpoint(self.uid, self.type_name, wire::encode(representation))?;
+        kernel.store_checkpoint(self.uid, self.type_name, wire::encode(representation).into())?;
         self.metrics.record_checkpoint();
         Ok(())
     }
@@ -290,7 +290,7 @@ impl ProcessContext {
     /// pump steps resumes from the last acknowledged position.
     pub fn checkpoint(&self, representation: &Value) -> Result<()> {
         let kernel = self.kernel.upgrade().ok_or(EdenError::KernelShutdown)?;
-        kernel.store_checkpoint(self.eject, self.type_name, wire::encode(representation))?;
+        kernel.store_checkpoint(self.eject, self.type_name, wire::encode(representation).into())?;
         self.metrics.record_checkpoint();
         Ok(())
     }

@@ -34,6 +34,7 @@ use std::sync::{Arc, Weak};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+use bytes::Bytes;
 use eden_core::{wire, EdenError, Metrics, OpName, Result, Uid, Value};
 use parking_lot::{Mutex, RwLock};
 
@@ -198,6 +199,19 @@ impl KernelBuilder {
     pub fn stable_store(mut self, store: StableStore) -> Self {
         self.stable = Some(store);
         self
+    }
+
+    /// Checkpoint into a log-structured durable store rooted at `path`
+    /// on the real filing system (created if missing), with the given
+    /// fsync policy. Existing segments are replayed first, so building
+    /// the kernel after a cold restart resurrects every passive Eject.
+    pub fn durable_store(
+        mut self,
+        path: impl Into<std::path::PathBuf>,
+        fsync: crate::stable::FsyncPolicy,
+    ) -> Result<Self> {
+        self.stable = Some(StableStore::durable(path, fsync)?);
+        Ok(self)
     }
 
     /// Build the kernel.
@@ -550,6 +564,7 @@ impl Kernel {
                 .as_ref()
                 .map(|s| s.snapshot())
                 .unwrap_or_default(),
+            stable: self.inner.stable.stats(),
         }
     }
 
@@ -1146,7 +1161,7 @@ impl Kernel {
     /// Store a checkpoint on behalf of an Eject (used by `EjectContext`).
     /// A checkpoint that fails to persist is *not* durable, and the error
     /// must reach the Eject so it does not acknowledge work it would lose.
-    pub(crate) fn store_checkpoint(&self, uid: Uid, type_name: &str, bytes: Vec<u8>) -> Result<()> {
+    pub(crate) fn store_checkpoint(&self, uid: Uid, type_name: &str, bytes: Bytes) -> Result<()> {
         self.inner.stable.store(uid, type_name, bytes)
     }
 

@@ -80,5 +80,8 @@ pub use obs::{
 pub use options::{FaultExposure, InvokeOptions, RetryPolicy};
 pub use routes::{Route, RouteCache};
 pub use sched::{SchedSnapshot, SchedulerConfig};
-pub use stable::{PassiveRecord, StableStore};
+pub use stable::{
+    DurableConfig, DurableLog, FsyncPolicy, MemBacked, PassiveRecord, StableBackend, StableStats,
+    StableStore,
+};
 pub use trace::{TraceDump, TraceEvent};

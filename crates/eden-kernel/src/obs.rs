@@ -528,6 +528,10 @@ pub struct KernelSnapshot {
     /// Density-plane gauges: resident/parked Ejects, steal count, worker
     /// pool state (all zero in `threads` execution mode).
     pub sched: SchedSnapshot,
+    /// Durability-plane gauges from the stable store backend: segment
+    /// count, log bytes, compactions and fsyncs (all zero for memory
+    /// backends).
+    pub stable: crate::stable::StableStats,
 }
 
 fn escape_label(s: &str) -> String {
@@ -585,6 +589,8 @@ fn counter_rows(snap: &KernelSnapshot) -> Vec<(&'static str, &'static str, u64)>
         ("eden_trace_events_dropped_total", "Events evicted from the kernel trace ring", snap.trace_dropped),
         ("eden_spans_dropped_total", "Spans evicted from the span store", snap.spans_dropped),
         ("eden_sched_steals_total", "Tasks stolen from another worker's run-queue shard", snap.sched.sched_steals),
+        ("eden_stable_compactions_total", "Completed stable-log compaction passes", snap.stable.compactions),
+        ("eden_stable_fsyncs_total", "fsync calls issued by the stable-log committer", snap.stable.fsyncs),
     ]
 }
 
@@ -600,6 +606,9 @@ fn gauge_rows(snap: &KernelSnapshot) -> Vec<(&'static str, &'static str, u64)> {
         ("eden_sched_workers_idle", "Scheduler workers registered in the sleep protocol", snap.sched.workers_idle),
         ("eden_sched_wake_tokens", "Wake notifies counted but not yet consumed by a woken worker", snap.sched.wake_tokens),
         ("eden_sched_queued_tasks", "Tasks visible in dispatch queues (injector + deques + LIFO slots)", snap.sched.queued_tasks),
+        ("eden_stable_records", "Passive representations currently in the stable store", snap.stable.records),
+        ("eden_stable_segments_live", "Stable-log segment files currently live", snap.stable.segments_live),
+        ("eden_stable_log_bytes", "Bytes across all live stable-log segments", snap.stable.log_bytes),
     ]
 }
 
@@ -826,6 +835,7 @@ mod tests {
             spans_recorded: 0,
             spans_dropped: 0,
             sched: SchedSnapshot::default(),
+            stable: crate::stable::StableStats::default(),
         };
         let prom = prometheus_text(&snap);
         let json = json_text(&snap);

@@ -1,0 +1,552 @@
+//! The stable store: where passive representations live.
+//!
+//! "The effect of Checkpointing is to create a *Passive Representation*, a
+//! data structure designed to be durable across system crashes" (§1). The
+//! store survives simulated crashes of individual Ejects and of the kernel
+//! object itself (it can be detached and re-attached to a new kernel, which
+//! is how the tests simulate whole-system restart) — and, behind
+//! [`DurableLog`], real process deaths: checkpoints land in an append-only
+//! CRC-framed segment log replayed on cold restart.
+//!
+//! The module family:
+//!
+//! * [`StableStore`] — the thin façade every caller sees; clones share one
+//!   backend.
+//! * [`StableBackend`] — the storage contract (store/load/remove/contains/
+//!   iter plus flush/compact hooks), with two implementations:
+//!   [`MemBacked`] (process-lifetime map, optional one-file-per-Eject
+//!   write-through) and [`DurableLog`] (the segment log).
+//! * [`log`](self::log) — frame and segment codec (length-prefixed,
+//!   CRC-framed records).
+//! * [`committer`](self::committer) — group commit: concurrent `store()`
+//!   calls coalesce into one append + at most one fsync per batch, under a
+//!   configurable [`FsyncPolicy`].
+//! * [`compact`](self::compact) — background compaction rewriting live
+//!   records into fresh segments and dropping sealed ones.
+//! * [`replay`](self::replay) — cold-restart recovery: replays segments
+//!   into the index, truncating a torn tail at the last valid frame.
+
+pub mod committer;
+pub mod compact;
+pub mod durable;
+pub mod log;
+pub mod replay;
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use bytes::Bytes;
+use eden_core::{wire, EdenError, HostFsHandle, Result, Uid, Value};
+use parking_lot::Mutex;
+
+pub use committer::FsyncPolicy;
+pub use durable::{DurableConfig, DurableLog};
+
+/// One checkpointed passive representation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PassiveRecord {
+    /// The Eden type name, used to find the reactivation constructor.
+    pub type_name: String,
+    /// The wire-encoded state, behind a shared buffer: reactivation
+    /// decodes it zero-copy, and cloning the record (the store hands out
+    /// clones) bumps a reference instead of copying the checkpoint.
+    pub bytes: Bytes,
+    /// How many times this Eject has checkpointed. Monotone per UID; the
+    /// durable log's replay keeps the highest version it sees, which is
+    /// what makes compaction's rewrites order-independent.
+    pub version: u64,
+}
+
+/// Counters a backend exposes for the observability plane (all zero for
+/// backends without a log).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StableStats {
+    /// Checkpointed Ejects currently stored.
+    pub records: u64,
+    /// Bytes of checkpointed state (payload only).
+    pub bytes: u64,
+    /// Segment files currently on the filing system.
+    pub segments_live: u64,
+    /// Total bytes across all live segments (frames, not payloads).
+    pub log_bytes: u64,
+    /// Completed compaction passes.
+    pub compactions: u64,
+    /// fsync calls issued by the committer.
+    pub fsyncs: u64,
+}
+
+/// The storage contract behind [`StableStore`].
+///
+/// `store` takes the checkpoint's wire encoding as [`Bytes`] so the whole
+/// checkpoint path moves references, never payload copies (the PR 2
+/// invariant). An `Err` from `store` means the checkpoint is **not
+/// durable** and the previous passive representation (if any) is still in
+/// force for `load`.
+pub trait StableBackend: Send + Sync + std::fmt::Debug + 'static {
+    /// Write (or overwrite) the passive representation for `uid`.
+    fn store(&self, uid: Uid, type_name: &str, bytes: Bytes) -> Result<()>;
+    /// Read the passive representation for `uid`.
+    fn load(&self, uid: Uid) -> Result<PassiveRecord>;
+    /// Whether `uid` has a passive representation.
+    fn contains(&self, uid: Uid) -> bool;
+    /// Remove the passive representation for `uid`.
+    fn remove(&self, uid: Uid) -> Result<()>;
+    /// Every `(uid, record)` pair, in unspecified order.
+    fn iter(&self) -> Vec<(Uid, PassiveRecord)>;
+    /// All UIDs with a passive representation, in unspecified order.
+    fn uids(&self) -> Vec<Uid>;
+    /// Number of checkpointed Ejects.
+    fn len(&self) -> usize;
+    /// True when no Eject has checkpointed.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    /// Total bytes of checkpointed state (diagnostics).
+    fn total_bytes(&self) -> usize;
+    /// Force everything stored so far to stable storage (a no-op for
+    /// memory backends; an fsync of the active segment for the log).
+    fn flush(&self) -> Result<()>;
+    /// Rewrite live records into fresh segments and drop sealed ones
+    /// (a no-op for memory backends).
+    fn compact(&self) -> Result<()>;
+    /// Backend counters for the observability plane.
+    fn stats(&self) -> StableStats;
+}
+
+/// A durable map from UID to passive representation.
+///
+/// Cheap to clone; clones share the underlying backend, so a store created
+/// before a kernel can outlive it. The façade adds nothing over
+/// [`StableBackend`] except ergonomics (and a best-effort `remove` for the
+/// destroy path); select the backend with [`StableStore::new`],
+/// [`StableStore::persistent`], [`StableStore::durable`] /
+/// [`StableStore::durable_on`], or bring your own via
+/// [`StableStore::with_backend`].
+#[derive(Clone, Debug)]
+pub struct StableStore {
+    backend: Arc<dyn StableBackend>,
+}
+
+impl Default for StableStore {
+    fn default() -> Self {
+        StableStore {
+            backend: Arc::new(MemBacked::default()),
+        }
+    }
+}
+
+impl StableStore {
+    /// An empty, purely in-memory store.
+    pub fn new() -> Self {
+        StableStore::default()
+    }
+
+    /// Wrap an explicit backend.
+    pub fn with_backend(backend: Arc<dyn StableBackend>) -> Self {
+        StableStore { backend }
+    }
+
+    /// A store persisted in `dir` (created if missing): existing records
+    /// are loaded now, and every later store/remove writes through, one
+    /// file per Eject. Simple and durable, but every checkpoint rewrites
+    /// the whole record — prefer [`StableStore::durable`] for write-heavy
+    /// workloads.
+    pub fn persistent(dir: impl Into<PathBuf>) -> Result<StableStore> {
+        Ok(StableStore {
+            backend: Arc::new(MemBacked::persistent(dir)?),
+        })
+    }
+
+    /// A log-structured durable store rooted at `path` on the real filing
+    /// system (created if missing), with the given fsync policy.
+    pub fn durable(path: impl Into<PathBuf>, fsync: FsyncPolicy) -> Result<StableStore> {
+        let path = path.into();
+        std::fs::create_dir_all(&path)
+            .map_err(|e| EdenError::HostFs(format!("create {}: {e}", path.display())))?;
+        let fs = eden_core::RealFs::new(path)?;
+        StableStore::durable_on(fs, DurableConfig::with_fsync(fsync))
+    }
+
+    /// A log-structured durable store over any [`HostFs`] — `MemFs` in
+    /// tests (the identical code path as disk), `RealFs` in production.
+    ///
+    /// [`HostFs`]: eden_core::HostFs
+    pub fn durable_on(fs: HostFsHandle, config: DurableConfig) -> Result<StableStore> {
+        Ok(StableStore {
+            backend: Arc::new(DurableLog::open(fs, config)?),
+        })
+    }
+
+    /// The backend handle (shared with every clone of this store).
+    pub fn backend(&self) -> &Arc<dyn StableBackend> {
+        &self.backend
+    }
+
+    /// Write (or overwrite) the passive representation for `uid`.
+    ///
+    /// `Err` means the checkpoint is **not durable** and the previous
+    /// passive representation (if any) is still in force: a backend that
+    /// fails the write keeps serving the prior record, so a failed
+    /// Checkpoint can never be observed as having succeeded by a later
+    /// load.
+    pub fn store(&self, uid: Uid, type_name: &str, bytes: Bytes) -> Result<()> {
+        self.backend.store(uid, type_name, bytes)
+    }
+
+    /// Read the passive representation for `uid`.
+    pub fn load(&self, uid: Uid) -> Result<PassiveRecord> {
+        self.backend.load(uid)
+    }
+
+    /// Whether `uid` has a passive representation.
+    pub fn contains(&self, uid: Uid) -> bool {
+        self.backend.contains(uid)
+    }
+
+    /// Remove the passive representation for `uid` (the Eject is being
+    /// destroyed, not merely deactivated). Best-effort: a backend that
+    /// cannot persist the tombstone still forgets the record in memory.
+    pub fn remove(&self, uid: Uid) {
+        let _ = self.backend.remove(uid);
+    }
+
+    /// Number of checkpointed Ejects.
+    pub fn len(&self) -> usize {
+        self.backend.len()
+    }
+
+    /// True when no Eject has checkpointed.
+    pub fn is_empty(&self) -> bool {
+        self.backend.is_empty()
+    }
+
+    /// All UIDs with a passive representation, in unspecified order.
+    pub fn uids(&self) -> Vec<Uid> {
+        self.backend.uids()
+    }
+
+    /// Total bytes of checkpointed state (diagnostics).
+    pub fn total_bytes(&self) -> usize {
+        self.backend.total_bytes()
+    }
+
+    /// Force everything stored so far to stable storage.
+    pub fn flush(&self) -> Result<()> {
+        self.backend.flush()
+    }
+
+    /// Ask the backend to compact its storage now (synchronous).
+    pub fn compact(&self) -> Result<()> {
+        self.backend.compact()
+    }
+
+    /// Backend counters for the observability plane.
+    pub fn stats(&self) -> StableStats {
+        self.backend.stats()
+    }
+}
+
+/// Encode one record (with its UID) for the one-file-per-Eject format.
+pub(crate) fn encode_record(uid: Uid, record: &PassiveRecord) -> Vec<u8> {
+    wire::encode(&Value::record([
+        ("uid", Value::Uid(uid)),
+        ("type", Value::str(record.type_name.clone())),
+        ("version", Value::Int(record.version as i64)),
+        ("bytes", Value::bytes(record.bytes.clone())),
+    ]))
+}
+
+pub(crate) fn decode_record(data: &[u8]) -> Result<(Uid, PassiveRecord)> {
+    let v = wire::decode(data)?;
+    Ok((
+        v.field("uid")?.as_uid()?,
+        PassiveRecord {
+            type_name: v.field("type")?.as_str()?.to_owned(),
+            // Aliases the decoded buffer — the one copy was the file read.
+            bytes: v.field("bytes")?.as_bytes()?.clone(),
+            version: v.field("version")?.as_int()?.max(0) as u64,
+        },
+    ))
+}
+
+/// The process-lifetime backend: a mutexed map, with an optional
+/// one-file-per-Eject write-through directory (the pre-durability-plane
+/// `StableStore::persistent` behaviour, kept bit-for-bit).
+#[derive(Debug, Default)]
+pub struct MemBacked {
+    inner: Mutex<HashMap<Uid, PassiveRecord>>,
+    /// When set, every record is written through to one file per Eject in
+    /// this directory, and read back by [`MemBacked::persistent`].
+    persist_dir: Option<PathBuf>,
+}
+
+impl MemBacked {
+    /// An empty, purely in-memory backend.
+    pub fn new() -> Self {
+        MemBacked::default()
+    }
+
+    /// A backend persisted in `dir` (created if missing): existing records
+    /// are loaded now, and every later store/remove writes through.
+    pub fn persistent(dir: impl Into<PathBuf>) -> Result<MemBacked> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)
+            .map_err(|e| EdenError::HostFs(format!("create {}: {e}", dir.display())))?;
+        let mut map = HashMap::new();
+        let entries = std::fs::read_dir(&dir)
+            .map_err(|e| EdenError::HostFs(format!("read {}: {e}", dir.display())))?;
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if path.extension().and_then(|e| e.to_str()) != Some("rep") {
+                continue;
+            }
+            let data = std::fs::read(&path)
+                .map_err(|e| EdenError::HostFs(format!("read {}: {e}", path.display())))?;
+            let (uid, record) = decode_record(&data)?;
+            map.insert(uid, record);
+        }
+        Ok(MemBacked {
+            inner: Mutex::new(map),
+            persist_dir: Some(dir),
+        })
+    }
+
+    fn file_for(&self, uid: Uid) -> Option<PathBuf> {
+        self.persist_dir.as_ref().map(|d| d.join(format!("{uid}.rep")))
+    }
+}
+
+impl StableBackend for MemBacked {
+    fn store(&self, uid: Uid, type_name: &str, bytes: Bytes) -> Result<()> {
+        // Hold the lock across the write-through so a concurrent store
+        // cannot interleave between the map update and the file update
+        // (the rollback below restores exactly what this call displaced).
+        let mut map = self.inner.lock();
+        let prior = map.get(&uid).cloned();
+        let version = prior.as_ref().map_or(1, |r| r.version + 1);
+        let record = PassiveRecord {
+            type_name: type_name.to_owned(),
+            bytes,
+            version,
+        };
+        map.insert(uid, record.clone());
+        if let Some(path) = self.file_for(uid) {
+            // Durable write-through: write to a temp file, then rename.
+            let tmp = path.with_extension("tmp");
+            let encoded = encode_record(uid, &record);
+            if let Err(e) =
+                std::fs::write(&tmp, encoded).and_then(|()| std::fs::rename(&tmp, &path))
+            {
+                match prior {
+                    Some(prev) => {
+                        map.insert(uid, prev);
+                    }
+                    None => {
+                        map.remove(&uid);
+                    }
+                }
+                return Err(EdenError::HostFs(format!(
+                    "checkpoint {}: {e}",
+                    path.display()
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    fn load(&self, uid: Uid) -> Result<PassiveRecord> {
+        self.inner
+            .lock()
+            .get(&uid)
+            .cloned()
+            .ok_or(EdenError::NoSuchEject(uid))
+    }
+
+    fn contains(&self, uid: Uid) -> bool {
+        self.inner.lock().contains_key(&uid)
+    }
+
+    fn remove(&self, uid: Uid) -> Result<()> {
+        self.inner.lock().remove(&uid);
+        if let Some(path) = self.file_for(uid) {
+            let _ = std::fs::remove_file(path);
+        }
+        Ok(())
+    }
+
+    fn iter(&self) -> Vec<(Uid, PassiveRecord)> {
+        self.inner
+            .lock()
+            .iter()
+            .map(|(u, r)| (*u, r.clone()))
+            .collect()
+    }
+
+    fn uids(&self) -> Vec<Uid> {
+        self.inner.lock().keys().copied().collect()
+    }
+
+    fn len(&self) -> usize {
+        self.inner.lock().len()
+    }
+
+    fn total_bytes(&self) -> usize {
+        self.inner.lock().values().map(|r| r.bytes.len()).sum()
+    }
+
+    fn flush(&self) -> Result<()> {
+        Ok(())
+    }
+
+    fn compact(&self) -> Result<()> {
+        Ok(())
+    }
+
+    fn stats(&self) -> StableStats {
+        let map = self.inner.lock();
+        StableStats {
+            records: map.len() as u64,
+            bytes: map.values().map(|r| r.bytes.len() as u64).sum(),
+            ..StableStats::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn store_load_roundtrip() {
+        let s = StableStore::new();
+        let uid = Uid::fresh();
+        s.store(uid, "File", Bytes::from(vec![1, 2, 3])).unwrap();
+        let rec = s.load(uid).unwrap();
+        assert_eq!(rec.type_name, "File");
+        assert_eq!(rec.bytes, vec![1, 2, 3]);
+        assert_eq!(rec.version, 1);
+    }
+
+    #[test]
+    fn versions_increment() {
+        let s = StableStore::new();
+        let uid = Uid::fresh();
+        s.store(uid, "File", Bytes::from(vec![1])).unwrap();
+        s.store(uid, "File", Bytes::from(vec![2])).unwrap();
+        assert_eq!(s.load(uid).unwrap().version, 2);
+        assert_eq!(s.load(uid).unwrap().bytes, vec![2]);
+    }
+
+    #[test]
+    fn missing_uid_is_error() {
+        let s = StableStore::new();
+        assert!(matches!(
+            s.load(Uid::fresh()),
+            Err(EdenError::NoSuchEject(_))
+        ));
+    }
+
+    #[test]
+    fn clones_share_storage() {
+        let s = StableStore::new();
+        let s2 = s.clone();
+        let uid = Uid::fresh();
+        s.store(uid, "Dir", Bytes::from(vec![9])).unwrap();
+        assert!(s2.contains(uid));
+        s2.remove(uid);
+        assert!(!s.contains(uid));
+    }
+
+    #[test]
+    fn persistent_store_survives_reopen() {
+        let dir = std::env::temp_dir().join(format!(
+            "eden-stable-{}-{}",
+            std::process::id(),
+            Uid::fresh().seq()
+        ));
+        let uid = Uid::fresh();
+        {
+            let s = StableStore::persistent(&dir).unwrap();
+            s.store(uid, "Counter", Bytes::from(vec![1, 2, 3])).unwrap();
+            s.store(uid, "Counter", Bytes::from(vec![4, 5])).unwrap();
+        }
+        {
+            let s = StableStore::persistent(&dir).unwrap();
+            let rec = s.load(uid).unwrap();
+            assert_eq!(rec.type_name, "Counter");
+            assert_eq!(rec.bytes, vec![4, 5]);
+            assert_eq!(rec.version, 2);
+            s.remove(uid);
+        }
+        let s = StableStore::persistent(&dir).unwrap();
+        assert!(!s.contains(uid));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn failed_write_through_is_not_reported_durable() {
+        let dir = std::env::temp_dir().join(format!(
+            "eden-stable-gone-{}-{}",
+            std::process::id(),
+            Uid::fresh().seq()
+        ));
+        let s = StableStore::persistent(&dir).unwrap();
+        let uid = Uid::fresh();
+        s.store(uid, "Counter", Bytes::from(vec![1])).unwrap();
+        // Yank the directory out from under the store: the next disk
+        // write fails, and the store must report the failure AND keep
+        // serving the last durable record, not the phantom new one.
+        std::fs::remove_dir_all(&dir).unwrap();
+        assert!(s.store(uid, "Counter", Bytes::from(vec![2])).is_err());
+        assert_eq!(s.load(uid).unwrap().bytes, vec![1]);
+        assert_eq!(s.load(uid).unwrap().version, 1);
+        // A never-checkpointed Eject whose first store fails stays absent.
+        let fresh = Uid::fresh();
+        assert!(s.store(fresh, "Counter", Bytes::from(vec![3])).is_err());
+        assert!(!s.contains(fresh));
+    }
+
+    #[test]
+    fn record_codec_roundtrip() {
+        let uid = Uid::fresh();
+        let rec = PassiveRecord {
+            type_name: "X".into(),
+            bytes: Bytes::from(vec![9, 8, 7]),
+            version: 3,
+        };
+        let (got_uid, got) = decode_record(&encode_record(uid, &rec)).unwrap();
+        assert_eq!(got_uid, uid);
+        assert_eq!(got.type_name, rec.type_name);
+        assert_eq!(got.bytes, rec.bytes);
+        assert_eq!(got.version, rec.version);
+    }
+
+    #[test]
+    fn accounting() {
+        let s = StableStore::new();
+        assert!(s.is_empty());
+        let a = Uid::fresh();
+        let b = Uid::fresh();
+        s.store(a, "X", Bytes::from(vec![0; 10])).unwrap();
+        s.store(b, "Y", Bytes::from(vec![0; 5])).unwrap();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.total_bytes(), 15);
+        assert_eq!(s.uids().len(), 2);
+        let stats = s.stats();
+        assert_eq!(stats.records, 2);
+        assert_eq!(stats.bytes, 15);
+        assert_eq!(stats.segments_live, 0);
+    }
+
+    #[test]
+    fn mem_backend_iter_matches_contents() {
+        let s = StableStore::new();
+        let a = Uid::fresh();
+        s.store(a, "X", Bytes::from(vec![7])).unwrap();
+        let all = s.backend().iter();
+        assert_eq!(all.len(), 1);
+        assert_eq!(all[0].0, a);
+        assert_eq!(all[0].1.bytes, vec![7]);
+    }
+}

@@ -326,7 +326,7 @@ fn corrupt_checkpoint_surfaces_cleanly() {
     // Corrupt the passive representation in place.
     kernel
         .stable_store()
-        .store(counter, "Counter", vec![0xff, 0x13, 0x37])
+        .store(counter, "Counter", vec![0xff, 0x13, 0x37].into())
         .unwrap();
     let err = kernel.invoke(counter, "Get", Value::Unit).wait().unwrap_err();
     assert!(
@@ -348,7 +348,7 @@ fn checkpoint_with_wrong_shape_fails_reconstruction() {
     kernel.stable_store().store(
         counter,
         "Counter",
-        eden_core::wire::encode(&Value::str("not a counter record")),
+        eden_core::wire::encode(&Value::str("not a counter record")).into(),
     )
     .unwrap();
     let err = kernel.invoke(counter, "Get", Value::Unit).wait().unwrap_err();

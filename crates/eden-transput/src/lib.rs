@@ -69,7 +69,8 @@ pub use conform::{DisciplineKind, Rule, Violation, WiringGraph};
 pub use pipeline::{Discipline, Pipeline, PipelineRun, PipelineSpec};
 pub use protocol::{Batch, ChannelId, TransferRequest, WriteRequest};
 pub use recovery::{
-    install_recovery, recovery_graph, run_recoverable_pipeline, RecoveryDiscipline, RecoveryRun,
+    install_recovery, recovery_graph, resume_recoverable_pipeline, run_recoverable_pipeline,
+    RecoveryDiscipline, RecoveryRun,
     TransformRegistry,
 };
 pub use transform::{Emitter, Transform};

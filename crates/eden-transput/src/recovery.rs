@@ -1365,6 +1365,31 @@ pub fn run_recoverable_pipeline(
     }
 }
 
+/// Resume a write-only or conventional pipeline on a **rebuilt kernel** —
+/// the process-restart shape of recovery. `stages` is the head-first list
+/// a previous [`RecoveryRun`] reported (its last element is the acceptor);
+/// every one of them now exists only as a passive representation replayed
+/// out of the durable store the new kernel was built over.
+///
+/// Nothing is respawned: the driver simply invokes the old UIDs.
+/// Activation-on-invocation rebuilds each stage from its checkpoint, the
+/// push source's and pumps' `activate` restart their worker processes from
+/// the checkpointed positions, and the sequence arithmetic absorbs the
+/// replayed window — the same machinery that rides out a single-stage
+/// crash rides out losing the whole kernel.
+///
+/// [`install_recovery`] must have been called on the new kernel first.
+pub fn resume_recoverable_pipeline(
+    kernel: &Kernel,
+    stages: &[Uid],
+    timeout: Duration,
+) -> Result<Vec<Value>> {
+    let (&acceptor, nudge) = stages
+        .split_last()
+        .ok_or_else(|| EdenError::Application("no stages to resume".into()))?;
+    drive_to_end(kernel, acceptor, nudge, Instant::now() + timeout)
+}
+
 /// Poll the acceptor until the stream closes, nudging every other stage
 /// with a fault-immune `Describe` each round so a crashed *active* stage
 /// (which nobody else invokes) gets reactivated.

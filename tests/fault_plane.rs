@@ -482,6 +482,160 @@ proptest! {
 }
 
 // ---------------------------------------------------------------------------
+// Process-restart-shaped recovery: the durable stable store survives losing
+// the whole kernel, not just one stage.
+// ---------------------------------------------------------------------------
+
+/// Crash the *kernel*, not a stage: run a write-only pipeline over a
+/// durable log on a MemFs, tear the whole kernel down mid-stream, rebuild
+/// a fresh kernel over the replayed log, and resume by invoking the old
+/// UIDs. Exactly-once must hold across the restart.
+#[test]
+fn whole_kernel_restart_resumes_from_the_durable_log() {
+    use eden::core::MemFs;
+    use eden::kernel::{DurableConfig, FsyncPolicy, Kernel, StableStore};
+    use eden::transput::recovery::resume_recoverable_pipeline;
+
+    let fs = MemFs::new();
+    let cfg = DurableConfig {
+        auto_compact: false, // keep the first life's log byte-stable
+        ..DurableConfig::with_fsync(FsyncPolicy::Always)
+    };
+
+    // First life: start the stream, let some (not all) records land.
+    let stages = {
+        let store = StableStore::durable_on(std::sync::Arc::clone(&fs), cfg).unwrap();
+        let kernel = Kernel::builder().stable_store(store).build();
+        let reg = registry();
+        install_recovery(&kernel, &reg);
+        let items: Vec<Value> = (0..50).map(Value::Int).collect();
+        let k2 = kernel.clone();
+        let reg2 = reg.clone();
+        let runner = std::thread::spawn(move || {
+            run_recoverable_pipeline(
+                &k2,
+                RecoveryDiscipline::WriteOnly,
+                items,
+                &["double", "inc"],
+                &reg2,
+                4,
+                Duration::from_secs(60),
+            )
+        });
+        // Wait until at least one batch has been durably accepted, then
+        // pull the plug on the whole kernel. `shutdown` stops the pump
+        // worker between acknowledged writes, which is exactly the state a
+        // fail-stop process loss leaves behind.
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while kernel.stable_store().len() < 4 && std::time::Instant::now() < deadline {
+            std::thread::yield_now();
+        }
+        let stages: Vec<_> = kernel
+            .list_ejects()
+            .into_iter()
+            .map(|info| info.uid)
+            .collect();
+        assert_eq!(stages.len(), 4, "source, two filters, acceptor");
+        kernel.shutdown();
+        let _ = runner.join().unwrap(); // first life ends however far it got
+        stages
+    };
+
+    // Second life: a brand-new kernel over the same files. Building the
+    // store replays the log; building the kernel seeds passive slots for
+    // every checkpointed UID; resuming just invokes them.
+    let store = StableStore::durable_on(std::sync::Arc::clone(&fs), cfg).unwrap();
+    let kernel = Kernel::builder().stable_store(store).build();
+    let reg = registry();
+    install_recovery(&kernel, &reg);
+    let mut ordered = stages.clone();
+    ordered.sort_by_key(eden::core::Uid::seq);
+    // The write-only spawn order is acceptor, filters (tail→head), source;
+    // resume wants head-first with the acceptor last — reverse creation.
+    ordered.reverse();
+    let output =
+        resume_recoverable_pipeline(&kernel, &ordered, Duration::from_secs(60)).unwrap();
+    assert_eq!(output, expected(50), "restart must neither lose nor repeat");
+    let m = kernel.metrics().snapshot();
+    assert!(
+        m.reactivations >= 1,
+        "resume must reactivate stages from the replayed log"
+    );
+    kernel.shutdown();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Torn-write recovery: store a known history into the durable log,
+    /// then truncate the newest segment at an arbitrary byte offset (a
+    /// crash mid-append tears at most one frame). Replay must recover a
+    /// valid *prefix* of the history — every surviving record byte-exact
+    /// at some version it actually had, never a corrupt or invented one —
+    /// and the reopened log must itself reopen cleanly.
+    #[test]
+    fn torn_segment_tail_recovers_a_valid_prefix(
+        tear_back in 1usize..64,
+        uids_n in 1usize..5,
+        writes in 4usize..24,
+    ) {
+        use eden::core::MemFs;
+        use eden::kernel::{DurableConfig, DurableLog, FsyncPolicy, StableBackend};
+
+        let fs = MemFs::new();
+        let cfg = DurableConfig {
+            fsync: FsyncPolicy::Always,
+            auto_compact: false,
+            ..DurableConfig::default()
+        };
+        let uids: Vec<eden::core::Uid> =
+            (0..uids_n).map(|_| eden::core::Uid::fresh()).collect();
+        // History: every (uid, version) -> payload ever written.
+        let mut history =
+            std::collections::HashMap::<(eden::core::Uid, u64), Vec<u8>>::new();
+        {
+            let log = DurableLog::open(std::sync::Arc::clone(&fs), cfg).unwrap();
+            for i in 0..writes {
+                let uid = uids[i % uids.len()];
+                let payload = vec![(i % 251) as u8; 3 + i % 9];
+                log.store(uid, "T", payload.clone().into()).unwrap();
+                let v = log.load(uid).unwrap().version;
+                history.insert((uid, v), payload);
+            }
+        }
+        // Tear: cut the newest segment `tear_back` bytes from its end
+        // (clamped to leave the file non-negative).
+        let seg = fs
+            .list()
+            .into_iter()
+            .rfind(|n| n.starts_with("seg-"))
+            .unwrap();
+        let bytes = fs.read(&seg).unwrap();
+        let keep = bytes.len().saturating_sub(tear_back);
+        fs.write(&seg, &bytes[..keep]).unwrap();
+
+        let log = DurableLog::open(std::sync::Arc::clone(&fs), cfg).unwrap();
+        for (uid, rec) in log.iter() {
+            let expect = history
+                .get(&(uid, rec.version))
+                .expect("recovered a (uid, version) never written");
+            prop_assert_eq!(
+                &rec.bytes[..], &expect[..],
+                "recovered bytes must match what that version wrote"
+            );
+        }
+        // The tear only ever removes the newest suffix: every uid whose
+        // final version predates the torn frames must still be present.
+        let torn = log.torn_segments();
+        prop_assert!(torn <= 1, "one tear, at most one torn segment");
+        drop(log);
+        // The truncation is durable: a second reopen sees a clean log.
+        let log = DurableLog::open(std::sync::Arc::clone(&fs), cfg).unwrap();
+        prop_assert_eq!(log.torn_segments(), 0);
+    }
+}
+
+// ---------------------------------------------------------------------------
 // The outcome ledger under fire, and span propagation through recovery.
 // ---------------------------------------------------------------------------
 

@@ -133,6 +133,35 @@ fn decoded_payloads_alias_the_wire_buffer_through_fan_out() {
 }
 
 #[test]
+fn checkpoint_store_path_adds_no_payload_copies() {
+    // PR 2's invariant extended through the durability plane: the caller
+    // pays exactly one metered copy — wire-encoding the passive
+    // representation — and everything after that moves references. The
+    // redesigned `StableStore::store(Bytes)` hands the encode buffer to
+    // the backend without re-copying, and `load` returns bytes that alias
+    // the very allocation that was stored.
+    let _guard = PAYLOAD_METER.lock().unwrap();
+    let store = eden::kernel::StableStore::new();
+    let uid = eden::core::Uid::fresh();
+    let encoded: bytes::Bytes = wire::encode(&big_datum(7)).into();
+
+    let before = payload::snapshot();
+    store.store(uid, "Datum", encoded.clone()).unwrap();
+    let rec = store.load(uid).unwrap();
+    let delta = payload::snapshot().since(&before);
+
+    assert_eq!(
+        delta.payload_copies, 0,
+        "checkpoint store/load must move no payload bytes"
+    );
+    assert_eq!(
+        rec.bytes.as_ptr(),
+        encoded.as_ptr(),
+        "loaded checkpoint must alias the stored allocation"
+    );
+}
+
+#[test]
 fn fan_out_width_adds_no_payload_copies() {
     let _guard = PAYLOAD_METER.lock().unwrap();
     let kernel = Kernel::new();
