@@ -193,6 +193,7 @@ impl EjectContext {
         for handle in handles {
             // A worker that panicked already printed its message; the
             // coordinator should still reap the rest.
+            // eden-lint: nonblocking(every worker-context caller wraps the whole join in sched::blocking)
             let _ = handle.join();
         }
     }

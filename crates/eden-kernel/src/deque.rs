@@ -91,6 +91,7 @@ impl<T> WorkDeque<T> {
         let ptr = Arc::into_raw(task).cast_mut();
         self.cells[b as usize & self.mask].store(ptr, Ordering::Relaxed);
         // Publish the cell before the bottom that advertises it.
+        // eden-lint: ordering(chase-lev-publish)
         fence(Ordering::Release);
         self.bottom.store(b + 1, Ordering::Relaxed);
         Ok(())
@@ -109,6 +110,7 @@ impl<T> WorkDeque<T> {
             let ptr = self.cells[b as usize & self.mask].load(Ordering::Relaxed);
             if t == b {
                 // Last element: a thief may be claiming it right now.
+                // eden-lint: ordering(chase-lev-claim)
                 let won = self
                     .top
                     .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)
@@ -135,6 +137,7 @@ impl<T> WorkDeque<T> {
             return None;
         }
         let ptr = self.cells[t as usize & self.mask].load(Ordering::Relaxed);
+        // eden-lint: ordering(chase-lev-claim)
         if self
             .top
             .compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed)

@@ -363,6 +363,7 @@ fn shutdown_entries(entries: Vec<(MailboxSender, ExecHandle)>, sched: Option<&Ar
     let current = std::thread::current().id();
     for join in joins.into_iter().flatten() {
         if join.thread().id() != current {
+            // eden-lint: nonblocking(threads-mode coordinator joins; no pool exists in that mode)
             let _ = join.join();
         }
     }
@@ -1143,6 +1144,7 @@ impl Kernel {
         drop(tx);
         match wait {
             CrashWait::Join(Some(join)) => {
+                // eden-lint: nonblocking(threads-mode coordinator joins; no pool exists in that mode)
                 let _ = join.join();
             }
             CrashWait::Join(None) => {}

@@ -54,7 +54,7 @@ mod deque;
 mod fault;
 mod invocation;
 mod kernel;
-mod mailbox;
+pub mod mailbox;
 mod obs;
 mod options;
 mod routes;
@@ -79,7 +79,7 @@ pub use obs::{
 };
 pub use options::{FaultExposure, InvokeOptions, RetryPolicy};
 pub use routes::{Route, RouteCache};
-pub use sched::{SchedSnapshot, SchedulerConfig};
+pub use sched::{blocking, SchedSnapshot, SchedulerConfig};
 pub use stable::{
     DurableConfig, DurableLog, FsyncPolicy, MemBacked, PassiveRecord, StableBackend, StableStats,
     StableStore,

@@ -50,7 +50,7 @@ const SHRINK_CAPACITY: usize = 64;
 /// The parking-bit states. Stored in [`MailboxCore::park_state`]; only
 /// meaningful in scheduler mode (a threads-mode mailbox stays `PARKED`
 /// and wakes its coordinator through the condvar instead).
-pub(crate) mod park {
+pub mod park {
     /// Not queued, not running; the next delivery must enqueue the task.
     pub const PARKED: u8 = 0;
     /// Queued for dispatch (a LIFO slot, a worker's deque, or the
@@ -62,6 +62,187 @@ pub(crate) mod park {
     pub const DIRTY: u8 = 3;
     /// The Eject exited; deliveries fail and wake nobody.
     pub const DEAD: u8 = 4;
+}
+
+/// The parking-bit protocol as one declarative transition table — the
+/// **single source** every checker derives from:
+///
+/// * `eden-lint --protocol` extracts each CAS/store on the bit from
+///   `mailbox.rs` and `sched.rs` (store sites carry a
+///   `// eden-lint: transition(FROM -> TO)` annotation naming the states
+///   the machine can be in when the store lands) and verifies the code
+///   and this table describe exactly the same machine, both directions:
+///   a code transition missing here fails the lint, and a table row no
+///   code site implements fails it too.
+/// * The `park_vs_deliver` loom model (`tests/loom_model.rs`) asserts
+///   every transition it performs through [`assert_transition`], so the
+///   dynamic model can never drift from the table the static pass
+///   enforces.
+///
+/// Editing the machine therefore means editing this table, and the lint
+/// points at every site that must follow.
+pub mod spec {
+    use super::park;
+
+    /// Which side of the protocol performs a transition.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum Actor {
+        /// A thread delivering mail (`MailboxCore::wake_after_push`).
+        Sender,
+        /// A pool worker resuming or reaping the task (`sched.rs`).
+        Worker,
+        /// The spawn path queueing a task's first resume.
+        Spawner,
+    }
+
+    /// The atomic shape of a transition site.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum Op {
+        /// A `compare_exchange` — the from-state is proven by the CAS.
+        Cas,
+        /// A plain `store` — legal only from the annotated from-states.
+        Store,
+    }
+
+    /// One legal edge of the parking-bit state machine.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Transition {
+        /// State the bit must hold before the edge.
+        pub from: u8,
+        /// State the edge moves it to.
+        pub to: u8,
+        /// Who may perform it.
+        pub actor: Actor,
+        /// CAS or store.
+        pub op: Op,
+        /// What the edge means, stable across refactors.
+        pub role: &'static str,
+    }
+
+    /// Every legal transition. Anything not in this table is a protocol
+    /// violation — statically (eden-lint) and dynamically (loom).
+    pub const TRANSITIONS: &[Transition] = &[
+        Transition {
+            from: park::PARKED,
+            to: park::QUEUED,
+            actor: Actor::Sender,
+            op: Op::Cas,
+            role: "deliver-wake",
+        },
+        Transition {
+            from: park::RUNNING,
+            to: park::DIRTY,
+            actor: Actor::Sender,
+            op: Op::Cas,
+            role: "dirty-mark",
+        },
+        Transition {
+            from: park::PARKED,
+            to: park::QUEUED,
+            actor: Actor::Spawner,
+            op: Op::Store,
+            role: "spawn-enqueue",
+        },
+        Transition {
+            from: park::QUEUED,
+            to: park::RUNNING,
+            actor: Actor::Worker,
+            op: Op::Store,
+            role: "pickup",
+        },
+        Transition {
+            from: park::RUNNING,
+            to: park::QUEUED,
+            actor: Actor::Worker,
+            op: Op::Store,
+            role: "budget-requeue",
+        },
+        Transition {
+            from: park::DIRTY,
+            to: park::QUEUED,
+            actor: Actor::Worker,
+            op: Op::Store,
+            role: "budget-requeue",
+        },
+        Transition {
+            from: park::RUNNING,
+            to: park::PARKED,
+            actor: Actor::Worker,
+            op: Op::Cas,
+            role: "park",
+        },
+        Transition {
+            from: park::DIRTY,
+            to: park::RUNNING,
+            actor: Actor::Worker,
+            op: Op::Store,
+            role: "dirty-reclaim",
+        },
+        Transition {
+            from: park::RUNNING,
+            to: park::DEAD,
+            actor: Actor::Worker,
+            op: Op::Store,
+            role: "reap",
+        },
+        Transition {
+            from: park::DIRTY,
+            to: park::DEAD,
+            actor: Actor::Worker,
+            op: Op::Store,
+            role: "reap",
+        },
+    ];
+
+    /// The display name of a park state.
+    pub fn state_name(state: u8) -> &'static str {
+        match state {
+            park::PARKED => "PARKED",
+            park::QUEUED => "QUEUED",
+            park::RUNNING => "RUNNING",
+            park::DIRTY => "DIRTY",
+            park::DEAD => "DEAD",
+            _ => "?",
+        }
+    }
+
+    /// Parse a park-state name as written in `transition(..)` annotations.
+    pub fn state_by_name(name: &str) -> Option<u8> {
+        match name {
+            "PARKED" => Some(park::PARKED),
+            "QUEUED" => Some(park::QUEUED),
+            "RUNNING" => Some(park::RUNNING),
+            "DIRTY" => Some(park::DIRTY),
+            "DEAD" => Some(park::DEAD),
+            _ => None,
+        }
+    }
+
+    /// Whether the table has an edge `from -> to` under `op`.
+    pub fn allows_op(from: u8, to: u8, op: Op) -> bool {
+        TRANSITIONS
+            .iter()
+            .any(|t| t.from == from && t.to == to && t.op == op)
+    }
+
+    /// Whether the table has an edge `from -> to` under any op.
+    pub fn allows(from: u8, to: u8) -> bool {
+        TRANSITIONS.iter().any(|t| t.from == from && t.to == to)
+    }
+
+    /// Assert an observed transition is in the table (the loom models'
+    /// per-step hook; also usable by stress tests).
+    ///
+    /// # Panics
+    /// On any edge the table does not bless.
+    pub fn assert_transition(from: u8, to: u8) {
+        assert!(
+            allows(from, to),
+            "illegal parking-bit transition {} -> {}",
+            state_name(from),
+            state_name(to),
+        );
+    }
 }
 
 /// What a sender must do after landing an envelope.
@@ -150,8 +331,10 @@ impl MailboxCore {
             return Wake::None;
         };
         loop {
+            // eden-lint: ordering(park-state-machine)
             match self.park_state.load(Ordering::Acquire) {
                 park::PARKED => {
+                    // eden-lint: ordering(park-state-machine)
                     if self
                         .park_state
                         .compare_exchange(
@@ -171,6 +354,7 @@ impl MailboxCore {
                     }
                 }
                 park::RUNNING => {
+                    // eden-lint: ordering(park-state-machine)
                     if self
                         .park_state
                         .compare_exchange(
@@ -341,6 +525,7 @@ impl MailboxReceiver {
             if self.core.senders.load(Ordering::Acquire) == 0 {
                 return Err(());
             }
+            // eden-lint: nonblocking(threads-mode coordinator thread, never a pool worker)
             self.core.not_empty.wait(&mut ring);
         }
     }
@@ -372,4 +557,148 @@ pub(crate) fn mailbox(cap: Option<usize>) -> (MailboxSender, Arc<MailboxCore>) {
 /// Wrap a core in its threads-mode receiving half.
 pub(crate) fn receiver(core: Arc<MailboxCore>) -> MailboxReceiver {
     MailboxReceiver { core }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Put a core in scheduler mode without a live scheduler: the wake
+    /// CAS loop runs for real, the upgrade finds nobody to enqueue.
+    fn sched_mode(core: &MailboxCore) {
+        let _ = core.wake.set(SchedWake {
+            sched: Weak::new(),
+            task: Weak::new(),
+        });
+    }
+
+    #[test]
+    fn deliver_to_parked_queues() {
+        let (tx, core) = mailbox(None);
+        sched_mode(&core);
+        assert_eq!(core.park_state.load(Ordering::Acquire), park::PARKED);
+        tx.send(Envelope::Shutdown).unwrap();
+        assert_eq!(core.park_state.load(Ordering::Acquire), park::QUEUED);
+        // A second delivery finds QUEUED and leaves it alone.
+        tx.send(Envelope::Shutdown).unwrap();
+        assert_eq!(core.park_state.load(Ordering::Acquire), park::QUEUED);
+    }
+
+    #[test]
+    fn deliver_to_running_marks_dirty() {
+        let (tx, core) = mailbox(None);
+        sched_mode(&core);
+        core.park_state.store(park::RUNNING, Ordering::Release);
+        tx.send(Envelope::Shutdown).unwrap();
+        assert_eq!(core.park_state.load(Ordering::Acquire), park::DIRTY);
+        // Further deliveries leave DIRTY as-is.
+        tx.send(Envelope::Shutdown).unwrap();
+        assert_eq!(core.park_state.load(Ordering::Acquire), park::DIRTY);
+    }
+
+    #[test]
+    fn deliver_to_dead_wakes_nobody() {
+        let (tx, core) = mailbox(None);
+        sched_mode(&core);
+        core.park_state.store(park::DEAD, Ordering::Release);
+        tx.send(Envelope::Shutdown).unwrap();
+        assert_eq!(core.park_state.load(Ordering::Acquire), park::DEAD);
+    }
+
+    /// Concurrent senders vs a draining worker: every observed transition
+    /// must be one the spec table blesses, and no delivery may be lost
+    /// (every push while PARKED flips the bit to QUEUED). Small enough to
+    /// run under miri's interpreter.
+    #[test]
+    fn wake_protocol_transitions_follow_spec() {
+        let iters = if cfg!(miri) { 20 } else { 400 };
+        for _ in 0..iters {
+            let (tx, core) = mailbox(None);
+            sched_mode(&core);
+            let worker = {
+                let core = Arc::clone(&core);
+                std::thread::spawn(move || {
+                    let mut drained = 0usize;
+                    loop {
+                        // While we are not RUNNING the only states are
+                        // PARKED (nothing delivered since the last park)
+                        // and QUEUED (a sender woke us): spin for the
+                        // latter, then pick up. Senders never touch a
+                        // QUEUED bit, so the swap always sees QUEUED.
+                        if core.park_state.load(Ordering::Acquire) == park::PARKED {
+                            if drained >= 3 {
+                                return drained;
+                            }
+                            std::thread::yield_now();
+                            continue;
+                        }
+                        let prev = core.park_state.swap(park::RUNNING, Ordering::AcqRel);
+                        spec::assert_transition(prev, park::RUNNING);
+                        while core.pop().is_some() {
+                            drained += 1;
+                        }
+                        // Park attempt: RUNNING -> PARKED unless dirty.
+                        match core.park_state.compare_exchange(
+                            park::RUNNING,
+                            park::PARKED,
+                            Ordering::AcqRel,
+                            Ordering::Acquire,
+                        ) {
+                            Ok(_) => {
+                                if drained >= 3 {
+                                    return drained;
+                                }
+                            }
+                            Err(seen) => {
+                                spec::assert_transition(park::RUNNING, seen);
+                                // Dirty reclaim: DIRTY -> RUNNING, drain
+                                // again on the next loop.
+                                core.park_state.store(park::RUNNING, Ordering::Release);
+                            }
+                        }
+                    }
+                })
+            };
+            let senders: Vec<_> = (0..3)
+                .map(|_| {
+                    let tx = tx.clone();
+                    std::thread::spawn(move || {
+                        tx.send(Envelope::Shutdown).unwrap();
+                    })
+                })
+                .collect();
+            for s in senders {
+                s.join().unwrap();
+            }
+            let drained = worker.join().unwrap();
+            assert_eq!(drained, 3, "every delivery must be drained");
+        }
+    }
+
+    #[test]
+    fn spec_table_is_a_connected_machine() {
+        // Every non-DEAD state has at least one outgoing edge, QUEUED is
+        // reachable from PARKED, and no edge is self-looping.
+        for s in [park::PARKED, park::QUEUED, park::RUNNING, park::DIRTY] {
+            assert!(
+                spec::TRANSITIONS.iter().any(|t| t.from == s),
+                "state {} has no outgoing edge",
+                spec::state_name(s)
+            );
+        }
+        assert!(spec::allows(park::PARKED, park::QUEUED));
+        assert!(spec::TRANSITIONS.iter().all(|t| t.from != t.to));
+        assert!(!spec::allows(park::DEAD, park::RUNNING));
+        assert!(!spec::allows(park::PARKED, park::RUNNING));
+        assert_eq!(spec::state_by_name("DIRTY"), Some(park::DIRTY));
+        assert!(spec::state_by_name("LIMBO").is_none());
+        assert!(spec::allows_op(park::RUNNING, park::PARKED, spec::Op::Cas));
+        assert!(!spec::allows_op(park::RUNNING, park::PARKED, spec::Op::Store));
+    }
+
+    #[test]
+    #[should_panic(expected = "illegal parking-bit transition")]
+    fn illegal_transition_panics() {
+        spec::assert_transition(park::DEAD, park::QUEUED);
+    }
 }

@@ -50,6 +50,7 @@ pub(crate) fn run_coordinator(
         if ctx.deactivate_requested() {
             break ExitCause::Deactivated;
         }
+        // eden-lint: nonblocking(threads-mode coordinator thread, never a pool worker)
         match mailbox.recv() {
             Ok(Envelope::Invocation(inv, mut reply)) => {
                 // Stamp the dequeue time (splitting queue wait from service

@@ -221,6 +221,7 @@ impl Parker {
     fn park(&self, timeout: Duration) -> bool {
         let mut notified = self.park_mx.lock();
         if !*notified {
+            // eden-lint: nonblocking(the pool's own idle wait — a sleeping worker has no task)
             let _ = self.park_cv.wait_for(&mut notified, timeout);
         }
         std::mem::take(&mut *notified)
@@ -533,7 +534,12 @@ pub(crate) fn current_task() -> Option<Uid> {
 /// a worker it first flushes the worker's LIFO slot to stealable ground,
 /// then keeps the pool's runnable capacity at target by spawning a spare
 /// for the duration (outermost section only).
-pub(crate) fn blocking<R>(f: impl FnOnce() -> R) -> R {
+///
+/// Public so every crate that may run on a pool worker (eden-transput's
+/// stream stages in particular) can wrap its genuinely-blocking sites —
+/// `eden-lint --blocking` requires exactly that of any blocking call
+/// reachable from worker context.
+pub fn blocking<R>(f: impl FnOnce() -> R) -> R {
     let outermost = WORKER.with(|w| {
         let mut tls = w.borrow_mut();
         match tls.as_mut() {
@@ -733,6 +739,9 @@ impl Scheduler {
         });
         core.attach_task(self, &task);
         self.tasks_alive.add(1);
+        // A fresh task's bit is PARKED and nobody else can see it yet, so
+        // a plain store (not a CAS) is enough for the spawn enqueue.
+        // eden-lint: transition(PARKED -> QUEUED)
         core.park_bit().store(park::QUEUED, Ordering::Release);
         // Spawns go FIFO through the injector, never the LIFO slot: a
         // spawn burst must fan out across workers, and activation order
@@ -830,6 +839,7 @@ impl Scheduler {
     /// [`worker_main`]); even a leaked token only degrades to the
     /// sleepers' [`IDLE_WAIT`] timeout re-scan, never a hang.
     fn maybe_wake(&self) {
+        // eden-lint: ordering(dekker-store-load)
         fence(Ordering::SeqCst);
         if self.idle_count.0.load(Ordering::Relaxed) == 0 {
             return;
@@ -1111,6 +1121,7 @@ impl Scheduler {
     /// behaviour) ends it.
     fn run_task(&self, task: Arc<Task>) {
         let bit = task.core.park_bit();
+        // eden-lint: transition(QUEUED -> RUNNING)
         bit.store(park::RUNNING, Ordering::Release);
         CURRENT_TASK.with(|c| c.set(Some(task.uid())));
         let outcome =
@@ -1155,6 +1166,7 @@ impl Scheduler {
                 // runnable tasks (a million parked streams' worth) get a
                 // worker before this pipeline's next batch. FIFO through
                 // the injector — the LIFO slot would run us right back.
+                // eden-lint: transition(RUNNING|DIRTY -> QUEUED)
                 bit.store(park::QUEUED, Ordering::Release);
                 task.put_body(body);
                 self.push_fifo(Arc::clone(task));
@@ -1181,6 +1193,7 @@ impl Scheduler {
                     // race ahead of the state machine and be lost.
                     task.put_body(body);
                     self.parked.add(1);
+                    // eden-lint: ordering(park-state-machine)
                     match bit.compare_exchange(
                         park::RUNNING,
                         park::PARKED,
@@ -1193,6 +1206,7 @@ impl Scheduler {
                             // pop and the park attempt; reclaim the body
                             // and keep draining.
                             self.parked.add(-1);
+                            // eden-lint: transition(DIRTY -> RUNNING)
                             bit.store(park::RUNNING, Ordering::Release);
                             body = match task.take_body() {
                                 Some(reclaimed) => reclaimed,
@@ -1223,6 +1237,7 @@ impl Scheduler {
     /// queued invocations fail fast and later sends bounce), reap worker
     /// processes, and tell the kernel.
     fn reap(&self, task: &Arc<Task>, crashed: bool) {
+        // eden-lint: transition(RUNNING|DIRTY -> DEAD)
         task.core.park_bit().store(park::DEAD, Ordering::Release);
         drop(task.core.close());
         // The Eject's worker threads may need other Ejects (hence this
@@ -1265,6 +1280,7 @@ impl Scheduler {
         let current = std::thread::current().id();
         for handle in handles {
             if handle.thread().id() != current {
+                // eden-lint: nonblocking(teardown: the joined workers are draining to exit)
                 let _ = handle.join();
             }
         }
@@ -1357,6 +1373,7 @@ fn worker_main(sched: Arc<Scheduler>, idx: usize) {
         // pairs with `maybe_wake`'s (see there).
         sched.sleepers.lock().push(Arc::clone(&parker));
         sched.idle_count.0.fetch_add(1, Ordering::SeqCst);
+        // eden-lint: ordering(dekker-store-load)
         fence(Ordering::SeqCst);
         if !sched.has_runnable() && !sched.stopping.load(Ordering::Acquire) {
             // Park rounds continue across bare timeouts while the
@@ -1472,6 +1489,7 @@ fn monitor_main(sched: Arc<Scheduler>) {
     let mut stalled_ticks = 0u32;
     let mut tick = MONITOR_TICK;
     while !sched.stopping.load(Ordering::Acquire) {
+        // eden-lint: nonblocking(dedicated monitor thread, never a pool worker)
         std::thread::sleep(tick);
         let progress = sched.total_progress();
         let runnable = sched.has_runnable();

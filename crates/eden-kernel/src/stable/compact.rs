@@ -41,6 +41,7 @@ pub(crate) fn compactor_loop(inner: &LogInner) {
         {
             let mut st = inner.compact_mx.lock();
             while !st.wake && !st.shutdown {
+                // eden-lint: nonblocking(dedicated compactor thread, never a pool worker)
                 inner.compact_cv.wait(&mut st);
             }
             if st.shutdown {
@@ -131,6 +132,7 @@ impl LogInner {
         let out_path = log::segment_name(out_seg);
         if !buf.is_empty() {
             self.fs.write(&out_path, &buf)?;
+            // eden-lint: nonblocking(compactor thread or teardown flush, off the pool)
             self.fs.sync(&out_path)?;
             self.count_fsync();
         }

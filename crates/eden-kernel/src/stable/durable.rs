@@ -232,6 +232,7 @@ impl Drop for DurableLog {
             self.compactor.lock().take()
         };
         if let Some(handle) = handle {
+            // eden-lint: nonblocking(teardown: the compactor was told to shut down above)
             let _ = handle.join();
         }
         // Lazy fsync policies owe the tail a final sync; MemFs treats

@@ -54,6 +54,7 @@ pub(crate) fn replay(fs: &HostFsHandle) -> Result<Replayed> {
             // Truncate at the last valid frame: rewrite the prefix and
             // make the cut durable before anything appends after it.
             fs.write(&name, &data[..scan.valid_len as usize])?;
+            // eden-lint: nonblocking(cold-start replay, before any pool worker exists)
             fs.sync(&name)?;
             torn_segments += 1;
         }

@@ -219,15 +219,15 @@ fn no_resend_after_expiry_and_attempts_stay_bounded() {
 // 2. whenever a run-queue entry is claimed, the behaviour body is in its
 //    slot — the consumer publishes the body *before* advertising PARKED,
 //    so a racing wake always finds something to resume;
-// 3. the bit ends PARKED with the mailbox and run queue both empty.
+// 3. the bit ends PARKED with the mailbox and run queue both empty;
+// 4. every bit transition the model performs is an edge of
+//    `mailbox::spec::TRANSITIONS` — the same declarative table
+//    `eden-lint --protocol` checks the real code against. Stores learn
+//    their from-state via `swap`, so an off-spec edge (a pickup from
+//    PARKED, a reclaim from RUNNING) panics here instead of hiding.
 
-/// Distilled park states, mirroring `mailbox::park`.
-mod pk {
-    pub const PARKED: u8 = 0;
-    pub const QUEUED: u8 = 1;
-    pub const RUNNING: u8 = 2;
-    pub const DIRTY: u8 = 3;
-}
+use eden_kernel::mailbox::park as pk;
+use eden_kernel::mailbox::spec;
 
 struct ParkModel {
     bit: loom::sync::atomic::AtomicU8,
@@ -268,6 +268,7 @@ impl ParkModel {
                         )
                         .is_ok()
                     {
+                        spec::assert_transition(pk::PARKED, pk::QUEUED);
                         *self.runq.lock().unwrap() += 1;
                         return;
                     }
@@ -283,6 +284,7 @@ impl ParkModel {
                         )
                         .is_ok()
                     {
+                        spec::assert_transition(pk::RUNNING, pk::DIRTY);
                         return;
                     }
                 }
@@ -302,7 +304,8 @@ impl ParkModel {
             }
             *q -= 1;
         }
-        self.bit.store(pk::RUNNING, Ordering::Release);
+        let prev = self.bit.swap(pk::RUNNING, Ordering::AcqRel);
+        spec::assert_transition(prev, pk::RUNNING);
         // Invariant 2: a claimed entry always finds the body in place.
         let body = self
             .body
@@ -335,10 +338,14 @@ impl ParkModel {
                 Ordering::AcqRel,
                 Ordering::Acquire,
             ) {
-                Ok(_) => return true,
+                Ok(_) => {
+                    spec::assert_transition(pk::RUNNING, pk::PARKED);
+                    return true;
+                }
                 Err(_) => {
                     // A sender dirtied us: reclaim the body and drain on.
-                    self.bit.store(pk::RUNNING, Ordering::Release);
+                    let prev = self.bit.swap(pk::RUNNING, Ordering::AcqRel);
+                    spec::assert_transition(prev, pk::RUNNING);
                     held = self.body.lock().unwrap().take().expect(
                         "body stolen while RUNNING: task leaked into a run queue",
                     );
@@ -668,6 +675,173 @@ fn lifo_slot_handoff_is_exactly_once_and_never_stranded() {
         // worker that will never be notified.
         if m.slept.load(Ordering::SeqCst) {
             assert_eq!(m.slot.load(Ordering::SeqCst), 0, "task stranded behind sleep");
+        }
+    });
+}
+
+// ---------------------------------------------------------------------
+// Group-commit leader election: the `DurableLog` commit queue
+// (`crates/eden-kernel/src/stable/committer.rs::submit`/`lead`). The
+// first submitter to find no leader becomes the leader and drives
+// batches until the queue drains; later submitters enqueue a ticket and
+// wait for `complete` to cover it. The distilled contract:
+//
+// 1. at most one leader drives `commit_batch` at any moment — the
+//    leader flag admits no interleaving where two threads append;
+// 2. every submitted ticket completes (no waiter is stranded when the
+//    leader drains the queue and steps down);
+// 3. append order is ticket order, and per-UID versions assigned under
+//    the brief index lock (the blessed stable-committer < stable-index
+//    nesting) are gapless and monotone — concurrent stores to the same
+//    UID can never allocate duplicate or out-of-order versions.
+
+struct CommitQueueModel {
+    pending: Vec<(u64, u32)>,
+    leader: bool,
+    next_ticket: u64,
+    complete: u64,
+}
+
+struct CommitModel {
+    q: Mutex<CommitQueueModel>,
+    done: loom::sync::Condvar,
+    /// The index: per-UID latest version, read under its own lock while
+    /// the leader assigns versions (committer lock already held in the
+    /// real code's `lead`; the model keeps the same nesting direction).
+    index: Mutex<std::collections::HashMap<u32, u64>>,
+    /// The appended log: (ticket, uid, version) in append order.
+    log: Mutex<Vec<(u64, u32, u64)>>,
+    /// Concurrent `commit_batch` drivers; must never exceed one.
+    driving: AtomicU32,
+}
+
+impl CommitModel {
+    fn new() -> Self {
+        CommitModel {
+            q: Mutex::new(CommitQueueModel {
+                pending: Vec::new(),
+                leader: false,
+                next_ticket: 0,
+                complete: 0,
+            }),
+            done: loom::sync::Condvar::new(),
+            index: Mutex::new(std::collections::HashMap::new()),
+            log: Mutex::new(Vec::new()),
+            driving: AtomicU32::new(0),
+        }
+    }
+
+    /// Mirror of `LogInner::submit`: enqueue, then ride or lead.
+    fn submit(&self, uid: u32) {
+        let ticket;
+        {
+            let mut q = self.q.lock().unwrap();
+            ticket = q.next_ticket;
+            q.next_ticket += 1;
+            q.pending.push((ticket, uid));
+            if q.leader {
+                // Invariant 2's waiter side: `complete` must eventually
+                // cover our ticket. `complete` starts at 0 and tickets
+                // at 0, so the guard is `<=` where the real code (whose
+                // tickets start later) uses `<`.
+                while q.complete <= ticket {
+                    q = self.done.wait(q).unwrap();
+                }
+                return;
+            }
+            q.leader = true;
+        }
+        self.lead();
+    }
+
+    /// Mirror of `LogInner::lead`: drive batches until the queue drains.
+    fn lead(&self) {
+        loop {
+            let batch = {
+                let mut q = self.q.lock().unwrap();
+                if q.pending.is_empty() {
+                    q.leader = false;
+                    self.done.notify_all();
+                    return;
+                }
+                std::mem::take(&mut q.pending)
+            };
+
+            // Invariant 1: we are the only driver.
+            assert_eq!(
+                self.driving.fetch_add(1, Ordering::SeqCst),
+                0,
+                "two leaders driving commit_batch concurrently"
+            );
+            {
+                // Mirror of `commit_batch`'s version assignment: the
+                // blessed stable-committer < stable-index nesting, held
+                // briefly, single leader being the only appender.
+                let mut index = self.index.lock().unwrap();
+                let mut log = self.log.lock().unwrap();
+                for (ticket, uid) in &batch {
+                    let version = index.get(uid).copied().unwrap_or(0) + 1;
+                    index.insert(*uid, version);
+                    log.push((*ticket, *uid, version));
+                }
+            }
+            self.driving.fetch_sub(1, Ordering::SeqCst);
+
+            let mut q = self.q.lock().unwrap();
+            let last = batch.last().map_or(q.complete, |(t, _)| t + 1);
+            if q.complete < last {
+                q.complete = last;
+            }
+            self.done.notify_all();
+        }
+    }
+}
+
+#[test]
+fn group_commit_elects_one_leader_and_strands_no_ticket() {
+    const SUBMITTERS: u32 = 3;
+    const PER_SUBMITTER: u32 = 2;
+    loom::model(|| {
+        let model = Arc::new(CommitModel::new());
+
+        let submitters: Vec<_> = (0..SUBMITTERS)
+            .map(|s| {
+                let model = model.clone();
+                thread::spawn(move || {
+                    for _ in 0..PER_SUBMITTER {
+                        // Two submitters share UID 0 (the racing-stores
+                        // case); the third writes its own.
+                        model.submit(if s < 2 { 0 } else { s });
+                    }
+                })
+            })
+            .collect();
+        for s in submitters {
+            s.join().unwrap();
+        }
+
+        let q = model.q.lock().unwrap();
+        let log = model.log.lock().unwrap();
+        let index = model.index.lock().unwrap();
+        let total = (SUBMITTERS * PER_SUBMITTER) as u64;
+
+        // Invariant 2: every ticket completed, nobody left leading.
+        assert_eq!(q.next_ticket, total);
+        assert_eq!(q.complete, total);
+        assert!(!q.leader);
+        assert!(q.pending.is_empty());
+
+        // Invariant 3: append order is ticket order (each ticket exactly
+        // once), and per-UID versions are gapless and monotone.
+        let tickets: Vec<u64> = log.iter().map(|(t, _, _)| *t).collect();
+        assert_eq!(tickets, (0..total).collect::<Vec<_>>());
+        let mut seen: std::collections::HashMap<u32, u64> = Default::default();
+        for (_, uid, version) in log.iter() {
+            let prev = seen.insert(*uid, *version).unwrap_or(0);
+            assert_eq!(*version, prev + 1, "uid {uid} version gap or reorder");
+        }
+        for (uid, version) in seen {
+            assert_eq!(index.get(&uid), Some(&version), "index behind the log");
         }
     });
 }

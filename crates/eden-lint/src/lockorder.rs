@@ -23,6 +23,10 @@
 //!   until its block closes or the guard is `drop`ped — patterns with
 //!   open arguments (`.stable.load(`) are methods that release their
 //!   internal lock before returning and count only for their statement;
+//! * an `if let` / `while let` pattern binding or a `match` scrutinee
+//!   whose initializer matches a guard-returning pattern holds the class
+//!   for the block it opens (the if/loop body, or every arm of the
+//!   match) — the scrutinee temporary keeps the guard alive there;
 //! * a `// eden-lint: holds(class)` annotation directly above a `fn`
 //!   declares that the whole function runs with that class held (for
 //!   callees like `Kernel::reactivate` that receive a guard from their
@@ -42,9 +46,11 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt::Write as _;
-use std::path::{Path, PathBuf};
+use std::path::PathBuf;
 
 use eden_core::{EdenError, Result};
+
+use crate::scan::{collapse_ws, collect_rs, strip_noise};
 
 /// One lock level: a name plus the call-site substrings that acquire it.
 #[derive(Debug, Clone)]
@@ -224,62 +230,35 @@ struct Held {
     armed: bool,
 }
 
-/// Strip line comments and neutralise string/char literal *contents* so
-/// brace counting and pattern matching only see code. Literal state is
-/// per-line (multi-line strings are out of scope, see module docs).
-fn strip_noise(line: &str) -> String {
-    let mut out = String::with_capacity(line.len());
-    let mut chars = line.chars().peekable();
-    let mut in_str = false;
-    let mut in_char = false;
-    while let Some(c) = chars.next() {
-        if in_str {
-            if c == '\\' {
-                chars.next();
-            } else if c == '"' {
-                in_str = false;
-            }
-            continue;
-        }
-        if in_char {
-            if c == '\\' {
-                chars.next();
-            } else if c == '\'' {
-                in_char = false;
-            }
-            continue;
-        }
-        match c {
-            '/' if chars.peek() == Some(&'/') => break,
-            '"' => {
-                in_str = true;
-                out.push(' ');
-            }
-            // A lifetime (`'a`) is not a char literal: only enter char
-            // state when a closing quote is plausibly near.
-            '\'' if line.contains("')") || line.matches('\'').count() >= 2 => {
-                in_char = true;
-                out.push(' ');
-            }
-            _ => out.push(c),
-        }
+/// How a statement binds a value whose lifetime we must track.
+#[derive(Debug, PartialEq, Eq)]
+enum Binding {
+    /// `let g = ...;` — held in the current block, droppable by name.
+    Let(String),
+    /// `if let P = ... {`, `while let P = ... {`, or `match ... {` — the
+    /// scrutinee temporary holds the guard for the block being opened.
+    Scoped,
+}
+
+/// Classify a whitespace-collapsed statement's binding form.
+fn binding_of(stmt: &str) -> Option<Binding> {
+    // `} else if let ...` closes one block before opening the next; the
+    // binding logic only cares about what opens.
+    let s = stmt.trim_start().trim_start_matches('}').trim_start();
+    let s = s.strip_prefix("else ").unwrap_or(s).trim_start();
+    if s.starts_with("if let ") || s.starts_with("while let ") {
+        return stmt.trim_end().ends_with('{').then_some(Binding::Scoped);
     }
-    out
-}
-
-fn collapse_ws(s: &str) -> String {
-    s.split_whitespace().collect::<Vec<_>>().join(" ").replace(" .", ".")
-}
-
-/// The `let` binding's identifier, if the statement is a simple binding.
-fn let_ident(stmt: &str) -> Option<String> {
-    let rest = stmt.trim_start().strip_prefix("let ")?;
+    if s.starts_with("match ") {
+        return stmt.trim_end().ends_with('{').then_some(Binding::Scoped);
+    }
+    let rest = s.strip_prefix("let ")?;
     let rest = rest.trim_start().strip_prefix("mut ").unwrap_or(rest.trim_start());
     let ident: String = rest
         .chars()
         .take_while(|c| c.is_alphanumeric() || *c == '_')
         .collect();
-    (!ident.is_empty()).then_some(ident)
+    (!ident.is_empty()).then_some(Binding::Let(ident))
 }
 
 /// Scan one file's text, appending observed edges and counting sites.
@@ -357,7 +336,7 @@ fn scan_text(
             matches.dedup();
             if !matches.is_empty() {
                 let site = format!("{file}:{stmt_line}");
-                let binding = let_ident(&flat);
+                let binding = binding_of(&flat);
                 let mut stmt_held: Vec<String> = Vec::new();
                 for (_, class) in &matches {
                     *sites += 1;
@@ -370,12 +349,15 @@ fn scan_text(
                     stmt_held.push(class.clone());
                 }
                 // A guard bound by `let` stays held until its block ends
-                // (or `drop(ident)`); everything else was a temporary.
-                // Only guard-returning patterns (ending in `()`) bind: a
-                // call-site pattern with open arguments — `.stable.load(`
-                // — names a method that releases its internal lock before
-                // returning, so its result is not a guard.
-                if let Some(ident) = binding {
+                // (or `drop(ident)`); an `if let`/`while let` binding or
+                // a `match` scrutinee holds for the block the statement
+                // opens (the scrutinee temporary lives that long).
+                // Everything else was a temporary. Only guard-returning
+                // patterns (ending in `()`) bind: a call-site pattern
+                // with open arguments — `.stable.load(` — names a method
+                // that releases its internal lock before returning, so
+                // its result is not a guard.
+                if let Some(binding) = binding {
                     let (pos, class) = matches.last().expect("non-empty");
                     let returns_guard = spec
                         .classes
@@ -384,12 +366,23 @@ fn scan_text(
                         .flat_map(|c| &c.patterns)
                         .any(|p| p.ends_with("()") && flat[*pos..].starts_with(p.as_str()));
                     if returns_guard {
-                        held.push(Held {
-                            class: class.clone(),
-                            ident: Some(ident),
-                            depth,
-                            armed: true,
-                        });
+                        match binding {
+                            Binding::Let(ident) => held.push(Held {
+                                class: class.clone(),
+                                ident: Some(ident),
+                                depth,
+                                armed: true,
+                            }),
+                            Binding::Scoped => held.push(Held {
+                                class: class.clone(),
+                                ident: None,
+                                // Held inside the block this statement
+                                // opens: net depth after this line's own
+                                // braces land.
+                                depth: (depth + opens).saturating_sub(closes),
+                                armed: false,
+                            }),
+                        }
                     }
                 }
             }
@@ -471,24 +464,6 @@ pub fn audit(spec: &LockSpec, roots: &[PathBuf]) -> Result<LockReport> {
         }
     }
     Ok(report)
-}
-
-fn collect_rs(root: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
-    if root.is_file() {
-        if root.extension().is_some_and(|e| e == "rs") {
-            out.push(root.to_path_buf());
-        }
-        return Ok(());
-    }
-    for entry in std::fs::read_dir(root)? {
-        let path = entry?.path();
-        if path.is_dir() {
-            collect_rs(&path, out)?;
-        } else if path.extension().is_some_and(|e| e == "rs") {
-            out.push(path);
-        }
-    }
-    Ok(())
 }
 
 /// Every elementary cycle's member set (via DFS over the distinct edges);
@@ -634,6 +609,51 @@ mod tests {
         // The alpha acquisition was a temporary: no edge.
         assert!(report.edges.is_empty(), "{:?}", report.edges);
         assert_eq!(report.sites, 2);
+    }
+
+    #[test]
+    fn if_let_guard_is_held_for_its_block() {
+        let report = run(
+            &two_class_spec(),
+            "fn f(&self) {\n    if let Some(a) = self.alpha.lock() {\n        let b = self.beta.lock();\n    }\n    let b = self.beta.lock();\n}\n",
+        );
+        // One edge from inside the if-block only.
+        assert_eq!(report.edges.len(), 1, "{:?}", report.edges);
+        assert_eq!(report.edges[0].sites.len(), 1);
+        assert!(report.clean());
+    }
+
+    #[test]
+    fn while_let_guard_is_held_for_its_block() {
+        let report = run(
+            &two_class_spec(),
+            "fn f(&self) {\n    while let Some(a) = self.alpha.lock() {\n        let b = self.beta.lock();\n    }\n}\nfn g(&self) {\n    let b = self.beta.lock();\n    let a = self.alpha.lock();\n}\n",
+        );
+        // The while-let edge alpha->beta plus g's inverted beta->alpha:
+        // the guard tracking must see both, making a cycle.
+        assert_eq!(report.edges.len(), 2, "{:?}", report.edges);
+        assert_eq!(report.cycles.len(), 1);
+    }
+
+    #[test]
+    fn match_scrutinee_guard_covers_every_arm() {
+        let report = run(
+            &two_class_spec(),
+            "fn f(&self) {\n    match self.alpha.lock() {\n        Some(_) => {\n            let b = self.beta.lock();\n        }\n        None => {}\n    }\n    let b = self.beta.lock();\n}\n",
+        );
+        assert_eq!(report.edges.len(), 1, "{:?}", report.edges);
+        assert_eq!(report.edges[0].from, "alpha");
+        assert_eq!(report.edges[0].sites.len(), 1);
+    }
+
+    #[test]
+    fn else_if_let_guard_scopes_to_its_own_block() {
+        let report = run(
+            &two_class_spec(),
+            "fn f(&self, c: bool) {\n    if c {\n        let x = 1;\n    } else if let Some(a) = self.alpha.lock() {\n        let b = self.beta.lock();\n    }\n    let b = self.beta.lock();\n}\n",
+        );
+        assert_eq!(report.edges.len(), 1, "{:?}", report.edges);
+        assert_eq!(report.edges[0].sites.len(), 1);
     }
 
     #[test]

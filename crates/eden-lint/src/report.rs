@@ -1,0 +1,122 @@
+//! Machine-readable lint report.
+//!
+//! `eden-lint --json PATH` writes one JSON document summarising every
+//! pass that ran: name, clean/dirty, site counters, and the full finding
+//! list. CI uploads it as an artifact so regressions diff textually.
+//! Hand-rolled serialisation — the workspace takes no serde dependency
+//! for a flat report shape.
+
+use std::fmt::Write as _;
+
+/// One pass's contribution to the JSON report.
+#[derive(Debug)]
+pub struct PassReport {
+    /// Pass name (`lock-order`, `atomics`, `blocking`, `protocol`,
+    /// `discipline`).
+    pub name: &'static str,
+    /// Whether the pass passed.
+    pub clean: bool,
+    /// Named site counters, e.g. `("sites", 220)`.
+    pub counts: Vec<(&'static str, usize)>,
+    /// Human-readable findings (empty when clean).
+    pub findings: Vec<String>,
+}
+
+/// Escape a string for embedding in a JSON document.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render the full report document.
+pub fn render(passes: &[PassReport]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"tool\": \"eden-lint\",\n  \"clean\": ");
+    out.push_str(if passes.iter().all(|p| p.clean) {
+        "true"
+    } else {
+        "false"
+    });
+    out.push_str(",\n  \"passes\": [\n");
+    for (i, pass) in passes.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\n      \"name\": \"{}\",\n      \"clean\": {},\n      \"counts\": {{",
+            escape(pass.name),
+            pass.clean
+        );
+        for (j, (key, value)) in pass.counts.iter().enumerate() {
+            let _ = write!(
+                out,
+                "{}\"{}\": {}",
+                if j == 0 { "" } else { ", " },
+                escape(key),
+                value
+            );
+        }
+        out.push_str("},\n      \"findings\": [");
+        for (j, finding) in pass.findings.iter().enumerate() {
+            let _ = write!(
+                out,
+                "{}\n        \"{}\"",
+                if j == 0 { "" } else { "," },
+                escape(finding)
+            );
+        }
+        if !pass.findings.is_empty() {
+            out.push_str("\n      ");
+        }
+        out.push_str("]\n    }");
+        out.push_str(if i + 1 == passes.len() { "\n" } else { ",\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_valid_shape() {
+        let passes = vec![
+            PassReport {
+                name: "atomics",
+                clean: true,
+                counts: vec![("sites", 120), ("tokens", 220)],
+                findings: vec![],
+            },
+            PassReport {
+                name: "blocking",
+                clean: false,
+                counts: vec![("sites", 9)],
+                findings: vec!["a.rs:3: \"bad\"\tsite".to_owned()],
+            },
+        ];
+        let doc = render(&passes);
+        assert!(doc.contains("\"clean\": false"));
+        assert!(doc.contains("\"sites\": 120"));
+        assert!(doc.contains("\\\"bad\\\"\\tsite"));
+        // Crude structural sanity: balanced braces and brackets.
+        assert_eq!(doc.matches('{').count(), doc.matches('}').count());
+        assert_eq!(doc.matches('[').count(), doc.matches(']').count());
+    }
+
+    #[test]
+    fn escapes_control_chars() {
+        assert_eq!(escape("a\u{1}b"), "a\\u0001b");
+    }
+}

@@ -1,0 +1,25 @@
+// A deliberately non-conforming atomics user. This file is *scanned* by
+// the atomics fixture test, never compiled. The catalog blesses
+// `flag.load(Acquire)`; the load below is Relaxed (the silent-downgrade
+// case), and `other` has no catalog entry at all (the unknown-site
+// case, which must also produce a ready-to-paste suggestion).
+
+struct Handoff {
+    flag: AtomicBool,
+    other: AtomicUsize,
+}
+
+impl Handoff {
+    fn publish(&self) {
+        // eden-lint: ordering(handoff-flag)
+        self.flag.store(true, Ordering::Release);
+    }
+
+    fn consume(&self) -> bool {
+        self.flag.load(Ordering::Relaxed)
+    }
+
+    fn untracked(&self) -> usize {
+        self.other.swap(0, Ordering::AcqRel)
+    }
+}

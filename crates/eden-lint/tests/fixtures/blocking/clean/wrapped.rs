@@ -1,0 +1,18 @@
+// The conforming twin of `unwrapped/naked.rs`: one rendezvous call is
+// wrapped in `blocking(..)`, the other is excused by an annotation.
+// Scanned, never compiled; the audit must stay clean.
+
+impl Worker {
+    fn drain(&self) -> Item {
+        let mut guard = self.state.lock().unwrap();
+        while guard.queue.is_empty() {
+            guard = eden_kernel::blocking(|| self.cv.wait(&mut guard)).unwrap();
+        }
+        guard.queue.pop().unwrap()
+    }
+
+    fn next(&self) -> Item {
+        // eden-lint: nonblocking(dedicated drain thread, never a pool worker)
+        self.rx.recv().unwrap()
+    }
+}

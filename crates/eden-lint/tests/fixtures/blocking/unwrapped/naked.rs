@@ -1,0 +1,18 @@
+// A deliberately unguarded blocker. This file is *scanned* by the
+// blocking fixture test, never compiled: both rendezvous calls below
+// run bare — no `blocking(..)` wrap, no `nonblocking(..)` annotation —
+// so the audit must report two findings.
+
+impl Worker {
+    fn drain(&self) -> Item {
+        let mut guard = self.state.lock().unwrap();
+        while guard.queue.is_empty() {
+            guard = self.cv.wait(&mut guard).unwrap();
+        }
+        guard.queue.pop().unwrap()
+    }
+
+    fn next(&self) -> Item {
+        self.rx.recv().unwrap()
+    }
+}

@@ -1,0 +1,47 @@
+// Scoped-guard forms that must still count as held. This file is
+// *scanned* by the lock-order fixture test, never compiled: each
+// function binds the beta guard through a scope-carrying form —
+// `if let`, `while let`, a match scrutinee — and acquires alpha inside
+// that scope, against the blessed `alpha < beta` order. The audit must
+// see all three inverted nestings (and the blessed nesting in
+// `forward`, closing the cycle). The trailing acquisitions in
+// `if_let_backward` prove the guard dies at its block's `}`: they nest
+// alpha -> beta, which is blessed and must not be reported.
+
+impl Pair {
+    fn forward(&self) -> u32 {
+        let a = self.alpha.lock();
+        let b = self.beta.lock();
+        *a + *b
+    }
+
+    fn if_let_backward(&self) -> u32 {
+        let mut sum = 0;
+        if let Ok(b) = self.beta.lock() {
+            let a = self.alpha.lock();
+            sum += *a + *b;
+        }
+        let a = self.alpha.lock();
+        let b = self.beta.lock();
+        sum + *a + *b
+    }
+
+    fn while_let_backward(&self) -> u32 {
+        let mut sum = 0;
+        while let Ok(b) = self.beta.lock() {
+            let a = self.alpha.lock();
+            sum += *a + *b;
+        }
+        sum
+    }
+
+    fn match_backward(&self) -> u32 {
+        match self.beta.lock() {
+            Ok(b) => {
+                let a = self.alpha.lock();
+                *a + *b
+            }
+            Err(_) => 0,
+        }
+    }
+}

@@ -1,12 +1,14 @@
-//! The `#[should_fail]`-style corpus: every discipline rule has a seeded
-//! fixture that must make the linter fire (and exit non-zero), the legal
-//! §5 merge workaround must stay clean, the lock-order fixture must
-//! produce a cycle, and the real tree must pass both passes.
+//! The `#[should_fail]`-style corpus: every pass has a seeded fixture
+//! that must make the linter fire (and exit non-zero) — discipline
+//! violations per rule, a lock-order cycle (including scoped-guard
+//! forms), an atomics downgrade plus unknown site, naked rendezvous
+//! calls, and an off-spec parking-bit transition. The legal twins stay
+//! clean, and the real tree must pass every pass.
 
 use std::path::{Path, PathBuf};
 use std::process::Command;
 
-use eden_lint::{fixture, lockorder};
+use eden_lint::{atomics, blocking, fixture, lockorder, protocol};
 use eden_transput::conform::Rule;
 
 fn fixtures_dir() -> PathBuf {
@@ -100,8 +102,113 @@ fn lock_order_fixture_cycle_is_detected() {
 }
 
 #[test]
-fn real_tree_is_clean_under_both_passes() {
-    let output = bin().args(["--all", "--quiet"]).output().unwrap();
+fn scoped_guard_fixture_inversions_are_detected() {
+    let spec = lockorder::parse_blessed(
+        &std::fs::read_to_string(fixtures_dir().join("lock_order").join("blessed.md")).unwrap(),
+    )
+    .unwrap();
+    let report = lockorder::audit(&spec, &[fixtures_dir().join("lock_order").join("scopes")])
+        .unwrap();
+    // All three scoped forms induce the same inverted edge; the trailing
+    // alpha -> beta nesting after the `if let` block must stay blessed.
+    let inverted = report
+        .edges
+        .iter()
+        .find(|e| e.from == "beta" && e.to == "alpha")
+        .expect("inverted edge missing");
+    assert_eq!(inverted.sites.len(), 3, "{}", report.render());
+    assert_eq!(report.cycles.len(), 1, "{}", report.render());
+
+    let status = bin()
+        .args(["--lock-order", "--root"])
+        .arg(fixtures_dir().join("lock_order").join("scopes"))
+        .arg("--blessed")
+        .arg(fixtures_dir().join("lock_order").join("blessed.md"))
+        .status()
+        .unwrap();
+    assert_eq!(status.code(), Some(1));
+}
+
+#[test]
+fn atomics_fixture_downgrade_and_unknown_site_fail() {
+    let dir = fixtures_dir().join("atomics");
+    let cat = atomics::parse_blessed(&std::fs::read_to_string(dir.join("blessed.md")).unwrap())
+        .unwrap();
+    let report = atomics::audit(&cat, &[dir.join("src")]).unwrap();
+    assert_eq!(report.findings.len(), 2, "{}", report.render());
+    assert!(report.findings.iter().any(|f| f.contains("downgraded")));
+    assert!(report.findings.iter().any(|f| f.contains("unknown atomic site")));
+    assert_eq!(report.suggestions.len(), 1, "{}", report.render());
+    assert!(report.suggestions[0].contains("other"));
+
+    let status = bin()
+        .args(["--atomics", "--root"])
+        .arg(dir.join("src"))
+        .arg("--blessed")
+        .arg(dir.join("blessed.md"))
+        .status()
+        .unwrap();
+    assert_eq!(status.code(), Some(1));
+}
+
+#[test]
+fn blocking_fixture_naked_calls_fail_and_wrapped_twin_passes() {
+    let dir = fixtures_dir().join("blocking");
+    let report = blocking::audit(&[dir.join("unwrapped")]).unwrap();
+    assert_eq!(report.findings.len(), 2, "{}", report.render());
+
+    let status = bin()
+        .args(["--blocking", "--root"])
+        .arg(dir.join("unwrapped"))
+        .status()
+        .unwrap();
+    assert_eq!(status.code(), Some(1));
+
+    let status = bin()
+        .args(["--blocking", "--root"])
+        .arg(dir.join("clean"))
+        .status()
+        .unwrap();
+    assert_eq!(status.code(), Some(0));
+}
+
+#[test]
+fn protocol_fixture_offspec_transitions_fail() {
+    let dir = fixtures_dir().join("protocol").join("illegal");
+    let report = protocol::audit(std::slice::from_ref(&dir)).unwrap();
+    assert!(
+        report
+            .findings
+            .iter()
+            .any(|f| f.contains("QUEUED -> DEAD") && f.contains("not in mailbox::spec")),
+        "{}",
+        report.render()
+    );
+    assert!(
+        report
+            .findings
+            .iter()
+            .any(|f| f.contains("without a transition")),
+        "{}",
+        report.render()
+    );
+
+    let status = bin()
+        .args(["--protocol", "--root"])
+        .arg(&dir)
+        .status()
+        .unwrap();
+    assert_eq!(status.code(), Some(1));
+}
+
+#[test]
+fn real_tree_is_clean_under_every_pass() {
+    let json_path = std::env::temp_dir().join(format!("eden-lint-{}.json", std::process::id()));
+    let output = bin()
+        .args(["--all", "--quiet", "--json"])
+        .arg(&json_path)
+        .output()
+        .unwrap();
     assert!(
         output.status.success(),
         "stdout:\n{}\nstderr:\n{}",
@@ -110,6 +217,16 @@ fn real_tree_is_clean_under_both_passes() {
     );
     let stdout = String::from_utf8_lossy(&output.stdout);
     assert!(stdout.contains("acyclic and blessed"), "{stdout}");
+    assert!(stdout.contains("every Ordering site"), "{stdout}");
+    assert!(stdout.contains("every rendezvous call"), "{stdout}");
+    assert!(stdout.contains("describe the same machine"), "{stdout}");
+
+    let json = std::fs::read_to_string(&json_path).unwrap();
+    let _ = std::fs::remove_file(&json_path);
+    assert!(json.contains("\"clean\": true"), "{json}");
+    for pass in ["discipline", "lock-order", "atomics", "blocking", "protocol"] {
+        assert!(json.contains(&format!("\"name\": \"{pass}\"")), "{json}");
+    }
 }
 
 #[test]

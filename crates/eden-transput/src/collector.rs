@@ -112,7 +112,9 @@ impl Collector {
             let remaining = deadline
                 .checked_sub(start.elapsed())
                 .ok_or(EdenError::Timeout)?;
-            if cvar.wait_for(&mut st, remaining).timed_out() && !st.done {
+            // Test drivers call this from `main`, but behaviors may call
+            // it mid-dispatch — compensate the pool either way.
+            if eden_kernel::blocking(|| cvar.wait_for(&mut st, remaining)).timed_out() && !st.done {
                 return Err(EdenError::Timeout);
             }
         }

@@ -898,7 +898,7 @@ impl Pipeline {
             if !alive {
                 return;
             }
-            std::thread::sleep(Duration::from_millis(2));
+            eden_kernel::blocking(|| std::thread::sleep(Duration::from_millis(2)));
         }
     }
 }

@@ -526,6 +526,7 @@ impl EjectBehavior for PullFilterEject {
             // route cache; the coordinator adjusts the shared batch dial.
             let mut cache = RouteCache::new();
             loop {
+                // eden-lint: nonblocking(spawn_process worker thread, not a pool worker)
                 let credit = match credit_rx.recv() {
                     Ok(c) => c,
                     Err(_) => return, // Coordinator gone.

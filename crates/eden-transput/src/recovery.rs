@@ -489,6 +489,7 @@ impl RecoverablePushSource {
                     // Retries exhausted under heavy fault load: pause and
                     // keep pumping from the same position rather than
                     // stranding the stream.
+                    // eden-lint: nonblocking(spawn_process worker thread, not a pool worker)
                     Err(_) => std::thread::sleep(POLL),
                 }
             }
@@ -993,6 +994,7 @@ impl RecoverablePump {
                     Ok(b) => b,
                     Err(EdenError::KernelShutdown) => return,
                     Err(_) => {
+                        // eden-lint: nonblocking(spawn_process worker thread, not a pool worker)
                         std::thread::sleep(POLL);
                         continue;
                     }
@@ -1000,6 +1002,7 @@ impl RecoverablePump {
                 if pulled.items.is_empty() && !pulled.end {
                     // Empty non-final read: the upstream buffer is dry but
                     // the stream is still open. Poll.
+                    // eden-lint: nonblocking(spawn_process worker thread, not a pool worker)
                     std::thread::sleep(POLL);
                     continue;
                 }
@@ -1025,6 +1028,7 @@ impl RecoverablePump {
                             // The write may or may not have landed; re-pull
                             // from the unadvanced position and re-send with
                             // the same sequence — the receiver deduplicates.
+                            // eden-lint: nonblocking(spawn_process worker thread, not a pool worker)
                             std::thread::sleep(POLL);
                             continue;
                         }
@@ -1416,7 +1420,7 @@ fn drive_to_end(
                 .invoke_with(*stage, ops::DESCRIBE, Value::Unit, control_opts())
                 .wait_timeout(Duration::from_secs(5));
         }
-        std::thread::sleep(Duration::from_millis(2));
+        eden_kernel::blocking(|| std::thread::sleep(Duration::from_millis(2)));
     }
 }
 

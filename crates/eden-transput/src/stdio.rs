@@ -78,7 +78,11 @@ impl TransputWriter {
             if q.closed {
                 return Err(EdenError::EndOfStream);
             }
-            self.shared.changed.wait(&mut q);
+            // Backpressure park. The program usually runs on its own
+            // worker-process thread, but `blocking` is the contract for
+            // any wait that may hold a pool worker (it is a plain call
+            // off-pool).
+            eden_kernel::blocking(|| self.shared.changed.wait(&mut q));
         }
         if q.closed {
             return Err(EdenError::EndOfStream);
@@ -248,7 +252,7 @@ impl TransputReader {
             if q.closed {
                 return None;
             }
-            self.shared.changed.wait(&mut q);
+            eden_kernel::blocking(|| self.shared.changed.wait(&mut q));
         }
     }
 
@@ -264,7 +268,8 @@ impl TransputReader {
             if q.closed {
                 return Ok(None);
             }
-            if self.shared.changed.wait_for(&mut q, deadline).timed_out() {
+            if eden_kernel::blocking(|| self.shared.changed.wait_for(&mut q, deadline)).timed_out()
+            {
                 return Err(EdenError::Timeout);
             }
         }

@@ -396,6 +396,7 @@ impl EjectBehavior for PushFilterEject {
         let wiring = self.wiring.clone();
         ctx.spawn_process("push-drain", move |pctx| {
             let mut cache = RouteCache::new();
+            // eden-lint: nonblocking(spawn_process worker thread, not a pool worker)
             while let Ok(item) = rx.recv() {
                 let mut emitter = Emitter::new();
                 for (channel, records) in item.emitted {
