@@ -15,6 +15,7 @@ pub mod exp_durability;
 pub mod exp_pipeline;
 pub mod json_report;
 pub mod obs_report;
+pub mod overload_report;
 pub mod payload_report;
 pub mod runner;
 pub mod table;

@@ -1,0 +1,845 @@
+//! Overload-plane report — the `--overload-json` mode of the
+//! `experiments` binary.
+//!
+//! Every other bench in this crate is closed-loop: clients wait for each
+//! reply before issuing the next request, so offered load can never
+//! exceed service capacity and the system never meets its collapse
+//! point. This report is the open-loop complement. A driver fires
+//! invocations at *fixed arrival rates* — on schedule, whether or not
+//! earlier requests have completed — and sweeps the offered rate past
+//! saturation, once per [`ShedPolicy`]:
+//!
+//! * **chat/pubsub**: publishers post to a `ChatRoom` stream Eject that
+//!   keeps a bounded history ring and fans each message out to its
+//!   subscribers' mailboxes.
+//! * **tail -f**: an appender streams lines into a `TailLog` Eject while
+//!   a follower polls `ReadFrom` with a cursor, retrying on
+//!   [`Overloaded`](eden_core::EdenError::Overloaded) — the
+//!   retryable-shed loop acting as client-side rate control.
+//!
+//! Goodput counts a reply only if it is `Ok` **and** lands within the
+//! SLA measured from the request's *scheduled* arrival time. Under
+//! `Park` the driver itself wedges behind the full mailbox, schedules
+//! slip without bound, and on-time goodput collapses past the knee;
+//! under `RejectNewest` the excess is turned away in microseconds and
+//! goodput holds at the service capacity. The experiments binary fails
+//! loud when that contrast disappears (the graceful-knee guard).
+//!
+//! Kernel-side latencies (mailbox wait and service time) come from the
+//! obs plane's per-(Eject, op) histograms, not from the driver's clock,
+//! so queueing inside the kernel is reported separately from the
+//! sender-side stall that `Park` adds.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use eden_core::{EdenError, Value};
+use eden_kernel::{
+    EjectBehavior, EjectContext, Invocation, Kernel, ObsConfig, ReplyHandle, ShedPolicy,
+};
+
+/// Workload dials for the overload report.
+#[derive(Debug, Clone)]
+pub struct OverloadConfig {
+    /// Open-loop arrivals per (scenario, policy, offered-load) point.
+    pub requests_per_point: usize,
+    /// Closed-loop requests per client in the saturation calibration.
+    pub calibration_requests: usize,
+    /// Concurrent clients in the saturation calibration.
+    pub calibration_clients: usize,
+    /// Busy work per request inside the bottleneck Eject. This sets the
+    /// saturation rate by construction (µ ≈ 1/spin), keeping the knee at
+    /// the same offered multiple across hosts.
+    pub service_spin: Duration,
+    /// Fan-out targets in the chat scenario.
+    pub subscribers: usize,
+    /// Bounded mailbox capacity for every sweep kernel.
+    pub mailbox_capacity: usize,
+    /// On-time window measured from each request's scheduled arrival;
+    /// also the invocation deadline under `DeadlineDrop`.
+    pub sla: Duration,
+    /// Offered-load multiples of the calibrated saturation rate. Must
+    /// span the knee: some points below 1.0, some above.
+    pub offered_multiples: Vec<f64>,
+    /// Open-loop driver threads (each owns a slice of the schedule).
+    pub driver_threads: usize,
+    /// Hard cap on waiting out one straggler reply during drain.
+    pub drain_cap: Duration,
+}
+
+impl OverloadConfig {
+    /// CI-sized run. The request count must comfortably exceed
+    /// `2 · µ · sla` (the number of requests a `Park` backlog serves
+    /// before every completion is late) or the Park arm will not have
+    /// collapsed by the end of the window.
+    pub fn smoke() -> Self {
+        OverloadConfig {
+            requests_per_point: 2_500,
+            calibration_requests: 300,
+            calibration_clients: 4,
+            service_spin: Duration::from_micros(500),
+            subscribers: 4,
+            mailbox_capacity: 64,
+            sla: Duration::from_millis(100),
+            offered_multiples: vec![0.5, 0.8, 1.0, 1.5, 2.0],
+            driver_threads: 2,
+            drain_cap: Duration::from_secs(15),
+        }
+    }
+
+    /// Full run: longer windows, finer sweep.
+    pub fn full() -> Self {
+        OverloadConfig {
+            requests_per_point: 12_000,
+            calibration_requests: 1_000,
+            calibration_clients: 4,
+            service_spin: Duration::from_micros(500),
+            subscribers: 8,
+            mailbox_capacity: 64,
+            sla: Duration::from_millis(150),
+            offered_multiples: vec![0.5, 0.8, 1.0, 1.2, 1.5, 2.0],
+            driver_threads: 2,
+            drain_cap: Duration::from_secs(60),
+        }
+    }
+}
+
+/// Which workload a sweep runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Scenario {
+    Chat,
+    TailF,
+}
+
+impl Scenario {
+    fn name(self) -> &'static str {
+        match self {
+            Scenario::Chat => "chat",
+            Scenario::TailF => "tail_f",
+        }
+    }
+
+    /// The op the open-loop driver fires at the bottleneck Eject.
+    fn op(self) -> &'static str {
+        match self {
+            Scenario::Chat => "Publish",
+            Scenario::TailF => "Append",
+        }
+    }
+}
+
+fn policy_label(policy: ShedPolicy) -> &'static str {
+    match policy {
+        ShedPolicy::Park => "park",
+        ShedPolicy::RejectNewest => "reject-newest",
+        ShedPolicy::RejectOldest => "reject-oldest",
+        ShedPolicy::DeadlineDrop => "deadline-drop",
+    }
+}
+
+/// Burn CPU for `d` — the stand-in for real per-message work, chosen
+/// over `sleep` so the bottleneck's service rate is what saturates
+/// rather than timer resolution.
+fn spin_for(d: Duration) {
+    let t0 = Instant::now();
+    while t0.elapsed() < d {
+        std::hint::spin_loop();
+    }
+}
+
+/// How much chat history a room retains (the stream is bounded, as a
+/// real room's scrollback is).
+const CHAT_HISTORY: usize = 256;
+
+/// The chat/pubsub bottleneck: `Publish` appends to a bounded history
+/// ring, burns the configured service time, and fans the message out to
+/// every subscriber (fire-and-forget — a slow subscriber must not stall
+/// the room).
+struct ChatRoom {
+    subscribers: Vec<eden_core::Uid>,
+    history: std::collections::VecDeque<Value>,
+    spin: Duration,
+    published: i64,
+}
+
+impl EjectBehavior for ChatRoom {
+    fn type_name(&self) -> &'static str {
+        "ChatRoom"
+    }
+
+    fn handle(&mut self, ctx: &EjectContext, inv: Invocation, reply: ReplyHandle) {
+        match inv.op.as_str() {
+            "Publish" => {
+                spin_for(self.spin);
+                if self.history.len() >= CHAT_HISTORY {
+                    self.history.pop_front();
+                }
+                self.history.push_back(inv.arg.clone());
+                for sub in &self.subscribers {
+                    drop(ctx.invoke(*sub, "Deliver", inv.arg.clone()));
+                }
+                self.published += 1;
+                reply.reply(Ok(Value::Int(self.published)));
+            }
+            _ => reply.reply(Err(EdenError::NoSuchOperation {
+                target: ctx.uid(),
+                op: inv.op.clone(),
+            })),
+        }
+    }
+}
+
+/// A chat subscriber: counts deliveries into a shared ledger so the
+/// report can show fan-out survived the shed storm.
+struct Subscriber {
+    delivered: Arc<AtomicU64>,
+}
+
+impl EjectBehavior for Subscriber {
+    fn type_name(&self) -> &'static str {
+        "Subscriber"
+    }
+
+    fn handle(&mut self, ctx: &EjectContext, inv: Invocation, reply: ReplyHandle) {
+        match inv.op.as_str() {
+            "Deliver" => {
+                self.delivered.fetch_add(1, Ordering::Relaxed);
+                reply.reply(Ok(Value::Unit));
+            }
+            _ => reply.reply(Err(EdenError::NoSuchOperation {
+                target: ctx.uid(),
+                op: inv.op.clone(),
+            })),
+        }
+    }
+}
+
+/// The tail-f bottleneck: `Append` burns the service time and extends
+/// the line count; `ReadFrom(cursor)` replies with the current length so
+/// the follower can advance. Reads share the bounded mailbox with the
+/// append storm — under shedding policies the follower sees
+/// `Overloaded` and retries.
+struct TailLog {
+    lines: i64,
+    spin: Duration,
+}
+
+impl EjectBehavior for TailLog {
+    fn type_name(&self) -> &'static str {
+        "TailLog"
+    }
+
+    fn handle(&mut self, ctx: &EjectContext, inv: Invocation, reply: ReplyHandle) {
+        match inv.op.as_str() {
+            "Append" => {
+                spin_for(self.spin);
+                self.lines += 1;
+                reply.reply(Ok(Value::Int(self.lines)));
+            }
+            "ReadFrom" => reply.reply(Ok(Value::Int(self.lines))),
+            _ => reply.reply(Err(EdenError::NoSuchOperation {
+                target: ctx.uid(),
+                op: inv.op.clone(),
+            })),
+        }
+    }
+}
+
+/// Sleep until `t`. Pure `sleep`, never a busy spin: the driver shares
+/// cores with the service under test (a single core, in CI), so a
+/// spinning driver would starve the bottleneck Eject and manufacture a
+/// collapse the kernel is not responsible for. The ~100µs wakeup jitter
+/// this costs is noise against the interarrival gaps in use, and a late
+/// wakeup returns immediately — the open-loop driver catches up by
+/// bursting, it never thins the offered load.
+fn sleep_until(t: Instant) {
+    loop {
+        let now = Instant::now();
+        if now >= t {
+            return;
+        }
+        std::thread::sleep(t - now);
+    }
+}
+
+fn spawn_scenario(kernel: &Kernel, scenario: Scenario, cfg: &OverloadConfig) -> ScenarioHandles {
+    match scenario {
+        Scenario::Chat => {
+            let delivered = Arc::new(AtomicU64::new(0));
+            let subscribers: Vec<_> = (0..cfg.subscribers)
+                .map(|_| {
+                    kernel
+                        .spawn(Box::new(Subscriber {
+                            delivered: Arc::clone(&delivered),
+                        }))
+                        .expect("spawn subscriber")
+                })
+                .collect();
+            let room = kernel
+                .spawn(Box::new(ChatRoom {
+                    subscribers,
+                    history: std::collections::VecDeque::new(),
+                    spin: cfg.service_spin,
+                    published: 0,
+                }))
+                .expect("spawn chat room");
+            ScenarioHandles {
+                target: room,
+                delivered: Some(delivered),
+            }
+        }
+        Scenario::TailF => {
+            let log = kernel
+                .spawn(Box::new(TailLog {
+                    lines: 0,
+                    spin: cfg.service_spin,
+                }))
+                .expect("spawn tail log");
+            ScenarioHandles {
+                target: log,
+                delivered: None,
+            }
+        }
+    }
+}
+
+struct ScenarioHandles {
+    target: eden_core::Uid,
+    delivered: Option<Arc<AtomicU64>>,
+}
+
+/// Closed-loop saturation probe: a few clients hammer the bottleneck op
+/// synchronously on an unbounded kernel; the aggregate rate is µ, the
+/// anchor the offered-load multiples scale from.
+fn calibrate(scenario: Scenario, cfg: &OverloadConfig) -> f64 {
+    let kernel = Kernel::builder().build();
+    let handles = spawn_scenario(&kernel, scenario, cfg);
+    let per_client = cfg.calibration_requests;
+    let t0 = Instant::now();
+    let clients: Vec<_> = (0..cfg.calibration_clients)
+        .map(|_| {
+            let kernel = kernel.clone();
+            let target = handles.target;
+            let op = scenario.op();
+            std::thread::spawn(move || {
+                for i in 0..per_client {
+                    kernel
+                        .invoke(target, op, Value::Int(i as i64))
+                        .wait()
+                        .expect("calibration invoke");
+                }
+            })
+        })
+        .collect();
+    for c in clients {
+        c.join().expect("calibration client");
+    }
+    let total = (cfg.calibration_clients * per_client) as f64;
+    let rate = total / t0.elapsed().as_secs_f64().max(f64::EPSILON);
+    kernel.shutdown();
+    rate
+}
+
+/// One (scenario, policy, offered-rate) measurement.
+struct PointRow {
+    offered_multiple: f64,
+    offered_rps: f64,
+    sent: u64,
+    ok_on_time: u64,
+    ok_late: u64,
+    shed: u64,
+    timed_out: u64,
+    other_errors: u64,
+    goodput_rps: f64,
+    driver_ok_p50_ms: f64,
+    driver_ok_p99_ms: f64,
+    obs_queue_p50_us: f64,
+    obs_queue_p99_us: f64,
+    obs_service_p50_us: f64,
+    obs_service_p99_us: f64,
+    sheds_newest: u64,
+    sheds_oldest: u64,
+    sheds_expired: u64,
+    sheds_park_timeout: u64,
+    queue_depth_max: u64,
+    fanout_delivered: u64,
+    follower_lines: u64,
+    follower_retries: u64,
+}
+
+impl PointRow {
+    fn json(&self, scenario: Scenario) -> String {
+        let extra = match scenario {
+            Scenario::Chat => format!(", \"fanout_delivered\": {}", self.fanout_delivered),
+            Scenario::TailF => format!(
+                ", \"follower_lines\": {}, \"follower_retries\": {}",
+                self.follower_lines, self.follower_retries
+            ),
+        };
+        format!(
+            concat!(
+                "{{ \"offered_multiple\": {:.2}, \"offered_rps\": {:.1}, ",
+                "\"sent\": {}, \"ok_on_time\": {}, \"ok_late\": {}, \"shed\": {}, ",
+                "\"timed_out\": {}, \"other_errors\": {}, \"goodput_rps\": {:.1}, ",
+                "\"driver_ok_p50_ms\": {:.2}, \"driver_ok_p99_ms\": {:.2}, ",
+                "\"obs_queue_p50_us\": {:.1}, \"obs_queue_p99_us\": {:.1}, ",
+                "\"obs_service_p50_us\": {:.1}, \"obs_service_p99_us\": {:.1}, ",
+                "\"sheds\": {{ \"reject-newest\": {}, \"reject-oldest\": {}, ",
+                "\"deadline-drop\": {}, \"park-timeout\": {} }}, ",
+                "\"queue_depth_max\": {}{} }}"
+            ),
+            self.offered_multiple,
+            self.offered_rps,
+            self.sent,
+            self.ok_on_time,
+            self.ok_late,
+            self.shed,
+            self.timed_out,
+            self.other_errors,
+            self.goodput_rps,
+            self.driver_ok_p50_ms,
+            self.driver_ok_p99_ms,
+            self.obs_queue_p50_us,
+            self.obs_queue_p99_us,
+            self.obs_service_p50_us,
+            self.obs_service_p99_us,
+            self.sheds_newest,
+            self.sheds_oldest,
+            self.sheds_expired,
+            self.sheds_park_timeout,
+            self.queue_depth_max,
+            extra,
+        )
+    }
+}
+
+/// Quantile of a sorted slice (nearest-rank), in the slice's unit.
+fn quantile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// Run one open-loop point: fire `requests_per_point` invocations at
+/// `rate` per second, classify every completion, and fold in the obs
+/// plane's kernel-side histograms.
+fn run_point(
+    scenario: Scenario,
+    policy: ShedPolicy,
+    multiple: f64,
+    rate: f64,
+    cfg: &OverloadConfig,
+) -> PointRow {
+    let kernel = Kernel::builder()
+        .mailbox_capacity(cfg.mailbox_capacity)
+        .shed_policy(policy)
+        .observability(ObsConfig {
+            spans: false,
+            histograms: true,
+            ..ObsConfig::off()
+        })
+        .build();
+    let handles = spawn_scenario(&kernel, scenario, cfg);
+    let target = handles.target;
+    let op = scenario.op();
+    let total = cfg.requests_per_point;
+    let period = Duration::from_secs_f64(1.0 / rate.max(1.0));
+    let start = Instant::now() + Duration::from_millis(20);
+
+    // The tail-f follower: closed-loop polls sharing the bounded mailbox
+    // with the append storm, retrying on Overloaded with a short pause —
+    // the retryable-shed contract exercised end to end.
+    let stop = Arc::new(AtomicBool::new(false));
+    let follower = (scenario == Scenario::TailF).then(|| {
+        let kernel = kernel.clone();
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let (mut lines, mut retries) = (0u64, 0u64);
+            while !stop.load(Ordering::Acquire) {
+                match kernel
+                    .invoke(target, "ReadFrom", Value::Int(lines as i64))
+                    .wait_timeout(Duration::from_secs(5))
+                {
+                    Ok(Value::Int(len)) => lines = len.max(0) as u64,
+                    Ok(_) => {}
+                    Err(EdenError::Overloaded { .. }) => {
+                        retries += 1;
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                    Err(_) => std::thread::sleep(Duration::from_millis(1)),
+                }
+                std::thread::sleep(Duration::from_micros(500));
+            }
+            (lines, retries)
+        })
+    });
+
+    // Each driver thread owns the schedule slice `i ≡ t (mod threads)`
+    // and hands every in-flight reply to its own collector, so a reply
+    // wait never delays the next scheduled send — only `Park` inside the
+    // send itself can slip the schedule, which is exactly the effect
+    // under measurement.
+    struct DriveStats {
+        ok_on_time: u64,
+        ok_late: u64,
+        shed: u64,
+        timed_out: u64,
+        other_errors: u64,
+        ok_latencies_ms: Vec<f64>,
+    }
+    let threads = cfg.driver_threads.max(1);
+    let drivers: Vec<_> = (0..threads)
+        .map(|t| {
+            let kernel = kernel.clone();
+            let cfg = cfg.clone();
+            std::thread::spawn(move || {
+                let (tx, rx) = std::sync::mpsc::channel::<(
+                    eden_kernel::PendingReply,
+                    Instant,
+                )>();
+                let collector = std::thread::spawn(move || {
+                    let mut stats = DriveStats {
+                        ok_on_time: 0,
+                        ok_late: 0,
+                        shed: 0,
+                        timed_out: 0,
+                        other_errors: 0,
+                        ok_latencies_ms: Vec::new(),
+                    };
+                    for (pending, due) in rx {
+                        let outcome = pending.wait_timeout(cfg.drain_cap);
+                        let latency = Instant::now().saturating_duration_since(due);
+                        match outcome {
+                            Ok(_) => {
+                                stats
+                                    .ok_latencies_ms
+                                    .push(latency.as_secs_f64() * 1_000.0);
+                                if latency <= cfg.sla {
+                                    stats.ok_on_time += 1;
+                                } else {
+                                    stats.ok_late += 1;
+                                }
+                            }
+                            Err(EdenError::Overloaded { .. }) => stats.shed += 1,
+                            Err(EdenError::Timeout) => stats.timed_out += 1,
+                            Err(_) => stats.other_errors += 1,
+                        }
+                    }
+                    stats
+                });
+                let mut sent = 0u64;
+                for i in (t..total).step_by(threads) {
+                    let due = start + period.mul_f64(i as f64);
+                    sleep_until(due);
+                    let pending = match policy {
+                        // The deadline is what DeadlineDrop keys off —
+                        // and it bounds a Park inside the send, so this
+                        // arm also exercises the deadline-aware park.
+                        ShedPolicy::DeadlineDrop => kernel.invoke_with(
+                            target,
+                            op,
+                            Value::Int(i as i64),
+                            eden_kernel::InvokeOptions::new().deadline(cfg.sla),
+                        ),
+                        _ => kernel.invoke(target, op, Value::Int(i as i64)),
+                    };
+                    sent += 1;
+                    if tx.send((pending, due)).is_err() {
+                        break;
+                    }
+                }
+                drop(tx);
+                (sent, collector.join().expect("collector"))
+            })
+        })
+        .collect();
+
+    let mut sent = 0u64;
+    let mut ok_on_time = 0u64;
+    let mut ok_late = 0u64;
+    let mut shed = 0u64;
+    let mut timed_out = 0u64;
+    let mut other_errors = 0u64;
+    let mut ok_latencies_ms: Vec<f64> = Vec::new();
+    let mut queue_depth_max = 0u64;
+    // Sample the queue-depth gauge while the storm runs; the drivers
+    // finish independently so the sampler just rides along.
+    let done = Arc::new(AtomicBool::new(false));
+    let sampler = {
+        let kernel = kernel.clone();
+        let done = Arc::clone(&done);
+        std::thread::spawn(move || {
+            let mut max = 0u64;
+            while !done.load(Ordering::Acquire) {
+                max = max.max(kernel.metrics_snapshot().mailbox.queued_max);
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            max
+        })
+    };
+    for d in drivers {
+        let (s, stats) = d.join().expect("driver thread");
+        sent += s;
+        ok_on_time += stats.ok_on_time;
+        ok_late += stats.ok_late;
+        shed += stats.shed;
+        timed_out += stats.timed_out;
+        other_errors += stats.other_errors;
+        ok_latencies_ms.extend(stats.ok_latencies_ms);
+    }
+    done.store(true, Ordering::Release);
+    queue_depth_max = queue_depth_max.max(sampler.join().expect("gauge sampler"));
+    stop.store(true, Ordering::Release);
+    let (follower_lines, follower_retries) = follower
+        .map(|f| f.join().expect("follower thread"))
+        .unwrap_or((0, 0));
+
+    // Kernel-side latency from the obs histograms for the bottleneck op.
+    let summaries = kernel.stage_summaries();
+    let stage = summaries
+        .iter()
+        .find(|s| s.target == target && s.op.as_str() == op);
+    let (q50, q99, s50, s99) = stage
+        .map(|s| {
+            (
+                s.queue.p50_ns() as f64 / 1_000.0,
+                s.queue.p99_ns() as f64 / 1_000.0,
+                s.service.p50_ns() as f64 / 1_000.0,
+                s.service.p99_ns() as f64 / 1_000.0,
+            )
+        })
+        .unwrap_or((0.0, 0.0, 0.0, 0.0));
+    let snap = kernel.metrics_snapshot();
+    let fanout_delivered = handles
+        .delivered
+        .map(|delivered| delivered.load(Ordering::Relaxed))
+        .unwrap_or(0);
+    kernel.shutdown();
+
+    ok_latencies_ms.sort_by(|a, b| a.partial_cmp(b).expect("latency is never NaN"));
+    // Goodput over the *nominal* window: under Park the run takes longer
+    // than scheduled, and that slippage is precisely what must show up
+    // as lost goodput rather than be normalised away.
+    let window = period.mul_f64(total as f64).as_secs_f64().max(f64::EPSILON);
+    PointRow {
+        offered_multiple: multiple,
+        offered_rps: rate,
+        sent,
+        ok_on_time,
+        ok_late,
+        shed,
+        timed_out,
+        other_errors,
+        goodput_rps: ok_on_time as f64 / window,
+        driver_ok_p50_ms: quantile(&ok_latencies_ms, 0.50),
+        driver_ok_p99_ms: quantile(&ok_latencies_ms, 0.99),
+        obs_queue_p50_us: q50,
+        obs_queue_p99_us: q99,
+        obs_service_p50_us: s50,
+        obs_service_p99_us: s99,
+        sheds_newest: snap.metrics.sheds_newest,
+        sheds_oldest: snap.metrics.sheds_oldest,
+        sheds_expired: snap.metrics.sheds_expired,
+        sheds_park_timeout: snap.metrics.sheds_park_timeout,
+        queue_depth_max,
+        fanout_delivered,
+        follower_lines,
+        follower_retries,
+    }
+}
+
+/// The rendered report plus the two curves the graceful-knee guard
+/// judges.
+#[derive(Debug)]
+pub struct OverloadReport {
+    /// The `BENCH_overload.json` body.
+    pub json: String,
+    /// `(offered_multiple, goodput_rps)` for chat under `RejectNewest`.
+    pub chat_reject_newest: Vec<(f64, f64)>,
+    /// `(offered_multiple, goodput_rps)` for chat under `Park`.
+    pub chat_park: Vec<(f64, f64)>,
+}
+
+/// Run both scenarios across the policy × offered-load grid and render
+/// `BENCH_overload.json`.
+pub fn overload_report(cfg: &OverloadConfig, smoke: bool) -> OverloadReport {
+    // The chat sweep runs every policy (it is the headline curve); the
+    // tail-f sweep contrasts the legacy Park discipline with shedding.
+    let grid: [(Scenario, &[ShedPolicy]); 2] = [
+        (
+            Scenario::Chat,
+            &[
+                ShedPolicy::Park,
+                ShedPolicy::RejectNewest,
+                ShedPolicy::RejectOldest,
+                ShedPolicy::DeadlineDrop,
+            ],
+        ),
+        (Scenario::TailF, &[ShedPolicy::Park, ShedPolicy::RejectNewest]),
+    ];
+
+    let mut chat_reject_newest = Vec::new();
+    let mut chat_park = Vec::new();
+    let mut scenario_blocks = Vec::new();
+    for (scenario, policies) in grid {
+        let saturation = calibrate(scenario, cfg);
+        let mut policy_blocks = Vec::new();
+        for &policy in policies {
+            let mut point_rows = Vec::new();
+            for &multiple in &cfg.offered_multiples {
+                let rate = saturation * multiple;
+                let row = run_point(scenario, policy, multiple, rate, cfg);
+                if scenario == Scenario::Chat {
+                    match policy {
+                        ShedPolicy::RejectNewest => {
+                            chat_reject_newest.push((multiple, row.goodput_rps))
+                        }
+                        ShedPolicy::Park => chat_park.push((multiple, row.goodput_rps)),
+                        _ => {}
+                    }
+                }
+                point_rows.push(format!("          {}", row.json(scenario)));
+            }
+            policy_blocks.push(format!(
+                concat!(
+                    "      {{\n",
+                    "        \"policy\": \"{}\",\n",
+                    "        \"points\": [\n{}\n        ]\n",
+                    "      }}"
+                ),
+                policy_label(policy),
+                point_rows.join(",\n"),
+            ));
+        }
+        scenario_blocks.push(format!(
+            concat!(
+                "    {{\n",
+                "      \"name\": \"{}\",\n",
+                "      \"saturation_rps\": {:.1},\n",
+                "      \"policies\": [\n{}\n      ]\n",
+                "    }}"
+            ),
+            scenario.name(),
+            saturation,
+            policy_blocks.join(",\n"),
+        ));
+    }
+
+    let peak = |curve: &[(f64, f64)]| {
+        curve
+            .iter()
+            .map(|&(_, g)| g)
+            .fold(0.0f64, f64::max)
+    };
+    let at_max_multiple = |curve: &[(f64, f64)]| {
+        curve
+            .iter()
+            .cloned()
+            .max_by(|a, b| a.0.partial_cmp(&b.0).expect("multiple is never NaN"))
+            .map(|(_, g)| g)
+            .unwrap_or(0.0)
+    };
+    let rn_peak = peak(&chat_reject_newest);
+    let rn_at_2x = at_max_multiple(&chat_reject_newest);
+    let park_at_2x = at_max_multiple(&chat_park);
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"schema\": 1,\n",
+            "  \"mode\": \"{}\",\n",
+            "  \"sla_ms\": {},\n",
+            "  \"mailbox_capacity\": {},\n",
+            "  \"requests_per_point\": {},\n",
+            "  \"scenarios\": [\n{}\n  ],\n",
+            "  \"knee\": {{\n",
+            "    \"chat_reject_newest_peak_goodput_rps\": {:.1},\n",
+            "    \"chat_reject_newest_at_max_offered_goodput_rps\": {:.1},\n",
+            "    \"chat_reject_newest_retention\": {:.3},\n",
+            "    \"chat_park_at_max_offered_goodput_rps\": {:.1},\n",
+            "    \"park_collapse_ratio\": {:.3}\n",
+            "  }}\n",
+            "}}\n"
+        ),
+        if smoke { "smoke" } else { "full" },
+        cfg.sla.as_millis(),
+        cfg.mailbox_capacity,
+        cfg.requests_per_point,
+        scenario_blocks.join(",\n"),
+        rn_peak,
+        rn_at_2x,
+        rn_at_2x / rn_peak.max(f64::EPSILON),
+        park_at_2x,
+        park_at_2x / rn_peak.max(f64::EPSILON),
+    );
+    OverloadReport {
+        json,
+        chat_reject_newest,
+        chat_park,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantile_is_nearest_rank() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&v, 0.50), 2.0);
+        assert_eq!(quantile(&v, 0.99), 4.0);
+        assert_eq!(quantile(&[], 0.5), 0.0);
+    }
+
+    #[test]
+    fn one_point_produces_a_sane_row() {
+        // A single cheap point, well under saturation: everything admits,
+        // nothing sheds, goodput ≈ the offered rate.
+        let cfg = OverloadConfig {
+            requests_per_point: 60,
+            calibration_requests: 20,
+            calibration_clients: 2,
+            service_spin: Duration::from_micros(50),
+            subscribers: 2,
+            mailbox_capacity: 64,
+            sla: Duration::from_millis(500),
+            offered_multiples: vec![0.2],
+            driver_threads: 2,
+            drain_cap: Duration::from_secs(10),
+        };
+        let row = run_point(Scenario::Chat, ShedPolicy::RejectNewest, 0.2, 400.0, &cfg);
+        assert_eq!(row.sent, 60);
+        assert_eq!(
+            row.ok_on_time + row.ok_late + row.shed + row.timed_out + row.other_errors,
+            60
+        );
+        assert!(row.ok_on_time > 0, "underload point completed nothing");
+        assert!(row.fanout_delivered > 0, "chat fan-out never delivered");
+        let text = row.json(Scenario::Chat);
+        assert!(text.contains("\"goodput_rps\""));
+        assert!(text.contains("\"fanout_delivered\""));
+    }
+
+    #[test]
+    fn tail_f_point_reports_the_follower() {
+        let cfg = OverloadConfig {
+            requests_per_point: 40,
+            calibration_requests: 20,
+            calibration_clients: 2,
+            service_spin: Duration::from_micros(50),
+            subscribers: 0,
+            mailbox_capacity: 64,
+            sla: Duration::from_millis(500),
+            offered_multiples: vec![0.2],
+            driver_threads: 2,
+            drain_cap: Duration::from_secs(10),
+        };
+        let row = run_point(Scenario::TailF, ShedPolicy::Park, 0.2, 300.0, &cfg);
+        assert_eq!(row.sent, 40);
+        assert!(row.follower_lines > 0, "follower observed no lines");
+        let text = row.json(Scenario::TailF);
+        assert!(text.contains("\"follower_lines\""));
+    }
+}

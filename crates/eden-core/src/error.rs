@@ -60,6 +60,19 @@ pub enum EdenError {
     /// filter pair under conventional, or a forged channel capability.
     /// Raised at build time, before any Eject spawns.
     Discipline(String),
+    /// Admission control shed this invocation: the target's bounded mailbox
+    /// was full and its shed policy turned the invocation away (or evicted
+    /// it after queueing). Carries the target and the policy label that
+    /// fired, so overload tests can tell shed traffic from organic
+    /// failures. Retryable by design — backing off and re-sending is
+    /// exactly the client-side rate control an overloaded system wants.
+    Overloaded {
+        /// The Eject whose mailbox shed the invocation.
+        target: Uid,
+        /// The shed-policy label (`"reject-newest"`, `"reject-oldest"`,
+        /// `"deadline-drop"`, `"park-timeout"`).
+        policy: &'static str,
+    },
 }
 
 impl EdenError {
@@ -70,14 +83,20 @@ impl EdenError {
     /// was outstanding ([`EdenError::EjectCrashed`] — the kernel will
     /// reactivate a checkpointed target on the next invocation), or the
     /// fault injector dropped the invocation on purpose
-    /// ([`EdenError::FaultInjected`]). Everything else is a property of the
-    /// request or of the system state that a retry cannot change: retrying
-    /// a `BadParameter` or a `NoSuchEject` (the target has no passive
-    /// representation to come back from) only wastes invocations.
+    /// ([`EdenError::FaultInjected`]), or admission control shed it at a
+    /// full bounded mailbox ([`EdenError::Overloaded`] — the queue drains,
+    /// and a backed-off retry is the rate control the shed asked for).
+    /// Everything else is a property of the request or of the system state
+    /// that a retry cannot change: retrying a `BadParameter` or a
+    /// `NoSuchEject` (the target has no passive representation to come
+    /// back from) only wastes invocations.
     pub fn is_retryable(&self) -> bool {
         matches!(
             self,
-            EdenError::Timeout | EdenError::EjectCrashed(_) | EdenError::FaultInjected(_)
+            EdenError::Timeout
+                | EdenError::EjectCrashed(_)
+                | EdenError::FaultInjected(_)
+                | EdenError::Overloaded { .. }
         )
     }
 
@@ -107,6 +126,9 @@ impl fmt::Display for EdenError {
             EdenError::Application(msg) => write!(f, "application error: {msg}"),
             EdenError::FaultInjected(label) => write!(f, "injected fault: {label}"),
             EdenError::Discipline(msg) => write!(f, "discipline violation: {msg}"),
+            EdenError::Overloaded { target, policy } => {
+                write!(f, "Eject {target} overloaded (shed policy: {policy})")
+            }
         }
     }
 }
@@ -145,6 +167,23 @@ mod tests {
         assert!(EdenError::Timeout.is_retryable());
         assert!(EdenError::EjectCrashed(Uid::fresh()).is_retryable());
         assert!(EdenError::FaultInjected("chaos".into()).is_retryable());
+        assert!(EdenError::Overloaded {
+            target: Uid::fresh(),
+            policy: "reject-newest",
+        }
+        .is_retryable());
+    }
+
+    #[test]
+    fn overload_display_names_the_policy() {
+        let u = Uid::fresh();
+        let msg = EdenError::Overloaded {
+            target: u,
+            policy: "deadline-drop",
+        }
+        .to_string();
+        assert!(msg.contains("deadline-drop"));
+        assert!(msg.contains(&u.to_string()));
     }
 
     #[test]

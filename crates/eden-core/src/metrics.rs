@@ -89,6 +89,10 @@ struct Counters {
     recovered_streams: AtomicU64,
     successes: AtomicU64,
     fatal_failures: AtomicU64,
+    sheds_newest: AtomicU64,
+    sheds_oldest: AtomicU64,
+    sheds_expired: AtomicU64,
+    sheds_park_timeout: AtomicU64,
 }
 
 impl Metrics {
@@ -203,6 +207,31 @@ impl Metrics {
         self.cell().fatal_failures.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Record an arriving invocation turned away at a full bounded mailbox
+    /// (`ShedPolicy::RejectNewest`, or `DeadlineDrop` with nothing expired).
+    pub fn record_shed_newest(&self) {
+        self.cell().sheds_newest.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a queued invocation evicted to admit a newer arrival
+    /// (`ShedPolicy::RejectOldest`).
+    pub fn record_shed_oldest(&self) {
+        self.cell().sheds_oldest.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a queued invocation dropped because its admission deadline
+    /// had already expired (`ShedPolicy::DeadlineDrop`).
+    pub fn record_shed_expired(&self) {
+        self.cell().sheds_expired.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a sender whose deadline-bounded park on a full mailbox timed
+    /// out before space freed (`ShedPolicy::Park` under an invocation
+    /// deadline).
+    pub fn record_shed_park_timeout(&self) {
+        self.cell().sheds_park_timeout.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// The calling thread's counter block.
     fn cell(&self) -> &Counters {
         &self.shards[metric_slot() & (METRIC_SHARDS - 1)].0
@@ -233,6 +262,10 @@ impl Metrics {
             s.recovered_streams += c.recovered_streams.load(Ordering::Relaxed);
             s.successes += c.successes.load(Ordering::Relaxed);
             s.fatal_failures += c.fatal_failures.load(Ordering::Relaxed);
+            s.sheds_newest += c.sheds_newest.load(Ordering::Relaxed);
+            s.sheds_oldest += c.sheds_oldest.load(Ordering::Relaxed);
+            s.sheds_expired += c.sheds_expired.load(Ordering::Relaxed);
+            s.sheds_park_timeout += c.sheds_park_timeout.load(Ordering::Relaxed);
         }
         s
     }
@@ -263,6 +296,10 @@ pub struct MetricsSnapshot {
     pub recovered_streams: u64,
     pub successes: u64,
     pub fatal_failures: u64,
+    pub sheds_newest: u64,
+    pub sheds_oldest: u64,
+    pub sheds_expired: u64,
+    pub sheds_park_timeout: u64,
 }
 
 impl MetricsSnapshot {
@@ -289,7 +326,16 @@ impl MetricsSnapshot {
             recovered_streams: self.recovered_streams - earlier.recovered_streams,
             successes: self.successes - earlier.successes,
             fatal_failures: self.fatal_failures - earlier.fatal_failures,
+            sheds_newest: self.sheds_newest - earlier.sheds_newest,
+            sheds_oldest: self.sheds_oldest - earlier.sheds_oldest,
+            sheds_expired: self.sheds_expired - earlier.sheds_expired,
+            sheds_park_timeout: self.sheds_park_timeout - earlier.sheds_park_timeout,
         }
+    }
+
+    /// Total invocations shed by admission control, across every policy.
+    pub fn sheds_total(&self) -> u64 {
+        self.sheds_newest + self.sheds_oldest + self.sheds_expired + self.sheds_park_timeout
     }
 
     /// Total bytes moved in either direction.
@@ -452,6 +498,26 @@ mod tests {
         let delta = s.since(&before);
         assert_eq!(delta.successes, 1);
         assert_eq!(delta.fatal_failures, 1);
+    }
+
+    #[test]
+    fn shed_counters_accumulate_and_diff() {
+        let m = Metrics::new();
+        m.record_shed_newest();
+        let before = m.snapshot();
+        m.record_shed_newest();
+        m.record_shed_oldest();
+        m.record_shed_expired();
+        m.record_shed_park_timeout();
+        let s = m.snapshot();
+        assert_eq!(s.sheds_newest, 2);
+        assert_eq!(s.sheds_oldest, 1);
+        assert_eq!(s.sheds_expired, 1);
+        assert_eq!(s.sheds_park_timeout, 1);
+        assert_eq!(s.sheds_total(), 5);
+        let delta = s.since(&before);
+        assert_eq!(delta.sheds_newest, 1);
+        assert_eq!(delta.sheds_total(), 4);
     }
 
     #[test]

@@ -106,7 +106,7 @@ impl EjectContext {
     ) -> PendingReply {
         match self.kernel.upgrade() {
             Some(kernel) => {
-                kernel.invoke_cached(self.node, cache, target, op.into(), arg, true, false)
+                kernel.invoke_cached(self.node, cache, target, op.into(), arg, true, false, None)
             }
             None => PendingReply::ready(Err(EdenError::KernelShutdown)),
         }
@@ -213,6 +213,10 @@ impl InternalSender {
         self.metrics.record_internal_message();
         self.tx
             .send(Envelope::Internal(event))
+            // Internal events are stream data, never shed: admission control
+            // parks the sender instead (see `mailbox::ShedPolicy`), so the
+            // outcome is always plain delivery.
+            .map(|_| ())
             .map_err(|_| EdenError::KernelShutdown)
     }
 }
@@ -279,7 +283,7 @@ impl ProcessContext {
     ) -> PendingReply {
         match self.kernel.upgrade() {
             Some(kernel) => {
-                kernel.invoke_cached(self.node, cache, target, op.into(), arg, true, false)
+                kernel.invoke_cached(self.node, cache, target, op.into(), arg, true, false, None)
             }
             None => PendingReply::ready(Err(EdenError::KernelShutdown)),
         }

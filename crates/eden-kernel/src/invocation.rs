@@ -68,6 +68,11 @@ pub struct ReplyHandle {
     /// invocations; driver-owned (retrying) invocations keep it false and
     /// let the driver meter the *terminal* outcome exactly once.
     meter_outcome: bool,
+    /// The invocation's overall deadline as an absolute instant, when one
+    /// was set via `InvokeOptions::deadline`. Admission control reads it on
+    /// the send path: a `Park` sender bounds its wait for mailbox space by
+    /// it, and `DeadlineDrop` evicts queued envelopes once it has passed.
+    admit_by: Option<std::time::Instant>,
 }
 
 impl ReplyHandle {
@@ -119,6 +124,17 @@ impl ReplyHandle {
     /// non-driver invocations only).
     pub(crate) fn set_meter_outcome(&mut self) {
         self.meter_outcome = true;
+    }
+
+    /// Stamp the invocation's absolute deadline (kernel dispatch path,
+    /// deadline-bearing invocations only).
+    pub(crate) fn set_admit_by(&mut self, admit_by: std::time::Instant) {
+        self.admit_by = Some(admit_by);
+    }
+
+    /// The invocation's absolute deadline, if one was set.
+    pub(crate) fn admit_by(&self) -> Option<std::time::Instant> {
+        self.admit_by
     }
 
     /// Mark the moment a coordinator picked this invocation out of its
@@ -290,6 +306,7 @@ pub fn reply_pair(responder: Uid, metrics: Metrics) -> (ReplyHandle, PendingRepl
             metrics,
             obs: None,
             meter_outcome: false,
+            admit_by: None,
         },
         PendingReply::Waiting(rx),
     )

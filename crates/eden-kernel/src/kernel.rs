@@ -42,8 +42,10 @@ use crate::behavior::EjectBehavior;
 use crate::context::EjectContext;
 use crate::fault::{FaultInjector, FaultKind, FaultPlan};
 use crate::invocation::{reply_pair, Invocation, PendingReply, ReplyHandle};
-use crate::mailbox::{mailbox, receiver, MailboxSender, SendError};
-use crate::obs::{KernelSnapshot, ObsConfig, ObsPlane, ObsTag, SpanRecord, StageSummary};
+use crate::mailbox::{mailbox, receiver, MailboxSender, SendError, SendOutcome, ShedCause, ShedPolicy};
+use crate::obs::{
+    KernelSnapshot, MailboxSnapshot, ObsConfig, ObsPlane, ObsTag, SpanRecord, StageSummary,
+};
 use crate::options::{InvokeOptions, RetryState};
 use crate::routes::{Route, RouteCache};
 use crate::runtime::{run_coordinator, Envelope};
@@ -94,11 +96,18 @@ pub struct KernelConfig {
     pub registry_shards: usize,
     /// Mailbox capacity per Eject. `None` (the default) keeps the historic
     /// unbounded mailboxes; `Some(n)` bounds each coordinator mailbox to
-    /// `n` envelopes and *parks the sender* when full — invocation becomes
-    /// flow-controlled rather than queue-growing. Kernel control messages
-    /// (crash, shutdown) bypass the bound so a full mailbox can never wedge
-    /// teardown.
+    /// `n` envelopes and runs [`shed_policy`](KernelConfig::shed_policy)
+    /// when full — under the default [`ShedPolicy::Park`] invocation
+    /// becomes flow-controlled rather than queue-growing. Kernel control
+    /// messages (crash, shutdown) bypass the bound so a full mailbox can
+    /// never wedge teardown.
     pub mailbox_capacity: Option<usize>,
+    /// What a full bounded mailbox does to arriving invocations (see
+    /// [`ShedPolicy`]). Irrelevant when `mailbox_capacity` is `None`.
+    /// The shedding policies surface as the retryable
+    /// [`EdenError::Overloaded`], so `invoke_with` retry/backoff composes
+    /// as client-side rate control.
+    pub shed_policy: ShedPolicy,
     /// The observability plane: causal spans and per-stage latency
     /// histograms (see [`ObsConfig`]). Off by default — a disabled kernel
     /// carries no instrumentation state at all.
@@ -116,6 +125,7 @@ impl Default for KernelConfig {
             trace_capacity: 0,
             registry_shards: DEFAULT_REGISTRY_SHARDS,
             mailbox_capacity: None,
+            shed_policy: ShedPolicy::default(),
             observability: ObsConfig::off(),
             exec: ExecMode::default(),
         }
@@ -186,6 +196,13 @@ impl KernelBuilder {
     /// See [`KernelConfig::mailbox_capacity`].
     pub fn mailbox_capacity(mut self, capacity: usize) -> Self {
         self.config.mailbox_capacity = Some(capacity);
+        self
+    }
+
+    /// See [`KernelConfig::shed_policy`]. Takes effect only together with
+    /// [`mailbox_capacity`](KernelBuilder::mailbox_capacity).
+    pub fn shed_policy(mut self, policy: ShedPolicy) -> Self {
+        self.config.shed_policy = policy;
         self
     }
 
@@ -566,7 +583,28 @@ impl Kernel {
                 .map(|s| s.snapshot())
                 .unwrap_or_default(),
             stable: self.inner.stable.stats(),
+            mailbox: self.mailbox_snapshot(),
         }
+    }
+
+    /// Sample mailbox occupancy across every active Eject. Takes each
+    /// registry shard's read lock once plus one mailbox-queue lock per
+    /// active slot — cheap enough for a stats poll, and depths across
+    /// mailboxes are only consistent per-mailbox (an envelope in flight
+    /// between two Ejects may be counted in neither).
+    fn mailbox_snapshot(&self) -> MailboxSnapshot {
+        let mut snap = MailboxSnapshot::default();
+        for shard in self.inner.shards.iter() {
+            for slot in shard.slots.read().values() {
+                if let SlotState::Active { tx, .. } = &slot.state {
+                    let depth = tx.depth() as u64;
+                    snap.mailboxes += 1;
+                    snap.queued_total += depth;
+                    snap.queued_max = snap.queued_max.max(depth);
+                }
+            }
+        }
+        snap
     }
 
     /// A convenient entry point to [`KernelBuilder`].
@@ -626,7 +664,7 @@ impl Kernel {
     /// Deadlines, retry policy, route caching, and fault immunity are
     /// configured through [`Kernel::invoke_with`].
     pub fn invoke(&self, target: Uid, op: impl Into<OpName>, arg: Value) -> PendingReply {
-        self.invoke_inner(NodeId::default(), target, op.into(), arg, true, true, false)
+        self.invoke_inner(NodeId::default(), target, op.into(), arg, true, true, false, None)
     }
 
     /// [`Kernel::invoke`] with explicit [`InvokeOptions`]: an overall
@@ -681,10 +719,16 @@ impl Kernel {
         opts: InvokeOptions<'_>,
     ) -> PendingReply {
         let subject = opts.subject_to_faults();
+        // The deadline as an absolute instant, stamped on every delivery
+        // attempt's reply handle so the mailbox admission path can see it
+        // (deadline-bounded parks, `DeadlineDrop` eviction).
+        let admit_by = opts.deadline.map(|d| std::time::Instant::now() + d);
         if !opts.needs_driver() {
             return match opts.route_cache {
-                Some(cache) => self.invoke_cached(from, cache, target, op, arg, subject, false),
-                None => self.invoke_inner(from, target, op, arg, subject, true, false),
+                Some(cache) => {
+                    self.invoke_cached(from, cache, target, op, arg, subject, false, None)
+                }
+                None => self.invoke_inner(from, target, op, arg, subject, true, false, None),
             };
         }
         // Deadline or retries requested: keep the request around so the
@@ -692,8 +736,10 @@ impl Kernel {
         // payload plane), so this costs a few pointers, not a copy.
         let (op_kept, arg_kept) = (op.clone(), arg.clone());
         let inner = match opts.route_cache {
-            Some(cache) => self.invoke_cached(from, cache, target, op, arg, subject, true),
-            None => self.invoke_inner(from, target, op, arg, subject, true, true),
+            Some(cache) => {
+                self.invoke_cached(from, cache, target, op, arg, subject, true, admit_by)
+            }
+            None => self.invoke_inner(from, target, op, arg, subject, true, true, admit_by),
         };
         PendingReply::Retrying(Box::new(RetryState::new(
             self.downgrade(),
@@ -718,7 +764,7 @@ impl Kernel {
         op: OpName,
         arg: Value,
     ) -> PendingReply {
-        self.invoke_inner(from, target, op, arg, true, true, false)
+        self.invoke_inner(from, target, op, arg, true, true, false, None)
     }
 
     /// The uncached delivery path: meter, shutdown check, fault decision,
@@ -741,6 +787,7 @@ impl Kernel {
         subject_to_faults: bool,
         first_attempt: bool,
         driver_owned: bool,
+        admit_by: Option<std::time::Instant>,
     ) -> PendingReply {
         let metrics = &self.inner.metrics;
         if first_attempt {
@@ -765,7 +812,10 @@ impl Kernel {
             Ok(route) => route,
             Err(e) => return fail(e),
         };
-        let (handle, pending) = self.reply_pair_for(target, &op, from, &route, driver_owned);
+        let (mut handle, pending) = self.reply_pair_for(target, &op, from, &route, driver_owned);
+        if let Some(admit_by) = admit_by {
+            handle.set_admit_by(admit_by);
+        }
         self.dispatch_route(from, &route, Invocation { op, arg }, handle);
         pending
     }
@@ -885,6 +935,7 @@ impl Kernel {
         arg: Value,
         subject_to_faults: bool,
         driver_owned: bool,
+        admit_by: Option<std::time::Instant>,
     ) -> PendingReply {
         let metrics = &self.inner.metrics;
         // Meter BEFORE the send: the receiver may handle the envelope (and
@@ -919,13 +970,17 @@ impl Kernel {
             if let Some(latency) = self.inner.config.invocation_latency {
                 crate::sched::blocking(|| std::thread::sleep(latency));
             }
-            let (handle, pending) = self.reply_pair_for(target, &op, from, &route, driver_owned);
+            let (mut handle, pending) = self.reply_pair_for(target, &op, from, &route, driver_owned);
+            if let Some(admit_by) = admit_by {
+                handle.set_admit_by(admit_by);
+            }
             match route
                 .tx
                 .send(Envelope::Invocation(Invocation { op, arg }, handle))
             {
-                Ok(()) => {
+                Ok(outcome) => {
                     metrics.record_route_cache_hit();
+                    self.settle_send_outcome(outcome);
                     pending
                 }
                 Err(SendError(envelope)) => {
@@ -945,9 +1000,14 @@ impl Kernel {
                     match self.resolve_route(target) {
                         Ok(fresh) => {
                             cache.insert(fresh.clone());
-                            let _ = fresh
-                                .tx
-                                .send(Envelope::Invocation(invocation, handle));
+                            // A second bounce (send error) means the fresh
+                            // coordinator also exited; dropping the envelope
+                            // resolves the reply with EjectCrashed.
+                            if let Ok(outcome) =
+                                fresh.tx.send(Envelope::Invocation(invocation, handle))
+                            {
+                                self.settle_send_outcome(outcome);
+                            }
                         }
                         // Resolve silently: the uncached path reports a
                         // missing target without metering a reply, so the
@@ -965,9 +1025,46 @@ impl Kernel {
                 Err(e) => return fail(e),
             };
             cache.insert(route.clone());
-            let (handle, pending) = self.reply_pair_for(target, &op, from, &route, driver_owned);
+            let (mut handle, pending) = self.reply_pair_for(target, &op, from, &route, driver_owned);
+            if let Some(admit_by) = admit_by {
+                handle.set_admit_by(admit_by);
+            }
             self.dispatch_route(from, &route, Invocation { op, arg }, handle);
             pending
+        }
+    }
+
+    /// Resolve whatever admission control did on a successful send: count
+    /// each shed under its policy label and resolve its reply with the
+    /// retryable [`EdenError::Overloaded`], so waiters observe the shed as
+    /// overload (not as a crash) and retry drivers back off and re-send.
+    fn settle_send_outcome(&self, outcome: SendOutcome) {
+        match outcome {
+            SendOutcome::Delivered => {}
+            SendOutcome::DeliveredEvicting(evicted) => {
+                for (envelope, cause) in evicted {
+                    self.resolve_shed(envelope, cause);
+                }
+            }
+            SendOutcome::Rejected(envelope, cause) => self.resolve_shed(envelope, cause),
+        }
+    }
+
+    fn resolve_shed(&self, envelope: Envelope, cause: ShedCause) {
+        match cause {
+            ShedCause::Newest => self.inner.metrics.record_shed_newest(),
+            ShedCause::Oldest => self.inner.metrics.record_shed_oldest(),
+            ShedCause::Expired => self.inner.metrics.record_shed_expired(),
+            ShedCause::ParkTimeout => self.inner.metrics.record_shed_park_timeout(),
+        }
+        // The mailbox only ever sheds invocations; anything else would be
+        // a protocol bug, and dropping it here is the safe failure mode.
+        if let Envelope::Invocation(_, handle) = envelope {
+            let target = handle.responder();
+            handle.resolve_silent(EdenError::Overloaded {
+                target,
+                policy: cause.policy_label(),
+            });
         }
     }
 
@@ -1045,8 +1142,12 @@ impl Kernel {
         }
         // A send failure means the coordinator already exited; dropping
         // `handle` resolves the pending reply with EjectCrashed, which is
-        // the correct observation for the caller.
-        let _ = route.tx.send(Envelope::Invocation(invocation, handle));
+        // the correct observation for the caller. A successful send may
+        // still have shed envelopes (admission control at a full bounded
+        // mailbox); those resolve with `Overloaded`.
+        if let Ok(outcome) = route.tx.send(Envelope::Invocation(invocation, handle)) {
+            self.settle_send_outcome(outcome);
+        }
     }
 
     /// The node an Eject is placed on (node 0 if never placed).
@@ -1187,10 +1288,14 @@ impl Kernel {
         }
         match self.inner.stable.load(uid) {
             Ok(record) => {
-                let slot = slots.get_mut(&uid).expect("checked above");
-                slot.state = SlotState::Passive {
-                    type_name: record.type_name,
-                };
+                // The shard write lock has been held since the currency
+                // check, so the slot is still there; the exit path must
+                // not carry a panic, so degrade to a no-op if it is not.
+                if let Some(slot) = slots.get_mut(&uid) {
+                    slot.state = SlotState::Passive {
+                        type_name: record.type_name,
+                    };
+                }
             }
             Err(_) => {
                 // Never checkpointed: "since it has never Checkpointed,
@@ -1241,7 +1346,10 @@ impl Kernel {
             return Err(EdenError::KernelShutdown);
         }
         let incarnation = slots.get(&uid).map(|slot| slot.incarnation).unwrap_or(0) + 1;
-        let (tx, core) = mailbox(self.inner.config.mailbox_capacity);
+        let (tx, core) = mailbox(
+            self.inner.config.mailbox_capacity,
+            self.inner.config.shed_policy,
+        );
         let type_name = behavior.type_name();
         let ctx = Arc::new(EjectContext {
             uid,

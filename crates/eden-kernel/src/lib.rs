@@ -73,9 +73,10 @@ pub use kernel::{
     EjectInfo, EjectState, ExecMode, Kernel, KernelBuilder, KernelConfig, NodeId, TypeFactory,
     WeakKernel, DEFAULT_REGISTRY_SHARDS,
 };
+pub use mailbox::{ShedCause, ShedPolicy};
 pub use obs::{
-    chrome_trace_json, json_text, prometheus_text, Histogram, KernelSnapshot, ObsConfig,
-    SpanRecord, StageSummary,
+    chrome_trace_json, json_text, prometheus_text, Histogram, KernelSnapshot, MailboxSnapshot,
+    ObsConfig, SpanRecord, StageSummary,
 };
 pub use options::{FaultExposure, InvokeOptions, RetryPolicy};
 pub use routes::{Route, RouteCache};

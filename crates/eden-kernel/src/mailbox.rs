@@ -21,11 +21,36 @@
 //!
 //! In `threads` execution mode nothing parks on the bit: a dedicated
 //! coordinator blocks on [`MailboxReceiver::recv`] (condvar), exactly the
-//! crossbeam shape it replaces. Send-side semantics are preserved
-//! verbatim: `send` parks on a full bounded mailbox, `force_send` bypasses
-//! the bound (kernel control traffic), and both fail with the envelope
-//! returned once the mailbox closed — the staleness signal cached routes
-//! rely on.
+//! crossbeam shape it replaces.
+//!
+//! # Admission control
+//!
+//! A bounded mailbox (`cap: Some(n)`) runs a [`ShedPolicy`] when a plain
+//! `send` arrives at a full ring. The historic behaviour
+//! ([`ShedPolicy::Park`]) parks the sender on the `not_full` condvar —
+//! which under excess offered load turns backpressure into a distributed
+//! standoff: a scheduler worker parked behind a full mailbox whose
+//! consumer is itself parked behind another full mailbox never makes
+//! progress, and the stall monitor cannot help because every worker is
+//! *legitimately* blocked. Two escapes exist:
+//!
+//! * a deadline-bearing invocation ([`InvokeOptions::deadline`]) bounds
+//!   its park by the deadline and sheds itself when it expires, so an
+//!   `invoke_with` caller can never be wedged forever; and
+//! * the load-shedding policies (`RejectNewest`, `RejectOldest`,
+//!   `DeadlineDrop`) never park at all — they shed an envelope instead,
+//!   and the kernel resolves the shed invocation's reply with the
+//!   retryable `EdenError::Overloaded`, composing with `invoke_with`
+//!   retry/backoff as client-side rate control.
+//!
+//! Only `Envelope::Invocation` traffic is ever shed: intra-Eject
+//! `Internal` events are stream data whose loss would break exactly-once
+//! accounting, so they always use the parking discipline, and kernel
+//! control traffic (`force_send`) bypasses the bound entirely. A send
+//! still fails with the envelope returned once the mailbox closed — the
+//! staleness signal cached routes rely on.
+//!
+//! [`InvokeOptions::deadline`]: crate::InvokeOptions::deadline
 
 // A failed send hands the whole envelope back (crossbeam's contract, and
 // what invoke-over-a-stale-route needs to retry without a clone); boxing
@@ -35,11 +60,78 @@
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock, Weak};
+use std::time::Instant;
 
 use parking_lot::{Condvar, Mutex};
 
 use crate::runtime::Envelope;
 use crate::sched::{Scheduler, Task};
+
+/// What a bounded mailbox does when a plain `send` arrives at a full ring.
+/// Configured kernel-wide through
+/// [`KernelBuilder::shed_policy`](crate::KernelBuilder::shed_policy);
+/// irrelevant for unbounded mailboxes (the default capacity).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ShedPolicy {
+    /// Park the sender until the consumer drains — the historic
+    /// flow-control behaviour, and the default. Deadline-bearing
+    /// invocations bound the park by their deadline and shed themselves
+    /// when it expires; deadline-free sends park indefinitely.
+    #[default]
+    Park,
+    /// Turn the arriving invocation away: the queue keeps what it has, the
+    /// newcomer resolves with [`EdenError::Overloaded`](eden_core::EdenError).
+    RejectNewest,
+    /// Evict the oldest queued invocation to admit the arrival — freshest
+    /// work wins, stale queue entries (whose callers have likely given up)
+    /// are shed first.
+    RejectOldest,
+    /// Evict queued invocations whose admission deadlines have already
+    /// expired (their callers can no longer use the reply); if nothing has
+    /// expired, behave as [`ShedPolicy::RejectNewest`].
+    DeadlineDrop,
+}
+
+impl ShedPolicy {
+    /// The policy's stable label, used in `EdenError::Overloaded`, the
+    /// Prometheus `policy` label, and bench report JSON.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ShedPolicy::Park => "park",
+            ShedPolicy::RejectNewest => "reject-newest",
+            ShedPolicy::RejectOldest => "reject-oldest",
+            ShedPolicy::DeadlineDrop => "deadline-drop",
+        }
+    }
+}
+
+/// Why admission control shed one envelope. Finer-grained than
+/// [`ShedPolicy`]: one policy can shed for different reasons (`Park` sheds
+/// only on deadline expiry; `DeadlineDrop` sheds expired entries *and*
+/// turns newcomers away).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShedCause {
+    /// The arriving invocation was turned away at a full ring.
+    Newest,
+    /// A queued invocation was evicted to admit a newer arrival.
+    Oldest,
+    /// A queued (or arriving) invocation's admission deadline had expired.
+    Expired,
+    /// A parked sender's deadline-bounded wait for space timed out.
+    ParkTimeout,
+}
+
+impl ShedCause {
+    /// The policy label reported in `EdenError::Overloaded` for this shed.
+    pub fn policy_label(&self) -> &'static str {
+        match self {
+            ShedCause::Newest => "reject-newest",
+            ShedCause::Oldest => "reject-oldest",
+            ShedCause::Expired => "deadline-drop",
+            ShedCause::ParkTimeout => "park-timeout",
+        }
+    }
+}
 
 /// Ring capacities at or above this are released when the ring drains, so
 /// a burst does not pin its high-water mark for the rest of an idle
@@ -245,6 +337,35 @@ pub mod spec {
     }
 }
 
+/// One admission decision at a full bounded ring.
+enum Admit {
+    /// Re-run the capacity check (the sender parked and woke, or eviction
+    /// freed space). Carries the envelope back to the retry.
+    Retry(Envelope),
+    /// The arriving envelope was shed with this cause.
+    Shed(Envelope, ShedCause),
+}
+
+/// What a successful `send` actually did. Every envelope in the non-
+/// `Delivered` arms carries a live [`ReplyHandle`](crate::ReplyHandle) the
+/// caller must resolve (the kernel resolves sheds with
+/// `EdenError::Overloaded` and counts them) — dropping one would
+/// misreport the shed as a crash.
+// Transient return value, consumed on the sender's stack immediately —
+// boxing the rejected envelope would cost an allocation per shed for no
+// resident-memory win.
+#[allow(clippy::large_enum_variant)]
+pub(crate) enum SendOutcome {
+    /// Admitted; nothing was shed.
+    Delivered,
+    /// Admitted, but admission control evicted these queued envelopes to
+    /// make room (`RejectOldest` evicts one; `DeadlineDrop` evicts every
+    /// expired entry).
+    DeliveredEvicting(Vec<(Envelope, ShedCause)>),
+    /// The arriving envelope itself was shed and comes back to the caller.
+    Rejected(Envelope, ShedCause),
+}
+
 /// What a sender must do after landing an envelope.
 enum Wake {
     /// Nothing: the task is already queued, running was marked dirty, or
@@ -280,6 +401,8 @@ pub(crate) struct MailboxCore {
     not_full: Condvar,
     /// `Some(n)` bounds the ring to `n` envelopes for plain `send`.
     cap: Option<usize>,
+    /// What a full bounded ring does to arriving invocations.
+    policy: ShedPolicy,
     /// Live `MailboxSender` clones; `recv` reports disconnection at zero.
     senders: AtomicUsize,
     /// The parking bit (see [`park`]).
@@ -289,7 +412,7 @@ pub(crate) struct MailboxCore {
 }
 
 impl MailboxCore {
-    fn new(cap: Option<usize>) -> Arc<MailboxCore> {
+    fn new(cap: Option<usize>, policy: ShedPolicy) -> Arc<MailboxCore> {
         Arc::new(MailboxCore {
             mailq: Mutex::new(Ring {
                 q: VecDeque::new(),
@@ -298,6 +421,7 @@ impl MailboxCore {
             not_empty: Condvar::default(),
             not_full: Condvar::default(),
             cap,
+            policy,
             // The initial sender handed to the caller of `mailbox()`.
             senders: AtomicUsize::new(1),
             park_state: AtomicU8::new(park::PARKED),
@@ -374,22 +498,32 @@ impl MailboxCore {
         }
     }
 
-    fn push(&self, envelope: Envelope, respect_bound: bool) -> Result<(), SendError> {
+    fn push(&self, envelope: Envelope, respect_bound: bool) -> Result<SendOutcome, SendError> {
+        let mut evicted: Vec<(Envelope, ShedCause)> = Vec::new();
         {
             let mut ring = self.mailq.lock();
+            let mut envelope = envelope;
             loop {
                 if ring.closed {
                     drop(ring);
+                    // A closed ring was already drained by `close()`, so
+                    // nothing can have been evicted on the way here.
+                    debug_assert!(evicted.is_empty());
                     return Err(SendError(envelope));
                 }
                 if respect_bound {
                     if let Some(cap) = self.cap {
                         if ring.q.len() >= cap {
-                            // Backpressure: park this sender until the
-                            // receiver drains. Kernel control traffic
-                            // (`force_send`) never takes this branch.
-                            crate::sched::blocking(|| self.not_full.wait(&mut ring));
-                            continue;
+                            match self.admit(&mut ring, envelope, &mut evicted) {
+                                Admit::Retry(env) => {
+                                    envelope = env;
+                                    continue;
+                                }
+                                Admit::Shed(env, cause) => {
+                                    drop(ring);
+                                    return Ok(SendOutcome::Rejected(env, cause));
+                                }
+                            }
                         }
                     }
                 }
@@ -401,7 +535,104 @@ impl MailboxCore {
             Wake::None => {}
             Wake::Enqueue(sched, task) => sched.enqueue(task),
         }
-        Ok(())
+        if evicted.is_empty() {
+            Ok(SendOutcome::Delivered)
+        } else {
+            Ok(SendOutcome::DeliveredEvicting(evicted))
+        }
+    }
+
+    /// One admission decision at a full ring, under the ring lock. Either
+    /// tells the caller to re-check (space may have freed, or eviction made
+    /// room), or sheds the arriving envelope. Evicted queue entries
+    /// accumulate in `evicted` for the caller to resolve once the lock is
+    /// released.
+    fn admit(
+        &self,
+        ring: &mut parking_lot::MutexGuard<'_, Ring>,
+        envelope: Envelope,
+        evicted: &mut Vec<(Envelope, ShedCause)>,
+    ) -> Admit {
+        // Only invocations are ever shed: Internal events are stream data
+        // (shedding them would silently lose records), so they keep the
+        // historic parking discipline whatever the policy says.
+        let sheddable = matches!(envelope, Envelope::Invocation(..));
+        if !sheddable || self.policy == ShedPolicy::Park {
+            return match envelope.admit_by() {
+                // Deadline-aware park: bound the wait by the invocation's
+                // own deadline, shedding once it expires — a sender under
+                // `invoke_with` deadlines can never be wedged forever
+                // behind a full mailbox.
+                Some(admit_by) => {
+                    let now = Instant::now();
+                    if now >= admit_by {
+                        return Admit::Shed(envelope, ShedCause::ParkTimeout);
+                    }
+                    crate::sched::blocking(|| {
+                        self.not_full.wait_for(ring, admit_by - now);
+                    });
+                    Admit::Retry(envelope)
+                }
+                // Backpressure: park this sender until the receiver
+                // drains. Kernel control traffic (`force_send`) never
+                // reaches here, so teardown cannot wedge.
+                None => {
+                    crate::sched::blocking(|| {
+                        self.not_full.wait(ring);
+                    });
+                    Admit::Retry(envelope)
+                }
+            };
+        }
+        match self.policy {
+            ShedPolicy::Park => unreachable!("handled above"),
+            ShedPolicy::RejectNewest => Admit::Shed(envelope, ShedCause::Newest),
+            ShedPolicy::RejectOldest => {
+                // Evict the oldest queued *invocation*; if the ring is all
+                // Internal events (nothing evictable), turn the arrival
+                // away instead.
+                let oldest = ring
+                    .q
+                    .iter()
+                    .position(|e| matches!(e, Envelope::Invocation(..)))
+                    .and_then(|idx| ring.q.remove(idx));
+                match oldest {
+                    Some(old) => {
+                        evicted.push((old, ShedCause::Oldest));
+                        Admit::Retry(envelope)
+                    }
+                    None => Admit::Shed(envelope, ShedCause::Newest),
+                }
+            }
+            ShedPolicy::DeadlineDrop => {
+                let now = Instant::now();
+                let before = ring.q.len();
+                let mut expired: Vec<(Envelope, ShedCause)> = Vec::new();
+                ring.q.retain_mut(|e| match e.admit_by() {
+                    Some(admit_by) if now >= admit_by => {
+                        expired.push((
+                            std::mem::replace(e, Envelope::Shutdown),
+                            ShedCause::Expired,
+                        ));
+                        false
+                    }
+                    _ => true,
+                });
+                if ring.q.len() < before {
+                    evicted.append(&mut expired);
+                    return Admit::Retry(envelope);
+                }
+                // Nothing queued has expired. If the arrival itself is
+                // already past its deadline it sheds as expired; otherwise
+                // it is simply turned away.
+                match envelope.admit_by() {
+                    Some(admit_by) if now >= admit_by => {
+                        Admit::Shed(envelope, ShedCause::Expired)
+                    }
+                    _ => Admit::Shed(envelope, ShedCause::Newest),
+                }
+            }
+        }
     }
 
     /// Pop one envelope (scheduler workers and the threads-mode receiver
@@ -462,10 +693,12 @@ pub(crate) struct MailboxSender {
 }
 
 impl MailboxSender {
-    /// Deliver an envelope, respecting a bounded mailbox's capacity (the
-    /// sender parks until space frees). Fails only once the mailbox
-    /// closed.
-    pub(crate) fn send(&self, envelope: Envelope) -> Result<(), SendError> {
+    /// Deliver an envelope, respecting a bounded mailbox's capacity and
+    /// its [`ShedPolicy`] (under `Park`, the sender parks until space
+    /// frees or its deadline expires). `Err` only once the mailbox closed;
+    /// `Ok` carries what admission control did, including any shed
+    /// envelopes the caller must resolve.
+    pub(crate) fn send(&self, envelope: Envelope) -> Result<SendOutcome, SendError> {
         self.core.push(envelope, true)
     }
 
@@ -473,7 +706,13 @@ impl MailboxSender {
     /// messages (crash, shutdown) use this so a full mailbox can never
     /// wedge teardown.
     pub(crate) fn force_send(&self, envelope: Envelope) -> Result<(), SendError> {
-        self.core.push(envelope, false)
+        self.core.push(envelope, false).map(|_| ())
+    }
+
+    /// How many envelopes are queued right now (the obs plane's
+    /// queue-depth gauges read this through the kernel registry).
+    pub(crate) fn depth(&self) -> usize {
+        self.core.mailq.lock().q.len()
     }
 }
 
@@ -543,9 +782,13 @@ impl Drop for MailboxReceiver {
 }
 
 /// Create a mailbox, returning the sender and the shared core. `cap`
-/// bounds plain sends; `None` keeps the historic unbounded behaviour.
-pub(crate) fn mailbox(cap: Option<usize>) -> (MailboxSender, Arc<MailboxCore>) {
-    let core = MailboxCore::new(cap);
+/// bounds plain sends (`None` keeps the historic unbounded behaviour);
+/// `policy` decides what a full bounded ring does to arriving invocations.
+pub(crate) fn mailbox(
+    cap: Option<usize>,
+    policy: ShedPolicy,
+) -> (MailboxSender, Arc<MailboxCore>) {
+    let core = MailboxCore::new(cap, policy);
     (
         MailboxSender {
             core: Arc::clone(&core),
@@ -574,7 +817,7 @@ mod tests {
 
     #[test]
     fn deliver_to_parked_queues() {
-        let (tx, core) = mailbox(None);
+        let (tx, core) = mailbox(None, ShedPolicy::Park);
         sched_mode(&core);
         assert_eq!(core.park_state.load(Ordering::Acquire), park::PARKED);
         tx.send(Envelope::Shutdown).unwrap();
@@ -586,7 +829,7 @@ mod tests {
 
     #[test]
     fn deliver_to_running_marks_dirty() {
-        let (tx, core) = mailbox(None);
+        let (tx, core) = mailbox(None, ShedPolicy::Park);
         sched_mode(&core);
         core.park_state.store(park::RUNNING, Ordering::Release);
         tx.send(Envelope::Shutdown).unwrap();
@@ -598,7 +841,7 @@ mod tests {
 
     #[test]
     fn deliver_to_dead_wakes_nobody() {
-        let (tx, core) = mailbox(None);
+        let (tx, core) = mailbox(None, ShedPolicy::Park);
         sched_mode(&core);
         core.park_state.store(park::DEAD, Ordering::Release);
         tx.send(Envelope::Shutdown).unwrap();
@@ -613,7 +856,7 @@ mod tests {
     fn wake_protocol_transitions_follow_spec() {
         let iters = if cfg!(miri) { 20 } else { 400 };
         for _ in 0..iters {
-            let (tx, core) = mailbox(None);
+            let (tx, core) = mailbox(None, ShedPolicy::Park);
             sched_mode(&core);
             let worker = {
                 let core = Arc::clone(&core);
@@ -700,5 +943,203 @@ mod tests {
     #[should_panic(expected = "illegal parking-bit transition")]
     fn illegal_transition_panics() {
         spec::assert_transition(park::DEAD, park::QUEUED);
+    }
+
+    use crate::invocation::{reply_pair, Invocation, PendingReply};
+    use eden_core::{Metrics, Uid, Value};
+    use std::time::Duration;
+
+    /// An invocation envelope with an optional admission deadline, plus the
+    /// pending reply to observe what admission control did with it.
+    fn inv_envelope(deadline: Option<Duration>) -> (Envelope, PendingReply) {
+        let (mut handle, pending) = reply_pair(Uid::fresh(), Metrics::new());
+        if let Some(d) = deadline {
+            handle.set_admit_by(Instant::now() + d);
+        }
+        (
+            Envelope::Invocation(
+                Invocation {
+                    op: "Transfer".into(),
+                    arg: Value::Unit,
+                },
+                handle,
+            ),
+            pending,
+        )
+    }
+
+    #[test]
+    fn reject_newest_sheds_the_arrival() {
+        let (tx, _core) = mailbox(Some(1), ShedPolicy::RejectNewest);
+        let (first, _p1) = inv_envelope(None);
+        assert!(matches!(tx.send(first), Ok(SendOutcome::Delivered)));
+        let (second, _p2) = inv_envelope(None);
+        match tx.send(second) {
+            Ok(SendOutcome::Rejected(Envelope::Invocation(..), ShedCause::Newest)) => {}
+            _ => panic!("full RejectNewest mailbox must shed the arrival"),
+        }
+        assert_eq!(tx.depth(), 1, "the queued envelope stays put");
+    }
+
+    #[test]
+    fn reject_newest_never_sheds_internal_events() {
+        // Internal events are stream data: a full RejectNewest mailbox must
+        // park the sender, not drop them. Prove it by having a consumer
+        // free space while the sender is parked.
+        let (tx, core) = mailbox(Some(1), ShedPolicy::RejectNewest);
+        tx.send(Envelope::Internal(Value::Int(1))).unwrap();
+        let drainer = {
+            let core = Arc::clone(&core);
+            std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(50));
+                core.pop()
+            })
+        };
+        // Blocks until the drainer pops, then delivers.
+        match tx.send(Envelope::Internal(Value::Int(2))).unwrap() {
+            SendOutcome::Delivered => {}
+            _ => panic!("internal events must never be shed"),
+        }
+        assert!(drainer.join().unwrap().is_some());
+        assert_eq!(tx.depth(), 1);
+    }
+
+    #[test]
+    fn reject_oldest_evicts_queue_head_and_admits_arrival() {
+        let (tx, _core) = mailbox(Some(1), ShedPolicy::RejectOldest);
+        let (first, p1) = inv_envelope(None);
+        tx.send(first).unwrap();
+        let (second, _p2) = inv_envelope(None);
+        match tx.send(second) {
+            Ok(SendOutcome::DeliveredEvicting(evicted)) => {
+                assert_eq!(evicted.len(), 1);
+                assert!(matches!(evicted[0].1, ShedCause::Oldest));
+            }
+            _ => panic!("full RejectOldest mailbox must evict the oldest invocation"),
+        }
+        assert_eq!(tx.depth(), 1, "arrival took the evicted slot");
+        // The kernel resolves evicted envelopes; here dropping the evicted
+        // handle resolves p1 with EjectCrashed — either way the caller
+        // observes *something* rather than silence.
+        assert!(p1.wait_timeout(Duration::from_secs(1)).is_err());
+    }
+
+    #[test]
+    fn reject_oldest_skips_internal_events() {
+        let (tx, _core) = mailbox(Some(1), ShedPolicy::RejectOldest);
+        tx.send(Envelope::Internal(Value::Int(7))).unwrap();
+        // Queue holds only stream data: nothing evictable, arrival sheds.
+        let (inv, _p) = inv_envelope(None);
+        match tx.send(inv) {
+            Ok(SendOutcome::Rejected(_, ShedCause::Newest)) => {}
+            _ => panic!("an all-Internal queue has nothing to evict"),
+        }
+        assert_eq!(tx.depth(), 1);
+    }
+
+    #[test]
+    fn deadline_drop_evicts_expired_entries() {
+        let (tx, _core) = mailbox(Some(1), ShedPolicy::DeadlineDrop);
+        // Already-expired deadline: queued now, evicted at the next full send.
+        let (stale, _p1) = inv_envelope(Some(Duration::from_millis(0)));
+        tx.send(stale).unwrap();
+        std::thread::sleep(Duration::from_millis(5));
+        let (fresh, _p2) = inv_envelope(Some(Duration::from_secs(60)));
+        match tx.send(fresh) {
+            Ok(SendOutcome::DeliveredEvicting(evicted)) => {
+                assert_eq!(evicted.len(), 1);
+                assert!(matches!(evicted[0].1, ShedCause::Expired));
+            }
+            _ => panic!("DeadlineDrop must evict the expired entry"),
+        }
+        assert_eq!(tx.depth(), 1);
+    }
+
+    #[test]
+    fn deadline_drop_sheds_arrival_when_nothing_expired() {
+        let (tx, _core) = mailbox(Some(1), ShedPolicy::DeadlineDrop);
+        let (keep, _p1) = inv_envelope(Some(Duration::from_secs(60)));
+        tx.send(keep).unwrap();
+        // Nothing queued is expired and the arrival has no deadline: it is
+        // turned away as Newest (DeadlineDrop degrades to RejectNewest).
+        let (arrival, _p2) = inv_envelope(None);
+        match tx.send(arrival) {
+            Ok(SendOutcome::Rejected(_, ShedCause::Newest)) => {}
+            _ => panic!("nothing expired: the arrival must shed"),
+        }
+        // An arrival that is itself expired sheds as Expired.
+        let (dead, _p3) = inv_envelope(Some(Duration::from_millis(0)));
+        std::thread::sleep(Duration::from_millis(5));
+        match tx.send(dead) {
+            Ok(SendOutcome::Rejected(_, ShedCause::Expired)) => {}
+            _ => panic!("an expired arrival sheds as Expired"),
+        }
+    }
+
+    #[test]
+    fn park_with_deadline_sheds_on_timeout() {
+        // The park-forever bug: a bounded Park mailbox with no consumer
+        // used to wedge the sender indefinitely. With an admission deadline
+        // the sender now bounds its wait and sheds as ParkTimeout.
+        let (tx, _core) = mailbox(Some(1), ShedPolicy::Park);
+        let (first, _p1) = inv_envelope(None);
+        tx.send(first).unwrap();
+        let (second, _p2) = inv_envelope(Some(Duration::from_millis(30)));
+        let start = Instant::now();
+        match tx.send(second) {
+            Ok(SendOutcome::Rejected(_, ShedCause::ParkTimeout)) => {}
+            _ => panic!("a deadlined send at a full Park mailbox must time out"),
+        }
+        let waited = start.elapsed();
+        assert!(
+            waited >= Duration::from_millis(25),
+            "must actually wait out the deadline, waited {waited:?}"
+        );
+        assert!(
+            waited < Duration::from_secs(5),
+            "must not park forever, waited {waited:?}"
+        );
+    }
+
+    #[test]
+    fn park_without_deadline_waits_for_space() {
+        let (tx, core) = mailbox(Some(1), ShedPolicy::Park);
+        let (first, _p1) = inv_envelope(None);
+        tx.send(first).unwrap();
+        let drainer = {
+            let core = Arc::clone(&core);
+            std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(50));
+                core.pop()
+            })
+        };
+        let (second, _p2) = inv_envelope(None);
+        match tx.send(second).unwrap() {
+            SendOutcome::Delivered => {}
+            _ => panic!("plain Park must deliver once space frees"),
+        }
+        assert!(drainer.join().unwrap().is_some());
+    }
+
+    #[test]
+    fn force_send_bypasses_the_bound() {
+        let (tx, _core) = mailbox(Some(1), ShedPolicy::RejectNewest);
+        let (first, _p1) = inv_envelope(None);
+        tx.send(first).unwrap();
+        // Kernel control traffic must never be turned away.
+        tx.force_send(Envelope::Crash).unwrap();
+        assert_eq!(tx.depth(), 2);
+    }
+
+    #[test]
+    fn shed_labels_are_stable() {
+        assert_eq!(ShedPolicy::Park.label(), "park");
+        assert_eq!(ShedPolicy::RejectNewest.label(), "reject-newest");
+        assert_eq!(ShedPolicy::RejectOldest.label(), "reject-oldest");
+        assert_eq!(ShedPolicy::DeadlineDrop.label(), "deadline-drop");
+        assert_eq!(ShedCause::Newest.policy_label(), "reject-newest");
+        assert_eq!(ShedCause::Oldest.policy_label(), "reject-oldest");
+        assert_eq!(ShedCause::Expired.policy_label(), "deadline-drop");
+        assert_eq!(ShedCause::ParkTimeout.policy_label(), "park-timeout");
     }
 }

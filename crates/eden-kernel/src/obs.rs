@@ -504,6 +504,21 @@ impl ObsTag {
     }
 }
 
+/// Aggregate mailbox occupancy across every *active* Eject, sampled under
+/// each registry shard's read lock at snapshot time. Queue depth is the
+/// overload plane's leading indicator: a bounded mailbox pinned at its
+/// capacity means admission control (not the consumer) is setting the
+/// service rate.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MailboxSnapshot {
+    /// Active mailboxes sampled.
+    pub mailboxes: u64,
+    /// Envelopes queued across all active mailboxes.
+    pub queued_total: u64,
+    /// Deepest single mailbox at sample time.
+    pub queued_max: u64,
+}
+
 /// A point-in-time view of everything the kernel can report: control-plane
 /// counters, the process-wide payload and stream planes, per-stage latency
 /// summaries, and the trace/span bookkeeping. Produced by
@@ -532,6 +547,8 @@ pub struct KernelSnapshot {
     /// count, log bytes, compactions and fsyncs (all zero for memory
     /// backends).
     pub stable: crate::stable::StableStats,
+    /// Overload-plane gauges: mailbox occupancy across active Ejects.
+    pub mailbox: MailboxSnapshot,
 }
 
 fn escape_label(s: &str) -> String {
@@ -594,6 +611,19 @@ fn counter_rows(snap: &KernelSnapshot) -> Vec<(&'static str, &'static str, u64)>
     ]
 }
 
+/// The `eden_mailbox_sheds_total` family as (policy label, value) rows, one
+/// per shed cause. Rendered with a `policy` label rather than four separate
+/// metric names so dashboards can sum and facet the family directly.
+fn shed_rows(snap: &KernelSnapshot) -> [(&'static str, u64); 4] {
+    let m = &snap.metrics;
+    [
+        ("deadline-drop", m.sheds_expired),
+        ("park-timeout", m.sheds_park_timeout),
+        ("reject-newest", m.sheds_newest),
+        ("reject-oldest", m.sheds_oldest),
+    ]
+}
+
 fn gauge_rows(snap: &KernelSnapshot) -> Vec<(&'static str, &'static str, u64)> {
     vec![
         ("eden_stream_records_in_flight", "Records emitted but not yet collected", snap.stream.records_in_flight()),
@@ -606,6 +636,9 @@ fn gauge_rows(snap: &KernelSnapshot) -> Vec<(&'static str, &'static str, u64)> {
         ("eden_sched_workers_idle", "Scheduler workers registered in the sleep protocol", snap.sched.workers_idle),
         ("eden_sched_wake_tokens", "Wake notifies counted but not yet consumed by a woken worker", snap.sched.wake_tokens),
         ("eden_sched_queued_tasks", "Tasks visible in dispatch queues (injector + deques + LIFO slots)", snap.sched.queued_tasks),
+        ("eden_mailboxes_active", "Active Eject mailboxes at sample time", snap.mailbox.mailboxes),
+        ("eden_mailbox_queued", "Envelopes queued across all active mailboxes", snap.mailbox.queued_total),
+        ("eden_mailbox_queue_depth_max", "Deepest single active mailbox at sample time", snap.mailbox.queued_max),
         ("eden_stable_records", "Passive representations currently in the stable store", snap.stable.records),
         ("eden_stable_segments_live", "Stable-log segment files currently live", snap.stable.segments_live),
         ("eden_stable_log_bytes", "Bytes across all live stable-log segments", snap.stable.log_bytes),
@@ -619,6 +652,13 @@ pub fn prometheus_text(snap: &KernelSnapshot) -> String {
     let mut out = String::new();
     for (name, help, value) in counter_rows(snap) {
         out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} counter\n{name} {value}\n"));
+    }
+    out.push_str(concat!(
+        "# HELP eden_mailbox_sheds_total Invocations shed by mailbox admission control\n",
+        "# TYPE eden_mailbox_sheds_total counter\n",
+    ));
+    for (policy, value) in shed_rows(snap) {
+        out.push_str(&format!("eden_mailbox_sheds_total{{policy=\"{policy}\"}} {value}\n"));
     }
     for (name, help, value) in gauge_rows(snap) {
         out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} gauge\n{name} {value}\n"));
@@ -678,6 +718,11 @@ pub fn json_text(snap: &KernelSnapshot) -> String {
     for (i, (name, _, value)) in counters.iter().enumerate() {
         let sep = if i == 0 { "" } else { "," };
         out.push_str(&format!("{sep}\n    \"{name}\": {value}"));
+    }
+    out.push_str("\n  },\n  \"eden_mailbox_sheds_total\": {");
+    for (i, (policy, value)) in shed_rows(snap).iter().enumerate() {
+        let sep = if i == 0 { "" } else { "," };
+        out.push_str(&format!("{sep}\n    \"{policy}\": {value}"));
     }
     out.push_str("\n  },\n  \"gauges\": {");
     let gauges = gauge_rows(snap);
@@ -836,6 +881,7 @@ mod tests {
             spans_dropped: 0,
             sched: SchedSnapshot::default(),
             stable: crate::stable::StableStats::default(),
+            mailbox: MailboxSnapshot::default(),
         };
         let prom = prometheus_text(&snap);
         let json = json_text(&snap);
@@ -843,7 +889,13 @@ mod tests {
             assert!(prom.contains(name), "prometheus missing {name}");
             assert!(json.contains(name), "json missing {name}");
         }
+        for (policy, _) in shed_rows(&snap) {
+            let sample = format!("eden_mailbox_sheds_total{{policy=\"{policy}\"}}");
+            assert!(prom.contains(&sample), "prometheus missing {sample}");
+            assert!(json.contains(policy), "json missing shed policy {policy}");
+        }
         assert!(prom.contains("# TYPE eden_invocations_total counter"));
+        assert!(prom.contains("# TYPE eden_mailbox_sheds_total counter"));
         assert!(prom.contains("# TYPE eden_streams_active gauge"));
     }
 

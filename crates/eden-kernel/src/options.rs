@@ -299,6 +299,11 @@ impl RetryState {
             self.subject_to_faults,
             false,
             true,
+            // The re-sent attempt carries the same absolute deadline as
+            // the original, so admission control (deadline-bounded parks,
+            // DeadlineDrop eviction) sees the overall budget, not a fresh
+            // one per attempt.
+            self.deadline.map(|d| self.started + d),
         );
         Ok(())
     }

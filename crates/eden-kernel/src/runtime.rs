@@ -16,6 +16,10 @@ use crate::mailbox::MailboxReceiver;
 use std::sync::Arc;
 
 /// A message in an Eject's mailbox.
+// Envelopes live by value in the mailbox ring; boxing the invocation arm
+// to shrink the three control arms would buy nothing (rings size for the
+// largest arm anyway) and cost an allocation per send on the hot path.
+#[allow(clippy::large_enum_variant)]
 pub(crate) enum Envelope {
     /// An invocation from another Eject (or from outside the kernel).
     Invocation(Invocation, ReplyHandle),
@@ -25,6 +29,19 @@ pub(crate) enum Envelope {
     Crash,
     /// Kernel shutdown: stop immediately.
     Shutdown,
+}
+
+impl Envelope {
+    /// The admission deadline of an invocation envelope (`None` for
+    /// deadline-free invocations and for non-invocation traffic). Read by
+    /// the mailbox admission-control path: a `Park` sender bounds its wait
+    /// by it, and `DeadlineDrop` evicts entries once it has passed.
+    pub(crate) fn admit_by(&self) -> Option<std::time::Instant> {
+        match self {
+            Envelope::Invocation(_, reply) => reply.admit_by(),
+            _ => None,
+        }
+    }
 }
 
 /// Why the coordinator loop ended.

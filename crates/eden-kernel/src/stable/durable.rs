@@ -25,7 +25,7 @@ use bytes::Bytes;
 use eden_core::{HostFsHandle, Result, Uid};
 use parking_lot::{Condvar, Mutex};
 
-use super::committer::{CommitQueue, FsyncPolicy, Op};
+use super::committer::{CommitQueue, FlushState, FsyncPolicy, Op};
 use super::compact::CompactState;
 use super::{replay, PassiveRecord, StableBackend, StableStats};
 
@@ -122,6 +122,10 @@ pub(crate) struct LogInner {
     pub compact_mx: Mutex<CompactState>,
     /// Wakes the compactor thread.
     pub compact_cv: Condvar,
+    /// Interval-flusher shutdown flag. Lock class `stable-flusher`.
+    pub flush_mx: Mutex<FlushState>,
+    /// Wakes (shuts down) the interval-flusher thread.
+    pub flush_cv: Condvar,
     /// fsync calls issued (committer, compactor, flush).
     pub fsyncs: AtomicU64,
     /// Completed compaction passes.
@@ -155,6 +159,9 @@ pub struct DurableLog {
     inner: std::sync::Arc<LogInner>,
     /// The background compactor, joined on drop.
     compactor: Mutex<Option<std::thread::JoinHandle<()>>>,
+    /// The interval-policy flush timer, joined on drop (present only
+    /// under [`FsyncPolicy::Interval`]).
+    flusher: Mutex<Option<std::thread::JoinHandle<()>>>,
     /// Frames replayed at `open` (diagnostics).
     replayed_frames: u64,
     /// Segments whose torn tail `open` truncated (diagnostics).
@@ -178,6 +185,8 @@ impl DurableLog {
             index: Mutex::new(replayed.index),
             compact_mx: Mutex::new(CompactState::default()),
             compact_cv: Condvar::new(),
+            flush_mx: Mutex::new(FlushState::default()),
+            flush_cv: Condvar::new(),
             fsyncs: AtomicU64::new(0),
             compactions: AtomicU64::new(0),
             batches_since_sync: AtomicU32::new(0),
@@ -195,9 +204,21 @@ impl DurableLog {
         } else {
             None
         };
+        let flusher = if matches!(cfg.fsync, FsyncPolicy::Interval(_)) {
+            let worker = std::sync::Arc::clone(&inner);
+            Some(
+                std::thread::Builder::new()
+                    .name("eden-stable-flush".into())
+                    .spawn(move || super::committer::flusher_loop(&worker))
+                    .expect("spawn flusher"),
+            )
+        } else {
+            None
+        };
         Ok(DurableLog {
             inner,
             compactor: Mutex::new(compactor),
+            flusher: Mutex::new(flusher),
             replayed_frames: replayed.frames,
             torn_segments: replayed.torn_segments,
         })
@@ -233,6 +254,16 @@ impl Drop for DurableLog {
         };
         if let Some(handle) = handle {
             // eden-lint: nonblocking(teardown: the compactor was told to shut down above)
+            let _ = handle.join();
+        }
+        let handle = {
+            let mut st = self.inner.flush_mx.lock();
+            st.shutdown = true;
+            self.inner.flush_cv.notify_all();
+            self.flusher.lock().take()
+        };
+        if let Some(handle) = handle {
+            // eden-lint: nonblocking(teardown: the flusher was told to shut down above)
             let _ = handle.join();
         }
         // Lazy fsync policies owe the tail a final sync; MemFs treats
@@ -333,6 +364,7 @@ mod tests {
     use super::super::StableStore;
     use super::*;
     use eden_core::MemFs;
+    use std::time::Duration;
 
     fn store_on(fs: &HostFsHandle, fsync: FsyncPolicy) -> StableStore {
         StableStore::durable_on(
@@ -439,6 +471,156 @@ mod tests {
         }
         let lazy = s2.stats().fsyncs;
         assert!(lazy < always, "EveryN(4) syncs less: {lazy} vs {always}");
+    }
+
+    /// A crash-faithful filing system: delegates to a [`MemFs`], but
+    /// remembers each file's length at its last `sync`. `crash_view()`
+    /// returns what a machine that lost power *now* would see on reboot —
+    /// every file truncated back to its synced prefix.
+    struct SyncTrackingFs {
+        inner: HostFsHandle,
+        synced: Mutex<std::collections::HashMap<String, usize>>,
+    }
+
+    impl SyncTrackingFs {
+        fn new() -> std::sync::Arc<SyncTrackingFs> {
+            std::sync::Arc::new(SyncTrackingFs {
+                inner: MemFs::new(),
+                synced: Mutex::new(std::collections::HashMap::new()),
+            })
+        }
+
+        fn crash_view(&self) -> HostFsHandle {
+            let synced = self.synced.lock();
+            let survivors = MemFs::new();
+            for path in self.inner.list() {
+                let stable = synced.get(&path).copied().unwrap_or(0);
+                if stable == 0 {
+                    continue;
+                }
+                let mut bytes = self.inner.read(&path).unwrap();
+                bytes.truncate(stable);
+                survivors.write(&path, &bytes).unwrap();
+            }
+            survivors
+        }
+    }
+
+    impl eden_core::HostFs for SyncTrackingFs {
+        fn read(&self, path: &str) -> Result<Vec<u8>> {
+            self.inner.read(path)
+        }
+        fn write(&self, path: &str, bytes: &[u8]) -> Result<()> {
+            self.inner.write(path, bytes)
+        }
+        fn append(&self, path: &str, bytes: &[u8]) -> Result<u64> {
+            self.inner.append(path, bytes)
+        }
+        fn sync(&self, path: &str) -> Result<()> {
+            self.inner.sync(path)?;
+            let len = self.inner.read(path).map(|b| b.len()).unwrap_or(0);
+            self.synced.lock().insert(path.to_owned(), len);
+            Ok(())
+        }
+        fn rename(&self, from: &str, to: &str) -> Result<()> {
+            self.inner.rename(from, to)?;
+            let mut synced = self.synced.lock();
+            if let Some(len) = synced.remove(from) {
+                synced.insert(to.to_owned(), len);
+            }
+            Ok(())
+        }
+        fn exists(&self, path: &str) -> bool {
+            self.inner.exists(path)
+        }
+        fn list(&self) -> Vec<String> {
+            self.inner.list()
+        }
+        fn remove(&self, path: &str) -> Result<()> {
+            self.synced.lock().remove(path);
+            self.inner.remove(path)
+        }
+    }
+
+    /// The Interval idle-tail bug: `due_for_sync` is only consulted inside
+    /// `commit_batch`, so a lone store followed by idleness never got its
+    /// fsync — a crash after two full intervals still lost the checkpoint.
+    /// The flush timer must sync the idle tail on its own.
+    #[test]
+    fn interval_policy_syncs_an_idle_tail() {
+        let d = Duration::from_millis(40);
+        let tracking = SyncTrackingFs::new();
+        let fs: HostFsHandle = std::sync::Arc::clone(&tracking) as HostFsHandle;
+        let s = StableStore::durable_on(
+            fs,
+            DurableConfig {
+                fsync: FsyncPolicy::Interval(d),
+                segment_bytes: 1 << 20,
+                compact_garbage_bytes: 1 << 20,
+                auto_compact: false,
+            },
+        )
+        .expect("open durable store");
+        let uid = Uid::fresh();
+        // The lone store: appends, and (interval not yet elapsed) does
+        // not sync.
+        s.store(uid, "Lonely", Bytes::from(vec![9; 16])).unwrap();
+        // Go idle for two full intervals; the flush timer must fire.
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while s.stats().fsyncs == 0 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "flusher never synced the idle tail"
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        // Kill the machine (no clean drop of the store on the crashed
+        // timeline): what survives is the synced prefix only.
+        let rebooted = tracking.crash_view();
+        let s2 = StableStore::durable_on(
+            rebooted,
+            DurableConfig {
+                fsync: FsyncPolicy::Always,
+                segment_bytes: 1 << 20,
+                compact_garbage_bytes: 1 << 20,
+                auto_compact: false,
+            },
+        )
+        .expect("reopen after crash");
+        let rec = s2.load(uid).expect("the idle-synced checkpoint survives the crash");
+        assert_eq!(rec.bytes, vec![9; 16]);
+        drop(s);
+    }
+
+    /// The flusher leaves an already-stable tail alone: with nothing
+    /// appended since the last sync, ticks must not issue fsyncs.
+    #[test]
+    fn interval_flusher_is_quiet_when_stable() {
+        let fs = MemFs::new();
+        let d = Duration::from_millis(10);
+        let s = StableStore::durable_on(
+            fs,
+            DurableConfig {
+                fsync: FsyncPolicy::Interval(d),
+                segment_bytes: 1 << 20,
+                compact_garbage_bytes: 1 << 20,
+                auto_compact: false,
+            },
+        )
+        .expect("open durable store");
+        let uid = Uid::fresh();
+        s.store(uid, "X", Bytes::from(vec![1])).unwrap();
+        // Wait for the tail to go stable, then several more ticks.
+        while s.stats().fsyncs == 0 {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let after_first = s.stats().fsyncs;
+        std::thread::sleep(d * 6);
+        assert_eq!(
+            s.stats().fsyncs,
+            after_first,
+            "an idle, already-synced log must not keep fsyncing"
+        );
     }
 
     #[test]

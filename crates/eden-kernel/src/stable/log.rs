@@ -148,14 +148,22 @@ pub(crate) struct FrameScan {
     pub torn: bool,
 }
 
+/// Read a little-endian `u32` at `pos`, or `None` past the end. Recovery
+/// treats a short read like any other invalid frame: stop the scan there.
+fn read_u32(bytes: &[u8], pos: usize) -> Option<u32> {
+    let raw: [u8; 4] = bytes.get(pos..pos + 4)?.try_into().ok()?;
+    Some(u32::from_le_bytes(raw))
+}
+
 /// Walk `bytes` frame by frame, stopping at the first invalid frame.
 pub(crate) fn scan_segment(bytes: &Bytes) -> FrameScan {
     let mut scan = FrameScan::default();
     let total = bytes.len();
     let mut pos = 0usize;
     while pos + FRAME_HEADER <= total {
-        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("4 bytes"));
-        let crc = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().expect("4 bytes"));
+        let (Some(len), Some(crc)) = (read_u32(bytes, pos), read_u32(bytes, pos + 4)) else {
+            break;
+        };
         if len > MAX_FRAME || pos + FRAME_HEADER + len as usize > total {
             break;
         }

@@ -264,6 +264,22 @@ impl Session {
                     st.streams_active()
                 )
             },
+            {
+                let snap = self.kernel.metrics_snapshot();
+                let m = &snap.metrics;
+                format!(
+                    "sheds: {} (newest {}, oldest {}, expired {}, park-timeout {}), \
+                     mailboxes: {} queued {} (deepest {})",
+                    m.sheds_newest + m.sheds_oldest + m.sheds_expired + m.sheds_park_timeout,
+                    m.sheds_newest,
+                    m.sheds_oldest,
+                    m.sheds_expired,
+                    m.sheds_park_timeout,
+                    snap.mailbox.mailboxes,
+                    snap.mailbox.queued_total,
+                    snap.mailbox.queued_max,
+                )
+            },
         ])
     }
 
@@ -480,6 +496,9 @@ mod tests {
         assert!(stats
             .iter()
             .any(|l| l.contains("payload_bytes_moved") && l.contains("cow_breaks")));
+        assert!(stats
+            .iter()
+            .any(|l| l.contains("sheds:") && l.contains("park-timeout") && l.contains("mailboxes:")));
         kernel.shutdown();
     }
 
